@@ -1,0 +1,50 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary regenerates one table or figure of the paper on the default
+// synthetic topology (seeded, deterministic) and prints both a human-readable
+// table and, with --csv, machine-readable rows. Flags allow scaling the
+// topology up or down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/impact.h"
+#include "topology/generator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace asppi::bench {
+
+// Registers the common topology/seed/output flags.
+void AddCommonFlags(util::Flags& flags);
+
+// Builds generator parameters from the parsed flags.
+topo::GeneratorParams ParamsFromFlags(const util::Flags& flags);
+
+// Prints the experiment banner (figure id, paper caption, topology summary).
+void PrintBanner(const std::string& experiment, const std::string& caption,
+                 const topo::GeneratedTopology& topology,
+                 const util::Flags& flags);
+
+// Prints the result table per the --csv flag.
+void PrintTable(const util::Table& table, const util::Flags& flags);
+
+// One point of a λ-sweep (paper Figs. 9–12).
+struct SweepRow {
+  int lambda = 1;
+  double after = 0.0;   // fraction of ASes traversing the attacker, attacked
+  double before = 0.0;  // same fraction without the attack
+};
+
+// Runs the ASPP interception for λ = 1..max_lambda.
+std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
+                                  topo::Asn victim, topo::Asn attacker,
+                                  int max_lambda, bool violate_valley_free);
+
+// Prints a λ-sweep as the paper's figures do (percent polluted per λ).
+void PrintSweep(const std::vector<SweepRow>& rows, const util::Flags& flags,
+                const std::string& after_label,
+                const std::string& before_label);
+
+}  // namespace asppi::bench

@@ -1,0 +1,59 @@
+// Reproduces paper Figure 11: pollution vs prepend count when a small
+// content AS hijacks a tier-1 (the paper's "Facebook (AS32934) hijacks NTT
+// (AS2914)"), with two attacker behaviours:
+//   * follow valley-free: export only per policy — surprisingly effective
+//     (~38 % in the paper) because of the real-world chain the paper found
+//     (victim's sibling Limelight is a customer of the attacker, and the
+//     attacker's provider Akamai is richly peered). We engineer the same
+//     chain into the topology.
+//   * violate routing policy: the attacker re-announces the shortest
+//     stripped route to everyone.
+#include <cstdio>
+
+#include "attack/scenarios.h"
+#include "bench/bench_common.h"
+
+using namespace asppi;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::AddCommonFlags(flags);
+  flags.DefineInt("max_lambda", 8, "largest prepend count to sweep");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  topo::GeneratedTopology topology =
+      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
+  attack::SweepScenario scenario = attack::EngineerContentVsTier1(topology);
+  bench::PrintBanner(
+      "Figure 11: pollution vs prepended ASNs (content AS hijacks tier-1)",
+      "Facebook hijacks NTT: valley-free reaches ~38% via the sibling chain; "
+      "violating policy reaches further",
+      topology, flags);
+  std::printf("scenario: attacker AS%u (content) hijacks victim AS%u "
+              "(tier-1); sibling chain engineered\n",
+              scenario.attacker, scenario.victim);
+
+  auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
+                                 scenario.attacker,
+                                 static_cast<int>(flags.GetInt("max_lambda")),
+                                 /*violate_valley_free=*/false);
+  auto violate = bench::LambdaSweep(
+      topology.graph, scenario.victim, scenario.attacker,
+      static_cast<int>(flags.GetInt("max_lambda")),
+      /*violate_valley_free=*/true);
+
+  util::Table table({"num_prepending_asns", "pct_follow_valley_free",
+                     "pct_violate_routing_policy", "pct_before_hijack"});
+  for (std::size_t i = 0; i < obey.size(); ++i) {
+    table.Row()
+        .Cell(obey[i].lambda)
+        .Cell(100.0 * obey[i].after, 1)
+        .Cell(100.0 * violate[i].after, 1)
+        .Cell(100.0 * obey[i].before, 1);
+  }
+  bench::PrintTable(table, flags);
+  std::printf(
+      "shape check (paper): valley-free series rises to a ~38%% plateau; the "
+      "violating series is at least as large, growing with lambda.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Figure 13: detection accuracy vs number of monitors.
+//
+// 200 random attacker/victim pairs; monitors are the top-d ASes by degree.
+// Paper anchors: ~92 % of attacks detected with 70 monitors, >99 % beyond
+// 150. Accuracy is measured over *effective* attacks (instances that
+// polluted at least one AS — an attack nobody adopts produces no routing
+// change to detect, and no damage either).
+#include <cstdio>
+
+#include "attack/scenarios.h"
+#include "bench/bench_common.h"
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+
+using namespace asppi;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::AddCommonFlags(flags);
+  flags.DefineUint("instances", 200, "number of attacker/victim pairs");
+  flags.DefineInt("lambda", 3, "victim prepend count");
+  flags.DefineBool("victim_aware", false,
+                   "give the detector the victim's own prepend policy");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  topo::GeneratedTopology topology =
+      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
+  bench::PrintBanner("Figure 13: detection accuracy vs number of monitors",
+                     "92% detected with 70 monitors, >99% beyond 150",
+                     topology, flags);
+
+  auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
+                                         flags.GetUint("seed") + 13);
+  attack::AttackSimulator simulator(topology.graph);
+  detect::DetectionConfig config;
+  config.lambda = static_cast<int>(flags.GetInt("lambda"));
+  config.victim_aware = flags.GetBool("victim_aware");
+
+  const std::vector<std::size_t> monitor_counts = {10,  30,  50,  70,
+                                                   100, 150, 200, 300};
+  std::vector<std::vector<topo::Asn>> monitor_sets;
+  for (std::size_t d : monitor_counts) {
+    monitor_sets.push_back(detect::TopDegreeMonitors(topology.graph, d));
+  }
+
+  // One attack simulation per pair, reused across every monitor-set size.
+  std::vector<detect::DetectionRates> rates(monitor_counts.size());
+  std::size_t effective = 0;
+  for (const auto& [attacker, victim] : pairs) {
+    attack::AttackOutcome outcome =
+        simulator.RunAsppInterception(victim, attacker, config.lambda);
+    if (outcome.newly_polluted.empty()) continue;
+    ++effective;
+    for (std::size_t i = 0; i < monitor_sets.size(); ++i) {
+      detect::DetectionResult result = detect::EvaluateDetectionOnOutcome(
+          topology.graph, outcome, monitor_sets[i], config);
+      ++rates[i].instances;
+      ++rates[i].effective;
+      if (result.detected) ++rates[i].detected;
+      if (result.detected_high) ++rates[i].detected_high;
+      if (result.suspect_correct) ++rates[i].suspect_correct;
+    }
+  }
+
+  util::Table table({"num_monitors", "pct_attacks_detected",
+                     "pct_high_confidence", "pct_suspect_correct"});
+  for (std::size_t i = 0; i < monitor_counts.size(); ++i) {
+    double n = static_cast<double>(std::max<std::size_t>(rates[i].effective, 1));
+    table.Row()
+        .Cell(monitor_counts[i])
+        .Cell(100.0 * rates[i].DetectionRate(), 1)
+        .Cell(100.0 * rates[i].HighConfidenceRate(), 1)
+        .Cell(100.0 * static_cast<double>(rates[i].suspect_correct) / n, 1);
+  }
+  bench::PrintTable(table, flags);
+  std::printf("\neffective attacks: %zu of %zu sampled pairs\n", effective,
+              pairs.size());
+  std::printf("shape check (paper): rising curve, ~90%%+ by 70 monitors, "
+              "saturating toward 100%% by 150+.\n");
+  return 0;
+}

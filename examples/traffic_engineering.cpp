@@ -1,0 +1,87 @@
+// The *legitimate* use of ASPP (paper §II-A): a dual-homed stub balances
+// inbound traffic between its two providers by prepending toward one of
+// them, and provisions a backup route with heavy padding.
+//
+// Demonstrates: per-neighbor PrependPolicy, PropagationSimulator, and how
+// inbound load (measured as the share of ASes whose best route enters
+// through each provider link) shifts with λ.
+#include <cstdio>
+
+#include "bgp/propagation.h"
+#include "topology/generator.h"
+
+using namespace asppi;
+
+namespace {
+
+// Share of ASes whose best path to `origin` enters through `provider`.
+double InboundShare(const bgp::PropagationResult& result, topo::Asn origin,
+                    topo::Asn provider) {
+  std::size_t total = 0, via = 0;
+  for (topo::Asn asn : result.Graph().Ases()) {
+    if (asn == origin) continue;
+    const auto& best = result.BestAt(asn);
+    if (!best) continue;
+    ++total;
+    // The hop right before the origin padding is the provider used.
+    const auto& hops = best->path.Hops();
+    std::size_t i = hops.size();
+    while (i > 0 && hops[i - 1] == origin) --i;
+    if (i > 0 && hops[i - 1] == provider) ++via;
+    if (i == 0 && asn == provider) ++via;  // the provider itself
+  }
+  return total == 0 ? 0.0 : static_cast<double>(via) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  topo::GeneratorParams params;
+  params.seed = 7;
+  params.num_tier1 = 8;
+  params.num_tier2 = 80;
+  params.num_tier3 = 400;
+  params.num_stubs = 1500;
+  params.num_content = 10;
+  topo::GeneratedTopology gen = topo::GenerateInternetTopology(params);
+
+  // Find a dual-homed stub.
+  topo::Asn stub = 0;
+  std::vector<topo::Asn> providers;
+  for (topo::Asn cand : gen.stubs) {
+    providers = gen.graph.Providers(cand);
+    if (providers.size() == 2) {
+      stub = cand;
+      break;
+    }
+  }
+  if (stub == 0) {
+    std::printf("no dual-homed stub found\n");
+    return 1;
+  }
+  std::printf("dual-homed stub AS%u with providers AS%u and AS%u\n", stub,
+              providers[0], providers[1]);
+  std::printf("prepending toward AS%u only; inbound share per provider:\n\n",
+              providers[0]);
+  std::printf("%-18s %-22s %-22s\n", "pads_to_provider0", "share_via_provider0",
+              "share_via_provider1");
+
+  bgp::PropagationSimulator engine(gen.graph);
+  for (int pads = 1; pads <= 6; ++pads) {
+    bgp::Announcement ann;
+    ann.origin = stub;
+    if (pads > 1) ann.prepends.SetForNeighbor(stub, providers[0], pads);
+    bgp::PropagationResult result = engine.Run(ann);
+    std::printf("%-18d %-22.3f %-22.3f\n", pads,
+                InboundShare(result, stub, providers[0]),
+                InboundShare(result, stub, providers[1]));
+  }
+
+  std::printf(
+      "\n-> a handful of prepended copies shifts nearly all inbound traffic\n"
+      "   to the other provider; the padded link remains as pure backup.\n"
+      "   This ubiquitous practice is exactly the surface the ASPP\n"
+      "   interception attack exploits: the more copies the victim pads,\n"
+      "   the more an attacker gains by stripping them.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "attack/impact.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace asppi::attack {
+
+AttackSimulator::AttackSimulator(const topo::AsGraph& graph)
+    : graph_(graph), engine_(graph) {}
+
+AttackOutcome AttackSimulator::RunWithTransform(
+    const bgp::Announcement& announcement, Asn attacker,
+    bgp::RouteTransform& transform) const {
+  ASPPI_CHECK(graph_.HasAs(attacker)) << "attacker AS" << attacker;
+  AttackOutcome outcome;
+  outcome.victim = announcement.origin;
+  outcome.attacker = attacker;
+  outcome.lambda =
+      announcement.prepends.PadsFor(announcement.origin, /*neighbor=*/0);
+
+  outcome.before = engine_.Run(announcement);
+  outcome.after = engine_.Resume(outcome.before, &transform, {attacker});
+
+  outcome.fraction_before = outcome.before.FractionTraversing(attacker);
+  outcome.fraction_after = outcome.after.FractionTraversing(attacker);
+
+  std::vector<Asn> before_set = outcome.before.AsesTraversing(attacker);
+  std::unordered_set<Asn> before_lookup(before_set.begin(), before_set.end());
+  for (Asn asn : outcome.after.AsesTraversing(attacker)) {
+    if (!before_lookup.contains(asn)) outcome.newly_polluted.push_back(asn);
+  }
+  return outcome;
+}
+
+AttackOutcome AttackSimulator::RunAsppInterception(
+    Asn victim, Asn attacker, int lambda, bool violate_valley_free,
+    bool export_stripped_to_peers) const {
+  ASPPI_CHECK_GE(lambda, 1);
+  bgp::Announcement announcement;
+  announcement.origin = victim;
+  announcement.prepends.SetDefault(victim, lambda);
+  return RunAsppInterceptionWithPolicy(announcement, attacker,
+                                       violate_valley_free,
+                                       export_stripped_to_peers);
+}
+
+AttackOutcome AttackSimulator::RunAsppInterceptionWithPolicy(
+    const bgp::Announcement& announcement, Asn attacker,
+    bool violate_valley_free, bool export_stripped_to_peers) const {
+  AsppInterceptor::Config config;
+  config.attacker = attacker;
+  config.victim = announcement.origin;
+  config.violate_valley_free = violate_valley_free;
+  config.export_stripped_to_peers = export_stripped_to_peers;
+  AsppInterceptor interceptor(config);
+  return RunWithTransform(announcement, attacker, interceptor);
+}
+
+AttackOutcome AttackSimulator::RunOriginHijack(Asn victim, Asn attacker,
+                                               int lambda) const {
+  bgp::Announcement announcement;
+  announcement.origin = victim;
+  announcement.prepends.SetDefault(victim, lambda);
+  OriginHijacker hijacker(attacker);
+  return RunWithTransform(announcement, attacker, hijacker);
+}
+
+AttackOutcome AttackSimulator::RunBallaniInterception(Asn victim, Asn attacker,
+                                                      int lambda) const {
+  bgp::Announcement announcement;
+  announcement.origin = victim;
+  announcement.prepends.SetDefault(victim, lambda);
+  BallaniInterceptor interceptor(attacker, victim);
+  return RunWithTransform(announcement, attacker, interceptor);
+}
+
+std::vector<PairImpact> RunPairSweep(
+    const topo::AsGraph& graph,
+    const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs, int lambda,
+    bool violate_valley_free, bool export_stripped_to_peers) {
+  AttackSimulator simulator(graph);
+  std::vector<PairImpact> results;
+  results.reserve(attacker_victim_pairs.size());
+  for (const auto& [attacker, victim] : attacker_victim_pairs) {
+    AttackOutcome outcome = simulator.RunAsppInterception(
+        victim, attacker, lambda, violate_valley_free,
+        export_stripped_to_peers);
+    results.push_back(PairImpact{attacker, victim, outcome.fraction_before,
+                                 outcome.fraction_after});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PairImpact& a, const PairImpact& b) {
+              if (a.after != b.after) return a.after > b.after;
+              return a.attacker < b.attacker;
+            });
+  return results;
+}
+
+}  // namespace asppi::attack

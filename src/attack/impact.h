@@ -1,0 +1,85 @@
+// Attack impact analysis (paper §IV-B, §VI-B): run an attack against a
+// converged baseline and quantify the pollution — the fraction of ASes whose
+// best route to the victim now traverses the attacker.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attack/interceptor.h"
+#include "bgp/propagation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::attack {
+
+// Everything measured for one attacker/victim instance.
+struct AttackOutcome {
+  Asn victim = 0;
+  Asn attacker = 0;
+  int lambda = 1;  // victim's prepend count
+
+  bgp::PropagationResult before;  // converged, attack-free
+  bgp::PropagationResult after;   // converged under the attack
+
+  // Fraction of ASes (excluding attacker and victim) whose best path
+  // traverses the attacker — the paper's "% of paths traversing attacker".
+  double fraction_before = 0.0;
+  double fraction_after = 0.0;
+
+  // ASes polluted by the attack: best path traverses the attacker after the
+  // attack but did not before.
+  std::vector<Asn> newly_polluted;
+};
+
+class AttackSimulator {
+ public:
+  explicit AttackSimulator(const topo::AsGraph& graph);
+
+  // The ASPP-based interception attack: victim announces with λ prepends
+  // (uniformly to all neighbors), attacker strips the padding.
+  AttackOutcome RunAsppInterception(Asn victim, Asn attacker, int lambda,
+                                    bool violate_valley_free = false,
+                                    bool export_stripped_to_peers = true) const;
+
+  // Same, but with an arbitrary caller-supplied prepend policy for the
+  // victim (per-neighbor λ) — used by the detection tests where legitimate
+  // traffic engineering must be distinguishable from the attack.
+  AttackOutcome RunAsppInterceptionWithPolicy(
+      const bgp::Announcement& announcement, Asn attacker,
+      bool violate_valley_free = false,
+      bool export_stripped_to_peers = true) const;
+
+  // Baselines.
+  AttackOutcome RunOriginHijack(Asn victim, Asn attacker, int lambda) const;
+  AttackOutcome RunBallaniInterception(Asn victim, Asn attacker,
+                                       int lambda) const;
+
+  const bgp::PropagationSimulator& Engine() const { return engine_; }
+  const topo::AsGraph& Graph() const { return graph_; }
+
+ private:
+  AttackOutcome RunWithTransform(const bgp::Announcement& announcement,
+                                 Asn attacker,
+                                 bgp::RouteTransform& transform) const;
+
+  const topo::AsGraph& graph_;
+  bgp::PropagationSimulator engine_;
+};
+
+// One row of the pair-sweep experiments (paper Figs. 7/8).
+struct PairImpact {
+  Asn attacker = 0;
+  Asn victim = 0;
+  double before = 0.0;
+  double after = 0.0;
+};
+
+// Runs the ASPP interception for every (attacker, victim) pair and returns
+// results sorted by decreasing post-attack pollution — the ranking the
+// paper's Figs. 7/8 plot.
+std::vector<PairImpact> RunPairSweep(
+    const topo::AsGraph& graph,
+    const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs, int lambda,
+    bool violate_valley_free = false, bool export_stripped_to_peers = true);
+
+}  // namespace asppi::attack

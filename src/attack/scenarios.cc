@@ -1,0 +1,205 @@
+#include "attack/scenarios.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace asppi::attack {
+
+using topo::AsGraph;
+using topo::Relation;
+
+std::vector<std::pair<Asn, Asn>> SampleTier1Pairs(const GeneratedTopology& topo,
+                                                  std::size_t count,
+                                                  std::uint64_t seed) {
+  const auto& tier1 = topo.tier1;
+  ASPPI_CHECK_GE(tier1.size(), 2u);
+  std::vector<std::pair<Asn, Asn>> all;
+  for (Asn a : tier1) {
+    for (Asn v : tier1) {
+      if (a != v) all.emplace_back(a, v);
+    }
+  }
+  util::Rng rng(seed);
+  rng.Shuffle(all);
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+std::vector<std::pair<Asn, Asn>> SampleRandomPairs(const GeneratedTopology& topo,
+                                                   std::size_t count,
+                                                   std::uint64_t seed) {
+  const auto& ases = topo.graph.Ases();
+  ASPPI_CHECK_GE(ases.size(), 2u);
+  util::Rng rng(seed);
+  std::vector<std::pair<Asn, Asn>> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    Asn a = rng.Pick(ases);
+    Asn v = rng.Pick(ases);
+    if (a == v) continue;
+    out.emplace_back(a, v);
+  }
+  return out;
+}
+
+namespace {
+
+// Highest-degree member of `pool` (deterministic tie-break by ASN).
+Asn HighestDegree(const AsGraph& graph, const std::vector<Asn>& pool) {
+  ASPPI_CHECK(!pool.empty());
+  Asn best = pool.front();
+  for (Asn asn : pool) {
+    if (graph.Degree(asn) > graph.Degree(best) ||
+        (graph.Degree(asn) == graph.Degree(best) && asn < best)) {
+      best = asn;
+    }
+  }
+  return best;
+}
+
+// Member of `pool` with the most peer links.
+Asn MostPeered(const AsGraph& graph, const std::vector<Asn>& pool) {
+  ASPPI_CHECK(!pool.empty());
+  Asn best = pool.front();
+  std::size_t best_peers = graph.Peers(best).size();
+  for (Asn asn : pool) {
+    std::size_t peers = graph.Peers(asn).size();
+    if (peers > best_peers || (peers == best_peers && asn < best)) {
+      best = asn;
+      best_peers = peers;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SweepScenario Tier1VsTier1(const GeneratedTopology& topo) {
+  ASPPI_CHECK_GE(topo.tier1.size(), 2u);
+  // Attacker: the best-connected tier-1 (Sprint). Victim: the tier-1 with
+  // the smallest customer cone — the paper's Fig. 9 anchor (>95 % of the
+  // Internet switching) requires the victim's loyal base (its cone plus the
+  // cone's peers) to be small, which held for inferred 2011 cones.
+  Asn attacker = HighestDegree(topo.graph, topo.tier1);
+  Asn victim = 0;
+  std::size_t best_cone = 0;
+  for (Asn cand : topo.tier1) {
+    if (cand == attacker) continue;
+    std::size_t cone = topo.graph.CustomerConeSize(cand);
+    if (victim == 0 || cone < best_cone) {
+      victim = cand;
+      best_cone = cone;
+    }
+  }
+  return SweepScenario{"tier1-vs-tier1", attacker, victim};
+}
+
+SweepScenario Tier1VsContent(const GeneratedTopology& topo) {
+  ASPPI_CHECK(!topo.tier1.empty());
+  ASPPI_CHECK(!topo.tier3.empty());
+  // Victim archetype: a typical tier-3 (the paper's Facebook — whose 2011
+  // *visible* BGP footprint was a handful of providers, not today's rich
+  // public peering). A heavily-peered victim resists the attack because
+  // peer-learned legitimate routes outrank the provider-learned malicious
+  // one, capping pollution far below the paper's >99 %.
+  std::vector<Asn> sorted = topo.tier3;
+  const AsGraph& g = topo.graph;
+  std::sort(sorted.begin(), sorted.end(), [&g](Asn a, Asn b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) < g.Degree(b);
+    return a < b;
+  });
+  return SweepScenario{"tier1-vs-lowtier", HighestDegree(g, topo.tier1),
+                       sorted[sorted.size() / 2]};
+}
+
+SweepScenario SmallVsSmall(const GeneratedTopology& topo) {
+  ASPPI_CHECK_GE(topo.tier3.size(), 2u);
+  // Median-degree tier-3 ASes: small regional transits with a few stub
+  // customers, like the paper's AS30209/AS12734 pair.
+  std::vector<Asn> sorted = topo.tier3;
+  const AsGraph& g = topo.graph;
+  std::sort(sorted.begin(), sorted.end(), [&g](Asn a, Asn b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) < g.Degree(b);
+    return a < b;
+  });
+  Asn attacker = sorted[sorted.size() / 2];
+  Asn victim = sorted[sorted.size() / 2 + 1];
+  return SweepScenario{"small-vs-small", attacker, victim};
+}
+
+SweepScenario EngineerContentVsTier1(GeneratedTopology& topo) {
+  ASPPI_CHECK(!topo.tier1.empty());
+  ASPPI_CHECK(!topo.content.empty());
+  AsGraph& g = topo.graph;
+  // Prefer an (attacker, victim) combination where the victim's customer
+  // cone does NOT contain the attacker: the sibling merge below then keeps
+  // the provider→customer digraph acyclic and convergence guaranteed. When
+  // every tier-1 cone covers every content AS (densely multihomed
+  // topologies) we accept the cycle — that is exactly what the real
+  // NTT/Limelight/Facebook chain looked like; receiver-side loop detection
+  // still converges per destination and the round guard would catch a
+  // pathological case loudly.
+  Asn attacker = 0;
+  Asn victim = 0;
+  bool acyclic_pair = false;
+  for (Asn a_cand : topo.content) {
+    for (Asn v_cand : topo.tier1) {
+      if (g.ReachesDownhill(v_cand, a_cand)) continue;
+      if (attacker == 0 ||
+          g.Peers(a_cand).size() > g.Peers(attacker).size() ||
+          (g.Peers(a_cand).size() == g.Peers(attacker).size() &&
+           g.Degree(v_cand) > g.Degree(victim))) {
+        attacker = a_cand;
+        victim = v_cand;
+        acyclic_pair = true;
+      }
+    }
+  }
+  if (!acyclic_pair) {
+    attacker = MostPeered(g, topo.content);
+    victim = HighestDegree(g, topo.tier1);
+  }
+
+  // The "Limelight": a tier-3 AS adjacent to neither party becomes the
+  // victim's sibling and the attacker's customer. The attacker then holds a
+  // customer-learned (hence freely exportable) route to the victim's prefix.
+  Asn limelight = 0;
+  for (Asn cand : topo.tier3) {
+    if (cand == victim || cand == attacker || g.HasLink(victim, cand) ||
+        g.HasLink(attacker, cand)) {
+      continue;
+    }
+    if (acyclic_pair && (topo::SiblingLinkCreatesCycle(g, victim, cand) ||
+                         g.ReachesDownhill(cand, attacker))) {
+      continue;
+    }
+    limelight = cand;
+    break;
+  }
+  ASPPI_CHECK_NE(limelight, 0u) << "no tier-3 candidate for the sibling chain";
+  g.AddLink(victim, limelight, Relation::kSibling);
+  g.AddLink(attacker, limelight, Relation::kCustomer);
+  // The paper's victim and attacker peer directly ("most other ASes
+  // originally use providers' routes to reach the victim, except for the
+  // victim's peers, including the attacker") — this is what the
+  // policy-violating attacker strips down to the 2-hop [M V].
+  if (!g.HasLink(attacker, victim)) {
+    g.AddLink(attacker, victim, Relation::kPeer);
+  }
+  if (acyclic_pair) {
+    ASPPI_CHECK(g.ProviderCustomerAcyclic())
+        << "engineered Fig. 11 chain created a policy cycle";
+  }
+
+  // The "Akamai": make the most-peered tier-2 a provider of the attacker, so
+  // the stripped customer route fans out through a rich peering mesh.
+  Asn akamai = MostPeered(g, topo.tier2);
+  if (!g.HasLink(akamai, attacker)) {
+    g.AddLink(akamai, attacker, Relation::kCustomer);
+  }
+  return SweepScenario{"content-vs-tier1", attacker, victim};
+}
+
+}  // namespace asppi::attack

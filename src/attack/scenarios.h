@@ -1,0 +1,56 @@
+// Attacker/victim scenario selection on generated topologies: the archetype
+// pairs behind each of the paper's evaluation figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/generator.h"
+
+namespace asppi::attack {
+
+using topo::Asn;
+using topo::GeneratedTopology;
+
+// Fig. 7: ordered (attacker, victim) pairs where both are tier-1 ASes.
+// Deterministically enumerates distinct ordered pairs and keeps `count`
+// (seed-shuffled when more are available than requested).
+std::vector<std::pair<Asn, Asn>> SampleTier1Pairs(const GeneratedTopology& topo,
+                                                  std::size_t count,
+                                                  std::uint64_t seed);
+
+// Fig. 8 / Figs. 13-14: random attacker/victim pairs over the whole AS
+// population (stubs dominate by construction, matching the paper's "most of
+// which are Tier-4 and Tier-5 ASes").
+std::vector<std::pair<Asn, Asn>> SampleRandomPairs(const GeneratedTopology& topo,
+                                                   std::size_t count,
+                                                   std::uint64_t seed);
+
+// A named λ-sweep scenario.
+struct SweepScenario {
+  std::string name;
+  Asn attacker = 0;
+  Asn victim = 0;
+};
+
+// Fig. 9 archetype: tier-1 attacker vs tier-1 victim ("Sprint hijacks AT&T").
+SweepScenario Tier1VsTier1(const GeneratedTopology& topo);
+
+// Fig. 10 archetype: tier-1 attacker vs content/tier-3 victim
+// ("AT&T hijacks Facebook").
+SweepScenario Tier1VsContent(const GeneratedTopology& topo);
+
+// Fig. 12 archetype: small transit attacker vs small victim
+// ("AS30209 hijacks AS12734").
+SweepScenario SmallVsSmall(const GeneratedTopology& topo);
+
+// Fig. 11 archetype: content attacker vs tier-1 victim ("Facebook hijacks
+// NTT"). Reproduces the paper's surprising valley-free spread by engineering
+// the chain it discovered in the wild: the victim gets a sibling AS that is
+// a customer of the attacker (Limelight), and the attacker gets a
+// richly-peered provider (Akamai). Mutates `topo` accordingly.
+SweepScenario EngineerContentVsTier1(GeneratedTopology& topo);
+
+}  // namespace asppi::attack

@@ -1,0 +1,123 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace asppi::bgp {
+
+AsPath AsPath::Origin(Asn origin, int copies) {
+  ASPPI_CHECK_GE(copies, 1);
+  AsPath p;
+  p.hops_.assign(static_cast<std::size_t>(copies), origin);
+  return p;
+}
+
+void AsPath::Prepend(Asn asn, int times) {
+  ASPPI_CHECK_GE(times, 1);
+  hops_.insert(hops_.begin(), static_cast<std::size_t>(times), asn);
+}
+
+std::size_t AsPath::UniqueCount() const {
+  std::unordered_set<Asn> distinct(hops_.begin(), hops_.end());
+  return distinct.size();
+}
+
+Asn AsPath::First() const {
+  ASPPI_CHECK(!hops_.empty());
+  return hops_.front();
+}
+
+Asn AsPath::OriginAs() const {
+  ASPPI_CHECK(!hops_.empty());
+  return hops_.back();
+}
+
+bool AsPath::Contains(Asn asn) const {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+int AsPath::OriginPadding() const {
+  if (hops_.empty()) return 0;
+  const Asn origin = hops_.back();
+  int count = 0;
+  for (auto it = hops_.rbegin(); it != hops_.rend() && *it == origin; ++it) {
+    ++count;
+  }
+  return count;
+}
+
+int AsPath::MaxRunOf(Asn asn) const {
+  int best = 0;
+  int run = 0;
+  for (Asn hop : hops_) {
+    run = (hop == asn) ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+int AsPath::CollapseRunsOf(Asn asn) {
+  std::vector<Asn> kept;
+  kept.reserve(hops_.size());
+  int removed = 0;
+  for (Asn hop : hops_) {
+    if (hop == asn && !kept.empty() && kept.back() == asn) {
+      ++removed;
+    } else {
+      kept.push_back(hop);
+    }
+  }
+  hops_ = std::move(kept);
+  return removed;
+}
+
+int AsPath::CollapseAllRuns() {
+  std::vector<Asn> kept;
+  kept.reserve(hops_.size());
+  int removed = 0;
+  for (Asn hop : hops_) {
+    if (!kept.empty() && kept.back() == hop) {
+      ++removed;
+    } else {
+      kept.push_back(hop);
+    }
+  }
+  hops_ = std::move(kept);
+  return removed;
+}
+
+std::vector<Asn> AsPath::DistinctSequence() const {
+  std::vector<Asn> out;
+  for (Asn hop : hops_) {
+    if (out.empty() || out.back() != hop) out.push_back(hop);
+  }
+  return out;
+}
+
+bool AsPath::HasLoop() const {
+  std::vector<Asn> seq = DistinctSequence();
+  std::unordered_set<Asn> seen;
+  for (Asn asn : seq) {
+    if (!seen.insert(asn).second) return true;
+  }
+  return false;
+}
+
+std::string AsPath::ToString() const {
+  return util::Join(hops_, " ");
+}
+
+std::optional<AsPath> AsPath::FromString(const std::string& text) {
+  std::vector<Asn> hops;
+  for (const std::string& token : util::SplitWhitespace(text)) {
+    auto asn = util::ParseUint(token);
+    if (!asn || *asn > 0xffffffffULL) return std::nullopt;
+    hops.push_back(static_cast<Asn>(*asn));
+  }
+  return AsPath(std::move(hops));
+}
+
+}  // namespace asppi::bgp

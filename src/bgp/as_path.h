@@ -1,0 +1,84 @@
+// AS-PATH attribute with first-class support for AS-path prepending (ASPP).
+//
+// Hops are stored most-recent-first: front() is the neighbor the route was
+// learned from, back() is the origin AS. Prepended paths contain consecutive
+// duplicates, e.g. "7018 3356 32934 32934 32934" (paper Section III).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/types.h"
+
+namespace asppi::bgp {
+
+using topo::Asn;
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+
+  // Origin announcement: `copies` occurrences of the origin ASN (λ in the
+  // paper; copies >= 1).
+  static AsPath Origin(Asn origin, int copies = 1);
+
+  // Prepends `asn` `times` times at the front (what a BGP speaker does on
+  // export; times > 1 is AS-path prepending).
+  void Prepend(Asn asn, int times = 1);
+
+  bool Empty() const { return hops_.empty(); }
+  // Total number of ASN occurrences including duplicates — the length BGP's
+  // decision process compares.
+  std::size_t Length() const { return hops_.size(); }
+  // Number of distinct ASes on the path.
+  std::size_t UniqueCount() const;
+
+  Asn First() const;   // most recent hop (the sender)
+  Asn OriginAs() const;  // last hop
+
+  bool Contains(Asn asn) const;
+
+  // Number of consecutive occurrences of the origin ASN at the tail — the
+  // origin's prepend count λ (1 if no prepending).
+  int OriginPadding() const;
+  // Total duplicate occurrences anywhere (source + intermediary prepending):
+  // Length() - UniqueCount().
+  std::size_t TotalPadding() const { return Length() - UniqueCount(); }
+  bool HasPrepending() const { return TotalPadding() > 0; }
+  // Longest run of `asn` anywhere in the path (0 if absent).
+  int MaxRunOf(Asn asn) const;
+
+  // The ASPP-interception primitive: collapse every consecutive run of `asn`
+  // to a single occurrence. Returns the number of copies removed. This is
+  // exactly the attacker's modification: [M * V…V] → [M * V] (paper §II-B).
+  int CollapseRunsOf(Asn asn);
+  // Collapse *all* consecutive duplicate runs (of any ASN) to length 1.
+  // Returns copies removed. Used to compute "the path without any ASPP".
+  int CollapseAllRuns();
+
+  // Sequence of distinct ASes in path order (duplicates collapsed) — the
+  // AS-level route the traffic actually takes.
+  std::vector<Asn> DistinctSequence() const;
+
+  // True if the path visits some distinct AS twice non-consecutively — a
+  // routing loop (consecutive duplicates are legitimate prepending, not
+  // loops).
+  bool HasLoop() const;
+
+  const std::vector<Asn>& Hops() const { return hops_; }
+
+  // "7018 3356 32934 32934" — the RouteViews-style rendering.
+  std::string ToString() const;
+  // Parses the rendering above; nullopt on malformed input.
+  static std::optional<AsPath> FromString(const std::string& text);
+
+  bool operator==(const AsPath&) const = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+}  // namespace asppi::bgp

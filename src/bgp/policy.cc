@@ -1,0 +1,58 @@
+#include "bgp/policy.h"
+
+#include "util/check.h"
+
+namespace asppi::bgp {
+
+int LocalPrefOf(Relation learned_from) {
+  switch (learned_from) {
+    case Relation::kCustomer:
+      return 300;
+    case Relation::kSibling:
+      return 250;
+    case Relation::kPeer:
+      return 200;
+    case Relation::kProvider:
+      return 100;
+  }
+  return 0;
+}
+
+bool MayExport(Relation learned_from, Relation to) {
+  // Routes from customers/siblings: export to everyone (they pay us, or are
+  // us). Routes from peers/providers: only downhill (customers) or to
+  // siblings.
+  switch (learned_from) {
+    case Relation::kCustomer:
+    case Relation::kSibling:
+      return true;
+    case Relation::kPeer:
+    case Relation::kProvider:
+      return to == Relation::kCustomer || to == Relation::kSibling;
+  }
+  return false;
+}
+
+bool MayExportOwn(Relation /*to*/) { return true; }
+
+void PrependPolicy::SetDefault(Asn exporter, int pads) {
+  ASPPI_CHECK_GE(pads, 1);
+  defaults_[exporter] = pads;
+}
+
+void PrependPolicy::SetForNeighbor(Asn exporter, Asn neighbor, int pads) {
+  ASPPI_CHECK_GE(pads, 1);
+  overrides_[{exporter, neighbor}] = pads;
+}
+
+int PrependPolicy::PadsFor(Asn exporter, Asn neighbor) const {
+  if (auto it = overrides_.find({exporter, neighbor}); it != overrides_.end()) {
+    return it->second;
+  }
+  if (auto it = defaults_.find(exporter); it != defaults_.end()) {
+    return it->second;
+  }
+  return 1;
+}
+
+}  // namespace asppi::bgp

@@ -1,0 +1,55 @@
+// Gao-Rexford routing policy: local preference classes, valley-free export
+// rules, and per-neighbor prepending configuration.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "topology/types.h"
+
+namespace asppi::bgp {
+
+using topo::Asn;
+using topo::Relation;
+
+// Local-preference class of a route by the relationship of the neighbor it
+// was learned from. Higher is preferred. An AS pays for provider traffic and
+// is paid for customer traffic, so: customer > sibling > peer > provider
+// (paper §IV-B; sibling routes are intra-organization and slot between
+// customer and peer).
+int LocalPrefOf(Relation learned_from);
+
+// Local-pref class of the origin's own prefix (beats everything).
+inline constexpr int kSelfLocalPref = 1000;
+
+// Valley-free export rule: may a route learned from a neighbor with
+// relationship `learned_from` be exported to a neighbor with relationship
+// `to`? Customer- and sibling-learned routes are exported to everyone;
+// peer-/provider-learned routes only to customers and siblings. The origin's
+// own prefix (no learned_from) is exported to everyone.
+bool MayExport(Relation learned_from, Relation to);
+bool MayExportOwn(Relation to);
+
+// Per-exporter, per-neighbor AS-path prepending configuration.
+//
+// PadsFor(exporter, neighbor) is the number of copies of `exporter`'s ASN
+// prepended when exporting to `neighbor` (>= 1; 1 = ordinary BGP, no ASPP).
+// Source prepending is configured on the origin AS; intermediary prepending
+// on any transit AS (paper §II-A distinguishes both).
+class PrependPolicy {
+ public:
+  // Sets the default pad count for every export by `exporter`.
+  void SetDefault(Asn exporter, int pads);
+  // Overrides the pad count for a specific neighbor of `exporter`.
+  void SetForNeighbor(Asn exporter, Asn neighbor, int pads);
+
+  int PadsFor(Asn exporter, Asn neighbor) const;
+
+  bool Empty() const { return defaults_.empty() && overrides_.empty(); }
+
+ private:
+  std::map<Asn, int> defaults_;
+  std::map<std::pair<Asn, Asn>, int> overrides_;
+};
+
+}  // namespace asppi::bgp

@@ -1,0 +1,276 @@
+#include "bgp/propagation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asppi::bgp {
+
+const std::optional<Route>& PropagationResult::BestAt(Asn asn) const {
+  return best_[graph_->IndexOf(asn)];
+}
+
+int PropagationResult::FirstChangeRound(Asn asn) const {
+  return first_change_round_[graph_->IndexOf(asn)];
+}
+
+std::vector<Asn> PropagationResult::AsesTraversing(Asn x) const {
+  std::vector<Asn> out;
+  for (std::size_t i = 0; i < best_.size(); ++i) {
+    Asn asn = graph_->AsnAt(i);
+    if (asn == x || asn == announcement_.origin) continue;
+    if (best_[i] && best_[i]->path.Contains(x)) out.push_back(asn);
+  }
+  return out;
+}
+
+double PropagationResult::FractionTraversing(Asn x) const {
+  const std::size_t n = graph_->NumAses();
+  if (n <= 2) return 0.0;
+  return static_cast<double>(AsesTraversing(x).size()) /
+         static_cast<double>(n - 2);
+}
+
+std::size_t PropagationResult::ReachableCount() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < best_.size(); ++i) {
+    if (graph_->AsnAt(i) == announcement_.origin) continue;
+    if (best_[i]) ++count;
+  }
+  return count;
+}
+
+PropagationSimulator::PropagationSimulator(const topo::AsGraph& graph)
+    : graph_(graph) {
+  slot_index_.resize(graph.NumAses());
+  for (std::size_t i = 0; i < graph.NumAses(); ++i) {
+    auto neighbors = graph.NeighborsOf(graph.AsnAt(i));
+    auto& index = slot_index_[i];
+    index.reserve(neighbors.size());
+    for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
+      index.emplace_back(neighbors[slot].asn, slot);
+    }
+    std::sort(index.begin(), index.end());
+  }
+}
+
+std::uint32_t PropagationSimulator::SlotOf(std::size_t from, Asn to) const {
+  const auto& index = slot_index_[from];
+  auto it = std::lower_bound(index.begin(), index.end(),
+                             std::make_pair(to, std::uint32_t{0}));
+  ASPPI_CHECK(it != index.end() && it->first == to)
+      << "AS" << to << " is not a neighbor";
+  return it->second;
+}
+
+PropagationResult PropagationSimulator::Run(const Announcement& announcement,
+                                            RouteTransform* transform) const {
+  ASPPI_CHECK(graph_.HasAs(announcement.origin))
+      << "origin AS" << announcement.origin << " not in graph";
+  PropagationResult state;
+  state.graph_ = &graph_;
+  state.announcement_ = announcement;
+  const std::size_t n = graph_.NumAses();
+  state.best_.resize(n);
+  state.first_change_round_.assign(n, -1);
+  state.rib_in_.resize(n);
+  state.sent_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t degree = graph_.NeighborsOf(graph_.AsnAt(i)).size();
+    state.rib_in_[i].resize(degree);
+    state.sent_[i].assign(degree, 0);
+  }
+
+  std::vector<std::uint8_t> need_export(n, 0);
+  need_export[graph_.IndexOf(announcement.origin)] = 1;
+  RunLoop(state, transform, need_export);
+  return state;
+}
+
+PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
+                                               RouteTransform* transform,
+                                               const std::vector<Asn>& dirty) const {
+  ASPPI_CHECK(prior.graph_ == &graph_) << "state from a different graph";
+  PropagationResult state = prior;
+  state.rounds_ = 0;
+  std::fill(state.first_change_round_.begin(), state.first_change_round_.end(),
+            -1);
+  std::vector<std::uint8_t> need_export(graph_.NumAses(), 0);
+  for (Asn asn : dirty) {
+    const std::size_t idx = graph_.IndexOf(asn);
+    need_export[idx] = 1;
+    // The transform may change what this AS *chooses*, not only what it
+    // exports (OverrideBest) — refresh its decision before re-announcing.
+    Decide(state, idx, transform);
+  }
+  RunLoop(state, transform, need_export);
+  return state;
+}
+
+void PropagationSimulator::RunLoop(PropagationResult& state,
+                                   RouteTransform* transform,
+                                   std::vector<std::uint8_t>& need_export) const {
+  const std::size_t n = graph_.NumAses();
+  std::vector<std::uint8_t> dirty(n, 0);
+
+  // Synchronous rounds: all round-r exports are decided upon in round r+1,
+  // so FirstChangeRound() measures hop-waves from the event source. This
+  // schedule is convergent because the policy system is Gao-Rexford-safe by
+  // construction: sibling links transport the underlying route class (see
+  // Route::effective) and every topology is provider-customer acyclic.
+  int round = 0;
+  while (true) {
+    // Export phase: everything flagged sends its current view.
+    bool any_export = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!need_export[u]) continue;
+      any_export = true;
+      need_export[u] = 0;
+      ExportFrom(state, u, transform, dirty);
+    }
+    if (!any_export) break;
+    ++round;
+    ASPPI_CHECK_LT(round, kMaxRounds) << "propagation did not converge";
+
+    // Decision phase: receivers of changed slots re-run the decision process.
+    bool any_change = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!dirty[v]) continue;
+      dirty[v] = 0;
+      if (Decide(state, v, transform)) {
+#ifdef ASPPI_DEBUG_OSCILLATION
+        if (round > 9990) {
+          std::fprintf(stderr, "round %d: AS%u -> %s (rel=%d)\n", round,
+                       graph_.AsnAt(v),
+                       state.best_[v] ? state.best_[v]->path.ToString().c_str()
+                                      : "<none>",
+                       state.best_[v] ? static_cast<int>(state.best_[v]->rel)
+                                      : -1);
+        }
+#endif
+        any_change = true;
+        if (state.first_change_round_[v] < 0) {
+          state.first_change_round_[v] = round;
+        }
+        need_export[v] = 1;
+      }
+    }
+    if (!any_change) break;
+  }
+  state.rounds_ = round;
+}
+
+void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
+                                      RouteTransform* transform,
+                                      std::vector<std::uint8_t>& dirty) const {
+  const Asn u_asn = graph_.AsnAt(u);
+  const bool is_origin = (u_asn == state.announcement_.origin);
+  const auto neighbors = graph_.NeighborsOf(u_asn);
+  const std::optional<Route>& best = state.best_[u];
+
+  for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
+    const Asn v_asn = neighbors[slot].asn;
+    const Relation v_rel = neighbors[slot].rel;
+    const std::size_t v = graph_.IndexOf(v_asn);
+    const std::uint32_t back_slot = SlotOf(v, u_asn);
+
+    // Build the candidate export.
+    bool have_route = false;
+    AsPath path;
+    // Effective class of the exported route: the origin's own prefix ranks
+    // like a customer route; otherwise the best route's effective class.
+    Relation out_class = Relation::kCustomer;
+    if (is_origin) {
+      path = AsPath::Origin(
+          u_asn, state.announcement_.prepends.PadsFor(u_asn, v_asn));
+      have_route = true;
+    } else if (best.has_value()) {
+      // Never send a route back through an AS already on it (sender-side
+      // loop avoidance; the receiver would discard it anyway).
+      if (!best->path.Contains(v_asn)) {
+        path = best->path;
+        path.Prepend(u_asn,
+                     state.announcement_.prepends.PadsFor(u_asn, v_asn));
+        out_class = best->effective;
+        have_route = true;
+      }
+    }
+
+    bool send = false;
+    if (have_route) {
+      const bool policy_ok =
+          is_origin ? MayExportOwn(v_rel) : MayExport(out_class, v_rel);
+      ExportAction action = ExportAction::kDefault;
+      if (transform != nullptr) {
+        action = transform->OnExport(u_asn, v_asn, v_rel, out_class, path);
+      }
+      send = (action == ExportAction::kForce) ||
+             (action == ExportAction::kDefault && policy_ok);
+    }
+
+    auto& slot_route = state.rib_in_[v][back_slot];
+    if (send) {
+      // Receiver-side loop detection: a path containing the receiver is
+      // discarded and invalidates any previous route from this neighbor.
+      if (path.Contains(v_asn)) {
+        if (slot_route.has_value()) {
+          slot_route.reset();
+          dirty[v] = 1;
+        }
+        state.sent_[u][slot] = 1;
+        continue;
+      }
+      Route route;
+      route.path = std::move(path);
+      route.learned_from = u_asn;
+      route.rel = topo::Reverse(v_rel);  // u's role relative to v
+      // Sibling links transport the underlying class; real boundaries
+      // re-classify by the business relationship.
+      route.effective = (route.rel == Relation::kSibling)
+                            ? out_class
+                            : route.rel;
+      if (!slot_route.has_value() || !(*slot_route == route)) {
+        slot_route = std::move(route);
+        dirty[v] = 1;
+      }
+      state.sent_[u][slot] = 1;
+    } else {
+      // Withdraw if we previously advertised.
+      if (state.sent_[u][slot]) {
+        state.sent_[u][slot] = 0;
+        if (slot_route.has_value()) {
+          slot_route.reset();
+          dirty[v] = 1;
+        }
+      }
+    }
+  }
+}
+
+bool PropagationSimulator::Decide(PropagationResult& state, std::size_t u,
+                                  RouteTransform* transform) const {
+  const Asn u_asn = graph_.AsnAt(u);
+  // The origin always prefers its own prefix; learned routes for it are
+  // loop-discarded at delivery anyway.
+  if (u_asn == state.announcement_.origin) return false;
+
+  const std::optional<Route>* best = nullptr;
+  for (const auto& candidate : state.rib_in_[u]) {
+    if (!candidate.has_value()) continue;
+    if (best == nullptr || BetterRoute(*candidate, **best)) {
+      best = &candidate;
+    }
+  }
+  std::optional<Route> chosen = best ? *best : std::optional<Route>{};
+  if (transform != nullptr) {
+    if (auto overridden =
+            transform->OverrideBest(u_asn, state.rib_in_[u], chosen)) {
+      chosen = std::move(overridden);
+    }
+  }
+  if (chosen == state.best_[u]) return false;
+  state.best_[u] = std::move(chosen);
+  return true;
+}
+
+}  // namespace asppi::bgp

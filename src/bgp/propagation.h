@@ -1,0 +1,131 @@
+// PropagationSimulator: synchronous-round path-vector simulation of BGP
+// update propagation and the decision process over a relationship-annotated
+// AS graph (paper §IV-B).
+//
+// Semantics:
+//   * One prefix per run, announced by `Announcement::origin` with
+//     per-neighbor prepending (λ copies of its own ASN).
+//   * Each AS keeps an Adj-RIB-In slot per neighbor; its best route is chosen
+//     by the decision process in route.h (local-pref class, then path length
+//     including prepends, then lowest neighbor ASN).
+//   * Exports follow the valley-free rule in policy.h, with each exporter
+//     prepending its own ASN PadsFor(exporter, neighbor) times. An optional
+//     RouteTransform can rewrite or force/suppress any export — this is the
+//     attacker hook.
+//   * Receiver-side loop detection: a delivered path containing the
+//     receiver's ASN invalidates that neighbor's slot.
+//   * Withdrawals are explicit: when an AS's best route change makes a
+//     previous export no longer policy-legal (or no longer existent), the
+//     neighbor's slot is cleared.
+//
+// Rounds advance synchronously (all round-r exports are decided upon in
+// round r+1), so an AS's recorded change round is its hop-time from the event
+// source. Gao-Rexford policies guarantee convergence; a generous round bound
+// guards the attacker-perturbed runs.
+//
+// Results are resumable: Resume() continues from a converged state after the
+// attacker's export behaviour changes, re-announcing from the attacker only.
+// This both matches reality (the victim's announcement is long stable when
+// the attack starts) and yields per-AS pollution times for the detection-
+// latency analysis (paper Fig. 14).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/transform.h"
+#include "topology/as_graph.h"
+
+namespace asppi::bgp {
+
+struct Announcement {
+  Asn origin = 0;
+  // Prepending behaviour for every AS (origin λ and intermediary prepending).
+  PrependPolicy prepends;
+};
+
+class PropagationSimulator;
+
+// Converged routing state for one announcement. Also the warm-start input to
+// PropagationSimulator::Resume().
+class PropagationResult {
+ public:
+  // Best route of `asn` (nullopt for the origin itself and for ASes with no
+  // route).
+  const std::optional<Route>& BestAt(Asn asn) const;
+  // Round of the *first* best-route change of `asn` during the run that
+  // produced this result (-1 if its best never changed in that run).
+  int FirstChangeRound(Asn asn) const;
+  // Total rounds until convergence of the producing run.
+  int Rounds() const { return rounds_; }
+
+  const Announcement& GetAnnouncement() const { return announcement_; }
+  const topo::AsGraph& Graph() const { return *graph_; }
+
+  // ASes (other than `x` and the origin) whose best path traverses AS `x`.
+  std::vector<Asn> AsesTraversing(Asn x) const;
+  // |AsesTraversing(x)| / (NumAses - 2): the paper's pollution metric
+  // ("% of paths traversing attacker").
+  double FractionTraversing(Asn x) const;
+  // Number of ASes that have any route at all (origin excluded).
+  std::size_t ReachableCount() const;
+
+ private:
+  friend class PropagationSimulator;
+
+  const topo::AsGraph* graph_ = nullptr;
+  Announcement announcement_;
+  int rounds_ = 0;
+  // All vectors indexed by the graph's dense AS index.
+  std::vector<std::optional<Route>> best_;
+  std::vector<int> first_change_round_;
+  // Full Adj-RIB-In: rib_in_[as][slot] is the route last received from the
+  // neighbor at `slot` of that AS's adjacency list.
+  std::vector<std::vector<std::optional<Route>>> rib_in_;
+  // sent_[as][slot]: does `as` currently have an active advertisement to the
+  // neighbor at `slot`?
+  std::vector<std::vector<std::uint8_t>> sent_;
+};
+
+class PropagationSimulator {
+ public:
+  explicit PropagationSimulator(const topo::AsGraph& graph);
+
+  // Full propagation from scratch. `transform` (optional, non-owning) hooks
+  // every export.
+  PropagationResult Run(const Announcement& announcement,
+                        RouteTransform* transform = nullptr) const;
+
+  // Continues from `prior` (typically an attack-free converged state) with a
+  // new transform in effect; only `dirty` ASes re-evaluate their exports
+  // initially. Change rounds are counted from the resume point.
+  PropagationResult Resume(const PropagationResult& prior,
+                           RouteTransform* transform,
+                           const std::vector<Asn>& dirty) const;
+
+  const topo::AsGraph& Graph() const { return graph_; }
+
+ private:
+  void RunLoop(PropagationResult& state, RouteTransform* transform,
+               std::vector<std::uint8_t>& need_export) const;
+  // Exports u's best (or origin announcement) to all neighbors; marks
+  // receivers whose slots changed in `dirty`.
+  void ExportFrom(PropagationResult& state, std::size_t u,
+                  RouteTransform* transform,
+                  std::vector<std::uint8_t>& dirty) const;
+  // Recomputes u's best from its Adj-RIB-In. Returns true if it changed.
+  bool Decide(PropagationResult& state, std::size_t u,
+              RouteTransform* transform) const;
+  // Slot of neighbor `to` in `from`'s adjacency list.
+  std::uint32_t SlotOf(std::size_t from, Asn to) const;
+
+  static constexpr int kMaxRounds = 10000;
+
+  const topo::AsGraph& graph_;
+  // Per-AS sorted (neighbor ASN, slot) pairs for O(log d) delivery.
+  std::vector<std::vector<std::pair<Asn, std::uint32_t>>> slot_index_;
+};
+
+}  // namespace asppi::bgp

@@ -1,0 +1,20 @@
+#include "bgp/route.h"
+
+namespace asppi::bgp {
+
+bool BetterRoute(const Route& a, const Route& b) {
+  if (a.LocalPref() != b.LocalPref()) return a.LocalPref() > b.LocalPref();
+  if (a.path.Length() != b.path.Length()) {
+    return a.path.Length() < b.path.Length();
+  }
+  return a.learned_from < b.learned_from;
+}
+
+const std::optional<Route>& BestOf(const std::optional<Route>& a,
+                                   const std::optional<Route>& b) {
+  if (!a) return b;
+  if (!b) return a;
+  return BetterRoute(*a, *b) ? a : b;
+}
+
+}  // namespace asppi::bgp

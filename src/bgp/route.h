@@ -1,0 +1,40 @@
+// A candidate route in an AS's Adj-RIB-In, and the BGP decision process over
+// candidates.
+#pragma once
+
+#include <optional>
+
+#include "bgp/as_path.h"
+#include "bgp/policy.h"
+
+namespace asppi::bgp {
+
+struct Route {
+  AsPath path;          // as received: front() is the neighbor's ASN
+  Asn learned_from = 0;  // the neighbor that sent it
+  Relation rel = Relation::kPeer;  // role of learned_from relative to self
+
+  // Effective routing class. Equal to `rel` for routes that crossed a real
+  // inter-domain boundary; for sibling-learned routes it is the class the
+  // *sibling* holds the route under (siblings act as one composite AS —
+  // Gao 2000). Blanket-preferring sibling routes instead creates dispute
+  // wheels and divergence; class transport keeps the system equivalent to
+  // Gao-Rexford on the sibling-merged quotient graph, which converges.
+  Relation effective = Relation::kPeer;
+
+  int LocalPref() const { return LocalPrefOf(effective); }
+
+  bool operator==(const Route&) const = default;
+};
+
+// The decision process (paper §IV-B): highest local-pref class first
+// (customer > sibling > peer > provider), then shortest AS-path *including
+// prepended copies*, then lowest neighbor ASN as a deterministic tiebreak.
+// Returns true if `a` is strictly better than `b`.
+bool BetterRoute(const Route& a, const Route& b);
+
+// Best of an optional pair (used when folding over candidates).
+const std::optional<Route>& BestOf(const std::optional<Route>& a,
+                                   const std::optional<Route>& b);
+
+}  // namespace asppi::bgp

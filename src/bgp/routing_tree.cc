@@ -1,0 +1,204 @@
+#include "bgp/routing_tree.h"
+
+#include <queue>
+
+#include "util/check.h"
+
+namespace asppi::bgp {
+
+namespace {
+
+using topo::AsGraph;
+using topo::Relation;
+
+struct QueueItem {
+  std::size_t dist;
+  std::size_t node;
+  bool operator>(const QueueItem& other) const {
+    if (dist != other.dist) return dist > other.dist;
+    return node > other.node;
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+}  // namespace
+
+const char* RoutingTree::ViaName(Via via) {
+  switch (via) {
+    case Via::kNone:
+      return "none";
+    case Via::kSelf:
+      return "self";
+    case Via::kCustomer:
+      return "customer";
+    case Via::kPeer:
+      return "peer";
+    case Via::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+RoutingTree::RoutingTree(const topo::AsGraph& graph,
+                         const Announcement& announcement)
+    : graph_(graph), announcement_(announcement) {
+  ASPPI_CHECK(graph.HasAs(announcement.origin));
+  for (topo::Asn asn : graph.Ases()) {
+    for (const topo::AsGraph::Neighbor& nb : graph.NeighborsOf(asn)) {
+      ASPPI_CHECK(nb.rel != Relation::kSibling)
+          << "RoutingTree does not support sibling links";
+    }
+  }
+  const std::size_t n = graph.NumAses();
+  entries_.resize(n);
+  const std::size_t origin = graph.IndexOf(announcement.origin);
+
+  auto pads = [&](Asn exporter, Asn neighbor) {
+    return static_cast<std::size_t>(
+        announcement_.prepends.PadsFor(exporter, neighbor));
+  };
+
+  // --- Phase 1: customer routes (shortest uphill distances) ---------------
+  // dist_c[u] = length of the shortest customer-learned path at u.
+  std::vector<std::size_t> dist_c(n, kInf);
+  std::vector<Asn> parent_c(n, 0);
+  {
+    MinQueue queue;
+    // The origin exports its own prefix (with per-neighbor prepending) to its
+    // providers; conceptually dist_c[origin] = 0.
+    dist_c[origin] = 0;
+    queue.push({0, origin});
+    while (!queue.empty()) {
+      auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist_c[u]) continue;  // stale entry
+      const Asn u_asn = graph.AsnAt(u);
+      for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
+        // Uphill: u exports to its providers.
+        if (nb.rel != Relation::kProvider) continue;
+        const std::size_t v = graph.IndexOf(nb.asn);
+        const std::size_t nd = d + pads(u_asn, nb.asn);
+        if (nd < dist_c[v]) {
+          dist_c[v] = nd;
+          parent_c[v] = u_asn;
+          queue.push({nd, v});
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: peer routes (one peer edge from a customer-route AS) ------
+  std::vector<std::size_t> dist_p(n, kInf);
+  std::vector<Asn> parent_p(n, 0);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (dist_c[w] == kInf) continue;  // w's best is not a customer route
+    const Asn w_asn = graph.AsnAt(w);
+    for (const AsGraph::Neighbor& nb : graph.NeighborsOf(w_asn)) {
+      if (nb.rel != Relation::kPeer) continue;
+      const std::size_t v = graph.IndexOf(nb.asn);
+      const std::size_t nd = dist_c[w] + pads(w_asn, nb.asn);
+      if (nd < dist_p[v] || (nd == dist_p[v] && w_asn < parent_p[v])) {
+        dist_p[v] = nd;
+        parent_p[v] = w_asn;
+      }
+    }
+  }
+
+  // Fold phases 1-2 into provisional best entries.
+  for (std::size_t u = 0; u < n; ++u) {
+    if (u == origin) {
+      entries_[u] = {Via::kSelf, 0, 0};
+    } else if (dist_c[u] != kInf) {
+      entries_[u] = {Via::kCustomer, dist_c[u], parent_c[u]};
+    } else if (dist_p[u] != kInf) {
+      entries_[u] = {Via::kPeer, dist_p[u], parent_p[u]};
+    }
+  }
+
+  // --- Phase 3: provider routes (downhill propagation of best routes) -----
+  // Multi-source Dijkstra over provider→customer edges. Sources: every AS
+  // already covered (it exports its best to its customers). Relaxation may
+  // chain through provider-route-only ASes (Provider-Customer* suffix).
+  {
+    std::vector<std::size_t> dist_d(n, kInf);
+    std::vector<Asn> parent_d(n, 0);
+    MinQueue queue;
+    auto export_dist = [&](std::size_t u) -> std::size_t {
+      // What u's best looks like to its customers.
+      if (entries_[u].via == Via::kSelf) return 0;
+      if (entries_[u].via != Via::kNone) return entries_[u].length;
+      return dist_d[u];
+    };
+    for (std::size_t u = 0; u < n; ++u) {
+      if (entries_[u].via != Via::kNone) queue.push({export_dist(u), u});
+    }
+    while (!queue.empty()) {
+      auto [d, u] = queue.top();
+      queue.pop();
+      if (d != export_dist(u)) continue;  // stale
+      const Asn u_asn = graph.AsnAt(u);
+      for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
+        if (nb.rel != Relation::kCustomer) continue;
+        const std::size_t v = graph.IndexOf(nb.asn);
+        const std::size_t nd = d + pads(u_asn, nb.asn);
+        // Only ASes without customer/peer routes use provider routes.
+        if (entries_[v].via != Via::kNone) continue;
+        if (nd < dist_d[v]) {
+          dist_d[v] = nd;
+          parent_d[v] = u_asn;
+          queue.push({nd, v});
+        }
+      }
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+      if (entries_[u].via == Via::kNone && dist_d[u] != kInf) {
+        entries_[u] = {Via::kProvider, dist_d[u], parent_d[u]};
+      }
+    }
+  }
+}
+
+const RoutingTree::Entry& RoutingTree::At(Asn asn) const {
+  return entries_[graph_.IndexOf(asn)];
+}
+
+AsPath RoutingTree::PathFrom(Asn asn) const {
+  const Entry& entry = At(asn);
+  if (entry.via == Via::kNone || entry.via == Via::kSelf) return AsPath{};
+  // Walk the parent chain down to the origin, then assemble with prepends.
+  std::vector<Asn> chain;  // [parent(asn), parent(parent), ..., origin]
+  Asn cur = entry.parent;
+  while (true) {
+    chain.push_back(cur);
+    const Entry& e = At(cur);
+    if (e.via == Via::kSelf) break;
+    ASPPI_CHECK(e.via != Via::kNone);
+    cur = e.parent;
+    ASPPI_CHECK_LE(chain.size(), graph_.NumAses()) << "parent cycle";
+  }
+  // chain.front() is asn's direct neighbor; chain.back() is the origin.
+  // Build from the far end (origin) toward asn, applying each exporter's
+  // prepend count toward its receiver.
+  AsPath path;
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    Asn hop = chain[i];
+    Asn receiver = (i == 0) ? asn : chain[i - 1];
+    path.Prepend(hop, announcement_.prepends.PadsFor(hop, receiver));
+  }
+  return path;
+}
+
+std::size_t RoutingTree::ReachableCount() const {
+  std::size_t count = 0;
+  for (const Entry& e : entries_) {
+    if (e.via == Via::kCustomer || e.via == Via::kPeer ||
+        e.via == Via::kProvider) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace asppi::bgp

@@ -1,0 +1,60 @@
+// RoutingTree: the paper's Figure 2 algorithm — fast computation of every
+// AS's best route class and path length toward one origin under Gao-Rexford
+// policies, via three phases:
+//
+//   1. customer routes: shortest uphill (customer→provider) distances from
+//      the origin (Dijkstra; prepend counts are the edge weights),
+//   2. peer routes: one peer edge from any AS whose best is a customer route,
+//   3. provider routes: shortest downhill propagation of each covered AS's
+//      best route to its customers.
+//
+// This engine is ~an order of magnitude faster than the full path-vector
+// PropagationSimulator but cannot express mid-path attacker transforms; the
+// library uses it for attack-free baselines and as a cross-check oracle
+// (tests assert both engines agree on class and length). Sibling links are
+// not supported here — use PropagationSimulator for graphs containing them.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::bgp {
+
+class RoutingTree {
+ public:
+  enum class Via : std::uint8_t { kNone, kSelf, kCustomer, kPeer, kProvider };
+
+  struct Entry {
+    Via via = Via::kNone;
+    // Length of the AS path as stored at this AS (prepends included).
+    std::size_t length = 0;
+    // Neighbor the route was learned from (0 for kSelf/kNone).
+    Asn parent = 0;
+  };
+
+  // Computes routes for `announcement` on `graph`. Aborts if the graph
+  // contains sibling links (unsupported by the three-phase decomposition).
+  RoutingTree(const topo::AsGraph& graph, const Announcement& announcement);
+
+  const Entry& At(Asn asn) const;
+  // Reconstructs the full AS path (with prepends) as stored at `asn`;
+  // empty path if the AS has no route or is the origin.
+  AsPath PathFrom(Asn asn) const;
+
+  // Number of ASes with a route (origin excluded).
+  std::size_t ReachableCount() const;
+
+  static const char* ViaName(Via via);
+
+ private:
+  static constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+  const topo::AsGraph& graph_;
+  Announcement announcement_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace asppi::bgp

@@ -1,0 +1,57 @@
+// Export-time route manipulation hooks.
+//
+// A RouteTransform sees every (exporter → neighbor) announcement just before
+// it leaves the exporter, after the exporter's own prepending has been
+// applied. This is exactly the power a malicious BGP speaker has: it can
+// rewrite the AS-PATH it sends and choose whom to send to — and nothing more.
+// The ASPP-interception attacker (attack/) is implemented as one of these.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "bgp/as_path.h"
+#include "bgp/policy.h"
+#include "bgp/route.h"
+
+namespace asppi::bgp {
+
+enum class ExportAction {
+  kDefault,   // follow the normal valley-free export policy
+  kForce,     // export even if policy would suppress (policy violation)
+  kSuppress,  // do not export even if policy would allow
+};
+
+class RouteTransform {
+ public:
+  virtual ~RouteTransform() = default;
+
+  // Called for each potential export. `learned_from` is the relationship
+  // class the route was learned through (kCustomer for the origin's own
+  // prefix), `to` is the neighbor being exported to. `path` already carries
+  // the exporter's own prepends and may be modified in place.
+  virtual ExportAction OnExport(Asn exporter, Asn to, Relation to_rel,
+                                Relation learned_from, AsPath& path) = 0;
+
+  // Optional hook into the decision process at `asn`: `candidates` is the
+  // Adj-RIB-In (one optional slot per neighbor) and `policy_best` what the
+  // normal decision process chose. Return a different route to adopt it
+  // instead; nullopt keeps the default. A policy-violating interceptor uses
+  // this to pick the received route whose *stripped* form is shortest rather
+  // than the policy-preferred one.
+  virtual std::optional<Route> OverrideBest(
+      Asn /*asn*/, std::span<const std::optional<Route>> /*candidates*/,
+      const std::optional<Route>& /*policy_best*/) {
+    return std::nullopt;
+  }
+};
+
+// A transform that does nothing (base case / control runs).
+class IdentityTransform final : public RouteTransform {
+ public:
+  ExportAction OnExport(Asn, Asn, Relation, Relation, AsPath&) override {
+    return ExportAction::kDefault;
+  }
+};
+
+}  // namespace asppi::bgp

@@ -1,0 +1,72 @@
+#include "data/behavior.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asppi::data {
+
+AsppBehaviorModel::AsppBehaviorModel(const BehaviorParams& params,
+                                     std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  ASPPI_CHECK_GE(params.lambda2_mass + params.lambda3_mass, 0.0);
+  ASPPI_CHECK_LE(params.lambda2_mass + params.lambda3_mass, 1.0);
+}
+
+int AsppBehaviorModel::SampleLambda(util::Rng& rng) const {
+  if (!rng.Chance(params_.prepend_prob)) return 1;
+  const double roll = rng.Uniform();
+  if (roll < params_.lambda2_mass) return 2;
+  if (roll < params_.lambda2_mass + params_.lambda3_mass) return 3;
+  int lambda = 4;
+  while (lambda < params_.max_lambda && rng.Chance(params_.tail_continue)) {
+    ++lambda;
+  }
+  return lambda;
+}
+
+int AsppBehaviorModel::BuildPolicy(const topo::AsGraph& graph, Asn origin,
+                                   util::Rng& rng,
+                                   bgp::PrependPolicy& out) const {
+  const int lambda = SampleLambda(rng);
+  if (lambda > 1) {
+    out.SetDefault(origin, lambda);
+    // Per-neighbor differentiation: one preferred provider receives fewer
+    // copies so it attracts the traffic (the legitimate pattern the detector
+    // must not flag).
+    if (rng.Chance(params_.per_neighbor_prob)) {
+      std::vector<Asn> providers = graph.Providers(origin);
+      if (!providers.empty()) {
+        Asn preferred = rng.Pick(providers);
+        out.SetForNeighbor(origin, preferred,
+                           1 + static_cast<int>(rng.Below(
+                                   static_cast<std::uint64_t>(lambda))));
+      }
+    }
+  }
+  // Sparse intermediary prepending by transit ASes.
+  if (params_.intermediary_prob > 0.0) {
+    // Sampling every AS per prefix is wasteful; sample a handful.
+    const std::size_t n = graph.NumAses();
+    const double expected = params_.intermediary_prob * static_cast<double>(n);
+    std::size_t count = static_cast<std::size_t>(expected);
+    if (rng.Chance(expected - static_cast<double>(count))) ++count;
+    for (std::size_t i = 0; i < count; ++i) {
+      Asn padder = graph.AsnAt(rng.Below(n));
+      if (padder == origin) continue;
+      out.SetDefault(padder, params_.intermediary_pads);
+    }
+  }
+  return lambda;
+}
+
+void AsppBehaviorModel::BuildBackupPolicy(const topo::AsGraph& graph,
+                                          Asn origin, int primary_lambda,
+                                          bgp::PrependPolicy& out) const {
+  (void)graph;
+  out.SetDefault(origin,
+                 std::min(params_.max_lambda,
+                          primary_lambda + params_.backup_extra_pads));
+}
+
+}  // namespace asppi::data

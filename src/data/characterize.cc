@@ -1,0 +1,87 @@
+#include "data/characterize.h"
+
+#include <algorithm>
+#include <map>
+
+namespace asppi::data {
+
+int LongestRun(const bgp::AsPath& path) {
+  int best = 0;
+  int run = 0;
+  Asn prev = 0;
+  bool first = true;
+  for (Asn hop : path.Hops()) {
+    if (!first && hop == prev) {
+      ++run;
+    } else {
+      run = 1;
+    }
+    best = std::max(best, run);
+    prev = hop;
+    first = false;
+  }
+  return best;
+}
+
+std::vector<double> PrependFractionPerMonitor(const RibSnapshot& snapshot) {
+  std::vector<double> fractions;
+  for (const auto& [monitor, table] : snapshot.tables) {
+    if (table.empty()) continue;
+    std::size_t prepended = 0;
+    for (const auto& [prefix, path] : table) {
+      if (path.HasPrepending()) ++prepended;
+    }
+    fractions.push_back(static_cast<double>(prepended) /
+                        static_cast<double>(table.size()));
+  }
+  return fractions;
+}
+
+std::vector<double> PrependFractionPerMonitor(const RibSnapshot& snapshot,
+                                              const std::vector<Asn>& subset) {
+  RibSnapshot filtered;
+  for (Asn monitor : subset) {
+    auto it = snapshot.tables.find(monitor);
+    if (it != snapshot.tables.end()) filtered.tables.insert(*it);
+  }
+  return PrependFractionPerMonitor(filtered);
+}
+
+std::vector<double> PrependFractionPerMonitorUpdates(
+    const std::vector<Update>& updates) {
+  std::map<Asn, std::pair<std::size_t, std::size_t>> counts;  // total, padded
+  for (const Update& update : updates) {
+    if (update.withdraw) continue;
+    auto& [total, padded] = counts[update.monitor];
+    ++total;
+    if (update.path.HasPrepending()) ++padded;
+  }
+  std::vector<double> fractions;
+  for (const auto& [monitor, pair] : counts) {
+    if (pair.first == 0) continue;
+    fractions.push_back(static_cast<double>(pair.second) /
+                        static_cast<double>(pair.first));
+  }
+  return fractions;
+}
+
+util::Histogram PrependRunHistogram(const RibSnapshot& snapshot) {
+  util::Histogram histogram;
+  for (const auto& [monitor, table] : snapshot.tables) {
+    for (const auto& [prefix, path] : table) {
+      if (path.HasPrepending()) histogram.Add(LongestRun(path));
+    }
+  }
+  return histogram;
+}
+
+util::Histogram PrependRunHistogram(const std::vector<Update>& updates) {
+  util::Histogram histogram;
+  for (const Update& update : updates) {
+    if (update.withdraw) continue;
+    if (update.path.HasPrepending()) histogram.Add(LongestRun(update.path));
+  }
+  return histogram;
+}
+
+}  // namespace asppi::data

@@ -1,0 +1,32 @@
+// Characterization of ASPP usage in routing data (paper §VI-A, Figs. 5–6).
+#pragma once
+
+#include <vector>
+
+#include "data/measurement.h"
+#include "util/stats.h"
+
+namespace asppi::data {
+
+// Per-monitor fraction of prefixes whose best route carries prepending —
+// the samples behind the paper's Fig. 5 CDF.
+std::vector<double> PrependFractionPerMonitor(const RibSnapshot& snapshot);
+// Same restricted to a subset of monitors (e.g. tier-1 only).
+std::vector<double> PrependFractionPerMonitor(const RibSnapshot& snapshot,
+                                              const std::vector<Asn>& subset);
+
+// Fraction of updates (announcements) carrying prepending, per monitor.
+std::vector<double> PrependFractionPerMonitorUpdates(
+    const std::vector<Update>& updates);
+
+// Histogram of the prepend run length (number of duplicated ASN copies) over
+// all prepended routes in the snapshot / update stream — paper Fig. 6. Keyed
+// by the longest consecutive run of a single ASN in the path (λ for
+// source-prepended routes).
+util::Histogram PrependRunHistogram(const RibSnapshot& snapshot);
+util::Histogram PrependRunHistogram(const std::vector<Update>& updates);
+
+// Longest consecutive run of any single ASN in a path.
+int LongestRun(const bgp::AsPath& path);
+
+}  // namespace asppi::data

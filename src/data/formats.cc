@@ -1,0 +1,120 @@
+#include "data/formats.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace asppi::data {
+
+void WriteRib(const RibSnapshot& snapshot, std::ostream& os) {
+  os << "# asppi rib format: monitor|prefix|as-path\n";
+  for (const auto& [monitor, table] : snapshot.tables) {
+    for (const auto& [prefix, path] : table) {
+      os << monitor << "|" << prefix.ToString() << "|" << path.ToString()
+         << "\n";
+    }
+  }
+}
+
+void WriteRibFile(const RibSnapshot& snapshot, const std::string& path) {
+  std::ofstream os(path);
+  WriteRib(snapshot, os);
+}
+
+std::string ReadRib(std::istream& is, RibSnapshot& out) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = util::Split(std::string(trimmed), '|');
+    if (parts.size() != 3) {
+      return util::Format("line %zu: expected 3 fields", lineno);
+    }
+    auto monitor = util::ParseUint(parts[0]);
+    auto prefix = Prefix::Parse(parts[1]);
+    auto path = bgp::AsPath::FromString(parts[2]);
+    if (!monitor || !prefix || !path || path->Empty()) {
+      return util::Format("line %zu: malformed rib entry", lineno);
+    }
+    out.tables[static_cast<Asn>(*monitor)][*prefix] = std::move(*path);
+  }
+  return "";
+}
+
+std::string ReadRibFile(const std::string& path, RibSnapshot& out) {
+  std::ifstream is(path);
+  if (!is) return util::Format("cannot open '%s'", path.c_str());
+  return ReadRib(is, out);
+}
+
+void WriteUpdates(const std::vector<Update>& updates, std::ostream& os) {
+  os << "# asppi update format: seq|monitor|A|prefix|as-path or "
+        "seq|monitor|W|prefix\n";
+  for (const Update& update : updates) {
+    os << update.sequence << "|" << update.monitor << "|"
+       << (update.withdraw ? "W" : "A") << "|" << update.prefix.ToString();
+    if (!update.withdraw) os << "|" << update.path.ToString();
+    os << "\n";
+  }
+}
+
+void WriteUpdatesFile(const std::vector<Update>& updates,
+                      const std::string& path) {
+  std::ofstream os(path);
+  WriteUpdates(updates, os);
+}
+
+std::string ReadUpdates(std::istream& is, std::vector<Update>& out) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = util::Split(std::string(trimmed), '|');
+    if (parts.size() < 4) {
+      return util::Format("line %zu: expected >= 4 fields", lineno);
+    }
+    auto seq = util::ParseUint(parts[0]);
+    auto monitor = util::ParseUint(parts[1]);
+    auto prefix = Prefix::Parse(parts[3]);
+    if (!seq || !monitor || !prefix) {
+      return util::Format("line %zu: malformed update", lineno);
+    }
+    Update update;
+    update.sequence = *seq;
+    update.monitor = static_cast<Asn>(*monitor);
+    update.prefix = *prefix;
+    if (parts[2] == "W") {
+      if (parts.size() != 4) {
+        return util::Format("line %zu: withdrawal has a path", lineno);
+      }
+      update.withdraw = true;
+    } else if (parts[2] == "A") {
+      if (parts.size() != 5) {
+        return util::Format("line %zu: announcement needs a path", lineno);
+      }
+      auto path = bgp::AsPath::FromString(parts[4]);
+      if (!path || path->Empty()) {
+        return util::Format("line %zu: malformed path", lineno);
+      }
+      update.path = std::move(*path);
+    } else {
+      return util::Format("line %zu: unknown update type '%s'", lineno,
+                          parts[2].c_str());
+    }
+    out.push_back(std::move(update));
+  }
+  return "";
+}
+
+std::string ReadUpdatesFile(const std::string& path, std::vector<Update>& out) {
+  std::ifstream is(path);
+  if (!is) return util::Format("cannot open '%s'", path.c_str());
+  return ReadUpdates(is, out);
+}
+
+}  // namespace asppi::data

@@ -1,0 +1,30 @@
+// Text formats for RIB snapshots and update streams.
+//
+//   .rib:  monitor|prefix|as-path       (one best route per line)
+//   .upd:  seq|monitor|A|prefix|as-path (announcement)
+//          seq|monitor|W|prefix         (withdrawal)
+//
+// '#' lines are comments. AS paths are space-separated ASNs, prepends
+// included, most-recent hop first (RouteViews convention).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/measurement.h"
+
+namespace asppi::data {
+
+void WriteRib(const RibSnapshot& snapshot, std::ostream& os);
+void WriteRibFile(const RibSnapshot& snapshot, const std::string& path);
+// Returns "" on success, else an error message.
+std::string ReadRib(std::istream& is, RibSnapshot& out);
+std::string ReadRibFile(const std::string& path, RibSnapshot& out);
+
+void WriteUpdates(const std::vector<Update>& updates, std::ostream& os);
+void WriteUpdatesFile(const std::vector<Update>& updates,
+                      const std::string& path);
+std::string ReadUpdates(std::istream& is, std::vector<Update>& out);
+std::string ReadUpdatesFile(const std::string& path, std::vector<Update>& out);
+
+}  // namespace asppi::data

@@ -1,0 +1,57 @@
+#include "data/prefix.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace asppi::data {
+
+std::string Prefix::ToString() const {
+  return util::Format("%u.%u.%u.%u/%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                      (ip >> 8) & 0xff, ip & 0xff, length);
+}
+
+std::optional<Prefix> Prefix::Parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  auto len = util::ParseUint(text.substr(slash + 1));
+  if (!len || *len > 32) return std::nullopt;
+  std::vector<std::string> octets = util::Split(text.substr(0, slash), '.');
+  if (octets.size() != 4) return std::nullopt;
+  std::uint32_t ip = 0;
+  for (const std::string& octet : octets) {
+    auto v = util::ParseUint(octet);
+    if (!v || *v > 255) return std::nullopt;
+    ip = (ip << 8) | static_cast<std::uint32_t>(*v);
+  }
+  Prefix p{ip, static_cast<std::uint8_t>(*len)};
+  if (p.Canonical().ip != p.ip) return std::nullopt;
+  return p;
+}
+
+Prefix Prefix::Canonical() const {
+  Prefix out = *this;
+  if (length == 0) {
+    out.ip = 0;
+  } else {
+    out.ip &= ~((1u << (32 - length)) - 1u) | 0u;
+    if (length == 32) out.ip = ip;
+  }
+  return out;
+}
+
+bool Prefix::ContainsAddress(std::uint32_t address) const {
+  if (length == 0) return true;
+  std::uint32_t mask = length == 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1u);
+  return (address & mask) == (ip & mask);
+}
+
+Prefix SyntheticPrefix(std::size_t index) {
+  // Distinct /16-aligned networks starting at 10.0.0.0, with prefix lengths
+  // varying 16..24 (length ≥ 16 keeps them disjoint).
+  std::uint8_t length = static_cast<std::uint8_t>(16 + (index % 9));
+  std::uint32_t ip = 0x0A000000u + (static_cast<std::uint32_t>(index) << 16);
+  Prefix p{ip, length};
+  return p.Canonical();
+}
+
+}  // namespace asppi::data

@@ -1,0 +1,28 @@
+// IPv4 prefix type used by the measurement layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace asppi::data {
+
+struct Prefix {
+  std::uint32_t ip = 0;  // network byte-significance: 69.171.224.0 = 0x45ABE000
+  std::uint8_t length = 24;
+
+  // "69.171.224.0/20"
+  std::string ToString() const;
+  static std::optional<Prefix> Parse(const std::string& text);
+
+  // Canonicalized: host bits below `length` cleared.
+  Prefix Canonical() const;
+  bool ContainsAddress(std::uint32_t address) const;
+
+  auto operator<=>(const Prefix&) const = default;
+};
+
+// Deterministic synthetic prefix for an index (distinct, canonical, /16–/24).
+Prefix SyntheticPrefix(std::size_t index);
+
+}  // namespace asppi::data

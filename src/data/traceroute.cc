@@ -1,0 +1,80 @@
+#include "data/traceroute.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace asppi::data {
+
+void TracerouteSimulator::SetHopCount(Asn asn, int hops) {
+  hop_counts_[asn] = hops;
+}
+
+void TracerouteSimulator::SetLinkDelay(Asn a, Asn b, double ms) {
+  link_ms_[{a, b}] = ms;
+  link_ms_[{b, a}] = ms;
+}
+
+std::vector<TracerouteHop> TracerouteSimulator::Run(const AsPath& path,
+                                                    std::uint64_t seed) const {
+  std::vector<TracerouteHop> hops;
+  util::Rng rng(seed);
+  int hop_number = 1;
+  double clock_ms = local_ms_;
+
+  // Local gateway.
+  TracerouteHop local;
+  local.hop = hop_number++;
+  local.delay_ms = clock_ms;
+  local.ip = "192.168.1.1";
+  hops.push_back(local);
+
+  std::vector<Asn> sequence = path.DistinctSequence();
+  Asn previous = 0;
+  for (Asn asn : sequence) {
+    // Inter-AS link crossing.
+    double link = default_link_ms_;
+    if (previous != 0) {
+      auto it = link_ms_.find({previous, asn});
+      if (it != link_ms_.end()) link = it->second;
+    }
+    clock_ms += link;
+
+    int routers = 2;
+    if (auto it = hop_counts_.find(asn); it != hop_counts_.end()) {
+      routers = it->second;
+    }
+    for (int r = 0; r < routers; ++r) {
+      if (r > 0) clock_ms += intra_as_ms_;
+      TracerouteHop hop;
+      hop.hop = hop_number++;
+      // Small jitter so repeated hops inside an AS look like real captures.
+      hop.delay_ms = clock_ms + rng.Uniform() * 2.0;
+      hop.asn = asn;
+      hop.ip = util::Format("%u.%u.%u.%u", 10 + (asn % 200),
+                            static_cast<unsigned>((asn >> 8) & 0xff),
+                            static_cast<unsigned>(asn & 0xff),
+                            static_cast<unsigned>(r + 1));
+      hops.push_back(hop);
+    }
+    previous = asn;
+  }
+  return hops;
+}
+
+std::string TracerouteSimulator::FormatTable(
+    const std::vector<TracerouteHop>& hops) {
+  std::ostringstream os;
+  os << util::Format("%-4s %-9s %-18s %s\n", "Hop", "Delay", "IP", "ASN");
+  for (const TracerouteHop& hop : hops) {
+    std::string asn_text =
+        hop.asn == 0 ? "" : util::Format("AS%u", static_cast<unsigned>(hop.asn));
+    os << util::Format("%-4d %-9s %-18s %s\n", hop.hop,
+                       util::Format("%.0f ms", hop.delay_ms).c_str(),
+                       hop.ip.c_str(), asn_text.c_str());
+  }
+  return os.str();
+}
+
+}  // namespace asppi::data

@@ -1,0 +1,57 @@
+// Data-plane traceroute simulation over an AS-level path (paper Table I).
+//
+// The paper verifies the control-plane anomaly in the data plane with a
+// traceroute from a US AT&T customer to Facebook: hops inside each AS share
+// that AS's cumulative delay, and the Pacific crossing into AS9318/AS4134
+// shows up as a ~90 ms jump. We reproduce the same computation: an AS-level
+// path is expanded into router hops using per-AS hop counts and per-link
+// latencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.h"
+
+namespace asppi::data {
+
+using bgp::Asn;
+using bgp::AsPath;
+
+struct TracerouteHop {
+  int hop = 0;            // 1-based hop number
+  double delay_ms = 0.0;  // round-trip estimate at this hop
+  std::string ip;         // synthetic router address
+  Asn asn = 0;            // 0 = unmapped (the paper's private first hop)
+};
+
+class TracerouteSimulator {
+ public:
+  // Per-AS internal router hop count (default 2) and per-link one-way
+  // propagation delay in ms (default 5).
+  void SetHopCount(Asn asn, int hops);
+  void SetLinkDelay(Asn a, Asn b, double ms);
+  void SetDefaultLinkDelay(double ms) { default_link_ms_ = ms; }
+  void SetIntraAsDelay(double ms) { intra_as_ms_ = ms; }
+  // First-hop local gateway (192.168.1.1-style) latency.
+  void SetLocalDelay(double ms) { local_ms_ = ms; }
+
+  // Expands [src-local-net, distinct ASes of `path` ...] into router hops.
+  // `path` is given monitor-side first (prepends are collapsed — duplicated
+  // ASNs are a control-plane artifact, not extra routers).
+  std::vector<TracerouteHop> Run(const AsPath& path,
+                                 std::uint64_t seed = 1) const;
+
+  static std::string FormatTable(const std::vector<TracerouteHop>& hops);
+
+ private:
+  std::map<Asn, int> hop_counts_;
+  std::map<std::pair<Asn, Asn>, double> link_ms_;
+  double default_link_ms_ = 5.0;
+  double intra_as_ms_ = 1.0;
+  double local_ms_ = 1.0;
+};
+
+}  // namespace asppi::data

@@ -1,0 +1,90 @@
+// The ASPP-interception detection algorithm (paper Figure 4).
+//
+// Trigger: an observed route to the victim's prefix whose trailing padding
+// count decreased (λt < λt−1).
+//
+// High-confidence rule: find another currently-observed route whose core
+// (padding-stripped) path has the same length and an identical tail after the
+// first hop, but more padding. The shared tail [AS_{I−1} … AS_1] means the
+// victim announced two different padding counts along the same neighbor
+// chain — impossible under consistent per-neighbor policy — so the first hop
+// AS_I of the shorter route removed the padding: raise a high-confidence
+// alarm naming AS_I.
+//
+// Hint rules (lower confidence, need the AS-relationship graph): when no
+// exact tail match exists but another AS holds a strictly longer padded
+// route that routing policy says it should not prefer — its neighbor
+// AS_{I−1} "had" the short route and would have exported it — raise a
+// possible-attack alarm (paper's three relationship cases).
+//
+// Victim-aware rule (paper §V-B limitations): the prefix owner knows its own
+// prepend policy; a route whose padding toward some first neighbor W is
+// smaller than what the victim actually announced to W is proof of stripping
+// somewhere on that branch. This covers the attacker-adjacent-to-victim
+// corner case when a vantage point exists past the attacker.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.h"
+#include "detect/observation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::detect {
+
+struct Alarm {
+  enum class Confidence { kHigh, kPossible };
+  Confidence confidence = Confidence::kHigh;
+  // The AS accused of removing padding.
+  Asn suspect = 0;
+  // The AS whose observed route triggered the alarm.
+  Asn observer = 0;
+  // Padding copies the suspect is believed to have removed (high confidence).
+  int pads_removed = 0;
+  std::string detail;
+};
+
+struct DetectorOptions {
+  // Enables the relationship-based hint rules (requires a graph).
+  bool enable_hints = true;
+  // Enables the victim-aware rule (requires `victim_policy` in Scan).
+  bool enable_victim_policy = true;
+};
+
+class AsppDetector {
+ public:
+  using Options = DetectorOptions;
+
+  // `graph` powers the hint rules; pass nullptr to run purely on routing data.
+  explicit AsppDetector(const topo::AsGraph* graph = nullptr,
+                        const Options& options = Options());
+
+  // Full pipeline over two converged observation sets (previous and current
+  // monitor best paths). `victim_policy`, if provided, is the prefix owner's
+  // own prepend configuration (used only by the victim-aware rule).
+  std::vector<Alarm> Scan(
+      Asn victim,
+      const std::vector<std::pair<Asn, AsPath>>& previous_monitor_paths,
+      const std::vector<std::pair<Asn, AsPath>>& current_monitor_paths,
+      const bgp::PrependPolicy* victim_policy = nullptr) const;
+
+  // The inner Fig.-4 check for one observer whose padding decreased.
+  // `current` is the full current snapshot to search.
+  std::vector<Alarm> DetectOne(Asn victim, Asn observer,
+                               const AsPath& route_now,
+                               const AsPath& route_before,
+                               const RouteSnapshot& current) const;
+
+ private:
+  const topo::AsGraph* graph_;
+  Options options_;
+};
+
+// True if any alarm has high confidence.
+bool HasHighConfidence(const std::vector<Alarm>& alarms);
+// First alarm naming `suspect`, if any.
+const Alarm* FindAccusing(const std::vector<Alarm>& alarms, Asn suspect);
+
+}  // namespace asppi::detect

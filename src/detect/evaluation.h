@@ -1,0 +1,80 @@
+// End-to-end detection evaluation: simulate an ASPP interception, feed the
+// monitors' before/after routes to the detector, and measure whether (and how
+// early) the attack is caught (paper Figs. 13–14).
+#pragma once
+
+#include <vector>
+
+#include "attack/impact.h"
+#include "detect/detector.h"
+
+namespace asppi::detect {
+
+struct DetectionConfig {
+  int lambda = 3;
+  bool violate_valley_free = false;
+  // Give the detector the victim's own prepend policy (victim-aware rule).
+  bool victim_aware = false;
+  // Enable relationship-based hint rules.
+  bool hints = true;
+};
+
+struct DetectionResult {
+  // Did the attack pollute at least one AS? (Ineffective attacks produce no
+  // routing change and are undetectable-but-harmless.)
+  bool effective = false;
+  std::size_t polluted_count = 0;
+
+  bool detected = false;        // any alarm
+  bool detected_high = false;   // high-confidence alarm
+  bool suspect_correct = false;  // some alarm names the true attacker
+
+  // Synchronous round (hop-wave from the attacker) at which the first
+  // alarming monitor observed its route change; -1 if undetected.
+  int detection_round = -1;
+  // Of the eventually-polluted ASes, the fraction already polluted by
+  // `detection_round` (1.0 if undetected — everything was polluted first).
+  double polluted_before_detection = 1.0;
+};
+
+// Runs one attack instance and evaluates detection with the given monitors.
+DetectionResult EvaluateDetection(const attack::AttackSimulator& simulator,
+                                  Asn victim, Asn attacker,
+                                  const std::vector<Asn>& monitors,
+                                  const DetectionConfig& config);
+
+// Evaluates detection on an already-simulated attack (lets sweeps over
+// monitor sets reuse one expensive simulation). `config.lambda` and
+// `config.violate_valley_free` are ignored here — they are properties of
+// `outcome`.
+DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
+                                           const attack::AttackOutcome& outcome,
+                                           const std::vector<Asn>& monitors,
+                                           const DetectionConfig& config);
+
+// Convenience: detection rate over many attacker/victim pairs =
+// detected / effective (both high-confidence-only and any-alarm variants).
+struct DetectionRates {
+  std::size_t instances = 0;
+  std::size_t effective = 0;
+  std::size_t detected = 0;
+  std::size_t detected_high = 0;
+  std::size_t suspect_correct = 0;
+  double DetectionRate() const {
+    return effective == 0 ? 0.0
+                          : static_cast<double>(detected) /
+                                static_cast<double>(effective);
+  }
+  double HighConfidenceRate() const {
+    return effective == 0 ? 0.0
+                          : static_cast<double>(detected_high) /
+                                static_cast<double>(effective);
+  }
+};
+
+DetectionRates EvaluateDetectionRates(
+    const attack::AttackSimulator& simulator,
+    const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs,
+    const std::vector<Asn>& monitors, const DetectionConfig& config);
+
+}  // namespace asppi::detect

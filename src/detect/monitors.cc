@@ -1,0 +1,45 @@
+#include "detect/monitors.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace asppi::detect {
+
+std::vector<Asn> TopDegreeMonitors(const topo::AsGraph& graph,
+                                   std::size_t count) {
+  std::vector<Asn> ranked = graph.AsesByDegreeDesc();
+  if (ranked.size() > count) ranked.resize(count);
+  return ranked;
+}
+
+std::vector<Asn> RandomMonitors(const topo::AsGraph& graph, std::size_t count,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  count = std::min(count, graph.NumAses());
+  std::vector<std::size_t> picks =
+      rng.SampleWithoutReplacement(graph.NumAses(), count);
+  std::vector<Asn> out;
+  out.reserve(picks.size());
+  for (std::size_t idx : picks) out.push_back(graph.AsnAt(idx));
+  return out;
+}
+
+std::vector<Asn> Tier1FirstMonitors(const topo::AsGraph& graph,
+                                    const topo::TierInfo& tiers,
+                                    std::size_t count) {
+  std::vector<Asn> out = tiers.Tier1();
+  if (out.size() > count) {
+    out.resize(count);
+    return out;
+  }
+  for (Asn asn : graph.AsesByDegreeDesc()) {
+    if (out.size() >= count) break;
+    if (std::find(out.begin(), out.end(), asn) == out.end()) {
+      out.push_back(asn);
+    }
+  }
+  return out;
+}
+
+}  // namespace asppi::detect

@@ -1,0 +1,28 @@
+// Monitor (vantage point) selection strategies (paper §VI-C ranks ASes by
+// degree and takes the top d; alternatives provided for the placement study).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "topology/tiers.h"
+
+namespace asppi::detect {
+
+using topo::Asn;
+
+// Top-`count` ASes by decreasing degree (the paper's strategy).
+std::vector<Asn> TopDegreeMonitors(const topo::AsGraph& graph,
+                                   std::size_t count);
+
+// Uniformly random monitors (baseline for the placement comparison).
+std::vector<Asn> RandomMonitors(const topo::AsGraph& graph, std::size_t count,
+                                std::uint64_t seed);
+
+// All tier-1 ASes, then highest-degree others to reach `count`.
+std::vector<Asn> Tier1FirstMonitors(const topo::AsGraph& graph,
+                                    const topo::TierInfo& tiers,
+                                    std::size_t count);
+
+}  // namespace asppi::detect

@@ -1,0 +1,35 @@
+#include "detect/observation.h"
+
+namespace asppi::detect {
+
+RouteSnapshot RouteSnapshot::FromMonitors(
+    const std::vector<std::pair<Asn, AsPath>>& monitor_paths) {
+  RouteSnapshot snapshot;
+  for (const auto& [monitor, path] : monitor_paths) {
+    if (path.Empty()) continue;
+    snapshot.routes_.emplace(monitor, path);
+    // Suffix expansion: decompose the path into runs [(a1,c1)…(ak,ck)];
+    // the AS of run i holds the route formed by runs i+1…k.
+    const auto& hops = path.Hops();
+    std::size_t i = 0;
+    while (i < hops.size()) {
+      Asn as = hops[i];
+      std::size_t j = i;
+      while (j < hops.size() && hops[j] == as) ++j;
+      if (j < hops.size()) {
+        AsPath suffix(std::vector<Asn>(hops.begin() + static_cast<long>(j),
+                                       hops.end()));
+        snapshot.routes_.emplace(as, std::move(suffix));
+      }
+      i = j;
+    }
+  }
+  return snapshot;
+}
+
+const AsPath* RouteSnapshot::RouteOf(Asn asn) const {
+  auto it = routes_.find(asn);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace asppi::detect

@@ -1,0 +1,40 @@
+// Vantage-point observations for the detector.
+//
+// Route monitors (RouteViews/RIPE-style collectors) export the best route of
+// the ASes that peer with them. Because BGP forwarding is destination-based,
+// every *suffix* of an observed AS path is itself the best route of the AS at
+// that position — so a set of monitor paths implies routes for many more ASes
+// than there are monitors (paper §V-A: "the total ASes n are larger than the
+// number of monitors"). RouteSnapshot performs that expansion.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bgp/as_path.h"
+
+namespace asppi::detect {
+
+using bgp::Asn;
+using bgp::AsPath;
+
+// The observed routing state at one instant: AS → its (known) best path.
+class RouteSnapshot {
+ public:
+  // Builds the snapshot from monitor observations, expanding each path's
+  // suffixes: for a path [a … x <x's route>], AS x's route is everything
+  // after x's (possibly prepended) run. Conflicting suffixes for the same AS
+  // keep the first observed (converged data never conflicts).
+  static RouteSnapshot FromMonitors(
+      const std::vector<std::pair<Asn, AsPath>>& monitor_paths);
+
+  const AsPath* RouteOf(Asn asn) const;
+  const std::map<Asn, AsPath>& Routes() const { return routes_; }
+  std::size_t Size() const { return routes_.size(); }
+
+ private:
+  std::map<Asn, AsPath> routes_;
+};
+
+}  // namespace asppi::detect

@@ -1,0 +1,132 @@
+#include "detect/placement.h"
+
+#include <algorithm>
+
+#include "detect/detector.h"
+#include "detect/monitors.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace asppi::detect {
+
+namespace {
+
+using MonitorPaths = std::vector<std::pair<Asn, AsPath>>;
+
+// One training attack's observable state: per-candidate before/after paths.
+struct TrainingAttack {
+  std::vector<std::size_t> candidate_index;  // candidates with routes
+  MonitorPaths before;
+  MonitorPaths after;
+};
+
+bool DetectedWith(const AsppDetector& detector, Asn victim,
+                  const TrainingAttack& attack,
+                  const std::vector<bool>& selected, std::size_t extra) {
+  MonitorPaths before, after;
+  for (std::size_t i = 0; i < attack.candidate_index.size(); ++i) {
+    std::size_t candidate = attack.candidate_index[i];
+    if (!selected[candidate] && candidate != extra) continue;
+    before.push_back(attack.before[i]);
+    after.push_back(attack.after[i]);
+  }
+  if (after.empty()) return false;
+  return !detector.Scan(victim, before, after).empty();
+}
+
+}  // namespace
+
+PlacementResult SelectMonitorsForVictim(const topo::AsGraph& graph, Asn victim,
+                                        const PlacementConfig& config) {
+  ASPPI_CHECK(graph.HasAs(victim));
+  PlacementResult result;
+
+  // Candidate pool: top-degree prefilter (excluding the victim itself).
+  std::vector<Asn> pool =
+      config.candidate_pool == 0
+          ? graph.AsesByDegreeDesc()
+          : TopDegreeMonitors(graph, config.candidate_pool + 1);
+  pool.erase(std::remove(pool.begin(), pool.end(), victim), pool.end());
+  if (config.candidate_pool != 0 && pool.size() > config.candidate_pool) {
+    pool.resize(config.candidate_pool);
+  }
+
+  // Training attacks: random attackers against this victim.
+  util::Rng rng(config.seed);
+  attack::AttackSimulator simulator(graph);
+  AsppDetector detector(&graph);
+  std::vector<TrainingAttack> attacks;
+  const auto& ases = graph.Ases();
+  for (std::size_t i = 0; i < config.training_attacks; ++i) {
+    Asn attacker = ases[rng.Below(ases.size())];
+    if (attacker == victim) continue;
+    attack::AttackOutcome outcome =
+        simulator.RunAsppInterception(victim, attacker, config.lambda);
+    if (outcome.newly_polluted.empty()) continue;
+    TrainingAttack training;
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      if (pool[c] == attacker) continue;
+      const auto& before = outcome.before.BestAt(pool[c]);
+      const auto& after = outcome.after.BestAt(pool[c]);
+      if (!before.has_value() || !after.has_value()) continue;
+      training.candidate_index.push_back(c);
+      training.before.emplace_back(pool[c], before->path);
+      training.after.emplace_back(pool[c], after->path);
+    }
+    attacks.push_back(std::move(training));
+  }
+  result.training_effective = attacks.size();
+
+  // Greedy coverage maximization: each round picks the candidate whose
+  // addition detects the most still-uncovered training attacks.
+  std::vector<bool> selected(pool.size(), false);
+  std::vector<bool> covered(attacks.size(), false);
+  const std::size_t kNone = pool.size();
+  for (std::size_t round = 0;
+       round < config.budget && result.monitors.size() < pool.size();
+       ++round) {
+    std::size_t best_candidate = kNone;
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      if (selected[c]) continue;
+      std::size_t gain = 0;
+      for (std::size_t a = 0; a < attacks.size(); ++a) {
+        if (covered[a]) continue;
+        if (DetectedWith(detector, victim, attacks[a], selected, c)) ++gain;
+      }
+      if (best_candidate == kNone || gain > best_gain) {
+        best_candidate = c;
+        best_gain = gain;
+      }
+    }
+    if (best_candidate == kNone) break;
+    selected[best_candidate] = true;
+    result.monitors.push_back(pool[best_candidate]);
+    for (std::size_t a = 0; a < attacks.size(); ++a) {
+      if (!covered[a] &&
+          DetectedWith(detector, victim, attacks[a], selected, kNone)) {
+        covered[a] = true;
+      }
+    }
+    // Once everything is covered, the remaining budget adds nothing on the
+    // training set — spend it on generalization instead (below).
+    if (std::all_of(covered.begin(), covered.end(),
+                    [](bool b) { return b; })) {
+      break;
+    }
+  }
+  // Fill any unused budget with the highest-degree unselected candidates:
+  // extra vantage points can only widen held-out coverage.
+  for (std::size_t c = 0;
+       c < pool.size() && result.monitors.size() < config.budget; ++c) {
+    if (!selected[c]) {
+      selected[c] = true;
+      result.monitors.push_back(pool[c]);
+    }
+  }
+  result.training_covered = static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), true));
+  return result;
+}
+
+}  // namespace asppi::detect

@@ -1,0 +1,49 @@
+// Vantage-point selection for self-defense — the future work the paper
+// commits to in §V-B/§VIII: "each victim can select a set of important ASes
+// as their monitors to prevent being hijacked ... we will study the
+// selection of vantage point to perform self-defense for different victims."
+//
+// We implement a victim-specific greedy coverage optimizer: given a victim
+// and a budget of monitors, choose the ASes whose feeds would have exposed
+// the largest number of simulated attacks against that victim, evaluated
+// over a training set of candidate attackers. Greedy set-cover is the
+// natural fit (detection coverage is a monotone set function of the monitor
+// set) and gives the classic (1 − 1/e) guarantee for coverage-maximization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/impact.h"
+#include "detect/evaluation.h"
+
+namespace asppi::detect {
+
+struct PlacementConfig {
+  // Monitors to select.
+  std::size_t budget = 20;
+  // Candidate monitor pool size (top-degree prefilter; 0 = every AS).
+  std::size_t candidate_pool = 200;
+  // Training attackers sampled around the victim.
+  std::size_t training_attacks = 40;
+  std::uint64_t seed = 1;
+  int lambda = 3;
+};
+
+struct PlacementResult {
+  std::vector<Asn> monitors;          // selected, in pick order
+  std::size_t training_effective = 0;  // training attacks that polluted
+  std::size_t training_covered = 0;    // of those, detected by the selection
+  double TrainingCoverage() const {
+    return training_effective == 0
+               ? 0.0
+               : static_cast<double>(training_covered) /
+                     static_cast<double>(training_effective);
+  }
+};
+
+// Greedy victim-specific monitor selection on `graph`.
+PlacementResult SelectMonitorsForVictim(const topo::AsGraph& graph, Asn victim,
+                                        const PlacementConfig& config);
+
+}  // namespace asppi::detect

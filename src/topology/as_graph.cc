@@ -1,0 +1,228 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace asppi::topo {
+
+const char* RelationName(Relation r) {
+  switch (r) {
+    case Relation::kCustomer:
+      return "customer";
+    case Relation::kPeer:
+      return "peer";
+    case Relation::kProvider:
+      return "provider";
+    case Relation::kSibling:
+      return "sibling";
+  }
+  return "?";
+}
+
+bool ParseRelation(const std::string& name, Relation& out) {
+  if (name == "customer") out = Relation::kCustomer;
+  else if (name == "peer") out = Relation::kPeer;
+  else if (name == "provider") out = Relation::kProvider;
+  else if (name == "sibling") out = Relation::kSibling;
+  else return false;
+  return true;
+}
+
+void AsGraph::AddAs(Asn asn) {
+  if (index_.contains(asn)) return;
+  index_.emplace(asn, asns_.size());
+  asns_.push_back(asn);
+  adjacency_.emplace_back();
+}
+
+void AsGraph::AddHalfLink(std::size_t from, Asn to, Relation rel) {
+  adjacency_[from].push_back(Neighbor{to, rel});
+}
+
+void AsGraph::AddLink(Asn a, Asn b, Relation rel_of_b) {
+  ASPPI_CHECK_NE(a, b) << "self-link on AS" << a;
+  AddAs(a);
+  AddAs(b);
+  if (auto existing = RelationOf(a, b)) {
+    ASPPI_CHECK(*existing == rel_of_b)
+        << "conflicting relationship for link " << a << "-" << b << ": had "
+        << RelationName(*existing) << ", got " << RelationName(rel_of_b);
+    return;
+  }
+  AddHalfLink(index_.at(a), b, rel_of_b);
+  AddHalfLink(index_.at(b), a, Reverse(rel_of_b));
+  ++num_links_;
+}
+
+bool AsGraph::HasLink(Asn a, Asn b) const { return RelationOf(a, b).has_value(); }
+
+std::optional<Relation> AsGraph::RelationOf(Asn a, Asn b) const {
+  auto it = index_.find(a);
+  if (it == index_.end()) return std::nullopt;
+  for (const Neighbor& n : adjacency_[it->second]) {
+    if (n.asn == b) return n.rel;
+  }
+  return std::nullopt;
+}
+
+std::span<const AsGraph::Neighbor> AsGraph::NeighborsOf(Asn asn) const {
+  auto it = index_.find(asn);
+  ASPPI_CHECK(it != index_.end()) << "unknown AS" << asn;
+  return adjacency_[it->second];
+}
+
+std::vector<Asn> AsGraph::NeighborsWith(Asn asn, Relation rel) const {
+  std::vector<Asn> out;
+  for (const Neighbor& n : NeighborsOf(asn)) {
+    if (n.rel == rel) out.push_back(n.asn);
+  }
+  return out;
+}
+
+std::size_t AsGraph::IndexOf(Asn asn) const {
+  auto it = index_.find(asn);
+  ASPPI_CHECK(it != index_.end()) << "unknown AS" << asn;
+  return it->second;
+}
+
+Asn AsGraph::AsnAt(std::size_t index) const {
+  ASPPI_CHECK_LT(index, asns_.size());
+  return asns_[index];
+}
+
+std::vector<Asn> AsGraph::AsesByDegreeDesc() const {
+  std::vector<Asn> out = asns_;
+  std::sort(out.begin(), out.end(), [this](Asn a, Asn b) {
+    std::size_t da = adjacency_[index_.at(a)].size();
+    std::size_t db = adjacency_[index_.at(b)].size();
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return out;
+}
+
+std::size_t AsGraph::CustomerConeSize(Asn asn) const {
+  std::vector<bool> seen(asns_.size(), false);
+  std::deque<std::size_t> queue;
+  std::size_t start = IndexOf(asn);
+  seen[start] = true;
+  queue.push_back(start);
+  std::size_t count = 0;
+  while (!queue.empty()) {
+    std::size_t cur = queue.front();
+    queue.pop_front();
+    ++count;
+    for (const Neighbor& n : adjacency_[cur]) {
+      if (n.rel != Relation::kCustomer) continue;
+      std::size_t idx = index_.at(n.asn);
+      if (!seen[idx]) {
+        seen[idx] = true;
+        queue.push_back(idx);
+      }
+    }
+  }
+  return count;
+}
+
+bool AsGraph::ReachesDownhill(Asn from, Asn to) const {
+  std::vector<bool> seen(NumAses(), false);
+  std::deque<std::size_t> queue;
+  seen[IndexOf(from)] = true;
+  queue.push_back(IndexOf(from));
+  while (!queue.empty()) {
+    std::size_t cur = queue.front();
+    queue.pop_front();
+    for (const Neighbor& n : adjacency_[cur]) {
+      if (n.rel != Relation::kCustomer && n.rel != Relation::kSibling) {
+        continue;
+      }
+      if (n.asn == to) return true;
+      std::size_t idx = index_.at(n.asn);
+      if (!seen[idx]) {
+        seen[idx] = true;
+        queue.push_back(idx);
+      }
+    }
+  }
+  return false;
+}
+
+bool SiblingLinkCreatesCycle(const AsGraph& graph, Asn a, Asn b) {
+  return graph.ReachesDownhill(a, b) || graph.ReachesDownhill(b, a);
+}
+
+bool AsGraph::ProviderCustomerAcyclic() const {
+  // Union sibling groups, then Kahn's algorithm on the supernode digraph.
+  const std::size_t n = asns_.size();
+  std::vector<std::size_t> group(n);
+  for (std::size_t i = 0; i < n; ++i) group[i] = i;
+  // Union-find with path halving.
+  auto find = [&group](std::size_t x) {
+    while (group[x] != x) {
+      group[x] = group[group[x]];
+      x = group[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : adjacency_[i]) {
+      if (nb.rel == Relation::kSibling) {
+        std::size_t ra = find(i), rb = find(index_.at(nb.asn));
+        if (ra != rb) group[ra] = rb;
+      }
+    }
+  }
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> edges(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : adjacency_[i]) {
+      if (nb.rel != Relation::kCustomer) continue;
+      std::size_t from = find(i), to = find(index_.at(nb.asn));
+      if (from == to) return false;  // sibling group providing for itself
+      edges[from].push_back(to);
+      ++indegree[to];
+    }
+  }
+  std::deque<std::size_t> ready;
+  std::size_t groups = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (find(i) != i) continue;
+    ++groups;
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    std::size_t cur = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (std::size_t to : edges[cur]) {
+      if (--indegree[to] == 0) ready.push_back(to);
+    }
+  }
+  return processed == groups;
+}
+
+bool AsGraph::IsConnected() const {
+  if (asns_.empty()) return true;
+  std::vector<bool> seen(asns_.size(), false);
+  std::deque<std::size_t> queue{0};
+  seen[0] = true;
+  std::size_t count = 0;
+  while (!queue.empty()) {
+    std::size_t cur = queue.front();
+    queue.pop_front();
+    ++count;
+    for (const Neighbor& n : adjacency_[cur]) {
+      std::size_t idx = index_.at(n.asn);
+      if (!seen[idx]) {
+        seen[idx] = true;
+        queue.push_back(idx);
+      }
+    }
+  }
+  return count == asns_.size();
+}
+
+}  // namespace asppi::topo

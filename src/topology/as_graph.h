@@ -1,0 +1,99 @@
+// AsGraph: the AS-level Internet topology with annotated business
+// relationships. This is the substrate every simulator in the library runs on.
+//
+// The graph is mutable during construction (AddAs/AddLink) and cheap to query
+// afterwards. ASes are mapped to dense indices [0, NumAses()) so simulators
+// can use flat arrays; public APIs speak ASNs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/types.h"
+
+namespace asppi::topo {
+
+class AsGraph {
+ public:
+  struct Neighbor {
+    Asn asn;
+    Relation rel;  // role of `asn` relative to the AS owning this list
+    bool operator==(const Neighbor&) const = default;
+  };
+
+  // --- construction -------------------------------------------------------
+
+  // Registers an AS. Idempotent.
+  void AddAs(Asn asn);
+
+  // Adds a bidirectional link; `rel_of_b` is b's role relative to a
+  // (e.g. AddLink(a, b, Relation::kCustomer) makes b a customer of a).
+  // Both endpoints are registered if needed. Re-adding an existing link with
+  // the same relationship is idempotent; with a different relationship it
+  // aborts — ambiguous inputs must be resolved by the caller (see infer/).
+  void AddLink(Asn a, Asn b, Relation rel_of_b);
+
+  // --- queries -------------------------------------------------------------
+
+  bool HasAs(Asn asn) const { return index_.contains(asn); }
+  bool HasLink(Asn a, Asn b) const;
+  // Role of b relative to a, or nullopt if not adjacent.
+  std::optional<Relation> RelationOf(Asn a, Asn b) const;
+
+  std::span<const Neighbor> NeighborsOf(Asn asn) const;
+  std::vector<Asn> Customers(Asn asn) const { return NeighborsWith(asn, Relation::kCustomer); }
+  std::vector<Asn> Providers(Asn asn) const { return NeighborsWith(asn, Relation::kProvider); }
+  std::vector<Asn> Peers(Asn asn) const { return NeighborsWith(asn, Relation::kPeer); }
+  std::vector<Asn> Siblings(Asn asn) const { return NeighborsWith(asn, Relation::kSibling); }
+
+  std::size_t Degree(Asn asn) const { return NeighborsOf(asn).size(); }
+  std::size_t NumAses() const { return asns_.size(); }
+  std::size_t NumLinks() const { return num_links_; }
+  // All ASNs in registration order (deterministic).
+  const std::vector<Asn>& Ases() const { return asns_; }
+
+  // Dense-index mapping for simulator-internal flat arrays.
+  std::size_t IndexOf(Asn asn) const;
+  Asn AsnAt(std::size_t index) const;
+
+  // ASes sorted by decreasing degree (ties by ascending ASN) — the paper's
+  // monitor-selection ranking.
+  std::vector<Asn> AsesByDegreeDesc() const;
+
+  // Size of the customer cone: the AS itself plus everything reachable by
+  // repeatedly descending provider→customer edges.
+  std::size_t CustomerConeSize(Asn asn) const;
+
+  // True if every AS can reach every other ignoring relationship direction.
+  bool IsConnected() const;
+
+  // True if the provider→customer digraph — with sibling groups merged into
+  // single supernodes — is acyclic. Gao-Rexford convergence (and hence the
+  // propagation simulator's termination guarantee) requires this.
+  bool ProviderCustomerAcyclic() const;
+
+  // Directed downhill reachability: can `from` reach `to` by descending
+  // provider→customer edges, traversing sibling links freely?
+  bool ReachesDownhill(Asn from, Asn to) const;
+
+ private:
+  std::vector<Asn> NeighborsWith(Asn asn, Relation rel) const;
+  void AddHalfLink(std::size_t from, Asn to, Relation rel);
+
+  std::unordered_map<Asn, std::size_t> index_;
+  std::vector<Asn> asns_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t num_links_ = 0;
+};
+
+// Would adding a sibling link a–b create a cycle in the sibling-merged
+// provider→customer digraph? True exactly when a directed provider→customer
+// path (traversing existing sibling links freely) already connects a to b in
+// either direction. Used by the generator and scenario builders to keep
+// every produced topology convergence-safe.
+bool SiblingLinkCreatesCycle(const AsGraph& graph, Asn a, Asn b);
+
+}  // namespace asppi::topo

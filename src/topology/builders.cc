@@ -1,0 +1,62 @@
+#include "topology/builders.h"
+
+#include "util/check.h"
+
+namespace asppi::topo {
+
+AsGraph ProviderChain(std::size_t n) {
+  ASPPI_CHECK_GE(n, 1u);
+  AsGraph g;
+  g.AddAs(1);
+  for (Asn a = 1; a + 1 <= n; ++a) {
+    g.AddLink(a + 1, a, Relation::kCustomer);  // a is customer of a+1
+  }
+  return g;
+}
+
+AsGraph PeerClique(std::size_t n) {
+  ASPPI_CHECK_GE(n, 1u);
+  AsGraph g;
+  for (Asn a = 1; a <= n; ++a) g.AddAs(a);
+  for (Asn a = 1; a <= n; ++a) {
+    for (Asn b = a + 1; b <= n; ++b) g.AddLink(a, b, Relation::kPeer);
+  }
+  return g;
+}
+
+AsGraph ProviderStar(std::size_t spokes) {
+  AsGraph g;
+  g.AddAs(1);
+  for (Asn s = 2; s <= spokes + 1; ++s) g.AddLink(1, s, Relation::kCustomer);
+  return g;
+}
+
+AsGraph DualHomedStub() {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);          // T1a ── T1b
+  g.AddLink(1, 11, Relation::kCustomer);     // P1 under T1a
+  g.AddLink(2, 12, Relation::kCustomer);     // P2 under T1b
+  g.AddLink(11, 100, Relation::kCustomer);   // V under P1
+  g.AddLink(12, 100, Relation::kCustomer);   // V under P2
+  g.AddLink(11, 21, Relation::kCustomer);    // stub S1
+  g.AddLink(12, 22, Relation::kCustomer);    // stub S2
+  return g;
+}
+
+AsGraph FacebookAnomalyTopology() {
+  using namespace fb;
+  AsGraph g;
+  const Asn tier1[] = {kLevel3, kAtt, kNtt, kChinaTelecom};
+  for (Asn a : tier1) g.AddAs(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      g.AddLink(tier1[i], tier1[j], Relation::kPeer);
+    }
+  }
+  g.AddLink(kChinaTelecom, kSkTelecom, Relation::kCustomer);
+  g.AddLink(kLevel3, kFacebook, Relation::kCustomer);
+  g.AddLink(kSkTelecom, kFacebook, Relation::kCustomer);
+  return g;
+}
+
+}  // namespace asppi::topo

@@ -1,0 +1,48 @@
+// Small named topologies used by unit tests, examples, and the Section III
+// anomaly replay.
+#pragma once
+
+#include "topology/as_graph.h"
+
+namespace asppi::topo {
+
+// Provider chain: AS1 ← AS2 ← … ← ASn, where ASk+1 is ASk's provider.
+// (AS1 is the deepest customer.)
+AsGraph ProviderChain(std::size_t n);
+
+// Full peering mesh over ASes 1..n.
+AsGraph PeerClique(std::size_t n);
+
+// Star: hub AS1 provides for spokes AS2..ASn+1.
+AsGraph ProviderStar(std::size_t spokes);
+
+// A small multihomed scenario used by the traffic-engineering example and
+// decision-process tests:
+//
+//        T1a(1) ══ T1b(2)     (peering)
+//         │          │
+//        P1(11)    P2(12)     (customers of the tier-1s)
+//           \       /
+//            V(100)           (dual-homed customer of P1 and P2)
+//
+// plus stubs S1(21) under P1 and S2(22) under P2.
+AsGraph DualHomedStub();
+
+// Well-known ASNs of the Facebook anomaly of Mar 22, 2011 (paper Section III).
+namespace fb {
+inline constexpr Asn kFacebook = 32934;
+inline constexpr Asn kLevel3 = 3356;
+inline constexpr Asn kAtt = 7018;
+inline constexpr Asn kNtt = 2914;
+inline constexpr Asn kChinaTelecom = 4134;
+inline constexpr Asn kSkTelecom = 9318;
+}  // namespace fb
+
+// The six-AS topology of paper Figure 1:
+//   * Level3 (3356), AT&T (7018), NTT (2914), China Telecom (4134) form a
+//     tier-1 peering mesh;
+//   * SK Telecom (9318) is a customer of China Telecom;
+//   * Facebook (32934) is a customer of both Level3 and SK Telecom.
+AsGraph FacebookAnomalyTopology();
+
+}  // namespace asppi::topo

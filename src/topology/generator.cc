@@ -1,0 +1,214 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace asppi::topo {
+
+namespace {
+
+using util::Rng;
+
+// Picks an element of `pool` with probability proportional to its current
+// degree + 1 (preferential attachment; the +1 keeps zero-degree ASes
+// selectable).
+Asn PickPreferential(const AsGraph& graph, const std::vector<Asn>& pool,
+                     Rng& rng) {
+  ASPPI_CHECK(!pool.empty());
+  std::size_t total = 0;
+  for (Asn asn : pool) total += graph.Degree(asn) + 1;
+  std::size_t target = rng.Below(total);
+  std::size_t acc = 0;
+  for (Asn asn : pool) {
+    acc += graph.Degree(asn) + 1;
+    if (target < acc) return asn;
+  }
+  return pool.back();
+}
+
+// Picks up to `want` distinct providers preferentially from `pool`,
+// excluding `self`.
+std::vector<Asn> PickProviders(const AsGraph& graph,
+                               const std::vector<Asn>& pool, Asn self,
+                               std::size_t want, Rng& rng) {
+  std::vector<Asn> chosen;
+  // Bounded retries: with small pools preferential picks may repeat.
+  for (std::size_t attempts = 0; chosen.size() < want && attempts < want * 20;
+       ++attempts) {
+    Asn cand = PickPreferential(graph, pool, rng);
+    if (cand == self) continue;
+    if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end()) continue;
+    chosen.push_back(cand);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
+  ASPPI_CHECK_GE(params.num_tier1, 1u);
+  ASPPI_CHECK_GE(params.num_tier2, 1u);
+  GeneratedTopology out;
+  out.params = params;
+  Rng rng(params.seed);
+
+  Asn next_asn = 1;
+  auto allocate = [&next_asn](std::size_t n) {
+    std::vector<Asn> asns(n);
+    for (auto& a : asns) a = next_asn++;
+    return asns;
+  };
+
+  out.tier1 = allocate(params.num_tier1);
+  out.tier2 = allocate(params.num_tier2);
+  out.tier3 = allocate(params.num_tier3);
+  out.stubs = allocate(params.num_stubs);
+  out.content = allocate(params.num_content);
+
+  AsGraph& g = out.graph;
+  for (Asn a : out.tier1) g.AddAs(a);
+
+  // Tier-1 core: full peering mesh.
+  for (std::size_t i = 0; i < out.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.tier1.size(); ++j) {
+      g.AddLink(out.tier1[i], out.tier1[j], Relation::kPeer);
+    }
+  }
+
+  // Tier-2: 1–3 tier-1 providers (preferentially attached — the top tier-1s
+  // accumulate the biggest customer cones, as in inferred 2011 topologies
+  // where cones were individually modest but collectively covered everything)
+  // plus Zipf-weighted peering among tier-2s.
+  for (Asn t2 : out.tier2) {
+    std::size_t n_prov = std::min<std::size_t>(1 + rng.Below(3), out.tier1.size());
+    // Uniform (not preferential) attachment at the top level: inferred 2011
+    // tier-1 customer cones were individually modest; letting the rich get
+    // richer here would concentrate half the Internet under one tier-1 and
+    // distort every attack-impact ceiling.
+    std::vector<Asn> chosen;
+    for (std::size_t attempts = 0;
+         chosen.size() < n_prov && attempts < n_prov * 20; ++attempts) {
+      Asn cand = rng.Pick(out.tier1);
+      if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(cand);
+    }
+    for (Asn prov : chosen) {
+      g.AddLink(prov, t2, Relation::kCustomer);
+    }
+  }
+  {
+    // Per-AS peering propensity: Zipf over a shuffled order so the rich
+    // peerers are a random subset, not the lowest ASNs.
+    std::vector<Asn> order = out.tier2;
+    rng.Shuffle(order);
+    // Propensity ∝ 1/(rank+1)^0.7 over the shuffled order.
+    double mean_prop = 0.0;
+    std::vector<std::pair<Asn, double>> weights;
+    weights.reserve(order.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      double w = std::pow(1.0 + static_cast<double>(rank), -0.7);
+      weights.emplace_back(order[rank], w);
+      mean_prop += w;
+    }
+    mean_prop /= static_cast<double>(weights.size());
+    for (const auto& [asn, w] : weights) {
+      double scaled = params.tier2_avg_peers * w / mean_prop;
+      std::size_t n_peers = static_cast<std::size_t>(scaled);
+      if (rng.Chance(scaled - static_cast<double>(n_peers))) ++n_peers;
+      for (std::size_t k = 0; k < n_peers; ++k) {
+        Asn other = rng.Pick(out.tier2);
+        if (other == asn || g.HasLink(asn, other)) continue;
+        g.AddLink(asn, other, Relation::kPeer);
+      }
+    }
+  }
+
+  // Tier-3: providers mostly in tier-2 (preferential), sometimes tier-1;
+  // sparse regional peering.
+  for (Asn t3 : out.tier3) {
+    std::size_t n_prov = 1 + rng.Below(3);
+    std::vector<Asn> provs = PickProviders(g, out.tier2, t3, n_prov, rng);
+    if (rng.Chance(0.05)) {
+      provs.push_back(rng.Pick(out.tier1));
+    }
+    for (Asn prov : provs) {
+      if (!g.HasLink(prov, t3)) g.AddLink(prov, t3, Relation::kCustomer);
+    }
+  }
+  for (Asn t3 : out.tier3) {
+    if (!rng.Chance(params.tier3_peer_prob)) continue;
+    std::size_t n_peers = 1 + rng.Below(3);
+    for (std::size_t k = 0; k < n_peers; ++k) {
+      Asn other = rng.Pick(out.tier3);
+      if (other == t3 || g.HasLink(t3, other)) continue;
+      g.AddLink(t3, other, Relation::kPeer);
+    }
+  }
+
+  // Stubs: 1–3 providers out of tier-2 ∪ tier-3 (preferential).
+  {
+    std::vector<Asn> transit = out.tier2;
+    transit.insert(transit.end(), out.tier3.begin(), out.tier3.end());
+    for (Asn stub : out.stubs) {
+      std::size_t n_prov = 1;
+      double roll = rng.Uniform();
+      if (roll < params.stub_triplehome_prob) n_prov = 3;
+      else if (roll < params.stub_triplehome_prob + params.stub_dualhome_prob) n_prov = 2;
+      for (Asn prov : PickProviders(g, transit, stub, n_prov, rng)) {
+        g.AddLink(prov, stub, Relation::kCustomer);
+      }
+    }
+  }
+
+  // Content/CDN ASes: 1–2 transit providers, many peers across tier-2/3.
+  {
+    std::vector<Asn> peer_pool = out.tier2;
+    peer_pool.insert(peer_pool.end(), out.tier3.begin(), out.tier3.end());
+    for (Asn c : out.content) {
+      std::size_t n_prov = 1 + rng.Below(2);
+      for (Asn prov : PickProviders(g, out.tier2, c, n_prov, rng)) {
+        g.AddLink(prov, c, Relation::kCustomer);
+      }
+      std::size_t span = params.content_max_peers - params.content_min_peers + 1;
+      std::size_t n_peers = params.content_min_peers + rng.Below(span);
+      n_peers = std::min(n_peers, peer_pool.size());
+      for (std::size_t k = 0; k < n_peers; ++k) {
+        Asn other = rng.Pick(peer_pool);
+        if (other == c || g.HasLink(c, other)) continue;
+        g.AddLink(c, other, Relation::kPeer);
+      }
+    }
+  }
+
+  // Sibling pairs among tier-2/tier-3 (non-adjacent picks only).
+  {
+    std::vector<Asn> pool = out.tier2;
+    pool.insert(pool.end(), out.tier3.begin(), out.tier3.end());
+    std::size_t made = 0;
+    for (std::size_t attempts = 0;
+         made < params.num_sibling_pairs && attempts < params.num_sibling_pairs * 50;
+         ++attempts) {
+      Asn a = rng.Pick(pool);
+      Asn b = rng.Pick(pool);
+      if (a == b || g.HasLink(a, b)) continue;
+      // A sibling merge must not create a provider→customer cycle, or the
+      // policy system loses its convergence guarantee.
+      if (SiblingLinkCreatesCycle(g, a, b)) continue;
+      g.AddLink(a, b, Relation::kSibling);
+      out.siblings.emplace_back(a, b);
+      ++made;
+    }
+  }
+
+  ASPPI_CHECK(g.IsConnected()) << "generator produced a disconnected graph";
+  ASPPI_CHECK(g.ProviderCustomerAcyclic())
+      << "generator produced a provider-customer cycle";
+  return out;
+}
+
+}  // namespace asppi::topo

@@ -1,0 +1,65 @@
+// Seeded generator of Internet-like AS topologies.
+//
+// The real AS graph (paper: inferred from RouteViews/RIPE) is substituted by
+// a synthetic hierarchy that reproduces the structural features the attack
+// analysis depends on:
+//   * a small provider-free tier-1 clique (full mesh of peering links),
+//   * transit tiers with heavy-tailed degrees (preferential attachment),
+//   * a large population of single-/multi-homed stub ASes,
+//   * a few content/CDN-style ASes with very rich peering (IXP effect),
+//   * sibling pairs (commonly-administered ASes transiting everything),
+// all derived deterministically from a 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace asppi::topo {
+
+struct GeneratorParams {
+  std::uint64_t seed = 42;
+
+  std::size_t num_tier1 = 10;
+  std::size_t num_tier2 = 120;
+  std::size_t num_tier3 = 700;
+  std::size_t num_stubs = 3000;
+  std::size_t num_content = 20;
+  std::size_t num_sibling_pairs = 15;
+
+  // Average number of tier-2↔tier-2 peer links per tier-2 AS (scaled by a
+  // per-AS Zipf propensity, so some tier-2s peer far more richly than others).
+  double tier2_avg_peers = 6.0;
+  // Probability a tier-3 AS participates in regional peering at all.
+  double tier3_peer_prob = 0.15;
+  // Stub multihoming: P(2 providers) and P(3 providers).
+  double stub_dualhome_prob = 0.35;
+  double stub_triplehome_prob = 0.05;
+  // Content-AS peer-count range.
+  std::size_t content_min_peers = 20;
+  std::size_t content_max_peers = 120;
+
+  std::size_t TotalAses() const {
+    return num_tier1 + num_tier2 + num_tier3 + num_stubs + num_content;
+  }
+};
+
+// The generated graph plus role metadata (which ASes were created in which
+// structural role) so experiments can sample archetypes directly.
+struct GeneratedTopology {
+  AsGraph graph;
+  std::vector<Asn> tier1;
+  std::vector<Asn> tier2;
+  std::vector<Asn> tier3;
+  std::vector<Asn> stubs;
+  std::vector<Asn> content;  // richly-peered content/CDN ASes
+  std::vector<std::pair<Asn, Asn>> siblings;
+  GeneratorParams params;
+};
+
+// Deterministic for a given `params` (including seed). The result is always
+// connected: every non-tier-1 AS has at least one provider chain to the core.
+GeneratedTopology GenerateInternetTopology(const GeneratorParams& params);
+
+}  // namespace asppi::topo

@@ -1,0 +1,111 @@
+#include "topology/serialization.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace asppi::topo {
+
+namespace {
+
+// Serialization code per relationship, from the perspective "a <code> b".
+// -1: a is provider of b; 0: peers; 2: siblings.
+int CodeFor(Relation rel_of_b) {
+  switch (rel_of_b) {
+    case Relation::kCustomer:
+      return -1;  // b is a's customer → a provides for b
+    case Relation::kPeer:
+      return 0;
+    case Relation::kSibling:
+      return 2;
+    case Relation::kProvider:
+      return -1;  // written from the other side; never reached (see Write)
+  }
+  return 0;
+}
+
+}  // namespace
+
+void WriteAsRel(const AsGraph& graph, std::ostream& os) {
+  os << "# asppi as-rel format: <as-a>|<as-b>|<code>\n";
+  os << "# code -1: a is provider of b; 0: a and b are peers; 2: siblings\n";
+  std::set<std::pair<Asn, Asn>> written;
+  for (Asn a : graph.Ases()) {
+    for (const AsGraph::Neighbor& n : graph.NeighborsOf(a)) {
+      Asn b = n.asn;
+      auto key = std::minmax(a, b);
+      if (!written.insert({key.first, key.second}).second) continue;
+      // Emit provider→customer edges from the provider side so the code is
+      // always -1/0/2.
+      if (n.rel == Relation::kProvider) {
+        os << b << "|" << a << "|" << CodeFor(Relation::kCustomer) << "\n";
+      } else {
+        os << a << "|" << b << "|" << CodeFor(n.rel) << "\n";
+      }
+    }
+  }
+}
+
+void WriteAsRelFile(const AsGraph& graph, const std::string& path) {
+  std::ofstream os(path);
+  WriteAsRel(graph, os);
+}
+
+std::string ReadAsRel(std::istream& is, AsGraph& out) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = util::Split(std::string(trimmed), '|');
+    if (parts.size() != 3) {
+      return util::Format("line %zu: expected 3 '|'-separated fields", lineno);
+    }
+    auto a = util::ParseUint(parts[0]);
+    auto b = util::ParseUint(parts[1]);
+    auto code = util::ParseInt(parts[2]);
+    if (!a || !b || !code) {
+      return util::Format("line %zu: malformed numbers", lineno);
+    }
+    if (*a == *b) {
+      return util::Format("line %zu: self-link on AS%llu", lineno,
+                          static_cast<unsigned long long>(*a));
+    }
+    Relation rel;
+    switch (*code) {
+      case -1:
+        rel = Relation::kCustomer;  // b is customer of a
+        break;
+      case 0:
+        rel = Relation::kPeer;
+        break;
+      case 2:
+        rel = Relation::kSibling;
+        break;
+      default:
+        return util::Format("line %zu: unknown relationship code %lld", lineno,
+                            static_cast<long long>(*code));
+    }
+    auto existing = out.RelationOf(static_cast<Asn>(*a), static_cast<Asn>(*b));
+    if (existing && *existing != rel) {
+      return util::Format("line %zu: conflicting relationship for %llu|%llu",
+                          lineno, static_cast<unsigned long long>(*a),
+                          static_cast<unsigned long long>(*b));
+    }
+    out.AddLink(static_cast<Asn>(*a), static_cast<Asn>(*b), rel);
+  }
+  return "";
+}
+
+std::string ReadAsRelFile(const std::string& path, AsGraph& out) {
+  std::ifstream is(path);
+  if (!is) return util::Format("cannot open '%s'", path.c_str());
+  return ReadAsRel(is, out);
+}
+
+}  // namespace asppi::topo

@@ -1,0 +1,27 @@
+// Text serialization of AS graphs, CAIDA-style:
+//
+//   # comment lines start with '#'
+//   <as-a>|<as-b>|<code>
+//
+// where code -1 means a is b's provider (b is a's customer), 0 means peers,
+// and 2 means siblings. This matches the CAIDA as-rel format (-1/0) extended
+// with the sibling code used by Gao's original dataset releases.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.h"
+
+namespace asppi::topo {
+
+// Writes all links (each once) plus a header comment.
+void WriteAsRel(const AsGraph& graph, std::ostream& os);
+void WriteAsRelFile(const AsGraph& graph, const std::string& path);
+
+// Parses the format above. Aborts-free: malformed lines produce an error via
+// the returned status string; on success the string is empty.
+std::string ReadAsRel(std::istream& is, AsGraph& out);
+std::string ReadAsRelFile(const std::string& path, AsGraph& out);
+
+}  // namespace asppi::topo

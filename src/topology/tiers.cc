@@ -1,0 +1,90 @@
+#include "topology/tiers.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace asppi::topo {
+
+int TierInfo::TierOf(Asn asn) const {
+  ASPPI_CHECK(graph_ != nullptr);
+  return tier_by_index_[graph_->IndexOf(asn)];
+}
+
+std::vector<Asn> TierInfo::AsesAtTier(int t) const {
+  ASPPI_CHECK(graph_ != nullptr);
+  std::vector<Asn> out;
+  for (Asn asn : graph_->Ases()) {
+    if (TierOf(asn) == t) out.push_back(asn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TierInfo ClassifyTiers(const AsGraph& graph) {
+  TierInfo info;
+  info.graph_ = &graph;
+  info.tier_by_index_.assign(graph.NumAses(), TierInfo::kUnranked);
+
+  // Candidates: provider-free ASes.
+  std::vector<Asn> candidates;
+  for (Asn asn : graph.Ases()) {
+    if (graph.Providers(asn).empty()) candidates.push_back(asn);
+  }
+
+  // Keep the densely inter-peered core: candidates peering with at least half
+  // of the other candidates. A lone provider-free AS (degenerate graphs,
+  // small unit-test fixtures) is kept as-is.
+  std::vector<Asn> core;
+  if (candidates.size() <= 1) {
+    core = candidates;
+  } else {
+    for (Asn a : candidates) {
+      std::size_t peered = 0;
+      for (Asn b : candidates) {
+        if (a != b && graph.RelationOf(a, b) == Relation::kPeer) ++peered;
+      }
+      if (2 * peered >= candidates.size() - 1) core.push_back(a);
+    }
+    if (core.empty()) core = candidates;  // no peering structure: keep all
+  }
+  std::sort(core.begin(), core.end());
+  info.tier1_ = core;
+
+  // BFS down provider→customer edges: tier(v) = 1 + min tier over providers.
+  // Sibling links propagate tier without incrementing (common administration).
+  std::deque<Asn> queue;
+  for (Asn asn : core) {
+    info.tier_by_index_[graph.IndexOf(asn)] = 1;
+    queue.push_back(asn);
+  }
+  while (!queue.empty()) {
+    Asn cur = queue.front();
+    queue.pop_front();
+    int cur_tier = info.tier_by_index_[graph.IndexOf(cur)];
+    for (const AsGraph::Neighbor& n : graph.NeighborsOf(cur)) {
+      int proposed;
+      if (n.rel == Relation::kCustomer) {
+        proposed = cur_tier + 1;
+      } else if (n.rel == Relation::kSibling) {
+        proposed = cur_tier;
+      } else {
+        continue;
+      }
+      int& slot = info.tier_by_index_[graph.IndexOf(n.asn)];
+      if (proposed < slot) {
+        slot = proposed;
+        queue.push_back(n.asn);
+      }
+    }
+  }
+
+  info.max_tier_ = 0;
+  for (int t : info.tier_by_index_) {
+    if (t != TierInfo::kUnranked) info.max_tier_ = std::max(info.max_tier_, t);
+  }
+  return info;
+}
+
+}  // namespace asppi::topo

@@ -1,0 +1,44 @@
+// Basic AS-level types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asppi::topo {
+
+// Autonomous System Number. 32-bit per RFC 4893.
+using Asn = std::uint32_t;
+
+// Business relationship of a neighbor *relative to an AS*. If B is A's
+// customer, then A sees B as kCustomer and B sees A as kProvider.
+//
+// kSibling models two ASes under common administration (e.g. after a merger):
+// sibling links transit everything in both directions (Gao 2000).
+enum class Relation : std::uint8_t {
+  kCustomer = 0,
+  kPeer = 1,
+  kProvider = 2,
+  kSibling = 3,
+};
+
+// The same link seen from the other side.
+constexpr Relation Reverse(Relation r) {
+  switch (r) {
+    case Relation::kCustomer:
+      return Relation::kProvider;
+    case Relation::kProvider:
+      return Relation::kCustomer;
+    case Relation::kPeer:
+      return Relation::kPeer;
+    case Relation::kSibling:
+      return Relation::kSibling;
+  }
+  return Relation::kPeer;  // unreachable
+}
+
+const char* RelationName(Relation r);
+
+// Parses "customer"/"peer"/"provider"/"sibling"; returns false on mismatch.
+bool ParseRelation(const std::string& name, Relation& out);
+
+}  // namespace asppi::topo

@@ -1,0 +1,55 @@
+// Lightweight runtime-check and logging macros used across the library.
+//
+// ASPPI_CHECK is always on (release included): the simulators' invariants are
+// cheap relative to the work they guard, and a silently-corrupt routing state
+// would invalidate every downstream experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace asppi::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-collector so call sites can write:
+//   ASPPI_CHECK(x > 0) << "x=" << x;
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessageSink() { CheckFailed(file_, line_, expr_, stream_.str()); }
+  template <typename T>
+  CheckMessageSink& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace asppi::util
+
+#define ASPPI_CHECK(expr)                                              \
+  if (expr) {                                                          \
+  } else                                                               \
+    ::asppi::util::CheckMessageSink(__FILE__, __LINE__, #expr)
+
+#define ASPPI_CHECK_EQ(a, b) ASPPI_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define ASPPI_CHECK_NE(a, b) ASPPI_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define ASPPI_CHECK_LT(a, b) ASPPI_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define ASPPI_CHECK_LE(a, b) ASPPI_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define ASPPI_CHECK_GT(a, b) ASPPI_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define ASPPI_CHECK_GE(a, b) ASPPI_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b) << " "

@@ -1,0 +1,138 @@
+#include "util/flags.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace asppi::util {
+
+void Flags::Define(const std::string& name, Type type,
+                   std::string default_text, const std::string& help) {
+  ASPPI_CHECK(!defs_.contains(name)) << "duplicate flag --" << name;
+  Def def;
+  def.type = type;
+  def.default_text = default_text;
+  def.value_text = std::move(default_text);
+  def.help = help;
+  defs_.emplace(name, std::move(def));
+}
+
+void Flags::DefineInt(const std::string& name, std::int64_t v, const std::string& help) {
+  Define(name, Type::kInt, Format("%lld", static_cast<long long>(v)), help);
+}
+void Flags::DefineUint(const std::string& name, std::uint64_t v, const std::string& help) {
+  Define(name, Type::kUint, Format("%llu", static_cast<unsigned long long>(v)), help);
+}
+void Flags::DefineDouble(const std::string& name, double v, const std::string& help) {
+  Define(name, Type::kDouble, Format("%g", v), help);
+}
+void Flags::DefineBool(const std::string& name, bool v, const std::string& help) {
+  Define(name, Type::kBool, v ? "true" : "false", help);
+}
+void Flags::DefineString(const std::string& name, const std::string& v, const std::string& help) {
+  Define(name, Type::kString, v, help);
+}
+
+bool Flags::SetValue(const std::string& name, const std::string& value) {
+  auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  // Validate eagerly so sweeps fail fast on typos.
+  switch (it->second.type) {
+    case Type::kInt:
+      if (!ParseInt(value)) {
+        std::fprintf(stderr, "flag --%s: bad int '%s'\n", name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kUint:
+      if (!ParseUint(value)) {
+        std::fprintf(stderr, "flag --%s: bad uint '%s'\n", name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kDouble:
+      if (!ParseDouble(value)) {
+        std::fprintf(stderr, "flag --%s: bad double '%s'\n", name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        std::fprintf(stderr, "flag --%s: bad bool '%s'\n", name.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  it->second.value_text = value;
+  return true;
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!SetValue(body.substr(0, eq), body.substr(eq + 1))) return false;
+      continue;
+    }
+    auto it = defs_.find(body);
+    if (it != defs_.end() && it->second.type == Type::kBool) {
+      it->second.value_text = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s: missing value\n", body.c_str());
+      return false;
+    }
+    if (!SetValue(body, argv[++i])) return false;
+  }
+  return true;
+}
+
+const Flags::Def& Flags::Lookup(const std::string& name, Type type) const {
+  auto it = defs_.find(name);
+  ASPPI_CHECK(it != defs_.end()) << "undefined flag --" << name;
+  ASPPI_CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name) const {
+  return *ParseInt(Lookup(name, Type::kInt).value_text);
+}
+std::uint64_t Flags::GetUint(const std::string& name) const {
+  return *ParseUint(Lookup(name, Type::kUint).value_text);
+}
+double Flags::GetDouble(const std::string& name) const {
+  return *ParseDouble(Lookup(name, Type::kDouble).value_text);
+}
+bool Flags::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).value_text == "true";
+}
+const std::string& Flags::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).value_text;
+}
+
+void Flags::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, def] : defs_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 def.help.c_str(), def.default_text.c_str());
+  }
+}
+
+}  // namespace asppi::util

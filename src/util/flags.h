@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the benchmark and example binaries.
+//
+// Supports --name=value and --name value forms, plus bare --name for booleans.
+// Unknown flags are an error (catches typos in experiment sweeps).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asppi::util {
+
+class Flags {
+ public:
+  // Registration: call before Parse(). `help` is shown by --help.
+  void DefineInt(const std::string& name, std::int64_t default_value, const std::string& help);
+  void DefineUint(const std::string& name, std::uint64_t default_value, const std::string& help);
+  void DefineDouble(const std::string& name, double default_value, const std::string& help);
+  void DefineBool(const std::string& name, bool default_value, const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value, const std::string& help);
+
+  // Parses argv; returns false (after printing usage) on --help or a parse
+  // error. Positional arguments are collected into Positional().
+  bool Parse(int argc, char** argv);
+
+  std::int64_t GetInt(const std::string& name) const;
+  std::uint64_t GetUint(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+  void PrintUsage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kUint, kDouble, kBool, kString };
+  struct Def {
+    Type type;
+    std::string default_text;
+    std::string value_text;
+    std::string help;
+  };
+
+  void Define(const std::string& name, Type type, std::string default_text, const std::string& help);
+  const Def& Lookup(const std::string& name, Type type) const;
+  bool SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Def> defs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace asppi::util

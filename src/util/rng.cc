@@ -1,0 +1,33 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+
+namespace asppi::util {
+
+std::size_t Rng::Zipf(std::size_t n, double alpha) {
+  ASPPI_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += std::pow(i + 1.0, -alpha);
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::pow(i + 1.0, -alpha);
+    if (acc >= target) return i;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  ASPPI_CHECK_LE(k, n);
+  // Floyd's algorithm: k iterations, set membership keeps distinctness.
+  std::set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = Below(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace asppi::util

@@ -1,0 +1,131 @@
+// Deterministic, seedable random number generation.
+//
+// Every experiment in this repository derives all randomness from an explicit
+// 64-bit seed so that figures are reproducible bit-for-bit across runs and
+// machines. We implement xoshiro256** (public-domain algorithm by Blackman &
+// Vigna) seeded through SplitMix64, rather than depending on the unspecified
+// std::default_random_engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace asppi::util {
+
+// SplitMix64: used to expand a single seed into the xoshiro state, and as a
+// cheap standalone mixer for deriving sub-seeds.
+inline std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derive an independent sub-seed from (seed, stream) — used to give each
+// experiment instance its own deterministic stream.
+inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return SplitMix64Next(s);
+}
+
+// xoshiro256**: fast, high-quality, 256-bit state generator.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method to avoid modulo bias.
+  std::uint64_t Below(std::uint64_t bound) {
+    ASPPI_CHECK_GT(bound, 0u);
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    ASPPI_CHECK_LE(lo, hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+
+  // Geometric: number of trials until first success (>= 1), success prob p.
+  int Geometric(double p) {
+    ASPPI_CHECK_GT(p, 0.0);
+    int n = 1;
+    while (!Chance(p) && n < 1000) ++n;
+    return n;
+  }
+
+  // Zipf-like pick: index in [0, n) with probability proportional to
+  // 1/(i+1)^alpha. O(n) sampling via precomputed caller-side weights is
+  // preferred for hot loops; this helper is for setup code.
+  std::size_t Zipf(std::size_t n, double alpha);
+
+  // Sample k distinct indices from [0, n) (Floyd's algorithm, deterministic
+  // order by value).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    ASPPI_CHECK(!v.empty());
+    return v[Below(v.size())];
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace asppi::util

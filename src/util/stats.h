@@ -1,0 +1,76 @@
+// Small statistics helpers shared by the measurement layer and the benchmark
+// harness: integer histograms, empirical CDFs, and scalar summaries.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asppi::util {
+
+// Histogram over non-negative integer keys (e.g. prepend counts).
+class Histogram {
+ public:
+  void Add(int key, std::size_t count = 1);
+  std::size_t Count(int key) const;
+  std::size_t Total() const { return total_; }
+  // Fraction of total mass at `key`; 0 if the histogram is empty.
+  double Fraction(int key) const;
+  // Fraction of total mass at keys >= `key`.
+  double FractionAtLeast(int key) const;
+  int MinKey() const;
+  int MaxKey() const;
+  bool Empty() const { return total_ == 0; }
+  const std::map<int, std::size_t>& Buckets() const { return buckets_; }
+
+ private:
+  std::map<int, std::size_t> buckets_;
+  std::size_t total_ = 0;
+};
+
+// Empirical CDF over doubles.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  std::size_t Size() const { return sorted_.size(); }
+  bool Empty() const { return sorted_.empty(); }
+  // P[X <= x].
+  double At(double x) const;
+  // Smallest sample s with P[X <= s] >= q, q in [0,1].
+  double Quantile(double q) const;
+  double Min() const;
+  double Max() const;
+  const std::vector<double>& Sorted() const { return sorted_; }
+
+  // Evenly spaced (x, P[X<=x]) points suitable for plotting/printing.
+  std::vector<std::pair<double, double>> Points(std::size_t max_points = 50) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Running scalar summary.
+struct Summary {
+  std::size_t n = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double x);
+  double Mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+  double Variance() const;
+  double Stddev() const;
+  std::string ToString() const;
+};
+
+// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& v);
+// Population standard deviation (0 for size < 2).
+double Stddev(const std::vector<double>& v);
+// q-quantile by sorting a copy.
+double Quantile(std::vector<double> v, double q);
+
+}  // namespace asppi::util

@@ -1,0 +1,111 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace asppi::util {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+// Common preamble for the strict numeric parsers: trims, rejects empties.
+std::optional<std::string> Prepare(std::string_view s) {
+  std::string_view t = Trim(s);
+  if (t.empty()) return std::nullopt;
+  return std::string(t);
+}
+
+}  // namespace
+
+std::optional<std::int64_t> ParseInt(std::string_view s) {
+  auto t = Prepare(s);
+  if (!t) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(t->c_str(), &end, 10);
+  if (errno != 0 || end != t->c_str() + t->size()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t> ParseUint(std::string_view s) {
+  auto t = Prepare(s);
+  if (!t) return std::nullopt;
+  if ((*t)[0] == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(t->c_str(), &end, 10);
+  if (errno != 0 || end != t->c_str() + t->size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  auto t = Prepare(s);
+  if (!t) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(t->c_str(), &end);
+  if (errno != 0 || end != t->c_str() + t->size()) return std::nullopt;
+  return v;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace asppi::util

@@ -1,0 +1,53 @@
+// String parsing/formatting helpers used by the text formats and CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asppi::util {
+
+// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Split on runs of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Strip leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Strict numeric parsing: the whole (trimmed) string must be consumed.
+std::optional<std::int64_t> ParseInt(std::string_view s);
+std::optional<std::uint64_t> ParseUint(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Join elements with a separator using operator<<.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep);
+
+// printf-style formatting into std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace asppi::util
+
+#include <sstream>
+
+namespace asppi::util {
+
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+}  // namespace asppi::util

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace asppi::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ASPPI_CHECK(!header_.empty());
+}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  ASPPI_CHECK(!rows_.empty()) << "Cell() before Row()";
+  ASPPI_CHECK_LT(rows_.back().size(), header_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(double value, int precision) {
+  return Cell(Format("%.*f", precision, value));
+}
+
+Table& Table::Cell(std::int64_t value) { return Cell(Format("%lld", static_cast<long long>(value))); }
+Table& Table::Cell(std::uint64_t value) { return Cell(Format("%llu", static_cast<unsigned long long>(value))); }
+Table& Table::Cell(int value) { return Cell(static_cast<std::int64_t>(value)); }
+
+void Table::PrintPretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << v;
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  os << Join(header_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+}
+
+}  // namespace asppi::util

@@ -1,0 +1,37 @@
+// Tabular output used by the benchmark harness to print figure/table series
+// both human-readably (aligned columns) and machine-readably (CSV).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace asppi::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Begin a new row; subsequent Cell() calls fill it left to right.
+  Table& Row();
+  Table& Cell(const std::string& value);
+  Table& Cell(double value, int precision = 2);
+  Table& Cell(std::int64_t value);
+  Table& Cell(std::uint64_t value);
+  Table& Cell(int value);
+
+  std::size_t NumRows() const { return rows_.size(); }
+  const std::vector<std::string>& RowAt(std::size_t i) const { return rows_.at(i); }
+  const std::vector<std::string>& Header() const { return header_; }
+
+  // Aligned, pipe-separated pretty print.
+  void PrintPretty(std::ostream& os) const;
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asppi::util

@@ -1,0 +1,126 @@
+#include "bgp/as_path.h"
+
+#include <gtest/gtest.h>
+
+namespace asppi::bgp {
+namespace {
+
+TEST(AsPath, OriginSingleCopy) {
+  AsPath p = AsPath::Origin(32934);
+  EXPECT_EQ(p.Length(), 1u);
+  EXPECT_EQ(p.OriginAs(), 32934u);
+  EXPECT_EQ(p.First(), 32934u);
+  EXPECT_EQ(p.OriginPadding(), 1);
+  EXPECT_FALSE(p.HasPrepending());
+}
+
+TEST(AsPath, OriginWithPrepending) {
+  AsPath p = AsPath::Origin(32934, 5);
+  EXPECT_EQ(p.Length(), 5u);
+  EXPECT_EQ(p.UniqueCount(), 1u);
+  EXPECT_EQ(p.OriginPadding(), 5);
+  EXPECT_EQ(p.TotalPadding(), 4u);
+  EXPECT_TRUE(p.HasPrepending());
+}
+
+TEST(AsPath, PrependBuildsFacebookRoute) {
+  // Paper Section III: 7018 3356 32934 32934 32934 32934 32934.
+  AsPath p = AsPath::Origin(32934, 5);
+  p.Prepend(3356);
+  p.Prepend(7018);
+  EXPECT_EQ(p.ToString(), "7018 3356 32934 32934 32934 32934 32934");
+  EXPECT_EQ(p.Length(), 7u);
+  EXPECT_EQ(p.UniqueCount(), 3u);
+  EXPECT_EQ(p.OriginPadding(), 5);
+}
+
+TEST(AsPath, PrependMultiple) {
+  AsPath p = AsPath::Origin(1);
+  p.Prepend(2, 3);
+  EXPECT_EQ(p.ToString(), "2 2 2 1");
+  EXPECT_EQ(p.First(), 2u);
+}
+
+TEST(AsPath, ContainsAndDistinct) {
+  AsPath p(std::vector<Asn>{4134, 9318, 32934, 32934, 32934});
+  EXPECT_TRUE(p.Contains(9318));
+  EXPECT_FALSE(p.Contains(7018));
+  EXPECT_EQ(p.DistinctSequence(), (std::vector<Asn>{4134, 9318, 32934}));
+}
+
+TEST(AsPath, CollapseRunsOfVictimIsTheAttack) {
+  // Attacker M=9318 receives [* V V V] and strips to [* V] (paper §II-B).
+  AsPath p(std::vector<Asn>{9318, 32934, 32934, 32934});
+  int removed = p.CollapseRunsOf(32934);
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(p.ToString(), "9318 32934");
+}
+
+TEST(AsPath, CollapseRunsOfIgnoresOtherAses) {
+  AsPath p(std::vector<Asn>{7, 7, 5, 5, 3});
+  EXPECT_EQ(p.CollapseRunsOf(5), 1);
+  EXPECT_EQ(p.ToString(), "7 7 5 3");
+}
+
+TEST(AsPath, CollapseRunsOfNonConsecutiveKeepsBoth) {
+  // Non-consecutive occurrences are a loop, not prepending; collapse must
+  // only merge consecutive runs.
+  AsPath p(std::vector<Asn>{5, 3, 5, 5});
+  EXPECT_EQ(p.CollapseRunsOf(5), 1);
+  EXPECT_EQ(p.ToString(), "5 3 5");
+}
+
+TEST(AsPath, CollapseRunsOfAbsentAsnIsNoop) {
+  AsPath p(std::vector<Asn>{1, 2, 3});
+  EXPECT_EQ(p.CollapseRunsOf(9), 0);
+  EXPECT_EQ(p.ToString(), "1 2 3");
+}
+
+TEST(AsPath, CollapseAllRuns) {
+  AsPath p(std::vector<Asn>{2, 2, 7, 5, 5, 5});
+  EXPECT_EQ(p.CollapseAllRuns(), 3);
+  EXPECT_EQ(p.ToString(), "2 7 5");
+}
+
+TEST(AsPath, MaxRunOf) {
+  AsPath p(std::vector<Asn>{5, 5, 3, 5, 5, 5});
+  EXPECT_EQ(p.MaxRunOf(5), 3);
+  EXPECT_EQ(p.MaxRunOf(3), 1);
+  EXPECT_EQ(p.MaxRunOf(9), 0);
+}
+
+TEST(AsPath, LoopDetection) {
+  EXPECT_FALSE(AsPath(std::vector<Asn>{1, 2, 2, 3}).HasLoop());
+  EXPECT_TRUE(AsPath(std::vector<Asn>{1, 2, 1}).HasLoop());
+  EXPECT_TRUE(AsPath(std::vector<Asn>{1, 2, 2, 1}).HasLoop());
+  EXPECT_FALSE(AsPath{}.HasLoop());
+}
+
+TEST(AsPath, OriginPaddingMiddlePrependsExcluded) {
+  // Intermediary prepending: 9318 9318 32934 — origin padding is 1.
+  AsPath p(std::vector<Asn>{9318, 9318, 32934});
+  EXPECT_EQ(p.OriginPadding(), 1);
+  EXPECT_EQ(p.TotalPadding(), 1u);
+}
+
+TEST(AsPath, RoundTripString) {
+  AsPath p(std::vector<Asn>{7018, 4134, 9318, 32934, 32934, 32934});
+  auto parsed = AsPath::FromString(p.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(AsPath, FromStringRejectsGarbage) {
+  EXPECT_FALSE(AsPath::FromString("12 monkeys").has_value());
+  EXPECT_FALSE(AsPath::FromString("1 -2 3").has_value());
+  EXPECT_FALSE(AsPath::FromString("99999999999999").has_value());
+}
+
+TEST(AsPath, FromStringEmptyIsEmptyPath) {
+  auto parsed = AsPath::FromString("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->Empty());
+}
+
+}  // namespace
+}  // namespace asppi::bgp

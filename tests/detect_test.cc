@@ -1,0 +1,340 @@
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+#include "detect/observation.h"
+#include "topology/builders.h"
+#include "topology/generator.h"
+#include "attack/scenarios.h"
+
+namespace asppi::detect {
+namespace {
+
+using bgp::AsPath;
+using topo::AsGraph;
+using topo::Relation;
+
+AsPath P(std::initializer_list<Asn> hops) {
+  return AsPath(std::vector<Asn>(hops));
+}
+
+// --- RouteSnapshot -----------------------------------------------------------
+
+TEST(RouteSnapshot, SuffixExpansion) {
+  // Monitor 99 reports [7018 3356 32934 32934]; destination-based routing
+  // implies 7018's route is [3356 32934 32934] and 3356's is [32934 32934].
+  RouteSnapshot snapshot =
+      RouteSnapshot::FromMonitors({{99, P({7018, 3356, 32934, 32934})}});
+  ASSERT_NE(snapshot.RouteOf(99), nullptr);
+  EXPECT_EQ(snapshot.RouteOf(99)->ToString(), "7018 3356 32934 32934");
+  ASSERT_NE(snapshot.RouteOf(7018), nullptr);
+  EXPECT_EQ(snapshot.RouteOf(7018)->ToString(), "3356 32934 32934");
+  ASSERT_NE(snapshot.RouteOf(3356), nullptr);
+  EXPECT_EQ(snapshot.RouteOf(3356)->ToString(), "32934 32934");
+  // The origin itself holds no learned route.
+  EXPECT_EQ(snapshot.RouteOf(32934), nullptr);
+}
+
+TEST(RouteSnapshot, PrependedMonitorPathCollapsesRuns) {
+  // Intermediary prepending: [20 20 10 1] — AS20's own route is [10 1].
+  RouteSnapshot snapshot = RouteSnapshot::FromMonitors({{5, P({20, 20, 10, 1})}});
+  ASSERT_NE(snapshot.RouteOf(20), nullptr);
+  EXPECT_EQ(snapshot.RouteOf(20)->ToString(), "10 1");
+}
+
+TEST(RouteSnapshot, MultipleMonitorsMerge) {
+  RouteSnapshot snapshot = RouteSnapshot::FromMonitors(
+      {{1, P({10, 20, 5})}, {2, P({11, 20, 5})}});
+  EXPECT_NE(snapshot.RouteOf(10), nullptr);
+  EXPECT_NE(snapshot.RouteOf(11), nullptr);
+  ASSERT_NE(snapshot.RouteOf(20), nullptr);
+  EXPECT_EQ(snapshot.RouteOf(20)->ToString(), "5");
+  EXPECT_EQ(snapshot.Size(), 5u);  // 1, 2, 10, 11, 20
+}
+
+TEST(RouteSnapshot, EmptyPathsIgnored) {
+  RouteSnapshot snapshot = RouteSnapshot::FromMonitors({{1, AsPath{}}});
+  EXPECT_EQ(snapshot.Size(), 0u);
+}
+
+// --- the paper's Figure 3 example ------------------------------------------
+
+// V announces [V V V] toward A and [V V] toward C; attacker M (customer of A)
+// strips two pads and forwards [M A V] to B. Monitors at B and E.
+class Fig3 : public ::testing::Test {
+ protected:
+  static constexpr Asn V = 100, A = 1, B = 2, C = 3, D = 4, E = 5, M = 66;
+
+  std::vector<std::pair<Asn, AsPath>> before_ = {
+      {B, P({M, A, V, V, V})},
+      {E, P({A, V, V, V})},
+      {D, P({C, V, V})},
+  };
+  std::vector<std::pair<Asn, AsPath>> after_ = {
+      {B, P({M, A, V})},  // M removed 2 pads
+      {E, P({A, V, V, V})},
+      {D, P({C, V, V})},
+  };
+};
+
+TEST_F(Fig3, HighConfidenceAlarmNamesAttacker) {
+  AsppDetector detector;
+  std::vector<Alarm> alarms = detector.Scan(V, before_, after_);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_TRUE(HasHighConfidence(alarms));
+  const Alarm* accusing = FindAccusing(alarms, M);
+  ASSERT_NE(accusing, nullptr);
+  EXPECT_EQ(accusing->confidence, Alarm::Confidence::kHigh);
+  EXPECT_EQ(accusing->pads_removed, 2);
+}
+
+TEST_F(Fig3, NoAlarmWithoutChange) {
+  AsppDetector detector;
+  EXPECT_TRUE(detector.Scan(V, before_, before_).empty());
+}
+
+TEST_F(Fig3, PerNeighborPaddingDifferenceIsNotAnAttack) {
+  // The D branch (via C, 2 pads) coexisting with the E branch (via A, 3
+  // pads) must not trigger: V may legitimately pad differently per neighbor.
+  AsppDetector detector;
+  std::vector<std::pair<Asn, AsPath>> no_attack_after = {
+      {B, P({M, A, V, V, V})},
+      {E, P({A, V, V, V})},
+      {D, P({C, V, V})},
+  };
+  EXPECT_TRUE(detector.Scan(V, before_, no_attack_after).empty());
+}
+
+TEST_F(Fig3, LegitimateUniformPaddingReductionNotFlagged) {
+  // V reduces padding toward A from 3 to 2 — every route through A changes
+  // consistently, so no same-tail conflict exists.
+  AsppDetector detector;
+  std::vector<std::pair<Asn, AsPath>> te_after = {
+      {B, P({M, A, V, V})},
+      {E, P({A, V, V})},
+      {D, P({C, V, V})},
+  };
+  std::vector<Alarm> alarms = detector.Scan(V, before_, te_after);
+  EXPECT_FALSE(HasHighConfidence(alarms));
+}
+
+TEST_F(Fig3, DetectOneRequiresPaddingDecrease) {
+  AsppDetector detector;
+  RouteSnapshot current = RouteSnapshot::FromMonitors(after_);
+  // Padding increased: no alarm.
+  EXPECT_TRUE(detector
+                  .DetectOne(V, B, P({M, A, V, V, V}), P({M, A, V}), current)
+                  .empty());
+}
+
+TEST_F(Fig3, VictimAdjacentBranchSkippedByMainRule) {
+  // A route [X V] (core size 1) must never trigger the segment rules.
+  AsppDetector detector;
+  RouteSnapshot current =
+      RouteSnapshot::FromMonitors({{B, P({A, V})}, {E, P({C, V, V, V})}});
+  EXPECT_TRUE(detector.DetectOne(V, B, P({A, V}), P({A, V, V}), current).empty());
+}
+
+// --- victim-aware rule -----------------------------------------------------------
+
+TEST(VictimAware, AdjacentAttackerCaught) {
+  // Attacker M is the victim's direct neighbor; a vantage point beyond M
+  // sees [M V] while the victim knows it announced 5 pads to M.
+  AsppDetector detector;
+  bgp::PrependPolicy policy;
+  policy.SetDefault(100, 5);
+  std::vector<std::pair<Asn, AsPath>> before = {{2, P({66, 100, 100, 100, 100, 100})}};
+  std::vector<std::pair<Asn, AsPath>> after = {{2, P({66, 100})}};
+  std::vector<Alarm> alarms = detector.Scan(100, before, after, &policy);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_TRUE(HasHighConfidence(alarms));
+  EXPECT_NE(FindAccusing(alarms, 66), nullptr);
+}
+
+TEST(VictimAware, HonestPaddingNotFlagged) {
+  AsppDetector detector;
+  bgp::PrependPolicy policy;
+  policy.SetDefault(100, 3);
+  policy.SetForNeighbor(100, 7, 1);  // legitimately shorter toward AS7
+  std::vector<std::pair<Asn, AsPath>> paths = {
+      {2, P({66, 100, 100, 100})},
+      {3, P({7, 100})},
+  };
+  EXPECT_TRUE(detector.Scan(100, paths, paths, &policy).empty());
+}
+
+// --- hint rules --------------------------------------------------------------------
+
+TEST(HintRules, CustomerWithheldShorterRoute) {
+  // Graph: AS1 provides for AS2 (AS2 is AS1's customer).
+  // AS2 = AS_{I-1} on the short new route; AS1 = AS'_L holds a longer padded
+  // route. A customer holding the short route would have exported it to its
+  // provider — possible attack.
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kCustomer);   // 2 customer of 1
+  g.AddLink(2, 50, Relation::kCustomer);  // chain continuation
+  g.AddLink(50, 100, Relation::kCustomer);
+  AsppDetector detector(&g);
+  // Observer 9's route dropped padding: [66 2 50 V] with 1 pad; AS1 holds
+  // [1-side] route with 3 pads and greater total length.
+  RouteSnapshot current = RouteSnapshot::FromMonitors({
+      {9, P({66, 2, 50, 100})},
+      {8, P({1, 40, 50, 100, 100, 100})},
+  });
+  std::vector<Alarm> alarms = detector.DetectOne(
+      100, 9, P({66, 2, 50, 100}), P({66, 2, 50, 100, 100, 100}), current);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_EQ(alarms[0].confidence, Alarm::Confidence::kPossible);
+  EXPECT_EQ(alarms[0].suspect, 66u);
+}
+
+TEST(HintRules, DisabledWithoutGraph) {
+  AsppDetector detector(nullptr);
+  RouteSnapshot current = RouteSnapshot::FromMonitors({
+      {9, P({66, 2, 50, 100})},
+      {8, P({1, 40, 50, 100, 100, 100})},
+  });
+  EXPECT_TRUE(detector
+                  .DetectOne(100, 9, P({66, 2, 50, 100}),
+                             P({66, 2, 50, 100, 100, 100}), current)
+                  .empty());
+}
+
+// --- monitor selection ---------------------------------------------------------------
+
+TEST(Monitors, TopDegreeOrdering) {
+  AsGraph g = topo::ProviderStar(6);
+  auto monitors = TopDegreeMonitors(g, 3);
+  ASSERT_EQ(monitors.size(), 3u);
+  EXPECT_EQ(monitors[0], 1u);  // hub
+}
+
+TEST(Monitors, RandomDeterministic) {
+  AsGraph g = topo::PeerClique(20);
+  EXPECT_EQ(RandomMonitors(g, 5, 42), RandomMonitors(g, 5, 42));
+  auto monitors = RandomMonitors(g, 25, 42);
+  EXPECT_EQ(monitors.size(), 20u);  // capped at population
+}
+
+TEST(Monitors, Tier1First) {
+  AsGraph g = topo::FacebookAnomalyTopology();
+  auto tiers = topo::ClassifyTiers(g);
+  auto monitors = Tier1FirstMonitors(g, tiers, 5);
+  ASSERT_EQ(monitors.size(), 5u);
+  for (Asn t1 : tiers.Tier1()) {
+    EXPECT_NE(std::find(monitors.begin(), monitors.end(), t1), monitors.end());
+  }
+}
+
+// --- end-to-end evaluation --------------------------------------------------------------
+
+topo::GeneratedTopology EvalTopo(std::uint64_t seed) {
+  topo::GeneratorParams params;
+  params.seed = seed;
+  params.num_tier1 = 6;
+  params.num_tier2 = 30;
+  params.num_tier3 = 80;
+  params.num_stubs = 300;
+  params.num_content = 5;
+  return topo::GenerateInternetTopology(params);
+}
+
+TEST(Evaluation, AdjacentAttackerNeedsVictimAwareness) {
+  // Two tier-1s peer directly, so the attacker is the victim's neighbor —
+  // the paper's corner case where the segment rules are blind (the malicious
+  // route's core after the attacker is empty) and only the prefix owner's
+  // knowledge of its own policy helps.
+  auto gen = EvalTopo(21);
+  attack::AttackSimulator simulator(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 80);
+  DetectionConfig plain;
+  plain.lambda = 3;
+  DetectionResult blind = EvaluateDetection(
+      simulator, gen.tier1[0], gen.tier1[1], monitors, plain);
+  ASSERT_TRUE(blind.effective);
+
+  DetectionConfig aware = plain;
+  aware.victim_aware = true;
+  DetectionResult result = EvaluateDetection(
+      simulator, gen.tier1[0], gen.tier1[1], monitors, aware);
+  ASSERT_TRUE(result.effective);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.detected_high);
+  EXPECT_TRUE(result.suspect_correct);
+  EXPECT_GE(result.detection_round, 0);
+  EXPECT_GE(result.polluted_before_detection, 0.0);
+  EXPECT_LE(result.polluted_before_detection, 1.0);
+}
+
+TEST(Evaluation, NonAdjacentAttackerCaughtBySegmentRule) {
+  // Attacker two hops from the victim: polluted branches share the chain
+  // between attacker and victim with honest branches — the Fig. 4 segment
+  // rule fires without any victim cooperation.
+  auto gen = EvalTopo(21);
+  // Victim: a stub; attacker: a tier-2 that is not the victim's neighbor.
+  Asn victim = gen.stubs[0];
+  Asn attacker = 0;
+  for (Asn cand : gen.tier2) {
+    if (!gen.graph.HasLink(cand, victim)) {
+      attacker = cand;
+      break;
+    }
+  }
+  ASSERT_NE(attacker, 0u);
+  attack::AttackSimulator simulator(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 120);
+  DetectionConfig config;
+  config.lambda = 4;
+  DetectionResult result =
+      EvaluateDetection(simulator, victim, attacker, monitors, config);
+  ASSERT_TRUE(result.effective);
+  EXPECT_TRUE(result.detected);
+  EXPECT_TRUE(result.detected_high);
+  EXPECT_TRUE(result.suspect_correct);
+}
+
+TEST(Evaluation, IneffectiveAttackReported) {
+  auto gen = EvalTopo(22);
+  attack::AttackSimulator simulator(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 40);
+  DetectionConfig config;
+  config.lambda = 1;  // nothing to strip
+  DetectionResult result = EvaluateDetection(
+      simulator, gen.tier1[0], gen.tier1[1], monitors, config);
+  EXPECT_FALSE(result.effective);
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(Evaluation, MoreMonitorsNeverHurtOnAggregate) {
+  auto gen = EvalTopo(23);
+  attack::AttackSimulator simulator(gen.graph);
+  auto pairs = attack::SampleRandomPairs(gen, 25, 7);
+  DetectionConfig config;
+  config.lambda = 3;
+  DetectionRates few = EvaluateDetectionRates(
+      simulator, pairs, TopDegreeMonitors(gen.graph, 10), config);
+  DetectionRates many = EvaluateDetectionRates(
+      simulator, pairs, TopDegreeMonitors(gen.graph, 150), config);
+  EXPECT_GE(many.DetectionRate() + 0.05, few.DetectionRate());
+  EXPECT_GT(many.DetectionRate(), 0.5)
+      << many.detected << "/" << many.effective;
+}
+
+TEST(Evaluation, VictimAwareRuleOnlyAddsDetections) {
+  auto gen = EvalTopo(24);
+  attack::AttackSimulator simulator(gen.graph);
+  auto pairs = attack::SampleRandomPairs(gen, 15, 9);
+  auto monitors = TopDegreeMonitors(gen.graph, 60);
+  DetectionConfig plain;
+  plain.lambda = 4;
+  DetectionConfig aware = plain;
+  aware.victim_aware = true;
+  DetectionRates without = EvaluateDetectionRates(simulator, pairs, monitors, plain);
+  DetectionRates with = EvaluateDetectionRates(simulator, pairs, monitors, aware);
+  EXPECT_GE(with.detected, without.detected);
+}
+
+}  // namespace
+}  // namespace asppi::detect

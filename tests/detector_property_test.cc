@@ -1,0 +1,152 @@
+// Property-based tests of the detector: no high-confidence false positives
+// on legitimate (attack-free) routing dynamics, across seeds and random
+// legitimate traffic-engineering policies.
+#include <gtest/gtest.h>
+
+#include "attack/impact.h"
+#include "detect/detector.h"
+#include "detect/evaluation.h"
+#include "detect/monitors.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace asppi::detect {
+namespace {
+
+using topo::GeneratedTopology;
+
+GeneratedTopology MakeTopo(std::uint64_t seed) {
+  topo::GeneratorParams params;
+  params.seed = seed;
+  params.num_tier1 = 5;
+  params.num_tier2 = 25;
+  params.num_tier3 = 70;
+  params.num_stubs = 250;
+  params.num_content = 4;
+  return topo::GenerateInternetTopology(params);
+}
+
+using MonitorPaths = std::vector<std::pair<Asn, AsPath>>;
+
+MonitorPaths PathsOf(const bgp::PropagationResult& state,
+                     const std::vector<Asn>& monitors) {
+  MonitorPaths out;
+  for (Asn m : monitors) {
+    const auto& best = state.BestAt(m);
+    if (best.has_value()) out.emplace_back(m, best->path);
+  }
+  return out;
+}
+
+class DetectorProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectorProperties, NoHighConfidenceFalsePositiveOnLegitTeChange) {
+  // The victim legitimately changes its per-neighbor prepending between two
+  // converged states; the detector may hint, but must never raise a
+  // high-confidence alarm (both snapshots are internally consistent).
+  GeneratedTopology gen = MakeTopo(GetParam());
+  bgp::PropagationSimulator sim(gen.graph);
+  util::Rng rng(util::DeriveSeed(GetParam(), 77));
+  auto monitors = TopDegreeMonitors(gen.graph, 60);
+  AsppDetector detector(&gen.graph);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    Asn victim = gen.graph.AsnAt(rng.Below(gen.graph.NumAses()));
+    std::vector<Asn> providers = gen.graph.Providers(victim);
+    if (providers.empty()) continue;
+
+    // Old policy: uniform λ1; new policy: smaller λ toward one provider
+    // (classic inbound TE shift) and/or a reduced default.
+    int lambda_old = 2 + static_cast<int>(rng.Below(5));
+    bgp::Announcement old_ann;
+    old_ann.origin = victim;
+    old_ann.prepends.SetDefault(victim, lambda_old);
+
+    bgp::Announcement new_ann;
+    new_ann.origin = victim;
+    int lambda_new = 1 + static_cast<int>(rng.Below(
+                             static_cast<std::uint64_t>(lambda_old)));
+    new_ann.prepends.SetDefault(victim, lambda_old);
+    new_ann.prepends.SetForNeighbor(
+        victim, providers[rng.Below(providers.size())], lambda_new);
+
+    bgp::PropagationResult before = sim.Run(old_ann);
+    bgp::PropagationResult after = sim.Run(new_ann);
+    std::vector<Alarm> alarms = detector.Scan(
+        victim, PathsOf(before, monitors), PathsOf(after, monitors));
+    for (const Alarm& alarm : alarms) {
+      EXPECT_NE(alarm.confidence, Alarm::Confidence::kHigh)
+          << "false positive: " << alarm.detail << " (suspect AS"
+          << alarm.suspect << ", victim AS" << victim << ")";
+    }
+  }
+}
+
+TEST_P(DetectorProperties, NoAlarmsAtAllOnIdenticalSnapshots) {
+  GeneratedTopology gen = MakeTopo(GetParam());
+  bgp::PropagationSimulator sim(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 60);
+  AsppDetector detector(&gen.graph);
+  bgp::Announcement ann;
+  ann.origin = gen.tier3[GetParam() % gen.tier3.size()];
+  ann.prepends.SetDefault(ann.origin, 4);
+  bgp::PropagationResult state = sim.Run(ann);
+  MonitorPaths paths = PathsOf(state, monitors);
+  EXPECT_TRUE(detector.Scan(ann.origin, paths, paths).empty());
+}
+
+TEST_P(DetectorProperties, VictimAwareRuleNoFalsePositiveWhenHonest) {
+  // With the true announcement policy supplied, honest routing data never
+  // triggers the victim-aware rule, even with per-neighbor differentiation.
+  GeneratedTopology gen = MakeTopo(GetParam());
+  bgp::PropagationSimulator sim(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 60);
+  AsppDetector detector(&gen.graph);
+  util::Rng rng(util::DeriveSeed(GetParam(), 78));
+
+  Asn victim = gen.tier3[(GetParam() + 1) % gen.tier3.size()];
+  bgp::Announcement ann;
+  ann.origin = victim;
+  ann.prepends.SetDefault(victim, 4);
+  for (Asn provider : gen.graph.Providers(victim)) {
+    if (rng.Chance(0.5)) {
+      ann.prepends.SetForNeighbor(victim, provider,
+                                  1 + static_cast<int>(rng.Below(4)));
+    }
+  }
+  bgp::PropagationResult state = sim.Run(ann);
+  MonitorPaths paths = PathsOf(state, monitors);
+  std::vector<Alarm> alarms =
+      detector.Scan(victim, paths, paths, &ann.prepends);
+  EXPECT_TRUE(alarms.empty());
+}
+
+TEST_P(DetectorProperties, AttackAlarmsSurviveMonitorSubsets) {
+  // If a monitor set detects the attack, any superset detects it too
+  // (coverage is monotone) — checked on nested top-degree sets.
+  GeneratedTopology gen = MakeTopo(GetParam());
+  attack::AttackSimulator sim(gen.graph);
+  Asn victim = gen.stubs[GetParam() % gen.stubs.size()];
+  Asn attacker = gen.tier2[GetParam() % gen.tier2.size()];
+  auto outcome = sim.RunAsppInterception(victim, attacker, 4);
+  if (outcome.newly_polluted.empty()) return;
+  DetectionConfig config;
+  config.lambda = 4;
+  bool detected_small =
+      EvaluateDetectionOnOutcome(gen.graph, outcome,
+                                 TopDegreeMonitors(gen.graph, 40), config)
+          .detected;
+  bool detected_large =
+      EvaluateDetectionOnOutcome(gen.graph, outcome,
+                                 TopDegreeMonitors(gen.graph, 160), config)
+          .detected;
+  if (detected_small) {
+    EXPECT_TRUE(detected_large);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorProperties,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+}  // namespace
+}  // namespace asppi::detect

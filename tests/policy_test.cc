@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "bgp/policy.h"
+#include "bgp/route.h"
+
+namespace asppi::bgp {
+namespace {
+
+// --- local preference ------------------------------------------------------
+
+TEST(LocalPref, OrderingMatchesGaoRexford) {
+  EXPECT_GT(LocalPrefOf(Relation::kCustomer), LocalPrefOf(Relation::kSibling));
+  EXPECT_GT(LocalPrefOf(Relation::kSibling), LocalPrefOf(Relation::kPeer));
+  EXPECT_GT(LocalPrefOf(Relation::kPeer), LocalPrefOf(Relation::kProvider));
+  EXPECT_GT(kSelfLocalPref, LocalPrefOf(Relation::kCustomer));
+}
+
+// --- export rules ------------------------------------------------------------
+
+TEST(Export, CustomerRoutesGoEverywhere) {
+  for (Relation to : {Relation::kCustomer, Relation::kPeer,
+                      Relation::kProvider, Relation::kSibling}) {
+    EXPECT_TRUE(MayExport(Relation::kCustomer, to));
+    EXPECT_TRUE(MayExport(Relation::kSibling, to));
+  }
+}
+
+TEST(Export, PeerAndProviderRoutesOnlyDownhill) {
+  for (Relation learned : {Relation::kPeer, Relation::kProvider}) {
+    EXPECT_TRUE(MayExport(learned, Relation::kCustomer));
+    EXPECT_TRUE(MayExport(learned, Relation::kSibling));
+    EXPECT_FALSE(MayExport(learned, Relation::kPeer));
+    EXPECT_FALSE(MayExport(learned, Relation::kProvider));
+  }
+}
+
+TEST(Export, OwnPrefixGoesEverywhere) {
+  for (Relation to : {Relation::kCustomer, Relation::kPeer,
+                      Relation::kProvider, Relation::kSibling}) {
+    EXPECT_TRUE(MayExportOwn(to));
+  }
+}
+
+// Valley-free sanity: the export rule composed over a path never allows a
+// "valley" (downhill then uphill).
+TEST(Export, NoValleyComposition) {
+  // If I learned from a provider (downhill into me), I must not export uphill
+  // (to my provider) or sideways (peer) — checked above; this asserts the
+  // closure property for all 16 combinations.
+  int allowed = 0;
+  for (Relation learned : {Relation::kCustomer, Relation::kPeer,
+                           Relation::kProvider, Relation::kSibling}) {
+    for (Relation to : {Relation::kCustomer, Relation::kPeer,
+                        Relation::kProvider, Relation::kSibling}) {
+      if (MayExport(learned, to)) ++allowed;
+      // The forbidden combinations are exactly peer/provider-learned routes
+      // exported to peer/provider.
+      bool forbidden = (learned == Relation::kPeer ||
+                        learned == Relation::kProvider) &&
+                       (to == Relation::kPeer || to == Relation::kProvider);
+      EXPECT_EQ(MayExport(learned, to), !forbidden);
+    }
+  }
+  EXPECT_EQ(allowed, 12);
+}
+
+// --- PrependPolicy ---------------------------------------------------------------
+
+TEST(PrependPolicy, DefaultsToOne) {
+  PrependPolicy policy;
+  EXPECT_EQ(policy.PadsFor(1, 2), 1);
+  EXPECT_TRUE(policy.Empty());
+}
+
+TEST(PrependPolicy, PerExporterDefault) {
+  PrependPolicy policy;
+  policy.SetDefault(32934, 5);
+  EXPECT_EQ(policy.PadsFor(32934, 3356), 5);
+  EXPECT_EQ(policy.PadsFor(32934, 9318), 5);
+  EXPECT_EQ(policy.PadsFor(3356, 7018), 1);
+}
+
+TEST(PrependPolicy, PerNeighborOverride) {
+  // Facebook's legitimate TE: 5 pads to Level3, 3 pads to SK Telecom.
+  PrependPolicy policy;
+  policy.SetDefault(32934, 5);
+  policy.SetForNeighbor(32934, 9318, 3);
+  EXPECT_EQ(policy.PadsFor(32934, 3356), 5);
+  EXPECT_EQ(policy.PadsFor(32934, 9318), 3);
+}
+
+// --- decision process -------------------------------------------------------------
+
+Route MakeRoute(std::vector<Asn> hops, Asn from, Relation rel) {
+  Route r;
+  r.path = AsPath(std::move(hops));
+  r.learned_from = from;
+  r.rel = rel;
+  r.effective = rel;
+  return r;
+}
+
+TEST(Decision, LocalPrefBeatsLength) {
+  // A long customer route beats a short peer route.
+  Route customer = MakeRoute({11, 100, 100, 100}, 11, Relation::kCustomer);
+  Route peer = MakeRoute({2, 100}, 2, Relation::kPeer);
+  EXPECT_TRUE(BetterRoute(customer, peer));
+  EXPECT_FALSE(BetterRoute(peer, customer));
+}
+
+TEST(Decision, LengthBreaksTieWithinClass) {
+  Route short_route = MakeRoute({2, 100}, 2, Relation::kPeer);
+  Route long_route = MakeRoute({3, 4, 100}, 3, Relation::kPeer);
+  EXPECT_TRUE(BetterRoute(short_route, long_route));
+}
+
+TEST(Decision, PrependedCopiesCountTowardLength) {
+  // The whole point of ASPP: padding makes a route less preferred.
+  Route padded = MakeRoute({2, 100, 100, 100}, 2, Relation::kPeer);
+  Route unpadded = MakeRoute({3, 4, 100}, 3, Relation::kPeer);
+  EXPECT_TRUE(BetterRoute(unpadded, padded));
+}
+
+TEST(Decision, NeighborAsnBreaksFinalTie) {
+  Route a = MakeRoute({2, 100}, 2, Relation::kPeer);
+  Route b = MakeRoute({3, 100}, 3, Relation::kPeer);
+  EXPECT_TRUE(BetterRoute(a, b));
+  EXPECT_FALSE(BetterRoute(b, a));
+}
+
+TEST(Decision, BestOfHandlesEmpties) {
+  std::optional<Route> none;
+  std::optional<Route> some = MakeRoute({2, 100}, 2, Relation::kPeer);
+  EXPECT_EQ(BestOf(none, some), some);
+  EXPECT_EQ(BestOf(some, none), some);
+  EXPECT_EQ(BestOf(none, none), std::nullopt);
+}
+
+TEST(Decision, StrictWeakOrdering) {
+  Route a = MakeRoute({2, 100}, 2, Relation::kPeer);
+  EXPECT_FALSE(BetterRoute(a, a));
+}
+
+}  // namespace
+}  // namespace asppi::bgp

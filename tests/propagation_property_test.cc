@@ -1,0 +1,197 @@
+// Property-based tests of the propagation engine and the attack, swept over
+// seeds, sizes, origins and λ values via parameterized gtest. These pin the
+// global invariants every experiment relies on.
+#include <gtest/gtest.h>
+
+#include "attack/impact.h"
+#include "bgp/propagation.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace asppi::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::GeneratedTopology;
+using topo::Relation;
+
+GeneratedTopology MakeTopo(std::uint64_t seed) {
+  topo::GeneratorParams params;
+  params.seed = seed;
+  params.num_tier1 = 4 + seed % 5;
+  params.num_tier2 = 20 + seed % 13;
+  params.num_tier3 = 50 + seed % 31;
+  params.num_stubs = 150 + seed % 101;
+  params.num_content = 3 + seed % 4;
+  params.num_sibling_pairs = seed % 7;
+  return topo::GenerateInternetTopology(params);
+}
+
+class PropagationProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Checks the Gao-Rexford path-shape invariant: along the traffic direction
+  // the path climbs provider links, crosses at most one peer link, then
+  // descends customer links — sibling links may appear anywhere.
+  static void ExpectValleyFree(const AsGraph& graph, topo::Asn self,
+                               const AsPath& path) {
+    std::vector<topo::Asn> seq = path.DistinctSequence();
+    // Traffic goes self -> seq[0] -> ... -> origin.
+    std::vector<topo::Asn> chain;
+    chain.push_back(self);
+    chain.insert(chain.end(), seq.begin(), seq.end());
+    int phase = 0;  // 0 = uphill, 1 = crossed the peak (peer or first down)
+    bool used_peer = false;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      auto rel = graph.RelationOf(chain[i], chain[i + 1]);
+      ASSERT_TRUE(rel.has_value())
+          << "non-adjacent hop " << chain[i] << "->" << chain[i + 1];
+      switch (*rel) {
+        case Relation::kProvider:  // moving up
+          EXPECT_EQ(phase, 0) << "uphill after the peak in "
+                              << path.ToString() << " at AS" << self;
+          break;
+        case Relation::kPeer:
+          EXPECT_FALSE(used_peer)
+              << "two peer links in " << path.ToString() << " at AS" << self;
+          used_peer = true;
+          phase = 1;
+          break;
+        case Relation::kCustomer:  // moving down
+          phase = 1;
+          break;
+        case Relation::kSibling:  // transparent
+          break;
+      }
+    }
+  }
+};
+
+TEST_P(PropagationProperties, AllRoutesValleyFreeLoopFreeAndComplete) {
+  GeneratedTopology gen = MakeTopo(GetParam());
+  PropagationSimulator sim(gen.graph);
+  util::Rng rng(util::DeriveSeed(GetParam(), 2));
+  for (int trial = 0; trial < 3; ++trial) {
+    Announcement ann;
+    ann.origin = gen.graph.AsnAt(rng.Below(gen.graph.NumAses()));
+    int lambda = 1 + static_cast<int>(rng.Below(5));
+    if (lambda > 1) ann.prepends.SetDefault(ann.origin, lambda);
+    PropagationResult result = sim.Run(ann);
+    // Connected topology + valley-free-complete policies: everyone reachable.
+    EXPECT_EQ(result.ReachableCount(), gen.graph.NumAses() - 1);
+    for (topo::Asn asn : gen.graph.Ases()) {
+      if (asn == ann.origin) continue;
+      const auto& best = result.BestAt(asn);
+      ASSERT_TRUE(best.has_value()) << "AS" << asn;
+      EXPECT_FALSE(best->path.HasLoop()) << best->path.ToString();
+      EXPECT_FALSE(best->path.Contains(asn));
+      EXPECT_EQ(best->path.OriginAs(), ann.origin);
+      // Origin padding is bounded by the announced λ.
+      EXPECT_LE(best->path.OriginPadding(), lambda);
+      ExpectValleyFree(gen.graph, asn, best->path);
+    }
+  }
+}
+
+TEST_P(PropagationProperties, ResumeFromConvergedIsIdempotent) {
+  GeneratedTopology gen = MakeTopo(GetParam());
+  PropagationSimulator sim(gen.graph);
+  Announcement ann;
+  ann.origin = gen.tier2[GetParam() % gen.tier2.size()];
+  ann.prepends.SetDefault(ann.origin, 3);
+  PropagationResult before = sim.Run(ann);
+  IdentityTransform identity;
+  // Re-announcing from arbitrary ASes must not change any route.
+  std::vector<topo::Asn> dirty = {gen.tier1[0], gen.stubs[0],
+                                  gen.tier3[gen.tier3.size() / 2]};
+  PropagationResult after = sim.Resume(before, &identity, dirty);
+  for (topo::Asn asn : gen.graph.Ases()) {
+    EXPECT_EQ(before.BestAt(asn), after.BestAt(asn)) << "AS" << asn;
+  }
+}
+
+TEST_P(PropagationProperties, ColdRunEqualsResumeUnderAttack) {
+  // Running the attack transform from scratch and resuming it onto the
+  // converged baseline must agree on every final route — the warm-start
+  // optimization cannot change semantics.
+  GeneratedTopology gen = MakeTopo(GetParam());
+  PropagationSimulator sim(gen.graph);
+  Announcement ann;
+  ann.origin = gen.tier3[GetParam() % gen.tier3.size()];
+  ann.prepends.SetDefault(ann.origin, 4);
+  topo::Asn attacker = gen.tier2[(GetParam() / 2) % gen.tier2.size()];
+  if (attacker == ann.origin) return;
+
+  attack::AsppInterceptor::Config config;
+  config.attacker = attacker;
+  config.victim = ann.origin;
+  attack::AsppInterceptor cold_interceptor(config);
+  PropagationResult cold = sim.Run(ann, &cold_interceptor);
+
+  attack::AsppInterceptor warm_interceptor(config);
+  PropagationResult warm =
+      sim.Resume(sim.Run(ann), &warm_interceptor, {attacker});
+  for (topo::Asn asn : gen.graph.Ases()) {
+    const auto& a = cold.BestAt(asn);
+    const auto& b = warm.BestAt(asn);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "AS" << asn;
+    if (a.has_value()) {
+      EXPECT_EQ(a->path, b->path) << "AS" << asn;
+    }
+  }
+}
+
+TEST_P(PropagationProperties, PollutionMonotoneInLambda) {
+  GeneratedTopology gen = MakeTopo(GetParam());
+  attack::AttackSimulator sim(gen.graph);
+  topo::Asn victim = gen.tier2[GetParam() % gen.tier2.size()];
+  topo::Asn attacker = gen.tier1[GetParam() % gen.tier1.size()];
+  double prev = -1.0;
+  for (int lambda : {1, 2, 4, 6}) {
+    auto outcome = sim.RunAsppInterception(victim, attacker, lambda);
+    EXPECT_GE(outcome.fraction_after + 1e-9, prev) << "lambda " << lambda;
+    prev = outcome.fraction_after;
+  }
+}
+
+TEST_P(PropagationProperties, InterceptionPreservesDelivery) {
+  // Interception != blackholing: after the attack every AS still holds a
+  // route that terminates at the victim.
+  GeneratedTopology gen = MakeTopo(GetParam());
+  attack::AttackSimulator sim(gen.graph);
+  topo::Asn victim = gen.stubs[GetParam() % gen.stubs.size()];
+  topo::Asn attacker = gen.tier2[GetParam() % gen.tier2.size()];
+  auto outcome = sim.RunAsppInterception(victim, attacker, 5);
+  for (topo::Asn asn : gen.graph.Ases()) {
+    if (asn == victim) continue;
+    const auto& best = outcome.after.BestAt(asn);
+    ASSERT_TRUE(best.has_value()) << "AS" << asn;
+    EXPECT_EQ(best->path.OriginAs(), victim);
+  }
+}
+
+TEST_P(PropagationProperties, AttackedRoutesStillUseRealLinks) {
+  GeneratedTopology gen = MakeTopo(GetParam());
+  attack::AttackSimulator sim(gen.graph);
+  topo::Asn victim = gen.tier3[(GetParam() + 3) % gen.tier3.size()];
+  topo::Asn attacker = gen.tier1[0];
+  if (victim == attacker) return;
+  auto outcome = sim.RunAsppInterception(victim, attacker, 4);
+  for (topo::Asn asn : gen.graph.Ases()) {
+    const auto& best = outcome.after.BestAt(asn);
+    if (!best.has_value()) continue;
+    std::vector<topo::Asn> seq = best->path.DistinctSequence();
+    if (!seq.empty()) {
+      EXPECT_TRUE(gen.graph.HasLink(asn, seq.front()));
+    }
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      EXPECT_TRUE(gen.graph.HasLink(seq[i], seq[i + 1]))
+          << seq[i] << "-" << seq[i + 1];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperties,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace asppi::bgp

@@ -1,0 +1,288 @@
+#include "bgp/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/routing_tree.h"
+#include "topology/builders.h"
+#include "topology/generator.h"
+
+namespace asppi::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::Relation;
+
+Announcement Announce(Asn origin, int lambda = 1) {
+  Announcement ann;
+  ann.origin = origin;
+  if (lambda > 1) ann.prepends.SetDefault(origin, lambda);
+  return ann;
+}
+
+std::string PathAt(const PropagationResult& result, Asn asn) {
+  const auto& best = result.BestAt(asn);
+  return best ? best->path.ToString() : "<none>";
+}
+
+// --- basic propagation over canonical shapes -------------------------------
+
+TEST(Propagation, ProviderChainUphill) {
+  AsGraph g = topo::ProviderChain(4);  // 1 ← 2 ← 3 ← 4 (providers above)
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(PathAt(result, 2), "1");
+  EXPECT_EQ(PathAt(result, 3), "2 1");
+  EXPECT_EQ(PathAt(result, 4), "3 2 1");
+  EXPECT_EQ(result.BestAt(2)->rel, Relation::kCustomer);
+  EXPECT_EQ(result.BestAt(4)->rel, Relation::kCustomer);
+  EXPECT_FALSE(result.BestAt(1).has_value());  // origin holds no learned route
+  EXPECT_EQ(result.ReachableCount(), 3u);
+}
+
+TEST(Propagation, ProviderChainDownhill) {
+  AsGraph g = topo::ProviderChain(4);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(4));
+  EXPECT_EQ(PathAt(result, 3), "4");
+  EXPECT_EQ(PathAt(result, 1), "2 3 4");
+  EXPECT_EQ(result.BestAt(1)->rel, Relation::kProvider);
+}
+
+TEST(Propagation, PeerCliqueOneHopOnly) {
+  // Peer-learned routes must not be re-exported to other peers.
+  AsGraph g = topo::PeerClique(4);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  for (Asn asn : {2u, 3u, 4u}) {
+    EXPECT_EQ(PathAt(result, asn), "1");
+    EXPECT_EQ(result.BestAt(asn)->rel, Relation::kPeer);
+  }
+}
+
+TEST(Propagation, ValleyFreeBlocksPeerOfProvider) {
+  //   3 ── 4   (peers)
+  //   │
+  //   2        (customer of 3)
+  //   │
+  //   1        (origin, customer of 2)
+  // 4 reaches 1 via peer 3 (customer route at 3); but a stub hanging off 4
+  // gets it as a provider route. A peer of 4 must NOT.
+  AsGraph g;
+  g.AddLink(3, 2, Relation::kCustomer);
+  g.AddLink(2, 1, Relation::kCustomer);
+  g.AddLink(3, 4, Relation::kPeer);
+  g.AddLink(4, 5, Relation::kCustomer);  // stub under 4
+  g.AddLink(4, 6, Relation::kPeer);      // peer of 4
+  g.AddLink(6, 3, Relation::kPeer);      // 6 also peers with 3
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(PathAt(result, 4), "3 2 1");   // peer route at 4
+  EXPECT_EQ(PathAt(result, 5), "4 3 2 1");  // provider route at 5
+  // 6 hears from 3 (its peer, customer route at 3) but not from 4.
+  EXPECT_EQ(PathAt(result, 6), "3 2 1");
+  EXPECT_EQ(result.BestAt(6)->learned_from, 3u);
+}
+
+TEST(Propagation, UnreachableWithoutValleyPath) {
+  // origin 1 under provider 2; 2 peers with 3; 3 peers with 4.
+  // 4 cannot learn the route: it would need two peer hops.
+  AsGraph g;
+  g.AddLink(2, 1, Relation::kCustomer);
+  g.AddLink(2, 3, Relation::kPeer);
+  g.AddLink(3, 4, Relation::kPeer);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(PathAt(result, 3), "2 1");
+  EXPECT_FALSE(result.BestAt(4).has_value());
+}
+
+TEST(Propagation, SiblingTransitsEverything) {
+  // 1 origin, peer of 2; 2 sibling of 3; 3 provides nothing else.
+  // Peer-learned route at 2 must still reach sibling 3.
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);
+  g.AddLink(2, 3, Relation::kSibling);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(PathAt(result, 3), "2 1");
+  EXPECT_EQ(result.BestAt(3)->rel, Relation::kSibling);
+}
+
+TEST(Propagation, SiblingRouteExportsOnward) {
+  // Sibling-learned routes are exportable to providers (intra-organization).
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kSibling);   // 2 sibling of origin
+  g.AddLink(3, 2, Relation::kCustomer);  // 3 provides for 2
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(PathAt(result, 3), "2 1");
+}
+
+// --- local preference in action ---------------------------------------------
+
+TEST(Propagation, CustomerRouteBeatsShorterPeerRoute) {
+  AsGraph g = topo::DualHomedStub();
+  // V=100 prepends 3 copies toward P1(11) only.
+  Announcement ann;
+  ann.origin = 100;
+  ann.prepends.SetForNeighbor(100, 11, 3);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(ann);
+  // T1a(1) has the long customer route via P1 and a shorter peer route via
+  // T1b; local-pref wins.
+  EXPECT_EQ(PathAt(result, 1), "11 100 100 100");
+  EXPECT_EQ(result.BestAt(1)->rel, Relation::kCustomer);
+  // P1 itself holds the padded customer route.
+  EXPECT_EQ(PathAt(result, 11), "100 100 100");
+}
+
+TEST(Propagation, PaddingStearsTrafficToOtherProvider) {
+  // The legitimate use of ASPP (paper §II-A): stub 21 under P1 reaches V
+  // through P1's own customer link; but T1b's cone all goes through P2.
+  AsGraph g = topo::DualHomedStub();
+  Announcement ann;
+  ann.origin = 100;
+  ann.prepends.SetForNeighbor(100, 11, 3);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(ann);
+  EXPECT_EQ(PathAt(result, 22), "12 100");
+  // T1b prefers its own customer branch via P2.
+  EXPECT_EQ(PathAt(result, 2), "12 100");
+  // Stub 21: P1 is its only provider; P1's best is its customer route.
+  EXPECT_EQ(PathAt(result, 21), "11 100 100 100");
+}
+
+// --- prepending semantics ------------------------------------------------------
+
+TEST(Propagation, UniformPrependingLengthensAllPaths) {
+  AsGraph g = topo::ProviderChain(3);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1, 4));
+  EXPECT_EQ(PathAt(result, 2), "1 1 1 1");
+  EXPECT_EQ(PathAt(result, 3), "2 1 1 1 1");
+}
+
+TEST(Propagation, IntermediaryPrepending) {
+  AsGraph g = topo::ProviderChain(3);
+  Announcement ann;
+  ann.origin = 1;
+  ann.prepends.SetDefault(2, 3);  // AS2 pads its own ASN 3× on export
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(ann);
+  EXPECT_EQ(PathAt(result, 3), "2 2 2 1");
+}
+
+// --- the Facebook anomaly (paper Section III / Fig. 1) -------------------------
+
+TEST(Propagation, FacebookNormalCase) {
+  AsGraph g = topo::FacebookAnomalyTopology();
+  Announcement ann;
+  ann.origin = topo::fb::kFacebook;
+  ann.prepends.SetDefault(topo::fb::kFacebook, 5);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(ann);
+  // AT&T's normal 6-ASN route via Level3 with 5 copies of 32934.
+  EXPECT_EQ(PathAt(result, topo::fb::kAtt),
+            "3356 32934 32934 32934 32934 32934");
+  EXPECT_EQ(PathAt(result, topo::fb::kNtt),
+            "3356 32934 32934 32934 32934 32934");
+}
+
+TEST(Propagation, FacebookAnomalyRouteWins) {
+  // Facebook sends only 3 copies toward SK Telecom (or they are stripped
+  // upstream): the 5-ASN route through Korea/China beats the 6-ASN Level3
+  // route, exactly the Mar 22, 2011 event.
+  AsGraph g = topo::FacebookAnomalyTopology();
+  Announcement ann;
+  ann.origin = topo::fb::kFacebook;
+  ann.prepends.SetDefault(topo::fb::kFacebook, 5);
+  ann.prepends.SetForNeighbor(topo::fb::kFacebook, topo::fb::kSkTelecom, 3);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(ann);
+  EXPECT_EQ(PathAt(result, topo::fb::kAtt),
+            "4134 9318 32934 32934 32934");
+  EXPECT_EQ(PathAt(result, topo::fb::kNtt),
+            "4134 9318 32934 32934 32934");
+}
+
+// --- withdrawal / loop handling --------------------------------------------------
+
+TEST(Propagation, NoLoopedPathsAnywhere) {
+  topo::GeneratorParams params;
+  params.seed = 3;
+  params.num_tier1 = 5;
+  params.num_tier2 = 25;
+  params.num_tier3 = 60;
+  params.num_stubs = 200;
+  params.num_content = 4;
+  auto gen = topo::GenerateInternetTopology(params);
+  PropagationSimulator sim(gen.graph);
+  PropagationResult result = sim.Run(Announce(gen.stubs[0], 3));
+  for (Asn asn : gen.graph.Ases()) {
+    const auto& best = result.BestAt(asn);
+    if (!best) continue;
+    EXPECT_FALSE(best->path.HasLoop()) << best->path.ToString();
+    EXPECT_FALSE(best->path.Contains(asn)) << "AS" << asn;
+    EXPECT_EQ(best->path.OriginAs(), gen.stubs[0]);
+  }
+}
+
+TEST(Propagation, EveryAsReachableOnConnectedGraph) {
+  topo::GeneratorParams params;
+  params.seed = 8;
+  params.num_tier1 = 5;
+  params.num_tier2 = 20;
+  params.num_tier3 = 50;
+  params.num_stubs = 150;
+  params.num_content = 3;
+  auto gen = topo::GenerateInternetTopology(params);
+  PropagationSimulator sim(gen.graph);
+  PropagationResult result = sim.Run(Announce(gen.tier2[0]));
+  EXPECT_EQ(result.ReachableCount(), gen.graph.NumAses() - 1);
+}
+
+// --- Resume semantics -------------------------------------------------------------
+
+TEST(Propagation, ResumeWithoutChangesIsStable) {
+  AsGraph g = topo::FacebookAnomalyTopology();
+  PropagationSimulator sim(g);
+  Announcement ann = Announce(topo::fb::kFacebook, 5);
+  PropagationResult before = sim.Run(ann);
+  IdentityTransform identity;
+  PropagationResult after =
+      sim.Resume(before, &identity, {topo::fb::kSkTelecom});
+  for (Asn asn : g.Ases()) {
+    EXPECT_EQ(PathAt(after, asn), PathAt(before, asn));
+    EXPECT_EQ(after.FirstChangeRound(asn), -1);
+  }
+}
+
+TEST(Propagation, ChangeRoundsGrowWithDistance) {
+  AsGraph g = topo::ProviderChain(5);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  EXPECT_EQ(result.FirstChangeRound(2), 1);
+  EXPECT_EQ(result.FirstChangeRound(3), 2);
+  EXPECT_EQ(result.FirstChangeRound(5), 4);
+}
+
+// --- helpers -----------------------------------------------------------------------
+
+TEST(Propagation, AsesTraversingAndFraction) {
+  AsGraph g = topo::ProviderChain(4);
+  PropagationSimulator sim(g);
+  PropagationResult result = sim.Run(Announce(1));
+  // Paths: 2:[1], 3:[2 1], 4:[3 2 1]. AS2 is on the best paths of 3 and 4.
+  EXPECT_EQ(result.AsesTraversing(2), (std::vector<Asn>{3, 4}));
+  EXPECT_DOUBLE_EQ(result.FractionTraversing(2), 1.0);  // 2 of (4-2)
+  EXPECT_EQ(result.AsesTraversing(4), (std::vector<Asn>{}));
+}
+
+TEST(Propagation, RejectsUnknownOrigin) {
+  AsGraph g = topo::PeerClique(3);
+  PropagationSimulator sim(g);
+  EXPECT_DEATH(sim.Run(Announce(99)), "origin");
+}
+
+}  // namespace
+}  // namespace asppi::bgp

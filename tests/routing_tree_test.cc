@@ -1,0 +1,160 @@
+#include "bgp/routing_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/propagation.h"
+#include "topology/builders.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace asppi::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::Relation;
+
+Announcement Announce(Asn origin, int lambda = 1) {
+  Announcement ann;
+  ann.origin = origin;
+  if (lambda > 1) ann.prepends.SetDefault(origin, lambda);
+  return ann;
+}
+
+TEST(RoutingTree, ChainClasses) {
+  AsGraph g = topo::ProviderChain(4);
+  RoutingTree tree(g, Announce(1));
+  EXPECT_EQ(tree.At(1).via, RoutingTree::Via::kSelf);
+  EXPECT_EQ(tree.At(2).via, RoutingTree::Via::kCustomer);
+  EXPECT_EQ(tree.At(4).via, RoutingTree::Via::kCustomer);
+  EXPECT_EQ(tree.At(4).length, 3u);
+  EXPECT_EQ(tree.PathFrom(4).ToString(), "3 2 1");
+}
+
+TEST(RoutingTree, DownhillClasses) {
+  AsGraph g = topo::ProviderChain(4);
+  RoutingTree tree(g, Announce(4));
+  EXPECT_EQ(tree.At(1).via, RoutingTree::Via::kProvider);
+  EXPECT_EQ(tree.At(1).length, 3u);
+  EXPECT_EQ(tree.PathFrom(1).ToString(), "2 3 4");
+}
+
+TEST(RoutingTree, PeerPhase) {
+  AsGraph g = topo::PeerClique(3);
+  RoutingTree tree(g, Announce(1));
+  EXPECT_EQ(tree.At(2).via, RoutingTree::Via::kPeer);
+  EXPECT_EQ(tree.At(3).via, RoutingTree::Via::kPeer);
+  EXPECT_EQ(tree.At(2).length, 1u);
+}
+
+TEST(RoutingTree, PrependingCountsInLength) {
+  AsGraph g = topo::ProviderChain(3);
+  RoutingTree tree(g, Announce(1, 4));
+  EXPECT_EQ(tree.At(2).length, 4u);
+  EXPECT_EQ(tree.At(3).length, 5u);
+  EXPECT_EQ(tree.PathFrom(3).ToString(), "2 1 1 1 1");
+}
+
+TEST(RoutingTree, PerNeighborPrepends) {
+  AsGraph g = topo::DualHomedStub();
+  Announcement ann;
+  ann.origin = 100;
+  ann.prepends.SetForNeighbor(100, 11, 3);
+  RoutingTree tree(g, ann);
+  EXPECT_EQ(tree.At(11).length, 3u);
+  EXPECT_EQ(tree.At(12).length, 1u);
+  EXPECT_EQ(tree.PathFrom(11).ToString(), "100 100 100");
+}
+
+TEST(RoutingTree, UnreachableMarkedNone) {
+  AsGraph g;
+  g.AddLink(2, 1, Relation::kCustomer);
+  g.AddLink(2, 3, Relation::kPeer);
+  g.AddLink(3, 4, Relation::kPeer);
+  RoutingTree tree(g, Announce(1));
+  EXPECT_EQ(tree.At(4).via, RoutingTree::Via::kNone);
+  EXPECT_TRUE(tree.PathFrom(4).Empty());
+}
+
+TEST(RoutingTree, RejectsSiblingGraphs) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kSibling);
+  g.AddLink(3, 1, Relation::kCustomer);
+  EXPECT_DEATH(RoutingTree(g, Announce(3)), "sibling");
+}
+
+// --- cross-check: the two engines agree on attack-free scenarios ------------
+
+class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, ClassAndLengthMatchPropagation) {
+  topo::GeneratorParams params;
+  params.seed = GetParam();
+  params.num_tier1 = 6;
+  params.num_tier2 = 30;
+  params.num_tier3 = 80;
+  params.num_stubs = 250;
+  params.num_content = 5;
+  params.num_sibling_pairs = 0;  // RoutingTree does not support siblings
+  auto gen = topo::GenerateInternetTopology(params);
+  PropagationSimulator sim(gen.graph);
+  util::Rng rng(util::DeriveSeed(GetParam(), 1));
+
+  for (int trial = 0; trial < 3; ++trial) {
+    Asn origin = rng.Pick(gen.graph.Ases());
+    int lambda = 1 + static_cast<int>(rng.Below(4));
+    Announcement ann = Announce(origin, lambda);
+    PropagationResult prop = sim.Run(ann);
+    RoutingTree tree(gen.graph, ann);
+
+    for (Asn asn : gen.graph.Ases()) {
+      if (asn == origin) continue;
+      const auto& best = prop.BestAt(asn);
+      const RoutingTree::Entry& entry = tree.At(asn);
+      if (!best.has_value()) {
+        EXPECT_EQ(entry.via, RoutingTree::Via::kNone) << "AS" << asn;
+        continue;
+      }
+      RoutingTree::Via expected_via = RoutingTree::Via::kNone;
+      switch (best->rel) {
+        case Relation::kCustomer:
+          expected_via = RoutingTree::Via::kCustomer;
+          break;
+        case Relation::kPeer:
+          expected_via = RoutingTree::Via::kPeer;
+          break;
+        case Relation::kProvider:
+          expected_via = RoutingTree::Via::kProvider;
+          break;
+        case Relation::kSibling:
+          break;
+      }
+      EXPECT_EQ(entry.via, expected_via)
+          << "AS" << asn << " path " << best->path.ToString();
+      EXPECT_EQ(entry.length, best->path.Length())
+          << "AS" << asn << " prop=" << best->path.ToString()
+          << " tree=" << tree.PathFrom(asn).ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(RoutingTree, ReachableCountMatchesPropagation) {
+  topo::GeneratorParams params;
+  params.seed = 77;
+  params.num_tier1 = 4;
+  params.num_tier2 = 15;
+  params.num_tier3 = 40;
+  params.num_stubs = 100;
+  params.num_content = 2;
+  params.num_sibling_pairs = 0;
+  auto gen = topo::GenerateInternetTopology(params);
+  Announcement ann = Announce(gen.stubs[0], 2);
+  PropagationSimulator sim(gen.graph);
+  EXPECT_EQ(RoutingTree(gen.graph, ann).ReachableCount(),
+            sim.Run(ann).ReachableCount());
+}
+
+}  // namespace
+}  // namespace asppi::bgp

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "topology/as_graph.h"
+#include "topology/builders.h"
+#include "topology/generator.h"
+#include "topology/serialization.h"
+#include "topology/tiers.h"
+
+namespace asppi::topo {
+namespace {
+
+// --- Relation ------------------------------------------------------------
+
+TEST(Relation, ReverseIsInvolution) {
+  for (Relation r : {Relation::kCustomer, Relation::kPeer, Relation::kProvider,
+                     Relation::kSibling}) {
+    EXPECT_EQ(Reverse(Reverse(r)), r);
+  }
+  EXPECT_EQ(Reverse(Relation::kCustomer), Relation::kProvider);
+  EXPECT_EQ(Reverse(Relation::kPeer), Relation::kPeer);
+  EXPECT_EQ(Reverse(Relation::kSibling), Relation::kSibling);
+}
+
+TEST(Relation, ParseNames) {
+  Relation r;
+  EXPECT_TRUE(ParseRelation("customer", r));
+  EXPECT_EQ(r, Relation::kCustomer);
+  EXPECT_TRUE(ParseRelation("sibling", r));
+  EXPECT_EQ(r, Relation::kSibling);
+  EXPECT_FALSE(ParseRelation("frenemy", r));
+}
+
+// --- AsGraph ----------------------------------------------------------------
+
+TEST(AsGraph, AddLinkCreatesBothDirections) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kCustomer);  // 2 is customer of 1
+  EXPECT_EQ(g.RelationOf(1, 2), Relation::kCustomer);
+  EXPECT_EQ(g.RelationOf(2, 1), Relation::kProvider);
+  EXPECT_EQ(g.NumAses(), 2u);
+  EXPECT_EQ(g.NumLinks(), 1u);
+}
+
+TEST(AsGraph, IdempotentReAdd) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);
+  g.AddLink(1, 2, Relation::kPeer);
+  g.AddLink(2, 1, Relation::kPeer);
+  EXPECT_EQ(g.NumLinks(), 1u);
+}
+
+TEST(AsGraph, RoleQueries) {
+  AsGraph g;
+  g.AddLink(10, 1, Relation::kCustomer);
+  g.AddLink(10, 2, Relation::kCustomer);
+  g.AddLink(10, 20, Relation::kPeer);
+  g.AddLink(30, 10, Relation::kCustomer);  // 30 provides for 10
+  g.AddLink(10, 40, Relation::kSibling);
+  EXPECT_EQ(g.Customers(10), (std::vector<Asn>{1, 2}));
+  EXPECT_EQ(g.Peers(10), (std::vector<Asn>{20}));
+  EXPECT_EQ(g.Providers(10), (std::vector<Asn>{30}));
+  EXPECT_EQ(g.Siblings(10), (std::vector<Asn>{40}));
+  EXPECT_EQ(g.Degree(10), 5u);
+}
+
+TEST(AsGraph, RelationOfMissing) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);
+  EXPECT_FALSE(g.RelationOf(1, 3).has_value());
+  EXPECT_FALSE(g.RelationOf(99, 1).has_value());
+  EXPECT_FALSE(g.HasLink(2, 3));
+}
+
+TEST(AsGraph, DenseIndexRoundTrip) {
+  AsGraph g;
+  g.AddLink(7018, 32934, Relation::kCustomer);
+  for (Asn asn : g.Ases()) {
+    EXPECT_EQ(g.AsnAt(g.IndexOf(asn)), asn);
+  }
+}
+
+TEST(AsGraph, DegreeRanking) {
+  AsGraph g = ProviderStar(5);  // hub 1 has degree 5
+  auto ranked = g.AsesByDegreeDesc();
+  EXPECT_EQ(ranked.front(), 1u);
+  // Spokes tie at degree 1; ties break by ascending ASN.
+  EXPECT_EQ(ranked[1], 2u);
+}
+
+TEST(AsGraph, CustomerConeSize) {
+  // 1 provides for 2, 2 provides for 3: cone(1) = {1,2,3}.
+  AsGraph g = ProviderChain(3);
+  EXPECT_EQ(g.CustomerConeSize(3), 3u);
+  EXPECT_EQ(g.CustomerConeSize(2), 2u);
+  EXPECT_EQ(g.CustomerConeSize(1), 1u);
+}
+
+TEST(AsGraph, Connectivity) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);
+  EXPECT_TRUE(g.IsConnected());
+  g.AddLink(3, 4, Relation::kPeer);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+// --- builders -----------------------------------------------------------------
+
+TEST(Builders, FacebookTopologyShape) {
+  AsGraph g = FacebookAnomalyTopology();
+  EXPECT_EQ(g.NumAses(), 6u);
+  EXPECT_EQ(g.RelationOf(fb::kLevel3, fb::kAtt), Relation::kPeer);
+  EXPECT_EQ(g.RelationOf(fb::kLevel3, fb::kFacebook), Relation::kCustomer);
+  EXPECT_EQ(g.RelationOf(fb::kFacebook, fb::kSkTelecom), Relation::kProvider);
+  EXPECT_EQ(g.RelationOf(fb::kChinaTelecom, fb::kSkTelecom),
+            Relation::kCustomer);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Builders, DualHomedStub) {
+  AsGraph g = DualHomedStub();
+  EXPECT_EQ(g.Providers(100), (std::vector<Asn>{11, 12}));
+  EXPECT_TRUE(g.IsConnected());
+}
+
+// --- tiers ----------------------------------------------------------------------
+
+TEST(Tiers, FacebookTopologyTiers) {
+  AsGraph g = FacebookAnomalyTopology();
+  TierInfo tiers = ClassifyTiers(g);
+  EXPECT_EQ(tiers.Tier1().size(), 4u);
+  EXPECT_EQ(tiers.TierOf(fb::kAtt), 1);
+  EXPECT_EQ(tiers.TierOf(fb::kSkTelecom), 2);
+  // Facebook: customer of Level3 (tier1) → tier 2.
+  EXPECT_EQ(tiers.TierOf(fb::kFacebook), 2);
+}
+
+TEST(Tiers, ChainTiers) {
+  AsGraph g = ProviderChain(4);  // 4 provides 3 provides 2 provides 1
+  TierInfo tiers = ClassifyTiers(g);
+  EXPECT_EQ(tiers.TierOf(4), 1);
+  EXPECT_EQ(tiers.TierOf(3), 2);
+  EXPECT_EQ(tiers.TierOf(2), 3);
+  EXPECT_EQ(tiers.TierOf(1), 4);
+  EXPECT_EQ(tiers.MaxTier(), 4);
+}
+
+TEST(Tiers, SiblingInheritsTier) {
+  AsGraph g = ProviderChain(3);
+  g.AddLink(3, 77, Relation::kSibling);
+  TierInfo tiers = ClassifyTiers(g);
+  EXPECT_EQ(tiers.TierOf(77), 1);
+}
+
+// --- serialization ---------------------------------------------------------------
+
+TEST(Serialization, RoundTrip) {
+  AsGraph g = FacebookAnomalyTopology();
+  g.AddLink(fb::kNtt, 555, Relation::kSibling);
+  std::ostringstream os;
+  WriteAsRel(g, os);
+  std::istringstream is(os.str());
+  AsGraph parsed;
+  std::string err = ReadAsRel(is, parsed);
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(parsed.NumAses(), g.NumAses());
+  EXPECT_EQ(parsed.NumLinks(), g.NumLinks());
+  for (Asn a : g.Ases()) {
+    for (const auto& n : g.NeighborsOf(a)) {
+      EXPECT_EQ(parsed.RelationOf(a, n.asn), n.rel)
+          << a << "-" << n.asn;
+    }
+  }
+}
+
+TEST(Serialization, RejectsMalformedLine) {
+  AsGraph g;
+  std::istringstream is("1|2\n");
+  EXPECT_NE(ReadAsRel(is, g), "");
+}
+
+TEST(Serialization, RejectsBadCode) {
+  AsGraph g;
+  std::istringstream is("1|2|7\n");
+  EXPECT_NE(ReadAsRel(is, g), "");
+}
+
+TEST(Serialization, RejectsSelfLink) {
+  AsGraph g;
+  std::istringstream is("5|5|0\n");
+  EXPECT_NE(ReadAsRel(is, g), "");
+}
+
+TEST(Serialization, RejectsConflict) {
+  AsGraph g;
+  std::istringstream is("1|2|0\n1|2|-1\n");
+  EXPECT_NE(ReadAsRel(is, g), "");
+}
+
+TEST(Serialization, SkipsCommentsAndBlanks) {
+  AsGraph g;
+  std::istringstream is("# header\n\n1|2|0\n");
+  EXPECT_EQ(ReadAsRel(is, g), "");
+  EXPECT_EQ(g.NumLinks(), 1u);
+}
+
+TEST(Serialization, MissingFileErrors) {
+  AsGraph g;
+  EXPECT_NE(ReadAsRelFile("/nonexistent/file.topo", g), "");
+}
+
+// --- generator -------------------------------------------------------------------
+
+class GeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorTest, StructuralInvariants) {
+  GeneratorParams params;
+  params.seed = GetParam();
+  params.num_tier1 = 8;
+  params.num_tier2 = 40;
+  params.num_tier3 = 120;
+  params.num_stubs = 400;
+  params.num_content = 6;
+  params.num_sibling_pairs = 4;
+  GeneratedTopology topo = GenerateInternetTopology(params);
+  const AsGraph& g = topo.graph;
+
+  EXPECT_EQ(g.NumAses(), params.TotalAses());
+  EXPECT_TRUE(g.IsConnected());
+
+  // Tier-1 clique: full peering, no providers.
+  for (Asn a : topo.tier1) {
+    EXPECT_TRUE(g.Providers(a).empty());
+    for (Asn b : topo.tier1) {
+      if (a != b) {
+        EXPECT_EQ(g.RelationOf(a, b), Relation::kPeer);
+      }
+    }
+  }
+  // Everyone else has at least one provider.
+  for (const auto& pool : {topo.tier2, topo.tier3, topo.stubs, topo.content}) {
+    for (Asn a : pool) {
+      EXPECT_FALSE(g.Providers(a).empty()) << "AS" << a;
+    }
+  }
+  // Sibling pairs recorded and linked.
+  EXPECT_EQ(topo.siblings.size(), params.num_sibling_pairs);
+  for (const auto& [a, b] : topo.siblings) {
+    EXPECT_EQ(g.RelationOf(a, b), Relation::kSibling);
+  }
+  // Tier classification finds exactly the generated core.
+  TierInfo tiers = ClassifyTiers(g);
+  EXPECT_EQ(tiers.Tier1(), topo.tier1);
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  GeneratorParams params;
+  params.seed = GetParam();
+  params.num_tier1 = 5;
+  params.num_tier2 = 20;
+  params.num_tier3 = 50;
+  params.num_stubs = 100;
+  params.num_content = 3;
+  GeneratedTopology a = GenerateInternetTopology(params);
+  GeneratedTopology b = GenerateInternetTopology(params);
+  EXPECT_EQ(a.graph.NumLinks(), b.graph.NumLinks());
+  std::ostringstream osa, osb;
+  WriteAsRel(a.graph, osa);
+  WriteAsRel(b.graph, osb);
+  EXPECT_EQ(osa.str(), osb.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest,
+                         ::testing::Values(1, 42, 1234, 99999));
+
+TEST(Generator, Tier1ConesModerateButCovering) {
+  // Calibration guard for the attack analysis: individual tier-1 customer
+  // cones are modest (inferred 2011 cones were — this is what lets a
+  // stripped route win >95 % of the Internet in Fig. 9), yet every AS sits
+  // in at least one tier-1 cone and the top cone is substantial.
+  GeneratorParams params;
+  params.seed = 42;
+  GeneratedTopology topo = GenerateInternetTopology(params);
+  const double total = static_cast<double>(topo.graph.NumAses());
+  double max_cone = 0.0;
+  for (Asn t1 : topo.tier1) {
+    double cone = static_cast<double>(topo.graph.CustomerConeSize(t1)) / total;
+    EXPECT_LT(cone, 0.9) << "tier-1 AS" << t1 << " cone implausibly large";
+    max_cone = std::max(max_cone, cone);
+  }
+  EXPECT_GT(max_cone, 0.10);
+  // Union of cones covers everything: multi-source descent from the core
+  // over provider→customer (and sibling) edges reaches every AS.
+  std::set<Asn> covered(topo.tier1.begin(), topo.tier1.end());
+  std::vector<Asn> frontier(topo.tier1.begin(), topo.tier1.end());
+  while (!frontier.empty()) {
+    Asn cur = frontier.back();
+    frontier.pop_back();
+    for (const AsGraph::Neighbor& n : topo.graph.NeighborsOf(cur)) {
+      if (n.rel != Relation::kCustomer && n.rel != Relation::kSibling) {
+        continue;
+      }
+      if (covered.insert(n.asn).second) frontier.push_back(n.asn);
+    }
+  }
+  EXPECT_EQ(covered.size(), topo.graph.NumAses());
+}
+
+TEST(Generator, ContentAsesRichlyPeered) {
+  GeneratorParams params;
+  params.seed = 7;
+  GeneratedTopology topo = GenerateInternetTopology(params);
+  for (Asn c : topo.content) {
+    EXPECT_GE(topo.graph.Peers(c).size(), params.content_min_peers / 2)
+        << "content AS" << c;
+  }
+}
+
+TEST(Generator, DegreeDistributionHeavyTailed) {
+  GeneratorParams params;
+  params.seed = 42;
+  GeneratedTopology topo = GenerateInternetTopology(params);
+  auto ranked = topo.graph.AsesByDegreeDesc();
+  std::size_t top = topo.graph.Degree(ranked.front());
+  std::size_t median = topo.graph.Degree(ranked[ranked.size() / 2]);
+  EXPECT_GT(top, 20 * std::max<std::size_t>(median, 1));
+}
+
+}  // namespace
+}  // namespace asppi::topo

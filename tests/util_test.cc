@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace asppi::util {
+namespace {
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Geometric(0.5);
+  EXPECT_NEAR(sum / kTrials, 2.0, 0.1);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(17);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<std::size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, DeriveSeedIndependentStreams) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+  EXPECT_EQ(DeriveSeed(5, 7), DeriveSeed(5, 7));
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(23);
+  std::size_t low = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++low;
+  }
+  EXPECT_GT(low, 400u);  // heavy head
+}
+
+// --- Histogram -----------------------------------------------------------
+
+TEST(Histogram, Fractions) {
+  Histogram h;
+  h.Add(2, 34);
+  h.Add(3, 22);
+  h.Add(4, 44);
+  EXPECT_EQ(h.Total(), 100u);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 0.34);
+  EXPECT_DOUBLE_EQ(h.Fraction(3), 0.22);
+  EXPECT_DOUBLE_EQ(h.Fraction(7), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(3), 0.66);
+  EXPECT_EQ(h.MinKey(), 2);
+  EXPECT_EQ(h.MaxKey(), 4);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_TRUE(h.Empty());
+  EXPECT_DOUBLE_EQ(h.Fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAtLeast(0), 0.0);
+}
+
+// --- Cdf -------------------------------------------------------------------
+
+TEST(Cdf, BasicQuantiles) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.At(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 5.0);
+}
+
+TEST(Cdf, PointsCoverRange) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(i);
+  Cdf cdf(samples);
+  auto points = cdf.Points(20);
+  EXPECT_LE(points.size(), 60u);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].first, points[i].first);
+    EXPECT_LE(points[i - 1].second, points[i].second);
+  }
+}
+
+// --- Summary ----------------------------------------------------------------
+
+TEST(Summary, Accumulates) {
+  Summary s;
+  for (double x : {2.0, 4.0, 6.0}) s.Add(x);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.Stddev(), 1.632993, 1e-5);
+}
+
+TEST(Stats, VectorHelpers) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, Split) {
+  EXPECT_EQ(Split("a|b|c", '|'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a||", '|'), (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ(Split("", '|'), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  7018  3356\t32934 "),
+            (std::vector<std::string>{"7018", "3356", "32934"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt(" -7 "), -7);
+  EXPECT_FALSE(ParseInt("4x").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("1 2").has_value());
+}
+
+TEST(Strings, ParseUintRejectsNegative) {
+  EXPECT_EQ(ParseUint("32934"), 32934u);
+  EXPECT_FALSE(ParseUint("-1").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.34"), 0.34);
+  EXPECT_FALSE(ParseDouble("0.3.4").has_value());
+}
+
+TEST(Strings, JoinAndFormat) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, " "), "1 2 3");
+  EXPECT_EQ(Format("%d-%s", 5, "x"), "5-x");
+}
+
+// --- Table ---------------------------------------------------------------------
+
+TEST(Table, CsvOutput) {
+  Table t({"lambda", "polluted"});
+  t.Row().Cell(1).Cell(0.30, 2);
+  t.Row().Cell(2).Cell(0.80, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "lambda,polluted\n1,0.30\n2,0.80\n");
+}
+
+TEST(Table, PrettyAligns) {
+  Table t({"a", "long_header"});
+  t.Row().Cell(std::int64_t{1}).Cell("x");
+  std::ostringstream os;
+  t.PrintPretty(os);
+  EXPECT_NE(os.str().find("long_header"), std::string::npos);
+  EXPECT_NE(os.str().find("|"), std::string::npos);
+}
+
+// --- Flags ------------------------------------------------------------------
+
+TEST(Flags, ParsesAllTypes) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  flags.DefineDouble("p", 0.5, "prob");
+  flags.DefineBool("verbose", false, "verbosity");
+  flags.DefineString("out", "x.csv", "output");
+  flags.DefineUint("seed", 42, "seed");
+  const char* argv[] = {"prog", "--n=7",      "--p", "0.25",
+                        "--verbose", "--seed=99", "pos"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.GetInt("n"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("p"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetUint("seed"), 99u);
+  EXPECT_EQ(flags.GetString("out"), "x.csv");
+  EXPECT_EQ(flags.Positional(), (std::vector<std::string>{"pos"}));
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* argv[] = {"prog", "--typo=7"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, RejectsBadValue) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.GetInt("n"), 5);
+}
+
+}  // namespace
+}  // namespace asppi::util
