@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attack_comparison.dir/ablation_attack_comparison.cc.o"
+  "CMakeFiles/ablation_attack_comparison.dir/ablation_attack_comparison.cc.o.d"
+  "ablation_attack_comparison"
+  "ablation_attack_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attack_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

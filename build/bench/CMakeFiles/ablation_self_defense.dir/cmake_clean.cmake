@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_self_defense.dir/ablation_self_defense.cc.o"
+  "CMakeFiles/ablation_self_defense.dir/ablation_self_defense.cc.o.d"
+  "ablation_self_defense"
+  "ablation_self_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_self_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libasppi_bench_common.a"
+  "../lib/libasppi_bench_common.pdb"
+  "CMakeFiles/asppi_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/asppi_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

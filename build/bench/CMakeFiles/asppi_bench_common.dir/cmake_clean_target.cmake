@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libasppi_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_table1_facebook_anomaly.dir/fig01_table1_facebook_anomaly.cc.o"
+  "CMakeFiles/fig01_table1_facebook_anomaly.dir/fig01_table1_facebook_anomaly.cc.o.d"
+  "fig01_table1_facebook_anomaly"
+  "fig01_table1_facebook_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_table1_facebook_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

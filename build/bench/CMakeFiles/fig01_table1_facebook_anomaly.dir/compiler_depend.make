@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_table1_facebook_anomaly.
+# This may be replaced when dependencies are built.

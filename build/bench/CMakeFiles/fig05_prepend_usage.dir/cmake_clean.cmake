@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_prepend_usage.dir/fig05_prepend_usage.cc.o"
+  "CMakeFiles/fig05_prepend_usage.dir/fig05_prepend_usage.cc.o.d"
+  "fig05_prepend_usage"
+  "fig05_prepend_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_prepend_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prepend_counts.dir/fig06_prepend_counts.cc.o"
+  "CMakeFiles/fig06_prepend_counts.dir/fig06_prepend_counts.cc.o.d"
+  "fig06_prepend_counts"
+  "fig06_prepend_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prepend_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

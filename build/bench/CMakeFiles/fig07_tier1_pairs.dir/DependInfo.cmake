@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_tier1_pairs.cc" "bench/CMakeFiles/fig07_tier1_pairs.dir/fig07_tier1_pairs.cc.o" "gcc" "bench/CMakeFiles/fig07_tier1_pairs.dir/fig07_tier1_pairs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/asppi_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/asppi_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/asppi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/asppi_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/asppi_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asppi_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asppi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tier1_pairs.dir/fig07_tier1_pairs.cc.o"
+  "CMakeFiles/fig07_tier1_pairs.dir/fig07_tier1_pairs.cc.o.d"
+  "fig07_tier1_pairs"
+  "fig07_tier1_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tier1_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_tier1_pairs.
+# This may be replaced when dependencies are built.

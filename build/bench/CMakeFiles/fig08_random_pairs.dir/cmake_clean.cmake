@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_random_pairs.dir/fig08_random_pairs.cc.o"
+  "CMakeFiles/fig08_random_pairs.dir/fig08_random_pairs.cc.o.d"
+  "fig08_random_pairs"
+  "fig08_random_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_random_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sweep_t1_t1.dir/fig09_sweep_t1_t1.cc.o"
+  "CMakeFiles/fig09_sweep_t1_t1.dir/fig09_sweep_t1_t1.cc.o.d"
+  "fig09_sweep_t1_t1"
+  "fig09_sweep_t1_t1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sweep_t1_t1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_sweep_t1_t1.
+# This may be replaced when dependencies are built.

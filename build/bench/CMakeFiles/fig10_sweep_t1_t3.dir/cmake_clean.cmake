@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sweep_t1_t3.dir/fig10_sweep_t1_t3.cc.o"
+  "CMakeFiles/fig10_sweep_t1_t3.dir/fig10_sweep_t1_t3.cc.o.d"
+  "fig10_sweep_t1_t3"
+  "fig10_sweep_t1_t3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sweep_t1_t3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_sweep_t1_t3.
+# This may be replaced when dependencies are built.

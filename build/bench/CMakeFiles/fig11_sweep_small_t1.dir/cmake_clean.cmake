@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sweep_small_t1.dir/fig11_sweep_small_t1.cc.o"
+  "CMakeFiles/fig11_sweep_small_t1.dir/fig11_sweep_small_t1.cc.o.d"
+  "fig11_sweep_small_t1"
+  "fig11_sweep_small_t1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sweep_small_t1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

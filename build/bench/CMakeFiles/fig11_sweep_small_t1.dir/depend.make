@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_sweep_small_t1.
+# This may be replaced when dependencies are built.

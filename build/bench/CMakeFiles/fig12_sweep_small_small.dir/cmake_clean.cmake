@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sweep_small_small.dir/fig12_sweep_small_small.cc.o"
+  "CMakeFiles/fig12_sweep_small_small.dir/fig12_sweep_small_small.cc.o.d"
+  "fig12_sweep_small_small"
+  "fig12_sweep_small_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sweep_small_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

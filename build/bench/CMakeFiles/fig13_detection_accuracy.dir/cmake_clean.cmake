@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_detection_accuracy.dir/fig13_detection_accuracy.cc.o"
+  "CMakeFiles/fig13_detection_accuracy.dir/fig13_detection_accuracy.cc.o.d"
+  "fig13_detection_accuracy"
+  "fig13_detection_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_detection_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

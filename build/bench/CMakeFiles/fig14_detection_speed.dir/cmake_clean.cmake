@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_detection_speed.dir/fig14_detection_speed.cc.o"
+  "CMakeFiles/fig14_detection_speed.dir/fig14_detection_speed.cc.o.d"
+  "fig14_detection_speed"
+  "fig14_detection_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_detection_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

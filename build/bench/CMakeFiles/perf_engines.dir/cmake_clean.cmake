@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_engines.dir/perf_engines.cc.o"
+  "CMakeFiles/perf_engines.dir/perf_engines.cc.o.d"
+  "perf_engines"
+  "perf_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

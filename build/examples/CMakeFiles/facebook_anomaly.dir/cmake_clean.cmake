@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facebook_anomaly.dir/facebook_anomaly.cpp.o"
+  "CMakeFiles/facebook_anomaly.dir/facebook_anomaly.cpp.o.d"
+  "facebook_anomaly"
+  "facebook_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facebook_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_prepending.dir/measure_prepending.cpp.o"
+  "CMakeFiles/measure_prepending.dir/measure_prepending.cpp.o.d"
+  "measure_prepending"
+  "measure_prepending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_prepending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_placement.dir/monitor_placement.cpp.o"
+  "CMakeFiles/monitor_placement.dir/monitor_placement.cpp.o.d"
+  "monitor_placement"
+  "monitor_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/impact.cc" "src/attack/CMakeFiles/asppi_attack.dir/impact.cc.o" "gcc" "src/attack/CMakeFiles/asppi_attack.dir/impact.cc.o.d"
+  "/root/repo/src/attack/interceptor.cc" "src/attack/CMakeFiles/asppi_attack.dir/interceptor.cc.o" "gcc" "src/attack/CMakeFiles/asppi_attack.dir/interceptor.cc.o.d"
+  "/root/repo/src/attack/scenarios.cc" "src/attack/CMakeFiles/asppi_attack.dir/scenarios.cc.o" "gcc" "src/attack/CMakeFiles/asppi_attack.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/asppi_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asppi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_attack.dir/impact.cc.o"
+  "CMakeFiles/asppi_attack.dir/impact.cc.o.d"
+  "CMakeFiles/asppi_attack.dir/interceptor.cc.o"
+  "CMakeFiles/asppi_attack.dir/interceptor.cc.o.d"
+  "CMakeFiles/asppi_attack.dir/scenarios.cc.o"
+  "CMakeFiles/asppi_attack.dir/scenarios.cc.o.d"
+  "libasppi_attack.a"
+  "libasppi_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

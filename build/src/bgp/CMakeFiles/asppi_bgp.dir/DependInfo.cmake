@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cc" "src/bgp/CMakeFiles/asppi_bgp.dir/as_path.cc.o" "gcc" "src/bgp/CMakeFiles/asppi_bgp.dir/as_path.cc.o.d"
+  "/root/repo/src/bgp/policy.cc" "src/bgp/CMakeFiles/asppi_bgp.dir/policy.cc.o" "gcc" "src/bgp/CMakeFiles/asppi_bgp.dir/policy.cc.o.d"
+  "/root/repo/src/bgp/propagation.cc" "src/bgp/CMakeFiles/asppi_bgp.dir/propagation.cc.o" "gcc" "src/bgp/CMakeFiles/asppi_bgp.dir/propagation.cc.o.d"
+  "/root/repo/src/bgp/route.cc" "src/bgp/CMakeFiles/asppi_bgp.dir/route.cc.o" "gcc" "src/bgp/CMakeFiles/asppi_bgp.dir/route.cc.o.d"
+  "/root/repo/src/bgp/routing_tree.cc" "src/bgp/CMakeFiles/asppi_bgp.dir/routing_tree.cc.o" "gcc" "src/bgp/CMakeFiles/asppi_bgp.dir/routing_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/asppi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_bgp.dir/as_path.cc.o"
+  "CMakeFiles/asppi_bgp.dir/as_path.cc.o.d"
+  "CMakeFiles/asppi_bgp.dir/policy.cc.o"
+  "CMakeFiles/asppi_bgp.dir/policy.cc.o.d"
+  "CMakeFiles/asppi_bgp.dir/propagation.cc.o"
+  "CMakeFiles/asppi_bgp.dir/propagation.cc.o.d"
+  "CMakeFiles/asppi_bgp.dir/route.cc.o"
+  "CMakeFiles/asppi_bgp.dir/route.cc.o.d"
+  "CMakeFiles/asppi_bgp.dir/routing_tree.cc.o"
+  "CMakeFiles/asppi_bgp.dir/routing_tree.cc.o.d"
+  "libasppi_bgp.a"
+  "libasppi_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

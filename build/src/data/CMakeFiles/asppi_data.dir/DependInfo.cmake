@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/behavior.cc" "src/data/CMakeFiles/asppi_data.dir/behavior.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/behavior.cc.o.d"
+  "/root/repo/src/data/characterize.cc" "src/data/CMakeFiles/asppi_data.dir/characterize.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/characterize.cc.o.d"
+  "/root/repo/src/data/formats.cc" "src/data/CMakeFiles/asppi_data.dir/formats.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/formats.cc.o.d"
+  "/root/repo/src/data/measurement.cc" "src/data/CMakeFiles/asppi_data.dir/measurement.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/measurement.cc.o.d"
+  "/root/repo/src/data/prefix.cc" "src/data/CMakeFiles/asppi_data.dir/prefix.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/prefix.cc.o.d"
+  "/root/repo/src/data/traceroute.cc" "src/data/CMakeFiles/asppi_data.dir/traceroute.cc.o" "gcc" "src/data/CMakeFiles/asppi_data.dir/traceroute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/asppi_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asppi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_data.dir/behavior.cc.o"
+  "CMakeFiles/asppi_data.dir/behavior.cc.o.d"
+  "CMakeFiles/asppi_data.dir/characterize.cc.o"
+  "CMakeFiles/asppi_data.dir/characterize.cc.o.d"
+  "CMakeFiles/asppi_data.dir/formats.cc.o"
+  "CMakeFiles/asppi_data.dir/formats.cc.o.d"
+  "CMakeFiles/asppi_data.dir/measurement.cc.o"
+  "CMakeFiles/asppi_data.dir/measurement.cc.o.d"
+  "CMakeFiles/asppi_data.dir/prefix.cc.o"
+  "CMakeFiles/asppi_data.dir/prefix.cc.o.d"
+  "CMakeFiles/asppi_data.dir/traceroute.cc.o"
+  "CMakeFiles/asppi_data.dir/traceroute.cc.o.d"
+  "libasppi_data.a"
+  "libasppi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

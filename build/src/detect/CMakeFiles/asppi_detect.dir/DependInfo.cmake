@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/asppi_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/asppi_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/evaluation.cc" "src/detect/CMakeFiles/asppi_detect.dir/evaluation.cc.o" "gcc" "src/detect/CMakeFiles/asppi_detect.dir/evaluation.cc.o.d"
+  "/root/repo/src/detect/monitors.cc" "src/detect/CMakeFiles/asppi_detect.dir/monitors.cc.o" "gcc" "src/detect/CMakeFiles/asppi_detect.dir/monitors.cc.o.d"
+  "/root/repo/src/detect/observation.cc" "src/detect/CMakeFiles/asppi_detect.dir/observation.cc.o" "gcc" "src/detect/CMakeFiles/asppi_detect.dir/observation.cc.o.d"
+  "/root/repo/src/detect/placement.cc" "src/detect/CMakeFiles/asppi_detect.dir/placement.cc.o" "gcc" "src/detect/CMakeFiles/asppi_detect.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/asppi_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/asppi_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/asppi_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_detect.dir/detector.cc.o"
+  "CMakeFiles/asppi_detect.dir/detector.cc.o.d"
+  "CMakeFiles/asppi_detect.dir/evaluation.cc.o"
+  "CMakeFiles/asppi_detect.dir/evaluation.cc.o.d"
+  "CMakeFiles/asppi_detect.dir/monitors.cc.o"
+  "CMakeFiles/asppi_detect.dir/monitors.cc.o.d"
+  "CMakeFiles/asppi_detect.dir/observation.cc.o"
+  "CMakeFiles/asppi_detect.dir/observation.cc.o.d"
+  "CMakeFiles/asppi_detect.dir/placement.cc.o"
+  "CMakeFiles/asppi_detect.dir/placement.cc.o.d"
+  "libasppi_detect.a"
+  "libasppi_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasppi_detect.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_infer.dir/inference.cc.o"
+  "CMakeFiles/asppi_infer.dir/inference.cc.o.d"
+  "libasppi_infer.a"
+  "libasppi_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

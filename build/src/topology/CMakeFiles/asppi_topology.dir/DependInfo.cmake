@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cc" "src/topology/CMakeFiles/asppi_topology.dir/as_graph.cc.o" "gcc" "src/topology/CMakeFiles/asppi_topology.dir/as_graph.cc.o.d"
+  "/root/repo/src/topology/builders.cc" "src/topology/CMakeFiles/asppi_topology.dir/builders.cc.o" "gcc" "src/topology/CMakeFiles/asppi_topology.dir/builders.cc.o.d"
+  "/root/repo/src/topology/generator.cc" "src/topology/CMakeFiles/asppi_topology.dir/generator.cc.o" "gcc" "src/topology/CMakeFiles/asppi_topology.dir/generator.cc.o.d"
+  "/root/repo/src/topology/serialization.cc" "src/topology/CMakeFiles/asppi_topology.dir/serialization.cc.o" "gcc" "src/topology/CMakeFiles/asppi_topology.dir/serialization.cc.o.d"
+  "/root/repo/src/topology/tiers.cc" "src/topology/CMakeFiles/asppi_topology.dir/tiers.cc.o" "gcc" "src/topology/CMakeFiles/asppi_topology.dir/tiers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asppi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_topology.dir/as_graph.cc.o"
+  "CMakeFiles/asppi_topology.dir/as_graph.cc.o.d"
+  "CMakeFiles/asppi_topology.dir/builders.cc.o"
+  "CMakeFiles/asppi_topology.dir/builders.cc.o.d"
+  "CMakeFiles/asppi_topology.dir/generator.cc.o"
+  "CMakeFiles/asppi_topology.dir/generator.cc.o.d"
+  "CMakeFiles/asppi_topology.dir/serialization.cc.o"
+  "CMakeFiles/asppi_topology.dir/serialization.cc.o.d"
+  "CMakeFiles/asppi_topology.dir/tiers.cc.o"
+  "CMakeFiles/asppi_topology.dir/tiers.cc.o.d"
+  "libasppi_topology.a"
+  "libasppi_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

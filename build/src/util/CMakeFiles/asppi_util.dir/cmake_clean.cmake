@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_util.dir/flags.cc.o"
+  "CMakeFiles/asppi_util.dir/flags.cc.o.d"
+  "CMakeFiles/asppi_util.dir/rng.cc.o"
+  "CMakeFiles/asppi_util.dir/rng.cc.o.d"
+  "CMakeFiles/asppi_util.dir/stats.cc.o"
+  "CMakeFiles/asppi_util.dir/stats.cc.o.d"
+  "CMakeFiles/asppi_util.dir/strings.cc.o"
+  "CMakeFiles/asppi_util.dir/strings.cc.o.d"
+  "CMakeFiles/asppi_util.dir/table.cc.o"
+  "CMakeFiles/asppi_util.dir/table.cc.o.d"
+  "libasppi_util.a"
+  "libasppi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_path_test.dir/as_path_test.cc.o"
+  "CMakeFiles/as_path_test.dir/as_path_test.cc.o.d"
+  "as_path_test"
+  "as_path_test.pdb"
+  "as_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

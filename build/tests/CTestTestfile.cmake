@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/as_path_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/propagation_property_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_attack_tool.dir/asppi_attack.cc.o"
+  "CMakeFiles/asppi_attack_tool.dir/asppi_attack.cc.o.d"
+  "asppi_attack_tool"
+  "asppi_attack_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_attack_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

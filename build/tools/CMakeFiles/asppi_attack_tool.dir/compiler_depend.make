@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asppi_attack_tool.
+# This may be replaced when dependencies are built.

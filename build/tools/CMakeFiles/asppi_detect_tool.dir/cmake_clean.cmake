@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_detect_tool.dir/asppi_detect.cc.o"
+  "CMakeFiles/asppi_detect_tool.dir/asppi_detect.cc.o.d"
+  "asppi_detect_tool"
+  "asppi_detect_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_detect_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

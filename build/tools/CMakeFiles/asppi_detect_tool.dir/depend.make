@@ -1,0 +1,2 @@
+# Empty dependencies file for asppi_detect_tool.
+# This may be replaced when dependencies are built.

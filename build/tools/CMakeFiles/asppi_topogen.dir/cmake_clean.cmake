@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asppi_topogen.dir/asppi_topogen.cc.o"
+  "CMakeFiles/asppi_topogen.dir/asppi_topogen.cc.o.d"
+  "asppi_topogen"
+  "asppi_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asppi_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
