@@ -69,7 +69,10 @@ int main(int argc, char** argv) {
   std::printf("scenario: AS%u attacks AS%u's prefix (lambda=%d)\n\n",
               scenario.attacker, scenario.victim, lambda);
 
-  attack::AttackSimulator simulator(topology.graph);
+  // All three attack models share the same (victim, λ) attack-free baseline;
+  // the cache computes it once.
+  attack::BaselineCache baseline_cache(topology.graph);
+  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
   struct NamedOutcome {
     const char* name;
     attack::AttackOutcome outcome;

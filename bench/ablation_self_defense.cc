@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
 
   const std::size_t budget = flags.GetUint("budget");
   const int lambda = static_cast<int>(flags.GetInt("lambda"));
-  attack::AttackSimulator simulator(topology.graph);
+  auto pool = bench::PoolFromFlags(flags);
+  // Held-out attacks share each victim's attack-free baseline via the cache.
+  attack::BaselineCache baseline_cache(topology.graph);
+  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
   auto generic = detect::TopDegreeMonitors(topology.graph, budget);
   detect::DetectionConfig detection;
   detection.lambda = lambda;
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
     placement.training_attacks = 40;
     placement.lambda = lambda;
     placement.seed = flags.GetUint("seed") + victim;
+    placement.pool = pool.get();
     detect::PlacementResult placed =
         detect::SelectMonitorsForVictim(topology.graph, victim, placement);
 

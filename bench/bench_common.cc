@@ -1,12 +1,19 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 namespace asppi::bench {
 
 void AddCommonFlags(util::Flags& flags) {
   flags.DefineUint("seed", 42, "topology seed");
+  flags.DefineUint(
+      "threads",
+      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
+      "worker threads for the sweep engine (output is identical for any "
+      "value)");
   flags.DefineUint("tier1", 10, "number of tier-1 ASes");
   flags.DefineUint("tier2", 120, "number of tier-2 ASes");
   flags.DefineUint("tier3", 700, "number of tier-3 ASes");
@@ -14,6 +21,11 @@ void AddCommonFlags(util::Flags& flags) {
   flags.DefineUint("content", 20, "number of content/CDN ASes");
   flags.DefineUint("siblings", 15, "number of sibling pairs");
   flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
+}
+
+std::unique_ptr<util::ThreadPool> PoolFromFlags(const util::Flags& flags) {
+  const std::uint64_t threads = std::max<std::uint64_t>(1, flags.GetUint("threads"));
+  return std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
 }
 
 topo::GeneratorParams ParamsFromFlags(const util::Flags& flags) {
@@ -53,15 +65,18 @@ void PrintTable(const util::Table& table, const util::Flags& flags) {
 
 std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   topo::Asn victim, topo::Asn attacker,
-                                  int max_lambda, bool violate_valley_free) {
-  attack::AttackSimulator simulator(graph);
-  std::vector<SweepRow> rows;
-  for (int lambda = 1; lambda <= max_lambda; ++lambda) {
+                                  int max_lambda, bool violate_valley_free,
+                                  util::ThreadPool* pool,
+                                  attack::BaselineCache* baseline_cache) {
+  if (max_lambda < 1) return {};
+  attack::AttackSimulator simulator(graph, baseline_cache);
+  std::vector<SweepRow> rows(static_cast<std::size_t>(max_lambda));
+  util::ParallelFor(pool, rows.size(), [&](std::size_t i) {
+    const int lambda = static_cast<int>(i) + 1;
     attack::AttackOutcome outcome = simulator.RunAsppInterception(
         victim, attacker, lambda, violate_valley_free);
-    rows.push_back(
-        SweepRow{lambda, outcome.fraction_after, outcome.fraction_before});
-  }
+    rows[i] = SweepRow{lambda, outcome.fraction_after, outcome.fraction_before};
+  });
   return rows;
 }
 

@@ -6,6 +6,7 @@
 // topology up or down.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,14 +14,20 @@
 #include "topology/generator.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace asppi::bench {
 
-// Registers the common topology/seed/output flags.
+// Registers the common topology/seed/output flags, including --threads
+// (default: hardware concurrency) for the parallel sweep engine.
 void AddCommonFlags(util::Flags& flags);
 
 // Builds generator parameters from the parsed flags.
 topo::GeneratorParams ParamsFromFlags(const util::Flags& flags);
+
+// Builds the experiment thread pool from --threads. Sweep outputs are
+// bit-identical for any --threads value; 1 disables worker threads entirely.
+std::unique_ptr<util::ThreadPool> PoolFromFlags(const util::Flags& flags);
 
 // Prints the experiment banner (figure id, paper caption, topology summary).
 void PrintBanner(const std::string& experiment, const std::string& caption,
@@ -37,10 +44,16 @@ struct SweepRow {
   double before = 0.0;  // same fraction without the attack
 };
 
-// Runs the ASPP interception for λ = 1..max_lambda.
+// Runs the ASPP interception for λ = 1..max_lambda. `pool` (optional) runs
+// the λ points in parallel; rows come back in λ order either way.
+// `baseline_cache` (optional) memoizes the per-λ attack-free baselines —
+// exactly one uncached propagation per λ, shared with any other sweep using
+// the same cache.
 std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   topo::Asn victim, topo::Asn attacker,
-                                  int max_lambda, bool violate_valley_free);
+                                  int max_lambda, bool violate_valley_free,
+                                  util::ThreadPool* pool = nullptr,
+                                  attack::BaselineCache* baseline_cache = nullptr);
 
 // Prints a λ-sweep as the paper's figures do (percent polluted per λ).
 void PrintSweep(const std::vector<SweepRow>& rows, const util::Flags& flags,

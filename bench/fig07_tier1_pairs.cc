@@ -35,12 +35,19 @@ int main(int argc, char** argv) {
   // (paper §VI-B language), the strict model keeps the attacker's own
   // valley-free export class, bounding pollution by its customer cone —
   // which is where the paper's ~40 % mean and low-impact tail live.
-  auto aggressive = attack::RunPairSweep(topology.graph, pairs, lambda,
-                                         /*violate=*/false,
-                                         /*export_to_peers=*/true);
-  auto strict = attack::RunPairSweep(topology.graph, pairs, lambda,
-                                     /*violate=*/false,
-                                     /*export_to_peers=*/false);
+  //
+  // The attack-free baseline depends only on (victim, λ), so one shared
+  // cache serves both export models: the strict sweep is all cache hits.
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
+  attack::PairSweepOptions options;
+  options.lambda = lambda;
+  options.pool = pool.get();
+  options.baseline_cache = &baseline_cache;
+  options.export_stripped_to_peers = true;
+  auto aggressive = attack::RunPairSweep(topology.graph, pairs, options);
+  options.export_stripped_to_peers = false;
+  auto strict = attack::RunPairSweep(topology.graph, pairs, options);
 
   util::Table table({"rank", "attacker", "victim", "pct_after_strict",
                      "pct_after_aggressive", "pct_before_hijack"});

@@ -31,8 +31,11 @@ int main(int argc, char** argv) {
   topo::TierInfo tiers = topo::ClassifyTiers(topology.graph);
   auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
                                          flags.GetUint("seed") + 8);
-  auto results = attack::RunPairSweep(
-      topology.graph, pairs, static_cast<int>(flags.GetInt("lambda")));
+  auto pool = bench::PoolFromFlags(flags);
+  attack::PairSweepOptions options;
+  options.lambda = static_cast<int>(flags.GetInt("lambda"));
+  options.pool = pool.get();
+  auto results = attack::RunPairSweep(topology.graph, pairs, options);
 
   util::Table table({"rank", "attacker(tier)", "victim(tier)",
                      "pct_after_hijack", "pct_before_hijack"});

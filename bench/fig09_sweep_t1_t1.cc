@@ -27,10 +27,13 @@ int main(int argc, char** argv) {
   attack::SweepScenario scenario = attack::Tier1VsTier1(topology);
   std::printf("scenario: attacker AS%u hijacks victim AS%u\n",
               scenario.attacker, scenario.victim);
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
   auto rows = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
                                  static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false);
+                                 /*violate_valley_free=*/false, pool.get(),
+                                 &baseline_cache);
   bench::PrintSweep(rows, flags, "pct_after_hijack", "pct_before_hijack");
   std::printf(
       "shape check (paper): sharp rise from lambda=1 to 2-3, then plateau; "

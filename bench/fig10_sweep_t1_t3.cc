@@ -29,10 +29,13 @@ int main(int argc, char** argv) {
   std::printf("scenario: attacker AS%u (tier-1) hijacks victim AS%u "
               "(content)\n",
               scenario.attacker, scenario.victim);
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
   auto rows = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
                                  static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false);
+                                 /*violate_valley_free=*/false, pool.get(),
+                                 &baseline_cache);
   bench::PrintSweep(rows, flags, "pct_after_hijack", "pct_before_hijack");
   std::printf(
       "shape check (paper): saturates close to 100%% once lambda >= 3.\n");

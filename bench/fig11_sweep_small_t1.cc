@@ -33,14 +33,19 @@ int main(int argc, char** argv) {
               "(tier-1); sibling chain engineered\n",
               scenario.attacker, scenario.victim);
 
+  // One shared baseline cache: the attack-free state per λ is independent of
+  // the attacker's export model, so the violate sweep is all cache hits.
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
   auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
                                  static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false);
+                                 /*violate_valley_free=*/false, pool.get(),
+                                 &baseline_cache);
   auto violate = bench::LambdaSweep(
       topology.graph, scenario.victim, scenario.attacker,
       static_cast<int>(flags.GetInt("max_lambda")),
-      /*violate_valley_free=*/true);
+      /*violate_valley_free=*/true, pool.get(), &baseline_cache);
 
   util::Table table({"num_prepending_asns", "pct_follow_valley_free",
                      "pct_violate_routing_policy", "pct_before_hijack"});

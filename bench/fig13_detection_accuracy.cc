@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
 
   auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
                                          flags.GetUint("seed") + 13);
-  attack::AttackSimulator simulator(topology.graph);
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
+  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
   detect::DetectionConfig config;
   config.lambda = static_cast<int>(flags.GetInt("lambda"));
   config.victim_aware = flags.GetBool("victim_aware");
@@ -44,16 +46,34 @@ int main(int argc, char** argv) {
   }
 
   // One attack simulation per pair, reused across every monitor-set size.
-  std::vector<detect::DetectionRates> rates(monitor_counts.size());
-  std::size_t effective = 0;
-  for (const auto& [attacker, victim] : pairs) {
+  // Pairs run in parallel into per-pair slots (the bulky propagation states
+  // are dropped inside the loop); aggregation below is in input order, so
+  // the rates are identical for any --threads value.
+  struct PairVerdict {
+    bool effective = false;
+    std::vector<detect::DetectionResult> per_set;
+  };
+  std::vector<PairVerdict> verdicts(pairs.size());
+  pool->ParallelFor(pairs.size(), [&](std::size_t p) {
+    const auto& [attacker, victim] = pairs[p];
     attack::AttackOutcome outcome =
         simulator.RunAsppInterception(victim, attacker, config.lambda);
-    if (outcome.newly_polluted.empty()) continue;
+    if (outcome.newly_polluted.empty()) return;
+    verdicts[p].effective = true;
+    verdicts[p].per_set.reserve(monitor_sets.size());
+    for (const auto& monitors : monitor_sets) {
+      verdicts[p].per_set.push_back(detect::EvaluateDetectionOnOutcome(
+          topology.graph, outcome, monitors, config));
+    }
+  });
+
+  std::vector<detect::DetectionRates> rates(monitor_counts.size());
+  std::size_t effective = 0;
+  for (const PairVerdict& verdict : verdicts) {
+    if (!verdict.effective) continue;
     ++effective;
     for (std::size_t i = 0; i < monitor_sets.size(); ++i) {
-      detect::DetectionResult result = detect::EvaluateDetectionOnOutcome(
-          topology.graph, outcome, monitor_sets[i], config);
+      const detect::DetectionResult& result = verdict.per_set[i];
       ++rates[i].instances;
       ++rates[i].effective;
       if (result.detected) ++rates[i].detected;

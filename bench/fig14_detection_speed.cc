@@ -31,17 +31,26 @@ int main(int argc, char** argv) {
 
   auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
                                          flags.GetUint("seed") + 14);
-  attack::AttackSimulator simulator(topology.graph);
+  auto pool = bench::PoolFromFlags(flags);
+  attack::BaselineCache baseline_cache(topology.graph);
+  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
   auto monitors =
       detect::TopDegreeMonitors(topology.graph, flags.GetUint("monitors"));
   detect::DetectionConfig config;
   config.lambda = static_cast<int>(flags.GetInt("lambda"));
 
+  // Per-pair results land in input-index slots; the CDF below consumes them
+  // in input order, so the figure is identical for any --threads value.
+  std::vector<detect::DetectionResult> results(pairs.size());
+  pool->ParallelFor(pairs.size(), [&](std::size_t p) {
+    const auto& [attacker, victim] = pairs[p];
+    results[p] = detect::EvaluateDetection(simulator, victim, attacker,
+                                           monitors, config);
+  });
+
   std::vector<double> fractions;
   std::size_t undetected = 0, effective = 0;
-  for (const auto& [attacker, victim] : pairs) {
-    detect::DetectionResult result = detect::EvaluateDetection(
-        simulator, victim, attacker, monitors, config);
+  for (const detect::DetectionResult& result : results) {
     if (!result.effective) continue;
     ++effective;
     if (!result.detected) {

@@ -4,13 +4,16 @@
 // recomputation, detector scan throughput, and generator cost.
 #include <benchmark/benchmark.h>
 
+#include "attack/baseline_cache.h"
 #include "attack/impact.h"
+#include "attack/scenarios.h"
 #include "bgp/propagation.h"
 #include "bgp/routing_tree.h"
 #include "detect/detector.h"
 #include "detect/evaluation.h"
 #include "detect/monitors.h"
 #include "topology/generator.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -96,6 +99,46 @@ void BM_FullAttackOutcome(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullAttackOutcome)->Unit(benchmark::kMillisecond);
+
+void BM_AttackOutcomeCachedBaseline(benchmark::State& state) {
+  // The cached counterpart of BM_FullAttackOutcome: after the first miss the
+  // attack-free baseline is served from the BaselineCache and each outcome
+  // costs only the Resume() re-convergence plus the pollution scans.
+  auto& gen = Topology(true);
+  attack::BaselineCache cache(gen.graph);
+  attack::AttackSimulator sim(gen.graph, &cache);
+  // Warm the single (victim, λ) entry so the loop measures steady state.
+  sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
+  for (auto _ : state) {
+    auto outcome =
+        sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
+    benchmark::DoNotOptimize(outcome.fraction_after);
+  }
+}
+BENCHMARK(BM_AttackOutcomeCachedBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_PairSweepParallel(benchmark::State& state) {
+  // The Figs. 7/8 workhorse at various thread counts; the per-iteration
+  // internal baseline cache means each sweep pays one Run() per distinct
+  // victim regardless of threads.
+  auto& gen = Topology(true);
+  auto pairs = attack::SampleTier1Pairs(gen, 24, /*seed=*/7);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  attack::PairSweepOptions options;
+  options.lambda = 3;
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto results = attack::RunPairSweep(gen.graph, pairs, options);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_PairSweepParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DetectionScan(benchmark::State& state) {
   auto& gen = Topology(true);

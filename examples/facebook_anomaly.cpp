@@ -34,10 +34,10 @@ int main() {
       simulator.RunAsppInterception(kFacebook, kSkTelecom, /*lambda=*/5);
 
   std::printf("normal state (Facebook prepends x5 to both providers):\n");
-  ShowRoute(outcome.before, kAtt, "AT&T");
-  ShowRoute(outcome.before, kNtt, "NTT");
-  ShowRoute(outcome.before, kLevel3, "Level3");
-  ShowRoute(outcome.before, kChinaTelecom, "ChinaTelecom");
+  ShowRoute(*outcome.before, kAtt, "AT&T");
+  ShowRoute(*outcome.before, kNtt, "NTT");
+  ShowRoute(*outcome.before, kLevel3, "Level3");
+  ShowRoute(*outcome.before, kChinaTelecom, "ChinaTelecom");
 
   std::printf("\nSK Telecom (AS9318) strips 4 of the 5 prepended ASNs:\n");
   ShowRoute(outcome.after, kAtt, "AT&T");
@@ -54,7 +54,7 @@ int main() {
   // points to the detector.
   std::vector<std::pair<topo::Asn, bgp::AsPath>> before_paths, after_paths;
   for (topo::Asn monitor : {kAtt, kNtt, kLevel3}) {
-    before_paths.emplace_back(monitor, outcome.before.BestAt(monitor)->path);
+    before_paths.emplace_back(monitor, outcome.before->BestAt(monitor)->path);
     after_paths.emplace_back(monitor, outcome.after.BestAt(monitor)->path);
   }
   detect::AsppDetector detector(&graph);

@@ -1,0 +1,57 @@
+#include "attack/baseline_cache.h"
+
+#include <exception>
+#include <utility>
+
+namespace asppi::attack {
+
+namespace {
+
+std::string KeyOf(const bgp::Announcement& announcement) {
+  return std::to_string(announcement.origin) + '|' +
+         announcement.prepends.KeyString();
+}
+
+}  // namespace
+
+BaselineCache::BaselineCache(const topo::AsGraph& graph)
+    : graph_(graph), engine_(graph) {}
+
+std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
+    const bgp::Announcement& announcement) {
+  const std::string key = KeyOf(announcement);
+  std::promise<std::shared_ptr<const bgp::PropagationResult>> promise;
+  std::shared_future<std::shared_ptr<const bgp::PropagationResult>> future;
+  bool compute = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second;
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      compute = true;
+    }
+  }
+  if (compute) {
+    // Run outside the lock so distinct announcements converge concurrently;
+    // waiters for *this* key block on the future instead of the mutex.
+    try {
+      promise.set_value(std::make_shared<const bgp::PropagationResult>(
+          engine_.Run(announcement)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t BaselineCache::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace asppi::attack

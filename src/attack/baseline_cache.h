@@ -1,0 +1,63 @@
+// BaselineCache: memoizes converged attack-free propagation states.
+//
+// Every attack experiment starts from the victim's attack-free converged
+// routing state — and the sweeps behind Figs. 7–14 re-derive that same state
+// over and over: every attacker against one victim/λ, every monitor-set size
+// against one attack, every training attacker in the placement optimizer.
+// The baseline depends only on (origin, prepend policy), never on the
+// attacker, so it is memoized here and handed out as
+// shared_ptr<const PropagationResult>; AttackSimulator then warm-starts each
+// attack via PropagationSimulator::Resume() instead of re-running Run().
+//
+// Thread-safe: concurrent Get() calls for the same announcement compute the
+// baseline exactly once (later callers block on the first caller's run);
+// distinct announcements compute concurrently. Hits()/Misses() expose the
+// effectiveness — a same-victim λ-sweep must show exactly one miss per λ.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bgp/propagation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::attack {
+
+class BaselineCache {
+ public:
+  explicit BaselineCache(const topo::AsGraph& graph);
+
+  // The converged attack-free state for `announcement`, computed at most
+  // once per distinct (origin, prepend policy).
+  std::shared_ptr<const bgp::PropagationResult> Get(
+      const bgp::Announcement& announcement);
+
+  // Lookups answered from the cache / lookups that ran a full propagation.
+  std::size_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t Misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t Size() const;
+
+  const topo::AsGraph& Graph() const { return graph_; }
+
+ private:
+  const topo::AsGraph& graph_;
+  bgp::PropagationSimulator engine_;
+
+  mutable std::mutex mu_;
+  // shared_future so every waiter (including the computing thread) can
+  // retrieve the same baseline; the promise is fulfilled outside the lock.
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const bgp::PropagationResult>>>
+      entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace asppi::attack

@@ -7,28 +7,44 @@
 
 namespace asppi::attack {
 
-AttackSimulator::AttackSimulator(const topo::AsGraph& graph)
-    : graph_(graph), engine_(graph) {}
+AttackSimulator::AttackSimulator(const topo::AsGraph& graph,
+                                 BaselineCache* baseline_cache)
+    : graph_(graph), engine_(graph), baseline_cache_(baseline_cache) {
+  if (baseline_cache_ != nullptr) {
+    ASPPI_CHECK(&baseline_cache_->Graph() == &graph)
+        << "baseline cache built on a different graph";
+  }
+}
 
 AttackOutcome AttackSimulator::RunWithTransform(
     const bgp::Announcement& announcement, Asn attacker,
-    bgp::RouteTransform& transform) const {
+    bgp::RouteTransform& transform, int lambda) const {
   ASPPI_CHECK(graph_.HasAs(attacker)) << "attacker AS" << attacker;
   AttackOutcome outcome;
   outcome.victim = announcement.origin;
   outcome.attacker = attacker;
-  outcome.lambda =
-      announcement.prepends.PadsFor(announcement.origin, /*neighbor=*/0);
+  outcome.lambda = lambda;
 
-  outcome.before = engine_.Run(announcement);
-  outcome.after = engine_.Resume(outcome.before, &transform, {attacker});
+  outcome.before =
+      baseline_cache_ != nullptr
+          ? baseline_cache_->Get(announcement)
+          : std::make_shared<const bgp::PropagationResult>(
+                engine_.Run(announcement));
+  outcome.after = engine_.Resume(*outcome.before, &transform, {attacker});
 
-  outcome.fraction_before = outcome.before.FractionTraversing(attacker);
-  outcome.fraction_after = outcome.after.FractionTraversing(attacker);
+  // One traversal scan per state; fractions and the pollution delta all
+  // derive from these two sets (AsesTraversing is an O(n·pathlen) walk).
+  const std::vector<Asn> before_set = outcome.before->AsesTraversing(attacker);
+  const std::vector<Asn> after_set = outcome.after.AsesTraversing(attacker);
+  const std::size_t n = graph_.NumAses();
+  const double denom = n > 2 ? static_cast<double>(n - 2) : 0.0;
+  if (denom > 0.0) {
+    outcome.fraction_before = static_cast<double>(before_set.size()) / denom;
+    outcome.fraction_after = static_cast<double>(after_set.size()) / denom;
+  }
 
-  std::vector<Asn> before_set = outcome.before.AsesTraversing(attacker);
   std::unordered_set<Asn> before_lookup(before_set.begin(), before_set.end());
-  for (Asn asn : outcome.after.AsesTraversing(attacker)) {
+  for (Asn asn : after_set) {
     if (!before_lookup.contains(asn)) outcome.newly_polluted.push_back(asn);
   }
   return outcome;
@@ -55,7 +71,8 @@ AttackOutcome AttackSimulator::RunAsppInterceptionWithPolicy(
   config.violate_valley_free = violate_valley_free;
   config.export_stripped_to_peers = export_stripped_to_peers;
   AsppInterceptor interceptor(config);
-  return RunWithTransform(announcement, attacker, interceptor);
+  return RunWithTransform(announcement, attacker, interceptor,
+                          announcement.prepends.MaxPadsOf(announcement.origin));
 }
 
 AttackOutcome AttackSimulator::RunOriginHijack(Asn victim, Asn attacker,
@@ -64,7 +81,7 @@ AttackOutcome AttackSimulator::RunOriginHijack(Asn victim, Asn attacker,
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   OriginHijacker hijacker(attacker);
-  return RunWithTransform(announcement, attacker, hijacker);
+  return RunWithTransform(announcement, attacker, hijacker, lambda);
 }
 
 AttackOutcome AttackSimulator::RunBallaniInterception(Asn victim, Asn attacker,
@@ -73,29 +90,52 @@ AttackOutcome AttackSimulator::RunBallaniInterception(Asn victim, Asn attacker,
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   BallaniInterceptor interceptor(attacker, victim);
-  return RunWithTransform(announcement, attacker, interceptor);
+  return RunWithTransform(announcement, attacker, interceptor, lambda);
+}
+
+std::vector<PairImpact> RunPairSweep(
+    const topo::AsGraph& graph,
+    const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs,
+    const PairSweepOptions& options) {
+  // Even a serial, cache-less call benefits from memoizing baselines within
+  // the sweep: every attacker against a repeated victim reuses one Run().
+  BaselineCache local_cache(graph);
+  BaselineCache* cache = options.baseline_cache != nullptr
+                             ? options.baseline_cache
+                             : &local_cache;
+  AttackSimulator simulator(graph, cache);
+
+  std::vector<PairImpact> results(attacker_victim_pairs.size());
+  util::ParallelFor(
+      options.pool, attacker_victim_pairs.size(), [&](std::size_t i) {
+        const auto& [attacker, victim] = attacker_victim_pairs[i];
+        AttackOutcome outcome = simulator.RunAsppInterception(
+            victim, attacker, options.lambda, options.violate_valley_free,
+            options.export_stripped_to_peers);
+        results[i] = PairImpact{attacker, victim, outcome.fraction_before,
+                                outcome.fraction_after};
+      });
+  // Total order (pollution desc, then attacker, then victim): rows tied on
+  // every key are identical, so the ranking is unique and thread-count- and
+  // input-permutation-independent.
+  std::sort(results.begin(), results.end(),
+            [](const PairImpact& a, const PairImpact& b) {
+              if (a.after != b.after) return a.after > b.after;
+              if (a.attacker != b.attacker) return a.attacker < b.attacker;
+              return a.victim < b.victim;
+            });
+  return results;
 }
 
 std::vector<PairImpact> RunPairSweep(
     const topo::AsGraph& graph,
     const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs, int lambda,
     bool violate_valley_free, bool export_stripped_to_peers) {
-  AttackSimulator simulator(graph);
-  std::vector<PairImpact> results;
-  results.reserve(attacker_victim_pairs.size());
-  for (const auto& [attacker, victim] : attacker_victim_pairs) {
-    AttackOutcome outcome = simulator.RunAsppInterception(
-        victim, attacker, lambda, violate_valley_free,
-        export_stripped_to_peers);
-    results.push_back(PairImpact{attacker, victim, outcome.fraction_before,
-                                 outcome.fraction_after});
-  }
-  std::sort(results.begin(), results.end(),
-            [](const PairImpact& a, const PairImpact& b) {
-              if (a.after != b.after) return a.after > b.after;
-              return a.attacker < b.attacker;
-            });
-  return results;
+  PairSweepOptions options;
+  options.lambda = lambda;
+  options.violate_valley_free = violate_valley_free;
+  options.export_stripped_to_peers = export_stripped_to_peers;
+  return RunPairSweep(graph, attacker_victim_pairs, options);
 }
 
 }  // namespace asppi::attack

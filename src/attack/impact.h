@@ -6,9 +6,11 @@
 #include <memory>
 #include <vector>
 
+#include "attack/baseline_cache.h"
 #include "attack/interceptor.h"
 #include "bgp/propagation.h"
 #include "topology/as_graph.h"
+#include "util/thread_pool.h"
 
 namespace asppi::attack {
 
@@ -16,10 +18,16 @@ namespace asppi::attack {
 struct AttackOutcome {
   Asn victim = 0;
   Asn attacker = 0;
-  int lambda = 1;  // victim's prepend count
+  // The victim's prepend count: the λ passed to the attack entry point, or,
+  // for per-neighbor policies, the largest padding announced to any neighbor
+  // (PrependPolicy::MaxPadsOf — the strongest padding an attacker can strip).
+  int lambda = 1;
 
-  bgp::PropagationResult before;  // converged, attack-free
-  bgp::PropagationResult after;   // converged under the attack
+  // Converged, attack-free. Shared: when an AttackSimulator runs with a
+  // BaselineCache, every outcome against the same victim/policy points at
+  // one memoized state instead of owning a recomputed copy.
+  std::shared_ptr<const bgp::PropagationResult> before;
+  bgp::PropagationResult after;  // converged under the attack
 
   // Fraction of ASes (excluding attacker and victim) whose best path
   // traverses the attacker — the paper's "% of paths traversing attacker".
@@ -33,7 +41,11 @@ struct AttackOutcome {
 
 class AttackSimulator {
  public:
-  explicit AttackSimulator(const topo::AsGraph& graph);
+  // `baseline_cache` (optional, non-owning) memoizes the attack-free
+  // baselines across runs; it must outlive the simulator and be built on the
+  // same graph. Without a cache every run computes its own baseline.
+  explicit AttackSimulator(const topo::AsGraph& graph,
+                           BaselineCache* baseline_cache = nullptr);
 
   // The ASPP-based interception attack: victim announces with λ prepends
   // (uniformly to all neighbors), attacker strips the padding.
@@ -56,14 +68,16 @@ class AttackSimulator {
 
   const bgp::PropagationSimulator& Engine() const { return engine_; }
   const topo::AsGraph& Graph() const { return graph_; }
+  BaselineCache* GetBaselineCache() const { return baseline_cache_; }
 
  private:
   AttackOutcome RunWithTransform(const bgp::Announcement& announcement,
-                                 Asn attacker,
-                                 bgp::RouteTransform& transform) const;
+                                 Asn attacker, bgp::RouteTransform& transform,
+                                 int lambda) const;
 
   const topo::AsGraph& graph_;
   bgp::PropagationSimulator engine_;
+  BaselineCache* baseline_cache_ = nullptr;
 };
 
 // One row of the pair-sweep experiments (paper Figs. 7/8).
@@ -74,9 +88,28 @@ struct PairImpact {
   double after = 0.0;
 };
 
+// Knobs for RunPairSweep.
+struct PairSweepOptions {
+  int lambda = 3;
+  bool violate_valley_free = false;
+  bool export_stripped_to_peers = true;
+  // Parallelism (null = serial). Rows are computed into input-index slots and
+  // sorted with a total order, so output is identical for any thread count.
+  util::ThreadPool* pool = nullptr;
+  // Baseline memoization (null = an internal cache private to this call —
+  // repeated victims warm-start either way; pass one to share across calls).
+  BaselineCache* baseline_cache = nullptr;
+};
+
 // Runs the ASPP interception for every (attacker, victim) pair and returns
 // results sorted by decreasing post-attack pollution — the ranking the
 // paper's Figs. 7/8 plot.
+std::vector<PairImpact> RunPairSweep(
+    const topo::AsGraph& graph,
+    const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs,
+    const PairSweepOptions& options);
+
+// Back-compat convenience overload.
 std::vector<PairImpact> RunPairSweep(
     const topo::AsGraph& graph,
     const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs, int lambda,

@@ -1,5 +1,8 @@
 #include "bgp/policy.h"
 
+#include <algorithm>
+#include <string>
+
 #include "util/check.h"
 
 namespace asppi::bgp {
@@ -43,6 +46,31 @@ void PrependPolicy::SetDefault(Asn exporter, int pads) {
 void PrependPolicy::SetForNeighbor(Asn exporter, Asn neighbor, int pads) {
   ASPPI_CHECK_GE(pads, 1);
   overrides_[{exporter, neighbor}] = pads;
+}
+
+int PrependPolicy::MaxPadsOf(Asn exporter) const {
+  int max_pads = 1;
+  if (auto it = defaults_.find(exporter); it != defaults_.end()) {
+    max_pads = it->second;
+  }
+  // Overrides for `exporter` are contiguous in the (exporter, neighbor) map.
+  for (auto it = overrides_.lower_bound({exporter, 0});
+       it != overrides_.end() && it->first.first == exporter; ++it) {
+    max_pads = std::max(max_pads, it->second);
+  }
+  return max_pads;
+}
+
+std::string PrependPolicy::KeyString() const {
+  std::string key;
+  for (const auto& [exporter, pads] : defaults_) {
+    key += 'd' + std::to_string(exporter) + ':' + std::to_string(pads) + ';';
+  }
+  for (const auto& [edge, pads] : overrides_) {
+    key += 'o' + std::to_string(edge.first) + ',' +
+           std::to_string(edge.second) + ':' + std::to_string(pads) + ';';
+  }
+  return key;
 }
 
 int PrependPolicy::PadsFor(Asn exporter, Asn neighbor) const {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <utility>
 
 #include "topology/types.h"
@@ -44,6 +45,17 @@ class PrependPolicy {
   void SetForNeighbor(Asn exporter, Asn neighbor, int pads);
 
   int PadsFor(Asn exporter, Asn neighbor) const;
+
+  // Largest pad count `exporter` announces to any neighbor under this policy
+  // (its default, or the biggest per-neighbor override). This is the λ an
+  // AttackOutcome reports for per-neighbor policies: the strongest padding
+  // an on-path attacker could strip.
+  int MaxPadsOf(Asn exporter) const;
+
+  // Canonical text encoding of the whole policy (defaults and overrides in
+  // sorted order) — the cache key component for baseline memoization. Two
+  // policies with equal keys produce identical propagation.
+  std::string KeyString() const;
 
   bool Empty() const { return defaults_.empty() && overrides_.empty(); }
 

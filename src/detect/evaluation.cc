@@ -60,7 +60,7 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
   const bgp::PrependPolicy* policy =
       config.victim_aware ? &victim_policy : nullptr;
 
-  const MonitorPaths before = PathsAt(outcome.before, monitors, attacker);
+  const MonitorPaths before = PathsAt(*outcome.before, monitors, attacker);
 
   // Detection timing: replay the attack's hop-waves. At round r each monitor
   // shows its post-attack route if it had switched by r, else its old route.
@@ -79,7 +79,7 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
       if (m == attacker) continue;
       int changed = outcome.after.FirstChangeRound(m);
       const auto& state =
-          (changed >= 0 && changed <= round) ? outcome.after : outcome.before;
+          (changed >= 0 && changed <= round) ? outcome.after : *outcome.before;
       const auto& best = state.BestAt(m);
       if (best.has_value()) current.emplace_back(m, best->path);
     }
@@ -128,11 +128,16 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
 DetectionRates EvaluateDetectionRates(
     const attack::AttackSimulator& simulator,
     const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs,
-    const std::vector<Asn>& monitors, const DetectionConfig& config) {
-  DetectionRates rates;
-  for (const auto& [attacker, victim] : attacker_victim_pairs) {
-    DetectionResult result =
+    const std::vector<Asn>& monitors, const DetectionConfig& config,
+    util::ThreadPool* pool) {
+  std::vector<DetectionResult> results(attacker_victim_pairs.size());
+  util::ParallelFor(pool, attacker_victim_pairs.size(), [&](std::size_t i) {
+    const auto& [attacker, victim] = attacker_victim_pairs[i];
+    results[i] =
         EvaluateDetection(simulator, victim, attacker, monitors, config);
+  });
+  DetectionRates rates;
+  for (const DetectionResult& result : results) {
     ++rates.instances;
     if (!result.effective) continue;
     ++rates.effective;

@@ -7,6 +7,7 @@
 
 #include "attack/impact.h"
 #include "detect/detector.h"
+#include "util/thread_pool.h"
 
 namespace asppi::detect {
 
@@ -72,9 +73,14 @@ struct DetectionRates {
   }
 };
 
+// `pool` (optional) evaluates the pairs in parallel; per-pair results are
+// accumulated in input order, so the rates are identical for any thread
+// count. Give `simulator` a BaselineCache to also dedupe the attack-free
+// propagation across pairs that share a victim.
 DetectionRates EvaluateDetectionRates(
     const attack::AttackSimulator& simulator,
     const std::vector<std::pair<Asn, Asn>>& attacker_victim_pairs,
-    const std::vector<Asn>& monitors, const DetectionConfig& config);
+    const std::vector<Asn>& monitors, const DetectionConfig& config,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace asppi::detect

@@ -1,6 +1,7 @@
 #include "detect/placement.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "detect/detector.h"
 #include "detect/monitors.h"
@@ -51,29 +52,43 @@ PlacementResult SelectMonitorsForVictim(const topo::AsGraph& graph, Asn victim,
     pool.resize(config.candidate_pool);
   }
 
-  // Training attacks: random attackers against this victim.
+  // Training attacks: random attackers against this victim. The attacker
+  // sample is drawn serially up front (fixing the rng stream independent of
+  // scheduling); the simulations — all sharing one memoized baseline, since
+  // victim and λ are fixed — then run in parallel into input-index slots.
   util::Rng rng(config.seed);
-  attack::AttackSimulator simulator(graph);
+  attack::BaselineCache baseline_cache(graph);
+  attack::AttackSimulator simulator(graph, &baseline_cache);
   AsppDetector detector(&graph);
-  std::vector<TrainingAttack> attacks;
   const auto& ases = graph.Ases();
+  std::vector<Asn> attackers;
+  attackers.reserve(config.training_attacks);
   for (std::size_t i = 0; i < config.training_attacks; ++i) {
     Asn attacker = ases[rng.Below(ases.size())];
     if (attacker == victim) continue;
+    attackers.push_back(attacker);
+  }
+  std::vector<std::optional<TrainingAttack>> simulated(attackers.size());
+  util::ParallelFor(config.pool, attackers.size(), [&](std::size_t i) {
+    const Asn attacker = attackers[i];
     attack::AttackOutcome outcome =
         simulator.RunAsppInterception(victim, attacker, config.lambda);
-    if (outcome.newly_polluted.empty()) continue;
+    if (outcome.newly_polluted.empty()) return;
     TrainingAttack training;
     for (std::size_t c = 0; c < pool.size(); ++c) {
       if (pool[c] == attacker) continue;
-      const auto& before = outcome.before.BestAt(pool[c]);
+      const auto& before = outcome.before->BestAt(pool[c]);
       const auto& after = outcome.after.BestAt(pool[c]);
       if (!before.has_value() || !after.has_value()) continue;
       training.candidate_index.push_back(c);
       training.before.emplace_back(pool[c], before->path);
       training.after.emplace_back(pool[c], after->path);
     }
-    attacks.push_back(std::move(training));
+    simulated[i] = std::move(training);
+  });
+  std::vector<TrainingAttack> attacks;
+  for (auto& training : simulated) {
+    if (training.has_value()) attacks.push_back(std::move(*training));
   }
   result.training_effective = attacks.size();
 
@@ -85,18 +100,26 @@ PlacementResult SelectMonitorsForVictim(const topo::AsGraph& graph, Asn victim,
   for (std::size_t round = 0;
        round < config.budget && result.monitors.size() < pool.size();
        ++round) {
-    std::size_t best_candidate = kNone;
-    std::size_t best_gain = 0;
-    for (std::size_t c = 0; c < pool.size(); ++c) {
-      if (selected[c]) continue;
+    // Score every unselected candidate in parallel, then resolve the argmax
+    // serially — first candidate with the maximal gain, exactly the pick the
+    // serial loop makes.
+    std::vector<std::size_t> gains(pool.size(), 0);
+    util::ParallelFor(config.pool, pool.size(), [&](std::size_t c) {
+      if (selected[c]) return;
       std::size_t gain = 0;
       for (std::size_t a = 0; a < attacks.size(); ++a) {
         if (covered[a]) continue;
         if (DetectedWith(detector, victim, attacks[a], selected, c)) ++gain;
       }
-      if (best_candidate == kNone || gain > best_gain) {
+      gains[c] = gain;
+    });
+    std::size_t best_candidate = kNone;
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      if (selected[c]) continue;
+      if (best_candidate == kNone || gains[c] > best_gain) {
         best_candidate = c;
-        best_gain = gain;
+        best_gain = gains[c];
       }
     }
     if (best_candidate == kNone) break;

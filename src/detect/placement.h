@@ -16,6 +16,7 @@
 
 #include "attack/impact.h"
 #include "detect/evaluation.h"
+#include "util/thread_pool.h"
 
 namespace asppi::detect {
 
@@ -28,6 +29,12 @@ struct PlacementConfig {
   std::size_t training_attacks = 40;
   std::uint64_t seed = 1;
   int lambda = 3;
+  // Optional parallelism for the training simulations and the per-round
+  // candidate scoring. The attacker sample, the greedy pick order, and the
+  // resulting monitor set are identical for any thread count: attackers are
+  // drawn serially before simulating, and each round's argmax is resolved
+  // by (gain desc, candidate index asc) over fully materialized gains.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct PlacementResult {

@@ -1,0 +1,122 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace asppi::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t chunk) {
+  if (count == 0) return;
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, count / (NumThreads() * 4));
+  }
+
+  // Serial fast path: no workers, or too little work to split.
+  if (workers_.empty() || count <= chunk) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared per-call state: workers and the caller pull chunks off `next`
+  // until the range is drained; the first exception parks itself in `error`
+  // and fast-forwards `next` so everyone else stops claiming work.
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t tasks_pending = 0;
+    std::exception_ptr error;
+  };
+  auto job = std::make_shared<Job>();
+
+  auto run_chunks = [job, count, chunk, &fn] {
+    for (std::size_t begin = job->next.fetch_add(chunk); begin < count;
+         begin = job->next.fetch_add(chunk)) {
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job->done_mu);
+          if (!job->error) job->error = std::current_exception();
+          job->next.store(count);
+          return;
+        }
+      }
+    }
+  };
+
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+  const std::size_t num_tasks = std::min(workers_.size(), num_chunks - 1);
+  job->tasks_pending = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      // The task captures run_chunks by value via the shared job, since it
+      // may outlive this stack frame only up to the wait below — `fn` is
+      // captured by reference and is safe because ParallelFor blocks until
+      // every task signalled completion.
+      queue_.emplace_back([job, run_chunks] {
+        run_chunks();
+        std::lock_guard<std::mutex> done_lock(job->done_mu);
+        --job->tasks_pending;
+        job->done_cv.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  run_chunks();  // the calling thread works too
+
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&job] { return job->tasks_pending == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, fn);
+}
+
+}  // namespace asppi::util

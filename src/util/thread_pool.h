@@ -1,0 +1,59 @@
+// A small fixed-size worker pool with a chunked parallel-for, built for the
+// experiment sweeps: every loop body writes only its own output slot (indexed
+// by the input position), so results are merged in input order and the output
+// is bit-identical regardless of thread count.
+//
+// Concurrency model: ThreadPool(n) provides a total concurrency of n — the
+// pool owns n-1 background workers and the calling thread participates in
+// every ParallelFor. ThreadPool(1) therefore spawns no threads at all and
+// ParallelFor degenerates to the plain serial loop, which is what makes the
+// --threads=1 vs --threads=N determinism guarantee easy to audit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asppi::util {
+
+class ThreadPool {
+ public:
+  // Total concurrency (callers + workers). 0 = hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency a ParallelFor call can use (>= 1).
+  std::size_t NumThreads() const { return workers_.size() + 1; }
+
+  // Runs fn(i) for every i in [0, count), distributing contiguous chunks of
+  // `chunk` indices over the workers and the calling thread; blocks until
+  // every index has run. chunk = 0 picks a chunk size that yields ~4 chunks
+  // per thread. The first exception thrown by fn aborts the remaining chunks
+  // and is rethrown on the calling thread.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t chunk = 0);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+// Convenience for call sites that take an optional pool: runs serially when
+// `pool` is null (or has no extra workers), in parallel otherwise.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace asppi::util

@@ -143,7 +143,7 @@ TEST(AsppAttack, VictimWithNoPrependingUnaffectedEverywhere) {
       sim.RunAsppInterception(gen.tier2[0], gen.tier2[1], 1);
   // λ=1: all routes identical before and after.
   for (Asn asn : gen.graph.Ases()) {
-    EXPECT_EQ(outcome.before.BestAt(asn), outcome.after.BestAt(asn));
+    EXPECT_EQ(outcome.before->BestAt(asn), outcome.after.BestAt(asn));
   }
 }
 

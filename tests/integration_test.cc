@@ -106,7 +106,7 @@ TEST(Pipeline, RibFilesDriveTheDetector) {
   data::RibSnapshot before, after;
   for (topo::Asn m : monitors) {
     if (m == attacker) continue;
-    const auto& b = outcome.before.BestAt(m);
+    const auto& b = outcome.before->BestAt(m);
     const auto& a = outcome.after.BestAt(m);
     if (b.has_value()) before.tables[m][prefix] = b->path;
     if (a.has_value()) after.tables[m][prefix] = a->path;
@@ -178,7 +178,7 @@ TEST(Pipeline, DetectionSurvivesInferredRelationshipsForHints) {
   std::vector<std::pair<topo::Asn, bgp::AsPath>> prev, cur;
   for (topo::Asn m : monitors) {
     if (m == attacker) continue;
-    const auto& b = outcome.before.BestAt(m);
+    const auto& b = outcome.before->BestAt(m);
     const auto& a = outcome.after.BestAt(m);
     if (b.has_value() && a.has_value()) {
       prev.emplace_back(m, b->path);

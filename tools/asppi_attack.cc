@@ -2,11 +2,18 @@
 // damage.
 //
 //   $ asppi_attack --topo=topology.topo --victim=3831 --attacker=1 --lambda=4
+//
+// With --attacker=0 every other AS is tried as the attacker (a full
+// single-victim pair sweep, parallelized over --threads with one shared
+// attack-free baseline) and the most damaging instances are printed.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "attack/impact.h"
 #include "topology/serialization.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace asppi;
 
@@ -14,10 +21,16 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.DefineString("topo", "topology.topo", "as-rel topology file");
   flags.DefineUint("victim", 0, "victim ASN (prefix owner)");
-  flags.DefineUint("attacker", 0, "attacker ASN");
+  flags.DefineUint("attacker", 0,
+                   "attacker ASN (0 = sweep every AS as the attacker)");
   flags.DefineInt("lambda", 4, "victim prepend count");
   flags.DefineBool("violate", false, "attacker violates valley-free export");
-  flags.DefineInt("show", 8, "number of hijacked routes to print");
+  flags.DefineInt("show", 8, "number of hijacked routes / sweep rows to print");
+  flags.DefineUint(
+      "threads",
+      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
+      "worker threads for the attacker sweep (results are identical for any "
+      "value)");
   if (!flags.Parse(argc, argv)) return 1;
 
   topo::AsGraph graph;
@@ -28,7 +41,43 @@ int main(int argc, char** argv) {
   }
   const topo::Asn victim = static_cast<topo::Asn>(flags.GetUint("victim"));
   const topo::Asn attacker = static_cast<topo::Asn>(flags.GetUint("attacker"));
-  if (!graph.HasAs(victim) || !graph.HasAs(attacker) || victim == attacker) {
+  if (!graph.HasAs(victim)) {
+    std::fprintf(stderr, "need --victim present in the topology\n");
+    return 1;
+  }
+  const int lambda = static_cast<int>(flags.GetInt("lambda"));
+  const int show = static_cast<int>(flags.GetInt("show"));
+
+  std::printf("topology: %zu ASes, %zu links\n", graph.NumAses(),
+              graph.NumLinks());
+
+  if (attacker == 0) {
+    // Sweep mode: every AS attacks `victim`; the baseline cache computes the
+    // victim's attack-free propagation exactly once for the whole sweep.
+    std::vector<std::pair<topo::Asn, topo::Asn>> pairs;
+    for (topo::Asn asn : graph.Ases()) {
+      if (asn != victim) pairs.emplace_back(asn, victim);
+    }
+    util::ThreadPool pool(static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, flags.GetUint("threads"))));
+    attack::PairSweepOptions options;
+    options.lambda = lambda;
+    options.violate_valley_free = flags.GetBool("violate");
+    options.pool = &pool;
+    auto results = attack::RunPairSweep(graph, pairs, options);
+    std::printf("sweep: %zu candidate attackers against AS%u (lambda=%d), "
+                "top %d by pollution:\n",
+                results.size(), victim, lambda, show);
+    int rank = 0;
+    for (const auto& row : results) {
+      if (rank++ >= show) break;
+      std::printf("  %2d. AS%-7u %6.2f%% -> %6.2f%%\n", rank, row.attacker,
+                  100.0 * row.before, 100.0 * row.after);
+    }
+    return 0;
+  }
+
+  if (!graph.HasAs(attacker) || victim == attacker) {
     std::fprintf(stderr,
                  "need distinct --victim and --attacker present in the "
                  "topology\n");
@@ -37,23 +86,20 @@ int main(int argc, char** argv) {
 
   attack::AttackSimulator simulator(graph);
   attack::AttackOutcome outcome = simulator.RunAsppInterception(
-      victim, attacker, static_cast<int>(flags.GetInt("lambda")),
-      flags.GetBool("violate"));
+      victim, attacker, lambda, flags.GetBool("violate"));
 
-  std::printf("topology: %zu ASes, %zu links\n", graph.NumAses(),
-              graph.NumLinks());
-  std::printf("AS%u intercepts AS%u's prefix (lambda=%lld%s)\n", attacker,
-              victim, static_cast<long long>(flags.GetInt("lambda")),
+  std::printf("AS%u intercepts AS%u's prefix (lambda=%d%s)\n", attacker,
+              victim, lambda,
               flags.GetBool("violate") ? ", violating policy" : "");
   std::printf("paths traversing the attacker: %.2f%% -> %.2f%% "
               "(%zu newly polluted ASes)\n",
               100.0 * outcome.fraction_before, 100.0 * outcome.fraction_after,
               outcome.newly_polluted.size());
 
-  int show = static_cast<int>(flags.GetInt("show"));
+  int remaining = show;
   for (topo::Asn asn : outcome.newly_polluted) {
-    if (show-- <= 0) break;
-    const auto& was = outcome.before.BestAt(asn);
+    if (remaining-- <= 0) break;
+    const auto& was = outcome.before->BestAt(asn);
     const auto& now = outcome.after.BestAt(asn);
     std::printf("  AS%-7u %s  ->  %s\n", asn,
                 was ? was->path.ToString().c_str() : "<none>",

@@ -6,13 +6,18 @@
 //                  --victim=3831 [--lambda=4]
 //
 // Passing --lambda enables the victim-aware rule with a uniform announced
-// padding; omit it to run purely on routing data.
+// padding; omit it to run purely on routing data. --victim=0 scans every
+// origin AS appearing in the snapshots (parallelized over --threads).
+#include <algorithm>
 #include <cstdio>
+#include <set>
+#include <thread>
 
 #include "data/formats.h"
 #include "detect/detector.h"
 #include "topology/serialization.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace asppi;
 
@@ -40,14 +45,19 @@ int main(int argc, char** argv) {
   flags.DefineString("topo", "", "as-rel topology file (enables hint rules)");
   flags.DefineString("before", "", "RIB snapshot before the change (.rib)");
   flags.DefineString("after", "", "RIB snapshot after the change (.rib)");
-  flags.DefineUint("victim", 0, "prefix owner ASN");
+  flags.DefineUint("victim", 0,
+                   "prefix owner ASN (0 = scan every origin in the snapshots)");
   flags.DefineInt("lambda", 0,
                   "announced padding (enables the victim-aware rule; 0=off)");
+  flags.DefineUint(
+      "threads",
+      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
+      "worker threads for the all-victims scan (output is identical for any "
+      "value)");
   if (!flags.Parse(argc, argv)) return 1;
 
-  if (flags.GetString("before").empty() || flags.GetString("after").empty() ||
-      flags.GetUint("victim") == 0) {
-    std::fprintf(stderr, "--before, --after and --victim are required\n");
+  if (flags.GetString("before").empty() || flags.GetString("after").empty()) {
+    std::fprintf(stderr, "--before and --after are required\n");
     return 1;
   }
 
@@ -75,23 +85,59 @@ int main(int argc, char** argv) {
 
   const topo::Asn victim = static_cast<topo::Asn>(flags.GetUint("victim"));
   detect::AsppDetector detector(have_graph ? &graph : nullptr);
+
+  // Victim set: the requested AS, or every origin appearing in a snapshot.
+  std::vector<topo::Asn> victims;
+  if (victim != 0) {
+    victims.push_back(victim);
+  } else {
+    std::set<topo::Asn> origins;
+    for (const auto* snapshot : {&before, &after}) {
+      for (const auto& [monitor, table] : snapshot->tables) {
+        for (const auto& [prefix, path] : table) {
+          if (!path.Empty()) origins.insert(path.OriginAs());
+        }
+      }
+    }
+    victims.assign(origins.begin(), origins.end());
+  }
+
   bgp::PrependPolicy policy;
   const bgp::PrependPolicy* policy_ptr = nullptr;
-  if (flags.GetInt("lambda") > 0) {
+  if (flags.GetInt("lambda") > 0 && victim != 0) {
     policy.SetDefault(victim, static_cast<int>(flags.GetInt("lambda")));
     policy_ptr = &policy;
   }
 
-  auto alarms = detector.Scan(victim, PathsToward(before, victim),
-                              PathsToward(after, victim), policy_ptr);
-  std::printf("%zu alarm(s) for AS%u's prefixes\n", alarms.size(), victim);
-  for (const auto& alarm : alarms) {
-    std::printf("  [%s] suspect AS%u (observer AS%u, %d pads removed): %s\n",
-                alarm.confidence == detect::Alarm::Confidence::kHigh
-                    ? "HIGH"
-                    : "possible",
-                alarm.suspect, alarm.observer, alarm.pads_removed,
-                alarm.detail.c_str());
+  // Scan victims in parallel; alarms are reported in victim order, so the
+  // output is identical for any --threads value.
+  util::ThreadPool pool(static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, flags.GetUint("threads"))));
+  std::vector<std::vector<detect::Alarm>> per_victim(victims.size());
+  pool.ParallelFor(victims.size(), [&](std::size_t i) {
+    per_victim[i] = detector.Scan(victims[i], PathsToward(before, victims[i]),
+                                  PathsToward(after, victims[i]), policy_ptr);
+  });
+
+  std::size_t total_alarms = 0;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const auto& alarms = per_victim[i];
+    if (victim == 0 && alarms.empty()) continue;  // terse in scan-all mode
+    total_alarms += alarms.size();
+    std::printf("%zu alarm(s) for AS%u's prefixes\n", alarms.size(),
+                victims[i]);
+    for (const auto& alarm : alarms) {
+      std::printf("  [%s] suspect AS%u (observer AS%u, %d pads removed): %s\n",
+                  alarm.confidence == detect::Alarm::Confidence::kHigh
+                      ? "HIGH"
+                      : "possible",
+                  alarm.suspect, alarm.observer, alarm.pads_removed,
+                  alarm.detail.c_str());
+    }
   }
-  return alarms.empty() ? 0 : 2;  // exit 2 signals "attack suspected"
+  if (victim == 0) {
+    std::printf("%zu alarm(s) across %zu scanned origin ASes\n", total_alarms,
+                victims.size());
+  }
+  return total_alarms == 0 ? 0 : 2;  // exit 2 signals "attack suspected"
 }
