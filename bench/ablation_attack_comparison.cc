@@ -8,8 +8,6 @@
 // For each model we measure pollution, whether traffic still reaches the
 // victim, and which classic control-plane signal (MOAS / unknown link) a
 // legacy detector would see on the polluted routes.
-#include <cstdio>
-
 #include "attack/impact.h"
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
@@ -53,26 +51,21 @@ Signals Analyze(const topo::AsGraph& graph, const attack::AttackOutcome& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineInt("lambda", 4, "victim prepend count");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("Ablation: attack models compared (paper §II-B)",
+                      "ASPP interception is transparent AND anomaly-free");
+  e.WithTopologyFlags();
+  e.Flags().DefineInt("lambda", 4, "victim prepend count");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner("Ablation: attack models compared (paper §II-B)",
-                     "ASPP interception is transparent AND anomaly-free",
-                     topology, flags);
-
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
   attack::SweepScenario scenario = attack::Tier1VsContent(topology);
-  const int lambda = static_cast<int>(flags.GetInt("lambda"));
-  std::printf("scenario: AS%u attacks AS%u's prefix (lambda=%d)\n\n",
-              scenario.attacker, scenario.victim, lambda);
+  const int lambda = static_cast<int>(e.Flags().GetInt("lambda"));
+  e.Note("scenario: AS%u attacks AS%u's prefix (lambda=%d)\n",
+         scenario.attacker, scenario.victim, lambda);
 
   // All three attack models share the same (victim, λ) attack-free baseline;
   // the cache computes it once.
-  attack::BaselineCache baseline_cache(topology.graph);
-  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
+  attack::AttackSimulator simulator(topology.graph, e.Baseline());
   struct NamedOutcome {
     const char* name;
     attack::AttackOutcome outcome;
@@ -99,10 +92,10 @@ int main(int argc, char** argv) {
         .Cell(s.moas ? "YES" : "no")
         .Cell(s.unknown_link ? "YES" : "no");
   }
-  bench::PrintTable(table, flags);
-  std::printf(
+  e.PrintTable(table);
+  e.Note(
       "\ncheck: only the ASPP interception combines delivery (no blackhole,\n"
       "no end-user symptom) with neither MOAS nor fake-link anomalies —\n"
-      "classic control-plane detectors have nothing to flag.\n");
-  return 0;
+      "classic control-plane detectors have nothing to flag.");
+  return e.Finish();
 }

@@ -5,7 +5,7 @@
 // `budget` monitors tailored to the victim from simulated training attacks;
 // held-out attacks then measure detection rate for the tailored set vs the
 // same budget of generic top-degree monitors.
-#include <cstdio>
+#include <algorithm>
 
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
@@ -18,27 +18,21 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("budget", 15, "monitors per victim");
-  flags.DefineUint("victims", 6, "number of victims evaluated");
-  flags.DefineUint("heldout", 40, "held-out attacks per victim");
-  flags.DefineInt("lambda", 3, "victim prepend count");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner(
+  bench::Experiment e(
       "Ablation: victim-specific monitor placement (self-defense)",
-      "future work of §V-B: tailored vantage points vs generic top-degree",
-      topology, flags);
+      "future work of §V-B: tailored vantage points vs generic top-degree");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("budget", 15, "monitors per victim");
+  e.Flags().DefineUint("victims", 6, "number of victims evaluated");
+  e.Flags().DefineUint("heldout", 40, "held-out attacks per victim");
+  e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  const std::size_t budget = flags.GetUint("budget");
-  const int lambda = static_cast<int>(flags.GetInt("lambda"));
-  auto pool = bench::PoolFromFlags(flags);
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
+  const std::size_t budget = e.Flags().GetUint("budget");
+  const int lambda = static_cast<int>(e.Flags().GetInt("lambda"));
   // Held-out attacks share each victim's attack-free baseline via the cache.
-  attack::BaselineCache baseline_cache(topology.graph);
-  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
+  attack::AttackSimulator simulator(topology.graph, e.Baseline());
   auto generic = detect::TopDegreeMonitors(topology.graph, budget);
   detect::DetectionConfig detection;
   detection.lambda = lambda;
@@ -51,8 +45,8 @@ int main(int argc, char** argv) {
   victims.push_back(topology.tier3[0]);
   victims.push_back(topology.content[0]);
   victims.push_back(topology.stubs[0]);
-  if (victims.size() > flags.GetUint("victims")) {
-    victims.resize(flags.GetUint("victims"));
+  if (victims.size() > e.Flags().GetUint("victims")) {
+    victims.resize(e.Flags().GetUint("victims"));
   }
 
   util::Table table({"victim", "tailored_detect_pct", "topdegree_detect_pct",
@@ -63,14 +57,14 @@ int main(int argc, char** argv) {
     placement.candidate_pool = 120;
     placement.training_attacks = 40;
     placement.lambda = lambda;
-    placement.seed = flags.GetUint("seed") + victim;
-    placement.pool = pool.get();
+    placement.seed = e.Flags().GetUint("seed") + victim;
+    placement.pool = e.Pool();
     detect::PlacementResult placed =
         detect::SelectMonitorsForVictim(topology.graph, victim, placement);
 
-    util::Rng rng(util::DeriveSeed(flags.GetUint("seed"), victim));
+    util::Rng rng(util::DeriveSeed(e.Flags().GetUint("seed"), victim));
     std::size_t effective = 0, tailored_hits = 0, generic_hits = 0;
-    for (std::size_t i = 0; i < flags.GetUint("heldout"); ++i) {
+    for (std::size_t i = 0; i < e.Flags().GetUint("heldout"); ++i) {
       topo::Asn attacker =
           topology.graph.AsnAt(rng.Below(topology.graph.NumAses()));
       if (attacker == victim) continue;
@@ -95,12 +89,12 @@ int main(int argc, char** argv) {
         .Cell(100.0 * static_cast<double>(generic_hits) / n, 1)
         .Cell(effective);
   }
-  bench::PrintTable(table, flags);
-  std::printf(
+  e.PrintTable(table);
+  e.Note(
       "\ncheck: at equal budget the tailored selection typically matches or\n"
       "beats generic top-degree placement (held-out sets are small, so a few\n"
       "percentage points of noise per victim are expected). Tier-1 victims\n"
       "stay hard regardless: their attackers are direct neighbors — the\n"
-      "paper's corner case needing the victim-aware rule.\n");
-  return 0;
+      "paper's corner case needing the victim-aware rule.");
+  return e.Finish();
 }

@@ -1,67 +1,6 @@
 #include "bench/bench_common.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <iostream>
-#include <thread>
-
 namespace asppi::bench {
-
-void AddCommonFlags(util::Flags& flags) {
-  flags.DefineUint("seed", 42, "topology seed");
-  flags.DefineUint(
-      "threads",
-      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
-      "worker threads for the sweep engine (output is identical for any "
-      "value)");
-  flags.DefineUint("tier1", 10, "number of tier-1 ASes");
-  flags.DefineUint("tier2", 120, "number of tier-2 ASes");
-  flags.DefineUint("tier3", 700, "number of tier-3 ASes");
-  flags.DefineUint("stubs", 3000, "number of stub ASes");
-  flags.DefineUint("content", 20, "number of content/CDN ASes");
-  flags.DefineUint("siblings", 15, "number of sibling pairs");
-  flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
-}
-
-std::unique_ptr<util::ThreadPool> PoolFromFlags(const util::Flags& flags) {
-  const std::uint64_t threads = std::max<std::uint64_t>(1, flags.GetUint("threads"));
-  return std::make_unique<util::ThreadPool>(static_cast<std::size_t>(threads));
-}
-
-topo::GeneratorParams ParamsFromFlags(const util::Flags& flags) {
-  topo::GeneratorParams params;
-  params.seed = flags.GetUint("seed");
-  params.num_tier1 = flags.GetUint("tier1");
-  params.num_tier2 = flags.GetUint("tier2");
-  params.num_tier3 = flags.GetUint("tier3");
-  params.num_stubs = flags.GetUint("stubs");
-  params.num_content = flags.GetUint("content");
-  params.num_sibling_pairs = flags.GetUint("siblings");
-  return params;
-}
-
-void PrintBanner(const std::string& experiment, const std::string& caption,
-                 const topo::GeneratedTopology& topology,
-                 const util::Flags& flags) {
-  std::printf("== %s ==\n", experiment.c_str());
-  std::printf("paper: %s\n", caption.c_str());
-  std::printf(
-      "topology: %zu ASes (%zu tier-1, %zu tier-2, %zu tier-3, %zu stubs, "
-      "%zu content), %zu links, seed %llu\n",
-      topology.graph.NumAses(), topology.tier1.size(), topology.tier2.size(),
-      topology.tier3.size(), topology.stubs.size(), topology.content.size(),
-      topology.graph.NumLinks(),
-      static_cast<unsigned long long>(flags.GetUint("seed")));
-}
-
-void PrintTable(const util::Table& table, const util::Flags& flags) {
-  if (flags.GetBool("csv")) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.PrintPretty(std::cout);
-  }
-  std::cout.flush();
-}
 
 std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   topo::Asn victim, topo::Asn attacker,
@@ -80,9 +19,9 @@ std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
   return rows;
 }
 
-void PrintSweep(const std::vector<SweepRow>& rows, const util::Flags& flags,
-                const std::string& after_label,
-                const std::string& before_label) {
+util::Table SweepTable(const std::vector<SweepRow>& rows,
+                       const std::string& after_label,
+                       const std::string& before_label) {
   util::Table table({"num_prepending_asns", after_label, before_label});
   for (const SweepRow& row : rows) {
     table.Row()
@@ -90,7 +29,7 @@ void PrintSweep(const std::vector<SweepRow>& rows, const util::Flags& flags,
         .Cell(100.0 * row.after, 1)
         .Cell(100.0 * row.before, 1);
   }
-  PrintTable(table, flags);
+  return table;
 }
 
 }  // namespace asppi::bench

@@ -1,41 +1,22 @@
-// Shared scaffolding for the figure/table reproduction binaries.
+// Shared sweep helpers for the figure/table reproduction binaries.
 //
 // Every binary regenerates one table or figure of the paper on the default
-// synthetic topology (seeded, deterministic) and prints both a human-readable
-// table and, with --csv, machine-readable rows. Flags allow scaling the
-// topology up or down.
+// synthetic topology (seeded, deterministic). Harness concerns — flags,
+// topology construction, pool/cache wiring, banner, table/CSV/JSON output —
+// live in bench::Experiment (bench/experiment.h); this header keeps only the
+// λ-sweep computation the sweep figures share.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "attack/impact.h"
+#include "bench/experiment.h"
 #include "topology/generator.h"
-#include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace asppi::bench {
-
-// Registers the common topology/seed/output flags, including --threads
-// (default: hardware concurrency) for the parallel sweep engine.
-void AddCommonFlags(util::Flags& flags);
-
-// Builds generator parameters from the parsed flags.
-topo::GeneratorParams ParamsFromFlags(const util::Flags& flags);
-
-// Builds the experiment thread pool from --threads. Sweep outputs are
-// bit-identical for any --threads value; 1 disables worker threads entirely.
-std::unique_ptr<util::ThreadPool> PoolFromFlags(const util::Flags& flags);
-
-// Prints the experiment banner (figure id, paper caption, topology summary).
-void PrintBanner(const std::string& experiment, const std::string& caption,
-                 const topo::GeneratedTopology& topology,
-                 const util::Flags& flags);
-
-// Prints the result table per the --csv flag.
-void PrintTable(const util::Table& table, const util::Flags& flags);
 
 // One point of a λ-sweep (paper Figs. 9–12).
 struct SweepRow {
@@ -55,9 +36,9 @@ std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   util::ThreadPool* pool = nullptr,
                                   attack::BaselineCache* baseline_cache = nullptr);
 
-// Prints a λ-sweep as the paper's figures do (percent polluted per λ).
-void PrintSweep(const std::vector<SweepRow>& rows, const util::Flags& flags,
-                const std::string& after_label,
-                const std::string& before_label);
+// Formats a λ-sweep as the paper's figures do (percent polluted per λ).
+util::Table SweepTable(const std::vector<SweepRow>& rows,
+                       const std::string& after_label,
+                       const std::string& before_label);
 
 }  // namespace asppi::bench

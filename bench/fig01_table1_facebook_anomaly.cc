@@ -8,10 +8,10 @@
 #include <cstdio>
 
 #include "attack/impact.h"
+#include "bench/experiment.h"
 #include "bgp/propagation.h"
 #include "data/traceroute.h"
 #include "topology/builders.h"
-#include "util/flags.h"
 
 namespace {
 
@@ -55,15 +55,14 @@ data::TracerouteSimulator MakeDataPlane() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineBool("csv", false, "unused; kept for harness uniformity");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  std::printf("== Figure 1 + Table I: the Facebook routing anomaly ==\n");
-  std::printf(
-      "paper: at 7:15 GMT Mar 22 2011, the 5-hop route (4134 9318 32934x3)\n"
-      "beat the normal 7-hop route (3356 32934x5); AT&T and NTT rerouted "
-      "through Korea/China.\n\n");
+  bench::Experiment e(
+      "Figure 1 + Table I: the Facebook routing anomaly",
+      "at 7:15 GMT Mar 22 2011 the 5-hop route (4134 9318 32934x3) beat the "
+      "normal 7-hop route (3356 32934x5); AT&T and NTT rerouted through "
+      "Korea/China");
+  if (!e.ParseFlags(argc, argv)) return 1;
+  e.PrintHeader();
+  std::printf("\n");
 
   topo::AsGraph graph = topo::FacebookAnomalyTopology();
   bgp::PropagationSimulator engine(graph);
@@ -89,9 +88,9 @@ int main(int argc, char** argv) {
       attack_sim.RunAsppInterception(kFacebook, kSkTelecom, 5);
   PrintRoutes("\n[anomaly/attack] AS9318 strips 4 of 5 prepended ASNs:",
               attack.after);
-  std::printf(
+  e.Note(
       "  -> both interpretations produce the same anomalous routes; from US\n"
-      "     vantage points they are indistinguishable (paper Section III).\n");
+      "     vantage points they are indistinguishable (paper Section III).");
 
   // Table I: traceroute along both data paths.
   data::TracerouteSimulator dataplane = MakeDataPlane();
@@ -109,9 +108,9 @@ int main(int argc, char** argv) {
   std::printf("\n[Table I] traceroute US -> Facebook, during the anomaly:\n%s",
               data::TracerouteSimulator::FormatTable(dataplane.Run(anomalous))
                   .c_str());
-  std::printf(
+  e.Note(
       "\nshape check: the anomalous path's final-hop delay should be ~2x the\n"
       "normal path's (cross-ocean detour, Table I: 249 ms vs the usual "
-      "~70-130 ms).\n");
-  return 0;
+      "~70-130 ms).");
+  return e.Finish();
 }

@@ -5,7 +5,6 @@
 // Paper anchors: ~13 % mean in tables, tier-1 monitors higher, updates higher
 // still.
 #include <algorithm>
-#include <cstdio>
 
 #include "bench/bench_common.h"
 #include "data/characterize.h"
@@ -17,31 +16,30 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("prefixes", 800, "number of synthetic prefixes");
-  flags.DefineUint("monitors", 50, "number of monitors (top degree)");
-  flags.DefineUint("churn", 250, "number of churn events for the update feed");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratorParams params = bench::ParamsFromFlags(flags);
-  params.num_sibling_pairs = 0;  // measurement engine is RoutingTree-based
-  topo::GeneratedTopology topology = topo::GenerateInternetTopology(params);
-  bench::PrintBanner(
+  bench::Experiment e(
       "Figure 5: fraction of routes with prepending ASes",
-      "CDF over monitors; mean ~13% (tables), tier-1 higher, updates higher",
-      topology, flags);
+      "CDF over monitors; mean ~13% (tables), tier-1 higher, updates higher");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("prefixes", 800, "number of synthetic prefixes");
+  e.Flags().DefineUint("monitors", 50, "number of monitors (top degree)");
+  e.Flags().DefineUint("churn", 250,
+                       "number of churn events for the update feed");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  topo::GeneratorParams params = e.Params();
+  params.num_sibling_pairs = 0;  // measurement engine is RoutingTree-based
+  const topo::GeneratedTopology& topology = e.GenerateTopology(params);
 
   data::MeasurementParams mp;
-  mp.num_prefixes = flags.GetUint("prefixes");
-  mp.num_churn_events = flags.GetUint("churn");
-  mp.seed = flags.GetUint("seed") + 2011;
+  mp.num_prefixes = e.Flags().GetUint("prefixes");
+  mp.num_churn_events = e.Flags().GetUint("churn");
+  mp.seed = e.Flags().GetUint("seed") + 2011;
   data::MeasurementGenerator generator(topology.graph, mp);
 
   // Monitor set: top-degree ASes plus every tier-1 (RouteViews-style feeds
   // include the core; the tier-1 series needs them present).
   std::vector<topo::Asn> monitors =
-      detect::TopDegreeMonitors(topology.graph, flags.GetUint("monitors"));
+      detect::TopDegreeMonitors(topology.graph, e.Flags().GetUint("monitors"));
   for (topo::Asn t1 : topology.tier1) {
     if (std::find(monitors.begin(), monitors.end(), t1) == monitors.end()) {
       monitors.push_back(t1);
@@ -66,13 +64,13 @@ int main(int argc, char** argv) {
         .Cell(cdf_t1.At(x), 3)
         .Cell(cdf_upd.At(x), 3);
   }
-  bench::PrintTable(table, flags);
+  e.PrintTable(table);
 
-  std::printf(
-      "\nmeans: all(table)=%.3f tier1(table)=%.3f all(updates)=%.3f\n",
-      util::Mean(all_table), util::Mean(tier1_table), util::Mean(all_updates));
-  std::printf(
+  e.Note("\nmeans: all(table)=%.3f tier1(table)=%.3f all(updates)=%.3f",
+         util::Mean(all_table), util::Mean(tier1_table),
+         util::Mean(all_updates));
+  e.Note(
       "shape check (paper): mean(table) ~= 0.13; tier-1 > all; updates > "
-      "table.\n");
-  return 0;
+      "table.");
+  return e.Finish();
 }

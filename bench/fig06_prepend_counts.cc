@@ -3,7 +3,7 @@
 //
 // Paper anchors: ~34 % of prepended table routes have 2 copies, ~22 % have 3,
 // ~1 % more than 10; updates have larger duplications.
-#include <cstdio>
+#include <algorithm>
 
 #include "bench/bench_common.h"
 #include "data/characterize.h"
@@ -13,28 +13,27 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("prefixes", 800, "number of synthetic prefixes");
-  flags.DefineUint("monitors", 50, "number of monitors (top degree)");
-  flags.DefineUint("churn", 250, "number of churn events for the update feed");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("Figure 6: number of duplicate ASNs",
+                      "34% repeat twice, 22% three times, 1% >10; updates "
+                      "heavier-tailed");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("prefixes", 800, "number of synthetic prefixes");
+  e.Flags().DefineUint("monitors", 50, "number of monitors (top degree)");
+  e.Flags().DefineUint("churn", 250,
+                       "number of churn events for the update feed");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratorParams params = bench::ParamsFromFlags(flags);
+  topo::GeneratorParams params = e.Params();
   params.num_sibling_pairs = 0;
-  topo::GeneratedTopology topology = topo::GenerateInternetTopology(params);
-  bench::PrintBanner("Figure 6: number of duplicate ASNs",
-                     "34% repeat twice, 22% three times, 1% >10; updates "
-                     "heavier-tailed",
-                     topology, flags);
+  const topo::GeneratedTopology& topology = e.GenerateTopology(params);
 
   data::MeasurementParams mp;
-  mp.num_prefixes = flags.GetUint("prefixes");
-  mp.num_churn_events = flags.GetUint("churn");
-  mp.seed = flags.GetUint("seed") + 2011;
+  mp.num_prefixes = e.Flags().GetUint("prefixes");
+  mp.num_churn_events = e.Flags().GetUint("churn");
+  mp.seed = e.Flags().GetUint("seed") + 2011;
   data::MeasurementGenerator generator(topology.graph, mp);
   std::vector<topo::Asn> monitors =
-      detect::TopDegreeMonitors(topology.graph, flags.GetUint("monitors"));
+      detect::TopDegreeMonitors(topology.graph, e.Flags().GetUint("monitors"));
 
   util::Histogram tables =
       data::PrependRunHistogram(generator.GenerateRib(monitors));
@@ -52,13 +51,13 @@ int main(int argc, char** argv) {
         .Cell(tables.Fraction(k), 6)
         .Cell(updates.Fraction(k), 6);
   }
-  bench::PrintTable(table, flags);
+  e.PrintTable(table);
 
-  std::printf("\nanchors: table f(2)=%.3f f(3)=%.3f f(>10)=%.4f | "
-              "updates f(>10)=%.4f\n",
-              tables.Fraction(2), tables.Fraction(3),
-              tables.FractionAtLeast(11), updates.FractionAtLeast(11));
-  std::printf("shape check (paper): f(2)~0.34, f(3)~0.22, f(>10)~0.01, "
-              "updates tail > table tail.\n");
-  return 0;
+  e.Note("\nanchors: table f(2)=%.3f f(3)=%.3f f(>10)=%.4f | "
+         "updates f(>10)=%.4f",
+         tables.Fraction(2), tables.Fraction(3), tables.FractionAtLeast(11),
+         updates.FractionAtLeast(11));
+  e.Note("shape check (paper): f(2)~0.34, f(3)~0.22, f(>10)~0.01, "
+         "updates tail > table tail.");
+  return e.Finish();
 }

@@ -4,8 +4,6 @@
 //
 // Paper shape: ~40 % typical pollution; a long tail of instances below 5 %
 // (victims whose customers are richly peered resist the attack).
-#include <cstdio>
-
 #include "attack/impact.h"
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
@@ -15,21 +13,18 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("instances", 80, "number of hijack instances");
-  flags.DefineInt("lambda", 3, "victim prepend count");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e(
+      "Figure 7: polluted ASes, tier-1 attacker vs tier-1 victim",
+      "80 instances, prepended ASN=3, ranked by pollution");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("instances", 80, "number of hijack instances");
+  e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner("Figure 7: polluted ASes, tier-1 attacker vs tier-1 victim",
-                     "80 instances, prepended ASN=3, ranked by pollution",
-                     topology, flags);
-
-  auto pairs = attack::SampleTier1Pairs(topology, flags.GetUint("instances"),
-                                        flags.GetUint("seed") + 7);
-  const int lambda = static_cast<int>(flags.GetInt("lambda"));
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
+  auto pairs = attack::SampleTier1Pairs(topology, e.Flags().GetUint("instances"),
+                                        e.Flags().GetUint("seed") + 7);
+  const int lambda = static_cast<int>(e.Flags().GetInt("lambda"));
   // Two attacker-export models bracket the paper's result (see DESIGN.md):
   // the aggressive model re-announces the stripped route to peers too
   // (paper §VI-B language), the strict model keeps the attacker's own
@@ -38,12 +33,10 @@ int main(int argc, char** argv) {
   //
   // The attack-free baseline depends only on (victim, λ), so one shared
   // cache serves both export models: the strict sweep is all cache hits.
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
   attack::PairSweepOptions options;
   options.lambda = lambda;
-  options.pool = pool.get();
-  options.baseline_cache = &baseline_cache;
+  options.pool = e.Pool();
+  options.baseline_cache = e.Baseline();
   options.export_stripped_to_peers = true;
   auto aggressive = attack::RunPairSweep(topology.graph, pairs, options);
   options.export_stripped_to_peers = false;
@@ -74,13 +67,13 @@ int main(int argc, char** argv) {
     aggressive_summary.Add(100.0 * aggr);
     if (r.after < 0.05) ++below5;
   }
-  bench::PrintTable(table, flags);
-  std::printf("\nmean pollution: strict=%.1f%% aggressive=%.1f%%; strict "
-              "instances below 5%%: %zu of %zu\n",
-              strict_summary.Mean(), aggressive_summary.Mean(), below5,
-              strict.size());
-  std::printf("shape check (paper): ~40%% typical with a low-impact tail — "
-              "matched by the strict-export model; the aggressive model is "
-              "the upper envelope.\n");
-  return 0;
+  e.PrintTable(table);
+  e.Note("\nmean pollution: strict=%.1f%% aggressive=%.1f%%; strict "
+         "instances below 5%%: %zu of %zu",
+         strict_summary.Mean(), aggressive_summary.Mean(), below5,
+         strict.size());
+  e.Note("shape check (paper): ~40%% typical with a low-impact tail — "
+         "matched by the strict-export model; the aggressive model is "
+         "the upper envelope.");
+  return e.Finish();
 }

@@ -4,8 +4,6 @@
 // Paper shape: mostly less effective than the tier-1 cases — edge attackers
 // see few of the victim's routes and have long paths to the rest of the
 // Internet.
-#include <cstdio>
-
 #include "attack/impact.h"
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
@@ -16,25 +14,20 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("instances", 27, "number of hijack instances");
-  flags.DefineInt("lambda", 3, "victim prepend count");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("Figure 8: polluted ASes, random attacker/victim pairs",
+                      "27 sampled instances (mostly tier-4/5), ranked");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("instances", 27, "number of hijack instances");
+  e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner("Figure 8: polluted ASes, random attacker/victim pairs",
-                     "27 sampled instances (mostly tier-4/5), ranked",
-                     topology, flags);
-
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
   topo::TierInfo tiers = topo::ClassifyTiers(topology.graph);
-  auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
-                                         flags.GetUint("seed") + 8);
-  auto pool = bench::PoolFromFlags(flags);
+  auto pairs = attack::SampleRandomPairs(topology, e.Flags().GetUint("instances"),
+                                         e.Flags().GetUint("seed") + 8);
   attack::PairSweepOptions options;
-  options.lambda = static_cast<int>(flags.GetInt("lambda"));
-  options.pool = pool.get();
+  options.lambda = static_cast<int>(e.Flags().GetInt("lambda"));
+  options.pool = e.Pool();
   auto results = attack::RunPairSweep(topology.graph, pairs, options);
 
   util::Table table({"rank", "attacker(tier)", "victim(tier)",
@@ -51,10 +44,10 @@ int main(int argc, char** argv) {
         .Cell(100.0 * r.before, 1);
     after_summary.Add(100.0 * r.after);
   }
-  bench::PrintTable(table, flags);
-  std::printf("\nmean pollution after hijack: %.1f%% (max %.1f%%)\n",
-              after_summary.Mean(), after_summary.max);
-  std::printf("shape check (paper): random edge pairs are mostly less "
-              "effective than tier-1 pairs (Fig. 7).\n");
-  return 0;
+  e.PrintTable(table);
+  e.Note("\nmean pollution after hijack: %.1f%% (max %.1f%%)",
+         after_summary.Mean(), after_summary.max);
+  e.Note("shape check (paper): random edge pairs are mostly less "
+         "effective than tier-1 pairs (Fig. 7).");
+  return e.Finish();
 }

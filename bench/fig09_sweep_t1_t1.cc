@@ -4,39 +4,32 @@
 //
 // Paper shape: λ=1 → ~30 % (no advantage, equals the pre-attack share);
 // λ=2 → ~80 %; λ≥3 → >95 %, then a plateau.
-#include <cstdio>
-
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
 
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineInt("max_lambda", 8, "largest prepend count to sweep");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner(
+  bench::Experiment e(
       "Figure 9: pollution vs prepended ASNs (tier-1 hijacks tier-1)",
-      "Sprint hijacks AT&T: 30% at lambda=1, 80% at 2, >95% at 3-4, plateau",
-      topology, flags);
+      "Sprint hijacks AT&T: 30% at lambda=1, 80% at 2, >95% at 3-4, plateau");
+  e.WithTopologyFlags();
+  e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
   attack::SweepScenario scenario = attack::Tier1VsTier1(topology);
-  std::printf("scenario: attacker AS%u hijacks victim AS%u\n",
-              scenario.attacker, scenario.victim);
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
+  e.Note("scenario: attacker AS%u hijacks victim AS%u", scenario.attacker,
+         scenario.victim);
   auto rows = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
-                                 static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false, pool.get(),
-                                 &baseline_cache);
-  bench::PrintSweep(rows, flags, "pct_after_hijack", "pct_before_hijack");
-  std::printf(
+                                 static_cast<int>(e.Flags().GetInt("max_lambda")),
+                                 /*violate_valley_free=*/false, e.Pool(),
+                                 e.Baseline());
+  e.PrintTable(
+      bench::SweepTable(rows, "pct_after_hijack", "pct_before_hijack"));
+  e.Note(
       "shape check (paper): sharp rise from lambda=1 to 2-3, then plateau; "
-      "lambda=1 equals the before-hijack share.\n");
-  return 0;
+      "lambda=1 equals the before-hijack share.");
+  return e.Finish();
 }

@@ -8,44 +8,39 @@
 //     chain into the topology.
 //   * violate routing policy: the attacker re-announces the shortest
 //     stripped route to everyone.
-#include <cstdio>
-
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
 
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineInt("max_lambda", 8, "largest prepend count to sweep");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  attack::SweepScenario scenario = attack::EngineerContentVsTier1(topology);
-  bench::PrintBanner(
+  bench::Experiment e(
       "Figure 11: pollution vs prepended ASNs (content AS hijacks tier-1)",
       "Facebook hijacks NTT: valley-free reaches ~38% via the sibling chain; "
-      "violating policy reaches further",
-      topology, flags);
-  std::printf("scenario: attacker AS%u (content) hijacks victim AS%u "
-              "(tier-1); sibling chain engineered\n",
-              scenario.attacker, scenario.victim);
+      "violating policy reaches further");
+  e.WithTopologyFlags();
+  e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  e.GenerateTopology();
+  attack::SweepScenario scenario =
+      attack::EngineerContentVsTier1(e.MutableTopology());
+  const topo::GeneratedTopology& topology = e.Topology();
+  e.Note("scenario: attacker AS%u (content) hijacks victim AS%u (tier-1); "
+         "sibling chain engineered",
+         scenario.attacker, scenario.victim);
 
   // One shared baseline cache: the attack-free state per λ is independent of
   // the attacker's export model, so the violate sweep is all cache hits.
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
+  const int max_lambda = static_cast<int>(e.Flags().GetInt("max_lambda"));
   auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
-                                 scenario.attacker,
-                                 static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false, pool.get(),
-                                 &baseline_cache);
-  auto violate = bench::LambdaSweep(
-      topology.graph, scenario.victim, scenario.attacker,
-      static_cast<int>(flags.GetInt("max_lambda")),
-      /*violate_valley_free=*/true, pool.get(), &baseline_cache);
+                                 scenario.attacker, max_lambda,
+                                 /*violate_valley_free=*/false, e.Pool(),
+                                 e.Baseline());
+  auto violate = bench::LambdaSweep(topology.graph, scenario.victim,
+                                    scenario.attacker, max_lambda,
+                                    /*violate_valley_free=*/true, e.Pool(),
+                                    e.Baseline());
 
   util::Table table({"num_prepending_asns", "pct_follow_valley_free",
                      "pct_violate_routing_policy", "pct_before_hijack"});
@@ -56,9 +51,9 @@ int main(int argc, char** argv) {
         .Cell(100.0 * violate[i].after, 1)
         .Cell(100.0 * obey[i].before, 1);
   }
-  bench::PrintTable(table, flags);
-  std::printf(
+  e.PrintTable(table);
+  e.Note(
       "shape check (paper): valley-free series rises to a ~38%% plateau; the "
-      "violating series is at least as large, growing with lambda.\n");
-  return 0;
+      "violating series is at least as large, growing with lambda.");
+  return e.Finish();
 }

@@ -4,44 +4,36 @@
 // Paper shape: obeying valley-free the polluted set is very small (the
 // attacker can only reach its own customers); violating policy the impact
 // becomes significant as the victim pads more (up to ~60 %).
-#include <cstdio>
-
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
 
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineInt("max_lambda", 8, "largest prepend count to sweep");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  attack::SweepScenario scenario = attack::SmallVsSmall(topology);
-  bench::PrintBanner(
+  bench::Experiment e(
       "Figure 12: pollution vs prepended ASNs (small hijacks small)",
       "AS30209 hijacks AS12734: tiny when valley-free, significant when "
-      "violating policy",
-      topology, flags);
-  std::printf("scenario: attacker AS%u hijacks victim AS%u (both small "
-              "transits)\n",
-              scenario.attacker, scenario.victim);
+      "violating policy");
+  e.WithTopologyFlags();
+  e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
+  attack::SweepScenario scenario = attack::SmallVsSmall(topology);
+  e.Note("scenario: attacker AS%u hijacks victim AS%u (both small transits)",
+         scenario.attacker, scenario.victim);
 
   // One shared baseline cache: the attack-free state per λ is independent of
   // the attacker's export model, so the violate sweep is all cache hits.
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
+  const int max_lambda = static_cast<int>(e.Flags().GetInt("max_lambda"));
   auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
-                                 scenario.attacker,
-                                 static_cast<int>(flags.GetInt("max_lambda")),
-                                 /*violate_valley_free=*/false, pool.get(),
-                                 &baseline_cache);
-  auto violate = bench::LambdaSweep(
-      topology.graph, scenario.victim, scenario.attacker,
-      static_cast<int>(flags.GetInt("max_lambda")),
-      /*violate_valley_free=*/true, pool.get(), &baseline_cache);
+                                 scenario.attacker, max_lambda,
+                                 /*violate_valley_free=*/false, e.Pool(),
+                                 e.Baseline());
+  auto violate = bench::LambdaSweep(topology.graph, scenario.victim,
+                                    scenario.attacker, max_lambda,
+                                    /*violate_valley_free=*/true, e.Pool(),
+                                    e.Baseline());
 
   util::Table table({"num_prepending_asns", "pct_follow_valley_free",
                      "pct_violate_routing_policy", "pct_before_hijack"});
@@ -52,9 +44,9 @@ int main(int argc, char** argv) {
         .Cell(100.0 * violate[i].after, 1)
         .Cell(100.0 * obey[i].before, 1);
   }
-  bench::PrintTable(table, flags);
-  std::printf(
+  e.PrintTable(table);
+  e.Note(
       "shape check (paper): valley-free stays near zero; violating grows "
-      "with lambda to a large fraction.\n");
-  return 0;
+      "with lambda to a large fraction.");
+  return e.Finish();
 }

@@ -5,7 +5,7 @@
 // 150. Accuracy is measured over *effective* attacks (instances that
 // polluted at least one AS — an attack nobody adopts produces no routing
 // change to detect, and no damage either).
-#include <cstdio>
+#include <algorithm>
 
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
@@ -15,28 +15,22 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("instances", 200, "number of attacker/victim pairs");
-  flags.DefineInt("lambda", 3, "victim prepend count");
-  flags.DefineBool("victim_aware", false,
-                   "give the detector the victim's own prepend policy");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("Figure 13: detection accuracy vs number of monitors",
+                      "92% detected with 70 monitors, >99% beyond 150");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("instances", 200, "number of attacker/victim pairs");
+  e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  e.Flags().DefineBool("victim_aware", false,
+                       "give the detector the victim's own prepend policy");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner("Figure 13: detection accuracy vs number of monitors",
-                     "92% detected with 70 monitors, >99% beyond 150",
-                     topology, flags);
-
-  auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
-                                         flags.GetUint("seed") + 13);
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
-  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
+  auto pairs = attack::SampleRandomPairs(topology, e.Flags().GetUint("instances"),
+                                         e.Flags().GetUint("seed") + 13);
+  attack::AttackSimulator simulator(topology.graph, e.Baseline());
   detect::DetectionConfig config;
-  config.lambda = static_cast<int>(flags.GetInt("lambda"));
-  config.victim_aware = flags.GetBool("victim_aware");
+  config.lambda = static_cast<int>(e.Flags().GetInt("lambda"));
+  config.victim_aware = e.Flags().GetBool("victim_aware");
 
   const std::vector<std::size_t> monitor_counts = {10,  30,  50,  70,
                                                    100, 150, 200, 300};
@@ -54,7 +48,7 @@ int main(int argc, char** argv) {
     std::vector<detect::DetectionResult> per_set;
   };
   std::vector<PairVerdict> verdicts(pairs.size());
-  pool->ParallelFor(pairs.size(), [&](std::size_t p) {
+  e.Pool()->ParallelFor(pairs.size(), [&](std::size_t p) {
     const auto& [attacker, victim] = pairs[p];
     attack::AttackOutcome outcome =
         simulator.RunAsppInterception(victim, attacker, config.lambda);
@@ -92,10 +86,10 @@ int main(int argc, char** argv) {
         .Cell(100.0 * rates[i].HighConfidenceRate(), 1)
         .Cell(100.0 * static_cast<double>(rates[i].suspect_correct) / n, 1);
   }
-  bench::PrintTable(table, flags);
-  std::printf("\neffective attacks: %zu of %zu sampled pairs\n", effective,
-              pairs.size());
-  std::printf("shape check (paper): rising curve, ~90%%+ by 70 monitors, "
-              "saturating toward 100%% by 150+.\n");
-  return 0;
+  e.PrintTable(table);
+  e.Note("\neffective attacks: %zu of %zu sampled pairs", effective,
+         pairs.size());
+  e.Note("shape check (paper): rising curve, ~90%%+ by 70 monitors, "
+         "saturating toward 100%% by 150+.");
+  return e.Finish();
 }

@@ -4,8 +4,6 @@
 //
 // Paper anchor: 80 % of experiments are detected with less than 37 % of the
 // polluted ASes already switched.
-#include <cstdio>
-
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
 #include "detect/evaluation.h"
@@ -15,34 +13,28 @@
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  bench::AddCommonFlags(flags);
-  flags.DefineUint("instances", 200, "number of attacker/victim pairs");
-  flags.DefineUint("monitors", 150, "number of top-degree monitors");
-  flags.DefineInt("lambda", 3, "victim prepend count");
-  if (!flags.Parse(argc, argv)) return 1;
-
-  topo::GeneratedTopology topology =
-      topo::GenerateInternetTopology(bench::ParamsFromFlags(flags));
-  bench::PrintBanner(
+  bench::Experiment e(
       "Figure 14: fraction of ASes polluted before detection",
-      "CDF over 200 attacks, 150 monitors; 80% of runs below 0.37", topology,
-      flags);
+      "CDF over 200 attacks, 150 monitors; 80% of runs below 0.37");
+  e.WithTopologyFlags();
+  e.Flags().DefineUint("instances", 200, "number of attacker/victim pairs");
+  e.Flags().DefineUint("monitors", 150, "number of top-degree monitors");
+  e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  auto pairs = attack::SampleRandomPairs(topology, flags.GetUint("instances"),
-                                         flags.GetUint("seed") + 14);
-  auto pool = bench::PoolFromFlags(flags);
-  attack::BaselineCache baseline_cache(topology.graph);
-  attack::AttackSimulator simulator(topology.graph, &baseline_cache);
+  const topo::GeneratedTopology& topology = e.GenerateTopology();
+  auto pairs = attack::SampleRandomPairs(topology, e.Flags().GetUint("instances"),
+                                         e.Flags().GetUint("seed") + 14);
+  attack::AttackSimulator simulator(topology.graph, e.Baseline());
   auto monitors =
-      detect::TopDegreeMonitors(topology.graph, flags.GetUint("monitors"));
+      detect::TopDegreeMonitors(topology.graph, e.Flags().GetUint("monitors"));
   detect::DetectionConfig config;
-  config.lambda = static_cast<int>(flags.GetInt("lambda"));
+  config.lambda = static_cast<int>(e.Flags().GetInt("lambda"));
 
   // Per-pair results land in input-index slots; the CDF below consumes them
   // in input order, so the figure is identical for any --threads value.
   std::vector<detect::DetectionResult> results(pairs.size());
-  pool->ParallelFor(pairs.size(), [&](std::size_t p) {
+  e.Pool()->ParallelFor(pairs.size(), [&](std::size_t p) {
     const auto& [attacker, victim] = pairs[p];
     results[p] = detect::EvaluateDetection(simulator, victim, attacker,
                                            monitors, config);
@@ -66,10 +58,10 @@ int main(int argc, char** argv) {
   for (double x = 0.0; x <= 1.0001; x += 0.05) {
     table.Row().Cell(x, 2).Cell(cdf.At(x), 3);
   }
-  bench::PrintTable(table, flags);
-  std::printf("\neffective attacks: %zu; undetected: %zu; CDF at 0.37: %.2f\n",
-              effective, undetected, cdf.At(0.37));
-  std::printf("shape check (paper): most mass at small fractions — ~80%% of "
-              "runs below 0.37.\n");
-  return 0;
+  e.PrintTable(table);
+  e.Note("\neffective attacks: %zu; undetected: %zu; CDF at 0.37: %.2f",
+         effective, undetected, cdf.At(0.37));
+  e.Note("shape check (paper): most mass at small fractions — ~80%% of "
+         "runs below 0.37.");
+  return e.Finish();
 }

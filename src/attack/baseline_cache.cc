@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace asppi::attack {
 
 namespace {
@@ -10,6 +12,20 @@ namespace {
 std::string KeyOf(const bgp::Announcement& announcement) {
   return std::to_string(announcement.origin) + '|' +
          announcement.prepends.KeyString();
+}
+
+// Hit/miss totals are deterministic for any thread count: the per-key
+// shared_future guarantees exactly one miss per distinct announcement, and
+// every other Get is a hit, however the lookups interleave.
+struct CacheMetrics {
+  util::Counter hits{"attack.baseline_cache.hits"};
+  util::Counter misses{"attack.baseline_cache.misses"};
+  util::Timer compute{"attack.baseline_cache.compute"};
+};
+
+CacheMetrics& Instr() {
+  static CacheMetrics* m = new CacheMetrics();
+  return *m;
 }
 
 }  // namespace
@@ -27,10 +43,10 @@ std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      Instr().hits.Add();
       future = it->second;
     } else {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      Instr().misses.Add();
       future = promise.get_future().share();
       entries_.emplace(key, future);
       compute = true;
@@ -39,6 +55,7 @@ std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
   if (compute) {
     // Run outside the lock so distinct announcements converge concurrently;
     // waiters for *this* key block on the future instead of the mutex.
+    util::ScopedTimer compute_timer(Instr().compute);
     try {
       promise.set_value(std::make_shared<const bgp::PropagationResult>(
           engine_.Run(announcement)));

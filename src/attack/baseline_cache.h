@@ -11,11 +11,12 @@
 //
 // Thread-safe: concurrent Get() calls for the same announcement compute the
 // baseline exactly once (later callers block on the first caller's run);
-// distinct announcements compute concurrently. Hits()/Misses() expose the
-// effectiveness — a same-victim λ-sweep must show exactly one miss per λ.
+// distinct announcements compute concurrently. Effectiveness is observable
+// through the process-wide metrics registry — "attack.baseline_cache.hits" /
+// ".misses" counters and the ".compute" timer (util/metrics.h); a
+// same-victim λ-sweep must add exactly one miss per λ.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <future>
 #include <memory>
@@ -37,11 +38,8 @@ class BaselineCache {
   std::shared_ptr<const bgp::PropagationResult> Get(
       const bgp::Announcement& announcement);
 
-  // Lookups answered from the cache / lookups that ran a full propagation.
-  std::size_t Hits() const { return hits_.load(std::memory_order_relaxed); }
-  std::size_t Misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  // Number of memoized baselines. Hit/miss accounting lives in the metrics
+  // registry (see the header comment), not on the instance.
   std::size_t Size() const;
 
   const topo::AsGraph& Graph() const { return graph_; }
@@ -56,8 +54,6 @@ class BaselineCache {
   std::unordered_map<std::string,
                      std::shared_future<std::shared_ptr<const bgp::PropagationResult>>>
       entries_;
-  std::atomic<std::size_t> hits_{0};
-  std::atomic<std::size_t> misses_{0};
 };
 
 }  // namespace asppi::attack

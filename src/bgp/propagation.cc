@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace asppi::bgp {
+
+namespace {
+
+// Engine counters (DESIGN.md §4d). All are work counters, not scheduling
+// counters: a deterministic workload produces identical totals for any
+// thread count.
+struct EngineMetrics {
+  util::Counter runs{"bgp.propagation.runs"};
+  util::Counter resumes{"bgp.propagation.resumes"};
+  util::Counter rounds{"bgp.propagation.rounds"};
+  util::Counter decisions{"bgp.propagation.decisions"};
+  util::Counter announced{"bgp.propagation.routes_announced"};
+  util::Counter withdrawn{"bgp.propagation.routes_withdrawn"};
+  util::Timer converge_time{"bgp.propagation.converge"};
+};
+
+EngineMetrics& Instr() {
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
+
+}  // namespace
 
 const std::optional<Route>& PropagationResult::BestAt(Asn asn) const {
   return best_[graph_->IndexOf(asn)];
@@ -83,6 +106,7 @@ PropagationResult PropagationSimulator::Run(const Announcement& announcement,
 
   std::vector<std::uint8_t> need_export(n, 0);
   need_export[graph_.IndexOf(announcement.origin)] = 1;
+  Instr().runs.Add();
   RunLoop(state, transform, need_export);
   return state;
 }
@@ -103,6 +127,7 @@ PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
     // exports (OverrideBest) — refresh its decision before re-announcing.
     Decide(state, idx, transform);
   }
+  Instr().resumes.Add();
   RunLoop(state, transform, need_export);
   return state;
 }
@@ -110,6 +135,7 @@ PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
 void PropagationSimulator::RunLoop(PropagationResult& state,
                                    RouteTransform* transform,
                                    std::vector<std::uint8_t>& need_export) const {
+  util::ScopedTimer converge_timer(Instr().converge_time);
   const std::size_t n = graph_.NumAses();
   std::vector<std::uint8_t> dirty(n, 0);
 
@@ -158,6 +184,7 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
     if (!any_change) break;
   }
   state.rounds_ = round;
+  Instr().rounds.Add(static_cast<std::uint64_t>(round));
 }
 
 void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
@@ -167,6 +194,7 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
   const bool is_origin = (u_asn == state.announcement_.origin);
   const auto neighbors = graph_.NeighborsOf(u_asn);
   const std::optional<Route>& best = state.best_[u];
+  std::uint64_t announced = 0, withdrawn = 0;
 
   for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
     const Asn v_asn = neighbors[slot].asn;
@@ -210,6 +238,7 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
 
     auto& slot_route = state.rib_in_[v][back_slot];
     if (send) {
+      ++announced;
       // Receiver-side loop detection: a path containing the receiver is
       // discarded and invalidates any previous route from this neighbor.
       if (path.Contains(v_asn)) {
@@ -237,6 +266,7 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
     } else {
       // Withdraw if we previously advertised.
       if (state.sent_[u][slot]) {
+        ++withdrawn;
         state.sent_[u][slot] = 0;
         if (slot_route.has_value()) {
           slot_route.reset();
@@ -245,10 +275,14 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
       }
     }
   }
+  // One shard update per exporter, not per neighbor.
+  if (announced != 0) Instr().announced.Add(announced);
+  if (withdrawn != 0) Instr().withdrawn.Add(withdrawn);
 }
 
 bool PropagationSimulator::Decide(PropagationResult& state, std::size_t u,
                                   RouteTransform* transform) const {
+  Instr().decisions.Add();
   const Asn u_asn = graph_.AsnAt(u);
   // The origin always prefers its own prefix; learned routes for it are
   // loop-discarded at delivery anyway.

@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace asppi::bgp {
 
@@ -10,6 +11,20 @@ namespace {
 
 using topo::AsGraph;
 using topo::Relation;
+
+// Per-phase BFS/Dijkstra visit counts (settled queue pops / relaxation
+// scans), plus builds — the routing tree's share of a sweep's work.
+struct TreeMetrics {
+  util::Counter builds{"bgp.routing_tree.builds"};
+  util::Counter phase1{"bgp.routing_tree.phase1_visits"};
+  util::Counter phase2{"bgp.routing_tree.phase2_visits"};
+  util::Counter phase3{"bgp.routing_tree.phase3_visits"};
+};
+
+TreeMetrics& Instr() {
+  static TreeMetrics* m = new TreeMetrics();
+  return *m;
+}
 
 struct QueueItem {
   std::size_t dist;
@@ -51,9 +66,11 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
           << "RoutingTree does not support sibling links";
     }
   }
+  Instr().builds.Add();
   const std::size_t n = graph.NumAses();
   entries_.resize(n);
   const std::size_t origin = graph.IndexOf(announcement.origin);
+  std::uint64_t phase1_visits = 0, phase2_visits = 0, phase3_visits = 0;
 
   auto pads = [&](Asn exporter, Asn neighbor) {
     return static_cast<std::size_t>(
@@ -74,6 +91,7 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
       auto [d, u] = queue.top();
       queue.pop();
       if (d != dist_c[u]) continue;  // stale entry
+      ++phase1_visits;
       const Asn u_asn = graph.AsnAt(u);
       for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
         // Uphill: u exports to its providers.
@@ -94,6 +112,7 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
   std::vector<Asn> parent_p(n, 0);
   for (std::size_t w = 0; w < n; ++w) {
     if (dist_c[w] == kInf) continue;  // w's best is not a customer route
+    ++phase2_visits;
     const Asn w_asn = graph.AsnAt(w);
     for (const AsGraph::Neighbor& nb : graph.NeighborsOf(w_asn)) {
       if (nb.rel != Relation::kPeer) continue;
@@ -138,6 +157,7 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
       auto [d, u] = queue.top();
       queue.pop();
       if (d != export_dist(u)) continue;  // stale
+      ++phase3_visits;
       const Asn u_asn = graph.AsnAt(u);
       for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
         if (nb.rel != Relation::kCustomer) continue;
@@ -158,6 +178,9 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
       }
     }
   }
+  Instr().phase1.Add(phase1_visits);
+  Instr().phase2.Add(phase2_visits);
+  Instr().phase3.Add(phase3_visits);
 }
 
 const RoutingTree::Entry& RoutingTree::At(Asn asn) const {

@@ -4,6 +4,7 @@
 #include <set>
 #include <tuple>
 
+#include "util/metrics.h"
 #include "util/strings.h"
 
 namespace asppi::detect {
@@ -11,6 +12,20 @@ namespace asppi::detect {
 namespace {
 
 using topo::Relation;
+
+// Detector workload counters: observations are monitor routes compared per
+// Scan, triggers are padding-decrease candidates entering the Fig.-4 rules.
+struct DetectorMetrics {
+  util::Counter scans{"detect.scans"};
+  util::Counter observations{"detect.observations_scanned"};
+  util::Counter triggers{"detect.trigger_evaluations"};
+  util::Counter alarms{"detect.alarms"};
+};
+
+DetectorMetrics& Instr() {
+  static DetectorMetrics* m = new DetectorMetrics();
+  return *m;
+}
 
 // Splits a route to the victim into (core, λ): core is the path with the
 // trailing run of victim copies removed, λ the run length. Returns nullopt
@@ -57,6 +72,7 @@ std::vector<Alarm> AsppDetector::DetectOne(Asn victim, Asn observer,
   auto before = StripVictimPadding(route_before, victim);
   if (!now || !before) return alarms;
   if (now->lambda >= before->lambda) return alarms;  // padding did not drop
+  Instr().triggers.Add();
   // A core of length < 2 means the observed branch leaves the victim
   // directly; distinct first hops may legitimately receive different padding
   // (per-neighbor traffic engineering), so the segment rules need ≥ 2 hops.
@@ -162,6 +178,8 @@ std::vector<Alarm> AsppDetector::Scan(
     const bgp::PrependPolicy* victim_policy) const {
   RouteSnapshot previous = RouteSnapshot::FromMonitors(previous_monitor_paths);
   RouteSnapshot current = RouteSnapshot::FromMonitors(current_monitor_paths);
+  Instr().scans.Add();
+  Instr().observations.Add(current_monitor_paths.size());
 
   std::vector<Alarm> alarms;
   std::set<std::tuple<int, Asn, Asn>> seen;
@@ -202,6 +220,7 @@ std::vector<Alarm> AsppDetector::Scan(
       }
     }
   }
+  Instr().alarms.Add(alarms.size());
   return alarms;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace asppi::detect {
@@ -12,6 +13,18 @@ namespace asppi::detect {
 namespace {
 
 using MonitorPaths = std::vector<std::pair<Asn, AsPath>>;
+
+// Harness-level counters: one evaluation per (attacker, victim) instance,
+// one replayed round per hop-wave snapshot handed to the detector.
+struct EvalMetrics {
+  util::Counter evaluations{"detect.evaluations"};
+  util::Counter rounds_replayed{"detect.rounds_replayed"};
+};
+
+EvalMetrics& Instr() {
+  static EvalMetrics* m = new EvalMetrics();
+  return *m;
+}
 
 // Best-path observations for `monitors`; ASes without routes are skipped.
 // The attacker is excluded — it would not feed honest data to a collector.
@@ -43,6 +56,7 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
                                            const attack::AttackOutcome& outcome,
                                            const std::vector<Asn>& monitors,
                                            const DetectionConfig& config) {
+  Instr().evaluations.Add();
   DetectionResult result;
   const Asn victim = outcome.victim;
   const Asn attacker = outcome.attacker;
@@ -73,6 +87,7 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
   }
 
   for (int round : rounds) {
+    Instr().rounds_replayed.Add();
     MonitorPaths current;
     current.reserve(before.size());
     for (Asn m : monitors) {

@@ -127,6 +127,13 @@ const std::string& Flags::GetString(const std::string& name) const {
   return Lookup(name, Type::kString).value_text;
 }
 
+std::vector<std::pair<std::string, std::string>> Flags::Values() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) out.emplace_back(name, def.value_text);
+  return out;
+}
+
 void Flags::PrintUsage(const std::string& program) const {
   std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
   for (const auto& [name, def] : defs_) {

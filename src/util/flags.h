@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace asppi::util {
@@ -31,6 +32,14 @@ class Flags {
   const std::string& GetString(const std::string& name) const;
 
   const std::vector<std::string>& Positional() const { return positional_; }
+
+  // True once DefineX() ran for `name` (the Experiment API uses this to
+  // avoid double-defining shared flags; defining twice is a hard error).
+  bool IsDefined(const std::string& name) const { return defs_.contains(name); }
+
+  // Every flag's (name, current value) in name order — the run-report meta
+  // records these so a report identifies its exact configuration.
+  std::vector<std::pair<std::string, std::string>> Values() const;
 
   void PrintUsage(const std::string& program) const;
 

@@ -1,0 +1,187 @@
+#include "util/metrics.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace asppi::util {
+
+namespace {
+
+// Fixed shard capacity keeps the per-thread storage a flat array of atomics
+// that can be read while other threads grow into it (no reallocation, ever).
+// Raising these is a recompile; the registry CHECKs on overflow.
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxTimers = 64;
+
+}  // namespace
+
+struct MetricsShard;
+
+// All registry state lives here, in a never-destroyed singleton, so
+// thread_local shard destructors can safely unregister during teardown.
+struct MetricsState {
+  std::mutex mu;
+  std::unordered_map<std::string, Metrics::Id> counter_ids;
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, Metrics::Id> timer_ids;
+  std::vector<std::string> timer_names;
+  std::map<std::string, double> gauges;
+
+  std::vector<MetricsShard*> shards;
+  // Folded totals of shards whose threads have exited.
+  std::array<std::uint64_t, kMaxCounters> retired_counters{};
+  std::array<std::uint64_t, kMaxTimers> retired_timer_count{};
+  std::array<std::uint64_t, kMaxTimers> retired_timer_ns{};
+};
+
+namespace {
+
+MetricsState& State() {
+  static MetricsState* state = new MetricsState();  // intentionally leaked
+  return *state;
+}
+
+}  // namespace
+
+struct MetricsShard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxTimers> timer_count{};
+  std::array<std::atomic<std::uint64_t>, kMaxTimers> timer_ns{};
+
+  MetricsShard() {
+    MetricsState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.shards.push_back(this);
+  }
+
+  ~MetricsShard() {
+    MetricsState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (std::size_t i = 0; i < kMaxCounters; ++i) {
+      state.retired_counters[i] +=
+          counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxTimers; ++i) {
+      state.retired_timer_count[i] +=
+          timer_count[i].load(std::memory_order_relaxed);
+      state.retired_timer_ns[i] += timer_ns[i].load(std::memory_order_relaxed);
+    }
+    std::erase(state.shards, this);
+  }
+};
+
+namespace {
+
+MetricsShard& LocalShard() {
+  thread_local MetricsShard shard;
+  return shard;
+}
+
+}  // namespace
+
+Metrics& Metrics::Global() {
+  static Metrics* metrics = new Metrics();  // intentionally leaked
+  return *metrics;
+}
+
+Metrics::Id Metrics::CounterId(const std::string& name) {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.counter_ids.find(name);
+  if (it != state.counter_ids.end()) return it->second;
+  ASPPI_CHECK(state.counter_names.size() < kMaxCounters)
+      << "metrics: counter capacity exhausted registering " << name;
+  const Id id = state.counter_names.size();
+  state.counter_names.push_back(name);
+  state.counter_ids.emplace(name, id);
+  return id;
+}
+
+Metrics::Id Metrics::TimerId(const std::string& name) {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.timer_ids.find(name);
+  if (it != state.timer_ids.end()) return it->second;
+  ASPPI_CHECK(state.timer_names.size() < kMaxTimers)
+      << "metrics: timer capacity exhausted registering " << name;
+  const Id id = state.timer_names.size();
+  state.timer_names.push_back(name);
+  state.timer_ids.emplace(name, id);
+  return id;
+}
+
+void Metrics::Add(Id counter, std::uint64_t delta) {
+  LocalShard().counters[counter].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Metrics::RecordTimeNs(Id timer, std::uint64_t ns) {
+  MetricsShard& shard = LocalShard();
+  shard.timer_count[timer].fetch_add(1, std::memory_order_relaxed);
+  shard.timer_ns[timer].fetch_add(ns, std::memory_order_relaxed);
+}
+
+void Metrics::SetGauge(const std::string& name, double value) {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.gauges[name] = value;
+}
+
+Metrics::Snapshot Metrics::TakeSnapshot() const {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  Snapshot snapshot;
+  for (std::size_t i = 0; i < state.counter_names.size(); ++i) {
+    std::uint64_t total = state.retired_counters[i];
+    for (const MetricsShard* shard : state.shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snapshot.counters[state.counter_names[i]] = total;
+  }
+  for (std::size_t i = 0; i < state.timer_names.size(); ++i) {
+    TimerStat stat;
+    stat.count = state.retired_timer_count[i];
+    stat.total_ns = state.retired_timer_ns[i];
+    for (const MetricsShard* shard : state.shards) {
+      stat.count += shard->timer_count[i].load(std::memory_order_relaxed);
+      stat.total_ns += shard->timer_ns[i].load(std::memory_order_relaxed);
+    }
+    snapshot.timers[state.timer_names[i]] = stat;
+  }
+  snapshot.gauges = state.gauges;
+  return snapshot;
+}
+
+void Metrics::Reset() {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.retired_counters.fill(0);
+  state.retired_timer_count.fill(0);
+  state.retired_timer_ns.fill(0);
+  for (MetricsShard* shard : state.shards) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->timer_count) c.store(0, std::memory_order_relaxed);
+    for (auto& c : shard->timer_ns) c.store(0, std::memory_order_relaxed);
+  }
+  state.gauges.clear();
+}
+
+std::uint64_t MonotonicNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimer::ScopedTimer(const Timer& timer)
+    : id_(timer.id()), start_ns_(MonotonicNowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  Metrics::Global().RecordTimeNs(id_, MonotonicNowNs() - start_ns_);
+}
+
+}  // namespace asppi::util

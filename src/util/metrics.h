@@ -1,0 +1,119 @@
+// Process-wide metrics registry: named counters, gauges, and scoped timers
+// for the simulation engines and the experiment harness.
+//
+// Design goals, in order:
+//   1. Hot-path increments must be cheap and contention-free — propagation
+//      decision/export counters fire millions of times per sweep. Each
+//      thread owns a shard of relaxed atomics indexed by interned metric id;
+//      an increment is one thread-local lookup plus one relaxed fetch_add,
+//      with no shared cache line and no lock.
+//   2. Reads must be deterministic. Snapshot() merges the shards (plus the
+//      folded totals of exited threads) by summation, which is
+//      order-independent for unsigned counters — so for any `--threads`
+//      value a deterministic workload yields bit-identical counter values.
+//      (Wall-clock timers and the thread-pool's own scheduling counters are
+//      inherently execution-dependent; they are reported separately and
+//      excluded from determinism guarantees — see DESIGN.md §4d.)
+//   3. Exited threads must not lose counts: a shard folds itself into the
+//      registry's retired totals on thread exit, so short-lived ThreadPool
+//      workers account correctly.
+//
+// Naming convention: lowercase dotted paths, `layer.component.what`
+// (e.g. "bgp.propagation.rounds", "attack.baseline_cache.hits").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asppi::util {
+
+class Metrics {
+ public:
+  using Id = std::size_t;
+
+  struct TimerStat {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+
+  // Deterministically merged view of every metric (counter names sorted by
+  // std::map; values are sums over all live and retired shards).
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, TimerStat> timers;
+    std::map<std::string, double> gauges;
+  };
+
+  // The process-wide registry (never destroyed: shards of exiting threads
+  // unregister against it during static teardown).
+  static Metrics& Global();
+
+  // Interns `name`, returning a stable dense id. Cold path (mutex).
+  // Registering the same name twice returns the same id.
+  Id CounterId(const std::string& name);
+  Id TimerId(const std::string& name);
+
+  // Hot paths: lock-free, thread-local.
+  void Add(Id counter, std::uint64_t delta = 1);
+  void RecordTimeNs(Id timer, std::uint64_t ns);
+
+  // Gauges are last-write-wins configuration-style values (thread counts,
+  // topology sizes); set from coordinating code, not hot loops.
+  void SetGauge(const std::string& name, double value);
+
+  Snapshot TakeSnapshot() const;
+
+  // Zeroes every counter/timer shard and drops all gauges. Names and ids
+  // survive. Call only while no other thread is recording (tests, or
+  // between experiment phases).
+  void Reset();
+
+ private:
+  Metrics() = default;
+  friend struct MetricsShard;
+};
+
+// Cached handle for a counter: resolve the name once (function-local static
+// at the instrumentation site), then Add() at full speed.
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : id_(Metrics::Global().CounterId(name)) {}
+  void Add(std::uint64_t delta = 1) const { Metrics::Global().Add(id_, delta); }
+
+ private:
+  Metrics::Id id_;
+};
+
+// Cached handle for a timer metric (count + total wall nanoseconds).
+class Timer {
+ public:
+  explicit Timer(const char* name) : id_(Metrics::Global().TimerId(name)) {}
+  void RecordNs(std::uint64_t ns) const {
+    Metrics::Global().RecordTimeNs(id_, ns);
+  }
+  Metrics::Id id() const { return id_; }
+
+ private:
+  Metrics::Id id_;
+};
+
+// RAII wall-clock timer: records elapsed ns into `timer` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Timer& timer);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Metrics::Id id_;
+  std::uint64_t start_ns_;
+};
+
+// Monotonic clock in nanoseconds (exposed for queue-wait style timings).
+std::uint64_t MonotonicNowNs();
+
+}  // namespace asppi::util

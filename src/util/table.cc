@@ -56,9 +56,55 @@ void Table::PrintPretty(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+namespace {
+
+// RFC-4180 field quoting: only when the cell needs it.
+std::string CsvCell(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void PrintCsvRow(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) os << ',';
+    os << CsvCell(row[c]);
+  }
+  os << "\n";
+}
+
+}  // namespace
+
 void Table::PrintCsv(std::ostream& os) const {
-  os << Join(header_, ",") << "\n";
-  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+  PrintCsvRow(os, header_);
+  for (const auto& row : rows_) PrintCsvRow(os, row);
+}
+
+void Table::PrintJson(std::ostream& os) const {
+  ToJson().Write(os);
+  os << "\n";
+}
+
+Json Table::ToJson() const {
+  Json array = Json::Array();
+  for (const auto& row : rows_) {
+    Json object = Json::Object();
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      if (auto number = ParseDouble(v)) {
+        object[header_[c]] = Json(*number);
+      } else {
+        object[header_[c]] = Json(v);
+      }
+    }
+    array.Push(std::move(object));
+  }
+  return array;
 }
 
 }  // namespace asppi::util

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+
 namespace asppi::util {
 
 class Table {
@@ -26,8 +28,14 @@ class Table {
 
   // Aligned, pipe-separated pretty print.
   void PrintPretty(std::ostream& os) const;
-  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  // RFC-4180 CSV: cells containing commas, quotes, or newlines are quoted
+  // with embedded quotes doubled (detector `detail` columns need this).
   void PrintCsv(std::ostream& os) const;
+  // JSON array of one object per row, keyed by the header. Cells that parse
+  // as numbers are emitted as JSON numbers, everything else as strings.
+  void PrintJson(std::ostream& os) const;
+  // The same JSON array as a document (the run report embeds it as `rows`).
+  Json ToJson() const;
 
  private:
   std::vector<std::string> header_;

@@ -5,7 +5,28 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+
 namespace asppi::util {
+
+namespace {
+
+// Scheduling counters. Unlike the engine counters these are inherently
+// thread-count-dependent (ThreadPool(1) enqueues nothing at all), so
+// determinism tests and the run-report comparison exclude the
+// "util.thread_pool." prefix.
+struct PoolMetrics {
+  util::Counter parallel_fors{"util.thread_pool.parallel_fors"};
+  util::Counter tasks{"util.thread_pool.tasks"};
+  util::Timer queue_wait{"util.thread_pool.queue_wait"};
+};
+
+PoolMetrics& Instr() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -44,6 +65,7 @@ void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn,
                              std::size_t chunk) {
   if (count == 0) return;
+  Instr().parallel_fors.Add();
   if (chunk == 0) {
     chunk = std::max<std::size_t>(1, count / (NumThreads() * 4));
   }
@@ -88,12 +110,15 @@ void ThreadPool::ParallelFor(std::size_t count,
   job->tasks_pending = num_tasks;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t enqueue_ns = MonotonicNowNs();
     for (std::size_t t = 0; t < num_tasks; ++t) {
       // The task captures run_chunks by value via the shared job, since it
       // may outlive this stack frame only up to the wait below — `fn` is
       // captured by reference and is safe because ParallelFor blocks until
       // every task signalled completion.
-      queue_.emplace_back([job, run_chunks] {
+      queue_.emplace_back([job, run_chunks, enqueue_ns] {
+        Instr().tasks.Add();
+        Instr().queue_wait.RecordNs(MonotonicNowNs() - enqueue_ns);
         run_chunks();
         std::lock_guard<std::mutex> done_lock(job->done_mu);
         --job->tasks_pending;

@@ -16,10 +16,19 @@
 #include "detect/monitors.h"
 #include "detect/placement.h"
 #include "topology/generator.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace asppi {
 namespace {
+
+// Cache hit/miss accounting moved to the process-wide metrics registry, so
+// the tests below assert on snapshot deltas instead of instance accessors.
+std::uint64_t CounterValue(const std::string& name) {
+  auto snapshot = util::Metrics::Global().TakeSnapshot();
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
 
 topo::GeneratedTopology SweepTopo(std::uint64_t seed) {
   topo::GeneratorParams params;
@@ -86,6 +95,8 @@ TEST(ThreadPool, FreeFunctionWithNullPoolIsSerial) {
 TEST(BaselineCache, CachedBaselineEqualsFreshRun) {
   auto gen = SweepTopo(91);
   attack::BaselineCache cache(gen.graph);
+  const std::uint64_t hits0 = CounterValue("attack.baseline_cache.hits");
+  const std::uint64_t misses0 = CounterValue("attack.baseline_cache.misses");
 
   bgp::Announcement announcement;
   announcement.origin = gen.tier1[0];
@@ -94,8 +105,8 @@ TEST(BaselineCache, CachedBaselineEqualsFreshRun) {
   auto first = cache.Get(announcement);
   auto second = cache.Get(announcement);
   EXPECT_EQ(first.get(), second.get()) << "hit must share the same state";
-  EXPECT_EQ(cache.Misses(), 1u);
-  EXPECT_EQ(cache.Hits(), 1u);
+  EXPECT_EQ(CounterValue("attack.baseline_cache.misses") - misses0, 1u);
+  EXPECT_EQ(CounterValue("attack.baseline_cache.hits") - hits0, 1u);
   EXPECT_EQ(cache.Size(), 1u);
 
   bgp::PropagationSimulator engine(gen.graph);
@@ -112,22 +123,27 @@ TEST(BaselineCache, LambdaSweepRunsOneUncachedBaselinePerLambda) {
   attack::BaselineCache cache(gen.graph);
   util::ThreadPool pool(4);
   const int max_lambda = 5;
+  const std::uint64_t hits0 = CounterValue("attack.baseline_cache.hits");
+  const std::uint64_t misses0 = CounterValue("attack.baseline_cache.misses");
 
   auto rows = bench::LambdaSweep(gen.graph, gen.tier1[0], gen.tier1[1],
                                  max_lambda, /*violate_valley_free=*/false,
                                  &pool, &cache);
   ASSERT_EQ(rows.size(), static_cast<std::size_t>(max_lambda));
-  EXPECT_EQ(cache.Misses(), static_cast<std::size_t>(max_lambda))
+  EXPECT_EQ(CounterValue("attack.baseline_cache.misses") - misses0,
+            static_cast<std::uint64_t>(max_lambda))
       << "exactly one uncached Run() per λ";
-  EXPECT_EQ(cache.Hits(), 0u);
+  EXPECT_EQ(CounterValue("attack.baseline_cache.hits") - hits0, 0u);
 
   // A second sweep against the same victim — e.g. another attacker — is
   // answered entirely from the cache.
   auto rows2 = bench::LambdaSweep(gen.graph, gen.tier1[0], gen.tier2[0],
                                   max_lambda, /*violate_valley_free=*/false,
                                   &pool, &cache);
-  EXPECT_EQ(cache.Misses(), static_cast<std::size_t>(max_lambda));
-  EXPECT_EQ(cache.Hits(), static_cast<std::size_t>(max_lambda));
+  EXPECT_EQ(CounterValue("attack.baseline_cache.misses") - misses0,
+            static_cast<std::uint64_t>(max_lambda));
+  EXPECT_EQ(CounterValue("attack.baseline_cache.hits") - hits0,
+            static_cast<std::uint64_t>(max_lambda));
 
   // Distinct λ values are distinct baselines: sweeping must not conflate
   // them (rows differ across λ in general, and each row's λ is recorded).
@@ -167,6 +183,9 @@ TEST(ParallelSweep, PairSweepIdenticalAcrossThreadCounts) {
   serial.lambda = 3;
   auto baseline_rows = attack::RunPairSweep(gen.graph, pairs, serial);
 
+  // Capture after the serial sweep: its internal baseline cache reports into
+  // the same global counters.
+  const std::uint64_t misses0 = CounterValue("attack.baseline_cache.misses");
   util::ThreadPool pool(4);
   attack::BaselineCache cache(gen.graph);
   attack::PairSweepOptions parallel;
@@ -187,7 +206,8 @@ TEST(ParallelSweep, PairSweepIdenticalAcrossThreadCounts) {
   // One baseline per distinct victim, however many attackers shared it.
   std::set<topo::Asn> victims;
   for (const auto& [attacker, victim] : pairs) victims.insert(victim);
-  EXPECT_EQ(cache.Misses(), victims.size());
+  EXPECT_EQ(CounterValue("attack.baseline_cache.misses") - misses0,
+            victims.size());
 }
 
 TEST(ParallelSweep, DetectionRatesIdenticalAcrossThreadCounts) {

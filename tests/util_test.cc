@@ -2,8 +2,10 @@
 
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -235,6 +237,32 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(os.str(), "lambda,polluted\n1,0.30\n2,0.80\n");
 }
 
+TEST(Table, CsvQuotesPerRfc4180) {
+  Table t({"victim", "detail"});
+  t.Row().Cell("AS7018").Cell("chain behind AS1, 3 pads");
+  t.Row().Cell("AS1239").Cell("said \"possible\"");
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "victim,detail\n"
+            "AS7018,\"chain behind AS1, 3 pads\"\n"
+            "AS1239,\"said \"\"possible\"\"\"\n");
+}
+
+TEST(Table, JsonRowsKeyedByHeader) {
+  Table t({"lambda", "label"});
+  t.Row().Cell(2).Cell("x");
+  std::ostringstream os;
+  t.PrintJson(os);
+  auto parsed = Json::Parse(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->IsArray());
+  ASSERT_EQ(parsed->Items().size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->Items()[0].Find("lambda")->AsDouble(), 2.0);
+  EXPECT_EQ(parsed->Items()[0].Find("label")->AsString(), "x");
+  EXPECT_EQ(*parsed, t.ToJson());
+}
+
 TEST(Table, PrettyAligns) {
   Table t({"a", "long_header"});
   t.Row().Cell(std::int64_t{1}).Cell("x");
@@ -284,6 +312,27 @@ TEST(Flags, DefaultsApply) {
   const char* argv[] = {"prog"};
   ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)));
   EXPECT_EQ(flags.GetInt("n"), 5);
+}
+
+TEST(FlagsDeathTest, DuplicateDefinitionIsFatalAndNamesTheFlag) {
+  Flags flags;
+  flags.DefineUint("threads", 1, "first definition");
+  EXPECT_DEATH(flags.DefineUint("threads", 2, "second definition"),
+               "duplicate flag --threads");
+}
+
+TEST(Flags, ValuesReportCurrentStateInNameOrder) {
+  Flags flags;
+  flags.DefineUint("seed", 42, "seed");
+  flags.DefineBool("csv", false, "csv");
+  EXPECT_TRUE(flags.IsDefined("seed"));
+  EXPECT_FALSE(flags.IsDefined("nope"));
+  const char* argv[] = {"prog", "--seed=7"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)));
+  const auto values = flags.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], (std::pair<std::string, std::string>{"csv", "false"}));
+  EXPECT_EQ(values[1], (std::pair<std::string, std::string>{"seed", "7"}));
 }
 
 }  // namespace

@@ -6,50 +6,41 @@
 // With --attacker=0 every other AS is tried as the attacker (a full
 // single-victim pair sweep, parallelized over --threads with one shared
 // attack-free baseline) and the most damaging instances are printed.
-#include <algorithm>
 #include <cstdio>
-#include <thread>
 
 #include "attack/impact.h"
-#include "topology/serialization.h"
-#include "util/flags.h"
-#include "util/thread_pool.h"
+#include "bench/experiment.h"
+#include "util/strings.h"
 
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineString("topo", "topology.topo", "as-rel topology file");
-  flags.DefineUint("victim", 0, "victim ASN (prefix owner)");
-  flags.DefineUint("attacker", 0,
-                   "attacker ASN (0 = sweep every AS as the attacker)");
-  flags.DefineInt("lambda", 4, "victim prepend count");
-  flags.DefineBool("violate", false, "attacker violates valley-free export");
-  flags.DefineInt("show", 8, "number of hijacked routes / sweep rows to print");
-  flags.DefineUint(
-      "threads",
-      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
-      "worker threads for the attacker sweep (results are identical for any "
-      "value)");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("asppi_attack", "ASPP interception on a topology file");
+  e.WithThreadsFlag();
+  e.Flags().DefineString("topo", "topology.topo", "as-rel topology file");
+  e.Flags().DefineUint("victim", 0, "victim ASN (prefix owner)");
+  e.Flags().DefineUint("attacker", 0,
+                       "attacker ASN (0 = sweep every AS as the attacker)");
+  e.Flags().DefineInt("lambda", 4, "victim prepend count");
+  e.Flags().DefineBool("violate", false,
+                       "attacker violates valley-free export");
+  e.Flags().DefineInt("show", 8,
+                      "number of hijacked routes / sweep rows to print");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
   topo::AsGraph graph;
-  std::string err = topo::ReadAsRelFile(flags.GetString("topo"), graph);
-  if (!err.empty()) {
-    std::fprintf(stderr, "error reading topology: %s\n", err.c_str());
-    return 1;
-  }
-  const topo::Asn victim = static_cast<topo::Asn>(flags.GetUint("victim"));
-  const topo::Asn attacker = static_cast<topo::Asn>(flags.GetUint("attacker"));
+  if (!e.LoadTopology(e.Flags().GetString("topo"), &graph)) return 1;
+  const topo::Asn victim = static_cast<topo::Asn>(e.Flags().GetUint("victim"));
+  const topo::Asn attacker =
+      static_cast<topo::Asn>(e.Flags().GetUint("attacker"));
   if (!graph.HasAs(victim)) {
     std::fprintf(stderr, "need --victim present in the topology\n");
     return 1;
   }
-  const int lambda = static_cast<int>(flags.GetInt("lambda"));
-  const int show = static_cast<int>(flags.GetInt("show"));
+  const int lambda = static_cast<int>(e.Flags().GetInt("lambda"));
+  const int show = static_cast<int>(e.Flags().GetInt("show"));
 
-  std::printf("topology: %zu ASes, %zu links\n", graph.NumAses(),
-              graph.NumLinks());
+  e.Note("topology: %zu ASes, %zu links", graph.NumAses(), graph.NumLinks());
 
   if (attacker == 0) {
     // Sweep mode: every AS attacks `victim`; the baseline cache computes the
@@ -58,23 +49,28 @@ int main(int argc, char** argv) {
     for (topo::Asn asn : graph.Ases()) {
       if (asn != victim) pairs.emplace_back(asn, victim);
     }
-    util::ThreadPool pool(static_cast<std::size_t>(
-        std::max<std::uint64_t>(1, flags.GetUint("threads"))));
     attack::PairSweepOptions options;
     options.lambda = lambda;
-    options.violate_valley_free = flags.GetBool("violate");
-    options.pool = &pool;
+    options.violate_valley_free = e.Flags().GetBool("violate");
+    options.pool = e.Pool();
     auto results = attack::RunPairSweep(graph, pairs, options);
-    std::printf("sweep: %zu candidate attackers against AS%u (lambda=%d), "
-                "top %d by pollution:\n",
-                results.size(), victim, lambda, show);
+    e.Note("sweep: %zu candidate attackers against AS%u (lambda=%d), "
+           "top %d by pollution:",
+           results.size(), victim, lambda, show);
+    util::Table table({"rank", "attacker", "pct_before", "pct_after"});
     int rank = 0;
     for (const auto& row : results) {
       if (rank++ >= show) break;
       std::printf("  %2d. AS%-7u %6.2f%% -> %6.2f%%\n", rank, row.attacker,
                   100.0 * row.before, 100.0 * row.after);
+      table.Row()
+          .Cell(rank)
+          .Cell(util::Format("AS%u", row.attacker))
+          .Cell(100.0 * row.before, 2)
+          .Cell(100.0 * row.after, 2);
     }
-    return 0;
+    e.RecordTable(table);
+    return e.Finish();
   }
 
   if (!graph.HasAs(attacker) || victim == attacker) {
@@ -86,15 +82,14 @@ int main(int argc, char** argv) {
 
   attack::AttackSimulator simulator(graph);
   attack::AttackOutcome outcome = simulator.RunAsppInterception(
-      victim, attacker, lambda, flags.GetBool("violate"));
+      victim, attacker, lambda, e.Flags().GetBool("violate"));
 
-  std::printf("AS%u intercepts AS%u's prefix (lambda=%d%s)\n", attacker,
-              victim, lambda,
-              flags.GetBool("violate") ? ", violating policy" : "");
-  std::printf("paths traversing the attacker: %.2f%% -> %.2f%% "
-              "(%zu newly polluted ASes)\n",
-              100.0 * outcome.fraction_before, 100.0 * outcome.fraction_after,
-              outcome.newly_polluted.size());
+  e.Note("AS%u intercepts AS%u's prefix (lambda=%d%s)", attacker, victim,
+         lambda, e.Flags().GetBool("violate") ? ", violating policy" : "");
+  e.Note("paths traversing the attacker: %.2f%% -> %.2f%% "
+         "(%zu newly polluted ASes)",
+         100.0 * outcome.fraction_before, 100.0 * outcome.fraction_after,
+         outcome.newly_polluted.size());
 
   int remaining = show;
   for (topo::Asn asn : outcome.newly_polluted) {
@@ -105,5 +100,5 @@ int main(int argc, char** argv) {
                 was ? was->path.ToString().c_str() : "<none>",
                 now ? now->path.ToString().c_str() : "<none>");
   }
-  return 0;
+  return e.Finish();
 }

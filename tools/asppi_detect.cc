@@ -8,16 +8,13 @@
 // Passing --lambda enables the victim-aware rule with a uniform announced
 // padding; omit it to run purely on routing data. --victim=0 scans every
 // origin AS appearing in the snapshots (parallelized over --threads).
-#include <algorithm>
 #include <cstdio>
 #include <set>
-#include <thread>
 
+#include "bench/experiment.h"
 #include "data/formats.h"
 #include "detect/detector.h"
-#include "topology/serialization.h"
-#include "util/flags.h"
-#include "util/thread_pool.h"
+#include "util/strings.h"
 
 using namespace asppi;
 
@@ -41,40 +38,38 @@ std::vector<std::pair<topo::Asn, bgp::AsPath>> PathsToward(
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineString("topo", "", "as-rel topology file (enables hint rules)");
-  flags.DefineString("before", "", "RIB snapshot before the change (.rib)");
-  flags.DefineString("after", "", "RIB snapshot after the change (.rib)");
-  flags.DefineUint("victim", 0,
-                   "prefix owner ASN (0 = scan every origin in the snapshots)");
-  flags.DefineInt("lambda", 0,
-                  "announced padding (enables the victim-aware rule; 0=off)");
-  flags.DefineUint(
-      "threads",
-      std::max<unsigned int>(1, std::thread::hardware_concurrency()),
-      "worker threads for the all-victims scan (output is identical for any "
-      "value)");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("asppi_detect",
+                      "ASPP-interception detector over RIB snapshots");
+  e.WithThreadsFlag();
+  e.Flags().DefineString("topo", "",
+                         "as-rel topology file (enables hint rules)");
+  e.Flags().DefineString("before", "",
+                         "RIB snapshot before the change (.rib)");
+  e.Flags().DefineString("after", "", "RIB snapshot after the change (.rib)");
+  e.Flags().DefineUint(
+      "victim", 0,
+      "prefix owner ASN (0 = scan every origin in the snapshots)");
+  e.Flags().DefineInt(
+      "lambda", 0,
+      "announced padding (enables the victim-aware rule; 0=off)");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  if (flags.GetString("before").empty() || flags.GetString("after").empty()) {
+  if (e.Flags().GetString("before").empty() ||
+      e.Flags().GetString("after").empty()) {
     std::fprintf(stderr, "--before and --after are required\n");
     return 1;
   }
 
   topo::AsGraph graph;
   bool have_graph = false;
-  if (!flags.GetString("topo").empty()) {
-    std::string err = topo::ReadAsRelFile(flags.GetString("topo"), graph);
-    if (!err.empty()) {
-      std::fprintf(stderr, "error reading topology: %s\n", err.c_str());
-      return 1;
-    }
+  if (!e.Flags().GetString("topo").empty()) {
+    if (!e.LoadTopology(e.Flags().GetString("topo"), &graph)) return 1;
     have_graph = true;
   }
 
   data::RibSnapshot before, after;
-  for (auto [path, rib] : {std::pair{flags.GetString("before"), &before},
-                           std::pair{flags.GetString("after"), &after}}) {
+  for (auto [path, rib] : {std::pair{e.Flags().GetString("before"), &before},
+                           std::pair{e.Flags().GetString("after"), &after}}) {
     std::string err = data::ReadRibFile(path, *rib);
     if (!err.empty()) {
       std::fprintf(stderr, "error reading %s: %s\n", path.c_str(),
@@ -83,7 +78,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const topo::Asn victim = static_cast<topo::Asn>(flags.GetUint("victim"));
+  const topo::Asn victim = static_cast<topo::Asn>(e.Flags().GetUint("victim"));
   detect::AsppDetector detector(have_graph ? &graph : nullptr);
 
   // Victim set: the requested AS, or every origin appearing in a snapshot.
@@ -104,21 +99,21 @@ int main(int argc, char** argv) {
 
   bgp::PrependPolicy policy;
   const bgp::PrependPolicy* policy_ptr = nullptr;
-  if (flags.GetInt("lambda") > 0 && victim != 0) {
-    policy.SetDefault(victim, static_cast<int>(flags.GetInt("lambda")));
+  if (e.Flags().GetInt("lambda") > 0 && victim != 0) {
+    policy.SetDefault(victim, static_cast<int>(e.Flags().GetInt("lambda")));
     policy_ptr = &policy;
   }
 
   // Scan victims in parallel; alarms are reported in victim order, so the
   // output is identical for any --threads value.
-  util::ThreadPool pool(static_cast<std::size_t>(
-      std::max<std::uint64_t>(1, flags.GetUint("threads"))));
   std::vector<std::vector<detect::Alarm>> per_victim(victims.size());
-  pool.ParallelFor(victims.size(), [&](std::size_t i) {
+  e.Pool()->ParallelFor(victims.size(), [&](std::size_t i) {
     per_victim[i] = detector.Scan(victims[i], PathsToward(before, victims[i]),
                                   PathsToward(after, victims[i]), policy_ptr);
   });
 
+  util::Table table({"victim", "confidence", "suspect", "observer",
+                     "pads_removed", "detail"});
   std::size_t total_alarms = 0;
   for (std::size_t i = 0; i < victims.size(); ++i) {
     const auto& alarms = per_victim[i];
@@ -127,17 +122,24 @@ int main(int argc, char** argv) {
     std::printf("%zu alarm(s) for AS%u's prefixes\n", alarms.size(),
                 victims[i]);
     for (const auto& alarm : alarms) {
+      const bool high = alarm.confidence == detect::Alarm::Confidence::kHigh;
       std::printf("  [%s] suspect AS%u (observer AS%u, %d pads removed): %s\n",
-                  alarm.confidence == detect::Alarm::Confidence::kHigh
-                      ? "HIGH"
-                      : "possible",
-                  alarm.suspect, alarm.observer, alarm.pads_removed,
-                  alarm.detail.c_str());
+                  high ? "HIGH" : "possible", alarm.suspect, alarm.observer,
+                  alarm.pads_removed, alarm.detail.c_str());
+      table.Row()
+          .Cell(util::Format("AS%u", victims[i]))
+          .Cell(high ? "HIGH" : "possible")
+          .Cell(util::Format("AS%u", alarm.suspect))
+          .Cell(util::Format("AS%u", alarm.observer))
+          .Cell(alarm.pads_removed)
+          .Cell(alarm.detail);
     }
   }
   if (victim == 0) {
-    std::printf("%zu alarm(s) across %zu scanned origin ASes\n", total_alarms,
-                victims.size());
+    e.Note("%zu alarm(s) across %zu scanned origin ASes", total_alarms,
+           victims.size());
   }
-  return total_alarms == 0 ? 0 : 2;  // exit 2 signals "attack suspected"
+  e.RecordTable(table);
+  // Exit 2 signals "attack suspected".
+  return e.Finish(total_alarms == 0 ? 0 : 2);
 }

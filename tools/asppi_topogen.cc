@@ -4,40 +4,27 @@
 //   $ asppi_topogen --seed=42 --out=topology.topo
 #include <cstdio>
 
-#include "topology/generator.h"
+#include "bench/experiment.h"
 #include "topology/serialization.h"
 #include "topology/tiers.h"
-#include "util/flags.h"
 
 using namespace asppi;
 
 int main(int argc, char** argv) {
-  util::Flags flags;
-  flags.DefineUint("seed", 42, "generator seed");
-  flags.DefineUint("tier1", 10, "number of tier-1 ASes");
-  flags.DefineUint("tier2", 120, "number of tier-2 ASes");
-  flags.DefineUint("tier3", 700, "number of tier-3 ASes");
-  flags.DefineUint("stubs", 3000, "number of stub ASes");
-  flags.DefineUint("content", 20, "number of content/CDN ASes");
-  flags.DefineUint("siblings", 15, "number of sibling pairs");
-  flags.DefineString("out", "topology.topo", "output file (as-rel format)");
-  if (!flags.Parse(argc, argv)) return 1;
+  bench::Experiment e("asppi_topogen",
+                      "synthetic Internet-like topology generator");
+  e.WithTopologyFlags();
+  e.Flags().DefineString("out", "topology.topo",
+                         "output file (as-rel format)");
+  if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::GeneratorParams params;
-  params.seed = flags.GetUint("seed");
-  params.num_tier1 = flags.GetUint("tier1");
-  params.num_tier2 = flags.GetUint("tier2");
-  params.num_tier3 = flags.GetUint("tier3");
-  params.num_stubs = flags.GetUint("stubs");
-  params.num_content = flags.GetUint("content");
-  params.num_sibling_pairs = flags.GetUint("siblings");
-
-  topo::GeneratedTopology gen = topo::GenerateInternetTopology(params);
-  topo::WriteAsRelFile(gen.graph, flags.GetString("out"));
+  topo::GeneratedTopology gen = topo::GenerateInternetTopology(e.Params());
+  topo::WriteAsRelFile(gen.graph, e.Flags().GetString("out"));
 
   topo::TierInfo tiers = topo::ClassifyTiers(gen.graph);
-  std::printf("wrote %s: %zu ASes, %zu links\n", flags.GetString("out").c_str(),
-              gen.graph.NumAses(), gen.graph.NumLinks());
+  e.Note("wrote %s: %zu ASes, %zu links",
+         e.Flags().GetString("out").c_str(), gen.graph.NumAses(),
+         gen.graph.NumLinks());
   std::printf("tiers: ");
   for (int t = 1; t <= tiers.MaxTier(); ++t) {
     std::printf("t%d=%zu ", t, tiers.AsesAtTier(t).size());
@@ -45,5 +32,5 @@ int main(int argc, char** argv) {
   std::printf("\ntier-1 clique:");
   for (topo::Asn asn : gen.tier1) std::printf(" AS%u", asn);
   std::printf("\n");
-  return 0;
+  return e.Finish();
 }
