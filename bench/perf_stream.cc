@@ -1,0 +1,164 @@
+// perf_stream — throughput of the online detection pipeline, with the batch
+// ablation DESIGN.md §4e motivates: the incremental detector pays a small
+// per-event cost, while the batch detector must periodically rebuild and
+// rescan every victim's observation set from scratch. Reports events/sec for
+// both modes on the same generated corpus.
+//
+// --smoke shrinks everything for CI (a few hundred events, seconds of work).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "data/measurement.h"
+#include "detect/detector.h"
+#include "detect/monitors.h"
+#include "stream/pipeline.h"
+#include "stream/state.h"
+#include "stream/update_source.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+using namespace asppi;
+
+namespace {
+
+std::vector<std::pair<topo::Asn, bgp::AsPath>> PathsToward(
+    const data::RibSnapshot& snapshot, topo::Asn victim) {
+  std::vector<std::pair<topo::Asn, bgp::AsPath>> out;
+  for (const auto& [monitor, table] : snapshot.tables) {
+    for (const auto& [prefix, path] : table) {
+      if (!path.Empty() && path.OriginAs() == victim) {
+        out.emplace_back(monitor, path);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Experiment e("perf_stream",
+                      "online pipeline throughput: incremental per-event "
+                      "detection vs periodic batch rescans");
+  e.WithTopologyFlags();
+  e.Flags().DefineBool("smoke", false, "tiny corpus for CI");
+  e.Flags().DefineUint("monitors", 40, "top-degree monitor count");
+  e.Flags().DefineUint("prefixes", 800, "prefixes in the corpus");
+  e.Flags().DefineUint("churn", 2000, "churn events in the stream");
+  e.Flags().DefineUint("checkpoints", 10,
+                       "batch ablation: full rescans spread over the stream");
+  e.Flags().DefineUint("batch", 256, "pipeline per-shard queue capacity");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  topo::GeneratorParams params = e.Params();
+  params.num_sibling_pairs = 0;  // measurement engine is RoutingTree-based
+  std::size_t num_monitors =
+      static_cast<std::size_t>(e.Flags().GetUint("monitors"));
+  data::MeasurementParams corpus;
+  corpus.num_prefixes = static_cast<std::size_t>(e.Flags().GetUint("prefixes"));
+  corpus.num_churn_events =
+      static_cast<std::size_t>(e.Flags().GetUint("churn"));
+  corpus.seed = params.seed;
+  std::size_t checkpoints =
+      static_cast<std::size_t>(e.Flags().GetUint("checkpoints"));
+  if (e.Flags().GetBool("smoke")) {
+    params.num_tier2 = 40;
+    params.num_tier3 = 120;
+    params.num_stubs = 400;
+    params.num_content = 5;
+    num_monitors = 15;
+    corpus.num_prefixes = 120;
+    corpus.num_churn_events = 200;
+    checkpoints = 4;
+  }
+  if (checkpoints == 0) checkpoints = 1;
+
+  const topo::GeneratedTopology& gen = e.GenerateTopology(params);
+  const std::vector<topo::Asn> monitors =
+      detect::TopDegreeMonitors(gen.graph, num_monitors);
+  data::MeasurementGenerator generator(gen.graph, corpus);
+  const data::RibSnapshot rib = generator.GenerateRib(monitors);
+  stream::UpdateSource source = stream::UpdateSource::FromGenerator(
+      generator, monitors);
+  const std::vector<data::Update>& events = source.Events();
+
+  // --- Incremental: every event through the sharded pipeline. ---
+  stream::Pipeline::Options options;
+  options.queue_capacity = static_cast<std::size_t>(e.Flags().GetUint("batch"));
+  options.detector.graph = &gen.graph;
+  stream::Pipeline pipeline(e.Pool(), options);
+  const std::uint64_t inc_start = util::MonotonicNowNs();
+  pipeline.SeedBaseline(rib);
+  data::Update update;
+  while (source.Next(update)) pipeline.Push(update);
+  const std::vector<stream::StampedAlarm> emitted = pipeline.Finish();
+  const std::uint64_t inc_ns = util::MonotonicNowNs() - inc_start;
+
+  // --- Batch ablation: maintain the table cheaply, but rescan every victim
+  // from scratch at each checkpoint (what periodic offline detection costs).
+  detect::DetectorOptions batch_options;
+  batch_options.conflict_policy =
+      detect::RouteSnapshot::ConflictPolicy::kLatestObserved;
+  detect::AsppDetector detector(&gen.graph, batch_options);
+  const std::uint64_t batch_start = util::MonotonicNowNs();
+  data::RibSnapshot table = rib;
+  const std::size_t step = std::max<std::size_t>(
+      1, (events.size() + checkpoints - 1) / checkpoints);
+  std::size_t scans = 0;
+  std::size_t batch_alarms = 0;
+  for (std::size_t begin = 0; begin < events.size(); begin += step) {
+    const std::size_t end = std::min(begin + step, events.size());
+    stream::ApplyUpdates(
+        table, std::vector<data::Update>(events.begin() + begin,
+                                         events.begin() + end));
+    std::set<topo::Asn> origins;
+    for (const auto& [monitor, prefixes] : table.tables) {
+      for (const auto& [prefix, path] : prefixes) {
+        if (!path.Empty()) origins.insert(path.OriginAs());
+      }
+    }
+    const std::vector<topo::Asn> victims(origins.begin(), origins.end());
+    std::vector<std::size_t> alarm_counts(victims.size());
+    e.Pool()->ParallelFor(victims.size(), [&](std::size_t i) {
+      alarm_counts[i] = detector
+                            .Scan(victims[i], PathsToward(rib, victims[i]),
+                                  PathsToward(table, victims[i]))
+                            .size();
+    });
+    scans += victims.size();
+    batch_alarms = 0;
+    for (std::size_t count : alarm_counts) batch_alarms += count;
+  }
+  const std::uint64_t batch_ns = util::MonotonicNowNs() - batch_start;
+
+  auto rate = [&](std::uint64_t ns) {
+    return ns == 0 ? 0.0
+                   : static_cast<double>(events.size()) * 1e9 /
+                         static_cast<double>(ns);
+  };
+  util::Table table_out(
+      {"mode", "events", "alarms", "ms", "events_per_sec"});
+  table_out.Row()
+      .Cell("incremental")
+      .Cell(static_cast<std::uint64_t>(events.size()))
+      .Cell(static_cast<std::uint64_t>(emitted.size()))
+      .Cell(static_cast<double>(inc_ns) / 1e6)
+      .Cell(rate(inc_ns));
+  table_out.Row()
+      .Cell(util::Format("batch_x%zu", checkpoints))
+      .Cell(static_cast<std::uint64_t>(events.size()))
+      .Cell(static_cast<std::uint64_t>(batch_alarms))
+      .Cell(static_cast<double>(batch_ns) / 1e6)
+      .Cell(rate(batch_ns));
+  e.PrintTable(table_out);
+  e.Note("batch ablation ran %zu full victim scans over %zu checkpoints; "
+         "incremental/batch wall ratio %.2fx",
+         scans, checkpoints,
+         inc_ns == 0 ? 0.0
+                     : static_cast<double>(batch_ns) /
+                           static_cast<double>(inc_ns));
+  return e.Finish();
+}

@@ -34,10 +34,19 @@ std::string ReadRib(std::istream& is, RibSnapshot& out) {
       return util::Format("line %zu: expected 3 fields", lineno);
     }
     auto monitor = util::ParseUint(parts[0]);
+    if (!monitor || *monitor == 0 || *monitor > 0xffffffffULL) {
+      return util::Format("line %zu: bad monitor ASN '%s'", lineno,
+                          parts[0].c_str());
+    }
     auto prefix = Prefix::Parse(parts[1]);
+    if (!prefix) {
+      return util::Format("line %zu: bad prefix '%s'", lineno,
+                          parts[1].c_str());
+    }
     auto path = bgp::AsPath::FromString(parts[2]);
-    if (!monitor || !prefix || !path || path->Empty()) {
-      return util::Format("line %zu: malformed rib entry", lineno);
+    if (!path || path->Empty()) {
+      return util::Format("line %zu: bad as-path '%s'", lineno,
+                          parts[2].c_str());
     }
     out.tables[static_cast<Asn>(*monitor)][*prefix] = std::move(*path);
   }
@@ -79,10 +88,19 @@ std::string ReadUpdates(std::istream& is, std::vector<Update>& out) {
       return util::Format("line %zu: expected >= 4 fields", lineno);
     }
     auto seq = util::ParseUint(parts[0]);
+    if (!seq) {
+      return util::Format("line %zu: bad sequence '%s'", lineno,
+                          parts[0].c_str());
+    }
     auto monitor = util::ParseUint(parts[1]);
+    if (!monitor || *monitor == 0 || *monitor > 0xffffffffULL) {
+      return util::Format("line %zu: bad monitor ASN '%s'", lineno,
+                          parts[1].c_str());
+    }
     auto prefix = Prefix::Parse(parts[3]);
-    if (!seq || !monitor || !prefix) {
-      return util::Format("line %zu: malformed update", lineno);
+    if (!prefix) {
+      return util::Format("line %zu: bad prefix '%s'", lineno,
+                          parts[3].c_str());
     }
     Update update;
     update.sequence = *seq;
@@ -99,7 +117,8 @@ std::string ReadUpdates(std::istream& is, std::vector<Update>& out) {
       }
       auto path = bgp::AsPath::FromString(parts[4]);
       if (!path || path->Empty()) {
-        return util::Format("line %zu: malformed path", lineno);
+        return util::Format("line %zu: bad as-path '%s'", lineno,
+                            parts[4].c_str());
       }
       update.path = std::move(*path);
     } else {

@@ -1,17 +1,14 @@
 #include "detect/detector.h"
 
-#include <algorithm>
 #include <set>
 #include <tuple>
 
+#include "detect/rules.h"
 #include "util/metrics.h"
-#include "util/strings.h"
 
 namespace asppi::detect {
 
 namespace {
-
-using topo::Relation;
 
 // Detector workload counters: observations are monitor routes compared per
 // Scan, triggers are padding-decrease candidates entering the Fig.-4 rules.
@@ -27,38 +24,13 @@ DetectorMetrics& Instr() {
   return *m;
 }
 
-// Splits a route to the victim into (core, λ): core is the path with the
-// trailing run of victim copies removed, λ the run length. Returns nullopt
-// for routes that do not end at the victim or contain it mid-path (looped or
-// foreign routes — not this detector's business).
-struct StrippedRoute {
-  std::vector<Asn> core;
-  int lambda = 0;
-};
-
-std::optional<StrippedRoute> StripVictimPadding(const AsPath& path,
-                                                Asn victim) {
-  const auto& hops = path.Hops();
-  if (hops.empty() || hops.back() != victim) return std::nullopt;
-  StrippedRoute out;
-  std::size_t end = hops.size();
-  while (end > 0 && hops[end - 1] == victim) {
-    --end;
-    ++out.lambda;
-  }
-  out.core.assign(hops.begin(), hops.begin() + static_cast<long>(end));
-  for (Asn asn : out.core) {
-    if (asn == victim) return std::nullopt;  // victim mid-path: malformed
-  }
-  return out;
-}
-
-bool EndsWith(const std::vector<Asn>& hay, const std::vector<Asn>& tail) {
-  if (hay.size() < tail.size()) return false;
-  return std::equal(tail.begin(), tail.end(), hay.end() - static_cast<long>(tail.size()));
-}
-
 }  // namespace
+
+bool AlarmLess(const Alarm& a, const Alarm& b) {
+  return std::tie(a.observer, a.confidence, a.suspect, a.pads_removed,
+                  a.detail) < std::tie(b.observer, b.confidence, b.suspect,
+                                       b.pads_removed, b.detail);
+}
 
 AsppDetector::AsppDetector(const topo::AsGraph* graph, const Options& options)
     : graph_(graph), options_(options) {}
@@ -78,95 +50,14 @@ std::vector<Alarm> AsppDetector::DetectOne(Asn victim, Asn observer,
   // (per-neighbor traffic engineering), so the segment rules need ≥ 2 hops.
   if (now->core.size() < 2) return alarms;
 
-  const Asn suspect = now->core.front();
-
-  // --- high-confidence rule -------------------------------------------------
-  // The segment after the suspect, [AS_{I-1} … AS_1], is the chain the
-  // padding travelled through. Every honest AS forwards ONE path, so any
-  // other observed route containing that same chain directly before the
-  // victim must carry the same padding count. More padding behind the same
-  // chain ⇒ AS_I removed copies (paper Fig. 4, "any path containing the same
-  // path segment").
-  const std::vector<Asn> segment(now->core.begin() + 1, now->core.end());
-  for (const auto& [other, other_path] : current.Routes()) {
-    if (other == observer) continue;
-    auto stripped = StripVictimPadding(other_path, victim);
-    if (!stripped) continue;
-    if (!EndsWith(stripped->core, segment)) continue;
-    if (now->lambda < stripped->lambda) {
-      Alarm alarm;
-      alarm.confidence = Alarm::Confidence::kHigh;
-      alarm.suspect = suspect;
-      alarm.observer = observer;
-      alarm.pads_removed = stripped->lambda - now->lambda;
-      alarm.detail = util::Format(
-          "chain behind AS%u observed with %d pads at AS%u but %d pads here",
-          static_cast<unsigned>(suspect), stripped->lambda,
-          static_cast<unsigned>(other), now->lambda);
-      alarms.push_back(std::move(alarm));
-      break;  // one independent witness suffices
-    }
+  StrippedView view = BuildStrippedView(current, victim);
+  if (auto alarm = HighConfidenceAlarm(observer, *now, view)) {
+    alarms.push_back(std::move(*alarm));
+    return alarms;
   }
-  if (!alarms.empty()) return alarms;
-
-  // --- hint rules (need relationships) ---------------------------------------
   if (graph_ == nullptr || !options_.enable_hints) return alarms;
-  const Asn as_i1 = now->core[1];  // AS_{I-1}
-  for (const auto& [other, other_path] : current.Routes()) {
-    if (other == observer) continue;
-    auto stripped = StripVictimPadding(other_path, victim);
-    if (!stripped || stripped->core.empty()) continue;
-    if (now->lambda >= stripped->lambda) continue;
-    // Another AS holds a strictly longer padded route.
-    if (stripped->core.size() + static_cast<std::size_t>(stripped->lambda) <=
-        now->core.size() + static_cast<std::size_t>(now->lambda)) {
-      continue;
-    }
-    const Asn as_l = stripped->core.front();
-    if (!graph_->HasAs(as_l) || !graph_->HasAs(as_i1)) continue;
-    auto rel = graph_->RelationOf(as_l, as_i1);  // role of AS_{I-1} at AS'_L
-    if (!rel) continue;
-
-    bool suspicious = false;
-    std::string why;
-    if (*rel == Relation::kCustomer) {
-      // AS'_L's customer had the short route and would have exported it.
-      suspicious = true;
-      why = "customer withheld shorter route";
-    } else if (*rel == Relation::kPeer) {
-      // Peer-learned shorter routes are exportable when customer-learned:
-      // suspicious only if the short route has no peer link (pure
-      // customer chain), which AS_{I-1} would export to its peer AS'_L.
-      bool any_peer_link = false;
-      std::vector<Asn> chain = now->core;
-      chain.push_back(victim);
-      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-        auto link = graph_->RelationOf(chain[i], chain[i + 1]);
-        if (link && *link == Relation::kPeer) any_peer_link = true;
-      }
-      if (!any_peer_link) {
-        suspicious = true;
-        why = "peer withheld customer-chain route";
-      }
-    } else if (*rel == Relation::kProvider) {
-      const Asn as_l1 = stripped->core.size() >= 2 ? stripped->core[1] : victim;
-      auto up = graph_->RelationOf(as_l, as_l1);  // role of AS'_{L-1} at AS'_L
-      if (up && *up == Relation::kProvider) {
-        suspicious = true;
-        why = "provider preferred longer provider route";
-      }
-    }
-    if (suspicious) {
-      Alarm alarm;
-      alarm.confidence = Alarm::Confidence::kPossible;
-      alarm.suspect = suspect;
-      alarm.observer = observer;
-      alarm.pads_removed = stripped->lambda - now->lambda;
-      alarm.detail = util::Format("%s (vs AS%u)", why.c_str(),
-                                  static_cast<unsigned>(as_l));
-      alarms.push_back(std::move(alarm));
-      break;  // one hint per observer is enough
-    }
+  if (auto alarm = HintAlarm(*graph_, victim, observer, *now, view)) {
+    alarms.push_back(std::move(*alarm));
   }
   return alarms;
 }
@@ -176,10 +67,16 @@ std::vector<Alarm> AsppDetector::Scan(
     const std::vector<std::pair<Asn, AsPath>>& previous_monitor_paths,
     const std::vector<std::pair<Asn, AsPath>>& current_monitor_paths,
     const bgp::PrependPolicy* victim_policy) const {
-  RouteSnapshot previous = RouteSnapshot::FromMonitors(previous_monitor_paths);
-  RouteSnapshot current = RouteSnapshot::FromMonitors(current_monitor_paths);
+  RouteSnapshot previous = RouteSnapshot::FromMonitors(
+      previous_monitor_paths, options_.conflict_policy);
+  RouteSnapshot current = RouteSnapshot::FromMonitors(current_monitor_paths,
+                                                      options_.conflict_policy);
   Instr().scans.Add();
   Instr().observations.Add(current_monitor_paths.size());
+
+  // Strip every observed route once; all rules run over these views.
+  StrippedView prev_view = BuildStrippedView(previous, victim);
+  StrippedView cur_view = BuildStrippedView(current, victim);
 
   std::vector<Alarm> alarms;
   std::set<std::tuple<int, Asn, Asn>> seen;
@@ -189,34 +86,29 @@ std::vector<Alarm> AsppDetector::Scan(
     if (seen.insert(key).second) alarms.push_back(std::move(alarm));
   };
 
-  for (const auto& [observer, route_now] : current.Routes()) {
-    const AsPath* route_before = previous.RouteOf(observer);
-    if (route_before == nullptr) continue;
-    for (Alarm& alarm :
-         DetectOne(victim, observer, route_now, *route_before, current)) {
-      add_unique(std::move(alarm));
+  for (const auto& [observer, now] : cur_view) {
+    auto before = prev_view.find(observer);
+    if (before == prev_view.end()) continue;
+    if (now.lambda >= before->second.lambda) continue;  // padding did not drop
+    Instr().triggers.Add();
+    if (now.core.size() < 2) continue;  // per-neighbor TE is legitimate
+    if (auto alarm = HighConfidenceAlarm(observer, now, cur_view)) {
+      add_unique(std::move(*alarm));
+      continue;
+    }
+    if (graph_ != nullptr && options_.enable_hints) {
+      if (auto alarm = HintAlarm(*graph_, victim, observer, now, cur_view)) {
+        add_unique(std::move(*alarm));
+      }
     }
   }
 
   // Victim-aware rule: the owner compares observed padding on each branch
   // with what it actually announced to that first neighbor.
   if (victim_policy != nullptr && options_.enable_victim_policy) {
-    for (const auto& [observer, route_now] : current.Routes()) {
-      auto stripped = StripVictimPadding(route_now, victim);
-      if (!stripped || stripped->core.empty()) continue;
-      const Asn first_neighbor = stripped->core.back();
-      const int announced = victim_policy->PadsFor(victim, first_neighbor);
-      if (stripped->lambda < announced) {
-        Alarm alarm;
-        alarm.confidence = Alarm::Confidence::kHigh;
-        alarm.suspect = first_neighbor;
-        alarm.observer = observer;
-        alarm.pads_removed = announced - stripped->lambda;
-        alarm.detail = util::Format(
-            "victim announced %d pads toward AS%u but only %d observed",
-            announced, static_cast<unsigned>(first_neighbor),
-            stripped->lambda);
-        add_unique(std::move(alarm));
+    for (const auto& [observer, now] : cur_view) {
+      if (auto alarm = VictimAwareAlarm(victim, observer, now, *victim_policy)) {
+        add_unique(std::move(*alarm));
       }
     }
   }

@@ -44,13 +44,24 @@ struct Alarm {
   // Padding copies the suspect is believed to have removed (high confidence).
   int pads_removed = 0;
   std::string detail;
+
+  bool operator==(const Alarm&) const = default;
 };
+
+// Total order on alarms used wherever alarm *sets* are compared or merged
+// deterministically (the stream pipeline's canonical output order).
+bool AlarmLess(const Alarm& a, const Alarm& b);
 
 struct DetectorOptions {
   // Enables the relationship-based hint rules (requires a graph).
   bool enable_hints = true;
   // Enables the victim-aware rule (requires `victim_policy` in Scan).
   bool enable_victim_policy = true;
+  // Suffix-conflict resolution for the snapshots Scan builds internally.
+  // kFirstObserved fits converged before/after snapshots; the stream
+  // equivalence tests pass kLatestObserved to match stream-derived state.
+  RouteSnapshot::ConflictPolicy conflict_policy =
+      RouteSnapshot::ConflictPolicy::kFirstObserved;
 };
 
 class AsppDetector {

@@ -22,12 +22,27 @@ using bgp::AsPath;
 // The observed routing state at one instant: AS → its (known) best path.
 class RouteSnapshot {
  public:
+  // How suffix-expansion conflicts (two observations implying different
+  // routes for the same AS) are resolved:
+  //   kFirstObserved — the earliest entry in `monitor_paths` order wins.
+  //     Right for converged snapshots, where observations of the same AS
+  //     never genuinely disagree and the order is an arbitrary tiebreak.
+  //   kLatestObserved — the latest entry in `monitor_paths` order wins.
+  //     Right for stream-derived state mid-churn, where a later observation
+  //     supersedes an earlier one; callers pass entries in recency order
+  //     (ascending update sequence). stream::IncrementalDetector maintains
+  //     exactly this resolution incrementally, which is what makes the
+  //     batch/stream equivalence contract well-defined (DESIGN.md §4e).
+  // Within a single observed path, the first derived entry per AS always
+  // wins under either policy (a path implies at most one route per AS).
+  enum class ConflictPolicy { kFirstObserved, kLatestObserved };
+
   // Builds the snapshot from monitor observations, expanding each path's
   // suffixes: for a path [a … x <x's route>], AS x's route is everything
-  // after x's (possibly prepended) run. Conflicting suffixes for the same AS
-  // keep the first observed (converged data never conflicts).
+  // after x's (possibly prepended) run.
   static RouteSnapshot FromMonitors(
-      const std::vector<std::pair<Asn, AsPath>>& monitor_paths);
+      const std::vector<std::pair<Asn, AsPath>>& monitor_paths,
+      ConflictPolicy policy = ConflictPolicy::kFirstObserved);
 
   const AsPath* RouteOf(Asn asn) const;
   const std::map<Asn, AsPath>& Routes() const { return routes_; }
@@ -36,5 +51,13 @@ class RouteSnapshot {
  private:
   std::map<Asn, AsPath> routes_;
 };
+
+// The (owner, route) entries implied by one observed path: the monitor's own
+// full path plus, for each prepend-run boundary, the suffix after that run.
+// First occurrence per owner wins (relevant only for looped paths). Shared by
+// RouteSnapshot::FromMonitors and the stream pipeline's incremental index so
+// both expansions are identical by construction.
+std::vector<std::pair<Asn, AsPath>> ExpandObservedPath(Asn monitor,
+                                                       const AsPath& path);
 
 }  // namespace asppi::detect

@@ -1,0 +1,72 @@
+// The Fig.-4 detection rules as free functions over padding-stripped views.
+//
+// Both detector frontends — the batch `AsppDetector` (converged snapshot
+// pairs) and the online `stream::IncrementalDetector` (per-event updates over
+// sharded incremental state) — must raise byte-identical alarms on the same
+// observation set. The only way to keep that contract honest is to have one
+// implementation of each rule, parameterized on a `StrippedView` (the
+// observation set after victim-padding stripping, keyed by observer in
+// ascending ASN order, which fixes the witness-selection order).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/observation.h"
+
+namespace asppi::detect {
+
+// A route to the victim split into (core, λ): core is the path with the
+// trailing run of victim copies removed, λ the run length. Strip fails
+// (nullopt) for routes that do not end at the victim or contain it mid-path
+// (looped or foreign routes — not this detector's business).
+struct StrippedRoute {
+  std::vector<Asn> core;
+  int lambda = 0;
+};
+
+std::optional<StrippedRoute> StripVictimPadding(const AsPath& path,
+                                                Asn victim);
+
+// True when `hay` ends with `tail` (element-wise).
+bool PathEndsWith(const std::vector<Asn>& hay, const std::vector<Asn>& tail);
+
+// The observation set after stripping: observer → stripped route, ascending
+// by observer ASN. Unstrippable routes are omitted (every rule skips them).
+using StrippedView = std::map<Asn, StrippedRoute>;
+
+StrippedView BuildStrippedView(const RouteSnapshot& current, Asn victim);
+
+// Assembles the high-confidence alarm for a found witness. Exposed so the
+// incremental detector's segment index can produce alarms byte-identical to
+// the linear scan's once it has located the same witness.
+Alarm MakeHighConfidenceAlarm(Asn suspect, Asn observer, int lambda_now,
+                              Asn witness, int witness_lambda);
+
+// High-confidence rule (paper Fig. 4): the segment after the suspect,
+// [AS_{I-1} … AS_1], is the chain the padding travelled through; any other
+// observed route whose core ends with that chain but carries more padding
+// proves the suspect removed copies. The witness is the first qualifying
+// observer in ascending ASN order. Requires now.core.size() >= 2.
+std::optional<Alarm> HighConfidenceAlarm(Asn observer,
+                                         const StrippedRoute& now,
+                                         const StrippedView& view);
+
+// Relationship hint rules (lower confidence): another AS holds a strictly
+// longer padded route that routing policy says it should not prefer. The
+// witness is the first qualifying observer in ascending ASN order. Requires
+// now.core.size() >= 2 and a relationship graph.
+std::optional<Alarm> HintAlarm(const topo::AsGraph& graph, Asn victim,
+                               Asn observer, const StrippedRoute& now,
+                               const StrippedView& view);
+
+// Victim-aware rule (paper §V-B): the prefix owner knows its own prepend
+// policy; observed padding toward first neighbor W below what the victim
+// announced to W is proof of stripping on that branch.
+std::optional<Alarm> VictimAwareAlarm(Asn victim, Asn observer,
+                                      const StrippedRoute& now,
+                                      const bgp::PrependPolicy& policy);
+
+}  // namespace asppi::detect

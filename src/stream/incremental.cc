@@ -1,0 +1,336 @@
+#include "stream/incremental.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/metrics.h"
+
+namespace asppi::stream {
+
+namespace {
+
+struct IncrementalMetrics {
+  util::Counter events{"stream.events"};
+  util::Counter alarms{"stream.alarms"};
+  util::Counter retracted{"stream.alarms_retracted"};
+  util::Counter reevals{"stream.reevaluations"};
+  util::Counter index_inserts{"stream.index.segments_inserted"};
+  util::Counter index_erases{"stream.index.segments_erased"};
+  util::Counter index_lookups{"stream.index.lookups"};
+};
+
+IncrementalMetrics& Instr() {
+  static IncrementalMetrics* m = new IncrementalMetrics();
+  return *m;
+}
+
+}  // namespace
+
+bool StampedAlarmLess(const StampedAlarm& a, const StampedAlarm& b) {
+  if (a.sequence != b.sequence) return a.sequence < b.sequence;
+  if (a.victim != b.victim) return a.victim < b.victim;
+  return detect::AlarmLess(a.alarm, b.alarm);
+}
+
+IncrementalDetector::IncrementalDetector() : IncrementalDetector(Options()) {}
+
+IncrementalDetector::IncrementalDetector(const Options& options)
+    : options_(options) {}
+
+void IncrementalDetector::SeedBaseline(const data::RibSnapshot& rib) {
+  state_.SeedBaseline(rib);
+  // Contributions carry sequence 0; iteration over the RIB maps is already
+  // the canonical ascending (sequence=0, monitor, prefix) order.
+  for (const auto& [monitor, table] : rib.tables) {
+    for (const auto& [prefix, path] : table) {
+      if (path.Empty()) continue;
+      const Asn victim = path.OriginAs();
+      VictimState& vs = victims_[victim];
+      baseline_paths_[victim].emplace_back(monitor, path);
+      StreamState::EntryKey key{monitor, prefix};
+      for (auto& [owner, route] : detect::ExpandObservedPath(monitor, path)) {
+        Contribution contribution;
+        contribution.sequence = 0;
+        contribution.key = key;
+        contribution.route = std::move(route);
+        vs.contribs[owner].insert_or_assign(key, std::move(contribution));
+      }
+    }
+  }
+  for (auto& [victim, vs] : victims_) {
+    std::vector<Asn> owners;
+    owners.reserve(vs.contribs.size());
+    for (const auto& [owner, contributions] : vs.contribs) {
+      owners.push_back(owner);
+    }
+    for (Asn owner : owners) ResolveEffective(vs, victim, owner);
+    vs.baseline = vs.stripped;  // the fixed pre-stream view
+    if (options_.victim_policy != nullptr &&
+        options_.detector.enable_victim_policy) {
+      // Pre-existing policy violations belong to the initial alarm set (the
+      // batch detector would report them on Scan(baseline, baseline)); they
+      // are not stamped as stream alarms.
+      for (const auto& [owner, stripped] : vs.stripped) {
+        if (auto alarm = detect::VictimAwareAlarm(victim, owner, stripped,
+                                                  *options_.victim_policy)) {
+          vs.victim_alarms.insert_or_assign(owner, std::move(*alarm));
+        }
+      }
+      vs.alarm_set = BuildAlarmSet(vs);
+    }
+  }
+}
+
+std::vector<StampedAlarm> IncrementalDetector::Apply(
+    const data::Update& update) {
+  std::vector<StampedAlarm> out;
+  Instr().events.Add();
+  StreamState::Change change = state_.Apply(update);
+  if (!change.changed) return out;
+  if (change.old_victim != 0 && change.old_victim != change.new_victim) {
+    ApplyToVictim(change.old_victim, change.key, change.sequence,
+                  &change.old_path, nullptr, out);
+  }
+  if (change.new_victim != 0) {
+    const AsPath* old_path =
+        change.old_victim == change.new_victim ? &change.old_path : nullptr;
+    ApplyToVictim(change.new_victim, change.key, change.sequence, old_path,
+                  &change.new_path, out);
+  }
+  return out;
+}
+
+void IncrementalDetector::ApplyToVictim(Asn victim,
+                                        const StreamState::EntryKey& key,
+                                        std::uint64_t sequence,
+                                        const AsPath* old_path,
+                                        const AsPath* new_path,
+                                        std::vector<StampedAlarm>& out) {
+  VictimState& vs = victims_[victim];
+  std::set<Asn> dirty;
+  if (old_path != nullptr) {
+    for (auto& [owner, route] : detect::ExpandObservedPath(key.monitor,
+                                                           *old_path)) {
+      auto it = vs.contribs.find(owner);
+      if (it != vs.contribs.end() && it->second.erase(key) > 0) {
+        if (it->second.empty()) vs.contribs.erase(it);
+        dirty.insert(owner);
+      }
+    }
+  }
+  if (new_path != nullptr) {
+    for (auto& [owner, route] : detect::ExpandObservedPath(key.monitor,
+                                                           *new_path)) {
+      Contribution contribution;
+      contribution.sequence = sequence;
+      contribution.key = key;
+      contribution.route = std::move(route);
+      vs.contribs[owner].insert_or_assign(key, std::move(contribution));
+      dirty.insert(owner);
+    }
+  }
+
+  bool view_changed = false;
+  for (Asn owner : dirty) {
+    if (!ResolveEffective(vs, victim, owner)) continue;
+    view_changed = true;
+    auto now = vs.stripped.find(owner);
+    auto before = vs.baseline.find(owner);
+    const bool triggered = now != vs.stripped.end() &&
+                           before != vs.baseline.end() &&
+                           now->second.lambda < before->second.lambda;
+    if (triggered) {
+      vs.triggered.insert(owner);
+    } else {
+      vs.triggered.erase(owner);
+      vs.rule_alarms.erase(owner);
+    }
+    if (options_.victim_policy != nullptr &&
+        options_.detector.enable_victim_policy) {
+      std::optional<detect::Alarm> alarm;
+      if (now != vs.stripped.end()) {
+        alarm = detect::VictimAwareAlarm(victim, owner, now->second,
+                                         *options_.victim_policy);
+      }
+      if (alarm) {
+        vs.victim_alarms.insert_or_assign(owner, std::move(*alarm));
+      } else {
+        vs.victim_alarms.erase(owner);
+      }
+    }
+  }
+  if (!view_changed) return;
+
+  // Any route change can create or destroy a witness (or hint evidence) for
+  // any triggered observer of this victim, so all of them re-evaluate. The
+  // triggered set is empty in the attack-free steady state.
+  for (Asn observer : vs.triggered) EvaluateObserver(victim, vs, observer);
+  RefreshAlarms(victim, vs, sequence, out);
+}
+
+bool IncrementalDetector::ResolveEffective(VictimState& vs, Asn victim,
+                                           Asn owner) {
+  const Contribution* best = nullptr;
+  auto cit = vs.contribs.find(owner);
+  if (cit != vs.contribs.end()) {
+    for (const auto& [key, contribution] : cit->second) {
+      if (best == nullptr ||
+          std::tie(contribution.sequence, contribution.key) >
+              std::tie(best->sequence, best->key)) {
+        best = &contribution;
+      }
+    }
+  }
+  auto eit = vs.effective.find(owner);
+  if (best == nullptr) {
+    if (eit == vs.effective.end()) return false;
+    if (eit->second.strippable) {
+      IndexErase(vs, owner, vs.stripped.at(owner));
+      vs.stripped.erase(owner);
+    }
+    vs.effective.erase(eit);
+    return true;
+  }
+  if (eit != vs.effective.end() && eit->second.route == best->route) {
+    // Same route under a new resolution winner: nothing observable changed.
+    eit->second.sequence = best->sequence;
+    eit->second.key = best->key;
+    return false;
+  }
+  if (eit != vs.effective.end() && eit->second.strippable) {
+    IndexErase(vs, owner, vs.stripped.at(owner));
+    vs.stripped.erase(owner);
+  }
+  VictimState::Effective effective;
+  effective.sequence = best->sequence;
+  effective.key = best->key;
+  effective.route = best->route;
+  auto stripped = detect::StripVictimPadding(best->route, victim);
+  effective.strippable = stripped.has_value();
+  vs.effective.insert_or_assign(owner, std::move(effective));
+  if (stripped) {
+    IndexInsert(vs, owner, *stripped);
+    vs.stripped.insert_or_assign(owner, std::move(*stripped));
+  }
+  return true;
+}
+
+void IncrementalDetector::IndexInsert(VictimState& vs, Asn owner,
+                                      const detect::StrippedRoute& stripped) {
+  for (std::size_t i = 0; i < stripped.core.size(); ++i) {
+    std::vector<Asn> suffix(stripped.core.begin() + static_cast<long>(i),
+                            stripped.core.end());
+    vs.segment_index[std::move(suffix)].insert_or_assign(owner,
+                                                         stripped.lambda);
+  }
+  Instr().index_inserts.Add(stripped.core.size());
+}
+
+void IncrementalDetector::IndexErase(VictimState& vs, Asn owner,
+                                     const detect::StrippedRoute& stripped) {
+  for (std::size_t i = 0; i < stripped.core.size(); ++i) {
+    std::vector<Asn> suffix(stripped.core.begin() + static_cast<long>(i),
+                            stripped.core.end());
+    auto it = vs.segment_index.find(suffix);
+    if (it == vs.segment_index.end()) continue;
+    it->second.erase(owner);
+    if (it->second.empty()) vs.segment_index.erase(it);
+  }
+  Instr().index_erases.Add(stripped.core.size());
+}
+
+void IncrementalDetector::EvaluateObserver(Asn victim, VictimState& vs,
+                                           Asn observer) {
+  const detect::StrippedRoute& now = vs.stripped.at(observer);
+  std::optional<detect::Alarm> alarm;
+  // The segment rules need >= 2 core hops (per-neighbor padding differences
+  // toward distinct first hops are legitimate traffic engineering).
+  if (now.core.size() >= 2) {
+    Instr().reevals.Add();
+    const std::vector<Asn> segment(now.core.begin() + 1, now.core.end());
+    Instr().index_lookups.Add();
+    auto it = vs.segment_index.find(segment);
+    if (it != vs.segment_index.end()) {
+      // Ascending owner order reproduces the batch rule's linear-scan
+      // witness choice (first qualifying observer by ASN).
+      for (const auto& [witness, witness_lambda] : it->second) {
+        if (witness == observer) continue;
+        if (witness_lambda > now.lambda) {
+          alarm = detect::MakeHighConfidenceAlarm(now.core.front(), observer,
+                                                  now.lambda, witness,
+                                                  witness_lambda);
+          break;
+        }
+      }
+    }
+    if (!alarm && options_.graph != nullptr && options_.detector.enable_hints) {
+      alarm = detect::HintAlarm(*options_.graph, victim, observer, now,
+                                vs.stripped);
+    }
+  }
+  if (alarm) {
+    vs.rule_alarms.insert_or_assign(observer, std::move(*alarm));
+  } else {
+    vs.rule_alarms.erase(observer);
+  }
+}
+
+std::vector<detect::Alarm> IncrementalDetector::BuildAlarmSet(
+    const VictimState& vs) const {
+  std::vector<detect::Alarm> set;
+  std::set<std::tuple<int, Asn, Asn>> seen;
+  auto add_unique = [&](const detect::Alarm& alarm) {
+    auto key = std::make_tuple(static_cast<int>(alarm.confidence),
+                               alarm.suspect, alarm.observer);
+    if (seen.insert(key).second) set.push_back(alarm);
+  };
+  // Same dedup and insertion order as the batch Scan: rule alarms by
+  // ascending observer, then victim-aware alarms by ascending observer.
+  for (const auto& [observer, alarm] : vs.rule_alarms) add_unique(alarm);
+  for (const auto& [observer, alarm] : vs.victim_alarms) add_unique(alarm);
+  std::sort(set.begin(), set.end(), detect::AlarmLess);
+  return set;
+}
+
+void IncrementalDetector::RefreshAlarms(Asn victim, VictimState& vs,
+                                        std::uint64_t sequence,
+                                        std::vector<StampedAlarm>& out) {
+  std::vector<detect::Alarm> next = BuildAlarmSet(vs);
+  std::vector<detect::Alarm> fresh;
+  std::set_difference(next.begin(), next.end(), vs.alarm_set.begin(),
+                      vs.alarm_set.end(), std::back_inserter(fresh),
+                      detect::AlarmLess);
+  const std::size_t retracted =
+      vs.alarm_set.size() - (next.size() - fresh.size());
+  Instr().alarms.Add(fresh.size());
+  Instr().retracted.Add(retracted);
+  for (detect::Alarm& alarm : fresh) {
+    StampedAlarm stamped;
+    stamped.sequence = sequence;
+    stamped.victim = victim;
+    stamped.alarm = std::move(alarm);
+    out.push_back(std::move(stamped));
+  }
+  vs.alarm_set = std::move(next);
+}
+
+std::vector<detect::Alarm> IncrementalDetector::CurrentAlarms(
+    Asn victim) const {
+  auto it = victims_.find(victim);
+  return it == victims_.end() ? std::vector<detect::Alarm>{}
+                              : it->second.alarm_set;
+}
+
+std::vector<std::pair<Asn, AsPath>> IncrementalDetector::CurrentPaths(
+    Asn victim) const {
+  return state_.PathsToward(victim);
+}
+
+std::vector<std::pair<Asn, AsPath>> IncrementalDetector::BaselinePaths(
+    Asn victim) const {
+  auto it = baseline_paths_.find(victim);
+  return it == baseline_paths_.end() ? std::vector<std::pair<Asn, AsPath>>{}
+                                     : it->second;
+}
+
+}  // namespace asppi::stream

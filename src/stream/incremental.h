@@ -1,0 +1,154 @@
+// Online ASPP-interception detection over a sequenced update stream.
+//
+// The batch `detect::AsppDetector` rebuilds and re-strips full RouteSnapshots
+// per Scan. IncrementalDetector maintains the same observation state
+// incrementally: per-victim suffix-expansion contributions (which monitor
+// entry implies which derived route, resolved latest-wins), a segment index
+// (every suffix of every stripped core → the owners holding it and their
+// padding counts) answering the Fig.-4 witness query in one lookup, and the
+// set of currently *triggered* observers (padding below baseline). One
+// applied update touches only the affected victim's buckets: the derived
+// routes of the changed entry, the index rows of their core suffixes, and a
+// re-evaluation of that victim's triggered observers.
+//
+// Equivalence contract (the keystone, asserted by tests/stream_test.cc): at
+// any point of the replay, `CurrentAlarms(v)` equals — as a set — the batch
+// detector's `Scan(v, BaselinePaths(v), CurrentPaths(v))` under
+// `ConflictPolicy::kLatestObserved`. `Apply` reports the alarms newly raised
+// by each event, stamped with its sequence number.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/rules.h"
+#include "stream/state.h"
+
+namespace asppi::stream {
+
+// An alarm raised by the online detector at a specific stream position.
+struct StampedAlarm {
+  std::uint64_t sequence = 0;
+  Asn victim = 0;
+  detect::Alarm alarm;
+
+  bool operator==(const StampedAlarm&) const = default;
+};
+
+// Total order for deterministic merges: (sequence, victim, alarm).
+bool StampedAlarmLess(const StampedAlarm& a, const StampedAlarm& b);
+
+class IncrementalDetector {
+ public:
+  struct Options {
+    // Relationship graph for the hint rules (nullptr disables them).
+    const topo::AsGraph* graph = nullptr;
+    // Prefix owners' own prepend policies, for the victim-aware rule
+    // (nullptr disables it). `PadsFor(victim, neighbor)` is consulted for
+    // every victim this detector tracks.
+    const bgp::PrependPolicy* victim_policy = nullptr;
+    detect::DetectorOptions detector;
+  };
+
+  IncrementalDetector();
+  explicit IncrementalDetector(const Options& options);
+
+  // Seeds the pre-stream observation set (sequence 0): the fixed baseline
+  // the trigger rule compares against, which is also the initial current
+  // state. Call once, before the first Apply.
+  void SeedBaseline(const data::RibSnapshot& rib);
+
+  // Applies one update and returns the alarms it newly raised (alarms that
+  // ceased to hold are dropped from the current set silently; the
+  // `stream.alarms_retracted` counter accounts for them).
+  std::vector<StampedAlarm> Apply(const data::Update& update);
+
+  // The current alarm set for `victim`, sorted by detect::AlarmLess.
+  std::vector<detect::Alarm> CurrentAlarms(Asn victim) const;
+
+  // Live monitor-path entries toward `victim` in ascending
+  // (sequence, monitor, prefix) order — the canonical order for a batch
+  // kLatestObserved reconstruction. BaselinePaths is the seeded equivalent.
+  std::vector<std::pair<Asn, AsPath>> CurrentPaths(Asn victim) const;
+  std::vector<std::pair<Asn, AsPath>> BaselinePaths(Asn victim) const;
+
+  const StreamState& State() const { return state_; }
+
+ private:
+  struct Contribution {
+    std::uint64_t sequence = 0;
+    StreamState::EntryKey key;
+    AsPath route;
+  };
+
+  // Everything the rules need about one victim's observation set.
+  struct VictimState {
+    // Derived-route contributions per owner AS, keyed by the table entry
+    // they came from. The effective route is the latest-wins maximum by
+    // (sequence, monitor, prefix).
+    std::map<Asn, std::map<StreamState::EntryKey, Contribution>> contribs;
+    // Effective route per owner (resolution winner), plus its stripped form
+    // when it ends at the victim.
+    struct Effective {
+      std::uint64_t sequence = 0;
+      StreamState::EntryKey key;
+      AsPath route;
+      bool strippable = false;
+    };
+    std::map<Asn, Effective> effective;
+    // Strippable effective routes — the view the shared rules run over.
+    detect::StrippedView stripped;
+    // Suffix → owner → padding count: every suffix of every stripped core.
+    // Answers "smallest-ASN owner whose core ends with `segment` and whose
+    // padding exceeds λ" — the Fig.-4 witness — in one lookup.
+    std::map<std::vector<Asn>, std::map<Asn, int>> segment_index;
+    // The fixed pre-stream view (trigger comparisons).
+    detect::StrippedView baseline;
+    // Observers whose current padding is below their baseline padding.
+    std::set<Asn> triggered;
+    // Per-observer rule results: the Fig.-4/hint alarm and the victim-aware
+    // alarm. The current alarm set is assembled from these with the batch
+    // detector's dedup semantics.
+    std::map<Asn, detect::Alarm> rule_alarms;
+    std::map<Asn, detect::Alarm> victim_alarms;
+    // Current alarm set, sorted by detect::AlarmLess.
+    std::vector<detect::Alarm> alarm_set;
+  };
+
+  // Applies the (removal, addition) of one table entry to `victim`'s bucket.
+  // Emits newly-raised alarms into `out`.
+  void ApplyToVictim(Asn victim, const StreamState::EntryKey& key,
+                     std::uint64_t sequence, const AsPath* old_path,
+                     const AsPath* new_path, std::vector<StampedAlarm>& out);
+
+  // Recomputes the effective route of `owner`; returns true if it changed.
+  bool ResolveEffective(VictimState& vs, Asn victim, Asn owner);
+
+  void IndexInsert(VictimState& vs, Asn owner,
+                   const detect::StrippedRoute& stripped);
+  void IndexErase(VictimState& vs, Asn owner,
+                  const detect::StrippedRoute& stripped);
+
+  // Re-runs the Fig.-4 rules for one triggered observer.
+  void EvaluateObserver(Asn victim, VictimState& vs, Asn observer);
+
+  // Assembles the deduped, AlarmLess-sorted alarm set from the per-observer
+  // rule results, mirroring the batch Scan's insertion order.
+  std::vector<detect::Alarm> BuildAlarmSet(const VictimState& vs) const;
+
+  // Rebuilds the alarm set, diffs against the previous one, emits new
+  // alarms stamped with `sequence`.
+  void RefreshAlarms(Asn victim, VictimState& vs, std::uint64_t sequence,
+                     std::vector<StampedAlarm>& out);
+
+  Options options_;
+  StreamState state_;
+  std::map<Asn, VictimState> victims_;
+  // Baseline entries per victim in canonical order (all sequence 0).
+  std::map<Asn, std::vector<std::pair<Asn, AsPath>>> baseline_paths_;
+};
+
+}  // namespace asppi::stream

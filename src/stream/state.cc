@@ -1,0 +1,115 @@
+#include "stream/state.h"
+
+#include "util/metrics.h"
+
+namespace asppi::stream {
+
+namespace {
+
+struct StateMetrics {
+  util::Counter announcements{"stream.state.announcements"};
+  util::Counter withdrawals{"stream.state.withdrawals"};
+  util::Counter noop_withdrawals{"stream.state.noop_withdrawals"};
+};
+
+StateMetrics& Instr() {
+  static StateMetrics* m = new StateMetrics();
+  return *m;
+}
+
+}  // namespace
+
+void StreamState::SeedBaseline(const data::RibSnapshot& rib) {
+  for (const auto& [monitor, table] : rib.tables) {
+    for (const auto& [prefix, path] : table) {
+      if (path.Empty()) continue;
+      Insert({monitor, prefix}, path, 0);
+    }
+  }
+}
+
+void StreamState::Insert(const EntryKey& key, AsPath path,
+                         std::uint64_t sequence) {
+  Entry entry;
+  entry.victim = path.OriginAs();
+  entry.path = std::move(path);
+  entry.sequence = sequence;
+  buckets_[entry.victim].insert({sequence, key.monitor, key.prefix});
+  entries_.insert_or_assign(key, std::move(entry));
+}
+
+StreamState::Change StreamState::Apply(const data::Update& update) {
+  Change change;
+  change.key = {update.monitor, update.prefix};
+  change.sequence = update.sequence;
+
+  auto it = entries_.find(change.key);
+  if (it != entries_.end()) {
+    change.old_victim = it->second.victim;
+    change.old_path = it->second.path;
+    auto bucket = buckets_.find(it->second.victim);
+    bucket->second.erase(
+        {it->second.sequence, change.key.monitor, change.key.prefix});
+    if (bucket->second.empty()) buckets_.erase(bucket);
+  }
+
+  if (update.withdraw) {
+    if (it == entries_.end()) {
+      Instr().noop_withdrawals.Add();
+      return change;  // withdrawing nothing: no-op
+    }
+    Instr().withdrawals.Add();
+    entries_.erase(it);
+    change.changed = true;
+    return change;
+  }
+
+  Instr().announcements.Add();
+  change.changed = true;
+  change.new_victim = update.path.OriginAs();
+  change.new_path = update.path;
+  Insert(change.key, update.path, update.sequence);
+  return change;
+}
+
+std::vector<std::pair<Asn, AsPath>> StreamState::PathsToward(
+    Asn victim) const {
+  std::vector<std::pair<Asn, AsPath>> out;
+  auto bucket = buckets_.find(victim);
+  if (bucket == buckets_.end()) return out;
+  out.reserve(bucket->second.size());
+  for (const auto& [sequence, monitor, prefix] : bucket->second) {
+    out.emplace_back(monitor, entries_.at({monitor, prefix}).path);
+  }
+  return out;
+}
+
+std::vector<Asn> StreamState::Victims() const {
+  std::vector<Asn> out;
+  out.reserve(buckets_.size());
+  for (const auto& [victim, bucket] : buckets_) out.push_back(victim);
+  return out;
+}
+
+data::RibSnapshot StreamState::ToRib() const {
+  data::RibSnapshot rib;
+  for (const auto& [key, entry] : entries_) {
+    rib.tables[key.monitor][key.prefix] = entry.path;
+  }
+  return rib;
+}
+
+void ApplyUpdates(data::RibSnapshot& rib,
+                  const std::vector<data::Update>& updates) {
+  for (const data::Update& update : updates) {
+    if (update.withdraw) {
+      auto table = rib.tables.find(update.monitor);
+      if (table == rib.tables.end()) continue;
+      table->second.erase(update.prefix);
+    } else {
+      rib.tables[update.monitor][update.prefix] = update.path;
+    }
+  }
+}
+
+}  // namespace asppi::stream

@@ -1,0 +1,93 @@
+// Incremental per-monitor routing state for the online pipeline.
+//
+// StreamState maintains the latest-wins view of every (monitor, prefix)
+// table entry as a sequenced update stream replays over a baseline RIB
+// snapshot, and groups live entries into per-victim buckets (keyed by the
+// origin AS of the announced path — the prefix owner the detector defends).
+//
+// The canonical reconstruction contract: `PathsToward(v)` returns the live
+// entries of v's bucket in ascending (sequence, monitor, prefix) order, so
+// `RouteSnapshot::FromMonitors(PathsToward(v), kLatestObserved)` is *the*
+// snapshot implied by the events applied so far — the right-hand side of the
+// batch/stream equivalence contract (DESIGN.md §4e).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "data/measurement.h"
+
+namespace asppi::stream {
+
+using bgp::AsPath;
+using topo::Asn;
+
+class StreamState {
+ public:
+  // Identifies one table slot: a prefix in one monitor's table.
+  struct EntryKey {
+    Asn monitor = 0;
+    data::Prefix prefix;
+    auto operator<=>(const EntryKey&) const = default;
+  };
+
+  // What one applied update did to the table, reported to the caller so the
+  // incremental detector can patch its expansion index with exactly the
+  // affected entries.
+  struct Change {
+    bool changed = false;  // false: no-op (withdrawal of an absent entry)
+    EntryKey key;
+    std::uint64_t sequence = 0;
+    Asn old_victim = 0;  // 0 = slot was empty before
+    AsPath old_path;
+    Asn new_victim = 0;  // 0 = slot is empty now (withdrawal)
+    AsPath new_path;
+  };
+
+  // Seeds the table from a converged RIB snapshot; entries carry sequence 0.
+  void SeedBaseline(const data::RibSnapshot& rib);
+
+  // Applies one update, latest-wins. A re-announcement of an identical path
+  // still counts as a change (the entry's sequence advances, which can flip
+  // latest-wins conflict resolution for derived routes).
+  Change Apply(const data::Update& update);
+
+  // Live entries toward `victim` in ascending (sequence, monitor, prefix)
+  // order. Empty if the victim currently originates nothing.
+  std::vector<std::pair<Asn, AsPath>> PathsToward(Asn victim) const;
+
+  // Victims with at least one live entry, ascending.
+  std::vector<Asn> Victims() const;
+
+  // The full current table as a RIB snapshot (drops sequence stamps).
+  data::RibSnapshot ToRib() const;
+
+  std::size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    AsPath path;
+    std::uint64_t sequence = 0;
+    Asn victim = 0;
+  };
+
+  using BucketKey = std::tuple<std::uint64_t, Asn, data::Prefix>;
+
+  void Insert(const EntryKey& key, AsPath path, std::uint64_t sequence);
+
+  std::map<EntryKey, Entry> entries_;
+  // victim → live (sequence, monitor, prefix) keys, the canonical order.
+  std::map<Asn, std::set<BucketKey>> buckets_;
+};
+
+// Latest-wins replay of a whole update stream over a RIB snapshot (the batch
+// analogue of feeding every event through StreamState::Apply): announcements
+// overwrite the (monitor, prefix) slot, withdrawals erase it.
+void ApplyUpdates(data::RibSnapshot& rib,
+                  const std::vector<data::Update>& updates);
+
+}  // namespace asppi::stream

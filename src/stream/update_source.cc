@@ -1,0 +1,37 @@
+#include "stream/update_source.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace asppi::stream {
+
+UpdateSource::UpdateSource(std::vector<data::Update> updates)
+    : events_(std::move(updates)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const data::Update& a, const data::Update& b) {
+                     return std::tie(a.sequence, a.monitor, a.prefix) <
+                            std::tie(b.sequence, b.monitor, b.prefix);
+                   });
+}
+
+std::string UpdateSource::FromFile(const std::string& path, UpdateSource& out) {
+  std::vector<data::Update> updates;
+  std::string err = data::ReadUpdatesFile(path, updates);
+  if (!err.empty()) return err;
+  out = UpdateSource(std::move(updates));
+  return "";
+}
+
+UpdateSource UpdateSource::FromGenerator(
+    const data::MeasurementGenerator& generator,
+    const std::vector<Asn>& monitors) {
+  return UpdateSource(generator.GenerateUpdates(monitors));
+}
+
+bool UpdateSource::Next(data::Update& out) {
+  if (cursor_ >= events_.size()) return false;
+  out = events_[cursor_++];
+  return true;
+}
+
+}  // namespace asppi::stream

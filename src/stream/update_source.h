@@ -1,0 +1,49 @@
+// Sources of sequenced BGP update events for the online detection pipeline.
+//
+// An UpdateSource replays a finite stream of `data::Update` events in
+// ascending sequence order — from a `.upd` file, an in-memory vector, or a
+// `data::MeasurementGenerator` corpus. Files are allowed to be unordered on
+// disk (real collector dumps interleave feeds); the source canonicalizes to
+// ascending (sequence, monitor, prefix) order on construction so every
+// consumer sees one well-defined replay order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/formats.h"
+#include "data/measurement.h"
+
+namespace asppi::stream {
+
+using topo::Asn;
+
+class UpdateSource {
+ public:
+  UpdateSource() = default;
+  // Takes ownership of `updates` and sorts them into replay order.
+  explicit UpdateSource(std::vector<data::Update> updates);
+
+  // Reads a `.upd` file. Returns "" on success, else the parser's
+  // line-numbered error message.
+  static std::string FromFile(const std::string& path, UpdateSource& out);
+
+  // Generates the corpus' churn stream for `monitors`.
+  static UpdateSource FromGenerator(const data::MeasurementGenerator& generator,
+                                    const std::vector<Asn>& monitors);
+
+  // All events in replay order.
+  const std::vector<data::Update>& Events() const { return events_; }
+  std::size_t Size() const { return events_.size(); }
+
+  // Cursor-style replay: fills `out` and advances; false at end of stream.
+  bool Next(data::Update& out);
+  std::size_t Remaining() const { return events_.size() - cursor_; }
+  void Reset() { cursor_ = 0; }
+
+ private:
+  std::vector<data::Update> events_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace asppi::stream

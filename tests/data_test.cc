@@ -265,6 +265,73 @@ TEST(Formats, MissingFiles) {
   EXPECT_NE(ReadUpdatesFile("/nonexistent.upd", updates), "");
 }
 
+TEST(Formats, ErrorsCarryLineNumberAndField) {
+  // The bad line is line 3 (comment and a good entry precede it), and the
+  // message names the offending field so a 10M-line dump is debuggable.
+  RibSnapshot snapshot;
+  std::istringstream bad_prefix(
+      "# comment\n7018|10.0.0.0/16|1 2\n7018|not-a-prefix|1 2\n");
+  std::string err = ReadRib(bad_prefix, snapshot);
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  EXPECT_NE(err.find("not-a-prefix"), std::string::npos) << err;
+
+  std::vector<Update> updates;
+  std::istringstream bad_path("1|7018|A|10.0.0.0/16|1 x 2\n");
+  err = ReadUpdates(bad_path, updates);
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("bad as-path"), std::string::npos) << err;
+
+  std::istringstream bad_seq("nope|7018|A|10.0.0.0/16|1 2\n");
+  err = ReadUpdates(bad_seq, updates);
+  EXPECT_NE(err.find("bad sequence"), std::string::npos) << err;
+}
+
+TEST(Formats, RejectsOutOfRangeMonitor) {
+  // 2^32 does not fit an ASN; a silent truncation would alias monitor 0.
+  RibSnapshot snapshot;
+  std::istringstream rib("4294967296|10.0.0.0/16|1 2\n");
+  std::string err = ReadRib(rib, snapshot);
+  EXPECT_NE(err.find("bad monitor ASN"), std::string::npos) << err;
+  std::istringstream zero("0|10.0.0.0/16|1 2\n");
+  EXPECT_NE(ReadRib(zero, snapshot).find("bad monitor ASN"),
+            std::string::npos);
+
+  std::vector<Update> updates;
+  std::istringstream upd("1|4294967296|A|10.0.0.0/16|1 2\n");
+  err = ReadUpdates(upd, updates);
+  EXPECT_NE(err.find("bad monitor ASN"), std::string::npos) << err;
+  EXPECT_TRUE(updates.empty());
+}
+
+TEST(Formats, UpdateRoundTripPreservesEveryField) {
+  std::vector<Update> updates(3);
+  updates[0].sequence = 10;
+  updates[0].monitor = 4294967295u;  // max 32-bit ASN survives intact
+  updates[0].prefix = *Prefix::Parse("69.171.224.0/20");
+  updates[0].path = bgp::AsPath({3356, 32934, 32934, 32934});
+  updates[1].sequence = 11;
+  updates[1].monitor = 7018;
+  updates[1].prefix = *Prefix::Parse("10.0.0.0/16");
+  updates[1].withdraw = true;
+  updates[2].sequence = 12;
+  updates[2].monitor = 7018;
+  updates[2].prefix = *Prefix::Parse("10.0.0.0/16");
+  updates[2].path = bgp::AsPath({1, 2, 3});
+  std::ostringstream os;
+  WriteUpdates(updates, os);
+  std::vector<Update> parsed;
+  std::istringstream is(os.str());
+  ASSERT_EQ(ReadUpdates(is, parsed), "");
+  ASSERT_EQ(parsed.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(parsed[i].sequence, updates[i].sequence);
+    EXPECT_EQ(parsed[i].monitor, updates[i].monitor);
+    EXPECT_EQ(parsed[i].prefix, updates[i].prefix);
+    EXPECT_EQ(parsed[i].withdraw, updates[i].withdraw);
+    EXPECT_EQ(parsed[i].path, updates[i].path);
+  }
+}
+
 // --- traceroute (paper Table I) ----------------------------------------------------------
 
 TEST(Traceroute, CrossOceanDelayJump) {

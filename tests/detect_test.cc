@@ -59,6 +59,34 @@ TEST(RouteSnapshot, EmptyPathsIgnored) {
   EXPECT_EQ(snapshot.Size(), 0u);
 }
 
+TEST(RouteSnapshot, SuffixConflictPolicySelectsWinner) {
+  // Monitors 1 and 2 imply different routes for AS20: [5 5] vs [5].
+  // kFirstObserved (converged snapshots) keeps the first derivation;
+  // kLatestObserved (stream-derived state) keeps the last.
+  const std::vector<std::pair<Asn, AsPath>> paths = {
+      {1, P({10, 20, 5, 5})}, {2, P({11, 20, 5})}};
+  RouteSnapshot first = RouteSnapshot::FromMonitors(paths);
+  ASSERT_NE(first.RouteOf(20), nullptr);
+  EXPECT_EQ(first.RouteOf(20)->ToString(), "5 5");
+  RouteSnapshot latest = RouteSnapshot::FromMonitors(
+      paths, RouteSnapshot::ConflictPolicy::kLatestObserved);
+  ASSERT_NE(latest.RouteOf(20), nullptr);
+  EXPECT_EQ(latest.RouteOf(20)->ToString(), "5");
+}
+
+TEST(RouteSnapshot, WithinPathFirstEntryWinsUnderBothPolicies) {
+  // A looped observation mentions AS20 twice; within one path the first
+  // (closest-to-monitor) occurrence is the AS's current choice under either
+  // policy.
+  for (auto policy : {RouteSnapshot::ConflictPolicy::kFirstObserved,
+                      RouteSnapshot::ConflictPolicy::kLatestObserved}) {
+    RouteSnapshot snapshot =
+        RouteSnapshot::FromMonitors({{1, P({20, 30, 20, 5})}}, policy);
+    ASSERT_NE(snapshot.RouteOf(20), nullptr);
+    EXPECT_EQ(snapshot.RouteOf(20)->ToString(), "30 20 5");
+  }
+}
+
 // --- the paper's Figure 3 example ------------------------------------------
 
 // V announces [V V V] toward A and [V V] toward C; attacker M (customer of A)

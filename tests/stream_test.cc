@@ -1,0 +1,509 @@
+// Tests for src/stream/: the online update-stream detection pipeline.
+//
+// The keystone is the equivalence contract: at any point of a replay, the
+// incremental detector's current alarm set equals the batch detector run on
+// the snapshot implied by the events applied so far (under
+// ConflictPolicy::kLatestObserved), and the sharded Pipeline's emission
+// stream is bit-identical for any thread count, shard count, and window size.
+#include "stream/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "data/formats.h"
+#include "data/measurement.h"
+#include "detect/detector.h"
+#include "detect/monitors.h"
+#include "stream/incremental.h"
+#include "stream/state.h"
+#include "stream/update_source.h"
+#include "topology/generator.h"
+#include "util/thread_pool.h"
+
+namespace asppi::stream {
+namespace {
+
+using bgp::AsPath;
+using topo::Asn;
+
+AsPath P(std::initializer_list<Asn> hops) {
+  return AsPath(std::vector<Asn>(hops));
+}
+
+// Independent latest-wins shadow of the monitor tables: reconstructs the
+// snapshot implied by the events applied so far, without going through any
+// stream:: code under test.
+struct Shadow {
+  std::map<StreamState::EntryKey, std::pair<std::uint64_t, AsPath>> entries;
+
+  void Seed(const data::RibSnapshot& rib) {
+    for (const auto& [monitor, table] : rib.tables) {
+      for (const auto& [prefix, path] : table) {
+        if (!path.Empty()) entries[{monitor, prefix}] = {0, path};
+      }
+    }
+  }
+  void Apply(const data::Update& update) {
+    if (update.withdraw) {
+      entries.erase({update.monitor, update.prefix});
+    } else {
+      entries[{update.monitor, update.prefix}] = {update.sequence,
+                                                  update.path};
+    }
+  }
+  // Entries toward `victim` in the canonical (sequence, monitor, prefix)
+  // order the equivalence contract is stated in.
+  std::vector<std::pair<Asn, AsPath>> PathsToward(Asn victim) const {
+    std::vector<std::tuple<std::uint64_t, Asn, data::Prefix>> keys;
+    for (const auto& [key, entry] : entries) {
+      if (entry.second.OriginAs() == victim) {
+        keys.emplace_back(entry.first, key.monitor, key.prefix);
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    std::vector<std::pair<Asn, AsPath>> out;
+    for (const auto& [sequence, monitor, prefix] : keys) {
+      out.emplace_back(monitor, entries.at({monitor, prefix}).second);
+    }
+    return out;
+  }
+};
+
+std::vector<detect::Alarm> BatchAlarms(detect::AsppDetector& batch, Asn victim,
+                                       const Shadow& baseline,
+                                       const Shadow& current,
+                                       const bgp::PrependPolicy* policy) {
+  std::vector<detect::Alarm> alarms =
+      batch.Scan(victim, baseline.PathsToward(victim),
+                 current.PathsToward(victim), policy);
+  std::sort(alarms.begin(), alarms.end(), detect::AlarmLess);
+  return alarms;
+}
+
+// A generated corpus with interception attacks, an origin move, and
+// withdrawals injected after the benign churn.
+struct Corpus {
+  topo::GeneratedTopology gen;
+  std::vector<Asn> monitors;
+  data::RibSnapshot rib;
+  std::vector<data::Update> updates;
+  std::set<Asn> victims;
+  std::size_t num_attacks = 0;
+};
+
+Corpus MakeCorpus(std::uint64_t seed, std::size_t attacks,
+                  std::size_t withdrawals) {
+  topo::GeneratorParams params;
+  params.seed = seed;
+  params.num_tier2 = 30;
+  params.num_tier3 = 80;
+  params.num_stubs = 250;
+  params.num_content = 5;
+  params.num_sibling_pairs = 0;  // measurement engine is RoutingTree-based
+  Corpus corpus;
+  corpus.gen = topo::GenerateInternetTopology(params);
+  corpus.monitors = detect::TopDegreeMonitors(corpus.gen.graph, 8);
+  data::MeasurementParams mp;
+  mp.num_prefixes = 40;
+  mp.num_churn_events = 60;
+  mp.seed = seed + 1;
+  data::MeasurementGenerator generator(corpus.gen.graph, mp);
+  corpus.rib = generator.GenerateRib(corpus.monitors);
+  corpus.updates = generator.GenerateUpdates(corpus.monitors);
+  std::uint64_t seq =
+      corpus.updates.empty() ? 1 : corpus.updates.back().sequence + 1;
+
+  data::RibSnapshot final_table = corpus.rib;
+  ApplyUpdates(final_table, corpus.updates);
+
+  // Interception injections: re-announce currently-held padded routes with
+  // the origin's run collapsed — exactly the attacker's modification.
+  std::vector<std::pair<Asn, data::Prefix>> attacked;
+  for (const auto& [monitor, table] : final_table.tables) {
+    for (const auto& [prefix, path] : table) {
+      if (attacked.size() >= attacks) break;
+      if (path.OriginPadding() >= 2 && path.UniqueCount() >= 3) {
+        data::Update attack;
+        attack.sequence = seq++;
+        attack.monitor = monitor;
+        attack.prefix = prefix;
+        attack.path = path;
+        attack.path.CollapseRunsOf(path.OriginAs());
+        corpus.updates.push_back(std::move(attack));
+        attacked.emplace_back(monitor, prefix);
+      }
+    }
+    if (attacked.size() >= attacks) break;
+  }
+  corpus.num_attacks = attacked.size();
+
+  // One origin move: a slot changes hands between two victims.
+  const data::MonitorRib& first_table = final_table.tables.begin()->second;
+  for (const auto& [prefix, path] : first_table) {
+    const Asn first_origin = first_table.begin()->second.OriginAs();
+    if (path.OriginAs() != first_origin) {
+      data::Update move;
+      move.sequence = seq++;
+      move.monitor = final_table.tables.begin()->first;
+      move.prefix = first_table.begin()->first;
+      move.path = path;
+      corpus.updates.push_back(std::move(move));
+      break;
+    }
+  }
+
+  // Withdrawals of attacked slots (the retraction path).
+  for (std::size_t i = 0; i < withdrawals && i < attacked.size(); ++i) {
+    data::Update wd;
+    wd.sequence = seq++;
+    wd.monitor = attacked[i].first;
+    wd.prefix = attacked[i].second;
+    wd.withdraw = true;
+    corpus.updates.push_back(std::move(wd));
+  }
+
+  for (const auto& [monitor, table] : corpus.rib.tables) {
+    for (const auto& [prefix, path] : table) {
+      corpus.victims.insert(path.OriginAs());
+    }
+  }
+  for (const data::Update& update : corpus.updates) {
+    if (!update.withdraw) corpus.victims.insert(update.path.OriginAs());
+  }
+  return corpus;
+}
+
+// --- the equivalence contract (keystone) -------------------------------------
+
+TEST(StreamEquivalence, MatchesBatchDetectorAtEveryStreamPrefix) {
+  Corpus corpus = MakeCorpus(/*seed=*/11, /*attacks=*/10, /*withdrawals=*/3);
+  ASSERT_GT(corpus.num_attacks, 0u);
+
+  IncrementalDetector::Options options;
+  options.graph = &corpus.gen.graph;
+  IncrementalDetector inc(options);
+  inc.SeedBaseline(corpus.rib);
+
+  detect::DetectorOptions batch_options;
+  batch_options.conflict_policy =
+      detect::RouteSnapshot::ConflictPolicy::kLatestObserved;
+  detect::AsppDetector batch(&corpus.gen.graph, batch_options);
+
+  Shadow baseline;
+  baseline.Seed(corpus.rib);
+  Shadow current = baseline;
+
+  std::size_t emitted_total = 0;
+  std::size_t step = 0;
+  UpdateSource source(corpus.updates);
+  data::Update update;
+  while (source.Next(update)) {
+    // Only the victims of the touched slot can change.
+    std::set<Asn> affected;
+    auto held = current.entries.find({update.monitor, update.prefix});
+    if (held != current.entries.end()) {
+      affected.insert(held->second.second.OriginAs());
+    }
+    if (!update.withdraw) affected.insert(update.path.OriginAs());
+
+    const std::vector<StampedAlarm> emitted = inc.Apply(update);
+    current.Apply(update);
+    emitted_total += emitted.size();
+    for (const StampedAlarm& stamped : emitted) {
+      EXPECT_EQ(stamped.sequence, update.sequence);
+      EXPECT_TRUE(affected.count(stamped.victim))
+          << "alarm for untouched victim " << stamped.victim;
+    }
+    for (Asn victim : affected) {
+      ASSERT_EQ(inc.CurrentAlarms(victim),
+                BatchAlarms(batch, victim, baseline, current, nullptr))
+          << "victim " << victim << " after seq " << update.sequence;
+      ASSERT_EQ(inc.CurrentPaths(victim), current.PathsToward(victim))
+          << "victim " << victim << " after seq " << update.sequence;
+    }
+    if (++step % 37 == 0) {
+      for (Asn victim : corpus.victims) {
+        ASSERT_EQ(inc.CurrentAlarms(victim),
+                  BatchAlarms(batch, victim, baseline, current, nullptr))
+            << "victim " << victim << " at full check, seq "
+            << update.sequence;
+      }
+    }
+  }
+  for (Asn victim : corpus.victims) {
+    EXPECT_EQ(inc.CurrentAlarms(victim),
+              BatchAlarms(batch, victim, baseline, current, nullptr))
+        << "victim " << victim << " at end of stream";
+    EXPECT_EQ(inc.BaselinePaths(victim), baseline.PathsToward(victim));
+  }
+  EXPECT_GT(emitted_total, 0u) << "injected attacks raised no alarms";
+}
+
+// --- Pipeline determinism ----------------------------------------------------
+
+TEST(Pipeline, EmissionsBitIdenticalAcrossThreadsShardsAndWindows) {
+  Corpus corpus = MakeCorpus(/*seed=*/23, /*attacks=*/8, /*withdrawals=*/2);
+  ASSERT_GT(corpus.num_attacks, 0u);
+
+  auto run = [&](std::size_t threads, std::size_t shards,
+                 std::size_t capacity) {
+    util::ThreadPool pool(threads);
+    Pipeline::Options options;
+    options.num_shards = shards;
+    options.queue_capacity = capacity;
+    options.detector.graph = &corpus.gen.graph;
+    Pipeline pipeline(&pool, options);
+    pipeline.SeedBaseline(corpus.rib);
+    UpdateSource source(corpus.updates);
+    data::Update update;
+    while (source.Next(update)) pipeline.Push(update);
+    return pipeline.Finish();
+  };
+
+  const std::vector<StampedAlarm> reference = run(1, 1, 1024);
+  EXPECT_FALSE(reference.empty());
+  EXPECT_EQ(run(4, 0, 1024), reference);  // shards = pool concurrency
+  EXPECT_EQ(run(8, 0, 3), reference);     // tiny windows
+  EXPECT_EQ(run(4, 5, 64), reference);    // shard count independent of pool
+
+  // The pipeline's merged emissions equal the unsharded serial detector's.
+  IncrementalDetector::Options options;
+  options.graph = &corpus.gen.graph;
+  IncrementalDetector inc(options);
+  inc.SeedBaseline(corpus.rib);
+  std::vector<StampedAlarm> serial;
+  UpdateSource source(corpus.updates);
+  data::Update update;
+  while (source.Next(update)) {
+    const std::vector<StampedAlarm> emitted = inc.Apply(update);
+    serial.insert(serial.end(), emitted.begin(), emitted.end());
+  }
+  std::sort(serial.begin(), serial.end(), StampedAlarmLess);
+  EXPECT_EQ(reference, serial);
+}
+
+// --- hand-built attack -------------------------------------------------------
+
+TEST(IncrementalDetector, HandBuiltInterceptionStampedThenRetracted) {
+  // Victim 5 pads λ=3; monitors 1 and 2 observe branches sharing the chain
+  // behind AS3 (the Fig.-4 witness setup).
+  const data::Prefix prefix = *data::Prefix::Parse("10.0.0.0/16");
+  data::RibSnapshot rib;
+  rib.tables[1][prefix] = P({2, 3, 4, 5, 5, 5});
+  rib.tables[2][prefix] = P({9, 3, 4, 5, 5, 5});
+
+  bgp::PrependPolicy policy;
+  policy.SetDefault(5, 3);
+
+  IncrementalDetector::Options options;
+  options.victim_policy = &policy;
+  IncrementalDetector inc(options);
+  inc.SeedBaseline(rib);
+  EXPECT_TRUE(inc.CurrentAlarms(5).empty());
+
+  // The attack: monitor 1's feed shows victim 5's padding stripped.
+  data::Update attack;
+  attack.sequence = 7;
+  attack.monitor = 1;
+  attack.prefix = prefix;
+  attack.path = P({2, 3, 4, 5});
+  const std::vector<StampedAlarm> emitted = inc.Apply(attack);
+  ASSERT_FALSE(emitted.empty());
+  // Observer 1's stripped core is [2 3 4]; AS9 still holds 3 pads along the
+  // same chain, so the witness rule accuses AS2 of removing 3-1=2 copies.
+  // (The victim-aware rule raises further alarms naming AS4, the victim's
+  // neighbor on the stripped branch.)
+  bool saw_witness_alarm = false;
+  for (const StampedAlarm& stamped : emitted) {
+    EXPECT_EQ(stamped.sequence, 7u);
+    EXPECT_EQ(stamped.victim, 5u);
+    if (stamped.alarm.confidence == detect::Alarm::Confidence::kHigh &&
+        stamped.alarm.suspect == 2u && stamped.alarm.observer == 1u) {
+      saw_witness_alarm = true;
+      EXPECT_EQ(stamped.alarm.pads_removed, 2);
+      EXPECT_NE(stamped.alarm.detail.find("chain behind AS2"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_witness_alarm);
+
+  // Batch agrees on the full current set (victim-aware alarms included).
+  detect::DetectorOptions batch_options;
+  batch_options.conflict_policy =
+      detect::RouteSnapshot::ConflictPolicy::kLatestObserved;
+  detect::AsppDetector batch(nullptr, batch_options);
+  std::vector<detect::Alarm> expected = batch.Scan(
+      5, inc.BaselinePaths(5), inc.CurrentPaths(5), &policy);
+  std::sort(expected.begin(), expected.end(), detect::AlarmLess);
+  EXPECT_EQ(inc.CurrentAlarms(5), expected);
+
+  // Withdrawing the poisoned feed retracts every alarm; retractions are
+  // silent (no emissions).
+  data::Update withdraw;
+  withdraw.sequence = 8;
+  withdraw.monitor = 1;
+  withdraw.prefix = prefix;
+  withdraw.withdraw = true;
+  EXPECT_TRUE(inc.Apply(withdraw).empty());
+  EXPECT_TRUE(inc.CurrentAlarms(5).empty());
+}
+
+// --- StreamState -------------------------------------------------------------
+
+TEST(StreamState, WithdrawHandling) {
+  const data::Prefix prefix = *data::Prefix::Parse("10.0.0.0/16");
+  data::RibSnapshot rib;
+  rib.tables[1][prefix] = P({2, 5});
+  StreamState state;
+  state.SeedBaseline(rib);
+  EXPECT_EQ(state.NumEntries(), 1u);
+
+  // Withdrawing an absent slot is a no-op, not a change.
+  data::Update noop;
+  noop.sequence = 1;
+  noop.monitor = 9;
+  noop.prefix = prefix;
+  noop.withdraw = true;
+  EXPECT_FALSE(state.Apply(noop).changed);
+  EXPECT_EQ(state.NumEntries(), 1u);
+
+  data::Update withdraw;
+  withdraw.sequence = 2;
+  withdraw.monitor = 1;
+  withdraw.prefix = prefix;
+  withdraw.withdraw = true;
+  const StreamState::Change change = state.Apply(withdraw);
+  EXPECT_TRUE(change.changed);
+  EXPECT_EQ(change.old_victim, 5u);
+  EXPECT_EQ(change.new_victim, 0u);
+  EXPECT_EQ(state.NumEntries(), 0u);
+  EXPECT_TRUE(state.PathsToward(5).empty());
+  EXPECT_TRUE(state.Victims().empty());
+}
+
+TEST(StreamState, LatestWinsCanonicalOrder) {
+  const data::Prefix p1 = *data::Prefix::Parse("10.0.0.0/16");
+  const data::Prefix p2 = *data::Prefix::Parse("10.1.0.0/16");
+  data::RibSnapshot rib;
+  rib.tables[1][p1] = P({2, 5});
+  rib.tables[3][p2] = P({4, 5});
+  StreamState state;
+  state.SeedBaseline(rib);
+  // Baseline order: (0, monitor 1), (0, monitor 3).
+  std::vector<std::pair<Asn, AsPath>> paths = state.PathsToward(5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].first, 1u);
+  EXPECT_EQ(paths[1].first, 3u);
+
+  // Re-announcing monitor 1's slot moves it to the stream tail — even with
+  // an identical path, its sequence advances.
+  data::Update again;
+  again.sequence = 5;
+  again.monitor = 1;
+  again.prefix = p1;
+  again.path = P({2, 5});
+  EXPECT_TRUE(state.Apply(again).changed);
+  paths = state.PathsToward(5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].first, 3u);
+  EXPECT_EQ(paths[1].first, 1u);
+}
+
+// --- UpdateSource ------------------------------------------------------------
+
+TEST(UpdateSource, CanonicalizesFileOrderAndRoundTrips) {
+  std::vector<data::Update> updates(3);
+  updates[0].sequence = 9;
+  updates[0].monitor = 7018;
+  updates[0].prefix = *data::Prefix::Parse("10.0.0.0/16");
+  updates[0].path = P({1, 2});
+  updates[1].sequence = 2;
+  updates[1].monitor = 7018;
+  updates[1].prefix = *data::Prefix::Parse("10.1.0.0/16");
+  updates[1].withdraw = true;
+  updates[2].sequence = 5;
+  updates[2].monitor = 2914;
+  updates[2].prefix = *data::Prefix::Parse("10.2.0.0/16");
+  updates[2].path = P({3, 4});
+
+  const std::string path = ::testing::TempDir() + "/stream_test_roundtrip.upd";
+  data::WriteUpdatesFile(updates, path);
+  UpdateSource source;
+  ASSERT_EQ(UpdateSource::FromFile(path, source), "");
+  ASSERT_EQ(source.Size(), 3u);
+  // Replay order is ascending sequence regardless of file order.
+  EXPECT_EQ(source.Events()[0].sequence, 2u);
+  EXPECT_EQ(source.Events()[1].sequence, 5u);
+  EXPECT_EQ(source.Events()[2].sequence, 9u);
+  data::Update update;
+  std::size_t count = 0;
+  while (source.Next(update)) ++count;
+  EXPECT_EQ(count, 3u);
+  source.Reset();
+  EXPECT_EQ(source.Remaining(), 3u);
+}
+
+TEST(UpdateSource, PropagatesLineNumberedParserErrors) {
+  const std::string path = ::testing::TempDir() + "/stream_test_bad.upd";
+  std::ofstream os(path);
+  os << "1|7018|A|10.0.0.0/16|1 2\n";
+  os << "2|7018|A|not-a-prefix|1 2\n";
+  os.close();
+  UpdateSource source;
+  const std::string err = UpdateSource::FromFile(path, source);
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+// --- MeasurementGenerator stream properties ----------------------------------
+
+TEST(MeasurementStream, SequencesStrictlyIncreasePerMonitorAndShapesHold) {
+  Corpus corpus = MakeCorpus(/*seed=*/31, /*attacks=*/0, /*withdrawals=*/0);
+  data::MeasurementParams mp;
+  mp.num_prefixes = 40;
+  mp.num_churn_events = 60;
+  mp.seed = 32;
+  data::MeasurementGenerator generator(corpus.gen.graph, mp);
+  const std::vector<data::Update> updates =
+      generator.GenerateUpdates(corpus.monitors);
+  ASSERT_FALSE(updates.empty());
+  std::map<Asn, std::uint64_t> last_seen;
+  for (const data::Update& update : updates) {
+    auto it = last_seen.find(update.monitor);
+    if (it != last_seen.end()) {
+      EXPECT_GT(update.sequence, it->second)
+          << "monitor " << update.monitor << " sequence regressed";
+    }
+    last_seen[update.monitor] = update.sequence;
+    if (update.withdraw) {
+      EXPECT_TRUE(update.path.Empty());
+    } else {
+      EXPECT_FALSE(update.path.Empty());
+    }
+  }
+}
+
+TEST(MeasurementStream, StreamStateReplayMatchesBatchReplay) {
+  Corpus corpus = MakeCorpus(/*seed=*/41, /*attacks=*/6, /*withdrawals=*/2);
+
+  data::RibSnapshot batch_rib = corpus.rib;
+  ApplyUpdates(batch_rib, corpus.updates);
+  for (auto it = batch_rib.tables.begin(); it != batch_rib.tables.end();) {
+    it = it->second.empty() ? batch_rib.tables.erase(it) : std::next(it);
+  }
+
+  StreamState state;
+  state.SeedBaseline(corpus.rib);
+  for (const data::Update& update : corpus.updates) state.Apply(update);
+  EXPECT_TRUE(state.ToRib().tables == batch_rib.tables)
+      << "event-at-a-time replay diverged from batch replay";
+}
+
+}  // namespace
+}  // namespace asppi::stream
