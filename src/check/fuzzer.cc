@@ -1,0 +1,395 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "attack/impact.h"
+#include "bgp/propagation.h"
+#include "bgp/routing_tree.h"
+#include "check/reference_engine.h"
+#include "detect/detector.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace asppi::check {
+
+namespace {
+
+using util::Format;
+
+struct FuzzMetrics {
+  util::Counter iterations{"check.fuzz.iterations"};
+  util::Counter failures{"check.fuzz.failures"};
+  util::Counter shrink_evals{"check.fuzz.shrink_evals"};
+  util::Counter alt_fixpoints{"check.fuzz.alt_fixpoints"};
+};
+
+FuzzMetrics& Instr() {
+  static FuzzMetrics* m = new FuzzMetrics();
+  return *m;
+}
+
+// Keep failure reports readable: a systemic divergence violates hundreds of
+// per-AS invariants; the first couple dozen identify it.
+constexpr std::size_t kMaxViolations = 24;
+
+void Truncate(Violations& out) {
+  if (out.size() <= kMaxViolations) return;
+  const std::size_t dropped = out.size() - kMaxViolations;
+  out.resize(kMaxViolations);
+  out.push_back(Format("(+%zu more violations)", dropped));
+}
+
+bool HasSiblingLinks(const topo::AsGraph& graph) {
+  for (Asn asn : graph.Ases()) {
+    for (const topo::AsGraph::Neighbor& nb : graph.NeighborsOf(asn)) {
+      if (nb.rel == topo::Relation::kSibling) return true;
+    }
+  }
+  return false;
+}
+
+std::string RenderRoute(const std::optional<bgp::Route>& route) {
+  if (!route.has_value()) return "<none>";
+  return Format("[%s] from AS%u", route->path.ToString().c_str(),
+                static_cast<unsigned>(route->learned_from));
+}
+
+std::string RenderRef(const std::optional<ReferenceRoute>& route) {
+  if (!route.has_value()) return "<none>";
+  return Format("[%s] from AS%u", route->path.ToString().c_str(),
+                static_cast<unsigned>(route->learned_from));
+}
+
+// Fast engine state vs oracle state, AS by AS.
+void CompareStates(const char* tag, const topo::AsGraph& graph, Asn origin,
+                   const bgp::PropagationResult& fast,
+                   const ReferenceEngine::State& oracle, Violations& out) {
+  for (std::size_t i = 0; i < graph.NumAses(); ++i) {
+    const Asn asn = graph.AsnAt(i);
+    if (asn == origin) continue;
+    const std::optional<bgp::Route>& f = fast.BestAt(asn);
+    const std::optional<ReferenceRoute>& r = oracle[i];
+    const bool same =
+        f.has_value() == r.has_value() &&
+        (!f.has_value() ||
+         (f->path == r->path && f->learned_from == r->learned_from &&
+          f->effective == r->effective));
+    if (!same) {
+      out.push_back(Format("diff-%s: AS%u simulator holds %s, oracle %s", tag,
+                           static_cast<unsigned>(asn),
+                           RenderRoute(f).c_str(), RenderRef(r).c_str()));
+    }
+  }
+}
+
+bgp::RoutingTree::Via ViaOf(const std::optional<ReferenceRoute>& route) {
+  if (!route.has_value()) return bgp::RoutingTree::Via::kNone;
+  switch (route->effective) {
+    case topo::Relation::kCustomer:
+      return bgp::RoutingTree::Via::kCustomer;
+    case topo::Relation::kPeer:
+      return bgp::RoutingTree::Via::kPeer;
+    case topo::Relation::kProvider:
+      return bgp::RoutingTree::Via::kProvider;
+    case topo::Relation::kSibling:
+      break;  // unreachable on sibling-free graphs
+  }
+  return bgp::RoutingTree::Via::kNone;
+}
+
+std::vector<std::pair<Asn, bgp::AsPath>> MonitorPaths(
+    const bgp::PropagationResult& state, const std::vector<Asn>& monitors) {
+  std::vector<std::pair<Asn, bgp::AsPath>> paths;
+  for (Asn monitor : monitors) {
+    const std::optional<bgp::Route>& best = state.BestAt(monitor);
+    if (best.has_value()) paths.emplace_back(monitor, best->path);
+  }
+  return paths;
+}
+
+std::size_t TotalAses(const Scenario& s) {
+  return s.tier1 + s.tier2 + s.tier3 + s.stubs + s.content;
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const FuzzOptions& options) : options_(options) {}
+
+Scenario Fuzzer::ScenarioFor(std::size_t iteration) const {
+  // Everything below depends only on (seed, iteration): the shard that runs
+  // the iteration never influences the scenario.
+  util::Rng rng(util::DeriveSeed(options_.seed, iteration));
+  Scenario s;
+  s.mode = Scenario::Mode::kGen;
+  s.note = Format("asppi_fuzz --seed %llu, iteration %zu",
+                  static_cast<unsigned long long>(options_.seed), iteration);
+  s.topo_seed = rng();
+  s.tier1 = 1 + rng.Below(3);
+  s.tier2 = 1 + rng.Below(6);
+  s.tier3 = rng.Below(11);
+  s.stubs = 4 + rng.Below(33);
+  s.content = rng.Below(3);
+  // Half the scenarios are sibling-free so the RoutingTree leg runs.
+  s.sibling_pairs = rng.Chance(0.5) ? 1 + rng.Below(2) : 0;
+  s.num_monitors = 4 + rng.Below(9);
+  s.lambda = 1 + static_cast<int>(rng.Below(6));
+  s.per_neighbor_pads = rng.Chance(0.3);
+  s.violate_valley_free = rng.Chance(0.2);
+  s.export_stripped_to_peers = rng.Chance(0.75);
+  static const char* kVictimRoles[] = {"stub", "stub", "tier3", "content"};
+  static const char* kAttackerRoles[] = {"tier2", "tier3", "stub", "tier1"};
+  s.victim_ref = Format("%s:%llu", kVictimRoles[rng.Below(4)],
+                        static_cast<unsigned long long>(rng.Below(64)));
+  s.attacker_ref = Format("%s:%llu", kAttackerRoles[rng.Below(4)],
+                          static_cast<unsigned long long>(rng.Below(64)));
+  return s;
+}
+
+Violations Fuzzer::RunScenario(const Scenario& scenario) const {
+  Violations out;
+  std::string error;
+  std::optional<ScenarioInstance> instance = Materialize(scenario, &error);
+  if (!instance.has_value()) {
+    out.push_back("materialize: " + error);
+    return out;
+  }
+  const topo::AsGraph& graph = instance->graph;
+  const bgp::Announcement& announcement = instance->announcement;
+  const Asn victim = instance->victim;
+
+  // Leg 1 — attack-free propagation: event-driven simulator vs oracle, plus
+  // the full converged-state invariants.
+  const bgp::PropagationSimulator simulator(graph);
+  const bgp::PropagationResult baseline = simulator.Run(announcement);
+  const ReferenceEngine oracle(graph);
+  const ReferenceEngine::State ref_before = oracle.Converge(announcement);
+  CompareStates("baseline", graph, victim, baseline, ref_before, out);
+  Invariants::CheckConvergedState(graph, baseline, out);
+
+  // Leg 2 — RoutingTree (three-phase decomposition) vs oracle: route class
+  // and stored length. Sibling-free graphs only, by RoutingTree's contract.
+  if (!HasSiblingLinks(graph)) {
+    const bgp::RoutingTree tree(graph, announcement);
+    for (std::size_t i = 0; i < graph.NumAses(); ++i) {
+      const Asn asn = graph.AsnAt(i);
+      if (asn == victim) continue;
+      const bgp::RoutingTree::Entry& entry = tree.At(asn);
+      const bgp::RoutingTree::Via want = ViaOf(ref_before[i]);
+      const std::size_t want_len =
+          ref_before[i].has_value() ? ref_before[i]->path.Length() : 0;
+      if (entry.via != want ||
+          (want != bgp::RoutingTree::Via::kNone && entry.length != want_len)) {
+        out.push_back(Format(
+            "diff-tree: AS%u routing_tree says %s/len=%zu, oracle %s/len=%zu",
+            static_cast<unsigned>(asn), bgp::RoutingTree::ViaName(entry.via),
+            entry.length, bgp::RoutingTree::ViaName(want), want_len));
+      }
+    }
+  }
+
+  // Leg 3 — the interception attack: AttackSimulator vs oracle end to end.
+  const attack::AttackSimulator attack_sim(graph);
+  attack::AttackOutcome outcome = attack_sim.RunAsppInterceptionWithPolicy(
+      announcement, instance->attacker, instance->violate_valley_free,
+      instance->export_stripped_to_peers);
+  if (options_.inject_bug) {
+    // Deterministic corruption of the engine-under-test's result; every
+    // scenario must now diverge, which exercises reporting and shrinking.
+    if (!outcome.newly_polluted.empty()) {
+      outcome.newly_polluted.pop_back();
+    } else {
+      outcome.fraction_after += 0.25;
+    }
+  }
+  const ReferenceEngine::Outcome ref_outcome = oracle.RunInterception(
+      announcement, instance->attacker, instance->violate_valley_free,
+      instance->export_stripped_to_peers);
+  // Attacked states need care: the attacker's path rewriting voids the
+  // Gao-Rexford uniqueness guarantee, so on rare instances the event-driven
+  // engine and the oracle legitimately settle into *different* stable
+  // equilibria (e.g. two neighbors each adopting the stripped route the
+  // other then can't see, by sender-side loop avoidance). A mismatch is a
+  // divergence unless the engine's state is provably an alternative
+  // fixpoint: one oracle Step over it changes nothing.
+  Violations attack_diffs;
+  CompareStates("attacked", graph, victim, outcome.after, ref_outcome.after,
+                attack_diffs);
+  bool alternative_fixpoint = false;
+  if (!attack_diffs.empty()) {
+    ReferenceAttack ref_attack;
+    ref_attack.attacker = instance->attacker;
+    ref_attack.victim = victim;
+    ref_attack.violate_valley_free = instance->violate_valley_free;
+    ref_attack.export_stripped_to_peers = instance->export_stripped_to_peers;
+    const ReferenceEngine::State mirror =
+        MirrorFastState(graph, outcome.after);
+    alternative_fixpoint =
+        oracle.Step(announcement, mirror, &ref_attack) == mirror;
+    if (alternative_fixpoint) Instr().alt_fixpoints.Add();
+  }
+  if (!alternative_fixpoint) {
+    out.insert(out.end(), attack_diffs.begin(), attack_diffs.end());
+    if (outcome.newly_polluted != ref_outcome.newly_polluted) {
+      out.push_back(Format(
+          "diff-pollution: engine reports %zu newly polluted ASes, oracle "
+          "%zu",
+          outcome.newly_polluted.size(), ref_outcome.newly_polluted.size()));
+    }
+    if (outcome.fraction_before != ref_outcome.fraction_before ||
+        outcome.fraction_after != ref_outcome.fraction_after) {
+      out.push_back(Format(
+          "diff-fraction: engine reports %.6f/%.6f, oracle %.6f/%.6f "
+          "(before/after)",
+          outcome.fraction_before, outcome.fraction_after,
+          ref_outcome.fraction_before, ref_outcome.fraction_after));
+    }
+  }
+  // Either way the engine's own accounting must be internally consistent —
+  // CheckInterception re-derives pollution and fractions from the engine's
+  // before/after states, so a corrupted outcome is caught even when the
+  // equilibria differ.
+  Invariants::CheckInterception(graph, outcome, out);
+
+  // Leg 4 — detection: alarm soundness on the attacked view, no false
+  // accusations on the quiet view, and stream == batch equivalence.
+  const std::vector<std::pair<Asn, bgp::AsPath>> previous =
+      MonitorPaths(*outcome.before, instance->monitors);
+  const std::vector<std::pair<Asn, bgp::AsPath>> current =
+      MonitorPaths(outcome.after, instance->monitors);
+  const detect::AsppDetector detector(&graph);
+  const std::vector<detect::Alarm> alarms = detector.Scan(
+      victim, previous, current, &announcement.prepends);
+  Invariants::CheckAlarmsJustified(victim, previous, current, alarms,
+                                   &announcement.prepends, out);
+  const std::vector<detect::Alarm> quiet = detector.Scan(
+      victim, previous, previous, &announcement.prepends);
+  Invariants::CheckNoHighConfidence(quiet, out);
+  Invariants::CheckStreamBatchEquivalence(&graph, victim, previous, current,
+                                          &announcement.prepends, out);
+
+  Truncate(out);
+  return out;
+}
+
+Scenario Fuzzer::Shrink(const Scenario& scenario) const {
+  if (scenario.mode != Scenario::Mode::kGen) return scenario;
+  Scenario best = scenario;
+  std::size_t evals = 0;
+  const auto still_fails = [&](const Scenario& candidate) {
+    if (evals >= options_.shrink_budget) return false;
+    ++evals;
+    Instr().shrink_evals.Add();
+    return !RunScenario(candidate).empty();
+  };
+
+  bool progress = true;
+  while (progress && evals < options_.shrink_budget) {
+    progress = false;
+
+    // Topology sizes: jump to the floor, halve toward it, then decrement.
+    struct SizeField {
+      std::size_t Scenario::*member;
+      std::size_t floor;
+    };
+    const SizeField kSizes[] = {
+        {&Scenario::stubs, 1},        {&Scenario::tier3, 0},
+        {&Scenario::tier2, 1},        {&Scenario::content, 0},
+        {&Scenario::sibling_pairs, 0}, {&Scenario::tier1, 1},
+        {&Scenario::num_monitors, 1},
+    };
+    for (const SizeField& field : kSizes) {
+      while (best.*(field.member) > field.floor) {
+        const std::size_t value = best.*(field.member);
+        const std::size_t tries[] = {field.floor,
+                                     field.floor + (value - field.floor) / 2,
+                                     value - 1};
+        bool shrunk = false;
+        for (std::size_t t : tries) {
+          if (t >= value) continue;
+          Scenario candidate = best;
+          candidate.*(field.member) = t;
+          if (TotalAses(candidate) < 3) continue;
+          if (still_fails(candidate)) {
+            best = std::move(candidate);
+            progress = true;
+            shrunk = true;
+            break;
+          }
+        }
+        if (!shrunk) break;
+      }
+    }
+
+    // λ toward 1, knobs toward the simplest settings.
+    while (best.lambda > 1) {
+      Scenario candidate = best;
+      candidate.lambda = std::max(1, best.lambda / 2);
+      if (candidate.lambda == best.lambda) candidate.lambda = best.lambda - 1;
+      if (!still_fails(candidate)) break;
+      best = std::move(candidate);
+      progress = true;
+    }
+    if (best.per_neighbor_pads) {
+      Scenario candidate = best;
+      candidate.per_neighbor_pads = false;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;
+      }
+    }
+    if (best.violate_valley_free) {
+      Scenario candidate = best;
+      candidate.violate_valley_free = false;
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+FuzzResult Fuzzer::Run() const {
+  FuzzResult result;
+  result.iterations = options_.iterations;
+  if (!options_.corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.corpus_dir, ec);
+  }
+  std::vector<std::uint8_t> failed(options_.iterations, 0);
+  std::vector<Violations> found(options_.iterations);
+  util::ParallelFor(options_.pool, options_.iterations, [&](std::size_t i) {
+    Instr().iterations.Add();
+    Violations violations = RunScenario(ScenarioFor(i));
+    if (!violations.empty()) {
+      failed[i] = 1;
+      found[i] = std::move(violations);
+    }
+  });
+
+  for (std::size_t i = 0; i < options_.iterations; ++i) {
+    if (!failed[i]) continue;
+    Instr().failures.Add();
+    FuzzFailure failure;
+    failure.iteration = i;
+    failure.scenario = ScenarioFor(i);
+    if (options_.minimize) {
+      failure.scenario = Shrink(failure.scenario);
+      failure.violations = RunScenario(failure.scenario);
+    } else {
+      failure.violations = std::move(found[i]);
+    }
+    if (!options_.corpus_dir.empty()) {
+      const std::string path = Format(
+          "%s/fuzz-seed%llu-iter%zu.scn", options_.corpus_dir.c_str(),
+          static_cast<unsigned long long>(options_.seed), i);
+      if (failure.scenario.SaveFile(path)) failure.repro_path = path;
+    }
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+}  // namespace asppi::check

@@ -1,0 +1,510 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "data/measurement.h"
+#include "data/prefix.h"
+#include "detect/observation.h"
+#include "stream/incremental.h"
+#include "util/strings.h"
+
+namespace asppi::check {
+
+namespace {
+
+using bgp::AsPath;
+using util::Format;
+
+// Trailing-run strip, re-stated from the paper: a route to the victim's
+// prefix splits into (core, λ) where λ is the trailing run of victim copies.
+// Routes not ending at the victim, or with the victim mid-path, don't strip.
+struct Stripped {
+  std::vector<Asn> core;
+  int lambda = 0;
+};
+
+std::optional<Stripped> Strip(const AsPath& path, Asn victim) {
+  const std::vector<Asn>& hops = path.Hops();
+  if (hops.empty() || hops.back() != victim) return std::nullopt;
+  Stripped out;
+  std::size_t end = hops.size();
+  while (end > 0 && hops[end - 1] == victim) {
+    --end;
+    ++out.lambda;
+  }
+  out.core.assign(hops.begin(), hops.begin() + static_cast<long>(end));
+  for (Asn asn : out.core) {
+    if (asn == victim) return std::nullopt;
+  }
+  return out;
+}
+
+bool EndsWith(const std::vector<Asn>& hay, const std::vector<Asn>& tail) {
+  if (hay.size() < tail.size()) return false;
+  return std::equal(tail.begin(), tail.end(),
+                    hay.end() - static_cast<long>(tail.size()));
+}
+
+// Observer → stripped route over the suffix-expanded observation set.
+std::map<Asn, Stripped> StrippedViewOf(
+    const std::vector<std::pair<Asn, AsPath>>& monitor_paths, Asn victim,
+    detect::RouteSnapshot::ConflictPolicy policy) {
+  std::map<Asn, Stripped> view;
+  const detect::RouteSnapshot snapshot =
+      detect::RouteSnapshot::FromMonitors(monitor_paths, policy);
+  for (const auto& [owner, path] : snapshot.Routes()) {
+    if (auto stripped = Strip(path, victim)) {
+      view.emplace(owner, std::move(*stripped));
+    }
+  }
+  return view;
+}
+
+std::string Render(const std::optional<ReferenceRoute>& route) {
+  if (!route.has_value()) return "<none>";
+  return Format("[%s] from AS%u", route->path.ToString().c_str(),
+                static_cast<unsigned>(route->learned_from));
+}
+
+}  // namespace
+
+void Invariants::CheckPath(const topo::AsGraph& graph, Asn self,
+                           const AsPath& path, const PathChecks& checks,
+                           Violations& out) {
+  if (path.Empty()) {
+    out.push_back(Format("path-empty: AS%u holds an empty path",
+                         static_cast<unsigned>(self)));
+    return;
+  }
+  if (path.HasLoop()) {
+    out.push_back(Format("path-loop: AS%u holds %s",
+                         static_cast<unsigned>(self),
+                         path.ToString().c_str()));
+  }
+  if (path.Contains(self)) {
+    out.push_back(Format("path-self: AS%u appears on its own route %s",
+                         static_cast<unsigned>(self),
+                         path.ToString().c_str()));
+  }
+  if (path.OriginAs() != checks.origin) {
+    out.push_back(Format("path-origin: AS%u route %s does not end at AS%u",
+                         static_cast<unsigned>(self), path.ToString().c_str(),
+                         static_cast<unsigned>(checks.origin)));
+  }
+  if (checks.max_origin_padding > 0 &&
+      path.OriginPadding() > checks.max_origin_padding) {
+    out.push_back(Format(
+        "path-padding: AS%u route %s carries %d origin copies (max %d)",
+        static_cast<unsigned>(self), path.ToString().c_str(),
+        path.OriginPadding(), checks.max_origin_padding));
+  }
+
+  // Traffic direction: self -> seq[0] -> ... -> origin. Every hop must be a
+  // real link; the Gao-Rexford shape climbs providers, crosses at most one
+  // peer link, then descends customers (siblings transparent).
+  std::vector<Asn> chain;
+  chain.push_back(self);
+  const std::vector<Asn> seq = path.DistinctSequence();
+  chain.insert(chain.end(), seq.begin(), seq.end());
+  bool descended = false;
+  bool used_peer = false;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const auto rel = graph.RelationOf(chain[i], chain[i + 1]);
+    if (!rel.has_value()) {
+      out.push_back(Format(
+          "path-links: AS%u route %s uses non-adjacent hop AS%u->AS%u",
+          static_cast<unsigned>(self), path.ToString().c_str(),
+          static_cast<unsigned>(chain[i]),
+          static_cast<unsigned>(chain[i + 1])));
+      return;  // shape analysis is meaningless past a phantom link
+    }
+    if (!checks.require_valley_free) continue;
+    switch (*rel) {
+      case Relation::kProvider:  // moving up
+        if (descended) {
+          out.push_back(Format("valley-free: AS%u route %s climbs after the "
+                               "peak at AS%u->AS%u",
+                               static_cast<unsigned>(self),
+                               path.ToString().c_str(),
+                               static_cast<unsigned>(chain[i]),
+                               static_cast<unsigned>(chain[i + 1])));
+          return;
+        }
+        break;
+      case Relation::kPeer:
+        if (used_peer) {
+          out.push_back(Format("valley-free: AS%u route %s crosses two peer "
+                               "links",
+                               static_cast<unsigned>(self),
+                               path.ToString().c_str()));
+          return;
+        }
+        used_peer = true;
+        descended = true;
+        break;
+      case Relation::kCustomer:  // moving down
+        descended = true;
+        break;
+      case Relation::kSibling:  // transparent
+        break;
+    }
+  }
+}
+
+void Invariants::CheckConvergedState(const topo::AsGraph& graph,
+                                     const bgp::PropagationResult& state,
+                                     Violations& out) {
+  const bgp::Announcement& ann = state.GetAnnouncement();
+  const bool connected = graph.IsConnected();
+  PathChecks checks;
+  checks.origin = ann.origin;
+  checks.max_origin_padding = ann.prepends.MaxPadsOf(ann.origin);
+  checks.require_valley_free = true;
+
+  for (Asn asn : graph.Ases()) {
+    if (asn == ann.origin) continue;
+    const auto& best = state.BestAt(asn);
+    if (!best.has_value()) {
+      if (connected) {
+        out.push_back(Format("reachability: AS%u has no route to AS%u",
+                             static_cast<unsigned>(asn),
+                             static_cast<unsigned>(ann.origin)));
+      }
+      continue;
+    }
+    CheckPath(graph, asn, best->path, checks, out);
+  }
+
+  // Preference + stability: a converged Gao-Rexford state is a fixpoint of
+  // one naive decision round — if any AS would switch (e.g. to an available
+  // customer route it should have preferred), the state is wrong.
+  const ReferenceEngine oracle(graph);
+  const ReferenceEngine::State mirror = MirrorFastState(graph, state);
+  const ReferenceEngine::State stepped = oracle.Step(ann, mirror);
+  for (std::size_t i = 0; i < mirror.size(); ++i) {
+    if (mirror[i] != stepped[i]) {
+      out.push_back(Format(
+          "stability: AS%u holds %s but one decision round yields %s",
+          static_cast<unsigned>(graph.AsnAt(i)), Render(mirror[i]).c_str(),
+          Render(stepped[i]).c_str()));
+    }
+  }
+
+  CheckNextHopConsistency(graph, state, /*skip_learned_from=*/0, out);
+}
+
+void Invariants::CheckNextHopConsistency(const topo::AsGraph& graph,
+                                         const bgp::PropagationResult& state,
+                                         Asn skip_learned_from,
+                                         Violations& out) {
+  const bgp::Announcement& ann = state.GetAnnouncement();
+  for (Asn asn : graph.Ases()) {
+    if (asn == ann.origin) continue;
+    const auto& best = state.BestAt(asn);
+    if (!best.has_value()) continue;
+    const Asn via = best->learned_from;
+    if (via != 0 && via == skip_learned_from) continue;
+    const int pads = ann.prepends.PadsFor(via, asn);
+    const std::vector<Asn>& hops = best->path.Hops();
+
+    // The stored path must open with exactly `pads` copies of the neighbor,
+    // followed by the neighbor's own stored best path (empty for the origin).
+    std::vector<Asn> expected(static_cast<std::size_t>(pads), via);
+    if (via != ann.origin) {
+      const auto& via_best = state.BestAt(via);
+      if (!via_best.has_value()) {
+        out.push_back(Format(
+            "next-hop: AS%u learned %s from AS%u, which holds no route",
+            static_cast<unsigned>(asn), best->path.ToString().c_str(),
+            static_cast<unsigned>(via)));
+        continue;
+      }
+      expected.insert(expected.end(), via_best->path.Hops().begin(),
+                      via_best->path.Hops().end());
+    }
+    if (hops != expected) {
+      out.push_back(Format(
+          "next-hop: AS%u holds %s but AS%u's best plus %d pad(s) gives %s",
+          static_cast<unsigned>(asn), best->path.ToString().c_str(),
+          static_cast<unsigned>(via), pads,
+          AsPath(expected).ToString().c_str()));
+    }
+  }
+}
+
+void Invariants::CheckInterception(const topo::AsGraph& graph,
+                                   const attack::AttackOutcome& outcome,
+                                   Violations& out) {
+  const Asn victim = outcome.victim;
+  const Asn attacker = outcome.attacker;
+  const bgp::Announcement& ann = outcome.after.GetAnnouncement();
+  const bool connected = graph.IsConnected();
+
+  std::vector<Asn> traversing_before;
+  std::vector<Asn> traversing_after;
+  for (Asn asn : graph.Ases()) {
+    if (asn == victim) continue;
+    const auto& best = outcome.after.BestAt(asn);
+    if (!best.has_value()) {
+      if (connected) {
+        out.push_back(Format("delivery: AS%u lost its route under the attack",
+                             static_cast<unsigned>(asn)));
+      }
+      continue;
+    }
+    const auto stripped = Strip(best->path, victim);
+    if (!stripped.has_value()) {
+      out.push_back(Format(
+          "delivery: AS%u's post-attack route %s does not terminate cleanly "
+          "at AS%u",
+          static_cast<unsigned>(asn), best->path.ToString().c_str(),
+          static_cast<unsigned>(victim)));
+      continue;
+    }
+    // The neighbor the victim announced this branch to: the last core hop,
+    // or the holder itself when it borders the victim.
+    const Asn branch = stripped->core.empty() ? asn : stripped->core.back();
+    const int announced = ann.prepends.PadsFor(victim, branch);
+    const bool traverses = asn != attacker && best->path.Contains(attacker);
+    if (traverses) {
+      // λ−1 copies removed: the stripped interception route keeps exactly
+      // one victim copy however much padding the branch announced.
+      if (stripped->lambda != 1) {
+        out.push_back(Format(
+            "interception-shorter: AS%u's route %s traverses the attacker "
+            "but carries %d victim copies (want 1 = %d announced minus %d "
+            "removed)",
+            static_cast<unsigned>(asn), best->path.ToString().c_str(),
+            stripped->lambda, announced, announced - 1));
+      }
+    } else if (asn != attacker && stripped->lambda != announced) {
+      out.push_back(Format(
+          "padding-preserved: AS%u's route %s avoids the attacker but "
+          "carries %d victim copies (announced %d toward AS%u)",
+          static_cast<unsigned>(asn), best->path.ToString().c_str(),
+          stripped->lambda, announced, static_cast<unsigned>(branch)));
+    }
+    if (asn != attacker && best->path.Contains(attacker)) {
+      traversing_after.push_back(asn);
+    }
+    const auto& before = outcome.before->BestAt(asn);
+    if (asn != attacker && before.has_value() &&
+        before->path.Contains(attacker)) {
+      traversing_before.push_back(asn);
+    }
+  }
+
+  // Pollution accounting re-derived: newly_polluted = after \ before, and
+  // the fractions are the set sizes over n−2.
+  std::vector<Asn> expected_polluted;
+  for (Asn asn : traversing_after) {
+    if (std::find(traversing_before.begin(), traversing_before.end(), asn) ==
+        traversing_before.end()) {
+      expected_polluted.push_back(asn);
+    }
+  }
+  if (expected_polluted != outcome.newly_polluted) {
+    out.push_back(Format(
+        "pollution-set: outcome reports %zu newly polluted ASes, re-derived "
+        "%zu",
+        outcome.newly_polluted.size(), expected_polluted.size()));
+  }
+  const std::size_t n = graph.NumAses();
+  if (n > 2) {
+    const double denom = static_cast<double>(n - 2);
+    const double want_after =
+        static_cast<double>(traversing_after.size()) / denom;
+    const double want_before =
+        static_cast<double>(traversing_before.size()) / denom;
+    if (outcome.fraction_after != want_after ||
+        outcome.fraction_before != want_before) {
+      out.push_back(Format(
+          "pollution-fraction: outcome reports %.6f/%.6f, re-derived "
+          "%.6f/%.6f (before/after)",
+          outcome.fraction_before, outcome.fraction_after, want_before,
+          want_after));
+    }
+  }
+}
+
+void Invariants::CheckAlarmsJustified(
+    Asn victim, const std::vector<std::pair<Asn, AsPath>>& previous,
+    const std::vector<std::pair<Asn, AsPath>>& current,
+    const std::vector<detect::Alarm>& alarms,
+    const bgp::PrependPolicy* victim_policy, Violations& out) {
+  using detect::Alarm;
+  const auto policy = detect::RouteSnapshot::ConflictPolicy::kFirstObserved;
+  const std::map<Asn, Stripped> prev_view =
+      StrippedViewOf(previous, victim, policy);
+  const std::map<Asn, Stripped> cur_view =
+      StrippedViewOf(current, victim, policy);
+
+  for (const Alarm& alarm : alarms) {
+    const auto now_it = cur_view.find(alarm.observer);
+    if (now_it == cur_view.end()) {
+      out.push_back(Format(
+          "alarm-witness: AS%u raised an alarm but holds no strippable "
+          "route (%s)",
+          static_cast<unsigned>(alarm.observer), alarm.detail.c_str()));
+      continue;
+    }
+    const Stripped& now = now_it->second;
+
+    if (alarm.confidence == Alarm::Confidence::kHigh) {
+      // Justification 1 — the Fig.-4 witness rule: padding dropped, the
+      // suspect heads the observer's core, and some other AS holds the same
+      // chain behind the suspect with exactly pads_removed more copies.
+      bool justified = false;
+      const auto before_it = prev_view.find(alarm.observer);
+      if (before_it != prev_view.end() && now.core.size() >= 2 &&
+          now.core.front() == alarm.suspect &&
+          now.lambda < before_it->second.lambda) {
+        const std::vector<Asn> segment(now.core.begin() + 1, now.core.end());
+        for (const auto& [other, stripped] : cur_view) {
+          if (other == alarm.observer) continue;
+          if (!EndsWith(stripped.core, segment)) continue;
+          if (stripped.lambda > now.lambda &&
+              stripped.lambda - now.lambda == alarm.pads_removed) {
+            justified = true;
+            break;
+          }
+        }
+      }
+      // Justification 2 — the victim-aware rule: observed padding toward the
+      // first neighbor undercuts what the victim announced to it.
+      if (!justified && victim_policy != nullptr && !now.core.empty() &&
+          now.core.back() == alarm.suspect) {
+        const int announced = victim_policy->PadsFor(victim, alarm.suspect);
+        justified = now.lambda < announced &&
+                    alarm.pads_removed == announced - now.lambda;
+      }
+      if (!justified) {
+        out.push_back(Format(
+            "alarm-witness: high-confidence alarm against AS%u (observer "
+            "AS%u, %d pads) has no independent witness: %s",
+            static_cast<unsigned>(alarm.suspect),
+            static_cast<unsigned>(alarm.observer), alarm.pads_removed,
+            alarm.detail.c_str()));
+      }
+      continue;
+    }
+
+    // Hint alarms: check the trigger conditions (padding drop, suspect heads
+    // the core, some strictly longer padded route exists).
+    const auto before_it = prev_view.find(alarm.observer);
+    bool triggered = before_it != prev_view.end() && now.core.size() >= 2 &&
+                     now.core.front() == alarm.suspect &&
+                     now.lambda < before_it->second.lambda;
+    if (triggered) {
+      bool longer_exists = false;
+      for (const auto& [other, stripped] : cur_view) {
+        if (other == alarm.observer) continue;
+        if (stripped.lambda > now.lambda &&
+            stripped.core.size() + static_cast<std::size_t>(stripped.lambda) >
+                now.core.size() + static_cast<std::size_t>(now.lambda)) {
+          longer_exists = true;
+          break;
+        }
+      }
+      triggered = longer_exists;
+    }
+    if (!triggered) {
+      out.push_back(Format(
+          "alarm-trigger: hint alarm against AS%u (observer AS%u) without a "
+          "padding-drop trigger: %s",
+          static_cast<unsigned>(alarm.suspect),
+          static_cast<unsigned>(alarm.observer), alarm.detail.c_str()));
+    }
+  }
+}
+
+void Invariants::CheckNoHighConfidence(const std::vector<detect::Alarm>& alarms,
+                                       Violations& out) {
+  for (const detect::Alarm& alarm : alarms) {
+    if (alarm.confidence == detect::Alarm::Confidence::kHigh) {
+      out.push_back(Format(
+          "false-positive: high-confidence alarm against AS%u (observer "
+          "AS%u): %s",
+          static_cast<unsigned>(alarm.suspect),
+          static_cast<unsigned>(alarm.observer), alarm.detail.c_str()));
+    }
+  }
+}
+
+void Invariants::CheckStreamBatchEquivalence(
+    const topo::AsGraph* graph, Asn victim,
+    const std::vector<std::pair<Asn, AsPath>>& previous,
+    const std::vector<std::pair<Asn, AsPath>>& current,
+    const bgp::PrependPolicy* victim_policy, Violations& out) {
+  // Replay previous→current as a single-prefix update stream.
+  const data::Prefix prefix = data::SyntheticPrefix(0);
+  data::RibSnapshot rib;
+  for (const auto& [monitor, path] : previous) {
+    rib.tables[monitor][prefix] = path;
+  }
+
+  stream::IncrementalDetector::Options options;
+  options.graph = graph;
+  options.victim_policy = victim_policy;
+  stream::IncrementalDetector incremental(options);
+  incremental.SeedBaseline(rib);
+
+  std::uint64_t sequence = 1;
+  for (const auto& [monitor, path] : current) {
+    data::Update update;
+    update.sequence = sequence++;
+    update.monitor = monitor;
+    update.prefix = prefix;
+    update.path = path;
+    incremental.Apply(update);
+  }
+  for (const auto& [monitor, path] : previous) {
+    const bool still_present =
+        std::any_of(current.begin(), current.end(),
+                    [m = monitor](const auto& entry) { return entry.first == m; });
+    if (still_present) continue;
+    data::Update update;
+    update.sequence = sequence++;
+    update.monitor = monitor;
+    update.prefix = prefix;
+    update.withdraw = true;
+    incremental.Apply(update);
+  }
+
+  detect::DetectorOptions batch_options;
+  batch_options.conflict_policy =
+      detect::RouteSnapshot::ConflictPolicy::kLatestObserved;
+  const detect::AsppDetector batch(graph, batch_options);
+  std::vector<detect::Alarm> batch_alarms =
+      batch.Scan(victim, previous, current, victim_policy);
+  std::sort(batch_alarms.begin(), batch_alarms.end(), detect::AlarmLess);
+
+  const std::vector<detect::Alarm> stream_alarms =
+      incremental.CurrentAlarms(victim);
+  if (stream_alarms == batch_alarms) return;
+  out.push_back(Format(
+      "stream-batch: incremental detector holds %zu alarm(s), batch scan "
+      "%zu for victim AS%u",
+      stream_alarms.size(), batch_alarms.size(),
+      static_cast<unsigned>(victim)));
+  for (const detect::Alarm& alarm : stream_alarms) {
+    if (std::find(batch_alarms.begin(), batch_alarms.end(), alarm) ==
+        batch_alarms.end()) {
+      out.push_back(Format("stream-batch:   stream-only: %s (suspect AS%u)",
+                           alarm.detail.c_str(),
+                           static_cast<unsigned>(alarm.suspect)));
+    }
+  }
+  for (const detect::Alarm& alarm : batch_alarms) {
+    if (std::find(stream_alarms.begin(), stream_alarms.end(), alarm) ==
+        stream_alarms.end()) {
+      out.push_back(Format("stream-batch:   batch-only: %s (suspect AS%u)",
+                           alarm.detail.c_str(),
+                           static_cast<unsigned>(alarm.suspect)));
+    }
+  }
+}
+
+}  // namespace asppi::check

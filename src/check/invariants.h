@@ -1,0 +1,116 @@
+// Reusable invariant checkers over routing states, attack outcomes, and
+// detector alarm sets (DESIGN.md §4f).
+//
+// Every checker appends human-readable violation lines to a `Violations`
+// vector instead of asserting, so one caller can be a gtest property suite
+// (EXPECT the vector empty, print it on failure) and another the differential
+// fuzzer (collect violations across many engines and shrink the scenario
+// that produced them). Checkers re-derive the rules they verify from the
+// paper's definitions — they do not call back into the engine code under
+// test (the stability checker uses check::ReferenceEngine, which is itself
+// engine-independent by construction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/impact.h"
+#include "bgp/propagation.h"
+#include "check/reference_engine.h"
+#include "detect/detector.h"
+#include "topology/as_graph.h"
+
+namespace asppi::check {
+
+// One violation per line: "invariant-name: detail".
+using Violations = std::vector<std::string>;
+
+// Knobs for CheckPath.
+struct PathChecks {
+  Asn origin = 0;
+  // Largest legal trailing run of the origin's ASN (0 disables the bound).
+  int max_origin_padding = 0;
+  // Gao-Rexford shape: climb provider links, cross at most one peer link,
+  // then descend customer links (siblings transparent). Disable for
+  // post-attack states — stripped routes legitimately break the shape (that
+  // asymmetry is exactly what the detector's hint rules key on).
+  bool require_valley_free = true;
+};
+
+class Invariants {
+ public:
+  // --- routing-state invariants ------------------------------------------
+
+  // One stored best path at `self`: every hop pair is a real link, no loops,
+  // self not on the path, terminates at `origin`, padding bound, and
+  // (optionally) valley-free shape.
+  static void CheckPath(const topo::AsGraph& graph, Asn self,
+                        const bgp::AsPath& path, const PathChecks& checks,
+                        Violations& out);
+
+  // Whole attack-free converged state: full reachability (on connected
+  // graphs), CheckPath everywhere, customer>peer>provider preference and
+  // decision stability (no policy-legal candidate derived from a neighbor's
+  // best beats the chosen route — one ReferenceEngine::Step must be a no-op),
+  // and next-hop consistency.
+  static void CheckConvergedState(const topo::AsGraph& graph,
+                                  const bgp::PropagationResult& state,
+                                  Violations& out);
+
+  // Next-hop consistency alone: the path stored at u is exactly its
+  // neighbor v's best path plus v's per-neighbor prepends toward u. Routes
+  // learned from `skip_learned_from` (the attacker, whose exports are
+  // rewritten) are exempt; pass 0 to exempt nothing.
+  static void CheckNextHopConsistency(const topo::AsGraph& graph,
+                                      const bgp::PropagationResult& state,
+                                      Asn skip_learned_from, Violations& out);
+
+  // --- interception invariants -------------------------------------------
+
+  // Paper §II-B arithmetic on a finished attack: every post-attack best path
+  // that traverses the attacker carries exactly one trailing victim copy —
+  // the attacker removed exactly λ−1 copies, making the interception route
+  // λ−1 hops shorter than its unstripped form — while paths avoiding the
+  // attacker still carry the full per-branch padding. Interception is not
+  // blackholing: every AS keeps a route terminating at the victim. Also
+  // re-derives newly_polluted and the fractions from the two states.
+  static void CheckInterception(const topo::AsGraph& graph,
+                                const attack::AttackOutcome& outcome,
+                                Violations& out);
+
+  // --- detector invariants -----------------------------------------------
+
+  // Soundness: every high-confidence alarm in `alarms` (as returned by an
+  // AsppDetector::Scan over these monitor paths) is justified under the
+  // witness-rule definition, re-derived here by brute force: the observer's
+  // padding dropped versus `previous`, the suspect heads the observer's
+  // stripped core, and an independent witness (same chain behind the
+  // suspect, more padding) exists in `current` — or, when `victim_policy`
+  // is given, the observed padding undercuts what the victim announced
+  // toward that branch. Hint (possible) alarms are checked for their
+  // trigger conditions only.
+  static void CheckAlarmsJustified(
+      Asn victim, const std::vector<std::pair<Asn, bgp::AsPath>>& previous,
+      const std::vector<std::pair<Asn, bgp::AsPath>>& current,
+      const std::vector<detect::Alarm>& alarms,
+      const bgp::PrependPolicy* victim_policy, Violations& out);
+
+  // Completeness guard for legitimate dynamics: no high-confidence alarm at
+  // all (internally consistent snapshots can hint, never accuse).
+  static void CheckNoHighConfidence(const std::vector<detect::Alarm>& alarms,
+                                    Violations& out);
+
+  // Stream == batch: replaying `previous`→`current` monitor paths through
+  // the stream::IncrementalDetector (baseline RIB seeded from `previous`,
+  // one announcement per changed monitor, withdrawals for vanished ones)
+  // must leave the same alarm set as a batch AsppDetector::Scan under
+  // ConflictPolicy::kLatestObserved. `graph` powers the hint rules on both
+  // sides (nullptr disables them on both).
+  static void CheckStreamBatchEquivalence(
+      const topo::AsGraph* graph, Asn victim,
+      const std::vector<std::pair<Asn, bgp::AsPath>>& previous,
+      const std::vector<std::pair<Asn, bgp::AsPath>>& current,
+      const bgp::PrependPolicy* victim_policy, Violations& out);
+};
+
+}  // namespace asppi::check

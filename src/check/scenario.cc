@@ -1,0 +1,394 @@
+#include "check/scenario.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "topology/generator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace asppi::check {
+
+namespace {
+
+using util::Format;
+
+// Stream tag for the per-neighbor pad draw (distinct from every stream the
+// generator itself uses).
+constexpr std::uint64_t kPadStream = 0x70ad70ad70ad70adULL;
+
+std::string BoolStr(bool b) { return b ? "1" : "0"; }
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// Resolves a `role:index` / `asn:N` reference against a generated topology.
+// Role indices wrap modulo the population so shrunk topologies keep the
+// reference valid; an empty role falls back through the size-ordered roles.
+std::optional<Asn> ResolveRef(const topo::GeneratedTopology& gen,
+                              const std::string& ref, std::string* error) {
+  const std::vector<std::string> parts = util::Split(ref, ':');
+  if (parts.size() != 2) {
+    SetError(error, Format("bad reference '%s' (want role:index or asn:N)",
+                           ref.c_str()));
+    return std::nullopt;
+  }
+  const auto index = util::ParseUint(parts[1]);
+  if (!index.has_value()) {
+    SetError(error, Format("bad reference index in '%s'", ref.c_str()));
+    return std::nullopt;
+  }
+  if (parts[0] == "asn") {
+    const Asn asn = static_cast<Asn>(*index);
+    if (!gen.graph.HasAs(asn)) {
+      SetError(error, Format("reference '%s' names an unknown AS", ref.c_str()));
+      return std::nullopt;
+    }
+    return asn;
+  }
+  const std::vector<Asn>* role = nullptr;
+  if (parts[0] == "tier1") role = &gen.tier1;
+  else if (parts[0] == "tier2") role = &gen.tier2;
+  else if (parts[0] == "tier3") role = &gen.tier3;
+  else if (parts[0] == "stub") role = &gen.stubs;
+  else if (parts[0] == "content") role = &gen.content;
+  else {
+    SetError(error, Format("unknown role in reference '%s'", ref.c_str()));
+    return std::nullopt;
+  }
+  if (role->empty()) {
+    // Shrinking can empty a role out entirely; fall back by population.
+    for (const std::vector<Asn>* fallback :
+         {&gen.stubs, &gen.tier3, &gen.tier2, &gen.tier1, &gen.content}) {
+      if (!fallback->empty()) {
+        role = fallback;
+        break;
+      }
+    }
+  }
+  if (role->empty()) {
+    SetError(error, "topology has no ASes to resolve references against");
+    return std::nullopt;
+  }
+  return (*role)[static_cast<std::size_t>(*index) % role->size()];
+}
+
+std::vector<Asn> TopDegreeMonitors(const topo::AsGraph& graph,
+                                   std::size_t count, Asn victim,
+                                   Asn attacker) {
+  std::vector<Asn> monitors;
+  for (Asn asn : graph.AsesByDegreeDesc()) {
+    if (monitors.size() >= count) break;
+    if (asn == victim || asn == attacker) continue;
+    monitors.push_back(asn);
+  }
+  return monitors;
+}
+
+}  // namespace
+
+std::string Scenario::Serialize() const {
+  std::ostringstream os;
+  os << "# asppi differential-fuzz scenario v1\n";
+  if (!note.empty()) os << "note=" << note << "\n";
+  os << "mode=" << (mode == Mode::kGen ? "gen" : "explicit") << "\n";
+  if (mode == Mode::kGen) {
+    os << "seed=" << topo_seed << "\n";
+    os << "tier1=" << tier1 << "\n";
+    os << "tier2=" << tier2 << "\n";
+    os << "tier3=" << tier3 << "\n";
+    os << "stubs=" << stubs << "\n";
+    os << "content=" << content << "\n";
+    os << "siblings=" << sibling_pairs << "\n";
+    os << "monitors=" << num_monitors << "\n";
+    os << "perneighbor=" << BoolStr(per_neighbor_pads) << "\n";
+  } else {
+    for (const Link& link : links) {
+      os << "link=" << link.a << " " << link.b << " "
+         << topo::RelationName(link.rel_of_b) << "\n";
+    }
+    for (const Pad& pad : pads) {
+      os << "pad=" << pad.exporter << " ";
+      if (pad.neighbor == 0) {
+        os << "*";
+      } else {
+        os << pad.neighbor;
+      }
+      os << " " << pad.pads << "\n";
+    }
+    for (Asn monitor : monitor_list) os << "monitor=" << monitor << "\n";
+  }
+  os << "victim=" << victim_ref << "\n";
+  os << "attacker=" << attacker_ref << "\n";
+  os << "lambda=" << lambda << "\n";
+  os << "violate=" << BoolStr(violate_valley_free) << "\n";
+  os << "to_peers=" << BoolStr(export_stripped_to_peers) << "\n";
+  return os.str();
+}
+
+std::optional<Scenario> Scenario::Parse(std::string_view text,
+                                        std::string* error) {
+  Scenario scenario;
+  int line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = util::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      SetError(error, Format("line %d: missing '='", line_no));
+      return std::nullopt;
+    }
+    const std::string key(util::Trim(line.substr(0, eq)));
+    const std::string value(util::Trim(line.substr(eq + 1)));
+    const auto as_uint = [&]() { return util::ParseUint(value); };
+    const auto as_bool = [&]() -> std::optional<bool> {
+      if (value == "0") return false;
+      if (value == "1") return true;
+      return std::nullopt;
+    };
+
+    bool ok = true;
+    if (key == "note") {
+      scenario.note = value;
+    } else if (key == "mode") {
+      if (value == "gen") scenario.mode = Mode::kGen;
+      else if (value == "explicit") scenario.mode = Mode::kExplicit;
+      else ok = false;
+    } else if (key == "seed") {
+      const auto v = as_uint();
+      ok = v.has_value();
+      if (ok) scenario.topo_seed = *v;
+    } else if (key == "tier1" || key == "tier2" || key == "tier3" ||
+               key == "stubs" || key == "content" || key == "siblings" ||
+               key == "monitors") {
+      const auto v = as_uint();
+      ok = v.has_value();
+      if (ok) {
+        const std::size_t n = static_cast<std::size_t>(*v);
+        if (key == "tier1") scenario.tier1 = n;
+        else if (key == "tier2") scenario.tier2 = n;
+        else if (key == "tier3") scenario.tier3 = n;
+        else if (key == "stubs") scenario.stubs = n;
+        else if (key == "content") scenario.content = n;
+        else if (key == "siblings") scenario.sibling_pairs = n;
+        else scenario.num_monitors = n;
+      }
+    } else if (key == "perneighbor" || key == "violate" || key == "to_peers") {
+      const auto v = as_bool();
+      ok = v.has_value();
+      if (ok) {
+        if (key == "perneighbor") scenario.per_neighbor_pads = *v;
+        else if (key == "violate") scenario.violate_valley_free = *v;
+        else scenario.export_stripped_to_peers = *v;
+      }
+    } else if (key == "lambda") {
+      const auto v = util::ParseInt(value);
+      ok = v.has_value() && *v >= 1;
+      if (ok) scenario.lambda = static_cast<int>(*v);
+    } else if (key == "victim") {
+      scenario.victim_ref = value;
+    } else if (key == "attacker") {
+      scenario.attacker_ref = value;
+    } else if (key == "link") {
+      const std::vector<std::string> parts = util::SplitWhitespace(value);
+      Link link;
+      topo::Relation rel;
+      ok = parts.size() == 3 && util::ParseUint(parts[0]).has_value() &&
+           util::ParseUint(parts[1]).has_value() &&
+           topo::ParseRelation(parts[2], rel);
+      if (ok) {
+        link.a = static_cast<Asn>(*util::ParseUint(parts[0]));
+        link.b = static_cast<Asn>(*util::ParseUint(parts[1]));
+        link.rel_of_b = rel;
+        scenario.links.push_back(link);
+      }
+    } else if (key == "pad") {
+      const std::vector<std::string> parts = util::SplitWhitespace(value);
+      ok = parts.size() == 3 && util::ParseUint(parts[0]).has_value() &&
+           util::ParseInt(parts[2]).has_value();
+      if (ok) {
+        Pad pad;
+        pad.exporter = static_cast<Asn>(*util::ParseUint(parts[0]));
+        if (parts[1] != "*") {
+          const auto neighbor = util::ParseUint(parts[1]);
+          ok = neighbor.has_value();
+          pad.neighbor = ok ? static_cast<Asn>(*neighbor) : 0;
+        }
+        pad.pads = static_cast<int>(*util::ParseInt(parts[2]));
+        if (ok) scenario.pads.push_back(pad);
+      }
+    } else if (key == "monitor") {
+      const auto v = as_uint();
+      ok = v.has_value();
+      if (ok) scenario.monitor_list.push_back(static_cast<Asn>(*v));
+    } else {
+      SetError(error, Format("line %d: unknown key '%s'", line_no, key.c_str()));
+      return std::nullopt;
+    }
+    if (!ok) {
+      SetError(error, Format("line %d: bad value for '%s': '%s'", line_no,
+                             key.c_str(), value.c_str()));
+      return std::nullopt;
+    }
+  }
+  return scenario;
+}
+
+std::optional<Scenario> Scenario::LoadFile(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, Format("cannot open %s", path.c_str()));
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), error);
+}
+
+bool Scenario::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << Serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<ScenarioInstance> Materialize(const Scenario& scenario,
+                                            std::string* error) {
+  ScenarioInstance instance;
+  instance.lambda = scenario.lambda;
+  instance.violate_valley_free = scenario.violate_valley_free;
+  instance.export_stripped_to_peers = scenario.export_stripped_to_peers;
+
+  if (scenario.mode == Scenario::Mode::kGen) {
+    topo::GeneratorParams params;
+    params.seed = scenario.topo_seed;
+    params.num_tier1 = scenario.tier1;
+    params.num_tier2 = scenario.tier2;
+    params.num_tier3 = scenario.tier3;
+    params.num_stubs = scenario.stubs;
+    params.num_content = scenario.content;
+    params.num_sibling_pairs = scenario.sibling_pairs;
+    if (params.TotalAses() < 3) {
+      SetError(error, "generated topology needs at least 3 ASes");
+      return std::nullopt;
+    }
+    topo::GeneratedTopology gen = topo::GenerateInternetTopology(params);
+
+    const auto victim = ResolveRef(gen, scenario.victim_ref, error);
+    if (!victim.has_value()) return std::nullopt;
+    auto attacker = ResolveRef(gen, scenario.attacker_ref, error);
+    if (!attacker.has_value()) return std::nullopt;
+    if (*attacker == *victim) {
+      // Reference collision (possible after shrinking): deterministically
+      // take the next AS in registration order.
+      attacker.reset();
+      for (Asn asn : gen.graph.Ases()) {
+        if (asn != *victim) {
+          attacker = asn;
+          break;
+        }
+      }
+      if (!attacker.has_value()) {
+        SetError(error, "topology too small to host distinct victim/attacker");
+        return std::nullopt;
+      }
+    }
+    instance.victim = *victim;
+    instance.attacker = *attacker;
+    instance.graph = std::move(gen.graph);
+  } else {
+    if (scenario.links.empty()) {
+      SetError(error, "explicit scenario has no links");
+      return std::nullopt;
+    }
+    for (const Scenario::Link& link : scenario.links) {
+      if (link.a == link.b) {
+        SetError(error, Format("self-link on AS%u", link.a));
+        return std::nullopt;
+      }
+      if (instance.graph.HasLink(link.a, link.b)) {
+        SetError(error, Format("duplicate link AS%u-AS%u", link.a, link.b));
+        return std::nullopt;
+      }
+      instance.graph.AddLink(link.a, link.b, link.rel_of_b);
+    }
+    const auto resolve = [&](const std::string& ref) -> std::optional<Asn> {
+      const std::vector<std::string> parts = util::Split(ref, ':');
+      if (parts.size() != 2 || parts[0] != "asn") {
+        SetError(error, Format("explicit scenarios need asn:N references, "
+                               "got '%s'",
+                               ref.c_str()));
+        return std::nullopt;
+      }
+      const auto asn = util::ParseUint(parts[1]);
+      if (!asn.has_value() ||
+          !instance.graph.HasAs(static_cast<Asn>(*asn))) {
+        SetError(error, Format("reference '%s' names an unknown AS",
+                               ref.c_str()));
+        return std::nullopt;
+      }
+      return static_cast<Asn>(*asn);
+    };
+    const auto victim = resolve(scenario.victim_ref);
+    if (!victim.has_value()) return std::nullopt;
+    const auto attacker = resolve(scenario.attacker_ref);
+    if (!attacker.has_value()) return std::nullopt;
+    if (*victim == *attacker) {
+      SetError(error, "victim and attacker must differ");
+      return std::nullopt;
+    }
+    if (!instance.graph.ProviderCustomerAcyclic()) {
+      SetError(error, "provider-customer cycle: topology cannot converge");
+      return std::nullopt;
+    }
+    instance.victim = *victim;
+    instance.attacker = *attacker;
+  }
+
+  instance.announcement.origin = instance.victim;
+  instance.announcement.prepends.SetDefault(instance.victim, scenario.lambda);
+  if (scenario.per_neighbor_pads && scenario.lambda > 1) {
+    util::Rng rng(util::DeriveSeed(scenario.topo_seed, kPadStream));
+    for (const topo::AsGraph::Neighbor& nb :
+         instance.graph.NeighborsOf(instance.victim)) {
+      instance.announcement.prepends.SetForNeighbor(
+          instance.victim, nb.asn,
+          static_cast<int>(rng.Range(1, scenario.lambda)));
+    }
+  }
+  for (const Scenario::Pad& pad : scenario.pads) {
+    if (pad.pads < 1) {
+      SetError(error, Format("pad count %d for AS%u must be >= 1", pad.pads,
+                             pad.exporter));
+      return std::nullopt;
+    }
+    if (pad.neighbor == 0) {
+      instance.announcement.prepends.SetDefault(pad.exporter, pad.pads);
+    } else {
+      instance.announcement.prepends.SetForNeighbor(pad.exporter, pad.neighbor,
+                                                    pad.pads);
+    }
+  }
+
+  if (scenario.mode == Scenario::Mode::kExplicit &&
+      !scenario.monitor_list.empty()) {
+    for (Asn monitor : scenario.monitor_list) {
+      if (!instance.graph.HasAs(monitor)) {
+        SetError(error, Format("monitor AS%u not in topology", monitor));
+        return std::nullopt;
+      }
+      instance.monitors.push_back(monitor);
+    }
+  } else {
+    instance.monitors =
+        TopDegreeMonitors(instance.graph, scenario.num_monitors,
+                          instance.victim, instance.attacker);
+  }
+  return instance;
+}
+
+}  // namespace asppi::check

@@ -1,0 +1,100 @@
+// Fuzz scenarios: a compact, diffable text format (`.scn`) describing one
+// differential-fuzzing case — topology, victim, attacker, λ, boldness knobs,
+// monitor set — plus the machinery to materialize it into a runnable
+// ScenarioInstance (DESIGN.md §4f covers the format).
+//
+// Two modes:
+//   * `gen`: the topology comes from topology/generator with the recorded
+//     size parameters and seed; victim/attacker are `role:index` references
+//     (resolved modulo the role population, so the reference stays valid as
+//     the shrinker drives the sizes down).
+//   * `explicit`: the topology is a literal `link=` list and victim/attacker
+//     are `asn:N` references — for hand-written regression cases such as the
+//     Facebook-anomaly shape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::check {
+
+using topo::Asn;
+
+struct Scenario {
+  enum class Mode { kGen, kExplicit };
+  Mode mode = Mode::kGen;
+  // Free-form provenance line ("found by asppi_fuzz --seed 42 iter 17").
+  std::string note;
+
+  // --- gen mode ------------------------------------------------------------
+  std::uint64_t topo_seed = 1;
+  std::size_t tier1 = 3;
+  std::size_t tier2 = 6;
+  std::size_t tier3 = 10;
+  std::size_t stubs = 24;
+  std::size_t content = 2;
+  std::size_t sibling_pairs = 1;
+  // `role:index` (role ∈ tier1|tier2|tier3|stub|content, index mod population)
+  // or `asn:N`.
+  std::string victim_ref = "stub:0";
+  std::string attacker_ref = "tier2:0";
+  // Monitors = this many top-degree ASes (victim and attacker excluded).
+  std::size_t num_monitors = 8;
+  // Draw the victim's per-neighbor pads in [1, lambda] from the scenario seed
+  // instead of announcing lambda uniformly (exercises per-branch λ paths).
+  bool per_neighbor_pads = false;
+
+  // --- explicit mode -------------------------------------------------------
+  struct Link {
+    Asn a = 0;
+    Asn b = 0;
+    topo::Relation rel_of_b = topo::Relation::kCustomer;  // b's role wrt a
+  };
+  std::vector<Link> links;
+  std::vector<Asn> monitor_list;  // empty = top-degree fallback
+  struct Pad {
+    Asn exporter = 0;
+    Asn neighbor = 0;  // 0 = the exporter's default pad count
+    int pads = 1;
+  };
+  std::vector<Pad> pads;  // applied on top of the victim's lambda default
+
+  // --- both modes ----------------------------------------------------------
+  int lambda = 3;
+  bool violate_valley_free = false;
+  bool export_stripped_to_peers = true;
+
+  std::string Serialize() const;
+  static std::optional<Scenario> Parse(std::string_view text,
+                                       std::string* error = nullptr);
+  static std::optional<Scenario> LoadFile(const std::string& path,
+                                          std::string* error = nullptr);
+  bool SaveFile(const std::string& path) const;
+};
+
+// A scenario made concrete: graph built, role references resolved, prepend
+// policy assembled. Self-contained (owns the graph).
+struct ScenarioInstance {
+  topo::AsGraph graph;
+  Asn victim = 0;
+  Asn attacker = 0;
+  bgp::Announcement announcement;  // origin = victim, prepends populated
+  std::vector<Asn> monitors;
+  int lambda = 1;
+  bool violate_valley_free = false;
+  bool export_stripped_to_peers = true;
+};
+
+// Builds the instance; nullopt (with `error` filled) on unresolvable
+// references, phantom-link relations, or a victim==attacker collision that
+// cannot be repaired. Deterministic for a given scenario.
+std::optional<ScenarioInstance> Materialize(const Scenario& scenario,
+                                            std::string* error = nullptr);
+
+}  // namespace asppi::check

@@ -25,9 +25,21 @@ inline std::uint64_t SplitMix64Next(std::uint64_t& state) {
 }
 
 // Derive an independent sub-seed from (seed, stream) — used to give each
-// experiment instance its own deterministic stream.
+// experiment instance (or fuzzer shard/iteration) its own deterministic
+// stream.
+//
+// The mix runs TWO full SplitMix64 rounds with `stream` injected between
+// them. An earlier version folded the inputs linearly — seed ^ (k * stream) —
+// before a single round, so pairs with equal seed⊕k·stream collided exactly:
+// (seed, stream) and (seed ^ k·Δ·…, stream′) families produced identical
+// sub-seeds, which under sharded fuzzing meant different (seed, iteration)
+// pairs could silently explore the same scenario. Mixing each input through
+// its own nonlinear round removes that collision family; the output depends
+// on (seed, stream) only, never on which thread asks.
 inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
-  std::uint64_t s = seed ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  std::uint64_t s = seed;
+  const std::uint64_t mixed_seed = SplitMix64Next(s);
+  s = mixed_seed ^ (stream + 0x9e3779b97f4a7c15ULL);
   return SplitMix64Next(s);
 }
 
@@ -40,9 +52,22 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { Reseed(seed); }
 
   void Reseed(std::uint64_t seed) {
+    seed_ = seed;
     std::uint64_t sm = seed;
     for (auto& word : state_) word = SplitMix64Next(sm);
   }
+
+  // Forks an independent generator for sub-stream `stream`: deterministic in
+  // (this generator's seed, stream), regardless of how many values have been
+  // drawn from either generator or which thread calls. This is the supported
+  // way to give parallel shards independent randomness that reproduces
+  // bit-identically at any thread count.
+  Rng Split(std::uint64_t stream) const {
+    return Rng(DeriveSeed(seed_, stream));
+  }
+
+  // The seed this generator was (re)seeded with.
+  std::uint64_t Seed() const { return seed_; }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
@@ -126,6 +151,7 @@ class Rng {
   }
 
   std::uint64_t state_[4] = {};
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace asppi::util

@@ -1,9 +1,12 @@
 // Property-based tests of the detector: no high-confidence false positives
 // on legitimate (attack-free) routing dynamics, across seeds and random
-// legitimate traffic-engineering policies.
+// legitimate traffic-engineering policies. The soundness assertions route
+// through check::Invariants — the same checkers the differential fuzzer
+// runs — so detector properties are pinned once and enforced everywhere.
 #include <gtest/gtest.h>
 
 #include "attack/impact.h"
+#include "check/invariants.h"
 #include "detect/detector.h"
 #include "detect/evaluation.h"
 #include "detect/monitors.h"
@@ -72,12 +75,20 @@ TEST_P(DetectorProperties, NoHighConfidenceFalsePositiveOnLegitTeChange) {
 
     bgp::PropagationResult before = sim.Run(old_ann);
     bgp::PropagationResult after = sim.Run(new_ann);
-    std::vector<Alarm> alarms = detector.Scan(
-        victim, PathsOf(before, monitors), PathsOf(after, monitors));
-    for (const Alarm& alarm : alarms) {
-      EXPECT_NE(alarm.confidence, Alarm::Confidence::kHigh)
-          << "false positive: " << alarm.detail << " (suspect AS"
-          << alarm.suspect << ", victim AS" << victim << ")";
+    MonitorPaths prev_paths = PathsOf(before, monitors);
+    MonitorPaths cur_paths = PathsOf(after, monitors);
+    std::vector<Alarm> alarms = detector.Scan(victim, prev_paths, cur_paths);
+    check::Violations violations;
+    check::Invariants::CheckNoHighConfidence(alarms, violations);
+    // Any hint alarms raised must at least satisfy their trigger conditions.
+    check::Invariants::CheckAlarmsJustified(victim, prev_paths, cur_paths,
+                                            alarms, nullptr, violations);
+    // And the incremental detector must agree with this batch scan.
+    check::Invariants::CheckStreamBatchEquivalence(
+        &gen.graph, victim, prev_paths, cur_paths, nullptr, violations);
+    EXPECT_TRUE(violations.empty()) << "victim AS" << victim;
+    for (const std::string& violation : violations) {
+      ADD_FAILURE() << violation;
     }
   }
 }

@@ -1,0 +1,83 @@
+// Replays every committed `.scn` regression scenario in tests/corpus/
+// through the full differential + invariant battery. Each file is one case
+// the fuzzer (or an author) pinned: shrunk fuzz discoveries, boldness-knob
+// corners, and the Facebook-anomaly shape of paper Section III. A failure
+// here means an engine regressed against the oracle on a scenario that was
+// known-good when committed.
+//
+// ASPPI_CORPUS_DIR is injected by tests/CMakeLists.txt and points at the
+// source-tree corpus, so new .scn files are picked up without a reconfigure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/scenario.h"
+
+namespace asppi::check {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ASPPI_CORPUS_DIR)) {
+    if (entry.path().extension() == ".scn") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string TestNameOf(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = std::filesystem::path(info.param).stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+TEST(FuzzCorpus, HasAtLeastTenScenarios) {
+  EXPECT_GE(CorpusFiles().size(), 10u);
+}
+
+class FuzzCorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpusReplay, PassesFullCheckBattery) {
+  std::string error;
+  const auto scenario = Scenario::LoadFile(GetParam(), &error);
+  ASSERT_TRUE(scenario.has_value()) << GetParam() << ": " << error;
+
+  // Loading implies materializing: every committed scenario must build.
+  ASSERT_TRUE(Materialize(*scenario, &error).has_value())
+      << GetParam() << ": " << error;
+
+  const Fuzzer fuzzer(FuzzOptions{});
+  const Violations violations = fuzzer.RunScenario(*scenario);
+  EXPECT_TRUE(violations.empty()) << GetParam() << ":\n  "
+                                  << violations.front();
+  for (const std::string& violation : violations) {
+    ADD_FAILURE() << violation;
+  }
+}
+
+TEST_P(FuzzCorpusReplay, SerializationRoundTrips) {
+  // A corpus file re-serialized from its parse must parse to the same
+  // scenario — guards the format against silent field loss.
+  std::string error;
+  const auto scenario = Scenario::LoadFile(GetParam(), &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  const auto reparsed = Scenario::Parse(scenario->Serialize(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->Serialize(), scenario->Serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpusReplay,
+                         ::testing::ValuesIn(CorpusFiles()), TestNameOf);
+
+}  // namespace
+}  // namespace asppi::check

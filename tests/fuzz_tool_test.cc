@@ -1,0 +1,69 @@
+// Exit-code contract of the asppi_fuzz driver, exercised against the real
+// binary (path injected as ASPPI_FUZZ_BIN by tests/CMakeLists.txt):
+//   0 — campaign ran, no divergence;
+//   3 — at least one engine/oracle divergence (the CI-visible failure code);
+//   nonzero — flag errors.
+// Also pins the shrinker's time budget: an injected always-failing bug must
+// minimize and report well inside 30 seconds.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace asppi::check {
+namespace {
+
+int RunTool(const std::string& args) {
+  const std::string command =
+      std::string(ASPPI_FUZZ_BIN) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << command << " died abnormally";
+  return WEXITSTATUS(status);
+}
+
+TEST(FuzzTool, CleanCampaignExitsZero) {
+  EXPECT_EQ(RunTool("--iters=25 --seed=42"), 0);
+}
+
+TEST(FuzzTool, InjectedBugExitsThree) {
+  EXPECT_EQ(RunTool("--iters=2 --seed=42 --inject-bug --minimize=false"), 3);
+}
+
+TEST(FuzzTool, UnknownFlagExitsNonzeroButNotThree) {
+  const int code = RunTool("--no-such-flag");
+  EXPECT_NE(code, 0);
+  EXPECT_NE(code, 3);
+}
+
+TEST(FuzzTool, ShrinksInjectedBugUnderThirtySeconds) {
+  const std::string corpus =
+      (std::filesystem::temp_directory_path() / "asppi_fuzz_tool_test")
+          .string();
+  std::filesystem::remove_all(corpus);
+  std::filesystem::create_directories(corpus);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(RunTool("--iters=1 --seed=7 --inject-bug --out=" + corpus), 3);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+
+  // The shrunk repro landed in the corpus directory and names its origin.
+  const std::string repro = corpus + "/fuzz-seed7-iter0.scn";
+  std::ifstream in(repro);
+  ASSERT_TRUE(in.good()) << repro << " was not written";
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("mode=gen"), std::string::npos);
+  EXPECT_NE(text.str().find("seed 7"), std::string::npos);
+  std::filesystem::remove_all(corpus);
+}
+
+}  // namespace
+}  // namespace asppi::check

@@ -1,10 +1,13 @@
 // Property-based tests of the propagation engine and the attack, swept over
 // seeds, sizes, origins and λ values via parameterized gtest. These pin the
-// global invariants every experiment relies on.
+// global invariants every experiment relies on. The invariant definitions
+// live in check::Invariants — the same checkers the differential fuzzer
+// runs — so a property added there is enforced here and under fuzzing alike.
 #include <gtest/gtest.h>
 
 #include "attack/impact.h"
 #include "bgp/propagation.h"
+#include "check/invariants.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 
@@ -29,44 +32,20 @@ GeneratedTopology MakeTopo(std::uint64_t seed) {
 
 class PropagationProperties : public ::testing::TestWithParam<std::uint64_t> {
  protected:
-  // Checks the Gao-Rexford path-shape invariant: along the traffic direction
-  // the path climbs provider links, crosses at most one peer link, then
-  // descends customer links — sibling links may appear anywhere.
-  static void ExpectValleyFree(const AsGraph& graph, topo::Asn self,
-                               const AsPath& path) {
-    std::vector<topo::Asn> seq = path.DistinctSequence();
-    // Traffic goes self -> seq[0] -> ... -> origin.
-    std::vector<topo::Asn> chain;
-    chain.push_back(self);
-    chain.insert(chain.end(), seq.begin(), seq.end());
-    int phase = 0;  // 0 = uphill, 1 = crossed the peak (peer or first down)
-    bool used_peer = false;
-    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-      auto rel = graph.RelationOf(chain[i], chain[i + 1]);
-      ASSERT_TRUE(rel.has_value())
-          << "non-adjacent hop " << chain[i] << "->" << chain[i + 1];
-      switch (*rel) {
-        case Relation::kProvider:  // moving up
-          EXPECT_EQ(phase, 0) << "uphill after the peak in "
-                              << path.ToString() << " at AS" << self;
-          break;
-        case Relation::kPeer:
-          EXPECT_FALSE(used_peer)
-              << "two peer links in " << path.ToString() << " at AS" << self;
-          used_peer = true;
-          phase = 1;
-          break;
-        case Relation::kCustomer:  // moving down
-          phase = 1;
-          break;
-        case Relation::kSibling:  // transparent
-          break;
-      }
+  // Asserts a Violations vector is empty, printing every line on failure.
+  static void ExpectNoViolations(const check::Violations& violations) {
+    EXPECT_TRUE(violations.empty());
+    for (const std::string& violation : violations) {
+      ADD_FAILURE() << violation;
     }
   }
 };
 
 TEST_P(PropagationProperties, AllRoutesValleyFreeLoopFreeAndComplete) {
+  // check::Invariants::CheckConvergedState covers reachability, loop/self
+  // freedom, origin termination, the λ padding bound, the valley-free shape,
+  // decision stability against the reference oracle, and next-hop
+  // consistency — the full converged-state contract in one call.
   GeneratedTopology gen = MakeTopo(GetParam());
   PropagationSimulator sim(gen.graph);
   util::Rng rng(util::DeriveSeed(GetParam(), 2));
@@ -78,17 +57,9 @@ TEST_P(PropagationProperties, AllRoutesValleyFreeLoopFreeAndComplete) {
     PropagationResult result = sim.Run(ann);
     // Connected topology + valley-free-complete policies: everyone reachable.
     EXPECT_EQ(result.ReachableCount(), gen.graph.NumAses() - 1);
-    for (topo::Asn asn : gen.graph.Ases()) {
-      if (asn == ann.origin) continue;
-      const auto& best = result.BestAt(asn);
-      ASSERT_TRUE(best.has_value()) << "AS" << asn;
-      EXPECT_FALSE(best->path.HasLoop()) << best->path.ToString();
-      EXPECT_FALSE(best->path.Contains(asn));
-      EXPECT_EQ(best->path.OriginAs(), ann.origin);
-      // Origin padding is bounded by the announced λ.
-      EXPECT_LE(best->path.OriginPadding(), lambda);
-      ExpectValleyFree(gen.graph, asn, best->path);
-    }
+    check::Violations violations;
+    check::Invariants::CheckConvergedState(gen.graph, result, violations);
+    ExpectNoViolations(violations);
   }
 }
 
@@ -153,41 +124,45 @@ TEST_P(PropagationProperties, PollutionMonotoneInLambda) {
   }
 }
 
-TEST_P(PropagationProperties, InterceptionPreservesDelivery) {
-  // Interception != blackholing: after the attack every AS still holds a
-  // route that terminates at the victim.
+TEST_P(PropagationProperties, InterceptionInvariantsHold) {
+  // check::Invariants::CheckInterception covers the whole §II-B contract:
+  // interception != blackholing (every AS keeps a route terminating at the
+  // victim), traversing paths carry exactly one trailing victim copy,
+  // avoiding paths keep their full per-branch padding, and the pollution
+  // sets/fractions match a from-scratch re-derivation.
   GeneratedTopology gen = MakeTopo(GetParam());
   attack::AttackSimulator sim(gen.graph);
   topo::Asn victim = gen.stubs[GetParam() % gen.stubs.size()];
   topo::Asn attacker = gen.tier2[GetParam() % gen.tier2.size()];
   auto outcome = sim.RunAsppInterception(victim, attacker, 5);
-  for (topo::Asn asn : gen.graph.Ases()) {
-    if (asn == victim) continue;
-    const auto& best = outcome.after.BestAt(asn);
-    ASSERT_TRUE(best.has_value()) << "AS" << asn;
-    EXPECT_EQ(best->path.OriginAs(), victim);
-  }
+  check::Violations violations;
+  check::Invariants::CheckInterception(gen.graph, outcome, violations);
+  ExpectNoViolations(violations);
 }
 
 TEST_P(PropagationProperties, AttackedRoutesStillUseRealLinks) {
+  // CheckPath with the valley-free requirement off: post-attack routes may
+  // break the Gao-Rexford shape (that asymmetry is what the detector keys
+  // on) but must still be loop-free paths over real links ending at the
+  // victim.
   GeneratedTopology gen = MakeTopo(GetParam());
   attack::AttackSimulator sim(gen.graph);
   topo::Asn victim = gen.tier3[(GetParam() + 3) % gen.tier3.size()];
   topo::Asn attacker = gen.tier1[0];
   if (victim == attacker) return;
   auto outcome = sim.RunAsppInterception(victim, attacker, 4);
+  check::PathChecks checks;
+  checks.origin = victim;
+  checks.require_valley_free = false;
+  check::Violations violations;
   for (topo::Asn asn : gen.graph.Ases()) {
+    if (asn == victim) continue;
     const auto& best = outcome.after.BestAt(asn);
     if (!best.has_value()) continue;
-    std::vector<topo::Asn> seq = best->path.DistinctSequence();
-    if (!seq.empty()) {
-      EXPECT_TRUE(gen.graph.HasLink(asn, seq.front()));
-    }
-    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
-      EXPECT_TRUE(gen.graph.HasLink(seq[i], seq[i + 1]))
-          << seq[i] << "-" << seq[i + 1];
-    }
+    check::Invariants::CheckPath(gen.graph, asn, best->path, checks,
+                                 violations);
   }
+  ExpectNoViolations(violations);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropagationProperties,

@@ -105,6 +105,44 @@ TEST(Rng, DeriveSeedIndependentStreams) {
   EXPECT_EQ(DeriveSeed(5, 7), DeriveSeed(5, 7));
 }
 
+TEST(Rng, DeriveSeedHasNoLinearCollisionFamilies) {
+  // Regression: an earlier DeriveSeed folded its inputs linearly —
+  // SplitMix64(seed ^ (k·stream)) — so any pair with equal seed ⊕ k·stream
+  // collided exactly; e.g. (s, 0) and (s ^ k, 1) produced identical
+  // sub-seeds, silently aliasing fuzzer iterations across (seed, iteration)
+  // pairs. The two-round mix must break every such family.
+  constexpr std::uint64_t k = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t s : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    EXPECT_NE(DeriveSeed(s, 0), DeriveSeed(s ^ k, 1)) << "seed " << s;
+    EXPECT_NE(DeriveSeed(s, 1), DeriveSeed(s ^ k, 2)) << "seed " << s;
+    EXPECT_NE(DeriveSeed(s ^ (2 * k), 0), DeriveSeed(s, 2)) << "seed " << s;
+  }
+  // And a dense grid of small (seed, stream) pairs stays collision-free.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    for (std::uint64_t stream = 0; stream < 128; ++stream) {
+      outputs.insert(DeriveSeed(seed, stream));
+    }
+  }
+  EXPECT_EQ(outputs.size(), 32u * 128u);
+}
+
+TEST(Rng, SplitForksIndependentDeterministicStreams) {
+  // Split depends only on (parent seed, stream): draining the parent first
+  // must not change the fork, and equal streams fork identical sequences.
+  Rng drained(99);
+  (void)drained();
+  (void)drained();
+  Rng fork = drained.Split(5);
+  Rng fresh_fork = Rng(99).Split(5);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fork(), fresh_fork()) << "draw " << i;
+  }
+  EXPECT_NE(Rng(99).Split(5)(), Rng(99).Split(6)());
+  EXPECT_EQ(drained.Seed(), 99u);
+  EXPECT_EQ(fork.Seed(), DeriveSeed(99, 5));
+}
+
 TEST(Rng, ZipfSkewsLow) {
   Rng rng(23);
   std::size_t low = 0;

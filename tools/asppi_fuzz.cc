@@ -1,0 +1,85 @@
+// asppi_fuzz — differential fuzzing of every fast engine (propagation
+// simulator, routing tree, attack impact, batch + stream detectors) against
+// the deliberately-naive check::ReferenceEngine oracle, plus the full
+// invariant battery from check/invariants.h.
+//
+//   $ asppi_fuzz --iters=500 --seed=42 [--threads=8] [--minimize=1]
+//                [--out=tests/corpus]
+//
+// Scenario i is derived from (seed, i) alone, so the failure set is
+// bit-identical for every --threads value. Failing scenarios are shrunk to a
+// minimal topology and (with --out) serialized as replayable `.scn` files.
+//
+// Exit codes: 0 = clean run, 1 = usage error, 3 = divergence found.
+// --inject-bug is a test hook that corrupts the attack engine's outcome
+// before comparison, forcing a divergence on every scenario — the death tests
+// use it to pin the exit code and shrinker behaviour.
+#include <cstdio>
+
+#include "bench/experiment.h"
+#include "check/fuzzer.h"
+#include "util/table.h"
+
+using namespace asppi;
+
+int main(int argc, char** argv) {
+  bench::Experiment e("asppi_fuzz",
+                      "differential fuzzing: fast engines vs the O(V·E) "
+                      "reference oracle + invariant battery");
+  e.WithThreadsFlag();
+  e.Flags().DefineUint("iters", 100, "scenarios to fuzz");
+  e.Flags().DefineUint("seed", 42,
+                       "campaign seed (scenario i derives from (seed, i))");
+  e.Flags().DefineBool("minimize", true,
+                       "shrink failing scenarios before reporting");
+  e.Flags().DefineString("out", "",
+                         "directory to write .scn repros of failures");
+  e.Flags().DefineUint("shrink-budget", 200,
+                       "max scenario evaluations per shrink");
+  e.Flags().DefineBool("inject-bug", false,
+                       "test hook: corrupt the attack engine's outcome so "
+                       "every scenario diverges");
+  if (!e.ParseFlags(argc, argv)) return 1;
+  e.PrintHeader();
+
+  check::FuzzOptions options;
+  options.seed = e.Flags().GetUint("seed");
+  options.iterations = static_cast<std::size_t>(e.Flags().GetUint("iters"));
+  options.minimize = e.Flags().GetBool("minimize");
+  options.inject_bug = e.Flags().GetBool("inject-bug");
+  options.corpus_dir = e.Flags().GetString("out");
+  options.shrink_budget =
+      static_cast<std::size_t>(e.Flags().GetUint("shrink-budget"));
+  options.pool = e.Pool();
+
+  const check::Fuzzer fuzzer(options);
+  const check::FuzzResult result = fuzzer.Run();
+
+  util::Table table({"iteration", "ases", "lambda", "violations", "repro"});
+  for (const check::FuzzFailure& failure : result.failures) {
+    table.Row()
+        .Cell(static_cast<std::uint64_t>(failure.iteration))
+        .Cell(static_cast<std::uint64_t>(
+            failure.scenario.tier1 + failure.scenario.tier2 +
+            failure.scenario.tier3 + failure.scenario.stubs +
+            failure.scenario.content))
+        .Cell(failure.scenario.lambda)
+        .Cell(static_cast<std::uint64_t>(failure.violations.size()))
+        .Cell(failure.repro_path.empty() ? "-" : failure.repro_path);
+  }
+  if (!result.failures.empty()) {
+    e.PrintTable(table);
+    for (const check::FuzzFailure& failure : result.failures) {
+      std::printf("--- iteration %zu ---\n", failure.iteration);
+      for (const std::string& violation : failure.violations) {
+        std::printf("  %s\n", violation.c_str());
+      }
+      std::printf("%s", failure.scenario.Serialize().c_str());
+    }
+  } else {
+    e.RecordTable(table);
+  }
+  e.Note("%zu scenario(s), %zu divergence(s)", result.iterations,
+         result.failures.size());
+  return e.Finish(result.Clean() ? 0 : 3);
+}
