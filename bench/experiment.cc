@@ -10,6 +10,7 @@
 
 #include "topology/serialization.h"
 #include "util/check.h"
+#include "util/strings.h"
 #include "util/json.h"
 #include "util/metrics.h"
 
@@ -127,6 +128,34 @@ bool Experiment::LoadTopology(const std::string& path, topo::AsGraph* graph) {
     std::fprintf(stderr, "error reading topology: %s\n", err.c_str());
     return false;
   }
+  return true;
+}
+
+const topo::AsGraph* Experiment::LoadTopologyOrSnapshot(
+    const std::string& path, topo::AsGraph* graph, data::Snapshot* snapshot) {
+  if (data::Snapshot::SniffFile(path)) {
+    std::string err = data::Snapshot::Load(path, *snapshot);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error reading snapshot: %s\n", err.c_str());
+      return nullptr;
+    }
+    return &snapshot->Graph();
+  }
+  if (!LoadTopology(path, graph)) return nullptr;
+  return graph;
+}
+
+bool Experiment::AsnFlag(const std::string& name, topo::Asn* out) const {
+  const std::string& text = flags_.GetText(name);
+  const std::optional<std::uint32_t> asn = util::ParseAsn(text);
+  if (!asn.has_value()) {
+    std::fprintf(stderr,
+                 "error: --%s='%s' is not a valid AS number "
+                 "(decimal, 0..4294967295)\n",
+                 name.c_str(), text.c_str());
+    return false;
+  }
+  *out = static_cast<topo::Asn>(*asn);
   return true;
 }
 

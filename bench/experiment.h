@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "attack/baseline_cache.h"
+#include "data/snapshot.h"
 #include "topology/generator.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -79,6 +80,20 @@ class Experiment {
   // Reads an as-rel topology file into `graph`. On failure prints the shared
   // error line to stderr and returns false; main() should return 1.
   bool LoadTopology(const std::string& path, topo::AsGraph* graph);
+
+  // Loads `path` as either a binary snapshot (when it starts with the
+  // snapshot magic — see data/snapshot.h) or an as-rel text file, so every
+  // tool accepts both formats through one flag. On snapshot load `*snapshot`
+  // is filled and the returned pointer aims at its graph; on text load
+  // `*graph` is filled. Returns nullptr on failure (error printed).
+  const topo::AsGraph* LoadTopologyOrSnapshot(const std::string& path,
+                                              topo::AsGraph* graph,
+                                              data::Snapshot* snapshot);
+
+  // Parses the flag `name` as an AS number via util::ParseAsn (strict:
+  // decimal digits only, must fit in 32 bits). On failure prints the shared
+  // error line and returns false; main() should return 1.
+  bool AsnFlag(const std::string& name, topo::Asn* out) const;
 
   // Thread pool sized by --threads (lazily built; requires a threads flag).
   // Outputs are bit-identical for any --threads value.

@@ -1,0 +1,354 @@
+// perf_serve — the serve subsystem's performance harness:
+//
+//   1. Loader comparison: cold text-format load vs snapshot mmap load of the
+//      same corpus, so the snapshot speedup is tracked in the perf
+//      trajectory (DESIGN.md §4g).
+//   2. Closed-loop TCP loadgen: N client connections issue a fixed what-if
+//      request mix back-to-back against a live Server and report p50/p99
+//      end-to-end latency — once with the result cache enabled and once
+//      disabled (the cache-hit ablation).
+//   3. Overload shedding: a deliberately tiny admission bound under the same
+//      loadgen must produce `overloaded` responses (bounded queues shedding
+//      load) rather than unbounded buffering.
+//
+// --smoke shrinks everything for CI (seconds of work); its JSON run report
+// is the artifact the CI serve job uploads.
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench/experiment.h"
+#include "data/snapshot.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "topology/serialization.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace asppi;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One closed-loop client: connects, issues `requests` lines back-to-back
+// (waiting for each response), records per-request milliseconds.
+struct ClientResult {
+  std::vector<double> latencies_ms;
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  std::size_t errors = 0;
+};
+
+ClientResult RunClient(int port, const std::vector<std::string>& requests) {
+  ClientResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+  std::string buffer;
+  char chunk[4096];
+  for (const std::string& request : requests) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    bool write_ok = true;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) {
+        write_ok = false;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (!write_ok) break;
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (nl == std::string::npos) break;
+    const std::string response = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+    result.latencies_ms.push_back(MsSince(start));
+    if (response.find("\"ok\":true") != std::string::npos) {
+      ++result.ok;
+    } else if (response.find("overloaded") != std::string::npos) {
+      ++result.overloaded;
+    } else {
+      ++result.errors;
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+// Fans `clients` concurrent closed-loop clients out against `port` and
+// merges their results.
+ClientResult RunLoad(int port, std::size_t clients,
+                     const std::vector<std::string>& requests) {
+  std::vector<ClientResult> results(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = RunClient(port, requests); });
+  }
+  for (auto& thread : threads) thread.join();
+  ClientResult merged;
+  for (const ClientResult& r : results) {
+    merged.latencies_ms.insert(merged.latencies_ms.end(),
+                               r.latencies_ms.begin(), r.latencies_ms.end());
+    merged.ok += r.ok;
+    merged.overloaded += r.overloaded;
+    merged.errors += r.errors;
+  }
+  return merged;
+}
+
+std::string ImpactRequest(topo::Asn victim, topo::Asn attacker) {
+  return "{\"op\":\"impact\",\"victim\":" + std::to_string(victim) +
+         ",\"attacker\":" + std::to_string(attacker) + "}";
+}
+
+std::string RouteRequest(topo::Asn origin, topo::Asn observer) {
+  return "{\"op\":\"route\",\"origin\":" + std::to_string(origin) +
+         ",\"observer\":" + std::to_string(observer) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Experiment e("perf_serve",
+                      "serve subsystem: snapshot-vs-text load, closed-loop "
+                      "loadgen p50/p99, cache ablation, overload shedding");
+  e.WithTopologyFlags();
+  e.Flags().DefineBool("smoke", false, "tiny run for CI");
+  e.Flags().DefineUint("clients", 8, "concurrent loadgen connections");
+  e.Flags().DefineUint("requests", 200, "requests per client");
+  e.Flags().DefineUint("pairs", 8,
+                       "distinct (victim, attacker) pairs in the request mix");
+  e.Flags().DefineUint("load-reps", 5,
+                       "repetitions of each loader timing measurement");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  topo::GeneratorParams params = e.Params();
+  std::size_t clients = static_cast<std::size_t>(e.Flags().GetUint("clients"));
+  std::size_t requests_per_client =
+      static_cast<std::size_t>(e.Flags().GetUint("requests"));
+  if (e.Flags().GetBool("smoke")) {
+    params.num_tier2 = 40;
+    params.num_tier3 = 120;
+    params.num_stubs = 600;
+    params.num_content = 5;
+    clients = 4;
+    requests_per_client = 40;
+  }
+  const topo::GeneratedTopology& gen = e.GenerateTopology(params);
+  const topo::AsGraph& graph = gen.graph;
+
+  // ---- Phase 1: loader comparison (text parse vs snapshot mmap). ----------
+  const std::string topo_path = "perf_serve.tmp.topo";
+  const std::string snap_path = "perf_serve.tmp.snap";
+  topo::WriteAsRelFile(graph, topo_path);
+
+  const std::vector<topo::Asn> by_degree = graph.AsesByDegreeDesc();
+  const std::size_t num_pairs = std::min<std::size_t>(
+      static_cast<std::size_t>(e.Flags().GetUint("pairs")),
+      by_degree.size() / 2);
+  bgp::PrependPolicy policy;
+  std::vector<std::shared_ptr<const bgp::PropagationResult>> baselines;
+  {
+    attack::BaselineCache cache(graph);
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      bgp::Announcement announcement;
+      announcement.origin = by_degree[by_degree.size() - 1 - i];  // stub-ish
+      announcement.prepends.SetDefault(announcement.origin, 4);
+      baselines.push_back(cache.Get(announcement));
+    }
+  }
+  // Two snapshots: a bare one for the like-for-like loader comparison
+  // (text load carries no baselines either), and a full one that feeds the
+  // server phases and the warm-start-vs-reconverge comparison.
+  const std::string bare_snap_path = "perf_serve.tmp.bare.snap";
+  std::string err = data::WriteSnapshotFile(bare_snap_path, graph, policy, {},
+                                            "perf_serve");
+  if (err.empty()) {
+    err = data::WriteSnapshotFile(snap_path, graph, policy, baselines,
+                                  "perf_serve");
+  }
+  if (!err.empty()) {
+    std::fprintf(stderr, "error writing snapshot: %s\n", err.c_str());
+    return 1;
+  }
+
+  const std::size_t reps =
+      std::max<std::size_t>(1, e.Flags().GetUint("load-reps"));
+  double text_ms = 0.0;
+  double snap_ms = 0.0;
+  double warm_ms = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    topo::AsGraph reloaded;
+    err = topo::ReadAsRelFile(topo_path, reloaded);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error re-reading topology: %s\n", err.c_str());
+      return 1;
+    }
+    text_ms += MsSince(start);
+
+    start = std::chrono::steady_clock::now();
+    data::Snapshot snapshot;
+    err = data::Snapshot::Load(bare_snap_path, snapshot);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error re-reading snapshot: %s\n", err.c_str());
+      return 1;
+    }
+    snap_ms += MsSince(start);
+
+    start = std::chrono::steady_clock::now();
+    data::Snapshot full;
+    err = data::Snapshot::Load(snap_path, full);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error re-reading snapshot: %s\n", err.c_str());
+      return 1;
+    }
+    warm_ms += MsSince(start);
+  }
+  text_ms /= static_cast<double>(reps);
+  snap_ms /= static_cast<double>(reps);
+  warm_ms /= static_cast<double>(reps);
+  e.Note("loader: text %.2f ms, snapshot %.2f ms (%.1fx)%s", text_ms, snap_ms,
+         snap_ms > 0.0 ? text_ms / snap_ms : 0.0,
+         snap_ms < text_ms ? "" : "  ** snapshot not faster **");
+
+  // Warm-start story: restoring all checkpointed baselines from the full
+  // snapshot vs re-converging them from scratch.
+  double converge_ms = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    attack::BaselineCache cache(graph);
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      bgp::Announcement announcement;
+      announcement.origin = by_degree[by_degree.size() - 1 - i];
+      announcement.prepends.SetDefault(announcement.origin, 4);
+      (void)cache.Get(announcement);
+    }
+    converge_ms = MsSince(start);
+  }
+  e.Note("warm start: restore %zu baseline(s) %.2f ms vs re-converge %.2f ms "
+         "(%.1fx)",
+         baselines.size(), warm_ms - snap_ms, converge_ms,
+         warm_ms - snap_ms > 0.0 ? converge_ms / (warm_ms - snap_ms) : 0.0);
+
+  // ---- Phase 2: closed-loop loadgen, cache on vs off. ---------------------
+  data::Snapshot snapshot;
+  err = data::Snapshot::Load(snap_path, snapshot);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error loading snapshot: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Request mix: impact + route over a small pair set, repeated — so the
+  // steady state is cache-hit dominated when the cache is on.
+  std::vector<std::string> requests;
+  requests.reserve(requests_per_client);
+  for (std::size_t i = 0; i < requests_per_client; ++i) {
+    const std::size_t pair = i % std::max<std::size_t>(1, num_pairs);
+    const topo::Asn victim = by_degree[by_degree.size() - 1 - pair];
+    const topo::Asn attacker = by_degree[pair];
+    if (i % 2 == 0) {
+      requests.push_back(ImpactRequest(victim, attacker));
+    } else {
+      requests.push_back(RouteRequest(victim, attacker));
+    }
+  }
+
+  util::Table table({"mode", "clients", "requests", "ok", "overloaded",
+                     "throughput_rps", "p50_ms", "p99_ms", "cache_hit_pct"});
+  for (const bool cache_on : {true, false}) {
+    serve::ServiceOptions service_options;
+    service_options.cache_capacity = cache_on ? 4096 : 0;
+    serve::QueryService service(snapshot.Graph(), snapshot.Policy(),
+                                service_options);
+    service.WarmBaselines(snapshot.Baselines());
+    serve::Server server(&service, e.Pool(), serve::ServerOptions{});
+    err = server.Start();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error starting server: %s\n", err.c_str());
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    ClientResult load = RunLoad(server.Port(), clients, requests);
+    const double wall_ms = MsSince(start);
+    server.Stop();
+
+    const util::ShardedLruCache::Stats stats = service.Cache().GetStats();
+    const double lookups = static_cast<double>(stats.hits + stats.misses);
+    const double hit_pct =
+        lookups > 0.0 ? 100.0 * static_cast<double>(stats.hits) / lookups : 0.0;
+    const double rps = wall_ms > 0.0
+                           ? 1000.0 * static_cast<double>(load.ok) / wall_ms
+                           : 0.0;
+    table.Row()
+        .Cell(cache_on ? "cache" : "no-cache")
+        .Cell(static_cast<std::uint64_t>(clients))
+        .Cell(static_cast<std::uint64_t>(load.latencies_ms.size()))
+        .Cell(static_cast<std::uint64_t>(load.ok))
+        .Cell(static_cast<std::uint64_t>(load.overloaded))
+        .Cell(rps, 1)
+        .Cell(util::Quantile(load.latencies_ms, 0.50), 3)
+        .Cell(util::Quantile(load.latencies_ms, 0.99), 3)
+        .Cell(hit_pct, 1);
+    if (load.errors != 0) {
+      e.Note("WARNING: %zu error responses in %s mode", load.errors,
+             cache_on ? "cache" : "no-cache");
+    }
+  }
+
+  // ---- Phase 3: overload shedding under a saturating loadgen. -------------
+  {
+    serve::ServiceOptions service_options;
+    serve::QueryService service(snapshot.Graph(), snapshot.Policy(),
+                                service_options);
+    service.WarmBaselines(snapshot.Baselines());
+    serve::ServerOptions server_options;
+    server_options.max_inflight = 1;  // deliberately tiny admission bound
+    serve::Server server(&service, e.Pool(), server_options);
+    err = server.Start();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error starting server: %s\n", err.c_str());
+      return 1;
+    }
+    ClientResult load = RunLoad(server.Port(), std::max<std::size_t>(clients, 4),
+                                requests);
+    server.Stop();
+    e.Note("shedding: %zu ok, %zu overloaded under max_inflight=1 "
+           "(%s load shedding)",
+           load.ok, load.overloaded,
+           load.overloaded > 0 ? "bounded-queue" : "** no observed **");
+  }
+
+  e.PrintTable(table);
+  std::remove(topo_path.c_str());
+  std::remove(snap_path.c_str());
+  std::remove(bare_snap_path.c_str());
+  return e.Finish();
+}

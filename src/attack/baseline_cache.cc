@@ -66,6 +66,18 @@ std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
   return future.get();
 }
 
+void BaselineCache::Put(
+    std::shared_ptr<const bgp::PropagationResult> baseline) {
+  const std::string key = KeyOf(baseline->GetAnnouncement());
+  std::promise<std::shared_ptr<const bgp::PropagationResult>> promise;
+  auto future = promise.get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!entries_.emplace(key, future).second) return;  // already present
+  }
+  promise.set_value(std::move(baseline));
+}
+
 std::size_t BaselineCache::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -38,6 +38,12 @@ class BaselineCache {
   std::shared_ptr<const bgp::PropagationResult> Get(
       const bgp::Announcement& announcement);
 
+  // Pre-seeds the entry for `baseline`'s announcement (snapshot warm-load:
+  // data/snapshot.cc restores checkpointed baselines straight into the
+  // cache). A later Get() for the same announcement is a hit; Put over an
+  // existing entry is a no-op so a computed state is never replaced.
+  void Put(std::shared_ptr<const bgp::PropagationResult> baseline);
+
   // Number of memoized baselines. Hit/miss accounting lives in the metrics
   // registry (see the header comment), not on the instance.
   std::size_t Size() const;

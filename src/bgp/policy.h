@@ -59,6 +59,12 @@ class PrependPolicy {
 
   bool Empty() const { return defaults_.empty() && overrides_.empty(); }
 
+  // Raw configuration, for serializers (data/snapshot.cc).
+  const std::map<Asn, int>& Defaults() const { return defaults_; }
+  const std::map<std::pair<Asn, Asn>, int>& Overrides() const {
+    return overrides_;
+  }
+
  private:
   std::map<Asn, int> defaults_;
   std::map<std::pair<Asn, Asn>, int> overrides_;

@@ -54,6 +54,31 @@ double PropagationResult::FractionTraversing(Asn x) const {
          static_cast<double>(n - 2);
 }
 
+PropagationResult PropagationResult::Restore(
+    const topo::AsGraph& graph, Announcement announcement, int rounds,
+    std::vector<std::optional<Route>> best, std::vector<int> first_change_round,
+    std::vector<std::vector<std::optional<Route>>> rib_in,
+    std::vector<std::vector<std::uint8_t>> sent) {
+  const std::size_t n = graph.NumAses();
+  ASPPI_CHECK(best.size() == n && first_change_round.size() == n &&
+              rib_in.size() == n && sent.size() == n)
+      << "checkpoint shape does not match the graph";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t degree = graph.Degree(graph.AsnAt(i));
+    ASPPI_CHECK(rib_in[i].size() == degree && sent[i].size() == degree)
+        << "checkpoint adjacency shape does not match the graph";
+  }
+  PropagationResult result;
+  result.graph_ = &graph;
+  result.announcement_ = std::move(announcement);
+  result.rounds_ = rounds;
+  result.best_ = std::move(best);
+  result.first_change_round_ = std::move(first_change_round);
+  result.rib_in_ = std::move(rib_in);
+  result.sent_ = std::move(sent);
+  return result;
+}
+
 std::size_t PropagationResult::ReachableCount() const {
   std::size_t count = 0;
   for (std::size_t i = 0; i < best_.size(); ++i) {

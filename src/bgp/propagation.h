@@ -64,6 +64,28 @@ class PropagationResult {
   const Announcement& GetAnnouncement() const { return announcement_; }
   const topo::AsGraph& Graph() const { return *graph_; }
 
+  // --- checkpoint access (data/snapshot.cc) -------------------------------
+  // The full converged state, exposed so a snapshot can persist it and
+  // Restore() can rebuild a result that Resume() continues from
+  // bit-identically to the original. All vectors are indexed by the graph's
+  // dense AS index; rib_in/sent are indexed [as][adjacency slot].
+  const std::vector<std::optional<Route>>& BestRoutes() const { return best_; }
+  const std::vector<int>& FirstChangeRounds() const {
+    return first_change_round_;
+  }
+  const std::vector<std::vector<std::optional<Route>>>& RibIn() const {
+    return rib_in_;
+  }
+  const std::vector<std::vector<std::uint8_t>>& Sent() const { return sent_; }
+
+  // Rebuilds a result from checkpointed state. Aborts if the vector shapes
+  // do not match `graph` (snapshot loaders validate sizes first).
+  static PropagationResult Restore(
+      const topo::AsGraph& graph, Announcement announcement, int rounds,
+      std::vector<std::optional<Route>> best, std::vector<int> first_change_round,
+      std::vector<std::vector<std::optional<Route>>> rib_in,
+      std::vector<std::vector<std::uint8_t>> sent);
+
   // ASes (other than `x` and the origin) whose best path traverses AS `x`.
   std::vector<Asn> AsesTraversing(Asn x) const;
   // |AsesTraversing(x)| / (NumAses - 2): the paper's pollution metric

@@ -1,0 +1,555 @@
+#include "data/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace asppi::data {
+
+namespace {
+
+struct SnapshotMetrics {
+  util::Counter writes{"data.snapshot.writes"};
+  util::Counter loads{"data.snapshot.loads"};
+  util::Counter load_errors{"data.snapshot.load_errors"};
+  util::Timer load_time{"data.snapshot.load"};
+};
+
+SnapshotMetrics& Instr() {
+  static SnapshotMetrics* m = new SnapshotMetrics();
+  return *m;
+}
+
+enum SectionType : std::uint32_t {
+  kInfo = 1,
+  kTopology = 2,
+  kPolicy = 3,
+  kBaselines = 4,
+};
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
+constexpr std::size_t kSectionEntrySize = 4 + 4 + 8 + 8;
+// Relations are stored as their enum byte; anything above kSibling is
+// corruption the CRC missed (or a crafted file) and must not reach a cast.
+constexpr std::uint8_t kMaxRelationByte = 3;
+
+// --- byte-packed little-endian encoding -----------------------------------
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& Bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool I32(std::int32_t* v) {
+    std::uint32_t u;
+    if (!U32(&u)) return false;
+    std::memcpy(v, &u, sizeof(*v));
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool Str(std::string* s) {
+    std::uint32_t len;
+    if (!U32(&len) || pos_ + len > size_) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- route / policy / state encodings --------------------------------------
+
+void WriteRoute(ByteWriter& w, const bgp::Route& route) {
+  w.U32(static_cast<std::uint32_t>(route.path.Hops().size()));
+  for (topo::Asn hop : route.path.Hops()) w.U32(hop);
+  w.U32(route.learned_from);
+  w.U8(static_cast<std::uint8_t>(route.rel));
+  w.U8(static_cast<std::uint8_t>(route.effective));
+}
+
+bool ReadRoute(ByteReader& r, bgp::Route* route) {
+  std::uint32_t len;
+  if (!r.U32(&len)) return false;
+  std::vector<topo::Asn> hops(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (!r.U32(&hops[i])) return false;
+  }
+  route->path = bgp::AsPath(std::move(hops));
+  std::uint8_t rel, effective;
+  if (!r.U32(&route->learned_from) || !r.U8(&rel) || !r.U8(&effective)) {
+    return false;
+  }
+  if (rel > kMaxRelationByte || effective > kMaxRelationByte) return false;
+  route->rel = static_cast<topo::Relation>(rel);
+  route->effective = static_cast<topo::Relation>(effective);
+  return true;
+}
+
+void WritePolicy(ByteWriter& w, const bgp::PrependPolicy& policy) {
+  w.U64(policy.Defaults().size());
+  for (const auto& [asn, pads] : policy.Defaults()) {
+    w.U32(asn);
+    w.I32(pads);
+  }
+  w.U64(policy.Overrides().size());
+  for (const auto& [key, pads] : policy.Overrides()) {
+    w.U32(key.first);
+    w.U32(key.second);
+    w.I32(pads);
+  }
+}
+
+bool ReadPolicy(ByteReader& r, bgp::PrependPolicy* policy) {
+  std::uint64_t num_defaults;
+  if (!r.U64(&num_defaults)) return false;
+  for (std::uint64_t i = 0; i < num_defaults; ++i) {
+    std::uint32_t asn;
+    std::int32_t pads;
+    if (!r.U32(&asn) || !r.I32(&pads)) return false;
+    policy->SetDefault(asn, pads);
+  }
+  std::uint64_t num_overrides;
+  if (!r.U64(&num_overrides)) return false;
+  for (std::uint64_t i = 0; i < num_overrides; ++i) {
+    std::uint32_t exporter, neighbor;
+    std::int32_t pads;
+    if (!r.U32(&exporter) || !r.U32(&neighbor) || !r.I32(&pads)) return false;
+    policy->SetForNeighbor(exporter, neighbor, pads);
+  }
+  return true;
+}
+
+std::string BuildTopologySection(const topo::AsGraph& graph) {
+  ByteWriter w;
+  w.U64(graph.NumAses());
+  for (topo::Asn asn : graph.Ases()) w.U32(asn);
+  w.U64(graph.NumLinks());
+  // Each link exactly once, stored as (a, b, rel-of-b-to-a) with the relation
+  // never kProvider: provider↔customer links appear as kCustomer only in the
+  // provider's adjacency list, and the symmetric peer/sibling links are
+  // emitted from the lower-ASN side.
+  for (topo::Asn a : graph.Ases()) {
+    for (const topo::AsGraph::Neighbor& n : graph.NeighborsOf(a)) {
+      if (n.rel == topo::Relation::kProvider) continue;
+      if (n.rel != topo::Relation::kCustomer && n.asn < a) continue;
+      w.U32(a);
+      w.U32(n.asn);
+      w.U8(static_cast<std::uint8_t>(n.rel));
+    }
+  }
+  return w.Bytes();
+}
+
+std::string ParseTopologySection(ByteReader r, topo::AsGraph* graph) {
+  std::uint64_t num_ases;
+  if (!r.U64(&num_ases)) return "truncated AS count";
+  for (std::uint64_t i = 0; i < num_ases; ++i) {
+    std::uint32_t asn;
+    if (!r.U32(&asn)) return "truncated AS list";
+    graph->AddAs(asn);
+  }
+  if (graph->NumAses() != num_ases) return "duplicate ASN in AS list";
+  std::uint64_t num_links;
+  if (!r.U64(&num_links)) return "truncated link count";
+  for (std::uint64_t i = 0; i < num_links; ++i) {
+    std::uint32_t a, b;
+    std::uint8_t rel;
+    if (!r.U32(&a) || !r.U32(&b) || !r.U8(&rel)) return "truncated link list";
+    if (rel > kMaxRelationByte) return "invalid relation code";
+    if (rel == static_cast<std::uint8_t>(topo::Relation::kProvider)) {
+      return "link stored from the customer side";
+    }
+    if (a == b) return "self-link";
+    if (!graph->HasAs(a) || !graph->HasAs(b)) return "link to unknown AS";
+    if (graph->RelationOf(a, b).has_value()) return "duplicate link";
+    graph->AddLink(a, b, static_cast<topo::Relation>(rel));
+  }
+  if (!r.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+// One checkpointed baseline: the announcement plus the full converged state.
+// Adj-RIB-In and sent entries are keyed by neighbor ASN (not by raw slot
+// index) so a state restores correctly into any graph with the same link
+// set, regardless of adjacency-list insertion order.
+void WriteBaseline(ByteWriter& w, const topo::AsGraph& graph,
+                   const bgp::PropagationResult& state) {
+  w.U32(state.GetAnnouncement().origin);
+  WritePolicy(w, state.GetAnnouncement().prepends);
+  w.I32(state.Rounds());
+  const std::size_t n = graph.NumAses();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& best = state.BestRoutes()[i];
+    w.U8(best.has_value() ? 1 : 0);
+    if (best.has_value()) WriteRoute(w, *best);
+    w.I32(state.FirstChangeRounds()[i]);
+    const auto neighbors = graph.NeighborsOf(graph.AsnAt(i));
+    w.U32(static_cast<std::uint32_t>(neighbors.size()));
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      w.U32(neighbors[slot].asn);
+      w.U8(state.Sent()[i][slot]);
+      const auto& route = state.RibIn()[i][slot];
+      w.U8(route.has_value() ? 1 : 0);
+      if (route.has_value()) WriteRoute(w, *route);
+    }
+  }
+}
+
+std::string ReadBaseline(
+    ByteReader& r, const topo::AsGraph& graph,
+    std::shared_ptr<const bgp::PropagationResult>* out) {
+  bgp::Announcement announcement;
+  if (!r.U32(&announcement.origin)) return "truncated origin";
+  if (!graph.HasAs(announcement.origin)) return "unknown origin AS";
+  if (!ReadPolicy(r, &announcement.prepends)) return "truncated policy";
+  std::int32_t rounds;
+  if (!r.I32(&rounds)) return "truncated round count";
+
+  const std::size_t n = graph.NumAses();
+  std::vector<std::optional<bgp::Route>> best(n);
+  std::vector<int> first_change(n);
+  std::vector<std::vector<std::optional<bgp::Route>>> rib_in(n);
+  std::vector<std::vector<std::uint8_t>> sent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t has_best;
+    if (!r.U8(&has_best)) return "truncated best route";
+    if (has_best != 0) {
+      bgp::Route route;
+      if (!ReadRoute(r, &route)) return "malformed best route";
+      best[i] = std::move(route);
+    }
+    std::int32_t round;
+    if (!r.I32(&round)) return "truncated change round";
+    first_change[i] = round;
+
+    const topo::Asn asn = graph.AsnAt(i);
+    const auto neighbors = graph.NeighborsOf(asn);
+    std::uint32_t num_slots;
+    if (!r.U32(&num_slots)) return "truncated slot count";
+    if (num_slots != neighbors.size()) return "slot count mismatch";
+    rib_in[i].resize(neighbors.size());
+    sent[i].assign(neighbors.size(), 0);
+    for (std::uint32_t k = 0; k < num_slots; ++k) {
+      std::uint32_t neighbor;
+      std::uint8_t sent_flag, has_route;
+      if (!r.U32(&neighbor) || !r.U8(&sent_flag) || !r.U8(&has_route)) {
+        return "truncated RIB entry";
+      }
+      // Resolve the neighbor to this graph's slot.
+      std::size_t slot = neighbors.size();
+      for (std::size_t s = 0; s < neighbors.size(); ++s) {
+        if (neighbors[s].asn == neighbor) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot == neighbors.size()) return "RIB entry for non-neighbor";
+      sent[i][slot] = sent_flag != 0 ? 1 : 0;
+      if (has_route != 0) {
+        bgp::Route route;
+        if (!ReadRoute(r, &route)) return "malformed RIB route";
+        rib_in[i][slot] = std::move(route);
+      }
+    }
+  }
+  *out = std::make_shared<const bgp::PropagationResult>(
+      bgp::PropagationResult::Restore(graph, std::move(announcement), rounds,
+                                      std::move(best), std::move(first_change),
+                                      std::move(rib_in), std::move(sent)));
+  return "";
+}
+
+// Read-only mmap of a whole file; falls back to nothing (Load reports the
+// error) when the file cannot be opened or mapped.
+class MappedFile {
+ public:
+  ~MappedFile() {
+    if (data_ != nullptr && data_ != MAP_FAILED) munmap(data_, size_);
+    if (fd_ >= 0) close(fd_);
+  }
+
+  std::string Open(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) return "cannot open file";
+    struct stat st{};
+    if (fstat(fd_, &st) != 0) return "cannot stat file";
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) return "empty file";
+    data_ = mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (data_ == MAP_FAILED) {
+      data_ = nullptr;
+      return "mmap failed";
+    }
+    return "";
+  }
+
+  const unsigned char* Data() const {
+    return static_cast<const unsigned char*>(data_);
+  }
+  std::size_t Size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+struct SectionEntry {
+  std::uint32_t type = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+}  // namespace
+
+std::string WriteSnapshotFile(
+    const std::string& path, const topo::AsGraph& graph,
+    const bgp::PrependPolicy& policy,
+    const std::vector<std::shared_ptr<const bgp::PropagationResult>>&
+        baselines,
+    const std::string& creator) {
+  ByteWriter info;
+  info.Str(creator);
+  info.U64(graph.NumAses());
+  info.U64(graph.NumLinks());
+  info.U64(baselines.size());
+
+  ByteWriter policy_section;
+  WritePolicy(policy_section, policy);
+
+  ByteWriter baseline_section;
+  baseline_section.U64(baselines.size());
+  for (const auto& baseline : baselines) {
+    if (baseline == nullptr || &baseline->Graph() != &graph) {
+      return "baseline was not computed over the snapshot graph";
+    }
+    WriteBaseline(baseline_section, graph, *baseline);
+  }
+
+  const std::string topology = BuildTopologySection(graph);
+  const std::pair<std::uint32_t, const std::string*> sections[] = {
+      {kInfo, &info.Bytes()},
+      {kTopology, &topology},
+      {kPolicy, &policy_section.Bytes()},
+      {kBaselines, &baseline_section.Bytes()},
+  };
+
+  ByteWriter header;
+  header.U8(kSnapshotMagic[0]);
+  for (int i = 1; i < 8; ++i) header.U8(kSnapshotMagic[i]);
+  header.U32(kSnapshotVersion);
+  header.U32(4);  // section count
+
+  std::uint64_t offset =
+      kHeaderSize + 4 * kSectionEntrySize;  // payload starts after the table
+  ByteWriter table;
+  std::uint64_t total = offset;
+  for (const auto& [type, bytes] : sections) {
+    table.U32(type);
+    table.U32(util::Crc32(bytes->data(), bytes->size()));
+    table.U64(offset);
+    table.U64(bytes->size());
+    offset += bytes->size();
+    total += bytes->size();
+  }
+  header.U64(total);  // declared file size
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "cannot open " + path + " for writing";
+  out << header.Bytes() << table.Bytes();
+  for (const auto& [type, bytes] : sections) out << *bytes;
+  out.flush();
+  if (!out) return "short write to " + path;
+  Instr().writes.Add();
+  return "";
+}
+
+Snapshot::Snapshot() : graph_(std::make_unique<topo::AsGraph>()) {}
+
+bool Snapshot::SniffFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+std::string Snapshot::Load(const std::string& path, Snapshot& out) {
+  util::ScopedTimer load_timer(Instr().load_time);
+  auto fail = [&path](const std::string& message) {
+    Instr().load_errors.Add();
+    return path + ": " + message;
+  };
+
+  MappedFile file;
+  if (std::string err = file.Open(path); !err.empty()) return fail(err);
+
+  ByteReader header(file.Data(), file.Size());
+  char magic[8];
+  for (char& c : magic) {
+    std::uint8_t byte;
+    if (!header.U8(&byte)) return fail("truncated header");
+    c = static_cast<char>(byte);
+  }
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return fail("bad magic (not a snapshot file)");
+  }
+  std::uint32_t version, section_count;
+  std::uint64_t declared_size;
+  if (!header.U32(&version) || !header.U32(&section_count) ||
+      !header.U64(&declared_size)) {
+    return fail("truncated header");
+  }
+  if (version != kSnapshotVersion) {
+    return fail("version skew: file has version " + std::to_string(version) +
+                ", loader supports " + std::to_string(kSnapshotVersion));
+  }
+  if (declared_size != file.Size()) {
+    return fail("truncated file: header declares " +
+                std::to_string(declared_size) + " bytes, file has " +
+                std::to_string(file.Size()));
+  }
+  if (kHeaderSize + section_count * kSectionEntrySize > file.Size()) {
+    return fail("truncated section table");
+  }
+
+  ByteReader table(file.Data() + kHeaderSize,
+                   section_count * kSectionEntrySize);
+  std::vector<SectionEntry> entries(section_count);
+  for (SectionEntry& entry : entries) {
+    table.U32(&entry.type);
+    table.U32(&entry.crc);
+    table.U64(&entry.offset);
+    table.U64(&entry.size);
+    if (entry.offset > file.Size() || entry.size > file.Size() - entry.offset) {
+      return fail("section " + std::to_string(entry.type) +
+                  ": out-of-bounds extent");
+    }
+    // CRC the mapped bytes in place before any section is parsed.
+    const std::uint32_t crc =
+        util::Crc32(file.Data() + entry.offset, entry.size);
+    if (crc != entry.crc) {
+      return fail("section " + std::to_string(entry.type) + ": CRC mismatch");
+    }
+  }
+
+  Snapshot loaded;
+  bool have_topology = false;
+  for (const SectionEntry& entry : entries) {
+    ByteReader r(file.Data() + entry.offset, entry.size);
+    switch (entry.type) {
+      case kInfo: {
+        if (!r.Str(&loaded.info_.creator) || !r.U64(&loaded.info_.num_ases) ||
+            !r.U64(&loaded.info_.num_links) ||
+            !r.U64(&loaded.info_.num_baselines)) {
+          return fail("info section: truncated");
+        }
+        loaded.info_.version = version;
+        break;
+      }
+      case kTopology: {
+        if (std::string err = ParseTopologySection(r, loaded.graph_.get());
+            !err.empty()) {
+          return fail("topology section: " + err);
+        }
+        have_topology = true;
+        break;
+      }
+      case kPolicy: {
+        if (!ReadPolicy(r, &loaded.policy_) || !r.AtEnd()) {
+          return fail("policy section: truncated");
+        }
+        break;
+      }
+      case kBaselines: {
+        if (!have_topology) return fail("baselines section before topology");
+        std::uint64_t count;
+        if (!r.U64(&count)) return fail("baselines section: truncated");
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::shared_ptr<const bgp::PropagationResult> baseline;
+          if (std::string err = ReadBaseline(r, *loaded.graph_, &baseline);
+              !err.empty()) {
+            return fail("baseline " + std::to_string(i) + ": " + err);
+          }
+          loaded.baselines_.push_back(std::move(baseline));
+        }
+        if (!r.AtEnd()) return fail("baselines section: trailing bytes");
+        break;
+      }
+      default:
+        // Unknown section types are ignored (forward-compatible additions).
+        break;
+    }
+  }
+  if (!have_topology) return fail("missing topology section");
+  if (loaded.info_.num_ases != loaded.graph_->NumAses() ||
+      loaded.info_.num_links != loaded.graph_->NumLinks() ||
+      loaded.info_.num_baselines != loaded.baselines_.size()) {
+    return fail("info section disagrees with payload");
+  }
+
+  out = std::move(loaded);
+  Instr().loads.Add();
+  return "";
+}
+
+}  // namespace asppi::data

@@ -1,0 +1,96 @@
+// Binary topology snapshots: a versioned, checksummed, mmap-able compilation
+// of an AS graph, a prepend policy, and (optionally) precomputed attack-free
+// baseline routing states.
+//
+// Every batch tool re-reads the as-rel text format and re-converges the
+// victim's baseline on each invocation; the serve subsystem (and the
+// --snapshot fast path of the batch tools) loads this format instead — fixed
+// width binary records read straight out of an mmap'ed region, no line
+// splitting, no strtol, and optionally no propagation at all when the
+// snapshot carries checkpointed baselines (restored via
+// bgp::PropagationResult::Restore and pre-seeded into attack::BaselineCache).
+//
+// Layout (all integers little-endian, byte-packed):
+//
+//   header:  magic "ASPPISNP" | u32 version | u32 section_count | u64 file_size
+//   table:   section_count × { u32 type | u32 crc32 | u64 offset | u64 size }
+//   payload: the sections, back to back
+//
+// Section types:
+//   kInfo     (1): creator string + entity counts (printed by --info)
+//   kTopology (2): ASNs in registration order + links (a, b, rel-of-b)
+//   kPolicy   (3): PrependPolicy defaults + per-neighbor overrides
+//   kBaselines(4): checkpointed converged PropagationResults
+//
+// Loading validates the magic, version, declared file size, section bounds,
+// and each section's CRC32 before touching its payload; a truncated file,
+// flipped bit, or version skew yields a clean error string, never UB. The
+// graph a Snapshot owns lives on the heap so restored baselines (which hold
+// a pointer to it) survive moves of the Snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "topology/as_graph.h"
+
+namespace asppi::data {
+
+inline constexpr char kSnapshotMagic[8] = {'A', 'S', 'P', 'P',
+                                           'I', 'S', 'N', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotInfo {
+  std::uint32_t version = kSnapshotVersion;
+  std::string creator;
+  std::uint64_t num_ases = 0;
+  std::uint64_t num_links = 0;
+  std::uint64_t num_baselines = 0;
+};
+
+// Compiles `graph` + `policy` (+ optional checkpointed `baselines`, each of
+// which must have been produced over `graph`) into `path`. `creator`
+// identifies the producing tool in the info section. Returns "" on success,
+// else an error message.
+std::string WriteSnapshotFile(
+    const std::string& path, const topo::AsGraph& graph,
+    const bgp::PrependPolicy& policy,
+    const std::vector<std::shared_ptr<const bgp::PropagationResult>>&
+        baselines,
+    const std::string& creator);
+
+// A loaded snapshot: owns the graph, the policy, and the restored baselines.
+class Snapshot {
+ public:
+  Snapshot();
+  Snapshot(Snapshot&&) noexcept = default;
+  Snapshot& operator=(Snapshot&&) noexcept = default;
+
+  // mmap + validate + materialize. Returns "" on success, else an error
+  // message ("<path>: section 2: CRC mismatch"). `out` is only modified on
+  // success.
+  static std::string Load(const std::string& path, Snapshot& out);
+
+  // True if `path` starts with the snapshot magic (the tools use this to
+  // route a file to the binary or the text loader).
+  static bool SniffFile(const std::string& path);
+
+  const SnapshotInfo& Info() const { return info_; }
+  const topo::AsGraph& Graph() const { return *graph_; }
+  const bgp::PrependPolicy& Policy() const { return policy_; }
+  const std::vector<std::shared_ptr<const bgp::PropagationResult>>&
+  Baselines() const {
+    return baselines_;
+  }
+
+ private:
+  SnapshotInfo info_;
+  std::unique_ptr<topo::AsGraph> graph_;
+  bgp::PrependPolicy policy_;
+  std::vector<std::shared_ptr<const bgp::PropagationResult>> baselines_;
+};
+
+}  // namespace asppi::data

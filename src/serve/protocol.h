@@ -1,0 +1,68 @@
+// The asppi_serve wire protocol: newline-delimited JSON over TCP.
+//
+// Each request is one JSON object on one line; each response is one JSON
+// object on one line. Requests carry an "op" discriminator:
+//
+//   {"op":"impact","victim":V,"attacker":A}            what-if interception
+//       optional: "lambda" (victim prepend count, default = server's),
+//                 "violate" (attacker violates valley-free, default false)
+//   {"op":"detect","victim":V,"attacker":A}            run attack + detector
+//       optional: "lambda", "violate", "monitors" (top-degree vantage count)
+//   {"op":"route","origin":O,"observer":B}             converged best path
+//       optional: "lambda" (origin prepend count, default = server's)
+//   {"op":"stats"}                                     cache/latency/counters
+//   {"op":"health"}                                    liveness + corpus size
+//
+// Responses always contain "ok" (bool); failures add "error" with a message
+// (parse failures include the line/column from util::Json::Parse). The server
+// may also answer {"ok":false,"error":"overloaded",...} under backpressure
+// without ever parsing the request body.
+//
+// ParseRequest validates shape strictly: ASN fields must be integral JSON
+// numbers in [0, 2^32-1], "lambda" in [1, 64], "monitors" in [1, 65536] —
+// so a malformed or hostile line is rejected before it reaches the
+// simulation engines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "topology/types.h"
+
+namespace asppi::serve {
+
+using topo::Asn;
+
+enum class Op { kImpact, kDetect, kRoute, kStats, kHealth };
+
+const char* OpName(Op op);
+
+struct Request {
+  Op op = Op::kHealth;
+  Asn victim = 0;    // impact/detect; the announcement origin for route
+  Asn attacker = 0;  // impact/detect
+  Asn observer = 0;  // route
+  int lambda = 0;    // 0 = use the service default
+  std::size_t monitors = 0;  // 0 = use the service default
+  bool violate_valley_free = false;
+};
+
+// Parses and validates one request line. Returns "" on success (filling
+// `out`), else a human-readable error message.
+std::string ParseRequest(std::string_view line, Request* out);
+
+// Canonical byte key for the result cache: a fixed-order rendering of every
+// request field that can affect the response. Two requests with the same
+// canonical key — however their JSON was spelled — get the same answer, which
+// is what makes cache hits safe.
+std::string CanonicalKey(const Request& request);
+
+// True for ops whose responses are pure functions of the request (and thus
+// cacheable); stats/health reflect live server state and are not.
+bool IsCacheable(Op op);
+
+// Serialized {"ok":false,"error":message} line (no trailing newline).
+std::string ErrorResponse(const std::string& message);
+
+}  // namespace asppi::serve

@@ -1,0 +1,259 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace asppi::serve {
+
+namespace {
+
+struct ServerMetrics {
+  util::Counter accepted{"serve.connections.accepted"};
+  util::Counter overload{"serve.overload_rejects"};
+  util::Counter deadline{"serve.deadline_exceeded"};
+  util::Counter slow{"serve.slow_queries"};
+};
+
+ServerMetrics& Instr() {
+  static ServerMetrics* m = new ServerMetrics();
+  return *m;
+}
+
+// Poll granularity: how often idle loops re-check the stop flag.
+constexpr int kPollMs = 100;
+
+std::string OverloadedResponse() {
+  // Static shape; built once to keep the rejection path allocation-light.
+  static const std::string* line =
+      new std::string(ErrorResponse("overloaded") + "\n");
+  return *line;
+}
+
+}  // namespace
+
+Server::Server(QueryService* service, util::ThreadPool* pool,
+               const ServerOptions& options)
+    : service_(service), pool_(pool), options_(options) {}
+
+Server::~Server() { Stop(); }
+
+std::string Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return std::string("socket: ") + std::strerror(errno);
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::string error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  // A short kernel backlog is part of the bounded-queue story: beyond it,
+  // connection attempts fail fast at the client instead of queueing here.
+  if (::listen(listen_fd_, 16) < 0) {
+    std::string error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return "";
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connection threads observe stopping_ at their next poll tick, finish the
+  // request they are blocked on (the pool keeps running), flush, and exit.
+  ReapFinished(/*all=*/true);
+}
+
+Server::Counters Server::GetCounters() const {
+  Counters counters;
+  counters.accepted = accepted_.load(std::memory_order_relaxed);
+  counters.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
+  counters.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  counters.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void Server::ReapFinished(bool all) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (all) {
+      for (auto& [id, thread] : connections_) {
+        to_join.push_back(std::move(thread));
+      }
+      connections_.clear();
+      finished_.clear();
+    } else {
+      for (std::uint64_t id : finished_) {
+        auto it = connections_.find(id);
+        if (it != connections_.end()) {
+          to_join.push_back(std::move(it->second));
+          connections_.erase(it);
+        }
+      }
+      finished_.clear();
+    }
+  }
+  for (std::thread& thread : to_join) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    ReapFinished(/*all=*/false);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    Instr().accepted.Add();
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+      Instr().overload.Add();
+      SendAll(fd, OverloadedResponse());
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const std::uint64_t id = next_connection_id_++;
+    connections_.emplace(
+        id, std::thread([this, id, fd] { ConnectionLoop(id, fd); }));
+  }
+}
+
+void Server::ConnectionLoop(std::uint64_t id, int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed (0) or error (<0)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      HandleLine(fd, line);
+      if (stopping_.load(std::memory_order_acquire)) open = false;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  finished_.push_back(id);
+}
+
+void Server::HandleLine(int fd, const std::string& line) {
+  // Bounded admission: one slot per queued-or-executing request, across all
+  // connections. Beyond the bound we shed load with an explicit error
+  // instead of queueing without limit.
+  const std::size_t slot = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+    Instr().overload.Add();
+    SendAll(fd, OverloadedResponse());
+    return;
+  }
+  const auto enqueued = std::chrono::steady_clock::now();
+  // The promise is shared with the worker (not referenced from this stack):
+  // future.get() can unblock while the worker is still inside set_value, so
+  // the shared state must own its own lifetime.
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  pool_->Submit([this, line, promise, enqueued] {
+    // Deadline checked at dequeue: work that went stale waiting in the queue
+    // is answered with an error instead of burning a worker on it.
+    const auto waited = std::chrono::steady_clock::now() - enqueued;
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(waited).count() >=
+        options_.deadline_ms) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      Instr().deadline.Add();
+      promise->set_value(ErrorResponse("deadline exceeded"));
+      return;
+    }
+    promise->set_value(service_->Handle(line));
+  });
+  std::string response = future.get();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  const auto elapsed = std::chrono::steady_clock::now() - enqueued;
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  if (elapsed_ms >= options_.slow_query_ms) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    Instr().slow.Add();
+    if (options_.log_slow_queries) {
+      std::fprintf(stderr, "[asppi_serve] slow query (%lld ms): %s\n",
+                   static_cast<long long>(elapsed_ms), line.c_str());
+    }
+  }
+  response.push_back('\n');
+  SendAll(fd, response);
+}
+
+bool Server::SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace asppi::serve

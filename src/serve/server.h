@@ -1,0 +1,118 @@
+// TCP front end for QueryService: newline-delimited JSON request/response
+// over loopback-friendly sockets, with explicit overload behavior.
+//
+// Threading model:
+//   * one acceptor thread (poll + accept, reaps finished connections);
+//   * one lightweight thread per connection that splits the byte stream into
+//     lines and writes responses back in order;
+//   * actual query execution happens on the shared util::ThreadPool — the
+//     connection thread blocks on the result, so each connection has at most
+//     one request in flight and per-connection response order is trivially
+//     request order.
+//
+// Backpressure is explicit, never unbounded queueing:
+//   * at most `max_connections` concurrent connections — an accept beyond
+//     that is answered with one {"ok":false,"error":"overloaded"} line and
+//     closed (serve.overload_rejects);
+//   * at most `max_inflight` requests queued-or-executing across all
+//     connections — a request beyond that is rejected the same way without
+//     touching the pool;
+//   * a request that waited in the pool queue past `deadline_ms` is answered
+//     {"ok":false,"error":"deadline exceeded"} instead of executing
+//     (serve.deadline_exceeded) — shedding stale work under burst instead of
+//     growing the queue.
+//
+// Requests slower than `slow_query_ms` end-to-end are counted
+// (serve.slow_queries) and logged to stderr with their request line.
+//
+// Stop() is a graceful drain: stop accepting, let every in-flight request
+// finish and its response flush, then join all threads. Safe to call from a
+// signal-triggered path (the tool's SIGTERM handler just sets a flag the
+// main thread observes; Stop itself runs on the main thread).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "serve/service.h"
+#include "util/thread_pool.h"
+
+namespace asppi::serve {
+
+struct ServerOptions {
+  // 0 = pick an ephemeral port (read it back with Port()).
+  int port = 0;
+  std::size_t max_connections = 64;
+  std::size_t max_inflight = 128;
+  int deadline_ms = 10000;
+  int slow_query_ms = 1000;
+  bool log_slow_queries = true;
+};
+
+class Server {
+ public:
+  // `service` and `pool` must outlive the server.
+  Server(QueryService* service, util::ThreadPool* pool,
+         const ServerOptions& options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 0.0.0.0:<port>, starts the acceptor. Returns "" on success, else
+  // an error message (e.g. the port is taken).
+  std::string Start();
+
+  // The bound port (valid after a successful Start()).
+  int Port() const { return port_; }
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  // Graceful drain; idempotent.
+  void Stop();
+
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t overload_rejects = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t slow_queries = 0;
+  };
+  Counters GetCounters() const;
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(std::uint64_t id, int fd);
+  void HandleLine(int fd, const std::string& line);
+  void ReapFinished(bool all);
+  static bool SendAll(int fd, const std::string& data);
+
+  QueryService* service_;
+  util::ThreadPool* pool_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  std::mutex conn_mu_;
+  std::unordered_map<std::uint64_t, std::thread> connections_;
+  std::vector<std::uint64_t> finished_;
+  std::uint64_t next_connection_id_ = 0;
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::size_t> inflight_{0};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> overload_rejects_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> slow_queries_{0};
+};
+
+}  // namespace asppi::serve

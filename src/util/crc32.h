@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the per-section checksum of
+// the binary snapshot format (data/snapshot.h). Table-driven, byte at a time;
+// snapshot sections are read once at load, so throughput is not critical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asppi::util {
+
+// CRC of `size` bytes starting at `data`.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+// Incremental form: pass the previous return value as `seed` to extend a
+// running checksum (Crc32(a+b) == Crc32Extend(Crc32(a), b)).
+std::uint32_t Crc32Extend(std::uint32_t seed, const void* data,
+                          std::size_t size);
+
+}  // namespace asppi::util

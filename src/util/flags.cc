@@ -127,6 +127,12 @@ const std::string& Flags::GetString(const std::string& name) const {
   return Lookup(name, Type::kString).value_text;
 }
 
+const std::string& Flags::GetText(const std::string& name) const {
+  auto it = defs_.find(name);
+  ASPPI_CHECK(it != defs_.end()) << "undefined flag --" << name;
+  return it->second.value_text;
+}
+
 std::vector<std::pair<std::string, std::string>> Flags::Values() const {
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(defs_.size());

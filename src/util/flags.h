@@ -33,6 +33,11 @@ class Flags {
 
   const std::vector<std::string>& Positional() const { return positional_; }
 
+  // Raw current value text of any defined flag, regardless of its type —
+  // for accessors that re-validate beyond the type's own parse (e.g. the
+  // checked ASN range in bench::Experiment::AsnFlag).
+  const std::string& GetText(const std::string& name) const;
+
   // True once DefineX() ran for `name` (the Experiment API uses this to
   // avoid double-defining shared flags; defining twice is a hard error).
   bool IsDefined(const std::string& name) const { return defs_.contains(name); }

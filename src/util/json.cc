@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -168,11 +169,34 @@ class Parser {
     auto value = ParseValue();
     if (!value) return std::nullopt;
     SkipSpace();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) return Fail("trailing garbage after value");
     return value;
   }
 
+  // The first recorded failure, as "line L, column C: message" (1-based,
+  // column in bytes). Empty when Run() succeeded.
+  const std::string& Error() const { return error_; }
+
  private:
+  // Records the first failure at the current position and returns nullopt so
+  // call sites can `return Fail(...)` from any parse production.
+  std::nullopt_t Fail(const std::string& message) {
+    if (error_.empty()) {
+      std::size_t line = 1, column = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+      }
+      error_ = "line " + std::to_string(line) + ", column " +
+               std::to_string(column) + ": " + message;
+    }
+    return std::nullopt;
+  }
+
   void SkipSpace() {
     while (pos_ < text_.size() &&
            std::isspace(static_cast<unsigned char>(text_[pos_]))) {
@@ -199,7 +223,7 @@ class Parser {
 
   std::optional<Json> ParseValue() {
     SkipSpace();
-    if (pos_ >= text_.size()) return std::nullopt;
+    if (pos_ >= text_.size()) return Fail("expected a value, got end of input");
     switch (text_[pos_]) {
       case '{': return ParseObject();
       case '[': return ParseArray();
@@ -208,34 +232,43 @@ class Parser {
         if (!s) return std::nullopt;
         return Json(std::move(*s));
       }
-      case 't': return ConsumeWord("true") ? std::optional<Json>(Json(true)) : std::nullopt;
-      case 'f': return ConsumeWord("false") ? std::optional<Json>(Json(false)) : std::nullopt;
-      case 'n': return ConsumeWord("null") ? std::optional<Json>(Json()) : std::nullopt;
+      case 't':
+        if (ConsumeWord("true")) return Json(true);
+        return Fail("invalid literal (expected 'true')");
+      case 'f':
+        if (ConsumeWord("false")) return Json(false);
+        return Fail("invalid literal (expected 'false')");
+      case 'n':
+        if (ConsumeWord("null")) return Json();
+        return Fail("invalid literal (expected 'null')");
       default: return ParseNumber();
     }
   }
 
   std::optional<Json> ParseObject() {
-    if (!Consume('{')) return std::nullopt;
+    if (!Consume('{')) return Fail("expected '{'");
     Json object = Json::Object();
     SkipSpace();
     if (Consume('}')) return object;
     while (true) {
       SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected a string object key");
+      }
       auto key = ParseString();
       if (!key) return std::nullopt;
-      if (!Consume(':')) return std::nullopt;
+      if (!Consume(':')) return Fail("expected ':' after object key");
       auto value = ParseValue();
       if (!value) return std::nullopt;
       object[*key] = std::move(*value);
       if (Consume(',')) continue;
       if (Consume('}')) return object;
-      return std::nullopt;
+      return Fail("expected ',' or '}' in object");
     }
   }
 
   std::optional<Json> ParseArray() {
-    if (!Consume('[')) return std::nullopt;
+    if (!Consume('[')) return Fail("expected '['");
     Json array = Json::Array();
     SkipSpace();
     if (Consume(']')) return array;
@@ -245,12 +278,15 @@ class Parser {
       array.Push(std::move(*value));
       if (Consume(',')) continue;
       if (Consume(']')) return array;
-      return std::nullopt;
+      return Fail("expected ',' or ']' in array");
     }
   }
 
   std::optional<std::string> ParseString() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected '\"'");
+    }
+    const std::size_t open = pos_;
     ++pos_;
     std::string out;
     while (pos_ < text_.size()) {
@@ -260,7 +296,7 @@ class Parser {
         out += c;
         continue;
       }
-      if (pos_ >= text_.size()) return std::nullopt;
+      if (pos_ >= text_.size()) break;
       char esc = text_[pos_++];
       switch (esc) {
         case '"': out += '"'; break;
@@ -272,7 +308,7 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             char h = text_[pos_++];
@@ -280,7 +316,10 @@ class Parser {
             if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
             else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
             else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return std::nullopt;
+            else {
+              --pos_;
+              return Fail("invalid hex digit in \\u escape");
+            }
           }
           // The writer only emits \u escapes for control characters; decode
           // the BMP code point as UTF-8 for generality.
@@ -296,10 +335,13 @@ class Parser {
           }
           break;
         }
-        default: return std::nullopt;
+        default:
+          --pos_;
+          return Fail("invalid escape sequence");
       }
     }
-    return std::nullopt;  // unterminated
+    pos_ = open;
+    return Fail("unterminated string");
   }
 
   std::optional<Json> ParseNumber() {
@@ -311,22 +353,37 @@ class Parser {
             text_[pos_] == '+' || text_[pos_] == '-')) {
       ++pos_;
     }
-    if (pos_ == start) return std::nullopt;
+    if (pos_ == start) return Fail("expected a value");
     std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
+    errno = 0;
     double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return std::nullopt;
+    // Overflow to infinity is rejected too: JSON has no non-finite numbers,
+    // and an inf would not survive reserialization.
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(v)) {
+      pos_ = start;
+      return Fail("invalid number '" + token + "'");
+    }
     return Json(v);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::string error_;
 };
 
 }  // namespace
 
 std::optional<Json> Json::Parse(std::string_view text) {
-  return Parser(text).Run();
+  return Parse(text, nullptr);
+}
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  Parser parser(text);
+  auto value = parser.Run();
+  if (!value && error != nullptr) *error = parser.Error();
+  return value;
 }
 
 bool Json::operator==(const Json& other) const {

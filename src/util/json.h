@@ -55,7 +55,11 @@ class Json {
   std::string ToString(int indent = 0) const;
 
   // Strict parse of a complete JSON text (trailing garbage is an error).
+  // On failure the optional is empty and, if `error` is non-null, it receives
+  // a line/column-numbered message ("line 3, column 14: expected ':' after
+  // object key") pointing at the first offending character.
   static std::optional<Json> Parse(std::string_view text);
+  static std::optional<Json> Parse(std::string_view text, std::string* error);
 
   bool operator==(const Json& other) const;
 

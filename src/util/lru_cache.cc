@@ -1,0 +1,80 @@
+#include "util/lru_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace asppi::util {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t num_shards)
+    : capacity_(capacity) {
+  num_shards = std::max<std::size_t>(1, num_shards);
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardOf(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string> ShardedLruCache::Get(
+    const std::string& key) {
+  Shard& shard = ShardOf(key);
+  std::shared_ptr<const std::string> value;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      value = it->second->value;
+    }
+  }
+  if (value) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+std::size_t ShardedLruCache::Put(const std::string& key, std::string value) {
+  if (per_shard_capacity_ == 0) return 0;
+  Shard& shard = ShardOf(key);
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value =
+          std::make_shared<const std::string>(std::move(value));
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{
+          key, std::make_shared<const std::string>(std::move(value))});
+      shard.index.emplace(key, shard.lru.begin());
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted != 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return static_cast<std::size_t>(evicted);
+}
+
+ShardedLruCache::Stats ShardedLruCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace asppi::util

@@ -1,0 +1,82 @@
+// ShardedLruCache: a thread-safe string→string LRU, the result cache behind
+// the serve subsystem (serve/service.h).
+//
+// Keys are hashed onto N independent shards; each shard is a classic
+// mutex-protected intrusive LRU (doubly-linked recency list + hash index), so
+// contention is bounded by the shard count rather than by one global lock.
+// Values are handed out as shared_ptr<const string>: a Get() racing an
+// eviction keeps its value alive without copying the payload under the lock.
+//
+// Capacity is an entry budget split evenly across shards (each shard gets
+// ceil(capacity / shards), so a capacity of 0 disables storage entirely).
+// Hit/miss/eviction totals are plain atomics — deterministic for a serial
+// workload, monotone under concurrency — surfaced by Stats() and re-exported
+// by the server as serve.cache.* metrics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace asppi::util {
+
+class ShardedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+
+  // `capacity` = total entry budget across all shards; `num_shards` >= 1
+  // (values are clamped). capacity == 0 makes every Get a miss and Put a
+  // no-op, which is how the serve layer implements --cache=0 ablations.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  // Value for `key` (refreshing its recency), or nullptr on miss.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  // Inserts or overwrites `key`, evicting the least-recently-used entries of
+  // its shard beyond the shard budget. Returns the number of entries evicted
+  // (so callers can export eviction deltas without a full-stats scan).
+  std::size_t Put(const std::string& key, std::string value);
+
+  std::size_t Capacity() const { return capacity_; }
+  std::size_t NumShards() const { return shards_.size(); }
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardOf(const std::string& key);
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace asppi::util

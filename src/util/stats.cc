@@ -136,4 +136,55 @@ double Quantile(std::vector<double> v, double q) {
   return Cdf(std::move(v)).Quantile(q);
 }
 
+
+void LatencyHistogram::RecordNs(std::uint64_t ns) {
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBuckets && (std::uint64_t{1} << (bucket + 1)) <= ns) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::Snapshot() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double LatencyHistogram::QuantileNs(double q) const {
+  const auto counts = Snapshot();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the requested quantile (1-based), then walk to its bucket.
+  const double rank = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double before = seen;
+    seen += static_cast<double>(counts[i]);
+    if (seen >= rank) {
+      const double lo = static_cast<double>(std::uint64_t{1} << i);
+      const double hi = i + 1 >= kBuckets ? lo * 2.0
+                                          : static_cast<double>(
+                                                std::uint64_t{1} << (i + 1));
+      const double frac =
+          counts[i] == 0 ? 0.0
+                         : (rank - before) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return static_cast<double>(std::uint64_t{1} << (kBuckets - 1));
+}
+
 }  // namespace asppi::util

@@ -1,8 +1,12 @@
 // Small statistics helpers shared by the measurement layer and the benchmark
-// harness: integer histograms, empirical CDFs, and scalar summaries.
+// harness: integer histograms, empirical CDFs, scalar summaries, and a
+// thread-safe latency histogram for the serve layer.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -64,6 +68,29 @@ struct Summary {
   double Variance() const;
   double Stddev() const;
   std::string ToString() const;
+};
+
+// Thread-safe latency histogram: power-of-two buckets over nanoseconds
+// (bucket k holds samples in [2^k, 2^(k+1))), recorded with one relaxed
+// fetch_add so concurrent serve workers never contend. Quantiles are
+// estimated by linear interpolation inside the covering bucket — at most one
+// bucket width (~2x) of error, which is what a p99 needs to be useful, not a
+// sorted-sample store that grows with traffic.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void RecordNs(std::uint64_t ns);
+
+  std::uint64_t Count() const;
+  // q in [0,1]; 0 when empty. Returns nanoseconds.
+  double QuantileNs(double q) const;
+
+  // Merged copy of the bucket counts (index = floor(log2(ns))).
+  std::array<std::uint64_t, kBuckets> Snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
 // Mean of a vector (0 for empty).

@@ -82,6 +82,20 @@ std::optional<std::uint64_t> ParseUint(std::string_view s) {
   return static_cast<std::uint64_t>(v);
 }
 
+std::optional<std::uint32_t> ParseAsn(std::string_view s) {
+  // Stricter than ParseUint: an AS number from a CLI flag or the wire is a
+  // bare run of decimal digits — no surrounding whitespace, no sign, no
+  // leading-zero-padded 11+ digit spellings of small values.
+  if (s.empty() || s.size() > 10) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > 0xFFFFFFFFull) return std::nullopt;
+  return static_cast<std::uint32_t>(v);
+}
+
 std::optional<double> ParseDouble(std::string_view s) {
   auto t = Prepare(s);
   if (!t) return std::nullopt;

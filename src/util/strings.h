@@ -25,6 +25,11 @@ std::optional<std::int64_t> ParseInt(std::string_view s);
 std::optional<std::uint64_t> ParseUint(std::string_view s);
 std::optional<double> ParseDouble(std::string_view s);
 
+// Checked ASN parsing: strict decimal, no garbage suffix, range-limited to
+// 32 bits (RFC 4893). Every tool-facing ASN string goes through this — a
+// 2^32-overflowing value must be an error, not a silent truncation.
+std::optional<std::uint32_t> ParseAsn(std::string_view s);
+
 // Join elements with a separator using operator<<.
 template <typename Container>
 std::string Join(const Container& items, std::string_view sep);

@@ -135,6 +135,24 @@ void ThreadPool::ParallelFor(std::size_t count,
   if (job->error) std::rethrow_exception(job->error);
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    Instr().tasks.Add();
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t enqueue_ns = MonotonicNowNs();
+    queue_.emplace_back([task = std::move(task), enqueue_ns] {
+      Instr().tasks.Add();
+      Instr().queue_wait.RecordNs(MonotonicNowNs() - enqueue_ns);
+      task();
+    });
+  }
+  work_cv_.notify_one();
+}
+
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr) {

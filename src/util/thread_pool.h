@@ -41,6 +41,13 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn,
                    std::size_t chunk = 0);
 
+  // Fire-and-forget task execution on a background worker — the serve layer's
+  // request executor. A ThreadPool(1) has no workers, so the task runs inline
+  // on the calling thread (same degenerate-serial contract as ParallelFor).
+  // The caller is responsible for its own completion signalling; tasks still
+  // queued at destruction are drained by the workers before they join.
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop();
 

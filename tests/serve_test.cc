@@ -1,0 +1,621 @@
+// The serve subsystem: protocol parsing/validation, QueryService equivalence
+// with direct library computation (the acceptance property — a what-if answer
+// over the wire is byte-for-byte what the batch tools compute), result-cache
+// correctness, and the TCP server's ordering, concurrency, overload, and
+// graceful-drain behavior. The concurrent suites are the TSan targets.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/impact.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "topology/generator.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace asppi::serve {
+namespace {
+
+topo::GeneratedTopology TestTopology() {
+  topo::GeneratorParams params;
+  params.seed = 5;
+  params.num_tier1 = 4;
+  params.num_tier2 = 15;
+  params.num_tier3 = 40;
+  params.num_stubs = 120;
+  params.num_content = 3;
+  return topo::GenerateInternetTopology(params);
+}
+
+util::Json MustParse(const std::string& text) {
+  std::string error;
+  auto parsed = util::Json::Parse(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << error << " in: " << text;
+  return parsed ? *parsed : util::Json();
+}
+
+// --- protocol ----------------------------------------------------------------
+
+TEST(Protocol, ParsesEveryOp) {
+  Request request;
+  EXPECT_EQ(ParseRequest(R"({"op":"impact","victim":7,"attacker":9})",
+                         &request),
+            "");
+  EXPECT_EQ(request.op, Op::kImpact);
+  EXPECT_EQ(request.victim, 7u);
+  EXPECT_EQ(request.attacker, 9u);
+  EXPECT_EQ(request.lambda, 0);
+  EXPECT_FALSE(request.violate_valley_free);
+
+  EXPECT_EQ(ParseRequest(
+                R"({"op":"detect","victim":7,"attacker":9,"lambda":6,)"
+                R"("monitors":50,"violate":true})",
+                &request),
+            "");
+  EXPECT_EQ(request.op, Op::kDetect);
+  EXPECT_EQ(request.lambda, 6);
+  EXPECT_EQ(request.monitors, 50u);
+  EXPECT_TRUE(request.violate_valley_free);
+
+  EXPECT_EQ(ParseRequest(R"({"op":"route","origin":3,"observer":12})",
+                         &request),
+            "");
+  EXPECT_EQ(request.op, Op::kRoute);
+  EXPECT_EQ(request.victim, 3u);  // origin rides in the victim slot
+  EXPECT_EQ(request.observer, 12u);
+
+  EXPECT_EQ(ParseRequest(R"({"op":"stats"})", &request), "");
+  EXPECT_EQ(request.op, Op::kStats);
+  EXPECT_EQ(ParseRequest(R"({"op":"health"})", &request), "");
+  EXPECT_EQ(request.op, Op::kHealth);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const char* kBad[] = {
+      "",                                              // empty line
+      "not json",                                      // parse failure
+      "[1,2,3]",                                       // not an object
+      R"({"victim":1,"attacker":2})",                  // missing op
+      R"({"op":"frobnicate"})",                        // unknown op
+      R"({"op":"impact","victim":1})",                 // missing attacker
+      R"({"op":"impact","attacker":2})",               // missing victim
+      R"({"op":"impact","victim":5,"attacker":5})",    // victim == attacker
+      R"({"op":"impact","victim":-1,"attacker":2})",   // negative ASN
+      R"({"op":"impact","victim":1.5,"attacker":2})",  // fractional ASN
+      R"({"op":"impact","victim":4294967296,"attacker":2})",  // > 2^32-1
+      R"({"op":"impact","victim":"1","attacker":2})",  // string ASN
+      R"({"op":"impact","victim":1,"attacker":2,"lambda":0})",   // λ < 1
+      R"({"op":"impact","victim":1,"attacker":2,"lambda":65})",  // λ > 64
+      R"({"op":"detect","victim":1,"attacker":2,"monitors":0})",
+      R"({"op":"detect","victim":1,"attacker":2,"monitors":70000})",
+      R"({"op":"impact","victim":1,"attacker":2,"violate":1})",  // non-bool
+      R"({"op":"route","origin":1})",                  // missing observer
+  };
+  for (const char* line : kBad) {
+    Request request;
+    EXPECT_NE(ParseRequest(line, &request), "") << "accepted: " << line;
+  }
+}
+
+TEST(Protocol, ParseErrorsCarryJsonPosition) {
+  Request request;
+  const std::string err = ParseRequest("{\"op\" \"impact\"}", &request);
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("column"), std::string::npos) << err;
+}
+
+TEST(Protocol, CanonicalKeyIgnoresJsonSpelling) {
+  // Same request, three spellings: field order, whitespace, and an explicit
+  // default must all map to one cache key.
+  Request a, b, c;
+  ASSERT_EQ(ParseRequest(
+                R"({"op":"impact","victim":7,"attacker":9,"violate":false})",
+                &a),
+            "");
+  ASSERT_EQ(ParseRequest(R"({ "attacker": 9, "victim": 7, "op": "impact" })",
+                         &b),
+            "");
+  ASSERT_EQ(ParseRequest(R"({"op":"impact","victim":7,"attacker":9})", &c),
+            "");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(c));
+
+  Request different;
+  ASSERT_EQ(ParseRequest(
+                R"({"op":"impact","victim":7,"attacker":9,"lambda":6})",
+                &different),
+            "");
+  EXPECT_NE(CanonicalKey(a), CanonicalKey(different));
+}
+
+TEST(Protocol, CanonicalKeyZeroesFieldsTheOpIgnores) {
+  // A route request never reads "monitors"; ParseRequest must not let stray
+  // fields poison the key (two identical routes → one cache entry).
+  Request a, b;
+  ASSERT_EQ(ParseRequest(R"({"op":"route","origin":3,"observer":12})", &a),
+            "");
+  ASSERT_EQ(ParseRequest(
+                R"({"op":"route","origin":3,"observer":12,"monitors":99})",
+                &b),
+            "");
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+TEST(Protocol, CacheabilityAndErrors) {
+  EXPECT_TRUE(IsCacheable(Op::kImpact));
+  EXPECT_TRUE(IsCacheable(Op::kDetect));
+  EXPECT_TRUE(IsCacheable(Op::kRoute));
+  EXPECT_FALSE(IsCacheable(Op::kStats));
+  EXPECT_FALSE(IsCacheable(Op::kHealth));
+
+  const util::Json error = MustParse(ErrorResponse("boom \"quoted\""));
+  EXPECT_FALSE(error.Find("ok")->AsBool());
+  EXPECT_EQ(error.Find("error")->AsString(), "boom \"quoted\"");
+}
+
+// --- service equivalence -----------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : gen_(TestTopology()) {}
+
+  topo::GeneratedTopology gen_;
+};
+
+TEST_F(ServiceTest, ImpactMatchesDirectSimulation) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn victim = gen_.stubs[2];
+  const topo::Asn attacker = gen_.tier2[0];
+
+  const std::string response = service.Handle(
+      R"({"op":"impact","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) + "}");
+  const util::Json json = MustParse(response);
+  ASSERT_TRUE(json.Find("ok")->AsBool()) << response;
+
+  attack::AttackSimulator simulator(gen_.graph);
+  const auto outcome = simulator.RunAsppInterception(
+      victim, attacker, service.Options().default_lambda);
+  EXPECT_EQ(json.Find("fraction_before")->AsDouble(),
+            outcome.fraction_before);
+  EXPECT_EQ(json.Find("fraction_after")->AsDouble(), outcome.fraction_after);
+  EXPECT_EQ(json.Find("newly_polluted")->AsDouble(),
+            static_cast<double>(outcome.newly_polluted.size()));
+  EXPECT_EQ(json.Find("lambda")->AsDouble(),
+            static_cast<double>(service.Options().default_lambda));
+}
+
+TEST_F(ServiceTest, RouteMatchesConvergedBaseline) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn origin = gen_.stubs[4];
+  const topo::Asn observer = gen_.tier1[1];
+  constexpr int kLambda = 3;
+
+  const std::string response = service.Handle(
+      R"({"op":"route","origin":)" + std::to_string(origin) +
+      R"(,"observer":)" + std::to_string(observer) +
+      R"(,"lambda":3})");
+  const util::Json json = MustParse(response);
+  ASSERT_TRUE(json.Find("ok")->AsBool()) << response;
+  ASSERT_TRUE(json.Find("found")->AsBool()) << response;
+
+  bgp::PropagationSimulator engine(gen_.graph);
+  bgp::Announcement announcement;
+  announcement.origin = origin;
+  announcement.prepends.SetDefault(origin, kLambda);
+  const auto result = engine.Run(announcement);
+  const auto& best = result.BestAt(observer);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(json.Find("path")->AsString(), best->path.ToString());
+  EXPECT_EQ(json.Find("hops")->AsDouble(),
+            static_cast<double>(best->path.Length()));
+}
+
+TEST_F(ServiceTest, RouteAtOriginReportsNoPath) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn origin = gen_.stubs[0];
+  const std::string response = service.Handle(
+      R"({"op":"route","origin":)" + std::to_string(origin) +
+      R"(,"observer":)" + std::to_string(origin) + "}");
+  const util::Json json = MustParse(response);
+  ASSERT_TRUE(json.Find("ok")->AsBool()) << response;
+  EXPECT_FALSE(json.Find("found")->AsBool()) << response;
+}
+
+TEST_F(ServiceTest, DetectReportsAttackConsistently) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn victim = gen_.stubs[6];
+  const topo::Asn attacker = gen_.tier2[2];
+  const std::string line =
+      R"({"op":"detect","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) + R"(,"monitors":40})";
+  const util::Json json = MustParse(service.Handle(line));
+  ASSERT_TRUE(json.Find("ok")->AsBool());
+  ASSERT_NE(json.Find("alarms"), nullptr);
+  for (const util::Json& alarm : json.Find("alarms")->Items()) {
+    ASSERT_NE(alarm.Find("suspect"), nullptr);
+    ASSERT_NE(alarm.Find("observer"), nullptr);
+    ASSERT_NE(alarm.Find("confidence"), nullptr);
+  }
+  // attacker_accused ⇒ some alarm names the attacker as suspect.
+  if (json.Find("attacker_accused")->AsBool()) {
+    bool named = false;
+    for (const util::Json& alarm : json.Find("alarms")->Items()) {
+      named |= alarm.Find("suspect")->AsDouble() ==
+               static_cast<double>(attacker);
+    }
+    EXPECT_TRUE(named);
+  }
+}
+
+TEST_F(ServiceTest, CachedAndUncachedServicesAgreeByteForByte) {
+  // Identical corpus, cache on vs cache off (the perf_serve ablation): every
+  // response must be byte-identical, and a repeat through the cache must
+  // return exactly the bytes the engines produced.
+  ServiceOptions no_cache;
+  no_cache.cache_capacity = 0;
+  QueryService cached(gen_.graph, {});
+  QueryService uncached(gen_.graph, {}, no_cache);
+
+  const std::vector<std::string> lines = {
+      R"({"op":"impact","victim":)" + std::to_string(gen_.stubs[1]) +
+          R"(,"attacker":)" + std::to_string(gen_.tier1[0]) + "}",
+      R"({"op":"route","origin":)" + std::to_string(gen_.stubs[1]) +
+          R"(,"observer":)" + std::to_string(gen_.tier2[3]) + "}",
+      R"({"op":"detect","victim":)" + std::to_string(gen_.stubs[3]) +
+          R"(,"attacker":)" + std::to_string(gen_.tier2[1]) + "}",
+  };
+  for (const std::string& line : lines) {
+    const std::string first = cached.Handle(line);
+    EXPECT_EQ(first, uncached.Handle(line)) << line;
+    EXPECT_EQ(first, cached.Handle(line)) << "cache changed bytes: " << line;
+  }
+  const auto stats = cached.Cache().GetStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 3u);
+  const auto ablated = uncached.Cache().GetStats();
+  EXPECT_EQ(ablated.entries, 0u);
+}
+
+TEST_F(ServiceTest, WarmedBaselineSkipsPropagationButNotCorrectness) {
+  const topo::Asn victim = gen_.stubs[7];
+  const topo::Asn attacker = gen_.tier2[4];
+  constexpr int kLambda = 4;
+
+  bgp::PropagationSimulator engine(gen_.graph);
+  bgp::Announcement announcement;
+  announcement.origin = victim;
+  announcement.prepends.SetDefault(victim, kLambda);
+  auto baseline = std::make_shared<const bgp::PropagationResult>(
+      engine.Run(announcement));
+
+  QueryService warm(gen_.graph, {});
+  EXPECT_EQ(warm.WarmBaselines({baseline}), 1u);
+  QueryService cold(gen_.graph, {});
+
+  const std::string line =
+      R"({"op":"impact","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) + "}";
+  EXPECT_EQ(warm.Handle(line), cold.Handle(line));
+}
+
+TEST_F(ServiceTest, StatsAndHealthAreWellFormed) {
+  QueryService service(gen_.graph, {});
+  service.Handle(R"({"op":"impact","victim":)" +
+                 std::to_string(gen_.stubs[0]) + R"(,"attacker":)" +
+                 std::to_string(gen_.tier1[0]) + "}");
+
+  const util::Json health = MustParse(service.Handle(R"({"op":"health"})"));
+  EXPECT_TRUE(health.Find("ok")->AsBool());
+  EXPECT_EQ(health.Find("status")->AsString(), "serving");
+  EXPECT_EQ(health.Find("ases")->AsDouble(),
+            static_cast<double>(gen_.graph.NumAses()));
+  EXPECT_EQ(health.Find("links")->AsDouble(),
+            static_cast<double>(gen_.graph.NumLinks()));
+
+  const util::Json stats = MustParse(service.Handle(R"({"op":"stats"})"));
+  EXPECT_TRUE(stats.Find("ok")->AsBool());
+  const util::Json* requests = stats.Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->Find("impact")->AsDouble(), 1.0);
+  ASSERT_NE(stats.Find("cache"), nullptr);
+  ASSERT_NE(stats.Find("latency"), nullptr);
+  EXPECT_GE(stats.Find("latency")->Find("p99_us")->AsDouble(),
+            stats.Find("latency")->Find("p50_us")->AsDouble());
+}
+
+TEST_F(ServiceTest, MalformedLineGetsStructuredError) {
+  QueryService service(gen_.graph, {});
+  const util::Json json = MustParse(service.Handle("{\"op\":"));
+  EXPECT_FALSE(json.Find("ok")->AsBool());
+  EXPECT_NE(json.Find("error")->AsString().find("line 1"), std::string::npos);
+}
+
+TEST_F(ServiceTest, ConcurrentMixedHandleIsRaceFree) {
+  // TSan target: many threads hammering one service with a cacheable mix.
+  // Every response for a given line must equal the single-threaded answer.
+  QueryService service(gen_.graph, {});
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4; ++i) {
+    lines.push_back(R"({"op":"impact","victim":)" +
+                    std::to_string(gen_.stubs[i]) + R"(,"attacker":)" +
+                    std::to_string(gen_.tier2[i]) + "}");
+    lines.push_back(R"({"op":"route","origin":)" +
+                    std::to_string(gen_.stubs[i]) + R"(,"observer":)" +
+                    std::to_string(gen_.tier1[0]) + "}");
+  }
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"health"})");
+
+  QueryService reference(gen_.graph, {});
+  std::vector<std::string> expected;
+  for (const std::string& line : lines) expected.push_back(reference.Handle(line));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::size_t pick = (t * 50 + i) % lines.size();
+        const std::string response = service.Handle(lines[pick]);
+        // stats/health answers vary over time; only pin the cacheable ops,
+        // which are the last-two-excluded prefix of `lines`.
+        if (pick < lines.size() - 2 && response != expected[pick]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- TCP server --------------------------------------------------------------
+
+// Minimal blocking NDJSON client for loopback tests.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connected() const { return connected_; }
+
+  bool Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Blocks until one full response line arrives ("" on EOF/error).
+  std::string ReadLine() {
+    while (true) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string RoundTrip(const std::string& line) {
+    if (!Send(line)) return "";
+    return ReadLine();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : gen_(TestTopology()), pool_(4) {}
+
+  topo::GeneratedTopology gen_;
+  util::ThreadPool pool_;
+};
+
+TEST_F(ServerTest, AnswersAllFiveOpsOverTcp) {
+  QueryService service(gen_.graph, {});
+  Server server(&service, &pool_);
+  ASSERT_EQ(server.Start(), "");
+  ASSERT_GT(server.Port(), 0);
+
+  Client client(server.Port());
+  ASSERT_TRUE(client.Connected());
+
+  const std::string impact =
+      R"({"op":"impact","victim":)" + std::to_string(gen_.stubs[0]) +
+      R"(,"attacker":)" + std::to_string(gen_.tier2[0]) + "}";
+  EXPECT_TRUE(MustParse(client.RoundTrip(impact)).Find("ok")->AsBool());
+  const std::string detect =
+      R"({"op":"detect","victim":)" + std::to_string(gen_.stubs[0]) +
+      R"(,"attacker":)" + std::to_string(gen_.tier2[0]) + "}";
+  EXPECT_TRUE(MustParse(client.RoundTrip(detect)).Find("ok")->AsBool());
+  const std::string route =
+      R"({"op":"route","origin":)" + std::to_string(gen_.stubs[0]) +
+      R"(,"observer":)" + std::to_string(gen_.tier1[0]) + "}";
+  EXPECT_TRUE(MustParse(client.RoundTrip(route)).Find("ok")->AsBool());
+  EXPECT_TRUE(
+      MustParse(client.RoundTrip(R"({"op":"stats"})")).Find("ok")->AsBool());
+  EXPECT_TRUE(
+      MustParse(client.RoundTrip(R"({"op":"health"})")).Find("ok")->AsBool());
+
+  // The wire answer is byte-identical to a direct Handle() call.
+  EXPECT_EQ(client.RoundTrip(impact), service.Handle(impact));
+
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  QueryService service(gen_.graph, {});
+  Server server(&service, &pool_);
+  ASSERT_EQ(server.Start(), "");
+
+  std::vector<std::string> lines;
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back(R"({"op":"route","origin":)" +
+                    std::to_string(gen_.stubs[i]) + R"(,"observer":)" +
+                    std::to_string(gen_.tier1[0]) + "}");
+  }
+  Client client(server.Port());
+  ASSERT_TRUE(client.Connected());
+  // Fire the whole batch before reading anything: responses must come back
+  // in request order.
+  for (const std::string& line : lines) ASSERT_TRUE(client.Send(line));
+  for (const std::string& line : lines) {
+    EXPECT_EQ(client.ReadLine(), service.Handle(line));
+  }
+  server.Stop();
+}
+
+TEST_F(ServerTest, ConcurrentConnectionsGetConsistentAnswers) {
+  // TSan target: several connections in flight at once, each pinning its
+  // responses against the single-threaded reference.
+  QueryService service(gen_.graph, {});
+  Server server(&service, &pool_);
+  ASSERT_EQ(server.Start(), "");
+
+  QueryService reference(gen_.graph, {});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(server.Port());
+      if (!client.Connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 10; ++i) {
+        const topo::Asn origin = gen_.stubs[(c + i) % 8];
+        const std::string line =
+            R"({"op":"route","origin":)" + std::to_string(origin) +
+            R"(,"observer":)" + std::to_string(gen_.tier1[c % 2]) + "}";
+        if (client.RoundTrip(line) != reference.Handle(line)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.Stop();
+  const auto counters = server.GetCounters();
+  EXPECT_EQ(counters.accepted, 6u);
+  EXPECT_EQ(counters.overload_rejects, 0u);
+}
+
+TEST_F(ServerTest, ShedsLoadWithOverloadedResponses) {
+  QueryService service(gen_.graph, {});
+  ServerOptions options;
+  options.max_inflight = 0;  // every request is over budget
+  Server server(&service, &pool_, options);
+  ASSERT_EQ(server.Start(), "");
+
+  Client client(server.Port());
+  ASSERT_TRUE(client.Connected());
+  const util::Json json = MustParse(client.RoundTrip(R"({"op":"health"})"));
+  EXPECT_FALSE(json.Find("ok")->AsBool());
+  EXPECT_EQ(json.Find("error")->AsString(), "overloaded");
+
+  server.Stop();
+  EXPECT_GE(server.GetCounters().overload_rejects, 1u);
+}
+
+TEST_F(ServerTest, RejectsConnectionsBeyondTheCap) {
+  QueryService service(gen_.graph, {});
+  ServerOptions options;
+  options.max_connections = 1;
+  Server server(&service, &pool_, options);
+  ASSERT_EQ(server.Start(), "");
+
+  Client first(server.Port());
+  ASSERT_TRUE(first.Connected());
+  // Pin the slot with a real round trip so the acceptor has surely seen it.
+  ASSERT_NE(first.RoundTrip(R"({"op":"health"})"), "");
+
+  Client second(server.Port());
+  ASSERT_TRUE(second.Connected());
+  // The over-cap connection gets one overloaded line, then EOF.
+  const std::string line = second.ReadLine();
+  const util::Json json = MustParse(line);
+  EXPECT_EQ(json.Find("error")->AsString(), "overloaded");
+  EXPECT_EQ(second.ReadLine(), "");
+
+  server.Stop();
+}
+
+TEST_F(ServerTest, StopDrainsInFlightWork) {
+  QueryService service(gen_.graph, {});
+  Server server(&service, &pool_);
+  ASSERT_EQ(server.Start(), "");
+
+  // A client mid-conversation when Stop() lands still gets every response it
+  // was owed before its connection closes.
+  Client client(server.Port());
+  ASSERT_TRUE(client.Connected());
+  const std::string line =
+      R"({"op":"impact","victim":)" + std::to_string(gen_.stubs[1]) +
+      R"(,"attacker":)" + std::to_string(gen_.tier2[1]) + "}";
+  ASSERT_TRUE(client.Send(line));
+  const std::string response = client.ReadLine();
+  EXPECT_TRUE(MustParse(response).Find("ok")->AsBool());
+
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+  EXPECT_EQ(client.ReadLine(), "");  // connection closed by drain
+
+  server.Stop();  // idempotent
+}
+
+TEST_F(ServerTest, StartStopCyclesDoNotLeakState) {
+  QueryService service(gen_.graph, {});
+  for (int i = 0; i < 3; ++i) {
+    Server server(&service, &pool_);
+    ASSERT_EQ(server.Start(), "") << "cycle " << i;
+    Client client(server.Port());
+    ASSERT_TRUE(client.Connected());
+    EXPECT_TRUE(
+        MustParse(client.RoundTrip(R"({"op":"health"})")).Find("ok")->AsBool());
+    server.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace asppi::serve

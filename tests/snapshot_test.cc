@@ -1,0 +1,291 @@
+// Binary snapshot format: round-trip fidelity (graph, policy, checkpointed
+// baselines), warm-start equivalence through attack::BaselineCache, and the
+// corruption contract — a truncated file, flipped bit, wrong magic, or
+// version skew yields a clean error string, never UB.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attack/baseline_cache.h"
+#include "attack/impact.h"
+#include "bgp/propagation.h"
+#include "data/snapshot.h"
+#include "topology/generator.h"
+#include "topology/serialization.h"
+
+namespace asppi::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "asppi_snapshot_test_" + name;
+}
+
+topo::GeneratedTopology SmallTopology(std::uint64_t seed = 7) {
+  topo::GeneratorParams params;
+  params.seed = seed;
+  params.num_tier1 = 4;
+  params.num_tier2 = 15;
+  params.num_tier3 = 40;
+  params.num_stubs = 120;
+  params.num_content = 3;
+  return topo::GenerateInternetTopology(params);
+}
+
+bool SameGraph(const topo::AsGraph& a, const topo::AsGraph& b) {
+  if (a.NumAses() != b.NumAses() || a.NumLinks() != b.NumLinks()) return false;
+  for (topo::Asn asn : a.Ases()) {
+    if (!b.HasAs(asn)) return false;
+    for (const auto& neighbor : a.NeighborsOf(asn)) {
+      const auto rel = b.RelationOf(asn, neighbor.asn);
+      if (!rel.has_value() || *rel != neighbor.rel) return false;
+    }
+  }
+  return true;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Snapshot, RoundTripsGraphAndPolicy) {
+  const auto gen = SmallTopology();
+  bgp::PrependPolicy policy;
+  policy.SetDefault(gen.tier1[0], 4);
+  policy.SetDefault(gen.stubs[0], 2);
+  policy.SetForNeighbor(gen.stubs[0], gen.tier1[1], 6);
+
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, policy, {}, "snapshot_test"),
+            "");
+
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  EXPECT_TRUE(SameGraph(gen.graph, snapshot.Graph()));
+  EXPECT_EQ(policy.KeyString(), snapshot.Policy().KeyString());
+  EXPECT_EQ(snapshot.Info().version, kSnapshotVersion);
+  EXPECT_EQ(snapshot.Info().creator, "snapshot_test");
+  EXPECT_EQ(snapshot.Info().num_ases, gen.graph.NumAses());
+  EXPECT_EQ(snapshot.Info().num_links, gen.graph.NumLinks());
+  EXPECT_EQ(snapshot.Info().num_baselines, 0u);
+  EXPECT_TRUE(snapshot.Baselines().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SniffFileRoutesFormats) {
+  const auto gen = SmallTopology();
+  const std::string snap_path = TempPath("sniff.snap");
+  const std::string text_path = TempPath("sniff.topo");
+  ASSERT_EQ(WriteSnapshotFile(snap_path, gen.graph, {}, {}, "t"), "");
+  topo::WriteAsRelFile(gen.graph, text_path);
+  EXPECT_TRUE(Snapshot::SniffFile(snap_path));
+  EXPECT_FALSE(Snapshot::SniffFile(text_path));
+  EXPECT_FALSE(Snapshot::SniffFile(TempPath("does_not_exist")));
+  std::remove(snap_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(Snapshot, RoundTripsBaselinesExactly) {
+  const auto gen = SmallTopology(11);
+  const topo::Asn origin1 = gen.stubs[3];
+  const topo::Asn origin2 = gen.tier1[0];
+
+  bgp::PropagationSimulator engine(gen.graph);
+  std::vector<std::shared_ptr<const bgp::PropagationResult>> baselines;
+  for (topo::Asn origin : {origin1, origin2}) {
+    bgp::Announcement announcement;
+    announcement.origin = origin;
+    announcement.prepends.SetDefault(origin, 4);
+    baselines.push_back(std::make_shared<const bgp::PropagationResult>(
+        engine.Run(announcement)));
+  }
+
+  const std::string path = TempPath("baselines.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, baselines, "t"), "");
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  ASSERT_EQ(snapshot.Baselines().size(), 2u);
+
+  for (std::size_t i = 0; i < baselines.size(); ++i) {
+    const bgp::PropagationResult& original = *baselines[i];
+    const bgp::PropagationResult& restored = *snapshot.Baselines()[i];
+    EXPECT_EQ(original.GetAnnouncement().origin,
+              restored.GetAnnouncement().origin);
+    EXPECT_EQ(original.GetAnnouncement().prepends.KeyString(),
+              restored.GetAnnouncement().prepends.KeyString());
+    EXPECT_EQ(original.Rounds(), restored.Rounds());
+    for (topo::Asn asn : gen.graph.Ases()) {
+      const auto& want = original.BestAt(asn);
+      const auto& got = restored.BestAt(asn);
+      ASSERT_EQ(want.has_value(), got.has_value()) << "AS" << asn;
+      if (want.has_value()) {
+        EXPECT_EQ(want->path.Hops(), got->path.Hops()) << "AS" << asn;
+        EXPECT_EQ(want->rel, got->rel) << "AS" << asn;
+        EXPECT_EQ(want->effective, got->effective) << "AS" << asn;
+      }
+      EXPECT_EQ(original.FirstChangeRound(asn), restored.FirstChangeRound(asn))
+          << "AS" << asn;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WarmStartedAttackMatchesColdRun) {
+  // The acceptance property behind --snapshot fast paths: an attack resumed
+  // from a restored checkpoint is bit-identical to one whose baseline was
+  // converged from scratch.
+  const auto gen = SmallTopology(13);
+  const topo::Asn victim = gen.stubs[5];
+  const topo::Asn attacker = gen.tier2[1];
+  constexpr int kLambda = 4;
+
+  bgp::PropagationSimulator engine(gen.graph);
+  bgp::Announcement announcement;
+  announcement.origin = victim;
+  announcement.prepends.SetDefault(victim, kLambda);
+  auto baseline = std::make_shared<const bgp::PropagationResult>(
+      engine.Run(announcement));
+
+  const std::string path = TempPath("warm.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {baseline}, "t"), "");
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  ASSERT_EQ(snapshot.Baselines().size(), 1u);
+
+  // Warm: the restored checkpoint pre-seeds the cache over the *snapshot's*
+  // graph; cold: a fresh convergence over the original graph.
+  attack::BaselineCache warm_cache(snapshot.Graph());
+  warm_cache.Put(snapshot.Baselines()[0]);
+  attack::AttackSimulator warm(snapshot.Graph(), &warm_cache);
+  attack::AttackSimulator cold(gen.graph);
+
+  const auto warm_outcome =
+      warm.RunAsppInterception(victim, attacker, kLambda);
+  const auto cold_outcome =
+      cold.RunAsppInterception(victim, attacker, kLambda);
+  EXPECT_EQ(warm_outcome.fraction_before, cold_outcome.fraction_before);
+  EXPECT_EQ(warm_outcome.fraction_after, cold_outcome.fraction_after);
+  EXPECT_EQ(warm_outcome.newly_polluted, cold_outcome.newly_polluted);
+  for (topo::Asn asn : gen.graph.Ases()) {
+    const auto& want = cold_outcome.after.BestAt(asn);
+    const auto& got = warm_outcome.after.BestAt(asn);
+    ASSERT_EQ(want.has_value(), got.has_value()) << "AS" << asn;
+    if (want.has_value()) {
+      EXPECT_EQ(want->path.Hops(), got->path.Hops()) << "AS" << asn;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- corruption contract -----------------------------------------------------
+
+TEST(Snapshot, LoadRejectsMissingFile) {
+  Snapshot snapshot;
+  const std::string err = Snapshot::Load(TempPath("nope.snap"), snapshot);
+  EXPECT_NE(err, "");
+}
+
+TEST(Snapshot, LoadRejectsBadMagic) {
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("magic.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'X';
+  WriteFile(path, bytes);
+  Snapshot snapshot;
+  const std::string err = Snapshot::Load(path, snapshot);
+  EXPECT_NE(err.find("magic"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadRejectsVersionSkew) {
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("version.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  std::string bytes = ReadFile(path);
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // u32 LE version
+  WriteFile(path, bytes);
+  Snapshot snapshot;
+  const std::string err = Snapshot::Load(path, snapshot);
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadRejectsEveryTruncation) {
+  // Chopping the file anywhere — inside the header, the section table, or a
+  // section payload — must produce a clean error, never UB. Sampled stride
+  // keeps the test fast while covering all three regions.
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("trunc.snap");
+  bgp::PrependPolicy policy;
+  policy.SetDefault(gen.tier1[0], 3);
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, policy, {}, "t"), "");
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  const std::string cut_path = TempPath("trunc.cut.snap");
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += (cut < 128 ? 1 : 997)) {
+    WriteFile(cut_path, bytes.substr(0, cut));
+    Snapshot snapshot;
+    const std::string err = Snapshot::Load(cut_path, snapshot);
+    EXPECT_NE(err, "") << "truncated at " << cut << " of " << bytes.size();
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(Snapshot, LoadRejectsFlippedPayloadBits) {
+  // A flipped bit anywhere in a section payload fails that section's CRC.
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("crc.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  const std::string bytes = ReadFile(path);
+  const std::string flip_path = TempPath("crc.flip.snap");
+  // Skip the 24-byte header + table; flip bytes across the payload.
+  for (std::size_t pos = bytes.size() / 2; pos < bytes.size(); pos += 1013) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    WriteFile(flip_path, corrupted);
+    Snapshot snapshot;
+    const std::string err = Snapshot::Load(flip_path, snapshot);
+    EXPECT_NE(err, "") << "flipped byte at " << pos;
+  }
+  std::remove(path.c_str());
+  std::remove(flip_path.c_str());
+}
+
+TEST(Snapshot, LoadedSnapshotSurvivesMove) {
+  // The restored baselines point at the snapshot's heap-owned graph; a move
+  // must not invalidate them.
+  const auto gen = SmallTopology(17);
+  bgp::PropagationSimulator engine(gen.graph);
+  bgp::Announcement announcement;
+  announcement.origin = gen.stubs[0];
+  announcement.prepends.SetDefault(announcement.origin, 2);
+  auto baseline = std::make_shared<const bgp::PropagationResult>(
+      engine.Run(announcement));
+  const std::string path = TempPath("move.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {baseline}, "t"), "");
+
+  Snapshot loaded;
+  ASSERT_EQ(Snapshot::Load(path, loaded), "");
+  Snapshot moved = std::move(loaded);
+  ASSERT_EQ(moved.Baselines().size(), 1u);
+  EXPECT_EQ(&moved.Baselines()[0]->Graph(), &moved.Graph());
+  EXPECT_EQ(moved.Baselines()[0]->ReachableCount(),
+            baseline->ReachableCount());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asppi::data

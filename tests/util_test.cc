@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "util/crc32.h"
 #include "util/flags.h"
 #include "util/json.h"
+#include "util/lru_cache.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -371,6 +376,239 @@ TEST(Flags, ValuesReportCurrentStateInNameOrder) {
   ASSERT_EQ(values.size(), 2u);
   EXPECT_EQ(values[0], (std::pair<std::string, std::string>{"csv", "false"}));
   EXPECT_EQ(values[1], (std::pair<std::string, std::string>{"seed", "7"}));
+}
+
+// --- ParseAsn ----------------------------------------------------------------
+
+TEST(Strings, ParseAsnAcceptsFullRange) {
+  EXPECT_EQ(ParseAsn("0"), 0u);
+  EXPECT_EQ(ParseAsn("1"), 1u);
+  EXPECT_EQ(ParseAsn("3831"), 3831u);
+  EXPECT_EQ(ParseAsn("4294967295"), 4294967295u);
+}
+
+TEST(Strings, ParseAsnRejectsGarbageAndOverflow) {
+  // Garbage suffixes and non-decimal spellings must be rejected, not
+  // silently truncated — the tools route every ASN flag through here.
+  EXPECT_FALSE(ParseAsn("").has_value());
+  EXPECT_FALSE(ParseAsn("abc").has_value());
+  EXPECT_FALSE(ParseAsn("12x").has_value());
+  EXPECT_FALSE(ParseAsn("12 ").has_value());
+  EXPECT_FALSE(ParseAsn(" 12").has_value());
+  EXPECT_FALSE(ParseAsn("-1").has_value());
+  EXPECT_FALSE(ParseAsn("+1").has_value());
+  EXPECT_FALSE(ParseAsn("0x10").has_value());
+  EXPECT_FALSE(ParseAsn("1.5").has_value());
+  // One past 2^32-1: fits in uint64, not in an ASN.
+  EXPECT_FALSE(ParseAsn("4294967296").has_value());
+  EXPECT_FALSE(ParseAsn("99999999999999999999").has_value());
+}
+
+// --- Crc32 -------------------------------------------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  // The IEEE CRC-32 check value (e.g. RFC 3720 appendix).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32(data.data(), data.size());
+  std::uint32_t crc = 0;
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    crc = Crc32(data.data(), split);
+    crc = Crc32Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split=" << split;
+  }
+}
+
+// --- Json parser -------------------------------------------------------------
+
+TEST(JsonParse, RoundTripsRunReportShape) {
+  // The --json run-report document shape (meta, metrics, rows, notes).
+  Json report = Json::Object();
+  Json meta = Json::Object();
+  meta["binary"] = Json("perf_serve");
+  meta["seed"] = Json(static_cast<std::uint64_t>(42));
+  report["meta"] = std::move(meta);
+  Json metrics = Json::Object();
+  metrics["serve.requests"] = Json(static_cast<std::uint64_t>(12));
+  metrics["frac"] = Json(0.03728123);
+  report["metrics"] = std::move(metrics);
+  Json rows = Json::Array();
+  Json row = Json::Object();
+  row["mode"] = Json("cache");
+  row["p99_ms"] = Json(1.625);
+  row["ok"] = Json(true);
+  row["none"] = Json();
+  rows.Push(std::move(row));
+  report["rows"] = std::move(rows);
+  Json notes = Json::Array();
+  notes.Push(Json("escaped \"quotes\" and\nnewlines\tand unicode é"));
+  report["notes"] = std::move(notes);
+
+  for (int indent : {-1, 0, 2}) {
+    std::string error;
+    auto parsed = Json::Parse(report.ToString(indent), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(*parsed == report) << "indent=" << indent;
+    // Reserialization is byte-stable.
+    EXPECT_EQ(parsed->ToString(indent), report.ToString(indent));
+  }
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  struct Case {
+    const char* text;
+    const char* expect;  // substring of the error
+  };
+  const Case cases[] = {
+      {"", "line 1, column 1"},
+      {"{\"a\":1,}", "line 1, column 8"},
+      {"{\"a\" 1}", "expected ':' after object key"},
+      {"[1, 2", "line 1, column 6"},
+      {"{\"a\":\n  tru}", "line 2, column 3"},
+      {"\"unterminated", "unterminated string"},
+      {"{\"a\":1} trailing", "trailing garbage"},
+      {"[1, 1e99999]", "invalid number"},
+      {"\"bad \\u12zz escape\"", "invalid hex digit"},
+      {"{1: 2}", "line 1, column 2"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    auto parsed = Json::Parse(c.text, &error);
+    EXPECT_FALSE(parsed.has_value()) << c.text;
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "input: " << c.text << "\nerror: " << error;
+  }
+}
+
+TEST(JsonParse, NestedStructuresAndEscapes) {
+  std::string error;
+  auto parsed = Json::Parse(
+      "{\"a\":[1,-2.5,3e2],\"b\":{\"c\":\"\\u0041\\n\"},\"d\":null}", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("a")->Items()[2].AsDouble(), 300.0);
+  EXPECT_EQ(parsed->Find("b")->Find("c")->AsString(), "A\n");
+  EXPECT_EQ(parsed->Find("d")->GetType(), Json::Type::kNull);
+}
+
+// --- ShardedLruCache ---------------------------------------------------------
+
+TEST(LruCache, PutGetAndRecencyEviction) {
+  ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
+  EXPECT_EQ(cache.Put("a", "1"), 0u);
+  EXPECT_EQ(cache.Put("b", "2"), 0u);
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh "a": now "b" is LRU
+  EXPECT_EQ(cache.Put("c", "3"), 1u);  // evicts "b"
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), "1");
+  ASSERT_NE(cache.Get("c"), nullptr);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(LruCache, OverwriteKeepsSingleEntry) {
+  ShardedLruCache cache(4, 1);
+  cache.Put("k", "old");
+  cache.Put("k", "new");
+  ASSERT_NE(cache.Get("k"), nullptr);
+  EXPECT_EQ(*cache.Get("k"), "new");
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(LruCache, ZeroCapacityDisablesStorage) {
+  ShardedLruCache cache(0, 8);
+  EXPECT_EQ(cache.Put("k", "v"), 0u);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(LruCache, StatsCountHitsAndMisses) {
+  ShardedLruCache cache(8, 2);
+  cache.Put("a", "1");
+  (void)cache.Get("a");
+  (void)cache.Get("a");
+  (void)cache.Get("nope");
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// The TSan race suite: concurrent insert/lookup/evict over a key space much
+// larger than capacity, so eviction races Get's value hand-off constantly.
+// Correctness claims: no crash/race, every returned value matches its key,
+// and the hit/miss totals add up.
+TEST(LruCache, ConcurrentInsertLookupEvict) {
+  ShardedLruCache cache(/*capacity=*/64, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeySpace = 512;  // 8x capacity: constant eviction pressure
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> bad_values{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = (i * 31 + t * 7919) % kKeySpace;
+        const std::string key = "key" + std::to_string(k);
+        if ((i + t) % 3 == 0) {
+          cache.Put(key, "value" + std::to_string(k));
+        } else {
+          gets.fetch_add(1);
+          auto value = cache.Get(key);
+          if (value != nullptr && *value != "value" + std::to_string(k)) {
+            bad_values.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad_values.load(), 0u);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, gets.load());
+  EXPECT_LE(stats.entries, 64u);
+}
+
+// --- LatencyHistogram --------------------------------------------------------
+
+TEST(LatencyHistogram, QuantilesBracketRecordedValues) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.RecordNs(1000);   // ~1us
+  for (int i = 0; i < 10; ++i) histogram.RecordNs(1000000);  // ~1ms
+  EXPECT_EQ(histogram.Count(), 1010u);
+  // p50 falls in the 1us bucket (power-of-two bounds: [512, 1024)... the
+  // bucket containing 1000), far below 1ms.
+  EXPECT_LT(histogram.QuantileNs(0.50), 3000.0);
+  EXPECT_GT(histogram.QuantileNs(0.999), 500000.0);
+  EXPECT_EQ(histogram.QuantileNs(0.0), histogram.QuantileNs(0.0));  // no NaN
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.QuantileNs(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllCounted) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.RecordNs(static_cast<std::uint64_t>(100 + t * 1000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

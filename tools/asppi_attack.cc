@@ -17,7 +17,11 @@ using namespace asppi;
 int main(int argc, char** argv) {
   bench::Experiment e("asppi_attack", "ASPP interception on a topology file");
   e.WithThreadsFlag();
-  e.Flags().DefineString("topo", "topology.topo", "as-rel topology file");
+  e.Flags().DefineString("topo", "topology.topo",
+                         "as-rel topology file or binary snapshot");
+  e.Flags().DefineString("snapshot", "",
+                         "binary snapshot (asppi_snapshot output) to load "
+                         "instead of --topo (mmap fast path)");
   e.Flags().DefineUint("victim", 0, "victim ASN (prefix owner)");
   e.Flags().DefineUint("attacker", 0,
                        "attacker ASN (0 = sweep every AS as the attacker)");
@@ -28,11 +32,19 @@ int main(int argc, char** argv) {
                       "number of hijacked routes / sweep rows to print");
   if (!e.ParseFlags(argc, argv)) return 1;
 
-  topo::AsGraph graph;
-  if (!e.LoadTopology(e.Flags().GetString("topo"), &graph)) return 1;
-  const topo::Asn victim = static_cast<topo::Asn>(e.Flags().GetUint("victim"));
-  const topo::Asn attacker =
-      static_cast<topo::Asn>(e.Flags().GetUint("attacker"));
+  topo::AsGraph loaded_graph;
+  data::Snapshot snapshot;
+  const std::string& snapshot_path = e.Flags().GetString("snapshot");
+  const topo::AsGraph* graph_ptr = e.LoadTopologyOrSnapshot(
+      snapshot_path.empty() ? e.Flags().GetString("topo") : snapshot_path,
+      &loaded_graph, &snapshot);
+  if (graph_ptr == nullptr) return 1;
+  const topo::AsGraph& graph = *graph_ptr;
+  topo::Asn victim = 0;
+  topo::Asn attacker = 0;
+  if (!e.AsnFlag("victim", &victim) || !e.AsnFlag("attacker", &attacker)) {
+    return 1;
+  }
   if (!graph.HasAs(victim)) {
     std::fprintf(stderr, "need --victim present in the topology\n");
     return 1;

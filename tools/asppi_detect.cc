@@ -42,7 +42,11 @@ int main(int argc, char** argv) {
                       "ASPP-interception detector over RIB snapshots");
   e.WithThreadsFlag();
   e.Flags().DefineString("topo", "",
-                         "as-rel topology file (enables hint rules)");
+                         "as-rel topology file or binary snapshot (enables "
+                         "hint rules)");
+  e.Flags().DefineString("snapshot", "",
+                         "binary snapshot (asppi_snapshot output) to load "
+                         "instead of --topo (mmap fast path)");
   e.Flags().DefineString("before", "",
                          "RIB snapshot before the change (.rib)");
   e.Flags().DefineString("after", "", "RIB snapshot after the change (.rib)");
@@ -60,11 +64,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  topo::AsGraph graph;
-  bool have_graph = false;
-  if (!e.Flags().GetString("topo").empty()) {
-    if (!e.LoadTopology(e.Flags().GetString("topo"), &graph)) return 1;
-    have_graph = true;
+  topo::AsGraph loaded_graph;
+  data::Snapshot topo_snapshot;
+  const topo::AsGraph* graph = nullptr;
+  {
+    const std::string& snapshot_path = e.Flags().GetString("snapshot");
+    const std::string& path =
+        snapshot_path.empty() ? e.Flags().GetString("topo") : snapshot_path;
+    if (!path.empty()) {
+      graph = e.LoadTopologyOrSnapshot(path, &loaded_graph, &topo_snapshot);
+      if (graph == nullptr) return 1;
+    }
   }
 
   data::RibSnapshot before, after;
@@ -78,8 +88,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  const topo::Asn victim = static_cast<topo::Asn>(e.Flags().GetUint("victim"));
-  detect::AsppDetector detector(have_graph ? &graph : nullptr);
+  topo::Asn victim = 0;
+  if (!e.AsnFlag("victim", &victim)) return 1;
+  detect::AsppDetector detector(graph);
 
   // Victim set: the requested AS, or every origin appearing in a snapshot.
   std::vector<topo::Asn> victims;

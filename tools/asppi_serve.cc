@@ -1,0 +1,144 @@
+// asppi_serve — long-lived what-if query daemon over a compiled snapshot
+// (or an as-rel text topology), speaking newline-delimited JSON over TCP.
+//
+//   $ asppi_snapshot --topo=topology.topo --out=topology.snap --baselines=3831
+//   $ asppi_serve --snapshot=topology.snap --port=4179 &
+//   $ printf '{"op":"impact","victim":3831,"attacker":7}\n' | nc localhost 4179
+//
+// Request types: impact, detect, route, stats, health (serve/protocol.h).
+// --port=0 picks an ephemeral port; --port-file writes the bound port for
+// scripted clients (the CI smoke job). SIGINT/SIGTERM drain gracefully:
+// in-flight requests finish and flush before the process exits, then the
+// run report (--json) carries the serve.* metrics.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "bench/experiment.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/metrics.h"
+
+using namespace asppi;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Experiment e("asppi_serve",
+                      "what-if query daemon (NDJSON over TCP) on a snapshot");
+  e.WithThreadsFlag();
+  e.Flags().DefineString("topo", "",
+                         "as-rel topology file or binary snapshot");
+  e.Flags().DefineString("snapshot", "",
+                         "binary snapshot (asppi_snapshot output) to serve "
+                         "(overrides --topo)");
+  e.Flags().DefineUint("port", 0, "TCP port (0 = pick an ephemeral port)");
+  e.Flags().DefineString("port-file", "",
+                         "write the bound port number to this file once "
+                         "listening (for scripted clients)");
+  e.Flags().DefineInt("lambda", 4, "default victim prepend count");
+  e.Flags().DefineUint("monitors", 30, "default top-degree vantage count");
+  e.Flags().DefineUint("cache", 4096,
+                       "result-cache entry budget (0 disables caching)");
+  e.Flags().DefineUint("max-conns", 64, "concurrent connection bound");
+  e.Flags().DefineUint("max-inflight", 128,
+                       "queued-or-executing request bound (beyond it, "
+                       "requests get an 'overloaded' response)");
+  e.Flags().DefineInt("deadline-ms", 10000,
+                      "queue-wait deadline per request (stale work is shed "
+                      "with a 'deadline exceeded' response)");
+  e.Flags().DefineInt("slow-ms", 1000, "slow-query log threshold");
+  e.Flags().DefineInt("duration", 0,
+                      "exit after this many seconds (0 = run until signal)");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  const std::string& snapshot_path = e.Flags().GetString("snapshot");
+  const std::string& path =
+      snapshot_path.empty() ? e.Flags().GetString("topo") : snapshot_path;
+  if (path.empty()) {
+    std::fprintf(stderr, "need --snapshot (or --topo)\n");
+    return 1;
+  }
+  topo::AsGraph loaded_graph;
+  data::Snapshot snapshot;
+  const topo::AsGraph* graph =
+      e.LoadTopologyOrSnapshot(path, &loaded_graph, &snapshot);
+  if (graph == nullptr) return 1;
+
+  serve::ServiceOptions service_options;
+  service_options.default_lambda = static_cast<int>(e.Flags().GetInt("lambda"));
+  service_options.default_monitors =
+      static_cast<std::size_t>(e.Flags().GetUint("monitors"));
+  service_options.cache_capacity =
+      static_cast<std::size_t>(e.Flags().GetUint("cache"));
+  serve::QueryService service(*graph, snapshot.Policy(), service_options);
+  const std::size_t warmed = service.WarmBaselines(snapshot.Baselines());
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(e.Flags().GetUint("port"));
+  server_options.max_connections =
+      static_cast<std::size_t>(e.Flags().GetUint("max-conns"));
+  server_options.max_inflight =
+      static_cast<std::size_t>(e.Flags().GetUint("max-inflight"));
+  server_options.deadline_ms = static_cast<int>(e.Flags().GetInt("deadline-ms"));
+  server_options.slow_query_ms = static_cast<int>(e.Flags().GetInt("slow-ms"));
+  serve::Server server(&service, e.Pool(), server_options);
+  std::string err = server.Start();
+  if (!err.empty()) {
+    std::fprintf(stderr, "error starting server: %s\n", err.c_str());
+    return 1;
+  }
+
+  const std::string& port_file = e.Flags().GetString("port-file");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error writing %s\n", port_file.c_str());
+      server.Stop();
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.Port());
+    std::fclose(f);
+  }
+
+  e.Note("serving %zu ASes, %zu links on port %d (%zu warmed baselines)",
+         graph->NumAses(), graph->NumLinks(), server.Port(), warmed);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const int duration_s = static_cast<int>(e.Flags().GetInt("duration"));
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_s > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(duration_s)) {
+      break;
+    }
+  }
+
+  // Graceful drain: stop accepting, let in-flight requests finish and flush.
+  server.Stop();
+  const serve::Server::Counters counters = server.GetCounters();
+  const util::ShardedLruCache::Stats cache = service.Cache().GetStats();
+  e.Note("drained: %llu connection(s), %llu overload reject(s), "
+         "%llu deadline(s), %llu slow quer(ies)",
+         static_cast<unsigned long long>(counters.accepted),
+         static_cast<unsigned long long>(counters.overload_rejects),
+         static_cast<unsigned long long>(counters.deadline_exceeded),
+         static_cast<unsigned long long>(counters.slow_queries));
+  e.Note("cache: %llu hit(s), %llu miss(es), %llu eviction(s)",
+         static_cast<unsigned long long>(cache.hits),
+         static_cast<unsigned long long>(cache.misses),
+         static_cast<unsigned long long>(cache.evictions));
+  util::Metrics::Global().SetGauge("serve.port",
+                                   static_cast<double>(server.Port()));
+  return e.Finish();
+}

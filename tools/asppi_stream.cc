@@ -39,8 +39,11 @@ int main(int argc, char** argv) {
   e.Flags().DefineString("rib", "", "baseline RIB snapshot (.rib)");
   e.Flags().DefineString("upd", "", "update stream (.upd)");
   e.Flags().DefineString("topo", "",
-                         "as-rel topology file (enables hint rules; --gen "
-                         "uses the generated graph)");
+                         "as-rel topology file or binary snapshot (enables "
+                         "hint rules; --gen uses the generated graph)");
+  e.Flags().DefineString("snapshot", "",
+                         "binary snapshot (asppi_snapshot output) to load "
+                         "instead of --topo (mmap fast path)");
   e.Flags().DefineUint("victim", 0,
                        "report alarms only for this prefix owner (0 = all)");
   e.Flags().DefineInt("lambda", 0,
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   data::RibSnapshot rib;
   stream::UpdateSource source;
   topo::AsGraph file_graph;
+  data::Snapshot topo_snapshot;
   const topo::AsGraph* graph = nullptr;
 
   if (e.Flags().GetBool("gen")) {
@@ -91,13 +95,17 @@ int main(int argc, char** argv) {
                    e.Flags().GetString("upd").c_str(), err.c_str());
       return 1;
     }
-    if (!e.Flags().GetString("topo").empty()) {
-      if (!e.LoadTopology(e.Flags().GetString("topo"), &file_graph)) return 1;
-      graph = &file_graph;
+    const std::string& snapshot_path = e.Flags().GetString("snapshot");
+    const std::string& topo_path =
+        snapshot_path.empty() ? e.Flags().GetString("topo") : snapshot_path;
+    if (!topo_path.empty()) {
+      graph = e.LoadTopologyOrSnapshot(topo_path, &file_graph, &topo_snapshot);
+      if (graph == nullptr) return 1;
     }
   }
 
-  const topo::Asn victim = static_cast<topo::Asn>(e.Flags().GetUint("victim"));
+  topo::Asn victim = 0;
+  if (!e.AsnFlag("victim", &victim)) return 1;
   bgp::PrependPolicy policy;
   const bgp::PrependPolicy* policy_ptr = nullptr;
   if (e.Flags().GetInt("lambda") > 0 && victim != 0) {
