@@ -34,7 +34,9 @@ std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   topo::Asn victim, topo::Asn attacker,
                                   int max_lambda, bool violate_valley_free,
                                   util::ThreadPool* pool = nullptr,
-                                  attack::BaselineCache* baseline_cache = nullptr);
+                                  attack::BaselineCache* baseline_cache = nullptr,
+                                  attack::EngineKind engine =
+                                      attack::EngineKind::kDelta);
 
 // Formats a λ-sweep as the paper's figures do (percent polluted per λ).
 util::Table SweepTable(const std::vector<SweepRow>& rows,

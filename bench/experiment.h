@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "attack/baseline_cache.h"
+#include "attack/impact.h"
 #include "data/snapshot.h"
 #include "topology/generator.h"
 #include "util/flags.h"
@@ -94,6 +95,10 @@ class Experiment {
   // decimal digits only, must fit in 32 bits). On failure prints the shared
   // error line and returns false; main() should return 1.
   bool AsnFlag(const std::string& name, topo::Asn* out) const;
+
+  // The --engine selection (registered on every experiment): delta (the
+  // default) or full, with a warning and delta fallback on unknown values.
+  attack::EngineKind Engine() const;
 
   // Thread pool sized by --threads (lazily built; requires a threads flag).
   // Outputs are bit-identical for any --threads value.

@@ -23,7 +23,8 @@ using topo::fb::kLevel3;
 using topo::fb::kNtt;
 using topo::fb::kSkTelecom;
 
-void PrintRoutes(const char* title, const bgp::PropagationResult& result) {
+template <typename State>  // PropagationResult or RoutingView
+void PrintRoutes(const char* title, const State& result) {
   std::printf("%s\n", title);
   for (topo::Asn asn : {kLevel3, kAtt, kNtt, kChinaTelecom, kSkTelecom}) {
     const auto& best = result.BestAt(asn);

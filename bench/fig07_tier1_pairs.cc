@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   options.lambda = lambda;
   options.pool = e.Pool();
   options.baseline_cache = e.Baseline();
+  options.engine = e.Engine();
   options.export_stripped_to_peers = true;
   auto aggressive = attack::RunPairSweep(topology.graph, pairs, options);
   options.export_stripped_to_peers = false;

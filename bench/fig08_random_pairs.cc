@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   attack::PairSweepOptions options;
   options.lambda = static_cast<int>(e.Flags().GetInt("lambda"));
   options.pool = e.Pool();
+  options.engine = e.Engine();
   auto results = attack::RunPairSweep(topology.graph, pairs, options);
 
   util::Table table({"rank", "attacker(tier)", "victim(tier)",

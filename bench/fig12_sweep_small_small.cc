@@ -29,11 +29,11 @@ int main(int argc, char** argv) {
   auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker, max_lambda,
                                  /*violate_valley_free=*/false, e.Pool(),
-                                 e.Baseline());
+                                 e.Baseline(), e.Engine());
   auto violate = bench::LambdaSweep(topology.graph, scenario.victim,
                                     scenario.attacker, max_lambda,
                                     /*violate_valley_free=*/true, e.Pool(),
-                                    e.Baseline());
+                                    e.Baseline(), e.Engine());
 
   util::Table table({"num_prepending_asns", "pct_follow_valley_free",
                      "pct_violate_routing_policy", "pct_before_hijack"});

@@ -1,160 +1,282 @@
-// Micro-benchmarks (google-benchmark) for the library's engines — the
-// ablation DESIGN.md calls out: full path-vector propagation vs the
-// three-phase routing tree, resume-based attack re-convergence vs full
-// recomputation, detector scan throughput, and generator cost.
-#include <benchmark/benchmark.h>
+// perf_engines: convergence-engine ablation — full re-convergence
+// (PropagationSimulator::Resume) vs the incremental delta-wavefront engine
+// (bgp::DeltaPropagator), over the sweep workloads the engines exist for.
+//
+// Three legs, all over one generated topology and one shared warm baseline
+// cache (baseline computation is excluded from every timed region — both
+// engines warm-start, so the ablation isolates the re-convergence cost):
+//
+//   1. fig09-style λ-sweep (tier-1 attacker vs tier-1 victim): per-λ timing.
+//      The wavefront grows with λ — small λ shows the engine's best case,
+//      λ=max its worst (most of the graph flips and export work dominates).
+//   2. Pair sweeps per attacker tier (tier-1 / tier-2 / tier-3 / stub
+//      against the tier-1 victim, plus fig08-style random pairs): aggregate
+//      speedup per tier, which tracks wavefront size by construction.
+//   3. Wavefront-size histogram (power-of-2 buckets of ASes touched per
+//      delta run) across all pair-sweep attacks.
+//
+// Every timed delta outcome is spot-checked against the full engine's
+// (fractions and newly-polluted sets must match exactly; the bit-level RIB
+// equivalence lives in tests/delta_test.cc and the fuzzer's delta-vs-full
+// leg); any mismatch fails the run. --smoke shrinks the topology and point
+// counts to CI size; CI publishes the --json report as BENCH_engines.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attack/baseline_cache.h"
 #include "attack/impact.h"
 #include "attack/scenarios.h"
-#include "bgp/propagation.h"
-#include "bgp/routing_tree.h"
-#include "detect/detector.h"
-#include "detect/evaluation.h"
-#include "detect/monitors.h"
+#include "bench/experiment.h"
 #include "topology/generator.h"
-#include "util/thread_pool.h"
+#include "util/metrics.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace asppi;
 
-topo::GeneratedTopology& Topology(bool siblings) {
-  static topo::GeneratedTopology with = [] {
-    topo::GeneratorParams params;
-    params.seed = 42;
-    return topo::GenerateInternetTopology(params);
-  }();
-  static topo::GeneratedTopology without = [] {
-    topo::GeneratorParams params;
-    params.seed = 42;
-    params.num_sibling_pairs = 0;
-    return topo::GenerateInternetTopology(params);
-  }();
-  return siblings ? with : without;
+struct TimedRun {
+  attack::AttackOutcome outcome;
+  double ms = 0.0;
+};
+
+// Best-of-`reps` timing of one attack on `simulator` (baselines must already
+// be warm so only re-convergence + accounting is measured).
+TimedRun TimeAttack(const attack::AttackSimulator& simulator, topo::Asn victim,
+                    topo::Asn attacker, int lambda, std::size_t reps) {
+  TimedRun run;
+  double best_ms = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const std::uint64_t start = util::MonotonicNowNs();
+    attack::AttackOutcome outcome =
+        simulator.RunAsppInterception(victim, attacker, lambda);
+    const double ms =
+        static_cast<double>(util::MonotonicNowNs() - start) / 1e6;
+    if (r == 0 || ms < best_ms) best_ms = ms;
+    run.outcome = std::move(outcome);
+  }
+  run.ms = best_ms;
+  return run;
 }
 
-void BM_GenerateTopology(benchmark::State& state) {
-  topo::GeneratorParams params;
-  params.seed = 42;
-  for (auto _ : state) {
-    auto gen = topo::GenerateInternetTopology(params);
-    benchmark::DoNotOptimize(gen.graph.NumLinks());
-  }
+// The observable results both engines must agree on. (Bit-level state
+// equivalence is the test suite's job; this keeps the bench honest about
+// what it timed.)
+bool SameResults(const attack::AttackOutcome& full,
+                 const attack::AttackOutcome& delta) {
+  return full.fraction_before == delta.fraction_before &&
+         full.fraction_after == delta.fraction_after &&
+         full.newly_polluted == delta.newly_polluted;
 }
-BENCHMARK(BM_GenerateTopology)->Unit(benchmark::kMillisecond);
 
-void BM_PropagationRun(benchmark::State& state) {
-  auto& gen = Topology(true);
-  bgp::PropagationSimulator sim(gen.graph);
-  bgp::Announcement ann;
-  ann.origin = gen.tier1[0];
-  ann.prepends.SetDefault(ann.origin, 3);
-  for (auto _ : state) {
-    auto result = sim.Run(ann);
-    benchmark::DoNotOptimize(result.ReachableCount());
-  }
+std::size_t WavefrontOf(const attack::AttackOutcome& outcome) {
+  const bgp::DeltaResult* delta = outcome.after.Delta();
+  return delta != nullptr ? delta->TouchedIndices().size() : 0;
 }
-BENCHMARK(BM_PropagationRun)->Unit(benchmark::kMillisecond);
 
-void BM_RoutingTree(benchmark::State& state) {
-  auto& gen = Topology(false);
-  bgp::Announcement ann;
-  ann.origin = gen.tier1[0];
-  ann.prepends.SetDefault(ann.origin, 3);
-  for (auto _ : state) {
-    bgp::RoutingTree tree(gen.graph, ann);
-    benchmark::DoNotOptimize(tree.ReachableCount());
-  }
+std::size_t BucketOf(std::size_t wavefront) {
+  std::size_t bucket = 0;
+  while ((std::size_t{1} << (bucket + 1)) <= wavefront) ++bucket;
+  return wavefront == 0 ? 0 : bucket + 1;  // bucket 0 reserved for "0"
 }
-BENCHMARK(BM_RoutingTree)->Unit(benchmark::kMillisecond);
 
-void BM_AttackResumeVsFull(benchmark::State& state) {
-  // Measures the resume path only (the baseline is computed once) — the
-  // incremental re-convergence every attack experiment relies on.
-  auto& gen = Topology(true);
-  bgp::PropagationSimulator sim(gen.graph);
-  bgp::Announcement ann;
-  ann.origin = gen.tier1[0];
-  ann.prepends.SetDefault(ann.origin, 3);
-  bgp::PropagationResult before = sim.Run(ann);
-  attack::AsppInterceptor::Config config;
-  config.attacker = gen.tier1[1];
-  config.victim = gen.tier1[0];
-  for (auto _ : state) {
-    attack::AsppInterceptor interceptor(config);
-    auto after = sim.Resume(before, &interceptor, {config.attacker});
-    benchmark::DoNotOptimize(after.FractionTraversing(config.attacker));
-  }
+std::string BucketLabel(std::size_t bucket) {
+  if (bucket == 0) return "0";
+  const std::size_t lo = std::size_t{1} << (bucket - 1);
+  const std::size_t hi = (std::size_t{1} << bucket) - 1;
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
 }
-BENCHMARK(BM_AttackResumeVsFull)->Unit(benchmark::kMillisecond);
-
-void BM_FullAttackOutcome(benchmark::State& state) {
-  auto& gen = Topology(true);
-  attack::AttackSimulator sim(gen.graph);
-  for (auto _ : state) {
-    auto outcome =
-        sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
-    benchmark::DoNotOptimize(outcome.fraction_after);
-  }
-}
-BENCHMARK(BM_FullAttackOutcome)->Unit(benchmark::kMillisecond);
-
-void BM_AttackOutcomeCachedBaseline(benchmark::State& state) {
-  // The cached counterpart of BM_FullAttackOutcome: after the first miss the
-  // attack-free baseline is served from the BaselineCache and each outcome
-  // costs only the Resume() re-convergence plus the pollution scans.
-  auto& gen = Topology(true);
-  attack::BaselineCache cache(gen.graph);
-  attack::AttackSimulator sim(gen.graph, &cache);
-  // Warm the single (victim, λ) entry so the loop measures steady state.
-  sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
-  for (auto _ : state) {
-    auto outcome =
-        sim.RunAsppInterception(gen.tier1[0], gen.tier1[1], 3, false);
-    benchmark::DoNotOptimize(outcome.fraction_after);
-  }
-}
-BENCHMARK(BM_AttackOutcomeCachedBaseline)->Unit(benchmark::kMillisecond);
-
-void BM_PairSweepParallel(benchmark::State& state) {
-  // The Figs. 7/8 workhorse at various thread counts; the per-iteration
-  // internal baseline cache means each sweep pays one Run() per distinct
-  // victim regardless of threads.
-  auto& gen = Topology(true);
-  auto pairs = attack::SampleTier1Pairs(gen, 24, /*seed=*/7);
-  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
-  attack::PairSweepOptions options;
-  options.lambda = 3;
-  options.pool = &pool;
-  for (auto _ : state) {
-    auto results = attack::RunPairSweep(gen.graph, pairs, options);
-    benchmark::DoNotOptimize(results.size());
-  }
-}
-BENCHMARK(BM_PairSweepParallel)
-    ->ArgName("threads")
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_DetectionScan(benchmark::State& state) {
-  auto& gen = Topology(true);
-  attack::AttackSimulator sim(gen.graph);
-  auto outcome = sim.RunAsppInterception(gen.stubs[0], gen.tier2[0], 4, false);
-  auto monitors = detect::TopDegreeMonitors(gen.graph, state.range(0));
-  detect::DetectionConfig config;
-  config.lambda = 4;
-  for (auto _ : state) {
-    auto result = detect::EvaluateDetectionOnOutcome(gen.graph, outcome,
-                                                     monitors, config);
-    benchmark::DoNotOptimize(result.detected);
-  }
-}
-BENCHMARK(BM_DetectionScan)->Arg(50)->Arg(150)->Arg(300)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Experiment e(
+      "Engine ablation: full re-convergence vs delta wavefront",
+      "the delta engine must match the full engine exactly and win big "
+      "wherever the attack wavefront is small (low lambda, low-tier "
+      "attackers) — the common case in sweeps");
+  e.WithTopologyFlags();
+  e.Flags().DefineBool("smoke", false,
+                       "CI-sized run: small topology, fewer lambda points "
+                       "and pairs");
+  e.Flags().DefineInt("max_lambda", 8, "lambda-sweep upper bound (leg 1)");
+  e.Flags().DefineUint("pairs", 48, "attacker sample size per tier (leg 2)");
+  e.Flags().DefineUint("reps", 3, "timing repetitions per point (best-of)");
+  if (!e.ParseFlags(argc, argv)) return 1;
+
+  const bool smoke = e.Flags().GetBool("smoke");
+  topo::GeneratorParams params = e.Params();
+  int max_lambda = static_cast<int>(e.Flags().GetInt("max_lambda"));
+  std::size_t pair_count = e.Flags().GetUint("pairs");
+  std::size_t reps = e.Flags().GetUint("reps");
+  if (smoke) {
+    params.num_tier1 = std::min<std::size_t>(params.num_tier1, 5);
+    params.num_tier2 = std::min<std::size_t>(params.num_tier2, 40);
+    params.num_tier3 = std::min<std::size_t>(params.num_tier3, 150);
+    params.num_stubs = std::min<std::size_t>(params.num_stubs, 600);
+    params.num_content = std::min<std::size_t>(params.num_content, 10);
+    params.num_sibling_pairs = std::min<std::size_t>(params.num_sibling_pairs, 5);
+    max_lambda = std::min(max_lambda, 4);
+    pair_count = std::min<std::size_t>(pair_count, 8);
+    reps = 1;
+  }
+  if (reps == 0) reps = 1;
+
+  const topo::GeneratedTopology& topology = e.GenerateTopology(params);
+  const attack::SweepScenario scenario = attack::Tier1VsTier1(topology);
+
+  // One shared cache; both engines warm-start from identical baselines.
+  attack::BaselineCache* cache = e.Baseline();
+  const attack::AttackSimulator full_sim(topology.graph, cache,
+                                         attack::EngineKind::kFull);
+  const attack::AttackSimulator delta_sim(topology.graph, cache,
+                                          attack::EngineKind::kDelta);
+
+  bool mismatch = false;
+  const auto check = [&](const attack::AttackOutcome& full,
+                         const attack::AttackOutcome& delta) {
+    if (!SameResults(full, delta)) {
+      mismatch = true;
+      std::fprintf(stderr,
+                   "ENGINE MISMATCH: attacker AS%u victim AS%u lambda %d — "
+                   "full %.6f/%zu vs delta %.6f/%zu (fraction_after/"
+                   "newly_polluted)\n",
+                   full.attacker, full.victim, full.lambda,
+                   full.fraction_after, full.newly_polluted.size(),
+                   delta.fraction_after, delta.newly_polluted.size());
+    }
+  };
+
+  // ---- Leg 1: fig09-style λ-sweep, per-λ timing --------------------------
+  e.Note("leg 1: tier-1 attacker AS%u vs tier-1 victim AS%u, lambda 1..%d "
+         "(best of %zu reps)",
+         scenario.attacker, scenario.victim, max_lambda, reps);
+  // Pre-warm the per-λ baselines outside the timed region.
+  for (int lambda = 1; lambda <= max_lambda; ++lambda) {
+    bgp::Announcement announcement;
+    announcement.origin = scenario.victim;
+    announcement.prepends.SetDefault(scenario.victim, lambda);
+    cache->Get(announcement);
+  }
+  util::Table sweep_table({"lambda", "full_ms", "delta_ms", "speedup",
+                           "wavefront_ases", "pct_polluted"});
+  double sweep_full_ms = 0.0, sweep_delta_ms = 0.0;
+  for (int lambda = 1; lambda <= max_lambda; ++lambda) {
+    const TimedRun full = TimeAttack(full_sim, scenario.victim,
+                                     scenario.attacker, lambda, reps);
+    const TimedRun delta = TimeAttack(delta_sim, scenario.victim,
+                                      scenario.attacker, lambda, reps);
+    check(full.outcome, delta.outcome);
+    sweep_full_ms += full.ms;
+    sweep_delta_ms += delta.ms;
+    sweep_table.Row()
+        .Cell(lambda)
+        .Cell(full.ms, 3)
+        .Cell(delta.ms, 3)
+        .Cell(delta.ms > 0 ? full.ms / delta.ms : 0.0, 1)
+        .Cell(static_cast<std::uint64_t>(WavefrontOf(delta.outcome)))
+        .Cell(100.0 * delta.outcome.fraction_after, 1);
+  }
+  e.PrintTable(sweep_table);
+  e.Note("leg 1 aggregate: full %.1f ms, delta %.1f ms, speedup %.1fx",
+         sweep_full_ms, sweep_delta_ms,
+         sweep_delta_ms > 0 ? sweep_full_ms / sweep_delta_ms : 0.0);
+
+  // ---- Leg 2: pair sweeps per attacker tier ------------------------------
+  struct TierLeg {
+    const char* name;
+    std::vector<std::pair<topo::Asn, topo::Asn>> pairs;
+  };
+  const auto versus_victim = [&](const std::vector<topo::Asn>& attackers) {
+    std::vector<std::pair<topo::Asn, topo::Asn>> pairs;
+    for (topo::Asn attacker : attackers) {
+      if (attacker == scenario.victim) continue;
+      if (pairs.size() >= pair_count) break;
+      pairs.emplace_back(attacker, scenario.victim);
+    }
+    return pairs;
+  };
+  std::vector<TierLeg> legs;
+  legs.push_back({"tier1", versus_victim(topology.tier1)});
+  legs.push_back({"tier2", versus_victim(topology.tier2)});
+  legs.push_back({"tier3", versus_victim(topology.tier3)});
+  legs.push_back({"stub", versus_victim(topology.stubs)});
+  legs.push_back(
+      {"random", attack::SampleRandomPairs(topology, pair_count,
+                                           params.seed + 9)});
+
+  const int pair_lambda = std::min(3, max_lambda);
+  // Pre-warm every distinct victim baseline outside the timed regions.
+  for (const TierLeg& leg : legs) {
+    for (const auto& [attacker, victim] : leg.pairs) {
+      (void)attacker;
+      bgp::Announcement announcement;
+      announcement.origin = victim;
+      announcement.prepends.SetDefault(victim, pair_lambda);
+      cache->Get(announcement);
+    }
+  }
+
+  e.Note("leg 2: per-tier pair sweeps at lambda=%d (%zu pairs per leg)",
+         pair_lambda, pair_count);
+  util::Table tier_table({"attacker_tier", "pairs", "full_ms", "delta_ms",
+                          "speedup", "mean_wavefront", "max_wavefront"});
+  std::vector<std::uint64_t> histogram;
+  double fig09_pairs_speedup = 0.0;
+  for (const TierLeg& leg : legs) {
+    double full_ms = 0.0, delta_ms = 0.0;
+    std::size_t wave_sum = 0, wave_max = 0;
+    for (const auto& [attacker, victim] : leg.pairs) {
+      const TimedRun full =
+          TimeAttack(full_sim, victim, attacker, pair_lambda, reps);
+      const TimedRun delta =
+          TimeAttack(delta_sim, victim, attacker, pair_lambda, reps);
+      check(full.outcome, delta.outcome);
+      full_ms += full.ms;
+      delta_ms += delta.ms;
+      const std::size_t wavefront = WavefrontOf(delta.outcome);
+      wave_sum += wavefront;
+      wave_max = std::max(wave_max, wavefront);
+      const std::size_t bucket = BucketOf(wavefront);
+      if (histogram.size() <= bucket) histogram.resize(bucket + 1, 0);
+      ++histogram[bucket];
+    }
+    const double speedup = delta_ms > 0 ? full_ms / delta_ms : 0.0;
+    if (std::string(leg.name) == "random") fig09_pairs_speedup = speedup;
+    tier_table.Row()
+        .Cell(leg.name)
+        .Cell(static_cast<std::uint64_t>(leg.pairs.size()))
+        .Cell(full_ms, 1)
+        .Cell(delta_ms, 1)
+        .Cell(speedup, 1)
+        .Cell(leg.pairs.empty()
+                  ? 0.0
+                  : static_cast<double>(wave_sum) /
+                        static_cast<double>(leg.pairs.size()),
+              1)
+        .Cell(static_cast<std::uint64_t>(wave_max));
+  }
+  e.PrintTable(tier_table);
+  e.Note("leg 2: random-pair sweep speedup %.1fx (the Figs. 7/8 workload "
+         "shape)",
+         fig09_pairs_speedup);
+
+  // ---- Leg 3: wavefront histogram ----------------------------------------
+  util::Table wave_table({"wavefront_ases", "attacks"});
+  for (std::size_t bucket = 0; bucket < histogram.size(); ++bucket) {
+    if (histogram[bucket] == 0) continue;
+    wave_table.Row().Cell(BucketLabel(bucket)).Cell(histogram[bucket]);
+  }
+  e.PrintTable(wave_table);
+
+  if (mismatch) {
+    e.Note("FAIL: delta engine diverged from the full engine (see stderr)");
+    return e.Finish(1);
+  }
+  e.Note("equivalence: every timed delta outcome matched the full engine "
+         "(fractions and newly-polluted sets)");
+  return e.Finish();
+}

@@ -13,7 +13,8 @@ using namespace asppi::topo::fb;
 
 namespace {
 
-void ShowRoute(const bgp::PropagationResult& state, topo::Asn asn,
+template <typename State>  // PropagationResult or RoutingView
+void ShowRoute(const State& state, topo::Asn asn,
                const char* name) {
   const auto& best = state.BestAt(asn);
   std::printf("  %-14s AS%-6u: %s\n", name, asn,

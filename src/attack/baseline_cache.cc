@@ -33,11 +33,10 @@ CacheMetrics& Instr() {
 BaselineCache::BaselineCache(const topo::AsGraph& graph)
     : graph_(graph), engine_(graph) {}
 
-std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
-    const bgp::Announcement& announcement) {
+BaselineEntry BaselineCache::GetEntry(const bgp::Announcement& announcement) {
   const std::string key = KeyOf(announcement);
-  std::promise<std::shared_ptr<const bgp::PropagationResult>> promise;
-  std::shared_future<std::shared_ptr<const bgp::PropagationResult>> future;
+  std::promise<BaselineEntry> promise;
+  std::shared_future<BaselineEntry> future;
   bool compute = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,8 +56,12 @@ std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
     // waiters for *this* key block on the future instead of the mutex.
     util::ScopedTimer compute_timer(Instr().compute);
     try {
-      promise.set_value(std::make_shared<const bgp::PropagationResult>(
-          engine_.Run(announcement)));
+      BaselineEntry entry;
+      entry.state = std::make_shared<const bgp::PropagationResult>(
+          engine_.Run(announcement));
+      entry.traversal =
+          std::make_shared<const bgp::TraversalIndex>(*entry.state);
+      promise.set_value(std::move(entry));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
@@ -69,13 +72,16 @@ std::shared_ptr<const bgp::PropagationResult> BaselineCache::Get(
 void BaselineCache::Put(
     std::shared_ptr<const bgp::PropagationResult> baseline) {
   const std::string key = KeyOf(baseline->GetAnnouncement());
-  std::promise<std::shared_ptr<const bgp::PropagationResult>> promise;
+  std::promise<BaselineEntry> promise;
   auto future = promise.get_future().share();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!entries_.emplace(key, future).second) return;  // already present
   }
-  promise.set_value(std::move(baseline));
+  BaselineEntry entry;
+  entry.traversal = std::make_shared<const bgp::TraversalIndex>(*baseline);
+  entry.state = std::move(baseline);
+  promise.set_value(std::move(entry));
 }
 
 std::size_t BaselineCache::Size() const {

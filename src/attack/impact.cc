@@ -8,8 +8,13 @@
 namespace asppi::attack {
 
 AttackSimulator::AttackSimulator(const topo::AsGraph& graph,
-                                 BaselineCache* baseline_cache)
-    : graph_(graph), engine_(graph), baseline_cache_(baseline_cache) {
+                                 BaselineCache* baseline_cache,
+                                 EngineKind engine)
+    : graph_(graph),
+      engine_(graph),
+      delta_engine_(graph),
+      baseline_cache_(baseline_cache),
+      engine_kind_(engine) {
   if (baseline_cache_ != nullptr) {
     ASPPI_CHECK(&baseline_cache_->Graph() == &graph)
         << "baseline cache built on a different graph";
@@ -25,19 +30,63 @@ AttackOutcome AttackSimulator::RunWithTransform(
   outcome.attacker = attacker;
   outcome.lambda = lambda;
 
-  outcome.before =
-      baseline_cache_ != nullptr
-          ? baseline_cache_->Get(announcement)
-          : std::make_shared<const bgp::PropagationResult>(
-                engine_.Run(announcement));
-  outcome.after = engine_.Resume(*outcome.before, &transform, {attacker});
+  std::shared_ptr<const bgp::TraversalIndex> traversal;
+  if (baseline_cache_ != nullptr) {
+    BaselineEntry entry = baseline_cache_->GetEntry(announcement);
+    outcome.before = std::move(entry.state);
+    traversal = std::move(entry.traversal);
+  } else {
+    outcome.before = std::make_shared<const bgp::PropagationResult>(
+        engine_.Run(announcement));
+  }
+
+  const std::size_t n = graph_.NumAses();
+  const double denom = n > 2 ? static_cast<double>(n - 2) : 0.0;
+
+  if (engine_kind_ == EngineKind::kDelta) {
+    if (traversal == nullptr) {
+      traversal = std::make_shared<const bgp::TraversalIndex>(*outcome.before);
+    }
+    bgp::DeltaResult delta =
+        delta_engine_.Propagate(outcome.before, &transform, {attacker});
+
+    // Incremental pollution accounting: only touched ASes can change
+    // traversal membership, so adjust the baseline's indexed count over the
+    // wavefront instead of re-scanning all n best paths. Touched indices are
+    // ascending, matching the dense-scan order of AsesTraversing — so
+    // newly_polluted comes out in the same order as the full engine's.
+    const std::size_t before_count = traversal->TraversingCount(attacker);
+    std::size_t after_count = before_count;
+    const auto& base_best = outcome.before->BestRoutes();
+    for (std::uint32_t index : delta.TouchedIndices()) {
+      const Asn asn = graph_.AsnAt(index);
+      if (asn == attacker || asn == announcement.origin) continue;
+      const std::optional<bgp::Route>& was = base_best[index];
+      const std::optional<bgp::Route>& now = delta.BestAtIndex(index);
+      const bool was_p = was.has_value() && was->path.Contains(attacker);
+      const bool now_p = now.has_value() && now->path.Contains(attacker);
+      if (now_p && !was_p) {
+        ++after_count;
+        outcome.newly_polluted.push_back(asn);
+      } else if (was_p && !now_p) {
+        --after_count;
+      }
+    }
+    if (denom > 0.0) {
+      outcome.fraction_before = static_cast<double>(before_count) / denom;
+      outcome.fraction_after = static_cast<double>(after_count) / denom;
+    }
+    outcome.after = std::move(delta);
+    return outcome;
+  }
+
+  bgp::PropagationResult after =
+      engine_.Resume(*outcome.before, &transform, {attacker});
 
   // One traversal scan per state; fractions and the pollution delta all
   // derive from these two sets (AsesTraversing is an O(n·pathlen) walk).
   const std::vector<Asn> before_set = outcome.before->AsesTraversing(attacker);
-  const std::vector<Asn> after_set = outcome.after.AsesTraversing(attacker);
-  const std::size_t n = graph_.NumAses();
-  const double denom = n > 2 ? static_cast<double>(n - 2) : 0.0;
+  const std::vector<Asn> after_set = after.AsesTraversing(attacker);
   if (denom > 0.0) {
     outcome.fraction_before = static_cast<double>(before_set.size()) / denom;
     outcome.fraction_after = static_cast<double>(after_set.size()) / denom;
@@ -47,6 +96,7 @@ AttackOutcome AttackSimulator::RunWithTransform(
   for (Asn asn : after_set) {
     if (!before_lookup.contains(asn)) outcome.newly_polluted.push_back(asn);
   }
+  outcome.after = std::move(after);
   return outcome;
 }
 
@@ -103,7 +153,7 @@ std::vector<PairImpact> RunPairSweep(
   BaselineCache* cache = options.baseline_cache != nullptr
                              ? options.baseline_cache
                              : &local_cache;
-  AttackSimulator simulator(graph, cache);
+  AttackSimulator simulator(graph, cache, options.engine);
 
   std::vector<PairImpact> results(attacker_victim_pairs.size());
   util::ParallelFor(

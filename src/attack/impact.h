@@ -8,11 +8,21 @@
 
 #include "attack/baseline_cache.h"
 #include "attack/interceptor.h"
+#include "bgp/delta.h"
 #include "bgp/propagation.h"
 #include "topology/as_graph.h"
 #include "util/thread_pool.h"
 
 namespace asppi::attack {
+
+// Which convergence engine computes the attacked state.
+//   kFull:  PropagationSimulator::Resume — copies the baseline, scans all n
+//           ASes per phase. The reference engine.
+//   kDelta: bgp::DeltaPropagator — propagates only the attack wavefront over
+//           the immutable baseline. Bit-identical results (enforced by
+//           tests/delta_test.cc and the fuzzer's delta-vs-full leg), 10–100×
+//           faster on sweeps. The default.
+enum class EngineKind { kFull, kDelta };
 
 // Everything measured for one attacker/victim instance.
 struct AttackOutcome {
@@ -27,7 +37,10 @@ struct AttackOutcome {
   // BaselineCache, every outcome against the same victim/policy points at
   // one memoized state instead of owning a recomputed copy.
   std::shared_ptr<const bgp::PropagationResult> before;
-  bgp::PropagationResult after;  // converged under the attack
+  // Converged under the attack: a dense PropagationResult from the full
+  // engine, or a sparse baseline+overlay from the delta engine. Query API is
+  // identical either way; call .Full() where the dense RIB is truly needed.
+  bgp::RoutingView after;
 
   // Fraction of ASes (excluding attacker and victim) whose best path
   // traverses the attacker — the paper's "% of paths traversing attacker".
@@ -45,7 +58,8 @@ class AttackSimulator {
   // baselines across runs; it must outlive the simulator and be built on the
   // same graph. Without a cache every run computes its own baseline.
   explicit AttackSimulator(const topo::AsGraph& graph,
-                           BaselineCache* baseline_cache = nullptr);
+                           BaselineCache* baseline_cache = nullptr,
+                           EngineKind engine = EngineKind::kDelta);
 
   // The ASPP-based interception attack: victim announces with λ prepends
   // (uniformly to all neighbors), attacker strips the padding.
@@ -69,6 +83,7 @@ class AttackSimulator {
   const bgp::PropagationSimulator& Engine() const { return engine_; }
   const topo::AsGraph& Graph() const { return graph_; }
   BaselineCache* GetBaselineCache() const { return baseline_cache_; }
+  EngineKind GetEngineKind() const { return engine_kind_; }
 
  private:
   AttackOutcome RunWithTransform(const bgp::Announcement& announcement,
@@ -77,7 +92,9 @@ class AttackSimulator {
 
   const topo::AsGraph& graph_;
   bgp::PropagationSimulator engine_;
+  bgp::DeltaPropagator delta_engine_;
   BaselineCache* baseline_cache_ = nullptr;
+  EngineKind engine_kind_ = EngineKind::kDelta;
 };
 
 // One row of the pair-sweep experiments (paper Figs. 7/8).
@@ -99,6 +116,8 @@ struct PairSweepOptions {
   // Baseline memoization (null = an internal cache private to this call —
   // repeated victims warm-start either way; pass one to share across calls).
   BaselineCache* baseline_cache = nullptr;
+  // Convergence engine for the attacked states (see EngineKind).
+  EngineKind engine = EngineKind::kDelta;
 };
 
 // Runs the ASPP interception for every (attacker, victim) pair and returns

@@ -65,6 +65,11 @@ class AsppInterceptor final : public bgp::RouteTransform {
       Asn asn, std::span<const std::optional<bgp::Route>> candidates,
       const std::optional<bgp::Route>& policy_best) override;
 
+  // OverrideBest only ever acts at the attacker, and only in violate mode.
+  bool MightOverride(Asn asn) const override {
+    return config_.violate_valley_free && asn == config_.attacker;
+  }
+
   // Total prepended copies removed across all exports so far (diagnostics).
   std::size_t CopiesRemoved() const { return copies_removed_; }
 
@@ -85,6 +90,8 @@ class OriginHijacker final : public bgp::RouteTransform {
   ExportAction OnExport(Asn exporter, Asn to, Relation to_rel,
                         Relation learned_from, AsPath& path) override;
 
+  bool MightOverride(Asn) const override { return false; }
+
  private:
   Asn attacker_;
   int pads_;
@@ -99,6 +106,8 @@ class BallaniInterceptor final : public bgp::RouteTransform {
 
   ExportAction OnExport(Asn exporter, Asn to, Relation to_rel,
                         Relation learned_from, AsPath& path) override;
+
+  bool MightOverride(Asn) const override { return false; }
 
  private:
   Asn attacker_;

@@ -1,0 +1,237 @@
+// DeltaPropagator: incremental re-convergence from a converged baseline,
+// propagating only the attack wavefront (DESIGN.md §4h).
+//
+// PropagationSimulator::Resume already re-announces from the attacker only,
+// but it still *copies* the entire converged state first (every Adj-RIB-In
+// row of every AS) and scans all n ASes per phase. For a sweep that probes
+// thousands of (attacker, victim, λ) points against one shared baseline, that
+// copy dominates: an ASPP interception typically flips the best route of a
+// small frontier of ASes, and everything else is dead weight.
+//
+// DeltaPropagator keeps the baseline immutable and accumulates a *sparse
+// overlay* (DeltaResult) of only what changed:
+//   * worklists (export list / dirty list) instead of O(n) phase scans,
+//   * per-AS overlay rows created on first touch, addressed through an O(1)
+//     dense-index table (no hashing on the hot path),
+//   * inside a row, the Adj-RIB-In and sent vectors are copied from the
+//     baseline on the row's *first write* and then indexed directly — so
+//     per-slot access costs exactly what the full engine pays, and the only
+//     extra work over Resume() is copying the touched rows instead of all n.
+//
+// Equivalence: both engines build every wire-visible action from the shared
+// kernels in bgp::engine_detail (propagation.h), process worklists in
+// ascending dense-index order (matching the full engine's linear scans), and
+// within a phase write disjoint state per worklist entry — so the overlay
+// composed over the baseline is bit-identical to Resume()'s output, a claim
+// enforced by tests/delta_test.cc and the fuzzer's delta-vs-full leg.
+//
+// Termination: identical argument to the full engine (same synchronous
+// schedule, same Gao-Rexford-safe policy system), plus the same kMaxRounds
+// backstop for attacker-perturbed runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bgp/propagation.h"
+#include "bgp/route.h"
+#include "bgp/transform.h"
+#include "topology/as_graph.h"
+
+namespace asppi::bgp {
+
+// Per-baseline index answering "how many ASes' best path traverses x?" in
+// O(1) per query. Building it is one O(n·L) pass — the same cost as a single
+// PropagationResult::AsesTraversing call, which sweeps otherwise pay twice
+// per (attacker, victim, λ) point. BaselineCache builds one per cached
+// baseline; the delta engine then derives post-attack pollution by adjusting
+// the baseline count over touched ASes only.
+class TraversalIndex {
+ public:
+  explicit TraversalIndex(const PropagationResult& baseline);
+
+  // |{a : a != x, a != origin, best(a) traverses x}| in the baseline.
+  std::size_t TraversingCount(Asn x) const;
+  // Number of ASes with any route at all (origin excluded).
+  std::size_t ReachableCount() const { return reachable_; }
+
+ private:
+  const topo::AsGraph* graph_;
+  std::size_t reachable_ = 0;
+  // counts_[i]: number of ASes (excluding AsnAt(i) itself and the origin)
+  // whose baseline best path contains AsnAt(i).
+  std::vector<std::size_t> counts_;
+};
+
+// Overlay state of one touched AS. Absent fields fall through to the
+// baseline.
+struct DeltaRow {
+  // Overlay of the best route. `best_set == false` means "unchanged from
+  // baseline"; `best_set == true` with `best == nullopt` means the AS lost
+  // its route.
+  bool best_set = false;
+  std::optional<Route> best;
+  // Round of the first best-route change since the resume point (-1: never
+  // changed; matches Resume()'s reset semantics).
+  int first_change_round = -1;
+  // Adj-RIB-In slot overrides. Bit s of `rib_mask` set ⇒ slot s reads from
+  // `rib[s]`; clear ⇒ the baseline's slot is still current. Both vectors are
+  // sized to the row's degree on the first slot write — default-constructed
+  // slots only, so creating a row never copies (or heap-allocates paths for)
+  // the baseline's unchanged routes, and every read/write after that is one
+  // bit test plus a direct index — the same cost the full engine pays.
+  // Empty ⇒ no slot of this row ever changed.
+  std::vector<std::uint64_t> rib_mask;
+  std::vector<std::optional<Route>> rib;
+  // Sent flags, copied from the baseline on first write (a byte memcpy, too
+  // cheap to mask) and mutated in place. Empty ⇒ unchanged.
+  std::vector<std::uint8_t> sent;
+
+  bool HasRibOverride(std::uint32_t slot) const {
+    return !rib_mask.empty() &&
+           ((rib_mask[slot >> 6] >> (slot & 63)) & std::uint64_t{1}) != 0;
+  }
+};
+
+// The converged post-attack state as (immutable baseline + sparse overlay).
+// Query API mirrors PropagationResult; Materialize() produces the equivalent
+// dense PropagationResult (used by equivalence tests and anything that needs
+// the full RIB).
+class DeltaResult {
+ public:
+  // --- PropagationResult-compatible queries --------------------------------
+  const std::optional<Route>& BestAt(Asn asn) const;
+  int FirstChangeRound(Asn asn) const;
+  int Rounds() const { return rounds_; }
+  const Announcement& GetAnnouncement() const {
+    return base_->GetAnnouncement();
+  }
+  const topo::AsGraph& Graph() const { return base_->Graph(); }
+  std::vector<Asn> AsesTraversing(Asn x) const;
+  double FractionTraversing(Asn x) const;
+  std::size_t ReachableCount() const;
+
+  // --- delta-specific ------------------------------------------------------
+  // Dense index variant (no hash lookup) for overlay-aware consumers.
+  const std::optional<Route>& BestAtIndex(std::size_t index) const;
+  // Ascending dense indices of every AS the propagation touched (overlay
+  // rows exist exactly for these).
+  const std::vector<std::uint32_t>& TouchedIndices() const { return touched_; }
+  const DeltaRow& RowAt(std::size_t pos) const { return rows_[pos]; }
+  const PropagationResult& Base() const { return *base_; }
+  std::shared_ptr<const PropagationResult> BasePtr() const { return base_; }
+
+  // Dense state equivalent to running the full engine's Resume() with the
+  // same inputs: baseline copied, overlay applied, change rounds reset to
+  // the overlay's. O(E) — for tests and full-RIB consumers, not hot paths.
+  PropagationResult Materialize() const;
+
+ private:
+  friend class DeltaPropagator;
+
+  // Overlay row of the AS at dense `index`, or nullptr if untouched.
+  const DeltaRow* RowOf(std::size_t index) const;
+
+  std::shared_ptr<const PropagationResult> base_;
+  int rounds_ = 0;
+  std::vector<std::uint32_t> touched_;  // ascending dense indices
+  std::vector<DeltaRow> rows_;          // parallel to touched_
+};
+
+// The incremental engine. Construction cost matches PropagationSimulator
+// (per-AS sorted slot index); Propagate() is then safe to call concurrently
+// from many threads against shared baselines.
+class DeltaPropagator {
+ public:
+  explicit DeltaPropagator(const topo::AsGraph& graph);
+
+  // Re-converges from `base` with `transform` in effect, seeding the
+  // wavefront from `dirty` (typically just the attacker) — the incremental
+  // equivalent of PropagationSimulator::Resume, bit-identical by
+  // construction. `base` must be converged state over the same graph; the
+  // result holds a reference to it (shared_ptr keeps it alive).
+  DeltaResult Propagate(std::shared_ptr<const PropagationResult> base,
+                        RouteTransform* transform,
+                        const std::vector<Asn>& dirty) const;
+
+  const topo::AsGraph& Graph() const { return graph_; }
+
+ private:
+  struct Work;
+
+  void ExportFromDelta(Work& work, std::size_t u,
+                       RouteTransform* transform) const;
+  bool DecideDelta(Work& work, std::size_t u, RouteTransform* transform) const;
+
+  static constexpr int kMaxRounds = 10000;
+
+  const topo::AsGraph& graph_;
+  engine_detail::EdgeMap edge_map_;
+};
+
+// Either a dense PropagationResult or a sparse DeltaResult, with the common
+// query API dispatched. AttackOutcome::after is one of these so every
+// consumer (detect/, serve/, benches, examples) works with both engines.
+// Full() returns the dense form, materializing lazily from a delta — cheap
+// for full-engine results, O(E) once for delta results. The lazy cache is
+// NOT thread-safe; share RoutingViews across threads only after Full() has
+// been called (or avoid Full() entirely on shared views).
+class RoutingView {
+ public:
+  RoutingView() = default;
+  /*implicit*/ RoutingView(PropagationResult full) : full_(std::move(full)) {}
+  /*implicit*/ RoutingView(DeltaResult delta) : delta_(std::move(delta)) {}
+
+  RoutingView(const RoutingView& other)
+      : full_(other.full_), delta_(other.delta_) {}
+  RoutingView& operator=(const RoutingView& other) {
+    full_ = other.full_;
+    delta_ = other.delta_;
+    materialized_.reset();
+    return *this;
+  }
+  RoutingView(RoutingView&&) = default;
+  RoutingView& operator=(RoutingView&&) = default;
+
+  bool IsDelta() const { return delta_.has_value(); }
+  // The sparse result, or nullptr for a full-engine view.
+  const DeltaResult* Delta() const {
+    return delta_ ? &*delta_ : nullptr;
+  }
+  // Dense state (materializes a delta on first call; see class comment).
+  const PropagationResult& Full() const;
+
+  // --- dispatched queries --------------------------------------------------
+  const std::optional<Route>& BestAt(Asn asn) const {
+    return delta_ ? delta_->BestAt(asn) : full_->BestAt(asn);
+  }
+  int FirstChangeRound(Asn asn) const {
+    return delta_ ? delta_->FirstChangeRound(asn) : full_->FirstChangeRound(asn);
+  }
+  int Rounds() const { return delta_ ? delta_->Rounds() : full_->Rounds(); }
+  const Announcement& GetAnnouncement() const {
+    return delta_ ? delta_->GetAnnouncement() : full_->GetAnnouncement();
+  }
+  const topo::AsGraph& Graph() const {
+    return delta_ ? delta_->Graph() : full_->Graph();
+  }
+  std::vector<Asn> AsesTraversing(Asn x) const {
+    return delta_ ? delta_->AsesTraversing(x) : full_->AsesTraversing(x);
+  }
+  double FractionTraversing(Asn x) const {
+    return delta_ ? delta_->FractionTraversing(x) : full_->FractionTraversing(x);
+  }
+  std::size_t ReachableCount() const {
+    return delta_ ? delta_->ReachableCount() : full_->ReachableCount();
+  }
+
+ private:
+  std::optional<PropagationResult> full_;
+  std::optional<DeltaResult> delta_;
+  mutable std::unique_ptr<PropagationResult> materialized_;
+};
+
+}  // namespace asppi::bgp

@@ -29,6 +29,73 @@ EngineMetrics& Instr() {
 
 }  // namespace
 
+namespace engine_detail {
+
+WireExport BuildExport(const Announcement& announcement, Asn u_asn,
+                       bool is_origin, const std::optional<Route>& best,
+                       Asn v_asn, Relation v_rel, RouteTransform* transform) {
+  WireExport out;
+  bool have_route = false;
+  if (is_origin) {
+    out.path =
+        AsPath::Origin(u_asn, announcement.prepends.PadsFor(u_asn, v_asn));
+    have_route = true;
+  } else if (best.has_value()) {
+    // Never send a route back through an AS already on it (sender-side loop
+    // avoidance; the receiver would discard it anyway).
+    if (!best->path.Contains(v_asn)) {
+      out.path = best->path;
+      out.path.Prepend(u_asn, announcement.prepends.PadsFor(u_asn, v_asn));
+      out.out_class = best->effective;
+      have_route = true;
+    }
+  }
+  if (!have_route) return out;
+
+  const bool policy_ok =
+      is_origin ? MayExportOwn(v_rel) : MayExport(out.out_class, v_rel);
+  ExportAction action = ExportAction::kDefault;
+  if (transform != nullptr) {
+    action = transform->OnExport(u_asn, v_asn, v_rel, out.out_class, out.path);
+  }
+  out.send = (action == ExportAction::kForce) ||
+             (action == ExportAction::kDefault && policy_ok);
+  return out;
+}
+
+Route DeliverRoute(WireExport&& wire, Asn u_asn, Relation v_rel) {
+  Route route;
+  route.path = std::move(wire.path);
+  route.learned_from = u_asn;
+  route.rel = topo::Reverse(v_rel);  // u's role relative to v
+  // Sibling links transport the underlying class; real boundaries
+  // re-classify by the business relationship.
+  route.effective =
+      (route.rel == Relation::kSibling) ? wire.out_class : route.rel;
+  return route;
+}
+
+std::optional<Route> ChooseBest(Asn u_asn,
+                                std::span<const std::optional<Route>> rib,
+                                RouteTransform* transform) {
+  const std::optional<Route>* best = nullptr;
+  for (const auto& candidate : rib) {
+    if (!candidate.has_value()) continue;
+    if (best == nullptr || BetterRoute(*candidate, **best)) {
+      best = &candidate;
+    }
+  }
+  std::optional<Route> chosen = best ? *best : std::optional<Route>{};
+  if (transform != nullptr && transform->MightOverride(u_asn)) {
+    if (auto overridden = transform->OverrideBest(u_asn, rib, chosen)) {
+      chosen = std::move(overridden);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace engine_detail
+
 const std::optional<Route>& PropagationResult::BestAt(Asn asn) const {
   return best_[graph_->IndexOf(asn)];
 }
@@ -89,27 +156,45 @@ std::size_t PropagationResult::ReachableCount() const {
 }
 
 PropagationSimulator::PropagationSimulator(const topo::AsGraph& graph)
-    : graph_(graph) {
-  slot_index_.resize(graph.NumAses());
-  for (std::size_t i = 0; i < graph.NumAses(); ++i) {
-    auto neighbors = graph.NeighborsOf(graph.AsnAt(i));
-    auto& index = slot_index_[i];
-    index.reserve(neighbors.size());
+    : graph_(graph), edge_map_(graph) {}
+
+namespace engine_detail {
+
+EdgeMap::EdgeMap(const topo::AsGraph& graph) {
+  const std::size_t n = graph.NumAses();
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + graph.NeighborsAtIndex(i).size();
+  }
+  edges_.resize(offsets_[n]);
+
+  // Per-AS sorted (neighbor ASN, slot) index for the one-time back-slot
+  // resolution below.
+  std::vector<std::vector<std::pair<Asn, std::uint32_t>>> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto neighbors = graph.NeighborsAtIndex(i);
+    sorted[i].reserve(neighbors.size());
     for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
-      index.emplace_back(neighbors[slot].asn, slot);
+      sorted[i].emplace_back(neighbors[slot].asn, slot);
     }
-    std::sort(index.begin(), index.end());
+    std::sort(sorted[i].begin(), sorted[i].end());
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const Asn u_asn = graph.AsnAt(u);
+    const auto neighbors = graph.NeighborsAtIndex(u);
+    for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
+      const std::size_t v = graph.IndexOf(neighbors[slot].asn);
+      const auto& v_sorted = sorted[v];
+      auto it = std::lower_bound(v_sorted.begin(), v_sorted.end(),
+                                 std::make_pair(u_asn, std::uint32_t{0}));
+      ASPPI_CHECK(it != v_sorted.end() && it->first == u_asn)
+          << "asymmetric adjacency at AS" << u_asn;
+      edges_[offsets_[u] + slot] = {static_cast<std::uint32_t>(v), it->second};
+    }
   }
 }
 
-std::uint32_t PropagationSimulator::SlotOf(std::size_t from, Asn to) const {
-  const auto& index = slot_index_[from];
-  auto it = std::lower_bound(index.begin(), index.end(),
-                             std::make_pair(to, std::uint32_t{0}));
-  ASPPI_CHECK(it != index.end() && it->first == to)
-      << "AS" << to << " is not a neighbor";
-  return it->second;
-}
+}  // namespace engine_detail
 
 PropagationResult PropagationSimulator::Run(const Announcement& announcement,
                                             RouteTransform* transform) const {
@@ -124,7 +209,7 @@ PropagationResult PropagationSimulator::Run(const Announcement& announcement,
   state.rib_in_.resize(n);
   state.sent_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t degree = graph_.NeighborsOf(graph_.AsnAt(i)).size();
+    const std::size_t degree = graph_.NeighborsAtIndex(i).size();
     state.rib_in_[i].resize(degree);
     state.sent_[i].assign(degree, 0);
   }
@@ -217,56 +302,26 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
                                       std::vector<std::uint8_t>& dirty) const {
   const Asn u_asn = graph_.AsnAt(u);
   const bool is_origin = (u_asn == state.announcement_.origin);
-  const auto neighbors = graph_.NeighborsOf(u_asn);
+  const auto neighbors = graph_.NeighborsAtIndex(u);
+  const auto edges = edge_map_.EdgesOf(u);
   const std::optional<Route>& best = state.best_[u];
   std::uint64_t announced = 0, withdrawn = 0;
 
   for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
     const Asn v_asn = neighbors[slot].asn;
     const Relation v_rel = neighbors[slot].rel;
-    const std::size_t v = graph_.IndexOf(v_asn);
-    const std::uint32_t back_slot = SlotOf(v, u_asn);
+    const std::size_t v = edges[slot].target;
+    const std::uint32_t back_slot = edges[slot].back_slot;
 
-    // Build the candidate export.
-    bool have_route = false;
-    AsPath path;
-    // Effective class of the exported route: the origin's own prefix ranks
-    // like a customer route; otherwise the best route's effective class.
-    Relation out_class = Relation::kCustomer;
-    if (is_origin) {
-      path = AsPath::Origin(
-          u_asn, state.announcement_.prepends.PadsFor(u_asn, v_asn));
-      have_route = true;
-    } else if (best.has_value()) {
-      // Never send a route back through an AS already on it (sender-side
-      // loop avoidance; the receiver would discard it anyway).
-      if (!best->path.Contains(v_asn)) {
-        path = best->path;
-        path.Prepend(u_asn,
-                     state.announcement_.prepends.PadsFor(u_asn, v_asn));
-        out_class = best->effective;
-        have_route = true;
-      }
-    }
-
-    bool send = false;
-    if (have_route) {
-      const bool policy_ok =
-          is_origin ? MayExportOwn(v_rel) : MayExport(out_class, v_rel);
-      ExportAction action = ExportAction::kDefault;
-      if (transform != nullptr) {
-        action = transform->OnExport(u_asn, v_asn, v_rel, out_class, path);
-      }
-      send = (action == ExportAction::kForce) ||
-             (action == ExportAction::kDefault && policy_ok);
-    }
+    engine_detail::WireExport wire = engine_detail::BuildExport(
+        state.announcement_, u_asn, is_origin, best, v_asn, v_rel, transform);
 
     auto& slot_route = state.rib_in_[v][back_slot];
-    if (send) {
+    if (wire.send) {
       ++announced;
       // Receiver-side loop detection: a path containing the receiver is
       // discarded and invalidates any previous route from this neighbor.
-      if (path.Contains(v_asn)) {
+      if (wire.path.Contains(v_asn)) {
         if (slot_route.has_value()) {
           slot_route.reset();
           dirty[v] = 1;
@@ -274,15 +329,7 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
         state.sent_[u][slot] = 1;
         continue;
       }
-      Route route;
-      route.path = std::move(path);
-      route.learned_from = u_asn;
-      route.rel = topo::Reverse(v_rel);  // u's role relative to v
-      // Sibling links transport the underlying class; real boundaries
-      // re-classify by the business relationship.
-      route.effective = (route.rel == Relation::kSibling)
-                            ? out_class
-                            : route.rel;
+      Route route = engine_detail::DeliverRoute(std::move(wire), u_asn, v_rel);
       if (!slot_route.has_value() || !(*slot_route == route)) {
         slot_route = std::move(route);
         dirty[v] = 1;
@@ -313,20 +360,8 @@ bool PropagationSimulator::Decide(PropagationResult& state, std::size_t u,
   // loop-discarded at delivery anyway.
   if (u_asn == state.announcement_.origin) return false;
 
-  const std::optional<Route>* best = nullptr;
-  for (const auto& candidate : state.rib_in_[u]) {
-    if (!candidate.has_value()) continue;
-    if (best == nullptr || BetterRoute(*candidate, **best)) {
-      best = &candidate;
-    }
-  }
-  std::optional<Route> chosen = best ? *best : std::optional<Route>{};
-  if (transform != nullptr) {
-    if (auto overridden =
-            transform->OverrideBest(u_asn, state.rib_in_[u], chosen)) {
-      chosen = std::move(overridden);
-    }
-  }
+  std::optional<Route> chosen =
+      engine_detail::ChooseBest(u_asn, state.rib_in_[u], transform);
   if (chosen == state.best_[u]) return false;
   state.best_[u] = std::move(chosen);
   return true;

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/route.h"
@@ -45,6 +46,68 @@ struct Announcement {
   // Prepending behaviour for every AS (origin λ and intermediary prepending).
   PrependPolicy prepends;
 };
+
+// Shared per-edge kernels of the synchronous engines. PropagationSimulator
+// (full state) and DeltaPropagator (sparse overlay, bgp/delta.h) both build
+// their exports and decisions from these, so the two engines agree bit for
+// bit on every wire-visible action by construction — the equivalence the
+// delta engine's correctness proof (DESIGN.md §4h) and the differential
+// fuzzer's delta-vs-full leg rest on.
+namespace engine_detail {
+
+// One candidate export from `u_asn` to the neighbor (v_asn, v_rel):
+// `send == false` means nothing crosses the wire this round (either no route
+// to offer after sender-side loop avoidance, or policy/transform suppressed
+// it) — the caller withdraws if a previous advertisement is outstanding.
+struct WireExport {
+  bool send = false;
+  AsPath path;
+  Relation out_class = Relation::kCustomer;
+};
+
+// Builds the export exactly as ExportFrom always has: the origin announces
+// its own prefix (ranked like a customer route), everyone else re-exports
+// its best route with its own prepends applied, and the transform's OnExport
+// hook may rewrite the path or force/suppress the send.
+WireExport BuildExport(const Announcement& announcement, Asn u_asn,
+                       bool is_origin, const std::optional<Route>& best,
+                       Asn v_asn, Relation v_rel, RouteTransform* transform);
+
+// The Adj-RIB-In entry a delivered `wire` becomes at the receiver (after the
+// receiver-side loop check, which the caller performs).
+Route DeliverRoute(WireExport&& wire, Asn u_asn, Relation v_rel);
+
+// The decision process over a contiguous Adj-RIB-In, including the
+// transform's OverrideBest hook (consulted only where MightOverride allows).
+std::optional<Route> ChooseBest(Asn u_asn,
+                                std::span<const std::optional<Route>> rib,
+                                RouteTransform* transform);
+
+// Precomputed directed-edge addressing shared by both engines: for the AS at
+// dense index u and its adjacency slot s, EdgesOf(u)[s] gives the neighbor's
+// dense index and u's slot in the neighbor's Adj-RIB-In (the "back slot").
+// Two array reads replace the per-delivery ASN-hash lookup plus binary
+// search, and both engines reading one table keeps their delivery targets
+// identical by construction.
+struct EdgeRef {
+  std::uint32_t target = 0;     // neighbor's dense index
+  std::uint32_t back_slot = 0;  // the exporter's slot in the neighbor's rib
+};
+
+class EdgeMap {
+ public:
+  explicit EdgeMap(const topo::AsGraph& graph);
+
+  std::span<const EdgeRef> EdgesOf(std::size_t u) const {
+    return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // CSR offsets, size NumAses()+1
+  std::vector<EdgeRef> edges_;        // edge slots, adjacency order per AS
+};
+
+}  // namespace engine_detail
 
 class PropagationSimulator;
 
@@ -140,14 +203,11 @@ class PropagationSimulator {
   // Recomputes u's best from its Adj-RIB-In. Returns true if it changed.
   bool Decide(PropagationResult& state, std::size_t u,
               RouteTransform* transform) const;
-  // Slot of neighbor `to` in `from`'s adjacency list.
-  std::uint32_t SlotOf(std::size_t from, Asn to) const;
 
   static constexpr int kMaxRounds = 10000;
 
   const topo::AsGraph& graph_;
-  // Per-AS sorted (neighbor ASN, slot) pairs for O(log d) delivery.
-  std::vector<std::vector<std::pair<Asn, std::uint32_t>>> slot_index_;
+  engine_detail::EdgeMap edge_map_;
 };
 
 }  // namespace asppi::bgp

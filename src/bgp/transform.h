@@ -44,6 +44,14 @@ class RouteTransform {
       const std::optional<Route>& /*policy_best*/) {
     return std::nullopt;
   }
+
+  // Contract: must return true for every `asn` where OverrideBest may return
+  // a value. The engines only invoke OverrideBest (and, in the delta engine,
+  // only materialize the contiguous Adj-RIB-In view it needs) where this says
+  // so; the conservative default keeps unknown transforms correct at the cost
+  // of per-decision work. Transforms that never override — or override at one
+  // known AS, like the policy-violating interceptor — should narrow it.
+  virtual bool MightOverride(Asn /*asn*/) const { return true; }
 };
 
 // A transform that does nothing (base case / control runs).
@@ -52,6 +60,7 @@ class IdentityTransform final : public RouteTransform {
   ExportAction OnExport(Asn, Asn, Relation, Relation, AsPath&) override {
     return ExportAction::kDefault;
   }
+  bool MightOverride(Asn) const override { return false; }
 };
 
 }  // namespace asppi::bgp

@@ -62,9 +62,11 @@ std::string RenderRef(const std::optional<ReferenceRoute>& route) {
                 static_cast<unsigned>(route->learned_from));
 }
 
-// Fast engine state vs oracle state, AS by AS.
+// Fast engine state vs oracle state, AS by AS. `fast` is a
+// bgp::PropagationResult or a bgp::RoutingView (delta-engine output).
+template <typename FastState>
 void CompareStates(const char* tag, const topo::AsGraph& graph, Asn origin,
-                   const bgp::PropagationResult& fast,
+                   const FastState& fast,
                    const ReferenceEngine::State& oracle, Violations& out) {
   for (std::size_t i = 0; i < graph.NumAses(); ++i) {
     const Asn asn = graph.AsnAt(i);
@@ -99,8 +101,50 @@ bgp::RoutingTree::Via ViaOf(const std::optional<ReferenceRoute>& route) {
   return bgp::RoutingTree::Via::kNone;
 }
 
+// Delta engine vs full engine, bit for bit: the two must agree on the round
+// count and on *all* converged state — best routes, change rounds, every
+// Adj-RIB-In slot, every advertisement flag. Unlike the oracle legs there is
+// no alternative-fixpoint escape hatch: both engines replay the identical
+// synchronous event schedule, so even attacker-induced multi-equilibrium
+// instances must land in the same fixpoint.
+void CompareEngineStates(const topo::AsGraph& graph,
+                         const bgp::PropagationResult& full,
+                         const bgp::PropagationResult& delta,
+                         Violations& out) {
+  if (full.Rounds() != delta.Rounds()) {
+    out.push_back(Format("diff-engine-rounds: full engine %d, delta %d",
+                         full.Rounds(), delta.Rounds()));
+  }
+  for (std::size_t i = 0; i < graph.NumAses(); ++i) {
+    const Asn asn = graph.AsnAt(i);
+    if (!(full.BestRoutes()[i] == delta.BestRoutes()[i])) {
+      out.push_back(Format("diff-engine-best: AS%u full holds %s, delta %s",
+                           static_cast<unsigned>(asn),
+                           RenderRoute(full.BestRoutes()[i]).c_str(),
+                           RenderRoute(delta.BestRoutes()[i]).c_str()));
+    }
+    if (full.FirstChangeRounds()[i] != delta.FirstChangeRounds()[i]) {
+      out.push_back(Format("diff-engine-round: AS%u changed at %d (full) vs "
+                           "%d (delta)",
+                           static_cast<unsigned>(asn),
+                           full.FirstChangeRounds()[i],
+                           delta.FirstChangeRounds()[i]));
+    }
+    if (full.RibIn()[i] != delta.RibIn()[i]) {
+      out.push_back(Format("diff-engine-rib: AS%u Adj-RIB-In differs",
+                           static_cast<unsigned>(asn)));
+    }
+    if (full.Sent()[i] != delta.Sent()[i]) {
+      out.push_back(Format("diff-engine-sent: AS%u advertisement flags differ",
+                           static_cast<unsigned>(asn)));
+    }
+  }
+}
+
+// `state` is a bgp::PropagationResult or a bgp::RoutingView.
+template <typename State>
 std::vector<std::pair<Asn, bgp::AsPath>> MonitorPaths(
-    const bgp::PropagationResult& state, const std::vector<Asn>& monitors) {
+    const State& state, const std::vector<Asn>& monitors) {
   std::vector<std::pair<Asn, bgp::AsPath>> paths;
   for (Asn monitor : monitors) {
     const std::optional<bgp::Route>& best = state.BestAt(monitor);
@@ -189,8 +233,11 @@ Violations Fuzzer::RunScenario(const Scenario& scenario) const {
     }
   }
 
-  // Leg 3 — the interception attack: AttackSimulator vs oracle end to end.
-  const attack::AttackSimulator attack_sim(graph);
+  // Leg 3 — the interception attack: AttackSimulator (delta engine, the
+  // default) vs oracle end to end. The cache is shared with leg 3b so both
+  // engines warm-start from the identical converged baseline.
+  attack::BaselineCache baseline_cache(graph);
+  const attack::AttackSimulator attack_sim(graph, &baseline_cache);
   attack::AttackOutcome outcome = attack_sim.RunAsppInterceptionWithPolicy(
       announcement, instance->attacker, instance->violate_valley_free,
       instance->export_stripped_to_peers);
@@ -224,7 +271,7 @@ Violations Fuzzer::RunScenario(const Scenario& scenario) const {
     ref_attack.violate_valley_free = instance->violate_valley_free;
     ref_attack.export_stripped_to_peers = instance->export_stripped_to_peers;
     const ReferenceEngine::State mirror =
-        MirrorFastState(graph, outcome.after);
+        MirrorFastState(graph, outcome.after.Full());
     alternative_fixpoint =
         oracle.Step(announcement, mirror, &ref_attack) == mirror;
     if (alternative_fixpoint) Instr().alt_fixpoints.Add();
@@ -251,6 +298,33 @@ Violations Fuzzer::RunScenario(const Scenario& scenario) const {
   // before/after states, so a corrupted outcome is caught even when the
   // equilibria differ.
   Invariants::CheckInterception(graph, outcome, out);
+
+  // Leg 3b — delta vs full engine, bit-identical (no escape hatch; see
+  // CompareEngineStates). Also pins the derived accounting: the delta
+  // engine's incremental pollution bookkeeping must reproduce the full
+  // engine's scan-based numbers exactly.
+  const attack::AttackSimulator full_sim(graph, &baseline_cache,
+                                         attack::EngineKind::kFull);
+  const attack::AttackOutcome full_outcome =
+      full_sim.RunAsppInterceptionWithPolicy(
+          announcement, instance->attacker, instance->violate_valley_free,
+          instance->export_stripped_to_peers);
+  CompareEngineStates(graph, full_outcome.after.Full(), outcome.after.Full(),
+                      out);
+  if (outcome.newly_polluted != full_outcome.newly_polluted) {
+    out.push_back(Format(
+        "diff-engine-pollution: delta reports %zu newly polluted ASes, full "
+        "%zu",
+        outcome.newly_polluted.size(), full_outcome.newly_polluted.size()));
+  }
+  if (outcome.fraction_before != full_outcome.fraction_before ||
+      outcome.fraction_after != full_outcome.fraction_after) {
+    out.push_back(Format(
+        "diff-engine-fraction: delta reports %.6f/%.6f, full %.6f/%.6f "
+        "(before/after)",
+        outcome.fraction_before, outcome.fraction_after,
+        full_outcome.fraction_before, full_outcome.fraction_after));
+  }
 
   // Leg 4 — detection: alarm soundness on the attacked view, no false
   // accusations on the quiet view, and stream == batch equivalence.

@@ -93,9 +93,9 @@ DetectionResult EvaluateDetectionOnOutcome(const topo::AsGraph& graph,
     for (Asn m : monitors) {
       if (m == attacker) continue;
       int changed = outcome.after.FirstChangeRound(m);
-      const auto& state =
-          (changed >= 0 && changed <= round) ? outcome.after : *outcome.before;
-      const auto& best = state.BestAt(m);
+      const auto& best = (changed >= 0 && changed <= round)
+                             ? outcome.after.BestAt(m)
+                             : outcome.before->BestAt(m);
       if (best.has_value()) current.emplace_back(m, best->path);
     }
     std::vector<Alarm> alarms = detector.Scan(victim, before, current, policy);

@@ -32,9 +32,9 @@ ServiceMetrics& Instr() {
 // would not feed honest data to a collector). Mirrors the extraction the
 // detection-evaluation harness uses, so serve "detect" answers match the
 // batch pipeline's.
+template <typename State>  // PropagationResult or RoutingView
 std::vector<std::pair<Asn, bgp::AsPath>> PathsAt(
-    const bgp::PropagationResult& state, const std::vector<Asn>& monitors,
-    Asn attacker) {
+    const State& state, const std::vector<Asn>& monitors, Asn attacker) {
   std::vector<std::pair<Asn, bgp::AsPath>> out;
   out.reserve(monitors.size());
   for (Asn m : monitors) {
@@ -58,7 +58,7 @@ QueryService::QueryService(const topo::AsGraph& graph,
       policy_(std::move(policy)),
       options_(options),
       baseline_cache_(graph),
-      simulator_(graph, &baseline_cache_),
+      simulator_(graph, &baseline_cache_, options.engine),
       detector_(&graph),
       cache_(options.cache_capacity, options.cache_shards),
       start_(std::chrono::steady_clock::now()) {}
@@ -231,9 +231,11 @@ std::string QueryService::RunRoute(const Request& request) {
                          std::to_string(request.observer));
   }
   const int lambda = EffectiveLambda(request);
-  const std::shared_ptr<const bgp::PropagationResult> state =
-      baseline_cache_.Get(AnnouncementFor(request.victim, lambda));
-  const auto& best = state->BestAt(request.observer);
+  // By-reference read of the retained baseline: entries are never evicted or
+  // replaced, so no shared_ptr bump or RIB copy on this hot path.
+  const bgp::PropagationResult& state =
+      baseline_cache_.GetRef(AnnouncementFor(request.victim, lambda));
+  const auto& best = state.BestAt(request.observer);
   Json response = Json::Object();
   response["ok"] = Json(true);
   response["op"] = Json("route");

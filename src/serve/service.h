@@ -46,6 +46,9 @@ struct ServiceOptions {
   // mode perf_serve measures).
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+  // Convergence engine for impact/detect what-if queries (delta warm-starts
+  // from the cached baseline and propagates only the attack wavefront).
+  attack::EngineKind engine = attack::EngineKind::kDelta;
 };
 
 class QueryService {

@@ -73,6 +73,12 @@ std::span<const AsGraph::Neighbor> AsGraph::NeighborsOf(Asn asn) const {
   return adjacency_[it->second];
 }
 
+std::span<const AsGraph::Neighbor> AsGraph::NeighborsAtIndex(
+    std::size_t index) const {
+  ASPPI_CHECK_LT(index, adjacency_.size());
+  return adjacency_[index];
+}
+
 std::vector<Asn> AsGraph::NeighborsWith(Asn asn, Relation rel) const {
   std::vector<Asn> out;
   for (const Neighbor& n : NeighborsOf(asn)) {

@@ -44,6 +44,9 @@ class AsGraph {
   std::optional<Relation> RelationOf(Asn a, Asn b) const;
 
   std::span<const Neighbor> NeighborsOf(Asn asn) const;
+  // Same adjacency list addressed by dense index — the simulators' hot loops
+  // use this to skip the ASN hash lookup.
+  std::span<const Neighbor> NeighborsAtIndex(std::size_t index) const;
   std::vector<Asn> Customers(Asn asn) const { return NeighborsWith(asn, Relation::kCustomer); }
   std::vector<Asn> Providers(Asn asn) const { return NeighborsWith(asn, Relation::kProvider); }
   std::vector<Asn> Peers(Asn asn) const { return NeighborsWith(asn, Relation::kPeer); }

@@ -1,0 +1,407 @@
+// Equivalence and API tests for the incremental delta-convergence engine
+// (src/bgp/delta.h, DESIGN.md §4h).
+//
+// The contract under test is absolute: DeltaPropagator::Propagate over a
+// converged baseline must be *bit-identical* to PropagationSimulator::Resume
+// with the same inputs — best routes, first-change rounds, every Adj-RIB-In
+// slot, every sent flag, and the round count. The fixtures here cover the
+// canonical topology shapes, generated Internet-like graphs, every attacker
+// mode (valley-free-following and -violating, peer-export on and off), and —
+// per the ISSUE acceptance — a full pair sweep pinned at every λ. The
+// fuzzer's delta-vs-full leg (src/check/fuzzer.cc) extends the same check to
+// randomized scenarios; tests/fuzz_corpus_test.cc replays any regressions it
+// finds.
+#include "bgp/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "attack/baseline_cache.h"
+#include "attack/impact.h"
+#include "attack/interceptor.h"
+#include "attack/scenarios.h"
+#include "bgp/propagation.h"
+#include "topology/builders.h"
+#include "topology/generator.h"
+#include "util/metrics.h"
+
+namespace asppi::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::Relation;
+
+Announcement Announce(Asn origin, int lambda = 1) {
+  Announcement ann;
+  ann.origin = origin;
+  if (lambda > 1) ann.prepends.SetDefault(origin, lambda);
+  return ann;
+}
+
+attack::AsppInterceptor MakeInterceptor(Asn attacker, Asn victim,
+                                        bool violate_valley_free = false,
+                                        bool export_stripped_to_peers = true) {
+  attack::AsppInterceptor::Config config;
+  config.attacker = attacker;
+  config.victim = victim;
+  config.violate_valley_free = violate_valley_free;
+  config.export_stripped_to_peers = export_stripped_to_peers;
+  return attack::AsppInterceptor(config);
+}
+
+// Bit-for-bit comparison of two converged states via the checkpoint
+// accessors: best routes, change rounds, the complete Adj-RIB-In, the sent
+// flags, and the round count. Route::operator== is defaulted memberwise, so
+// any divergence (path bytes, relation class, learned_from) trips here.
+void ExpectStatesIdentical(const PropagationResult& full,
+                           const PropagationResult& delta,
+                           const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(full.Rounds(), delta.Rounds());
+  EXPECT_EQ(full.BestRoutes(), delta.BestRoutes());
+  EXPECT_EQ(full.FirstChangeRounds(), delta.FirstChangeRounds());
+  EXPECT_EQ(full.RibIn(), delta.RibIn());
+  EXPECT_EQ(full.Sent(), delta.Sent());
+}
+
+// Runs one interception through both engines directly (no AttackSimulator)
+// and asserts Resume == Propagate().Materialize(). Separate interceptor
+// instances per engine: the transform accumulates diagnostic state.
+void ExpectEnginesAgree(const AsGraph& graph, Asn victim, Asn attacker,
+                        int lambda, bool violate_valley_free = false,
+                        bool export_stripped_to_peers = true) {
+  const PropagationSimulator full_engine(graph);
+  const DeltaPropagator delta_engine(graph);
+  auto baseline = std::make_shared<const PropagationResult>(
+      full_engine.Run(Announce(victim, lambda)));
+
+  attack::AsppInterceptor full_attack = MakeInterceptor(
+      attacker, victim, violate_valley_free, export_stripped_to_peers);
+  const PropagationResult resumed =
+      full_engine.Resume(*baseline, &full_attack, {attacker});
+
+  attack::AsppInterceptor delta_attack = MakeInterceptor(
+      attacker, victim, violate_valley_free, export_stripped_to_peers);
+  const DeltaResult delta =
+      delta_engine.Propagate(baseline, &delta_attack, {attacker});
+
+  const std::string context =
+      "victim=" + std::to_string(victim) +
+      " attacker=" + std::to_string(attacker) +
+      " lambda=" + std::to_string(lambda) +
+      " violate=" + std::to_string(violate_valley_free) +
+      " peers=" + std::to_string(export_stripped_to_peers);
+  ExpectStatesIdentical(resumed, delta.Materialize(), context);
+}
+
+// --- equivalence on canonical fixture shapes -------------------------------
+
+TEST(DeltaEquivalence, ProviderChainAllPositions) {
+  AsGraph g = topo::ProviderChain(6);  // 1 ← 2 ← … ← 6 (providers above)
+  for (Asn attacker : {2u, 4u, 6u}) {
+    for (int lambda : {1, 2, 4}) {
+      ExpectEnginesAgree(g, /*victim=*/1, attacker, lambda);
+    }
+  }
+}
+
+TEST(DeltaEquivalence, PeerClique) {
+  AsGraph g = topo::PeerClique(5);
+  ExpectEnginesAgree(g, /*victim=*/1, /*attacker=*/3, /*lambda=*/2);
+  ExpectEnginesAgree(g, /*victim=*/2, /*attacker=*/5, /*lambda=*/3);
+}
+
+TEST(DeltaEquivalence, ValleyTopologyWithWithdrawals) {
+  // The shape from propagation_test's valley-free cases: peers at the top,
+  // customers below. Attacks here force best-route flips that retract
+  // previously-exported routes, exercising the delta engine's withdrawal
+  // path (sent-flag overlay + slot clearing).
+  AsGraph g;
+  g.AddLink(3, 2, Relation::kCustomer);
+  g.AddLink(2, 1, Relation::kCustomer);
+  g.AddLink(3, 4, Relation::kPeer);
+  g.AddLink(4, 5, Relation::kCustomer);
+  g.AddLink(4, 6, Relation::kPeer);
+  g.AddLink(6, 3, Relation::kPeer);
+  g.AddLink(6, 7, Relation::kCustomer);
+  for (Asn attacker : {4u, 5u, 6u, 7u}) {
+    for (int lambda : {1, 3}) {
+      ExpectEnginesAgree(g, /*victim=*/1, attacker, lambda);
+      ExpectEnginesAgree(g, /*victim=*/1, attacker, lambda,
+                         /*violate_valley_free=*/true);
+    }
+  }
+}
+
+TEST(DeltaEquivalence, SiblingTransit) {
+  AsGraph g;
+  g.AddLink(1, 2, Relation::kPeer);
+  g.AddLink(2, 3, Relation::kSibling);
+  g.AddLink(4, 3, Relation::kCustomer);
+  g.AddLink(4, 5, Relation::kCustomer);
+  ExpectEnginesAgree(g, /*victim=*/1, /*attacker=*/5, /*lambda=*/2);
+  ExpectEnginesAgree(g, /*victim=*/1, /*attacker=*/3, /*lambda=*/3,
+                     /*violate_valley_free=*/true);
+}
+
+// --- equivalence on a generated Internet-like topology ---------------------
+
+topo::GeneratedTopology SmallInternet() {
+  topo::GeneratorParams params;
+  params.seed = 907;
+  params.num_tier1 = 4;
+  params.num_tier2 = 15;
+  params.num_tier3 = 40;
+  params.num_stubs = 150;
+  params.num_content = 4;
+  params.num_sibling_pairs = 3;
+  return topo::GenerateInternetTopology(params);
+}
+
+TEST(DeltaEquivalence, GeneratedTopologyAllAttackerModes) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  const auto pairs = attack::SampleRandomPairs(gen, 6, /*seed=*/11);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [attacker, victim] : pairs) {
+    for (const bool violate : {false, true}) {
+      for (const bool peers : {true, false}) {
+        ExpectEnginesAgree(gen.graph, victim, attacker, /*lambda=*/3, violate,
+                           peers);
+      }
+    }
+  }
+}
+
+TEST(DeltaEquivalence, Tier1AttackerLargeWavefront) {
+  // Tier-1 vs tier-1 at high λ floods most of the graph — the wavefront is
+  // nearly the whole AS set, so the adaptive flag-scan worklist path (the
+  // one the full engine's linear scans correspond to) is exercised.
+  const topo::GeneratedTopology gen = SmallInternet();
+  const auto scenario = attack::Tier1VsTier1(gen);
+  for (int lambda : {1, 2, 3, 5}) {
+    ExpectEnginesAgree(gen.graph, scenario.victim, scenario.attacker, lambda);
+  }
+}
+
+// --- acceptance: pair sweep pinned at every λ ------------------------------
+
+TEST(DeltaEquivalence, PairSweepIdenticalAtEveryLambda) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  const auto pairs = attack::SampleRandomPairs(gen, 12, /*seed=*/23);
+  attack::BaselineCache cache(gen.graph);
+  for (int lambda = 1; lambda <= 5; ++lambda) {
+    attack::PairSweepOptions options;
+    options.lambda = lambda;
+    options.baseline_cache = &cache;
+    options.engine = attack::EngineKind::kFull;
+    const auto full_rows = attack::RunPairSweep(gen.graph, pairs, options);
+    options.engine = attack::EngineKind::kDelta;
+    const auto delta_rows = attack::RunPairSweep(gen.graph, pairs, options);
+    ASSERT_EQ(full_rows.size(), delta_rows.size());
+    for (std::size_t i = 0; i < full_rows.size(); ++i) {
+      SCOPED_TRACE("lambda=" + std::to_string(lambda) +
+                   " row=" + std::to_string(i));
+      EXPECT_EQ(full_rows[i].attacker, delta_rows[i].attacker);
+      EXPECT_EQ(full_rows[i].victim, delta_rows[i].victim);
+      // Exact ==, not near: both engines must derive the same fractions.
+      EXPECT_EQ(full_rows[i].before, delta_rows[i].before);
+      EXPECT_EQ(full_rows[i].after, delta_rows[i].after);
+    }
+  }
+}
+
+TEST(DeltaEquivalence, AttackSimulatorOutcomesMatch) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  attack::BaselineCache cache(gen.graph);
+  const attack::AttackSimulator full_sim(gen.graph, &cache,
+                                         attack::EngineKind::kFull);
+  const attack::AttackSimulator delta_sim(gen.graph, &cache,
+                                          attack::EngineKind::kDelta);
+  const auto pairs = attack::SampleRandomPairs(gen, 4, /*seed=*/31);
+  for (const auto& [attacker, victim] : pairs) {
+    const auto full = full_sim.RunAsppInterception(victim, attacker, 3);
+    const auto delta = delta_sim.RunAsppInterception(victim, attacker, 3);
+    SCOPED_TRACE("attacker=" + std::to_string(attacker) +
+                 " victim=" + std::to_string(victim));
+    EXPECT_FALSE(full.after.IsDelta());
+    EXPECT_TRUE(delta.after.IsDelta());
+    EXPECT_EQ(full.fraction_before, delta.fraction_before);
+    EXPECT_EQ(full.fraction_after, delta.fraction_after);
+    EXPECT_EQ(full.newly_polluted, delta.newly_polluted);
+    // Shared cache ⇒ both outcomes reference the same memoized baseline.
+    EXPECT_EQ(full.before.get(), delta.before.get());
+    ExpectStatesIdentical(full.after.Full(), delta.after.Full(),
+                          "outcome states");
+  }
+}
+
+// --- DeltaResult query API -------------------------------------------------
+
+TEST(DeltaResult, QueriesMatchMaterializedState) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  const auto scenario = attack::Tier1VsTier1(gen);
+  const PropagationSimulator full_engine(gen.graph);
+  const DeltaPropagator delta_engine(gen.graph);
+  auto baseline = std::make_shared<const PropagationResult>(
+      full_engine.Run(Announce(scenario.victim, 3)));
+  attack::AsppInterceptor attack =
+      MakeInterceptor(scenario.attacker, scenario.victim);
+  const DeltaResult delta =
+      delta_engine.Propagate(baseline, &attack, {scenario.attacker});
+  const PropagationResult dense = delta.Materialize();
+
+  EXPECT_EQ(delta.Rounds(), dense.Rounds());
+  for (std::size_t i = 0; i < gen.graph.NumAses(); ++i) {
+    const Asn asn = gen.graph.AsnAt(i);
+    EXPECT_EQ(delta.BestAt(asn), dense.BestAt(asn)) << "AS" << asn;
+    EXPECT_EQ(delta.BestAtIndex(i), dense.BestAt(asn)) << "AS" << asn;
+    EXPECT_EQ(delta.FirstChangeRound(asn), dense.FirstChangeRound(asn))
+        << "AS" << asn;
+  }
+  EXPECT_EQ(delta.AsesTraversing(scenario.attacker),
+            dense.AsesTraversing(scenario.attacker));
+  EXPECT_EQ(delta.FractionTraversing(scenario.attacker),
+            dense.FractionTraversing(scenario.attacker));
+  EXPECT_EQ(delta.ReachableCount(), dense.ReachableCount());
+}
+
+TEST(DeltaResult, TouchedIndicesAscendingAndExhaustive) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  const auto scenario = attack::Tier1VsContent(gen);
+  const PropagationSimulator full_engine(gen.graph);
+  const DeltaPropagator delta_engine(gen.graph);
+  auto baseline = std::make_shared<const PropagationResult>(
+      full_engine.Run(Announce(scenario.victim, 2)));
+  attack::AsppInterceptor attack =
+      MakeInterceptor(scenario.attacker, scenario.victim);
+  const DeltaResult delta =
+      delta_engine.Propagate(baseline, &attack, {scenario.attacker});
+
+  const auto& touched = delta.TouchedIndices();
+  for (std::size_t k = 1; k < touched.size(); ++k) {
+    EXPECT_LT(touched[k - 1], touched[k]);
+  }
+  // Every AS outside the overlay must read through to the baseline
+  // unchanged: the wavefront is exactly the touched set.
+  std::vector<bool> in_overlay(gen.graph.NumAses(), false);
+  for (std::uint32_t index : touched) in_overlay[index] = true;
+  for (std::size_t i = 0; i < gen.graph.NumAses(); ++i) {
+    if (in_overlay[i]) continue;
+    const Asn asn = gen.graph.AsnAt(i);
+    EXPECT_EQ(delta.BestAt(asn), baseline->BestAt(asn)) << "AS" << asn;
+    EXPECT_EQ(delta.FirstChangeRound(asn), -1) << "AS" << asn;
+  }
+}
+
+TEST(DeltaResult, RoutingViewMaterializesLazily) {
+  AsGraph g = topo::ProviderChain(5);
+  const PropagationSimulator full_engine(g);
+  const DeltaPropagator delta_engine(g);
+  auto baseline =
+      std::make_shared<const PropagationResult>(full_engine.Run(Announce(1, 2)));
+  attack::AsppInterceptor attack = MakeInterceptor(/*attacker=*/4, /*victim=*/1);
+  RoutingView view(delta_engine.Propagate(baseline, &attack, {4u}));
+  ASSERT_TRUE(view.IsDelta());
+  const PropagationResult& dense = view.Full();
+  ExpectStatesIdentical(dense, view.Delta()->Materialize(), "lazy Full()");
+  // Second call returns the same cached object.
+  EXPECT_EQ(&view.Full(), &dense);
+}
+
+// --- TraversalIndex --------------------------------------------------------
+
+TEST(TraversalIndex, MatchesLinearScanEverywhere) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  const PropagationSimulator engine(gen.graph);
+  const PropagationResult baseline = engine.Run(Announce(gen.tier1.front(), 3));
+  const TraversalIndex index(baseline);
+  EXPECT_EQ(index.ReachableCount(), baseline.ReachableCount());
+  for (std::size_t i = 0; i < gen.graph.NumAses(); ++i) {
+    const Asn asn = gen.graph.AsnAt(i);
+    EXPECT_EQ(index.TraversingCount(asn), baseline.AsesTraversing(asn).size())
+        << "AS" << asn;
+  }
+}
+
+// --- engine.delta.* metrics ------------------------------------------------
+
+TEST(DeltaMetrics, WavefrontCountersRecorded) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  attack::BaselineCache cache(gen.graph);
+  const attack::AttackSimulator sim(gen.graph, &cache,
+                                    attack::EngineKind::kDelta);
+  const auto scenario = attack::Tier1VsTier1(gen);
+
+  util::Metrics& metrics = util::Metrics::Global();
+  const auto before = metrics.TakeSnapshot();
+  const auto outcome =
+      sim.RunAsppInterception(scenario.victim, scenario.attacker, 3);
+  const auto after = metrics.TakeSnapshot();
+
+  const auto counter_delta = [&](const std::string& name) -> std::uint64_t {
+    auto it = after.counters.find(name);
+    const std::uint64_t now = it == after.counters.end() ? 0 : it->second;
+    auto prior = before.counters.find(name);
+    const std::uint64_t was =
+        prior == before.counters.end() ? 0 : prior->second;
+    return now - was;
+  };
+  EXPECT_EQ(counter_delta("engine.delta.propagations"), 1u);
+  const std::uint64_t wavefront = counter_delta("engine.delta.wavefront_total");
+  ASSERT_TRUE(outcome.after.IsDelta());
+  EXPECT_EQ(wavefront, outcome.after.Delta()->TouchedIndices().size());
+  EXPECT_GT(counter_delta("engine.delta.rounds"), 0u);
+  EXPECT_GT(counter_delta("engine.delta.decisions"), 0u);
+}
+
+// --- BaselineCache concurrent readers (satellite: TSan target) -------------
+
+TEST(BaselineCacheConcurrency, SharedEntriesUnderConcurrentReaders) {
+  const topo::GeneratedTopology gen = SmallInternet();
+  attack::BaselineCache cache(gen.graph);
+  const std::vector<Announcement> keys = {
+      Announce(gen.tier1[0], 1), Announce(gen.tier1[1], 2),
+      Announce(gen.tier2[0], 3), Announce(gen.stubs[0], 2)};
+
+  // Warm one key up front so the run mixes hits with concurrent computes.
+  const PropagationResult* warm = &cache.GetRef(keys[0]);
+
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 4; ++iter) {
+        const Announcement& key = keys[(t + iter) % keys.size()];
+        // GetRef and Get must resolve to the one retained state; the
+        // const-ref stays valid for the cache's lifetime (no eviction).
+        const PropagationResult& ref = cache.GetRef(key);
+        const auto shared = cache.Get(key);
+        if (&ref != shared.get()) mismatch.store(true);
+        if (key.origin == keys[0].origin && &ref != warm) mismatch.store(true);
+        // Reading through the reference while other threads compute other
+        // entries is the TSan-checked access pattern QueryService relies on.
+        if (ref.ReachableCount() == 0) mismatch.store(true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(cache.Size(), keys.size());
+
+  // Put over an existing entry is a no-op: the computed state survives.
+  auto replacement = std::make_shared<const PropagationResult>(
+      PropagationSimulator(gen.graph).Run(keys[0]));
+  cache.Put(replacement);
+  EXPECT_EQ(&cache.GetRef(keys[0]), warm);
+}
+
+}  // namespace
+}  // namespace asppi::bgp

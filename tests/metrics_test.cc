@@ -167,6 +167,9 @@ TEST(Metrics, WorkloadCountersIdenticalAcrossThreadCounts) {
   // Sanity: the workload actually exercised the instrumented layers.
   EXPECT_GT(delta1.at("bgp.propagation.runs"), 0u);
   EXPECT_GT(delta1.at("bgp.propagation.decisions"), 0u);
+  // The sweep defaults to the delta engine, so its wavefront accounting is
+  // inside the whole-map equality above — bit-identical for any --threads.
+  EXPECT_GT(delta1.at("engine.delta.propagations"), 0u);
   EXPECT_GT(delta1.at("attack.baseline_cache.misses"), 0u);
   EXPECT_GT(delta1.at("detect.evaluations"), 0u);
 }

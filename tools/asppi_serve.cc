@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   if (graph == nullptr) return 1;
 
   serve::ServiceOptions service_options;
+  service_options.engine = e.Engine();
   service_options.default_lambda = static_cast<int>(e.Flags().GetInt("lambda"));
   service_options.default_monitors =
       static_cast<std::size_t>(e.Flags().GetUint("monitors"));
