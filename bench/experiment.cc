@@ -63,6 +63,10 @@ Experiment& Experiment::WithThreadsFlag() {
 Experiment& Experiment::WithTopologyFlags() {
   WithThreadsFlag();
   if (!has_topology_flags_) {
+    flags_.DefineString("preset", "",
+                        "named topology preset: 'internet2026' (~100k ASes, "
+                        "Internet-2026 scale); explicitly set tier-size/seed "
+                        "flags override individual preset fields");
     flags_.DefineUint("seed", 42, "topology seed");
     flags_.DefineUint("tier1", 10, "number of tier-1 ASes");
     flags_.DefineUint("tier2", 120, "number of tier-2 ASes");
@@ -88,13 +92,27 @@ topo::GeneratorParams Experiment::Params() const {
   ASPPI_CHECK(has_topology_flags_)
       << "Params() requires WithTopologyFlags()";
   topo::GeneratorParams params;
-  params.seed = flags_.GetUint("seed");
-  params.num_tier1 = flags_.GetUint("tier1");
-  params.num_tier2 = flags_.GetUint("tier2");
-  params.num_tier3 = flags_.GetUint("tier3");
-  params.num_stubs = flags_.GetUint("stubs");
-  params.num_content = flags_.GetUint("content");
-  params.num_sibling_pairs = flags_.GetUint("siblings");
+  const std::string& preset = flags_.GetString("preset");
+  const bool has_preset = !preset.empty();
+  if (has_preset) {
+    ASPPI_CHECK(preset == "internet2026")
+        << "unknown --preset '" << preset << "' (valid: internet2026)";
+    params = topo::Internet2026Params();
+  }
+  // With a preset, an individual flag only wins when given explicitly —
+  // otherwise its un-asked-for default would undo the preset.
+  const auto take = [&](const char* name, auto* field) {
+    if (!has_preset || flags_.WasSet(name)) {
+      *field = flags_.GetUint(name);
+    }
+  };
+  take("seed", &params.seed);
+  take("tier1", &params.num_tier1);
+  take("tier2", &params.num_tier2);
+  take("tier3", &params.num_tier3);
+  take("stubs", &params.num_stubs);
+  take("content", &params.num_content);
+  take("siblings", &params.num_sibling_pairs);
   return params;
 }
 
@@ -139,11 +157,13 @@ void Experiment::PrintHeader() {
 }
 
 bool Experiment::LoadTopology(const std::string& path, topo::AsGraph* graph) {
-  std::string err = topo::ReadAsRelFile(path, *graph);
+  topo::GraphBuilder builder;
+  std::string err = topo::ReadAsRelFile(path, builder);
   if (!err.empty()) {
     std::fprintf(stderr, "error reading topology: %s\n", err.c_str());
     return false;
   }
+  *graph = builder.Freeze();
   return true;
 }
 

@@ -50,8 +50,10 @@ class Experiment {
   util::Flags& Flags() { return flags_; }
   const util::Flags& Flags() const { return flags_; }
 
-  // Registers the synthetic-topology flags (--seed, tier sizes, --siblings)
-  // plus --threads. For binaries that generate their own topology.
+  // Registers the synthetic-topology flags (--seed, tier sizes, --siblings,
+  // --preset) plus --threads. For binaries that generate their own topology.
+  // --preset=internet2026 swaps in topo::Internet2026Params() (~100k ASes);
+  // explicitly given tier-size/seed flags still override preset fields.
   Experiment& WithTopologyFlags();
 
   // Registers only --threads. For tools that load a topology file.

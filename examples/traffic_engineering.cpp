@@ -47,7 +47,7 @@ int main() {
 
   // Find a dual-homed stub.
   topo::Asn stub = 0;
-  std::vector<topo::Asn> providers;
+  std::span<const topo::Asn> providers;
   for (topo::Asn cand : gen.stubs) {
     providers = gen.graph.Providers(cand);
     if (providers.size() == 2) {

@@ -132,7 +132,7 @@ SweepScenario SmallVsSmall(const GeneratedTopology& topo) {
 SweepScenario EngineerContentVsTier1(GeneratedTopology& topo) {
   ASPPI_CHECK(!topo.tier1.empty());
   ASPPI_CHECK(!topo.content.empty());
-  AsGraph& g = topo.graph;
+  const AsGraph& g = topo.graph;
   // Prefer an (attacker, victim) combination where the victim's customer
   // cone does NOT contain the attacker: the sibling merge below then keeps
   // the provider→customer digraph acyclic and convergence guaranteed. When
@@ -179,26 +179,33 @@ SweepScenario EngineerContentVsTier1(GeneratedTopology& topo) {
     break;
   }
   ASPPI_CHECK_NE(limelight, 0u) << "no tier-3 candidate for the sibling chain";
-  g.AddLink(victim, limelight, Relation::kSibling);
-  g.AddLink(attacker, limelight, Relation::kCustomer);
+  // The graph is frozen; thaw it, engineer the chain, and freeze the result
+  // back into the topology. Adjacency order shifts under the round-trip, but
+  // simulator output never depends on slot order.
+  topo::GraphBuilder builder = g.ToBuilder();
+  builder.AddLink(victim, limelight, Relation::kSibling);
+  builder.AddLink(attacker, limelight, Relation::kCustomer);
   // The paper's victim and attacker peer directly ("most other ASes
   // originally use providers' routes to reach the victim, except for the
   // victim's peers, including the attacker") — this is what the
   // policy-violating attacker strips down to the 2-hop [M V].
-  if (!g.HasLink(attacker, victim)) {
-    g.AddLink(attacker, victim, Relation::kPeer);
+  if (!builder.HasLink(attacker, victim)) {
+    builder.AddLink(attacker, victim, Relation::kPeer);
   }
   if (acyclic_pair) {
-    ASPPI_CHECK(g.ProviderCustomerAcyclic())
+    ASPPI_CHECK(builder.Freeze().ProviderCustomerAcyclic())
         << "engineered Fig. 11 chain created a policy cycle";
   }
 
   // The "Akamai": make the most-peered tier-2 a provider of the attacker, so
-  // the stripped customer route fans out through a rich peering mesh.
+  // the stripped customer route fans out through a rich peering mesh. (The
+  // engineered links above touch no tier-2 peer counts, so selecting on the
+  // pre-thaw graph is equivalent.)
   Asn akamai = MostPeered(g, topo.tier2);
-  if (!g.HasLink(akamai, attacker)) {
-    g.AddLink(akamai, attacker, Relation::kCustomer);
+  if (!builder.HasLink(akamai, attacker)) {
+    builder.AddLink(akamai, attacker, Relation::kCustomer);
   }
+  topo.graph = builder.Freeze();
   return SweepScenario{"content-vs-tier1", attacker, victim};
 }
 

@@ -233,7 +233,7 @@ struct DeltaPropagator::Work {
 };
 
 DeltaPropagator::DeltaPropagator(const topo::AsGraph& graph)
-    : graph_(graph), edge_map_(graph) {}
+    : graph_(graph) {}
 
 DeltaResult DeltaPropagator::Propagate(
     std::shared_ptr<const PropagationResult> base, RouteTransform* transform,
@@ -261,24 +261,34 @@ DeltaResult DeltaPropagator::Propagate(
     }
     DecideDelta(work, idx, transform);
   }
+#ifndef NDEBUG
+  // All ASN translations happen at seeding; the wavefront below speaks dense
+  // ids only (edge targets and back slots come off the frozen graph).
+  const std::uint64_t lookups_before = topo::detail::AsnLookupCount();
+#endif
 
   // Same synchronous schedule as PropagationSimulator::RunLoop, driven by
-  // worklists. Each phase must visit its worklist in ascending dense-index
-  // order (the full engine's linear scans); for small worklists sorting is
-  // cheapest, but once the wavefront covers a sizeable share of the graph a
-  // flag-array scan — exactly what the full engine does — beats the sort.
-  // Either way the visit order, and hence every wire action, is identical.
-  const auto for_each_ascending = [n](std::vector<std::uint32_t>& list,
-                                      std::vector<std::uint8_t>& flags,
-                                      auto&& body) {
+  // worklists. Each phase visits its worklist in the graph's precomputed
+  // rank order (the full engine's IdsByRank scans): for small worklists a
+  // rank-position sort is cheapest, but once the wavefront covers a sizeable
+  // share of the graph a scan over IdsByRank — exactly what the full engine
+  // does — beats the sort. Either way the visit order, and hence every wire
+  // action, is identical.
+  const std::span<const topo::AsId> by_rank = graph_.IdsByRank();
+  const auto for_each_rank_ordered = [&](std::vector<std::uint32_t>& list,
+                                         std::vector<std::uint8_t>& flags,
+                                         auto&& body) {
     if (list.size() >= n / 8) {
-      for (std::uint32_t idx = 0; idx < static_cast<std::uint32_t>(n); ++idx) {
+      for (topo::AsId idx : by_rank) {
         if (!flags[idx]) continue;
         flags[idx] = 0;
         body(idx);
       }
     } else {
-      std::sort(list.begin(), list.end());
+      std::sort(list.begin(), list.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return graph_.RankPosAt(a) < graph_.RankPosAt(b);
+                });
       for (std::uint32_t idx : list) {
         flags[idx] = 0;
         body(idx);
@@ -292,14 +302,16 @@ DeltaResult DeltaPropagator::Propagate(
   while (true) {
     if (work.export_list.empty()) break;
     peak_wavefront = std::max(peak_wavefront, work.export_list.size());
-    for_each_ascending(work.export_list, work.in_export, [&](std::uint32_t u) {
+    for_each_rank_ordered(work.export_list, work.in_export,
+                          [&](std::uint32_t u) {
       ExportFromDelta(work, u, transform);
     });
     ++round;
     ASPPI_CHECK_LT(round, kMaxRounds) << "propagation did not converge";
 
     bool any_change = false;
-    for_each_ascending(work.dirty_list, work.in_dirty, [&](std::uint32_t v) {
+    for_each_rank_ordered(work.dirty_list, work.in_dirty,
+                          [&](std::uint32_t v) {
       if (DecideDelta(work, v, transform)) {
         any_change = true;
         DeltaRow& row = work.MutableRow(v);  // exists: best was just written
@@ -312,6 +324,10 @@ DeltaResult DeltaPropagator::Propagate(
     });
     if (!any_change) break;
   }
+#ifndef NDEBUG
+  ASPPI_CHECK_EQ(topo::detail::AsnLookupCount(), lookups_before)
+      << "ASN hash/interning lookup inside the delta propagation loop";
+#endif
 
   DeltaResult result;
   result.base_ = std::move(base);
@@ -343,8 +359,7 @@ void DeltaPropagator::ExportFromDelta(Work& work, std::size_t u,
   const Announcement& announcement = work.base->GetAnnouncement();
   const Asn u_asn = graph_.AsnAt(u);
   const bool is_origin = (u_asn == announcement.origin);
-  const auto neighbors = graph_.NeighborsAtIndex(u);
-  const auto edges = edge_map_.EdgesOf(u);
+  const auto neighbors = graph_.NeighborsAt(static_cast<topo::AsId>(u));
   // Safe as a reference: it aims into the immutable baseline or into a deque
   // row, and nothing below mutates any row's `best`.
   const std::optional<Route>& best = work.BestOfIdx(u);
@@ -352,8 +367,8 @@ void DeltaPropagator::ExportFromDelta(Work& work, std::size_t u,
   for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
     const Asn v_asn = neighbors[slot].asn;
     const Relation v_rel = neighbors[slot].rel;
-    const std::size_t v = edges[slot].target;
-    const std::uint32_t back_slot = edges[slot].back_slot;
+    const topo::AsId v = neighbors[slot].id;
+    const std::uint32_t back_slot = neighbors[slot].back_slot;
 
     engine_detail::WireExport wire = engine_detail::BuildExport(
         announcement, u_asn, is_origin, best, v_asn, v_rel, transform);

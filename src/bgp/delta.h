@@ -19,11 +19,12 @@
 //     extra work over Resume() is copying the touched rows instead of all n.
 //
 // Equivalence: both engines build every wire-visible action from the shared
-// kernels in bgp::engine_detail (propagation.h), process worklists in
-// ascending dense-index order (matching the full engine's linear scans), and
-// within a phase write disjoint state per worklist entry — so the overlay
-// composed over the baseline is bit-identical to Resume()'s output, a claim
-// enforced by tests/delta_test.cc and the fuzzer's delta-vs-full leg.
+// kernels in bgp::engine_detail (propagation.h), process worklists in the
+// graph's precomputed rank order (matching the full engine's IdsByRank
+// scans), and within a phase write disjoint state per worklist entry — so
+// the overlay composed over the baseline is bit-identical to Resume()'s
+// output, a claim enforced by tests/delta_test.cc and the fuzzer's
+// delta-vs-full leg.
 //
 // Termination: identical argument to the full engine (same synchronous
 // schedule, same Gao-Rexford-safe policy system), plus the same kMaxRounds
@@ -141,9 +142,9 @@ class DeltaResult {
   std::vector<DeltaRow> rows_;          // parallel to touched_
 };
 
-// The incremental engine. Construction cost matches PropagationSimulator
-// (per-AS sorted slot index); Propagate() is then safe to call concurrently
-// from many threads against shared baselines.
+// The incremental engine. Construction is free (edge addressing lives in the
+// frozen graph); Propagate() is safe to call concurrently from many threads
+// against shared baselines.
 class DeltaPropagator {
  public:
   explicit DeltaPropagator(const topo::AsGraph& graph);
@@ -169,7 +170,6 @@ class DeltaPropagator {
   static constexpr int kMaxRounds = 10000;
 
   const topo::AsGraph& graph_;
-  engine_detail::EdgeMap edge_map_;
 };
 
 // Either a dense PropagationResult or a sparse DeltaResult, with the common

@@ -131,7 +131,7 @@ PropagationResult PropagationResult::Restore(
               rib_in.size() == n && sent.size() == n)
       << "checkpoint shape does not match the graph";
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t degree = graph.Degree(graph.AsnAt(i));
+    const std::size_t degree = graph.DegreeAt(static_cast<topo::AsId>(i));
     ASPPI_CHECK(rib_in[i].size() == degree && sent[i].size() == degree)
         << "checkpoint adjacency shape does not match the graph";
   }
@@ -156,45 +156,7 @@ std::size_t PropagationResult::ReachableCount() const {
 }
 
 PropagationSimulator::PropagationSimulator(const topo::AsGraph& graph)
-    : graph_(graph), edge_map_(graph) {}
-
-namespace engine_detail {
-
-EdgeMap::EdgeMap(const topo::AsGraph& graph) {
-  const std::size_t n = graph.NumAses();
-  offsets_.assign(n + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    offsets_[i + 1] = offsets_[i] + graph.NeighborsAtIndex(i).size();
-  }
-  edges_.resize(offsets_[n]);
-
-  // Per-AS sorted (neighbor ASN, slot) index for the one-time back-slot
-  // resolution below.
-  std::vector<std::vector<std::pair<Asn, std::uint32_t>>> sorted(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto neighbors = graph.NeighborsAtIndex(i);
-    sorted[i].reserve(neighbors.size());
-    for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
-      sorted[i].emplace_back(neighbors[slot].asn, slot);
-    }
-    std::sort(sorted[i].begin(), sorted[i].end());
-  }
-  for (std::size_t u = 0; u < n; ++u) {
-    const Asn u_asn = graph.AsnAt(u);
-    const auto neighbors = graph.NeighborsAtIndex(u);
-    for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
-      const std::size_t v = graph.IndexOf(neighbors[slot].asn);
-      const auto& v_sorted = sorted[v];
-      auto it = std::lower_bound(v_sorted.begin(), v_sorted.end(),
-                                 std::make_pair(u_asn, std::uint32_t{0}));
-      ASPPI_CHECK(it != v_sorted.end() && it->first == u_asn)
-          << "asymmetric adjacency at AS" << u_asn;
-      edges_[offsets_[u] + slot] = {static_cast<std::uint32_t>(v), it->second};
-    }
-  }
-}
-
-}  // namespace engine_detail
+    : graph_(graph) {}
 
 PropagationResult PropagationSimulator::Run(const Announcement& announcement,
                                             RouteTransform* transform) const {
@@ -209,7 +171,7 @@ PropagationResult PropagationSimulator::Run(const Announcement& announcement,
   state.rib_in_.resize(n);
   state.sent_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t degree = graph_.NeighborsAtIndex(i).size();
+    const std::size_t degree = graph_.DegreeAt(static_cast<topo::AsId>(i));
     state.rib_in_[i].resize(degree);
     state.sent_[i].assign(degree, 0);
   }
@@ -248,17 +210,31 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
   util::ScopedTimer converge_timer(Instr().converge_time);
   const std::size_t n = graph_.NumAses();
   std::vector<std::uint8_t> dirty(n, 0);
+#ifndef NDEBUG
+  // Satellite invariant: every edge carries its target's dense id and back
+  // slot, so the converged loop must never translate an ASN (all IndexOf
+  // calls happen at seeding, before this point).
+  const std::uint64_t lookups_before = topo::detail::AsnLookupCount();
+#endif
 
   // Synchronous rounds: all round-r exports are decided upon in round r+1,
   // so FirstChangeRound() measures hop-waves from the event source. This
   // schedule is convergent because the policy system is Gao-Rexford-safe by
   // construction: sibling links transport the underlying route class (see
   // Route::effective) and every topology is provider-customer acyclic.
+  //
+  // Both phase scans walk IdsByRank() — customer-cone tier order, lowest
+  // first — instead of raw id order, so announcement waves sweep up the
+  // hierarchy the way they propagate. The phases are read/write disjoint
+  // (exports read best_, decisions write it), so any within-phase permutation
+  // converges to the identical state; rank order just reaches that state
+  // with better flag locality on generated topologies.
+  const std::span<const topo::AsId> by_rank = graph_.IdsByRank();
   int round = 0;
   while (true) {
     // Export phase: everything flagged sends its current view.
     bool any_export = false;
-    for (std::size_t u = 0; u < n; ++u) {
+    for (topo::AsId u : by_rank) {
       if (!need_export[u]) continue;
       any_export = true;
       need_export[u] = 0;
@@ -270,7 +246,7 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
 
     // Decision phase: receivers of changed slots re-run the decision process.
     bool any_change = false;
-    for (std::size_t v = 0; v < n; ++v) {
+    for (topo::AsId v : by_rank) {
       if (!dirty[v]) continue;
       dirty[v] = 0;
       if (Decide(state, v, transform)) {
@@ -295,6 +271,10 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
   }
   state.rounds_ = round;
   Instr().rounds.Add(static_cast<std::uint64_t>(round));
+#ifndef NDEBUG
+  ASPPI_CHECK_EQ(topo::detail::AsnLookupCount(), lookups_before)
+      << "ASN hash/interning lookup inside the propagation loop";
+#endif
 }
 
 void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
@@ -302,16 +282,15 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
                                       std::vector<std::uint8_t>& dirty) const {
   const Asn u_asn = graph_.AsnAt(u);
   const bool is_origin = (u_asn == state.announcement_.origin);
-  const auto neighbors = graph_.NeighborsAtIndex(u);
-  const auto edges = edge_map_.EdgesOf(u);
+  const auto neighbors = graph_.NeighborsAt(static_cast<topo::AsId>(u));
   const std::optional<Route>& best = state.best_[u];
   std::uint64_t announced = 0, withdrawn = 0;
 
   for (std::uint32_t slot = 0; slot < neighbors.size(); ++slot) {
     const Asn v_asn = neighbors[slot].asn;
     const Relation v_rel = neighbors[slot].rel;
-    const std::size_t v = edges[slot].target;
-    const std::uint32_t back_slot = edges[slot].back_slot;
+    const topo::AsId v = neighbors[slot].id;
+    const std::uint32_t back_slot = neighbors[slot].back_slot;
 
     engine_detail::WireExport wire = engine_detail::BuildExport(
         state.announcement_, u_asn, is_origin, best, v_asn, v_rel, transform);

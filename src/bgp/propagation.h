@@ -83,29 +83,13 @@ std::optional<Route> ChooseBest(Asn u_asn,
                                 std::span<const std::optional<Route>> rib,
                                 RouteTransform* transform);
 
-// Precomputed directed-edge addressing shared by both engines: for the AS at
-// dense index u and its adjacency slot s, EdgesOf(u)[s] gives the neighbor's
-// dense index and u's slot in the neighbor's Adj-RIB-In (the "back slot").
-// Two array reads replace the per-delivery ASN-hash lookup plus binary
-// search, and both engines reading one table keeps their delivery targets
-// identical by construction.
-struct EdgeRef {
-  std::uint32_t target = 0;     // neighbor's dense index
-  std::uint32_t back_slot = 0;  // the exporter's slot in the neighbor's rib
-};
-
-class EdgeMap {
- public:
-  explicit EdgeMap(const topo::AsGraph& graph);
-
-  std::span<const EdgeRef> EdgesOf(std::size_t u) const {
-    return {edges_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
-  }
-
- private:
-  std::vector<std::size_t> offsets_;  // CSR offsets, size NumAses()+1
-  std::vector<EdgeRef> edges_;        // edge slots, adjacency order per AS
-};
+// Directed-edge addressing lives in the frozen graph itself: every
+// topo::Edge carries the neighbor's dense id and the exporter's slot in the
+// neighbor's Adj-RIB-In (back_slot), precomputed once at Freeze(). What used
+// to be a separate per-engine EdgeMap is now two fields of the adjacency
+// entry both engines already read, so their delivery targets stay identical
+// by construction and no per-delivery ASN translation ever happens — debug
+// builds assert it (topo::detail::AsnLookupCount around the engine loops).
 
 }  // namespace engine_detail
 
@@ -207,7 +191,6 @@ class PropagationSimulator {
   static constexpr int kMaxRounds = 10000;
 
   const topo::AsGraph& graph_;
-  engine_detail::EdgeMap edge_map_;
 };
 
 }  // namespace asppi::bgp

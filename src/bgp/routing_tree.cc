@@ -60,14 +60,12 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
                          const Announcement& announcement)
     : graph_(graph), announcement_(announcement) {
   ASPPI_CHECK(graph.HasAs(announcement.origin));
-  for (topo::Asn asn : graph.Ases()) {
-    for (const topo::AsGraph::Neighbor& nb : graph.NeighborsOf(asn)) {
-      ASPPI_CHECK(nb.rel != Relation::kSibling)
-          << "RoutingTree does not support sibling links";
-    }
+  const std::size_t n = graph.NumAses();
+  for (topo::AsId id = 0; id < n; ++id) {
+    ASPPI_CHECK(graph.SiblingsAt(id).empty())
+        << "RoutingTree does not support sibling links";
   }
   Instr().builds.Add();
-  const std::size_t n = graph.NumAses();
   entries_.resize(n);
   const std::size_t origin = graph.IndexOf(announcement.origin);
   std::uint64_t phase1_visits = 0, phase2_visits = 0, phase3_visits = 0;
@@ -92,11 +90,12 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
       queue.pop();
       if (d != dist_c[u]) continue;  // stale entry
       ++phase1_visits;
-      const Asn u_asn = graph.AsnAt(u);
-      for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
-        // Uphill: u exports to its providers.
-        if (nb.rel != Relation::kProvider) continue;
-        const std::size_t v = graph.IndexOf(nb.asn);
+      const Asn u_asn = graph.AsnAt(static_cast<topo::AsId>(u));
+      // Uphill: u exports to its providers (the provider segment of its row).
+      for (const AsGraph::Neighbor& nb :
+           graph.EdgeSegmentAt(static_cast<topo::AsId>(u),
+                               Relation::kProvider)) {
+        const std::size_t v = nb.id;
         const std::size_t nd = d + pads(u_asn, nb.asn);
         if (nd < dist_c[v]) {
           dist_c[v] = nd;
@@ -113,10 +112,10 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
   for (std::size_t w = 0; w < n; ++w) {
     if (dist_c[w] == kInf) continue;  // w's best is not a customer route
     ++phase2_visits;
-    const Asn w_asn = graph.AsnAt(w);
-    for (const AsGraph::Neighbor& nb : graph.NeighborsOf(w_asn)) {
-      if (nb.rel != Relation::kPeer) continue;
-      const std::size_t v = graph.IndexOf(nb.asn);
+    const Asn w_asn = graph.AsnAt(static_cast<topo::AsId>(w));
+    for (const AsGraph::Neighbor& nb :
+         graph.EdgeSegmentAt(static_cast<topo::AsId>(w), Relation::kPeer)) {
+      const std::size_t v = nb.id;
       const std::size_t nd = dist_c[w] + pads(w_asn, nb.asn);
       if (nd < dist_p[v] || (nd == dist_p[v] && w_asn < parent_p[v])) {
         dist_p[v] = nd;
@@ -158,10 +157,11 @@ RoutingTree::RoutingTree(const topo::AsGraph& graph,
       queue.pop();
       if (d != export_dist(u)) continue;  // stale
       ++phase3_visits;
-      const Asn u_asn = graph.AsnAt(u);
-      for (const AsGraph::Neighbor& nb : graph.NeighborsOf(u_asn)) {
-        if (nb.rel != Relation::kCustomer) continue;
-        const std::size_t v = graph.IndexOf(nb.asn);
+      const Asn u_asn = graph.AsnAt(static_cast<topo::AsId>(u));
+      for (const AsGraph::Neighbor& nb :
+           graph.EdgeSegmentAt(static_cast<topo::AsId>(u),
+                               Relation::kCustomer)) {
+        const std::size_t v = nb.id;
         const std::size_t nd = d + pads(u_asn, nb.asn);
         // Only ASes without customer/peer routes use provider routes.
         if (entries_[v].via != Via::kNone) continue;

@@ -305,17 +305,19 @@ std::optional<ScenarioInstance> Materialize(const Scenario& scenario,
       SetError(error, "explicit scenario has no links");
       return std::nullopt;
     }
+    topo::GraphBuilder builder;
     for (const Scenario::Link& link : scenario.links) {
       if (link.a == link.b) {
         SetError(error, Format("self-link on AS%u", link.a));
         return std::nullopt;
       }
-      if (instance.graph.HasLink(link.a, link.b)) {
+      if (builder.HasLink(link.a, link.b)) {
         SetError(error, Format("duplicate link AS%u-AS%u", link.a, link.b));
         return std::nullopt;
       }
-      instance.graph.AddLink(link.a, link.b, link.rel_of_b);
+      builder.AddLink(link.a, link.b, link.rel_of_b);
     }
+    instance.graph = builder.Freeze();
     const auto resolve = [&](const std::string& ref) -> std::optional<Asn> {
       const std::vector<std::string> parts = util::Split(ref, ':');
       if (parts.size() != 2 || parts[0] != "asn") {

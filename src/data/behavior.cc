@@ -35,7 +35,7 @@ int AsppBehaviorModel::BuildPolicy(const topo::AsGraph& graph, Asn origin,
     // copies so it attracts the traffic (the legitimate pattern the detector
     // must not flag).
     if (rng.Chance(params_.per_neighbor_prob)) {
-      std::vector<Asn> providers = graph.Providers(origin);
+      std::span<const Asn> providers = graph.Providers(origin);
       if (!providers.empty()) {
         Asn preferred = rng.Pick(providers);
         out.SetForNeighbor(origin, preferred,

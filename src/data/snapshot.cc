@@ -5,8 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <utility>
 
 #include "util/crc32.h"
@@ -31,13 +34,19 @@ SnapshotMetrics& Instr() {
 
 enum SectionType : std::uint32_t {
   kInfo = 1,
-  kTopology = 2,
+  kTopology = 2,  // v1 only; loads through the GraphBuilder rebuild path
   kPolicy = 3,
   kBaselines = 4,
+  kCsrGraph = 5,  // v2: frozen CSR arrays, mapped zero-copy
 };
 
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
 constexpr std::size_t kSectionEntrySize = 4 + 4 + 8 + 8;
+// n | edge count | link count | rank count | connected | acyclic | reserved.
+constexpr std::size_t kCsrHeaderSize = 8 + 8 + 8 + 4 + 1 + 1 + 2;
+static_assert(kCsrHeaderSize % 8 == 0,
+              "CSR arrays must start 8-aligned after the section header");
+constexpr std::size_t AlignUp8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
 // Relations are stored as their enum byte; anything above kSibling is
 // corruption the CRC missed (or a crafted file) and must not reach a cast.
 constexpr std::uint8_t kMaxRelationByte = 3;
@@ -58,6 +67,10 @@ class ByteWriter {
     U32(static_cast<std::uint32_t>(s.size()));
     out_.append(s);
   }
+  void Raw(const void* data, std::size_t bytes) {
+    if (bytes != 0) out_.append(static_cast<const char*>(data), bytes);
+  }
+  void PadTo8() { out_.append(AlignUp8(out_.size()) - out_.size(), '\0'); }
 
   const std::string& Bytes() const { return out_; }
 
@@ -177,36 +190,18 @@ bool ReadPolicy(ByteReader& r, bgp::PrependPolicy* policy) {
   return true;
 }
 
-std::string BuildTopologySection(const topo::AsGraph& graph) {
-  ByteWriter w;
-  w.U64(graph.NumAses());
-  for (topo::Asn asn : graph.Ases()) w.U32(asn);
-  w.U64(graph.NumLinks());
-  // Each link exactly once, stored as (a, b, rel-of-b-to-a) with the relation
-  // never kProvider: provider↔customer links appear as kCustomer only in the
-  // provider's adjacency list, and the symmetric peer/sibling links are
-  // emitted from the lower-ASN side.
-  for (topo::Asn a : graph.Ases()) {
-    for (const topo::AsGraph::Neighbor& n : graph.NeighborsOf(a)) {
-      if (n.rel == topo::Relation::kProvider) continue;
-      if (n.rel != topo::Relation::kCustomer && n.asn < a) continue;
-      w.U32(a);
-      w.U32(n.asn);
-      w.U8(static_cast<std::uint8_t>(n.rel));
-    }
-  }
-  return w.Bytes();
-}
-
-std::string ParseTopologySection(ByteReader r, topo::AsGraph* graph) {
+// v1 rebuild path: links re-enter a GraphBuilder and the graph is re-frozen
+// on every load (re-interning, re-ranking — work the kCsrGraph section makes
+// unnecessary). Kept only so pre-v2 snapshot files stay loadable.
+std::string ParseTopologySection(ByteReader r, topo::GraphBuilder* builder) {
   std::uint64_t num_ases;
   if (!r.U64(&num_ases)) return "truncated AS count";
   for (std::uint64_t i = 0; i < num_ases; ++i) {
     std::uint32_t asn;
     if (!r.U32(&asn)) return "truncated AS list";
-    graph->AddAs(asn);
+    builder->AddAs(asn);
   }
-  if (graph->NumAses() != num_ases) return "duplicate ASN in AS list";
+  if (builder->NumAses() != num_ases) return "duplicate ASN in AS list";
   std::uint64_t num_links;
   if (!r.U64(&num_links)) return "truncated link count";
   for (std::uint64_t i = 0; i < num_links; ++i) {
@@ -218,11 +213,123 @@ std::string ParseTopologySection(ByteReader r, topo::AsGraph* graph) {
       return "link stored from the customer side";
     }
     if (a == b) return "self-link";
-    if (!graph->HasAs(a) || !graph->HasAs(b)) return "link to unknown AS";
-    if (graph->RelationOf(a, b).has_value()) return "duplicate link";
-    graph->AddLink(a, b, static_cast<topo::Relation>(rel));
+    if (!builder->HasAs(a) || !builder->HasAs(b)) return "link to unknown AS";
+    if (builder->RelationOf(a, b).has_value()) return "duplicate link";
+    builder->AddLink(a, b, static_cast<topo::Relation>(rel));
   }
   if (!r.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+// The CSR section copies the frozen arrays verbatim, so the on-disk byte
+// order is the host's — fine everywhere this code builds (the explicit
+// little-endian framing around it keeps the rest of the format portable).
+static_assert(std::endian::native == std::endian::little,
+              "kCsrGraph serialization assumes a little-endian host");
+
+std::string BuildCsrSection(const topo::AsGraph& graph) {
+  const topo::AsGraph::CsrArrays csr = graph.Csr();
+  ByteWriter w;
+  w.U64(csr.asn_of.size());
+  w.U64(csr.edges.size());
+  w.U64(csr.num_links);
+  w.U32(csr.num_ranks);
+  w.U8(csr.connected ? 1 : 0);
+  w.U8(csr.acyclic ? 1 : 0);
+  w.U8(0);
+  w.U8(0);
+  // Every array padded to the next 8-byte boundary (the trailing pad keeps
+  // the section itself 8-aligned in case a later section wants alignment
+  // too). Pad bytes are covered by the section CRC like any payload byte.
+  auto emit = [&w](const void* data, std::size_t bytes) {
+    w.Raw(data, bytes);
+    w.PadTo8();
+  };
+  emit(csr.asn_of.data(), csr.asn_of.size_bytes());
+  emit(csr.lookup_asn.data(), csr.lookup_asn.size_bytes());
+  emit(csr.lookup_id.data(), csr.lookup_id.size_bytes());
+  emit(csr.offsets.data(), csr.offsets.size_bytes());
+  emit(csr.seg_ends.data(), csr.seg_ends.size_bytes());
+  emit(csr.ranks.data(), csr.ranks.size_bytes());
+  emit(csr.ids_by_rank.data(), csr.ids_by_rank.size_bytes());
+  emit(csr.rank_pos.data(), csr.rank_pos.size_bytes());
+  emit(csr.edge_asns.data(), csr.edge_asns.size_bytes());
+  emit(csr.edges.data(), csr.edges.size_bytes());
+  return w.Bytes();
+}
+
+// Builds the graph's spans directly over the mapped section bytes; `keepalive`
+// (the whole mapping) is held by the graph. AsGraph::FromCsr re-validates
+// every structural invariant, so nothing a CRC collision lets through can
+// reach the engines as an out-of-bounds index.
+std::string ParseCsrSection(const unsigned char* base, std::size_t size,
+                            std::shared_ptr<const void> keepalive,
+                            topo::AsGraph* out) {
+  if (reinterpret_cast<std::uintptr_t>(base) % 8 != 0) {
+    return "section not on an 8-aligned file offset";
+  }
+  ByteReader header(base, std::min(size, kCsrHeaderSize));
+  std::uint64_t n64, m64, num_links;
+  std::uint32_t num_ranks;
+  std::uint8_t connected, acyclic, reserved0, reserved1;
+  if (!header.U64(&n64) || !header.U64(&m64) || !header.U64(&num_links) ||
+      !header.U32(&num_ranks) || !header.U8(&connected) ||
+      !header.U8(&acyclic) || !header.U8(&reserved0) ||
+      !header.U8(&reserved1)) {
+    return "truncated header";
+  }
+  // AsId and the offsets array are 32-bit, so plausible counts fit easily;
+  // this also keeps every byte-size computation below overflow-free.
+  if (n64 >= 0xFFFFFFFFull || m64 > 0xFFFFFFFFull) {
+    return "implausible entity counts";
+  }
+  const std::size_t n = static_cast<std::size_t>(n64);
+  const std::size_t m = static_cast<std::size_t>(m64);
+  std::size_t pos = kCsrHeaderSize;
+  bool truncated = false;
+  auto take = [&](std::size_t bytes) -> const unsigned char* {
+    if (bytes > size || pos > size - bytes) {
+      truncated = true;
+      return nullptr;
+    }
+    const unsigned char* p = base + pos;
+    pos = AlignUp8(pos + bytes);
+    return p;
+  };
+  const unsigned char* asn_of = take(n * 4);
+  const unsigned char* lookup_asn = take(n * 4);
+  const unsigned char* lookup_id = take(n * 4);
+  const unsigned char* offsets = take((n + 1) * 4);
+  const unsigned char* seg_ends = take(3 * n * 4);
+  const unsigned char* ranks = take(n * 4);
+  const unsigned char* ids_by_rank = take(n * 4);
+  const unsigned char* rank_pos = take(n * 4);
+  const unsigned char* edge_asns = take(m * 4);
+  const unsigned char* edges = take(m * sizeof(topo::Edge));
+  if (truncated) return "truncated arrays";
+  if (pos != size) return "trailing bytes";
+
+  topo::AsGraph::CsrArrays arrays;
+  arrays.asn_of = {reinterpret_cast<const topo::Asn*>(asn_of), n};
+  arrays.lookup_asn = {reinterpret_cast<const topo::Asn*>(lookup_asn), n};
+  arrays.lookup_id = {reinterpret_cast<const topo::AsId*>(lookup_id), n};
+  arrays.offsets = {reinterpret_cast<const std::uint32_t*>(offsets), n + 1};
+  arrays.seg_ends = {reinterpret_cast<const std::uint32_t*>(seg_ends), 3 * n};
+  arrays.ranks = {reinterpret_cast<const std::uint32_t*>(ranks), n};
+  arrays.ids_by_rank = {reinterpret_cast<const topo::AsId*>(ids_by_rank), n};
+  arrays.rank_pos = {reinterpret_cast<const std::uint32_t*>(rank_pos), n};
+  arrays.edge_asns = {reinterpret_cast<const topo::Asn*>(edge_asns), m};
+  arrays.edges = {reinterpret_cast<const topo::Edge*>(edges), m};
+  arrays.num_links = num_links;
+  arrays.num_ranks = num_ranks;
+  arrays.connected = connected != 0;
+  arrays.acyclic = acyclic != 0;
+
+  std::string err;
+  std::optional<topo::AsGraph> graph =
+      topo::AsGraph::FromCsr(arrays, std::move(keepalive), &err);
+  if (!graph.has_value()) return err;
+  *out = std::move(*graph);
   return "";
 }
 
@@ -385,10 +492,14 @@ std::string WriteSnapshotFile(
     WriteBaseline(baseline_section, graph, *baseline);
   }
 
-  const std::string topology = BuildTopologySection(graph);
+  // kCsrGraph first: the payload begins right after the fixed-size table, so
+  // the CSR section always lands on the 8-aligned file offset its arrays
+  // assume (later sections are byte-packed and indifferent to alignment).
+  static_assert((kHeaderSize + 4 * kSectionEntrySize) % 8 == 0);
+  const std::string csr = BuildCsrSection(graph);
   const std::pair<std::uint32_t, const std::string*> sections[] = {
+      {kCsrGraph, &csr},
       {kInfo, &info.Bytes()},
-      {kTopology, &topology},
       {kPolicy, &policy_section.Bytes()},
       {kBaselines, &baseline_section.Bytes()},
   };
@@ -440,10 +551,12 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
     return path + ": " + message;
   };
 
-  MappedFile file;
-  if (std::string err = file.Open(path); !err.empty()) return fail(err);
+  // Shared so the graph can keep the mapping alive past Load (the zero-copy
+  // CSR path); a v1 rebuild load drops the mapping when Load returns.
+  auto file = std::make_shared<MappedFile>();
+  if (std::string err = file->Open(path); !err.empty()) return fail(err);
 
-  ByteReader header(file.Data(), file.Size());
+  ByteReader header(file->Data(), file->Size());
   char magic[8];
   for (char& c : magic) {
     std::uint8_t byte;
@@ -459,20 +572,20 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
       !header.U64(&declared_size)) {
     return fail("truncated header");
   }
-  if (version != kSnapshotVersion) {
+  if (version == 0 || version > kSnapshotVersion) {
     return fail("version skew: file has version " + std::to_string(version) +
-                ", loader supports " + std::to_string(kSnapshotVersion));
+                ", loader supports up to " + std::to_string(kSnapshotVersion));
   }
-  if (declared_size != file.Size()) {
+  if (declared_size != file->Size()) {
     return fail("truncated file: header declares " +
                 std::to_string(declared_size) + " bytes, file has " +
-                std::to_string(file.Size()));
+                std::to_string(file->Size()));
   }
-  if (kHeaderSize + section_count * kSectionEntrySize > file.Size()) {
+  if (kHeaderSize + section_count * kSectionEntrySize > file->Size()) {
     return fail("truncated section table");
   }
 
-  ByteReader table(file.Data() + kHeaderSize,
+  ByteReader table(file->Data() + kHeaderSize,
                    section_count * kSectionEntrySize);
   std::vector<SectionEntry> entries(section_count);
   for (SectionEntry& entry : entries) {
@@ -480,22 +593,23 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
     table.U32(&entry.crc);
     table.U64(&entry.offset);
     table.U64(&entry.size);
-    if (entry.offset > file.Size() || entry.size > file.Size() - entry.offset) {
+    if (entry.offset > file->Size() ||
+        entry.size > file->Size() - entry.offset) {
       return fail("section " + std::to_string(entry.type) +
                   ": out-of-bounds extent");
     }
     // CRC the mapped bytes in place before any section is parsed.
     const std::uint32_t crc =
-        util::Crc32(file.Data() + entry.offset, entry.size);
+        util::Crc32(file->Data() + entry.offset, entry.size);
     if (crc != entry.crc) {
       return fail("section " + std::to_string(entry.type) + ": CRC mismatch");
     }
   }
 
   Snapshot loaded;
-  bool have_topology = false;
+  bool have_graph = false;
   for (const SectionEntry& entry : entries) {
-    ByteReader r(file.Data() + entry.offset, entry.size);
+    ByteReader r(file->Data() + entry.offset, entry.size);
     switch (entry.type) {
       case kInfo: {
         if (!r.Str(&loaded.info_.creator) || !r.U64(&loaded.info_.num_ases) ||
@@ -507,11 +621,26 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
         break;
       }
       case kTopology: {
-        if (std::string err = ParseTopologySection(r, loaded.graph_.get());
+        if (have_graph) return fail("duplicate graph section");
+        topo::GraphBuilder builder;
+        if (std::string err = ParseTopologySection(r, &builder);
             !err.empty()) {
           return fail("topology section: " + err);
         }
-        have_topology = true;
+        *loaded.graph_ = builder.Freeze();
+        loaded.info_.legacy_topology = true;
+        have_graph = true;
+        break;
+      }
+      case kCsrGraph: {
+        if (have_graph) return fail("duplicate graph section");
+        if (std::string err =
+                ParseCsrSection(file->Data() + entry.offset, entry.size, file,
+                                loaded.graph_.get());
+            !err.empty()) {
+          return fail("csr graph section: " + err);
+        }
+        have_graph = true;
         break;
       }
       case kPolicy: {
@@ -521,7 +650,7 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
         break;
       }
       case kBaselines: {
-        if (!have_topology) return fail("baselines section before topology");
+        if (!have_graph) return fail("baselines section before the graph");
         std::uint64_t count;
         if (!r.U64(&count)) return fail("baselines section: truncated");
         for (std::uint64_t i = 0; i < count; ++i) {
@@ -540,7 +669,7 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
         break;
     }
   }
-  if (!have_topology) return fail("missing topology section");
+  if (!have_graph) return fail("missing graph section");
   if (loaded.info_.num_ases != loaded.graph_->NumAses() ||
       loaded.info_.num_links != loaded.graph_->NumLinks() ||
       loaded.info_.num_baselines != loaded.baselines_.size()) {

@@ -18,15 +18,28 @@
 //
 // Section types:
 //   kInfo     (1): creator string + entity counts (printed by --info)
-//   kTopology (2): ASNs in registration order + links (a, b, rel-of-b)
+//   kTopology (2): v1 only — ASN list + link triples, rebuilt through
+//                  GraphBuilder on load. Deprecated: v2 writers emit
+//                  kCsrGraph instead and the rebuild path exists solely so
+//                  old snapshot files keep loading.
 //   kPolicy   (3): PrependPolicy defaults + per-neighbor overrides
 //   kBaselines(4): checkpointed converged PropagationResults
+//   kCsrGraph (5): the frozen AsGraph's CSR arrays verbatim, every array
+//                  8-byte aligned relative to the file start. Loading is
+//                  zero-copy: the graph's spans alias the mmap'ed region
+//                  (validated by AsGraph::FromCsr) and the mapping is held
+//                  alive by the graph's keepalive for the snapshot's
+//                  lifetime. Written first so its file offset is the fixed,
+//                  8-aligned end of the section table.
 //
 // Loading validates the magic, version, declared file size, section bounds,
 // and each section's CRC32 before touching its payload; a truncated file,
 // flipped bit, or version skew yields a clean error string, never UB. The
-// graph a Snapshot owns lives on the heap so restored baselines (which hold
-// a pointer to it) survive moves of the Snapshot.
+// CSR section additionally passes AsGraph::FromCsr's structural validation
+// (extents, id ranges, back slots, grouping, interning table, ranks), so a
+// CRC collision still cannot smuggle an out-of-bounds index into the
+// engines. The graph a Snapshot owns lives on the heap so restored
+// baselines (which hold a pointer to it) survive moves of the Snapshot.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +54,7 @@ namespace asppi::data {
 
 inline constexpr char kSnapshotMagic[8] = {'A', 'S', 'P', 'P',
                                            'I', 'S', 'N', 'P'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 struct SnapshotInfo {
   std::uint32_t version = kSnapshotVersion;
@@ -49,6 +62,10 @@ struct SnapshotInfo {
   std::uint64_t num_ases = 0;
   std::uint64_t num_links = 0;
   std::uint64_t num_baselines = 0;
+  // True when the graph was rebuilt from a v1 kTopology section instead of
+  // mapped zero-copy from a kCsrGraph section. Re-write such snapshots with a
+  // current tool to drop the deprecated format.
+  bool legacy_topology = false;
 };
 
 // Compiles `graph` + `policy` (+ optional checkpointed `baselines`, each of

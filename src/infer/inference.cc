@@ -109,11 +109,11 @@ std::optional<Relation> InferredRelationships::Get(Asn a, Asn b) const {
 }
 
 topo::AsGraph InferredRelationships::ToGraph() const {
-  topo::AsGraph graph;
+  topo::GraphBuilder builder;
   for (const auto& [pair, rel] : links_) {
-    graph.AddLink(pair.first, pair.second, rel);
+    builder.AddLink(pair.first, pair.second, rel);
   }
-  return graph;
+  return builder.Freeze();
 }
 
 InferredRelationships InferGao(const std::vector<AsPath>& paths,
@@ -313,8 +313,9 @@ InferenceScore Score(const InferredRelationships& inferred,
     ++score.evaluated;
     if (*true_rel == rel) ++score.correct;
   }
-  for (Asn a : truth.Ases()) {
-    for (const topo::AsGraph::Neighbor& n : truth.NeighborsOf(a)) {
+  for (topo::AsId id = 0; id < truth.NumAses(); ++id) {
+    const Asn a = truth.AsnAt(id);
+    for (const topo::AsGraph::Neighbor& n : truth.NeighborsAt(id)) {
       if (a < n.asn && !inferred.Get(a, n.asn).has_value()) ++score.missed;
     }
   }
@@ -322,8 +323,8 @@ InferenceScore Score(const InferredRelationships& inferred,
 }
 
 std::vector<AsPath> CollectPaths(const topo::AsGraph& graph,
-                                 const std::vector<Asn>& monitors,
-                                 const std::vector<Asn>& origins) {
+                                 std::span<const Asn> monitors,
+                                 std::span<const Asn> origins) {
   std::vector<AsPath> paths;
   for (Asn origin : origins) {
     bgp::Announcement announcement;

@@ -85,7 +85,7 @@ InferenceScore Score(const InferredRelationships& inferred,
 // Collects observation paths: the best route from every monitor to every
 // origin on a (sibling-free) topology, computed with the RoutingTree engine.
 std::vector<AsPath> CollectPaths(const topo::AsGraph& graph,
-                                 const std::vector<Asn>& monitors,
-                                 const std::vector<Asn>& origins);
+                                 std::span<const Asn> monitors,
+                                 std::span<const Asn> origins);
 
 }  // namespace asppi::infer

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "util/check.h"
 
@@ -30,18 +31,28 @@ bool ParseRelation(const std::string& name, Relation& out) {
   return true;
 }
 
-void AsGraph::AddAs(Asn asn) {
+#ifndef NDEBUG
+namespace detail {
+namespace {
+thread_local std::uint64_t g_asn_lookups = 0;
+}  // namespace
+std::uint64_t AsnLookupCount() { return g_asn_lookups; }
+void BumpAsnLookup() { ++g_asn_lookups; }
+}  // namespace detail
+#endif
+
+// ---------------------------------------------------------------------------
+// GraphBuilder
+// ---------------------------------------------------------------------------
+
+void GraphBuilder::AddAs(Asn asn) {
   if (index_.contains(asn)) return;
-  index_.emplace(asn, asns_.size());
+  index_.emplace(asn, static_cast<AsId>(asns_.size()));
   asns_.push_back(asn);
   adjacency_.emplace_back();
 }
 
-void AsGraph::AddHalfLink(std::size_t from, Asn to, Relation rel) {
-  adjacency_[from].push_back(Neighbor{to, rel});
-}
-
-void AsGraph::AddLink(Asn a, Asn b, Relation rel_of_b) {
+void GraphBuilder::AddLink(Asn a, Asn b, Relation rel_of_b) {
   ASPPI_CHECK_NE(a, b) << "self-link on AS" << a;
   AddAs(a);
   AddAs(b);
@@ -51,81 +62,374 @@ void AsGraph::AddLink(Asn a, Asn b, Relation rel_of_b) {
         << RelationName(*existing) << ", got " << RelationName(rel_of_b);
     return;
   }
-  AddHalfLink(index_.at(a), b, rel_of_b);
-  AddHalfLink(index_.at(b), a, Reverse(rel_of_b));
+  const AsId ia = index_.at(a);
+  const AsId ib = index_.at(b);
+  adjacency_[ia].push_back(Entry{b, ib, rel_of_b});
+  adjacency_[ib].push_back(Entry{a, ia, Reverse(rel_of_b)});
   ++num_links_;
 }
 
-bool AsGraph::HasLink(Asn a, Asn b) const { return RelationOf(a, b).has_value(); }
-
-std::optional<Relation> AsGraph::RelationOf(Asn a, Asn b) const {
+std::optional<Relation> GraphBuilder::RelationOf(Asn a, Asn b) const {
   auto it = index_.find(a);
   if (it == index_.end()) return std::nullopt;
-  for (const Neighbor& n : adjacency_[it->second]) {
-    if (n.asn == b) return n.rel;
+  for (const Entry& e : adjacency_[it->second]) {
+    if (e.asn == b) return e.rel;
   }
   return std::nullopt;
 }
 
-std::span<const AsGraph::Neighbor> AsGraph::NeighborsOf(Asn asn) const {
+std::size_t GraphBuilder::Degree(Asn asn) const {
   auto it = index_.find(asn);
   ASPPI_CHECK(it != index_.end()) << "unknown AS" << asn;
-  return adjacency_[it->second];
+  return adjacency_[it->second].size();
 }
 
-std::span<const AsGraph::Neighbor> AsGraph::NeighborsAtIndex(
-    std::size_t index) const {
-  ASPPI_CHECK_LT(index, adjacency_.size());
-  return adjacency_[index];
-}
-
-std::vector<Asn> AsGraph::NeighborsWith(Asn asn, Relation rel) const {
-  std::vector<Asn> out;
-  for (const Neighbor& n : NeighborsOf(asn)) {
-    if (n.rel == rel) out.push_back(n.asn);
+bool GraphBuilder::ReachesDownhill(Asn from, Asn to) const {
+  auto it = index_.find(from);
+  ASPPI_CHECK(it != index_.end()) << "unknown AS" << from;
+  std::vector<bool> seen(asns_.size(), false);
+  std::deque<AsId> queue;
+  seen[it->second] = true;
+  queue.push_back(it->second);
+  while (!queue.empty()) {
+    AsId cur = queue.front();
+    queue.pop_front();
+    for (const Entry& e : adjacency_[cur]) {
+      if (e.rel != Relation::kCustomer && e.rel != Relation::kSibling) {
+        continue;
+      }
+      if (e.asn == to) return true;
+      if (!seen[e.id]) {
+        seen[e.id] = true;
+        queue.push_back(e.id);
+      }
+    }
   }
-  return out;
+  return false;
 }
 
-std::size_t AsGraph::IndexOf(Asn asn) const {
-  auto it = index_.find(asn);
-  ASPPI_CHECK(it != index_.end()) << "unknown AS" << asn;
-  return it->second;
+bool SiblingLinkCreatesCycle(const GraphBuilder& builder, Asn a, Asn b) {
+  return builder.ReachesDownhill(a, b) || builder.ReachesDownhill(b, a);
 }
 
-Asn AsGraph::AsnAt(std::size_t index) const {
-  ASPPI_CHECK_LT(index, asns_.size());
-  return asns_[index];
+bool SiblingLinkCreatesCycle(const AsGraph& graph, Asn a, Asn b) {
+  return graph.ReachesDownhill(a, b) || graph.ReachesDownhill(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Freeze
+// ---------------------------------------------------------------------------
+
+struct AsGraph::Storage {
+  std::vector<Asn> asn_of;
+  std::vector<Asn> lookup_asn;
+  std::vector<AsId> lookup_id;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> seg_ends;
+  std::vector<std::uint32_t> ranks;
+  std::vector<AsId> ids_by_rank;
+  std::vector<std::uint32_t> rank_pos;
+  std::vector<Asn> edge_asns;
+  std::vector<Edge> edges;
+};
+
+namespace {
+
+// Union-find root with path halving.
+AsId FindRoot(std::vector<AsId>& group, AsId x) {
+  while (group[x] != x) {
+    group[x] = group[group[x]];
+    x = group[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+AsGraph GraphBuilder::Freeze() const {
+  const std::size_t n = asns_.size();
+  auto storage = std::make_shared<AsGraph::Storage>();
+  AsGraph::Storage& s = *storage;
+
+  s.asn_of = asns_;
+
+  // ASN interning table: ids sorted by ASN, binary-searchable.
+  s.lookup_id.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.lookup_id[i] = static_cast<AsId>(i);
+  std::sort(s.lookup_id.begin(), s.lookup_id.end(),
+            [this](AsId a, AsId b) { return asns_[a] < asns_[b]; });
+  s.lookup_asn.resize(n);
+  for (std::size_t i = 0; i < n; ++i) s.lookup_asn[i] = asns_[s.lookup_id[i]];
+
+  // Row extents, then relation-grouped rows (stable within each group).
+  s.offsets.resize(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.offsets[i + 1] =
+        s.offsets[i] + static_cast<std::uint32_t>(adjacency_[i].size());
+  }
+  const std::size_t m = s.offsets[n];
+  s.edges.resize(m);
+  s.edge_asns.resize(m);
+  s.seg_ends.resize(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t pos = s.offsets[i];
+    for (std::size_t r = 0; r < kNumRelations; ++r) {
+      const Relation rel = static_cast<Relation>(r);
+      for (const Entry& e : adjacency_[i]) {
+        if (e.rel != rel) continue;
+        s.edges[pos] = Edge{e.asn, e.id, 0, e.rel};
+        s.edge_asns[pos] = e.asn;
+        ++pos;
+      }
+      if (r < 3) s.seg_ends[3 * i + r] = pos;
+    }
+  }
+
+  // Resolve back slots: per-AS (neighbor ASN, slot) tables over the regrouped
+  // rows, then one binary search per directed edge. Links are unique per AS
+  // pair, so each search has exactly one hit.
+  {
+    std::vector<std::vector<std::pair<Asn, std::uint32_t>>> slot_of(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t begin = s.offsets[i], end = s.offsets[i + 1];
+      slot_of[i].reserve(end - begin);
+      for (std::uint32_t e = begin; e < end; ++e) {
+        slot_of[i].emplace_back(s.edges[e].asn, e - begin);
+      }
+      std::sort(slot_of[i].begin(), slot_of[i].end());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Asn self = asns_[i];
+      for (std::uint32_t e = s.offsets[i]; e < s.offsets[i + 1]; ++e) {
+        const auto& table = slot_of[s.edges[e].id];
+        auto it = std::lower_bound(table.begin(), table.end(),
+                                   std::pair<Asn, std::uint32_t>{self, 0});
+        ASPPI_CHECK(it != table.end() && it->first == self);
+        s.edges[e].back_slot = it->second;
+      }
+    }
+  }
+
+  // Propagation ranks over the sibling-merged provider→customer digraph:
+  // merge sibling groups (union-find), then Kahn from customer-less groups.
+  // rank(group with no customers) = 0, rank(provider group) = 1 + max rank of
+  // its customer groups. Cycle members never drain and land at max_rank + 1;
+  // the graph is Gao-Rexford acyclic iff every group drains and no sibling
+  // group provides for itself.
+  bool acyclic = true;
+  s.ranks.assign(n, 0);
+  if (n > 0) {
+    std::vector<AsId> group(n);
+    for (std::size_t i = 0; i < n; ++i) group[i] = static_cast<AsId>(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Entry& e : adjacency_[i]) {
+        if (e.rel != Relation::kSibling) continue;
+        AsId ra = FindRoot(group, static_cast<AsId>(i));
+        AsId rb = FindRoot(group, e.id);
+        if (ra != rb) group[ra] = rb;
+      }
+    }
+    std::vector<std::uint32_t> indegree(n, 0);
+    std::vector<std::vector<AsId>> up(n);  // group(customer) → group(provider)
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Entry& e : adjacency_[i]) {
+        if (e.rel != Relation::kCustomer) continue;
+        AsId provider = FindRoot(group, static_cast<AsId>(i));
+        AsId customer = FindRoot(group, e.id);
+        if (provider == customer) {
+          acyclic = false;  // sibling group providing for itself
+          continue;
+        }
+        up[customer].push_back(provider);
+        ++indegree[provider];
+      }
+    }
+    std::vector<std::uint32_t> group_rank(n, 0);
+    std::vector<bool> drained(n, false);
+    std::deque<AsId> ready;
+    std::size_t groups = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (FindRoot(group, static_cast<AsId>(i)) != i) continue;
+      ++groups;
+      if (indegree[i] == 0) ready.push_back(static_cast<AsId>(i));
+    }
+    std::size_t processed = 0;
+    std::uint32_t max_rank = 0;
+    while (!ready.empty()) {
+      AsId cur = ready.front();
+      ready.pop_front();
+      drained[cur] = true;
+      ++processed;
+      max_rank = std::max(max_rank, group_rank[cur]);
+      for (AsId p : up[cur]) {
+        group_rank[p] = std::max(group_rank[p], group_rank[cur] + 1);
+        if (--indegree[p] == 0) ready.push_back(p);
+      }
+    }
+    if (processed != groups) {
+      acyclic = false;
+      const std::uint32_t cyclic_rank = max_rank + 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (FindRoot(group, static_cast<AsId>(i)) == i && !drained[i]) {
+          group_rank[i] = cyclic_rank;
+        }
+      }
+      max_rank = cyclic_rank;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      s.ranks[i] = group_rank[FindRoot(group, static_cast<AsId>(i))];
+    }
+    s.ids_by_rank.resize(n);
+    for (std::size_t i = 0; i < n; ++i) s.ids_by_rank[i] = static_cast<AsId>(i);
+    std::sort(s.ids_by_rank.begin(), s.ids_by_rank.end(),
+              [&s](AsId a, AsId b) {
+                if (s.ranks[a] != s.ranks[b]) return s.ranks[a] < s.ranks[b];
+                return a < b;
+              });
+    s.rank_pos.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.rank_pos[s.ids_by_rank[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Undirected connectivity.
+  bool connected = true;
+  if (n > 0) {
+    std::vector<bool> seen(n, false);
+    std::deque<AsId> queue{0};
+    seen[0] = true;
+    std::size_t count = 0;
+    while (!queue.empty()) {
+      AsId cur = queue.front();
+      queue.pop_front();
+      ++count;
+      for (std::uint32_t e = s.offsets[cur]; e < s.offsets[cur + 1]; ++e) {
+        AsId nb = s.edges[e].id;
+        if (!seen[nb]) {
+          seen[nb] = true;
+          queue.push_back(nb);
+        }
+      }
+    }
+    connected = count == n;
+  }
+
+  AsGraph g;
+  AsGraph::CsrArrays arrays;
+  arrays.asn_of = s.asn_of;
+  arrays.lookup_asn = s.lookup_asn;
+  arrays.lookup_id = s.lookup_id;
+  arrays.offsets = s.offsets;
+  arrays.seg_ends = s.seg_ends;
+  arrays.ranks = s.ranks;
+  arrays.ids_by_rank = s.ids_by_rank;
+  arrays.rank_pos = s.rank_pos;
+  arrays.edge_asns = s.edge_asns;
+  arrays.edges = s.edges;
+  arrays.num_links = num_links_;
+  arrays.num_ranks = n == 0 ? 0 : s.ranks[s.ids_by_rank.back()] + 1;
+  arrays.connected = connected;
+  arrays.acyclic = acyclic;
+  g.Adopt(arrays, std::move(storage));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// AsGraph
+// ---------------------------------------------------------------------------
+
+void AsGraph::Adopt(const CsrArrays& arrays,
+                    std::shared_ptr<const void> keepalive) {
+  asn_of_ = arrays.asn_of;
+  lookup_asn_ = arrays.lookup_asn;
+  lookup_id_ = arrays.lookup_id;
+  offsets_ = arrays.offsets;
+  seg_ends_ = arrays.seg_ends;
+  ranks_ = arrays.ranks;
+  ids_by_rank_ = arrays.ids_by_rank;
+  rank_pos_ = arrays.rank_pos;
+  edge_asns_ = arrays.edge_asns;
+  edges_ = arrays.edges;
+  num_links_ = arrays.num_links;
+  num_ranks_ = arrays.num_ranks;
+  connected_ = arrays.connected;
+  acyclic_ = arrays.acyclic;
+  keepalive_ = std::move(keepalive);
+}
+
+AsId AsGraph::Find(Asn asn) const {
+#ifndef NDEBUG
+  detail::BumpAsnLookup();
+#endif
+  auto it = std::lower_bound(lookup_asn_.begin(), lookup_asn_.end(), asn);
+  if (it == lookup_asn_.end() || *it != asn) return kInvalidAsId;
+  return lookup_id_[it - lookup_asn_.begin()];
+}
+
+AsId AsGraph::IndexOf(Asn asn) const {
+  AsId id = Find(asn);
+  ASPPI_CHECK(id != kInvalidAsId) << "unknown AS" << asn;
+  return id;
+}
+
+Asn AsGraph::AsnAt(AsId id) const {
+  ASPPI_CHECK_LT(id, asn_of_.size());
+  return asn_of_[id];
+}
+
+std::optional<Relation> AsGraph::RelationOf(Asn a, Asn b) const {
+  AsId ia = Find(a);
+  if (ia == kInvalidAsId) return std::nullopt;
+  for (const Edge& e : NeighborsAt(ia)) {
+    if (e.asn == b) return e.rel;
+  }
+  return std::nullopt;
+}
+
+std::span<const Asn> AsGraph::SegmentAt(AsId id, Relation rel) const {
+  const std::uint32_t* ends = &seg_ends_[3 * static_cast<std::size_t>(id)];
+  const std::size_t r = static_cast<std::size_t>(rel);
+  const std::uint32_t begin = r == 0 ? offsets_[id] : ends[r - 1];
+  const std::uint32_t end = r == 3 ? offsets_[id + 1] : ends[r];
+  return edge_asns_.subspan(begin, end - begin);
+}
+
+std::span<const Edge> AsGraph::EdgeSegmentAt(AsId id, Relation rel) const {
+  const std::uint32_t* ends = &seg_ends_[3 * static_cast<std::size_t>(id)];
+  const std::size_t r = static_cast<std::size_t>(rel);
+  const std::uint32_t begin = r == 0 ? offsets_[id] : ends[r - 1];
+  const std::uint32_t end = r == 3 ? offsets_[id + 1] : ends[r];
+  return edges_.subspan(begin, end - begin);
 }
 
 std::vector<Asn> AsGraph::AsesByDegreeDesc() const {
-  std::vector<Asn> out = asns_;
-  std::sort(out.begin(), out.end(), [this](Asn a, Asn b) {
-    std::size_t da = adjacency_[index_.at(a)].size();
-    std::size_t db = adjacency_[index_.at(b)].size();
-    if (da != db) return da > db;
-    return a < b;
+  const std::size_t n = asn_of_.size();
+  std::vector<std::pair<std::size_t, Asn>> keyed(n);
+  for (std::size_t i = 0; i < n; ++i) keyed[i] = {DegreeAt(i), asn_of_[i]};
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
   });
+  std::vector<Asn> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = keyed[i].second;
   return out;
 }
 
 std::size_t AsGraph::CustomerConeSize(Asn asn) const {
-  std::vector<bool> seen(asns_.size(), false);
-  std::deque<std::size_t> queue;
-  std::size_t start = IndexOf(asn);
+  std::vector<bool> seen(asn_of_.size(), false);
+  std::deque<AsId> queue;
+  AsId start = IndexOf(asn);
   seen[start] = true;
   queue.push_back(start);
   std::size_t count = 0;
   while (!queue.empty()) {
-    std::size_t cur = queue.front();
+    AsId cur = queue.front();
     queue.pop_front();
     ++count;
-    for (const Neighbor& n : adjacency_[cur]) {
-      if (n.rel != Relation::kCustomer) continue;
-      std::size_t idx = index_.at(n.asn);
-      if (!seen[idx]) {
-        seen[idx] = true;
-        queue.push_back(idx);
+    for (const Edge& e : EdgeSegmentAt(cur, Relation::kCustomer)) {
+      if (!seen[e.id]) {
+        seen[e.id] = true;
+        queue.push_back(e.id);
       }
     }
   }
@@ -133,102 +437,144 @@ std::size_t AsGraph::CustomerConeSize(Asn asn) const {
 }
 
 bool AsGraph::ReachesDownhill(Asn from, Asn to) const {
-  std::vector<bool> seen(NumAses(), false);
-  std::deque<std::size_t> queue;
-  seen[IndexOf(from)] = true;
-  queue.push_back(IndexOf(from));
+  std::vector<bool> seen(asn_of_.size(), false);
+  std::deque<AsId> queue;
+  AsId start = IndexOf(from);
+  seen[start] = true;
+  queue.push_back(start);
   while (!queue.empty()) {
-    std::size_t cur = queue.front();
+    AsId cur = queue.front();
     queue.pop_front();
-    for (const Neighbor& n : adjacency_[cur]) {
-      if (n.rel != Relation::kCustomer && n.rel != Relation::kSibling) {
+    for (const Edge& e : NeighborsAt(cur)) {
+      if (e.rel != Relation::kCustomer && e.rel != Relation::kSibling) {
         continue;
       }
-      if (n.asn == to) return true;
-      std::size_t idx = index_.at(n.asn);
-      if (!seen[idx]) {
-        seen[idx] = true;
-        queue.push_back(idx);
+      if (e.asn == to) return true;
+      if (!seen[e.id]) {
+        seen[e.id] = true;
+        queue.push_back(e.id);
       }
     }
   }
   return false;
 }
 
-bool SiblingLinkCreatesCycle(const AsGraph& graph, Asn a, Asn b) {
-  return graph.ReachesDownhill(a, b) || graph.ReachesDownhill(b, a);
+GraphBuilder AsGraph::ToBuilder() const {
+  GraphBuilder b;
+  const std::size_t n = asn_of_.size();
+  for (std::size_t i = 0; i < n; ++i) b.AddAs(asn_of_[i]);
+  for (AsId i = 0; i < n; ++i) {
+    for (const Edge& e : NeighborsAt(i)) {
+      if (i < e.id) b.AddLink(asn_of_[i], e.asn, e.rel);
+    }
+  }
+  return b;
 }
 
-bool AsGraph::ProviderCustomerAcyclic() const {
-  // Union sibling groups, then Kahn's algorithm on the supernode digraph.
-  const std::size_t n = asns_.size();
-  std::vector<std::size_t> group(n);
-  for (std::size_t i = 0; i < n; ++i) group[i] = i;
-  // Union-find with path halving.
-  auto find = [&group](std::size_t x) {
-    while (group[x] != x) {
-      group[x] = group[group[x]];
-      x = group[x];
-    }
-    return x;
+AsGraph::CsrArrays AsGraph::Csr() const {
+  CsrArrays arrays;
+  arrays.asn_of = asn_of_;
+  arrays.lookup_asn = lookup_asn_;
+  arrays.lookup_id = lookup_id_;
+  arrays.offsets = offsets_;
+  arrays.seg_ends = seg_ends_;
+  arrays.ranks = ranks_;
+  arrays.ids_by_rank = ids_by_rank_;
+  arrays.rank_pos = rank_pos_;
+  arrays.edge_asns = edge_asns_;
+  arrays.edges = edges_;
+  arrays.num_links = num_links_;
+  arrays.num_ranks = num_ranks_;
+  arrays.connected = connected_;
+  arrays.acyclic = acyclic_;
+  return arrays;
+}
+
+std::optional<AsGraph> AsGraph::FromCsr(const CsrArrays& arrays,
+                                        std::shared_ptr<const void> keepalive,
+                                        std::string* error) {
+  auto fail = [error](const char* what) -> std::optional<AsGraph> {
+    if (error) *error = what;
+    return std::nullopt;
   };
+  const std::size_t n = arrays.asn_of.size();
+  if (arrays.lookup_asn.size() != n || arrays.lookup_id.size() != n ||
+      arrays.ranks.size() != n || arrays.ids_by_rank.size() != n ||
+      arrays.rank_pos.size() != n || arrays.seg_ends.size() != 3 * n ||
+      arrays.offsets.size() != n + 1) {
+    return fail("csr graph: inconsistent array sizes");
+  }
+  const std::size_t m = arrays.edges.size();
+  if (arrays.edge_asns.size() != m) return fail("csr graph: edge_asns size");
+  if (arrays.offsets[0] != 0 || arrays.offsets[n] != m) {
+    return fail("csr graph: offsets extent");
+  }
+  if (m % 2 != 0 || arrays.num_links != m / 2) {
+    return fail("csr graph: link count");
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    for (const Neighbor& nb : adjacency_[i]) {
-      if (nb.rel == Relation::kSibling) {
-        std::size_t ra = find(i), rb = find(index_.at(nb.asn));
-        if (ra != rb) group[ra] = rb;
+    if (arrays.offsets[i] > arrays.offsets[i + 1]) {
+      return fail("csr graph: offsets not monotone");
+    }
+    if (i + 1 < n && arrays.lookup_asn[i] >= arrays.lookup_asn[i + 1]) {
+      return fail("csr graph: lookup table not strictly sorted");
+    }
+    if (arrays.lookup_id[i] >= n ||
+        arrays.asn_of[arrays.lookup_id[i]] != arrays.lookup_asn[i]) {
+      return fail("csr graph: lookup table does not invert asn_of");
+    }
+    if (arrays.ids_by_rank[i] >= n ||
+        arrays.rank_pos[arrays.ids_by_rank[i]] != i) {
+      return fail("csr graph: rank order table does not invert rank_pos");
+    }
+    if (i + 1 < n) {
+      const AsId a = arrays.ids_by_rank[i], b = arrays.ids_by_rank[i + 1];
+      if (arrays.ranks[a] > arrays.ranks[b] ||
+          (arrays.ranks[a] == arrays.ranks[b] && a >= b)) {
+        return fail("csr graph: ids_by_rank not sorted by (rank, id)");
       }
     }
-  }
-  std::vector<std::size_t> indegree(n, 0);
-  std::vector<std::vector<std::size_t>> edges(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const Neighbor& nb : adjacency_[i]) {
-      if (nb.rel != Relation::kCustomer) continue;
-      std::size_t from = find(i), to = find(index_.at(nb.asn));
-      if (from == to) return false;  // sibling group providing for itself
-      edges[from].push_back(to);
-      ++indegree[to];
+    if (arrays.ranks[i] >= arrays.num_ranks && !(n == 0)) {
+      return fail("csr graph: rank out of range");
     }
-  }
-  std::deque<std::size_t> ready;
-  std::size_t groups = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (find(i) != i) continue;
-    ++groups;
-    if (indegree[i] == 0) ready.push_back(i);
-  }
-  std::size_t processed = 0;
-  while (!ready.empty()) {
-    std::size_t cur = ready.front();
-    ready.pop_front();
-    ++processed;
-    for (std::size_t to : edges[cur]) {
-      if (--indegree[to] == 0) ready.push_back(to);
-    }
-  }
-  return processed == groups;
-}
-
-bool AsGraph::IsConnected() const {
-  if (asns_.empty()) return true;
-  std::vector<bool> seen(asns_.size(), false);
-  std::deque<std::size_t> queue{0};
-  seen[0] = true;
-  std::size_t count = 0;
-  while (!queue.empty()) {
-    std::size_t cur = queue.front();
-    queue.pop_front();
-    ++count;
-    for (const Neighbor& n : adjacency_[cur]) {
-      std::size_t idx = index_.at(n.asn);
-      if (!seen[idx]) {
-        seen[idx] = true;
-        queue.push_back(idx);
+    // Row structure: segments partition the row in relation order, every edge
+    // matches its segment, back slots round-trip.
+    const std::uint32_t begin = arrays.offsets[i], end = arrays.offsets[i + 1];
+    std::uint32_t seg_begin = begin;
+    for (std::size_t r = 0; r < kNumRelations; ++r) {
+      const std::uint32_t seg_end =
+          r < 3 ? arrays.seg_ends[3 * i + r] : end;
+      if (seg_end < seg_begin || seg_end > end) {
+        return fail("csr graph: segment extents");
       }
+      for (std::uint32_t e = seg_begin; e < seg_end; ++e) {
+        const Edge& edge = arrays.edges[e];
+        if (edge.rel != static_cast<Relation>(r)) {
+          return fail("csr graph: edge outside its relation segment");
+        }
+        if (edge.id >= n || arrays.asn_of[edge.id] != edge.asn) {
+          return fail("csr graph: edge id/asn mismatch");
+        }
+        if (arrays.edge_asns[e] != edge.asn) {
+          return fail("csr graph: edge_asns mismatch");
+        }
+        const std::uint32_t back =
+            arrays.offsets[edge.id] + edge.back_slot;
+        if (back >= arrays.offsets[edge.id + 1]) {
+          return fail("csr graph: back slot out of row");
+        }
+        const Edge& back_edge = arrays.edges[back];
+        if (back_edge.id != i || back_edge.back_slot != e - begin ||
+            back_edge.rel != Reverse(edge.rel)) {
+          return fail("csr graph: back slot does not round-trip");
+        }
+      }
+      seg_begin = seg_end;
     }
   }
-  return count == asns_.size();
+  AsGraph g;
+  g.Adopt(arrays, std::move(keepalive));
+  return g;
 }
 
 }  // namespace asppi::topo

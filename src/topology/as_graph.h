@@ -1,14 +1,42 @@
-// AsGraph: the AS-level Internet topology with annotated business
-// relationships. This is the substrate every simulator in the library runs on.
+// The two-phase topology core (DESIGN.md §4i).
 //
-// The graph is mutable during construction (AddAs/AddLink) and cheap to query
-// afterwards. ASes are mapped to dense indices [0, NumAses()) so simulators
-// can use flat arrays; public APIs speak ASNs.
+// GraphBuilder is the mutable construction phase: AddAs/AddLink with the
+// conflict rules the infer/ pipeline and the parsers rely on, plus the
+// queries construction-time callers need (HasLink, Degree, ReachesDownhill
+// for convergence-safe sibling placement). Freeze() compiles the builder into
+// an immutable AsGraph and the builder can keep growing (Freeze is
+// non-destructive).
+//
+// AsGraph is the frozen compact-sparse-row form every simulator runs on:
+//   * one offsets array + one Edge array, adjacency rows grouped by relation
+//     (customers, peers, providers, siblings — stable within each group), so
+//     Customers()/Providers()/Peers()/Siblings() are zero-alloc std::span
+//     segment views;
+//   * ASN↔AsId interning resolved once at freeze into a sorted lookup table —
+//     no hash map anywhere in the frozen graph, and IndexOf() is a
+//     tool/parse-edge concern (debug builds count translations so the engines
+//     can assert their hot loops never translate);
+//   * every Edge carries the neighbor's dense id and the owner's slot in the
+//     neighbor's row (back_slot), which is what used to be the engines'
+//     separate EdgeMap — two array reads replace a hash lookup plus binary
+//     search on every delivery;
+//   * propagation ranks (customer-cone tiers a la BGPExtrapolator: stubs are
+//     rank 0, each provider one above its highest customer, sibling groups
+//     share a rank) precomputed for rank-ordered worklist scheduling in both
+//     engines, plus connectivity and Gao-Rexford acyclicity flags.
+//
+// Storage is reachable only through spans backed by a shared keepalive, so a
+// frozen graph is cheap to copy (spans + one shared_ptr) and can borrow its
+// arrays straight out of an mmap'ed snapshot section (data/snapshot.cc) with
+// zero parsing and zero copying.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,16 +44,190 @@
 
 namespace asppi::topo {
 
+class GraphBuilder;
+
+#ifndef NDEBUG
+namespace detail {
+// Count of ASN→AsId translations performed on this thread (IndexOf and the
+// ASN-keyed convenience queries). The engines snapshot it around their
+// propagation loops and abort if a translation sneaks in.
+std::uint64_t AsnLookupCount();
+void BumpAsnLookup();
+}  // namespace detail
+#endif
+
+// One directed adjacency entry of a frozen AsGraph. 16 bytes, padding
+// explicit and zeroed so edge arrays are byte-stable under memcpy
+// serialization (the snapshot CSR section).
+struct Edge {
+  Asn asn = 0;                   // neighbor ASN
+  AsId id = 0;                   // neighbor dense id
+  std::uint32_t back_slot = 0;   // owner's slot in the neighbor's row
+  Relation rel = Relation::kCustomer;  // neighbor's role relative to owner
+  std::uint8_t pad_[3] = {0, 0, 0};
+};
+static_assert(sizeof(Edge) == 16);
+
 class AsGraph {
  public:
-  struct Neighbor {
-    Asn asn;
-    Relation rel;  // role of `asn` relative to the AS owning this list
-    bool operator==(const Neighbor&) const = default;
+  using Neighbor = Edge;
+
+  // Raw views of the frozen arrays, for the snapshot serializer and the
+  // zero-copy loader. All spans alias the graph's backing storage.
+  struct CsrArrays {
+    std::span<const Asn> asn_of;              // AsId → ASN, size n
+    std::span<const Asn> lookup_asn;          // ASNs ascending, size n
+    std::span<const AsId> lookup_id;          // parallel ids, size n
+    std::span<const std::uint32_t> offsets;   // row extents, size n+1
+    std::span<const std::uint32_t> seg_ends;  // 3 per AS (customer/peer/provider group ends)
+    std::span<const std::uint32_t> ranks;     // AsId → propagation rank
+    std::span<const AsId> ids_by_rank;        // ids sorted by (rank, id)
+    std::span<const std::uint32_t> rank_pos;  // inverse of ids_by_rank
+    std::span<const Asn> edge_asns;           // edges[e].asn, for segment views
+    std::span<const Edge> edges;              // size offsets.back()
+    std::uint64_t num_links = 0;
+    std::uint32_t num_ranks = 0;
+    bool connected = false;
+    bool acyclic = false;
   };
 
-  // --- construction -------------------------------------------------------
+  AsGraph() = default;  // empty graph
 
+  // --- existence / relationship queries (ASN edge) -------------------------
+
+  bool HasAs(Asn asn) const { return Find(asn) != kInvalidAsId; }
+  bool HasLink(Asn a, Asn b) const { return RelationOf(a, b).has_value(); }
+  // Role of b relative to a, or nullopt if not adjacent.
+  std::optional<Relation> RelationOf(Asn a, Asn b) const;
+
+  // --- adjacency -----------------------------------------------------------
+
+  std::span<const Edge> NeighborsOf(Asn asn) const {
+    return NeighborsAt(IndexOf(asn));
+  }
+  std::span<const Edge> NeighborsAt(AsId id) const {
+    return edges_.subspan(offsets_[id], offsets_[id + 1] - offsets_[id]);
+  }
+
+  // Relation-segment views: the neighbors of one relation class as a
+  // contiguous span of ASNs. Zero allocation, O(1).
+  std::span<const Asn> Customers(Asn asn) const { return SegmentAt(IndexOf(asn), Relation::kCustomer); }
+  std::span<const Asn> Peers(Asn asn) const { return SegmentAt(IndexOf(asn), Relation::kPeer); }
+  std::span<const Asn> Providers(Asn asn) const { return SegmentAt(IndexOf(asn), Relation::kProvider); }
+  std::span<const Asn> Siblings(Asn asn) const { return SegmentAt(IndexOf(asn), Relation::kSibling); }
+  std::span<const Asn> CustomersAt(AsId id) const { return SegmentAt(id, Relation::kCustomer); }
+  std::span<const Asn> PeersAt(AsId id) const { return SegmentAt(id, Relation::kPeer); }
+  std::span<const Asn> ProvidersAt(AsId id) const { return SegmentAt(id, Relation::kProvider); }
+  std::span<const Asn> SiblingsAt(AsId id) const { return SegmentAt(id, Relation::kSibling); }
+  // The Edge sub-row of one relation class (dense ids included).
+  std::span<const Edge> EdgeSegmentAt(AsId id, Relation rel) const;
+
+  std::size_t Degree(Asn asn) const { return DegreeAt(IndexOf(asn)); }
+  std::size_t DegreeAt(AsId id) const { return offsets_[id + 1] - offsets_[id]; }
+
+  // --- identity ------------------------------------------------------------
+
+  std::size_t NumAses() const { return asn_of_.size(); }
+  std::size_t NumLinks() const { return num_links_; }
+  // All ASNs in registration order (AsId order, deterministic).
+  std::span<const Asn> Ases() const { return asn_of_; }
+
+  // ASN → dense id. Aborts on unknown ASNs; a tool/parse-edge operation only
+  // (binary search over the interning table; debug builds count calls so the
+  // engines can assert none happen inside propagation loops).
+  AsId IndexOf(Asn asn) const;
+  // Like IndexOf but returns kInvalidAsId instead of aborting.
+  AsId Find(Asn asn) const;
+  Asn AsnAt(AsId id) const;
+
+  // --- precomputed structure ----------------------------------------------
+
+  // Propagation rank of an AS: 0 for ASes with no customers, otherwise one
+  // above the highest-ranked customer (sibling groups share the group rank).
+  // On a provider-customer-cyclic graph the cycle members get rank
+  // NumRanks()-1 and ProviderCustomerAcyclic() is false.
+  std::uint32_t RankAt(AsId id) const { return ranks_[id]; }
+  std::uint32_t RankOf(Asn asn) const { return ranks_[IndexOf(asn)]; }
+  std::uint32_t NumRanks() const { return num_ranks_; }
+  // All ids ordered by (rank ascending, id ascending) — the engines' worklist
+  // scan order, so convergence wavefronts are processed cone-upward.
+  std::span<const AsId> IdsByRank() const { return ids_by_rank_; }
+  // Position of an id inside IdsByRank() (for sorting sparse worklists into
+  // the same order the dense scans use).
+  std::uint32_t RankPosAt(AsId id) const { return rank_pos_[id]; }
+
+  // True if every AS can reach every other ignoring relationship direction.
+  bool IsConnected() const { return connected_; }
+  // True if the provider→customer digraph — with sibling groups merged into
+  // single supernodes — is acyclic. Gao-Rexford convergence (and hence the
+  // propagation simulator's termination guarantee) requires this.
+  bool ProviderCustomerAcyclic() const { return acyclic_; }
+
+  // --- derived queries -----------------------------------------------------
+
+  // ASes sorted by decreasing degree (ties by ascending ASN) — the paper's
+  // monitor-selection ranking.
+  std::vector<Asn> AsesByDegreeDesc() const;
+
+  // Size of the customer cone: the AS itself plus everything reachable by
+  // repeatedly descending provider→customer edges.
+  std::size_t CustomerConeSize(Asn asn) const;
+
+  // Directed downhill reachability: can `from` reach `to` by descending
+  // provider→customer edges, traversing sibling links freely?
+  bool ReachesDownhill(Asn from, Asn to) const;
+
+  // Thaws the frozen graph back into a builder (ASes in id order, each link
+  // once, from its lower-id endpoint). For the rare consumers that engineer
+  // extra links onto an already-frozen topology — mutate the builder, then
+  // Freeze() again. Simulator results are insensitive to the resulting
+  // adjacency re-ordering (the decision process tiebreaks by neighbor ASN,
+  // never by slot).
+  GraphBuilder ToBuilder() const;
+
+  // --- CSR (de)serialization ----------------------------------------------
+
+  CsrArrays Csr() const;
+
+  // Builds a graph whose spans alias `arrays` directly; `keepalive` (e.g. an
+  // mmap'ed file) is held for the graph's lifetime. Validates every
+  // structural invariant (extents, id ranges, back slots, grouping, lookup
+  // table, ranks) before accepting; on failure returns nullopt and sets
+  // `*error`. This is the snapshot zero-copy load path.
+  static std::optional<AsGraph> FromCsr(const CsrArrays& arrays,
+                                        std::shared_ptr<const void> keepalive,
+                                        std::string* error);
+
+ private:
+  friend class GraphBuilder;
+
+  struct Storage;
+
+  std::span<const Asn> SegmentAt(AsId id, Relation rel) const;
+  void Adopt(const CsrArrays& arrays, std::shared_ptr<const void> keepalive);
+
+  std::span<const Asn> asn_of_;
+  std::span<const Asn> lookup_asn_;
+  std::span<const AsId> lookup_id_;
+  std::span<const std::uint32_t> offsets_;
+  std::span<const std::uint32_t> seg_ends_;
+  std::span<const std::uint32_t> ranks_;
+  std::span<const AsId> ids_by_rank_;
+  std::span<const std::uint32_t> rank_pos_;
+  std::span<const Asn> edge_asns_;
+  std::span<const Edge> edges_;
+  std::uint64_t num_links_ = 0;
+  std::uint32_t num_ranks_ = 0;
+  bool connected_ = true;   // vacuously, for the empty graph
+  bool acyclic_ = true;
+  std::shared_ptr<const void> keepalive_;
+};
+
+// The mutable construction phase. Accumulates ASes and links (insertion
+// order preserved: it is the stable order inside each frozen relation
+// segment), then Freeze() compiles an AsGraph.
+class GraphBuilder {
+ public:
   // Registers an AS. Idempotent.
   void AddAs(Asn asn);
 
@@ -36,59 +238,34 @@ class AsGraph {
   // aborts — ambiguous inputs must be resolved by the caller (see infer/).
   void AddLink(Asn a, Asn b, Relation rel_of_b);
 
-  // --- queries -------------------------------------------------------------
-
   bool HasAs(Asn asn) const { return index_.contains(asn); }
-  bool HasLink(Asn a, Asn b) const;
-  // Role of b relative to a, or nullopt if not adjacent.
+  bool HasLink(Asn a, Asn b) const { return RelationOf(a, b).has_value(); }
   std::optional<Relation> RelationOf(Asn a, Asn b) const;
 
-  std::span<const Neighbor> NeighborsOf(Asn asn) const;
-  // Same adjacency list addressed by dense index — the simulators' hot loops
-  // use this to skip the ASN hash lookup.
-  std::span<const Neighbor> NeighborsAtIndex(std::size_t index) const;
-  std::vector<Asn> Customers(Asn asn) const { return NeighborsWith(asn, Relation::kCustomer); }
-  std::vector<Asn> Providers(Asn asn) const { return NeighborsWith(asn, Relation::kProvider); }
-  std::vector<Asn> Peers(Asn asn) const { return NeighborsWith(asn, Relation::kPeer); }
-  std::vector<Asn> Siblings(Asn asn) const { return NeighborsWith(asn, Relation::kSibling); }
-
-  std::size_t Degree(Asn asn) const { return NeighborsOf(asn).size(); }
+  std::size_t Degree(Asn asn) const;
   std::size_t NumAses() const { return asns_.size(); }
   std::size_t NumLinks() const { return num_links_; }
-  // All ASNs in registration order (deterministic).
   const std::vector<Asn>& Ases() const { return asns_; }
 
-  // Dense-index mapping for simulator-internal flat arrays.
-  std::size_t IndexOf(Asn asn) const;
-  Asn AsnAt(std::size_t index) const;
-
-  // ASes sorted by decreasing degree (ties by ascending ASN) — the paper's
-  // monitor-selection ranking.
-  std::vector<Asn> AsesByDegreeDesc() const;
-
-  // Size of the customer cone: the AS itself plus everything reachable by
-  // repeatedly descending provider→customer edges.
-  std::size_t CustomerConeSize(Asn asn) const;
-
-  // True if every AS can reach every other ignoring relationship direction.
-  bool IsConnected() const;
-
-  // True if the provider→customer digraph — with sibling groups merged into
-  // single supernodes — is acyclic. Gao-Rexford convergence (and hence the
-  // propagation simulator's termination guarantee) requires this.
-  bool ProviderCustomerAcyclic() const;
-
-  // Directed downhill reachability: can `from` reach `to` by descending
-  // provider→customer edges, traversing sibling links freely?
+  // Directed downhill reachability over the partial graph (customer and
+  // sibling edges) — what SiblingLinkCreatesCycle needs mid-construction.
   bool ReachesDownhill(Asn from, Asn to) const;
 
- private:
-  std::vector<Asn> NeighborsWith(Asn asn, Relation rel) const;
-  void AddHalfLink(std::size_t from, Asn to, Relation rel);
+  // Compiles the current state into an immutable CSR graph. Non-destructive;
+  // the builder remains usable (e.g. the generator freezes once at the end,
+  // tests may freeze intermediate states).
+  AsGraph Freeze() const;
 
-  std::unordered_map<Asn, std::size_t> index_;
+ private:
+  struct Entry {
+    Asn asn;       // neighbor ASN
+    AsId id;       // neighbor dense id (known at AddLink time)
+    Relation rel;  // neighbor's role relative to the owning AS
+  };
+
+  std::unordered_map<Asn, AsId> index_;
   std::vector<Asn> asns_;
-  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<std::vector<Entry>> adjacency_;
   std::size_t num_links_ = 0;
 };
 
@@ -97,6 +274,7 @@ class AsGraph {
 // path (traversing existing sibling links freely) already connects a to b in
 // either direction. Used by the generator and scenario builders to keep
 // every produced topology convergence-safe.
+bool SiblingLinkCreatesCycle(const GraphBuilder& builder, Asn a, Asn b);
 bool SiblingLinkCreatesCycle(const AsGraph& graph, Asn a, Asn b);
 
 }  // namespace asppi::topo

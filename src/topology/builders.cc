@@ -6,33 +6,33 @@ namespace asppi::topo {
 
 AsGraph ProviderChain(std::size_t n) {
   ASPPI_CHECK_GE(n, 1u);
-  AsGraph g;
-  g.AddAs(1);
+  GraphBuilder b;
+  b.AddAs(1);
   for (Asn a = 1; a + 1 <= n; ++a) {
-    g.AddLink(a + 1, a, Relation::kCustomer);  // a is customer of a+1
+    b.AddLink(a + 1, a, Relation::kCustomer);  // a is customer of a+1
   }
-  return g;
+  return b.Freeze();
 }
 
 AsGraph PeerClique(std::size_t n) {
   ASPPI_CHECK_GE(n, 1u);
-  AsGraph g;
+  GraphBuilder g;
   for (Asn a = 1; a <= n; ++a) g.AddAs(a);
   for (Asn a = 1; a <= n; ++a) {
     for (Asn b = a + 1; b <= n; ++b) g.AddLink(a, b, Relation::kPeer);
   }
-  return g;
+  return g.Freeze();
 }
 
 AsGraph ProviderStar(std::size_t spokes) {
-  AsGraph g;
+  GraphBuilder g;
   g.AddAs(1);
   for (Asn s = 2; s <= spokes + 1; ++s) g.AddLink(1, s, Relation::kCustomer);
-  return g;
+  return g.Freeze();
 }
 
 AsGraph DualHomedStub() {
-  AsGraph g;
+  GraphBuilder g;
   g.AddLink(1, 2, Relation::kPeer);          // T1a ── T1b
   g.AddLink(1, 11, Relation::kCustomer);     // P1 under T1a
   g.AddLink(2, 12, Relation::kCustomer);     // P2 under T1b
@@ -40,12 +40,12 @@ AsGraph DualHomedStub() {
   g.AddLink(12, 100, Relation::kCustomer);   // V under P2
   g.AddLink(11, 21, Relation::kCustomer);    // stub S1
   g.AddLink(12, 22, Relation::kCustomer);    // stub S2
-  return g;
+  return g.Freeze();
 }
 
 AsGraph FacebookAnomalyTopology() {
   using namespace fb;
-  AsGraph g;
+  GraphBuilder g;
   const Asn tier1[] = {kLevel3, kAtt, kNtt, kChinaTelecom};
   for (Asn a : tier1) g.AddAs(a);
   for (std::size_t i = 0; i < 4; ++i) {
@@ -56,7 +56,7 @@ AsGraph FacebookAnomalyTopology() {
   g.AddLink(kChinaTelecom, kSkTelecom, Relation::kCustomer);
   g.AddLink(kLevel3, kFacebook, Relation::kCustomer);
   g.AddLink(kSkTelecom, kFacebook, Relation::kCustomer);
-  return g;
+  return g.Freeze();
 }
 
 }  // namespace asppi::topo

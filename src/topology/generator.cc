@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "util/check.h"
 #include "util/rng.h"
@@ -12,33 +14,78 @@ namespace {
 
 using util::Rng;
 
-// Picks an element of `pool` with probability proportional to its current
-// degree + 1 (preferential attachment; the +1 keeps zero-degree ASes
-// selectable).
-Asn PickPreferential(const AsGraph& graph, const std::vector<Asn>& pool,
-                     Rng& rng) {
-  ASPPI_CHECK(!pool.empty());
-  std::size_t total = 0;
-  for (Asn asn : pool) total += graph.Degree(asn) + 1;
-  std::size_t target = rng.Below(total);
-  std::size_t acc = 0;
-  for (Asn asn : pool) {
-    acc += graph.Degree(asn) + 1;
-    if (target < acc) return asn;
+// Degree-proportional sampling pool over a fixed member set: weight of a
+// member is its current degree + 1 (preferential attachment; the +1 keeps
+// zero-degree ASes selectable). Backed by a Fenwick tree so a pick costs
+// O(log n) instead of the O(n) scan that made 100k-AS generation quadratic.
+//
+// Draw-compatible with the old linear scan: one rng.Below(total) per pick,
+// and the selected element is the first whose inclusive prefix sum exceeds
+// the draw — identical totals and identical picks, so every seed reproduces
+// the topologies it generated before.
+class PreferentialPool {
+ public:
+  PreferentialPool(const GraphBuilder& g, std::vector<Asn> members)
+      : members_(std::move(members)), tree_(members_.size() + 1, 0) {
+    pos_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      pos_.emplace(members_[i], i);
+      Add(i, g.HasAs(members_[i]) ? g.Degree(members_[i]) + 1 : 1);
+    }
   }
-  return pool.back();
-}
+
+  // Call once per link added while the pool is live; no-op for non-members.
+  void OnLinkAdded(Asn a, Asn b) {
+    Bump(a);
+    Bump(b);
+  }
+
+  Asn Pick(Rng& rng) const {
+    ASPPI_CHECK(!members_.empty());
+    std::size_t target = rng.Below(total_);
+    // Fenwick descent: largest index whose prefix sum is <= target, i.e. the
+    // first element whose inclusive prefix exceeds the draw.
+    std::size_t idx = 0;
+    std::size_t step = 1;
+    while (step * 2 <= members_.size()) step *= 2;
+    for (; step > 0; step /= 2) {
+      std::size_t next = idx + step;
+      if (next <= members_.size() && tree_[next] <= target) {
+        idx = next;
+        target -= tree_[next];
+      }
+    }
+    return members_[idx];
+  }
+
+ private:
+  void Bump(Asn asn) {
+    auto it = pos_.find(asn);
+    if (it != pos_.end()) Add(it->second, 1);
+  }
+
+  void Add(std::size_t i, std::size_t delta) {
+    total_ += delta;
+    for (std::size_t j = i + 1; j <= members_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  std::vector<Asn> members_;
+  std::vector<std::size_t> tree_;  // 1-based Fenwick tree of weights
+  std::unordered_map<Asn, std::size_t> pos_;
+  std::size_t total_ = 0;
+};
 
 // Picks up to `want` distinct providers preferentially from `pool`,
 // excluding `self`.
-std::vector<Asn> PickProviders(const AsGraph& graph,
-                               const std::vector<Asn>& pool, Asn self,
+std::vector<Asn> PickProviders(const PreferentialPool& pool, Asn self,
                                std::size_t want, Rng& rng) {
   std::vector<Asn> chosen;
   // Bounded retries: with small pools preferential picks may repeat.
   for (std::size_t attempts = 0; chosen.size() < want && attempts < want * 20;
        ++attempts) {
-    Asn cand = PickPreferential(graph, pool, rng);
+    Asn cand = pool.Pick(rng);
     if (cand == self) continue;
     if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end()) continue;
     chosen.push_back(cand);
@@ -47,6 +94,21 @@ std::vector<Asn> PickProviders(const AsGraph& graph,
 }
 
 }  // namespace
+
+GeneratorParams Internet2026Params() {
+  GeneratorParams p;
+  p.seed = 2026;
+  p.num_tier1 = 15;
+  p.num_tier2 = 2200;
+  p.num_tier3 = 14000;
+  p.num_stubs = 83500;
+  p.num_content = 350;
+  p.num_sibling_pairs = 400;
+  p.tier2_avg_peers = 8.0;
+  p.content_min_peers = 40;
+  p.content_max_peers = 250;
+  return p;
+}
 
 GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
   ASPPI_CHECK_GE(params.num_tier1, 1u);
@@ -68,7 +130,7 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
   out.stubs = allocate(params.num_stubs);
   out.content = allocate(params.num_content);
 
-  AsGraph& g = out.graph;
+  GraphBuilder g;
   for (Asn a : out.tier1) g.AddAs(a);
 
   // Tier-1 core: full peering mesh.
@@ -130,14 +192,20 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
 
   // Tier-3: providers mostly in tier-2 (preferential), sometimes tier-1;
   // sparse regional peering.
-  for (Asn t3 : out.tier3) {
-    std::size_t n_prov = 1 + rng.Below(3);
-    std::vector<Asn> provs = PickProviders(g, out.tier2, t3, n_prov, rng);
-    if (rng.Chance(0.05)) {
-      provs.push_back(rng.Pick(out.tier1));
-    }
-    for (Asn prov : provs) {
-      if (!g.HasLink(prov, t3)) g.AddLink(prov, t3, Relation::kCustomer);
+  {
+    PreferentialPool tier2_pool(g, out.tier2);
+    for (Asn t3 : out.tier3) {
+      std::size_t n_prov = 1 + rng.Below(3);
+      std::vector<Asn> provs = PickProviders(tier2_pool, t3, n_prov, rng);
+      if (rng.Chance(0.05)) {
+        provs.push_back(rng.Pick(out.tier1));
+      }
+      for (Asn prov : provs) {
+        if (!g.HasLink(prov, t3)) {
+          g.AddLink(prov, t3, Relation::kCustomer);
+          tier2_pool.OnLinkAdded(prov, t3);
+        }
+      }
     }
   }
   for (Asn t3 : out.tier3) {
@@ -154,13 +222,15 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
   {
     std::vector<Asn> transit = out.tier2;
     transit.insert(transit.end(), out.tier3.begin(), out.tier3.end());
+    PreferentialPool transit_pool(g, std::move(transit));
     for (Asn stub : out.stubs) {
       std::size_t n_prov = 1;
       double roll = rng.Uniform();
       if (roll < params.stub_triplehome_prob) n_prov = 3;
       else if (roll < params.stub_triplehome_prob + params.stub_dualhome_prob) n_prov = 2;
-      for (Asn prov : PickProviders(g, transit, stub, n_prov, rng)) {
+      for (Asn prov : PickProviders(transit_pool, stub, n_prov, rng)) {
         g.AddLink(prov, stub, Relation::kCustomer);
+        transit_pool.OnLinkAdded(prov, stub);
       }
     }
   }
@@ -169,10 +239,12 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
   {
     std::vector<Asn> peer_pool = out.tier2;
     peer_pool.insert(peer_pool.end(), out.tier3.begin(), out.tier3.end());
+    PreferentialPool tier2_pool(g, out.tier2);
     for (Asn c : out.content) {
       std::size_t n_prov = 1 + rng.Below(2);
-      for (Asn prov : PickProviders(g, out.tier2, c, n_prov, rng)) {
+      for (Asn prov : PickProviders(tier2_pool, c, n_prov, rng)) {
         g.AddLink(prov, c, Relation::kCustomer);
+        tier2_pool.OnLinkAdded(prov, c);
       }
       std::size_t span = params.content_max_peers - params.content_min_peers + 1;
       std::size_t n_peers = params.content_min_peers + rng.Below(span);
@@ -181,6 +253,7 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
         Asn other = rng.Pick(peer_pool);
         if (other == c || g.HasLink(c, other)) continue;
         g.AddLink(c, other, Relation::kPeer);
+        tier2_pool.OnLinkAdded(c, other);
       }
     }
   }
@@ -205,8 +278,10 @@ GeneratedTopology GenerateInternetTopology(const GeneratorParams& params) {
     }
   }
 
-  ASPPI_CHECK(g.IsConnected()) << "generator produced a disconnected graph";
-  ASPPI_CHECK(g.ProviderCustomerAcyclic())
+  out.graph = g.Freeze();
+  ASPPI_CHECK(out.graph.IsConnected())
+      << "generator produced a disconnected graph";
+  ASPPI_CHECK(out.graph.ProviderCustomerAcyclic())
       << "generator produced a provider-customer cycle";
   return out;
 }

@@ -62,4 +62,11 @@ struct GeneratedTopology {
 // connected: every non-tier-1 AS has at least one provider chain to the core.
 GeneratedTopology GenerateInternetTopology(const GeneratorParams& params);
 
+// Tiered preset approximating the 2026 Internet: ~100k ASes (15 tier-1s,
+// 2.2k tier-2s, 14k regional tier-3s, 83.5k stubs, 350 content ASes, 400
+// sibling pairs) with richer tier-2 peering than the legacy default. The
+// scale target of the "internet2026" experiments; generation stays fast
+// because provider attachment samples through a Fenwick tree.
+GeneratorParams Internet2026Params();
+
 }  // namespace asppi::topo

@@ -34,8 +34,9 @@ void WriteAsRel(const AsGraph& graph, std::ostream& os) {
   os << "# asppi as-rel format: <as-a>|<as-b>|<code>\n";
   os << "# code -1: a is provider of b; 0: a and b are peers; 2: siblings\n";
   std::set<std::pair<Asn, Asn>> written;
-  for (Asn a : graph.Ases()) {
-    for (const AsGraph::Neighbor& n : graph.NeighborsOf(a)) {
+  for (AsId id = 0; id < graph.NumAses(); ++id) {
+    const Asn a = graph.AsnAt(id);
+    for (const AsGraph::Neighbor& n : graph.NeighborsAt(id)) {
       Asn b = n.asn;
       auto key = std::minmax(a, b);
       if (!written.insert({key.first, key.second}).second) continue;
@@ -55,7 +56,7 @@ void WriteAsRelFile(const AsGraph& graph, const std::string& path) {
   WriteAsRel(graph, os);
 }
 
-std::string ReadAsRel(std::istream& is, AsGraph& out) {
+std::string ReadAsRel(std::istream& is, GraphBuilder& out) {
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(is, line)) {
@@ -102,7 +103,7 @@ std::string ReadAsRel(std::istream& is, AsGraph& out) {
   return "";
 }
 
-std::string ReadAsRelFile(const std::string& path, AsGraph& out) {
+std::string ReadAsRelFile(const std::string& path, GraphBuilder& out) {
   std::ifstream is(path);
   if (!is) return util::Format("cannot open '%s'", path.c_str());
   return ReadAsRel(is, out);

@@ -19,9 +19,10 @@ namespace asppi::topo {
 void WriteAsRel(const AsGraph& graph, std::ostream& os);
 void WriteAsRelFile(const AsGraph& graph, const std::string& path);
 
-// Parses the format above. Aborts-free: malformed lines produce an error via
-// the returned status string; on success the string is empty.
-std::string ReadAsRel(std::istream& is, AsGraph& out);
-std::string ReadAsRelFile(const std::string& path, AsGraph& out);
+// Parses the format above into a builder (Freeze() when done). Aborts-free:
+// malformed lines produce an error via the returned status string; on success
+// the string is empty.
+std::string ReadAsRel(std::istream& is, GraphBuilder& out);
+std::string ReadAsRelFile(const std::string& path, GraphBuilder& out);
 
 }  // namespace asppi::topo

@@ -29,8 +29,8 @@ TierInfo ClassifyTiers(const AsGraph& graph) {
 
   // Candidates: provider-free ASes.
   std::vector<Asn> candidates;
-  for (Asn asn : graph.Ases()) {
-    if (graph.Providers(asn).empty()) candidates.push_back(asn);
+  for (AsId id = 0; id < graph.NumAses(); ++id) {
+    if (graph.ProvidersAt(id).empty()) candidates.push_back(graph.AsnAt(id));
   }
 
   // Keep the densely inter-peered core: candidates peering with at least half
@@ -54,16 +54,17 @@ TierInfo ClassifyTiers(const AsGraph& graph) {
 
   // BFS down provider→customer edges: tier(v) = 1 + min tier over providers.
   // Sibling links propagate tier without incrementing (common administration).
-  std::deque<Asn> queue;
+  std::deque<AsId> queue;
   for (Asn asn : core) {
-    info.tier_by_index_[graph.IndexOf(asn)] = 1;
-    queue.push_back(asn);
+    AsId id = graph.IndexOf(asn);
+    info.tier_by_index_[id] = 1;
+    queue.push_back(id);
   }
   while (!queue.empty()) {
-    Asn cur = queue.front();
+    AsId cur = queue.front();
     queue.pop_front();
-    int cur_tier = info.tier_by_index_[graph.IndexOf(cur)];
-    for (const AsGraph::Neighbor& n : graph.NeighborsOf(cur)) {
+    int cur_tier = info.tier_by_index_[cur];
+    for (const AsGraph::Neighbor& n : graph.NeighborsAt(cur)) {
       int proposed;
       if (n.rel == Relation::kCustomer) {
         proposed = cur_tier + 1;
@@ -72,10 +73,10 @@ TierInfo ClassifyTiers(const AsGraph& graph) {
       } else {
         continue;
       }
-      int& slot = info.tier_by_index_[graph.IndexOf(n.asn)];
+      int& slot = info.tier_by_index_[n.id];
       if (proposed < slot) {
         slot = proposed;
-        queue.push_back(n.asn);
+        queue.push_back(n.id);
       }
     }
   }

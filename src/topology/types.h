@@ -9,17 +9,31 @@ namespace asppi::topo {
 // Autonomous System Number. 32-bit per RFC 4893.
 using Asn = std::uint32_t;
 
+// Dense AS identifier inside one frozen AsGraph: the interval [0, NumAses()).
+// Every simulator-internal array is indexed by AsId; ASNs appear only at the
+// tool/parse boundary (flags, wire formats, report output) and are translated
+// exactly once via AsGraph::IndexOf / AsnAt. See DESIGN.md §4i for the
+// boundary rules.
+using AsId = std::uint32_t;
+
+inline constexpr AsId kInvalidAsId = 0xFFFFFFFFu;
+
 // Business relationship of a neighbor *relative to an AS*. If B is A's
 // customer, then A sees B as kCustomer and B sees A as kProvider.
 //
 // kSibling models two ASes under common administration (e.g. after a merger):
 // sibling links transit everything in both directions (Gao 2000).
+//
+// The enum values double as the relation-segment order of a frozen AsGraph's
+// adjacency rows (customers first, then peers, providers, siblings).
 enum class Relation : std::uint8_t {
   kCustomer = 0,
   kPeer = 1,
   kProvider = 2,
   kSibling = 3,
 };
+
+inline constexpr std::size_t kNumRelations = 4;
 
 // The same link seen from the other side.
 constexpr Relation Reverse(Relation r) {

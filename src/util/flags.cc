@@ -70,6 +70,7 @@ bool Flags::SetValue(const std::string& name, const std::string& value) {
       break;
   }
   it->second.value_text = value;
+  it->second.set = true;
   return true;
 }
 
@@ -93,6 +94,7 @@ bool Flags::Parse(int argc, char** argv) {
     auto it = defs_.find(body);
     if (it != defs_.end() && it->second.type == Type::kBool) {
       it->second.value_text = "true";
+      it->second.set = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -125,6 +127,12 @@ bool Flags::GetBool(const std::string& name) const {
 }
 const std::string& Flags::GetString(const std::string& name) const {
   return Lookup(name, Type::kString).value_text;
+}
+
+bool Flags::WasSet(const std::string& name) const {
+  auto it = defs_.find(name);
+  ASPPI_CHECK(it != defs_.end()) << "undefined flag --" << name;
+  return it->second.set;
 }
 
 const std::string& Flags::GetText(const std::string& name) const {

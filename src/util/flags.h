@@ -42,6 +42,10 @@ class Flags {
   // avoid double-defining shared flags; defining twice is a hard error).
   bool IsDefined(const std::string& name) const { return defs_.contains(name); }
 
+  // True when `name` was explicitly set on the command line (even to its
+  // default value). Lets preset flags yield to explicit overrides.
+  bool WasSet(const std::string& name) const;
+
   // Every flag's (name, current value) in name order — the run-report meta
   // records these so a report identifies its exact configuration.
   std::vector<std::pair<std::string, std::string>> Values() const;
@@ -55,6 +59,7 @@ class Flags {
     std::string default_text;
     std::string value_text;
     std::string help;
+    bool set = false;  // explicitly given on the command line
   };
 
   void Define(const std::string& name, Type type, std::string default_text, const std::string& help);

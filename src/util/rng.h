@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/check.h"
@@ -141,6 +142,11 @@ class Rng {
   // Pick a uniformly random element (container must be non-empty).
   template <typename T>
   const T& Pick(const std::vector<T>& v) {
+    ASPPI_CHECK(!v.empty());
+    return v[Below(v.size())];
+  }
+  template <typename T>
+  const T& Pick(std::span<const T> v) {
     ASPPI_CHECK(!v.empty());
     return v[Below(v.size())];
   }

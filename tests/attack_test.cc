@@ -299,9 +299,10 @@ TEST(AsppAttack, StripsIntermediaryPrepending) {
   // AS4's normal route: [3 2 2 2 2 1]. Attacker AS3... AS3 is on-path
   // already; use a side route: add AS5 as a second provider of AS1 and a
   // customer of AS4, so AS4 chooses between the padded chain and AS5.
-  topo::AsGraph g = topo::ProviderChain(4);
-  g.AddLink(4, 5, topo::Relation::kCustomer);   // 5 under 4
-  g.AddLink(5, 1, topo::Relation::kCustomer);   // 1 also under 5
+  topo::GraphBuilder b = topo::ProviderChain(4).ToBuilder();
+  b.AddLink(4, 5, topo::Relation::kCustomer);   // 5 under 4
+  b.AddLink(5, 1, topo::Relation::kCustomer);   // 1 also under 5
+  topo::AsGraph g = b.Freeze();
   bgp::Announcement ann;
   ann.origin = 1;
   ann.prepends.SetDefault(2, 4);  // intermediary prepending by AS2

@@ -172,11 +172,12 @@ TEST(Invariants, CheckPathFlagsValleyViolation) {
   // Star hub AS1 with spokes: a spoke-to-spoke path climbs after descending
   // only if it goes spoke->hub->spoke->hub... Build a 2-peak shape explicitly:
   // 10 -> 11 (provider) -> 12 (customer) -> 13 (provider) breaks the shape.
-  AsGraph graph;
-  graph.AddLink(11, 10, Relation::kCustomer);  // 11 provides for 10
-  graph.AddLink(11, 12, Relation::kCustomer);  // 11 provides for 12
-  graph.AddLink(13, 12, Relation::kCustomer);  // 13 provides for 12
-  graph.AddLink(13, 14, Relation::kCustomer);  // 13 provides for 14
+  topo::GraphBuilder builder;
+  builder.AddLink(11, 10, Relation::kCustomer);  // 11 provides for 10
+  builder.AddLink(11, 12, Relation::kCustomer);  // 11 provides for 12
+  builder.AddLink(13, 12, Relation::kCustomer);  // 13 provides for 12
+  builder.AddLink(13, 14, Relation::kCustomer);  // 13 provides for 14
+  AsGraph graph = builder.Freeze();
   PathChecks checks;
   checks.origin = 14;
   Violations out;

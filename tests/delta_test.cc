@@ -124,14 +124,15 @@ TEST(DeltaEquivalence, ValleyTopologyWithWithdrawals) {
   // customers below. Attacks here force best-route flips that retract
   // previously-exported routes, exercising the delta engine's withdrawal
   // path (sent-flag overlay + slot clearing).
-  AsGraph g;
-  g.AddLink(3, 2, Relation::kCustomer);
-  g.AddLink(2, 1, Relation::kCustomer);
-  g.AddLink(3, 4, Relation::kPeer);
-  g.AddLink(4, 5, Relation::kCustomer);
-  g.AddLink(4, 6, Relation::kPeer);
-  g.AddLink(6, 3, Relation::kPeer);
-  g.AddLink(6, 7, Relation::kCustomer);
+  topo::GraphBuilder b;
+  b.AddLink(3, 2, Relation::kCustomer);
+  b.AddLink(2, 1, Relation::kCustomer);
+  b.AddLink(3, 4, Relation::kPeer);
+  b.AddLink(4, 5, Relation::kCustomer);
+  b.AddLink(4, 6, Relation::kPeer);
+  b.AddLink(6, 3, Relation::kPeer);
+  b.AddLink(6, 7, Relation::kCustomer);
+  AsGraph g = b.Freeze();
   for (Asn attacker : {4u, 5u, 6u, 7u}) {
     for (int lambda : {1, 3}) {
       ExpectEnginesAgree(g, /*victim=*/1, attacker, lambda);
@@ -142,11 +143,12 @@ TEST(DeltaEquivalence, ValleyTopologyWithWithdrawals) {
 }
 
 TEST(DeltaEquivalence, SiblingTransit) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kPeer);
-  g.AddLink(2, 3, Relation::kSibling);
-  g.AddLink(4, 3, Relation::kCustomer);
-  g.AddLink(4, 5, Relation::kCustomer);
+  topo::GraphBuilder b;
+  b.AddLink(1, 2, Relation::kPeer);
+  b.AddLink(2, 3, Relation::kSibling);
+  b.AddLink(4, 3, Relation::kCustomer);
+  b.AddLink(4, 5, Relation::kCustomer);
+  AsGraph g = b.Freeze();
   ExpectEnginesAgree(g, /*victim=*/1, /*attacker=*/5, /*lambda=*/2);
   ExpectEnginesAgree(g, /*victim=*/1, /*attacker=*/3, /*lambda=*/3,
                      /*violate_valley_free=*/true);

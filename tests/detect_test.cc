@@ -200,10 +200,11 @@ TEST(HintRules, CustomerWithheldShorterRoute) {
   // AS2 = AS_{I-1} on the short new route; AS1 = AS'_L holds a longer padded
   // route. A customer holding the short route would have exported it to its
   // provider — possible attack.
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kCustomer);   // 2 customer of 1
-  g.AddLink(2, 50, Relation::kCustomer);  // chain continuation
-  g.AddLink(50, 100, Relation::kCustomer);
+  topo::GraphBuilder b;
+  b.AddLink(1, 2, Relation::kCustomer);   // 2 customer of 1
+  b.AddLink(2, 50, Relation::kCustomer);  // chain continuation
+  b.AddLink(50, 100, Relation::kCustomer);
+  AsGraph g = b.Freeze();
   AsppDetector detector(&g);
   // Observer 9's route dropped padding: [66 2 50 V] with 1 pad; AS1 holds
   // [1-side] route with 3 pads and greater total length.

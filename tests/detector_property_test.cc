@@ -55,7 +55,7 @@ TEST_P(DetectorProperties, NoHighConfidenceFalsePositiveOnLegitTeChange) {
 
   for (int trial = 0; trial < 3; ++trial) {
     Asn victim = gen.graph.AsnAt(rng.Below(gen.graph.NumAses()));
-    std::vector<Asn> providers = gen.graph.Providers(victim);
+    std::span<const Asn> providers = gen.graph.Providers(victim);
     if (providers.empty()) continue;
 
     // Old policy: uniform λ1; new policy: smaller λ toward one provider

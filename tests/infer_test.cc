@@ -159,9 +159,10 @@ TEST(CaidaLike, RecoversSomePeeringAndOrientsLinks) {
 }
 
 TEST(Score, CountsSpuriousAndMissed) {
-  topo::AsGraph truth;
-  truth.AddLink(1, 2, Relation::kPeer);
-  truth.AddLink(1, 3, Relation::kCustomer);
+  topo::GraphBuilder truth_builder;
+  truth_builder.AddLink(1, 2, Relation::kPeer);
+  truth_builder.AddLink(1, 3, Relation::kCustomer);
+  topo::AsGraph truth = truth_builder.Freeze();
   InferredRelationships inferred;
   inferred.Set(1, 2, Relation::kPeer);      // correct
   inferred.Set(1, 4, Relation::kCustomer);  // spurious (AS4 unknown)
@@ -175,8 +176,8 @@ TEST(Score, CountsSpuriousAndMissed) {
 TEST(CollectPaths, ProducesValidPaths) {
   auto gen = InferTopo(44);
   auto monitors = detect::TopDegreeMonitors(gen.graph, 10);
-  std::vector<AsPath> paths =
-      CollectPaths(gen.graph, monitors, {gen.stubs[0], gen.stubs[1]});
+  const std::vector<topo::Asn> origins = {gen.stubs[0], gen.stubs[1]};
+  std::vector<AsPath> paths = CollectPaths(gen.graph, monitors, origins);
   ASSERT_FALSE(paths.empty());
   for (const AsPath& path : paths) {
     EXPECT_FALSE(path.Empty());

@@ -76,9 +76,10 @@ TEST(Pipeline, TopologyFileRoundTripPreservesAttackResults) {
   auto gen = PipelineTopo(72);
   std::ostringstream os;
   topo::WriteAsRel(gen.graph, os);
-  topo::AsGraph parsed;
+  topo::GraphBuilder parsed_builder;
   std::istringstream is(os.str());
-  ASSERT_EQ(topo::ReadAsRel(is, parsed), "");
+  ASSERT_EQ(topo::ReadAsRel(is, parsed_builder), "");
+  topo::AsGraph parsed = parsed_builder.Freeze();
 
   topo::Asn victim = gen.tier3[0];
   topo::Asn attacker = gen.tier2[0];

@@ -67,13 +67,14 @@ TEST(Propagation, ValleyFreeBlocksPeerOfProvider) {
   //   1        (origin, customer of 2)
   // 4 reaches 1 via peer 3 (customer route at 3); but a stub hanging off 4
   // gets it as a provider route. A peer of 4 must NOT.
-  AsGraph g;
-  g.AddLink(3, 2, Relation::kCustomer);
-  g.AddLink(2, 1, Relation::kCustomer);
-  g.AddLink(3, 4, Relation::kPeer);
-  g.AddLink(4, 5, Relation::kCustomer);  // stub under 4
-  g.AddLink(4, 6, Relation::kPeer);      // peer of 4
-  g.AddLink(6, 3, Relation::kPeer);      // 6 also peers with 3
+  topo::GraphBuilder b;
+  b.AddLink(3, 2, Relation::kCustomer);
+  b.AddLink(2, 1, Relation::kCustomer);
+  b.AddLink(3, 4, Relation::kPeer);
+  b.AddLink(4, 5, Relation::kCustomer);  // stub under 4
+  b.AddLink(4, 6, Relation::kPeer);      // peer of 4
+  b.AddLink(6, 3, Relation::kPeer);      // 6 also peers with 3
+  AsGraph g = b.Freeze();
   PropagationSimulator sim(g);
   PropagationResult result = sim.Run(Announce(1));
   EXPECT_EQ(PathAt(result, 4), "3 2 1");   // peer route at 4
@@ -86,10 +87,11 @@ TEST(Propagation, ValleyFreeBlocksPeerOfProvider) {
 TEST(Propagation, UnreachableWithoutValleyPath) {
   // origin 1 under provider 2; 2 peers with 3; 3 peers with 4.
   // 4 cannot learn the route: it would need two peer hops.
-  AsGraph g;
-  g.AddLink(2, 1, Relation::kCustomer);
-  g.AddLink(2, 3, Relation::kPeer);
-  g.AddLink(3, 4, Relation::kPeer);
+  topo::GraphBuilder b;
+  b.AddLink(2, 1, Relation::kCustomer);
+  b.AddLink(2, 3, Relation::kPeer);
+  b.AddLink(3, 4, Relation::kPeer);
+  AsGraph g = b.Freeze();
   PropagationSimulator sim(g);
   PropagationResult result = sim.Run(Announce(1));
   EXPECT_EQ(PathAt(result, 3), "2 1");
@@ -99,9 +101,10 @@ TEST(Propagation, UnreachableWithoutValleyPath) {
 TEST(Propagation, SiblingTransitsEverything) {
   // 1 origin, peer of 2; 2 sibling of 3; 3 provides nothing else.
   // Peer-learned route at 2 must still reach sibling 3.
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kPeer);
-  g.AddLink(2, 3, Relation::kSibling);
+  topo::GraphBuilder b;
+  b.AddLink(1, 2, Relation::kPeer);
+  b.AddLink(2, 3, Relation::kSibling);
+  AsGraph g = b.Freeze();
   PropagationSimulator sim(g);
   PropagationResult result = sim.Run(Announce(1));
   EXPECT_EQ(PathAt(result, 3), "2 1");
@@ -110,9 +113,10 @@ TEST(Propagation, SiblingTransitsEverything) {
 
 TEST(Propagation, SiblingRouteExportsOnward) {
   // Sibling-learned routes are exportable to providers (intra-organization).
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kSibling);   // 2 sibling of origin
-  g.AddLink(3, 2, Relation::kCustomer);  // 3 provides for 2
+  topo::GraphBuilder b;
+  b.AddLink(1, 2, Relation::kSibling);   // 2 sibling of origin
+  b.AddLink(3, 2, Relation::kCustomer);  // 3 provides for 2
+  AsGraph g = b.Freeze();
   PropagationSimulator sim(g);
   PropagationResult result = sim.Run(Announce(1));
   EXPECT_EQ(PathAt(result, 3), "2 1");

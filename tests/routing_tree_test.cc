@@ -66,19 +66,21 @@ TEST(RoutingTree, PerNeighborPrepends) {
 }
 
 TEST(RoutingTree, UnreachableMarkedNone) {
-  AsGraph g;
-  g.AddLink(2, 1, Relation::kCustomer);
-  g.AddLink(2, 3, Relation::kPeer);
-  g.AddLink(3, 4, Relation::kPeer);
+  topo::GraphBuilder b;
+  b.AddLink(2, 1, Relation::kCustomer);
+  b.AddLink(2, 3, Relation::kPeer);
+  b.AddLink(3, 4, Relation::kPeer);
+  AsGraph g = b.Freeze();
   RoutingTree tree(g, Announce(1));
   EXPECT_EQ(tree.At(4).via, RoutingTree::Via::kNone);
   EXPECT_TRUE(tree.PathFrom(4).Empty());
 }
 
 TEST(RoutingTree, RejectsSiblingGraphs) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kSibling);
-  g.AddLink(3, 1, Relation::kCustomer);
+  topo::GraphBuilder b;
+  b.AddLink(1, 2, Relation::kSibling);
+  b.AddLink(3, 1, Relation::kCustomer);
+  AsGraph g = b.Freeze();
   EXPECT_DEATH(RoutingTree(g, Announce(3)), "sibling");
 }
 

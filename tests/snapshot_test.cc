@@ -15,6 +15,7 @@
 #include "data/snapshot.h"
 #include "topology/generator.h"
 #include "topology/serialization.h"
+#include "util/crc32.h"
 
 namespace asppi::data {
 namespace {
@@ -262,6 +263,149 @@ TEST(Snapshot, LoadRejectsFlippedPayloadBits) {
   }
   std::remove(path.c_str());
   std::remove(flip_path.c_str());
+}
+
+// --- v2 format: CSR section + v1 legacy rebuild -----------------------------
+
+TEST(Snapshot, V2LoadIsNotLegacy) {
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("v2.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  EXPECT_EQ(snapshot.Info().version, 2u);
+  EXPECT_FALSE(snapshot.Info().legacy_topology);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, GraphOutlivesTheSnapshotFile) {
+  // The zero-copy graph holds the mapping alive; deleting the file after
+  // Load must not invalidate it (POSIX keeps mapped pages of unlinked
+  // files).
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("unlink.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  std::remove(path.c_str());
+  EXPECT_TRUE(SameGraph(gen.graph, snapshot.Graph()));
+}
+
+namespace v1 {
+
+// Mini writer replicating the v1 format (byte-packed LE, kTopology section)
+// so the deprecated rebuild path stays covered now that the production
+// writer only emits v2.
+void U32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void U64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::string BuildFile(const topo::AsGraph& graph, const std::string& creator) {
+  std::string info;
+  U32(info, static_cast<std::uint32_t>(creator.size()));
+  info += creator;
+  U64(info, graph.NumAses());
+  U64(info, graph.NumLinks());
+  U64(info, 0);  // baselines
+
+  std::string topology;
+  U64(topology, graph.NumAses());
+  for (topo::Asn asn : graph.Ases()) U32(topology, asn);
+  U64(topology, graph.NumLinks());
+  // Each link once: customer links from the provider side, symmetric links
+  // from the lower-ASN side — the v1 writer's emission rule.
+  for (topo::Asn a : graph.Ases()) {
+    for (const topo::AsGraph::Neighbor& n : graph.NeighborsOf(a)) {
+      if (n.rel == topo::Relation::kProvider) continue;
+      if (n.rel != topo::Relation::kCustomer && n.asn < a) continue;
+      U32(topology, a);
+      U32(topology, n.asn);
+      topology.push_back(static_cast<char>(n.rel));
+    }
+  }
+
+  const std::string* sections[] = {&info, &topology};
+  const std::uint32_t types[] = {1, 2};  // kInfo, kTopology
+  std::string header = "ASPPISNP";
+  U32(header, 1);  // version 1
+  U32(header, 2);  // section count
+  std::string table;
+  std::uint64_t offset = 24 + 2 * 24;
+  std::uint64_t total = offset;
+  for (int i = 0; i < 2; ++i) {
+    U32(table, types[i]);
+    U32(table, util::Crc32(sections[i]->data(), sections[i]->size()));
+    U64(table, offset);
+    U64(table, sections[i]->size());
+    offset += sections[i]->size();
+    total += sections[i]->size();
+  }
+  U64(header, total);
+  return header + table + info + topology;
+}
+
+}  // namespace v1
+
+TEST(Snapshot, V1FileLoadsThroughTheRebuildPath) {
+  const auto gen = SmallTopology(23);
+  const std::string path = TempPath("v1.snap");
+  WriteFile(path, v1::BuildFile(gen.graph, "legacy_tool"));
+
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  EXPECT_EQ(snapshot.Info().version, 1u);
+  EXPECT_TRUE(snapshot.Info().legacy_topology);
+  EXPECT_EQ(snapshot.Info().creator, "legacy_tool");
+  EXPECT_TRUE(SameGraph(gen.graph, snapshot.Graph()));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, V1CorruptTopologyStillRejected) {
+  const auto gen = SmallTopology(23);
+  std::string bytes = v1::BuildFile(gen.graph, "legacy_tool");
+  // Flip a payload byte well past the header+table region: the section CRC
+  // check must catch it on the legacy path too.
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+  const std::string path = TempPath("v1corrupt.snap");
+  WriteFile(path, bytes);
+  Snapshot snapshot;
+  EXPECT_NE(Snapshot::Load(path, snapshot), "");
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CsrStructuralValidationBehindTheCrc) {
+  // A corrupted CSR payload whose table CRC has been recomputed passes the
+  // checksum but must still be rejected by AsGraph::FromCsr's structural
+  // validation — the defense against crafted (not just bit-rotted) files.
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("crafted.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t"), "");
+  std::string bytes = ReadFile(path);
+
+  // Section table entry 0 is kCsrGraph: type@24 crc@28 offset@32 size@40.
+  // Its payload starts at 120; the u64 link count lives at bytes 16..23 of
+  // the section. Nudge it and re-stamp the CRC.
+  const std::size_t section_off = 120;
+  std::uint64_t size = 0;
+  for (int i = 0; i < 8; ++i) {
+    size |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes[40 + i]))
+            << (8 * i);
+  }
+  bytes[section_off + 16] = static_cast<char>(bytes[section_off + 16] ^ 1);
+  const std::uint32_t crc = util::Crc32(bytes.data() + section_off, size);
+  for (int i = 0; i < 4; ++i) {
+    bytes[28 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  WriteFile(path, bytes);
+
+  Snapshot snapshot;
+  const std::string err = Snapshot::Load(path, snapshot);
+  EXPECT_NE(err.find("csr graph section"), std::string::npos) << err;
+  std::remove(path.c_str());
 }
 
 TEST(Snapshot, LoadedSnapshotSurvivesMove) {

@@ -1,16 +1,28 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
+#include "attack/interceptor.h"
+#include "bgp/delta.h"
+#include "bgp/propagation.h"
 #include "topology/as_graph.h"
 #include "topology/builders.h"
 #include "topology/generator.h"
 #include "topology/serialization.h"
 #include "topology/tiers.h"
+#include "util/crc32.h"
 
 namespace asppi::topo {
 namespace {
+
+template <typename R>
+std::vector<Asn> ToVec(R&& r) {
+  return std::vector<Asn>(r.begin(), r.end());
+}
 
 // --- Relation ------------------------------------------------------------
 
@@ -33,53 +45,62 @@ TEST(Relation, ParseNames) {
   EXPECT_FALSE(ParseRelation("frenemy", r));
 }
 
-// --- AsGraph ----------------------------------------------------------------
+// --- GraphBuilder / AsGraph -------------------------------------------------
 
-TEST(AsGraph, AddLinkCreatesBothDirections) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kCustomer);  // 2 is customer of 1
+TEST(GraphBuilder, AddLinkCreatesBothDirections) {
+  GraphBuilder b;
+  b.AddLink(1, 2, Relation::kCustomer);  // 2 is customer of 1
+  EXPECT_EQ(b.RelationOf(1, 2), Relation::kCustomer);
+  EXPECT_EQ(b.RelationOf(2, 1), Relation::kProvider);
+  AsGraph g = b.Freeze();
   EXPECT_EQ(g.RelationOf(1, 2), Relation::kCustomer);
   EXPECT_EQ(g.RelationOf(2, 1), Relation::kProvider);
   EXPECT_EQ(g.NumAses(), 2u);
   EXPECT_EQ(g.NumLinks(), 1u);
 }
 
-TEST(AsGraph, IdempotentReAdd) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kPeer);
-  g.AddLink(1, 2, Relation::kPeer);
-  g.AddLink(2, 1, Relation::kPeer);
-  EXPECT_EQ(g.NumLinks(), 1u);
+TEST(GraphBuilder, IdempotentReAdd) {
+  GraphBuilder b;
+  b.AddLink(1, 2, Relation::kPeer);
+  b.AddLink(1, 2, Relation::kPeer);
+  b.AddLink(2, 1, Relation::kPeer);
+  EXPECT_EQ(b.NumLinks(), 1u);
+  EXPECT_EQ(b.Freeze().NumLinks(), 1u);
 }
 
 TEST(AsGraph, RoleQueries) {
-  AsGraph g;
-  g.AddLink(10, 1, Relation::kCustomer);
-  g.AddLink(10, 2, Relation::kCustomer);
-  g.AddLink(10, 20, Relation::kPeer);
-  g.AddLink(30, 10, Relation::kCustomer);  // 30 provides for 10
-  g.AddLink(10, 40, Relation::kSibling);
-  EXPECT_EQ(g.Customers(10), (std::vector<Asn>{1, 2}));
-  EXPECT_EQ(g.Peers(10), (std::vector<Asn>{20}));
-  EXPECT_EQ(g.Providers(10), (std::vector<Asn>{30}));
-  EXPECT_EQ(g.Siblings(10), (std::vector<Asn>{40}));
+  GraphBuilder b;
+  b.AddLink(10, 1, Relation::kCustomer);
+  b.AddLink(10, 2, Relation::kCustomer);
+  b.AddLink(10, 20, Relation::kPeer);
+  b.AddLink(30, 10, Relation::kCustomer);  // 30 provides for 10
+  b.AddLink(10, 40, Relation::kSibling);
+  AsGraph g = b.Freeze();
+  EXPECT_EQ(ToVec(g.Customers(10)), (std::vector<Asn>{1, 2}));
+  EXPECT_EQ(ToVec(g.Peers(10)), (std::vector<Asn>{20}));
+  EXPECT_EQ(ToVec(g.Providers(10)), (std::vector<Asn>{30}));
+  EXPECT_EQ(ToVec(g.Siblings(10)), (std::vector<Asn>{40}));
   EXPECT_EQ(g.Degree(10), 5u);
 }
 
 TEST(AsGraph, RelationOfMissing) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kPeer);
+  GraphBuilder b;
+  b.AddLink(1, 2, Relation::kPeer);
+  AsGraph g = b.Freeze();
   EXPECT_FALSE(g.RelationOf(1, 3).has_value());
   EXPECT_FALSE(g.RelationOf(99, 1).has_value());
   EXPECT_FALSE(g.HasLink(2, 3));
 }
 
 TEST(AsGraph, DenseIndexRoundTrip) {
-  AsGraph g;
-  g.AddLink(7018, 32934, Relation::kCustomer);
+  GraphBuilder b;
+  b.AddLink(7018, 32934, Relation::kCustomer);
+  AsGraph g = b.Freeze();
   for (Asn asn : g.Ases()) {
     EXPECT_EQ(g.AsnAt(g.IndexOf(asn)), asn);
   }
+  EXPECT_EQ(g.Find(7018), g.IndexOf(7018));
+  EXPECT_EQ(g.Find(6939), kInvalidAsId);
 }
 
 TEST(AsGraph, DegreeRanking) {
@@ -99,11 +120,181 @@ TEST(AsGraph, CustomerConeSize) {
 }
 
 TEST(AsGraph, Connectivity) {
-  AsGraph g;
-  g.AddLink(1, 2, Relation::kPeer);
-  EXPECT_TRUE(g.IsConnected());
-  g.AddLink(3, 4, Relation::kPeer);
-  EXPECT_FALSE(g.IsConnected());
+  GraphBuilder b;
+  b.AddLink(1, 2, Relation::kPeer);
+  EXPECT_TRUE(b.Freeze().IsConnected());
+  b.AddLink(3, 4, Relation::kPeer);
+  EXPECT_FALSE(b.Freeze().IsConnected());
+}
+
+// --- CSR structure ----------------------------------------------------------
+
+TEST(AsGraphCsr, RowsGroupedInRelationOrder) {
+  GraphBuilder b;
+  // Interleave relation classes so freeze has to regroup.
+  b.AddLink(10, 40, Relation::kSibling);
+  b.AddLink(10, 1, Relation::kCustomer);
+  b.AddLink(10, 20, Relation::kPeer);
+  b.AddLink(30, 10, Relation::kCustomer);
+  b.AddLink(10, 2, Relation::kCustomer);
+  AsGraph g = b.Freeze();
+  const AsId id = g.IndexOf(10);
+  std::vector<Relation> seen;
+  for (const Edge& e : g.NeighborsAt(id)) seen.push_back(e.rel);
+  EXPECT_EQ(seen,
+            (std::vector<Relation>{Relation::kCustomer, Relation::kCustomer,
+                                   Relation::kPeer, Relation::kProvider,
+                                   Relation::kSibling}));
+  // Insertion order is stable inside each group.
+  EXPECT_EQ(ToVec(g.CustomersAt(id)), (std::vector<Asn>{1, 2}));
+  // Every Edge segment is homogeneous in its relation class.
+  for (Relation rel : {Relation::kCustomer, Relation::kPeer,
+                       Relation::kProvider, Relation::kSibling}) {
+    for (const Edge& e : g.EdgeSegmentAt(id, rel)) EXPECT_EQ(e.rel, rel);
+  }
+}
+
+TEST(AsGraphCsr, BackSlotsInvertEveryEdge) {
+  GeneratorParams params;
+  params.seed = 3;
+  params.num_tier1 = 4;
+  params.num_tier2 = 12;
+  params.num_tier3 = 30;
+  params.num_stubs = 80;
+  params.num_content = 2;
+  params.num_sibling_pairs = 2;
+  AsGraph g = GenerateInternetTopology(params).graph;
+  for (AsId id = 0; id < g.NumAses(); ++id) {
+    const auto row = g.NeighborsAt(id);
+    for (std::size_t slot = 0; slot < row.size(); ++slot) {
+      const Edge& e = row[slot];
+      const Edge& back = g.NeighborsAt(e.id)[e.back_slot];
+      EXPECT_EQ(back.id, id);
+      EXPECT_EQ(back.asn, g.AsnAt(id));
+      EXPECT_EQ(back.back_slot, slot);
+      EXPECT_EQ(back.rel, Reverse(e.rel));
+    }
+  }
+}
+
+TEST(AsGraphCsr, PropagationRanksRespectCones) {
+  // chain: 4 provides 3 provides 2 provides 1 → ranks 0,1,2,3 bottom-up.
+  AsGraph g = ProviderChain(4);
+  EXPECT_EQ(g.RankOf(1), 0u);
+  EXPECT_EQ(g.RankOf(2), 1u);
+  EXPECT_EQ(g.RankOf(3), 2u);
+  EXPECT_EQ(g.RankOf(4), 3u);
+  EXPECT_EQ(g.NumRanks(), 4u);
+  // IdsByRank is the (rank, id) order and RankPosAt is its inverse.
+  const auto by_rank = g.IdsByRank();
+  ASSERT_EQ(by_rank.size(), g.NumAses());
+  for (std::size_t pos = 0; pos < by_rank.size(); ++pos) {
+    EXPECT_EQ(g.RankPosAt(by_rank[pos]), pos);
+    if (pos > 0) {
+      EXPECT_LE(g.RankAt(by_rank[pos - 1]), g.RankAt(by_rank[pos]));
+    }
+  }
+  EXPECT_TRUE(g.ProviderCustomerAcyclic());
+}
+
+TEST(AsGraphCsr, SiblingGroupsShareRank) {
+  GraphBuilder b;
+  b.AddLink(3, 2, Relation::kCustomer);
+  b.AddLink(2, 1, Relation::kCustomer);
+  b.AddLink(3, 77, Relation::kSibling);
+  AsGraph g = b.Freeze();
+  EXPECT_EQ(g.RankOf(3), g.RankOf(77));
+  EXPECT_EQ(g.RankOf(3), 2u);
+}
+
+TEST(AsGraphCsr, ToBuilderRoundTripPreservesTheGraph) {
+  GeneratorParams params;
+  params.seed = 11;
+  params.num_tier1 = 4;
+  params.num_tier2 = 10;
+  params.num_tier3 = 25;
+  params.num_stubs = 60;
+  params.num_content = 2;
+  AsGraph g = GenerateInternetTopology(params).graph;
+  AsGraph round = g.ToBuilder().Freeze();
+  ASSERT_EQ(round.NumAses(), g.NumAses());
+  ASSERT_EQ(round.NumLinks(), g.NumLinks());
+  EXPECT_EQ(round.IsConnected(), g.IsConnected());
+  EXPECT_EQ(round.ProviderCustomerAcyclic(), g.ProviderCustomerAcyclic());
+  for (Asn a : g.Ases()) {
+    EXPECT_EQ(round.RankOf(a), g.RankOf(a));
+    for (const Edge& e : g.NeighborsOf(a)) {
+      EXPECT_EQ(round.RelationOf(a, e.asn), e.rel);
+    }
+  }
+}
+
+TEST(AsGraphCsr, CsrRoundTripThroughFromCsr) {
+  GeneratorParams params;
+  params.seed = 5;
+  params.num_tier1 = 4;
+  params.num_tier2 = 10;
+  params.num_tier3 = 25;
+  params.num_stubs = 60;
+  params.num_content = 2;
+  AsGraph g = GenerateInternetTopology(params).graph;
+  std::string err;
+  // Keep the original alive for the spans' lifetime via a copy on the heap.
+  auto owner = std::make_shared<AsGraph>(g);
+  std::optional<AsGraph> loaded = AsGraph::FromCsr(owner->Csr(), owner, &err);
+  ASSERT_TRUE(loaded.has_value()) << err;
+  EXPECT_EQ(loaded->NumAses(), g.NumAses());
+  EXPECT_EQ(loaded->NumLinks(), g.NumLinks());
+  for (Asn a : g.Ases()) {
+    EXPECT_EQ(loaded->RankOf(a), g.RankOf(a));
+    for (const Edge& e : g.NeighborsOf(a)) {
+      EXPECT_EQ(loaded->RelationOf(a, e.asn), e.rel);
+    }
+  }
+}
+
+TEST(AsGraphCsr, FromCsrRejectsCorruptArrays) {
+  GraphBuilder b;
+  b.AddLink(10, 1, Relation::kCustomer);
+  b.AddLink(10, 20, Relation::kPeer);
+  b.AddLink(30, 10, Relation::kCustomer);
+  auto owner = std::make_shared<AsGraph>(b.Freeze());
+  const AsGraph::CsrArrays good = owner->Csr();
+  std::string err;
+
+  {  // Edge pointing at an out-of-range dense id.
+    std::vector<Edge> edges(good.edges.begin(), good.edges.end());
+    edges[0].id = static_cast<AsId>(owner->NumAses() + 7);
+    AsGraph::CsrArrays bad = good;
+    bad.edges = edges;
+    EXPECT_FALSE(AsGraph::FromCsr(bad, owner, &err).has_value());
+  }
+  {  // Broken back slot.
+    std::vector<Edge> edges(good.edges.begin(), good.edges.end());
+    edges[0].back_slot += 1;
+    AsGraph::CsrArrays bad = good;
+    bad.edges = edges;
+    EXPECT_FALSE(AsGraph::FromCsr(bad, owner, &err).has_value());
+  }
+  {  // Link count that disagrees with the edge count.
+    AsGraph::CsrArrays bad = good;
+    bad.num_links += 1;
+    EXPECT_FALSE(AsGraph::FromCsr(bad, owner, &err).has_value());
+  }
+  {  // Interning table out of order.
+    std::vector<Asn> lookup(good.lookup_asn.begin(), good.lookup_asn.end());
+    std::swap(lookup.front(), lookup.back());
+    AsGraph::CsrArrays bad = good;
+    bad.lookup_asn = lookup;
+    EXPECT_FALSE(AsGraph::FromCsr(bad, owner, &err).has_value());
+  }
+  {  // rank_pos no longer the inverse permutation of ids_by_rank.
+    std::vector<std::uint32_t> pos(good.rank_pos.begin(), good.rank_pos.end());
+    std::swap(pos.front(), pos.back());
+    AsGraph::CsrArrays bad = good;
+    bad.rank_pos = pos;
+    EXPECT_FALSE(AsGraph::FromCsr(bad, owner, &err).has_value());
+  }
 }
 
 // --- builders -----------------------------------------------------------------
@@ -121,7 +312,7 @@ TEST(Builders, FacebookTopologyShape) {
 
 TEST(Builders, DualHomedStub) {
   AsGraph g = DualHomedStub();
-  EXPECT_EQ(g.Providers(100), (std::vector<Asn>{11, 12}));
+  EXPECT_EQ(ToVec(g.Providers(100)), (std::vector<Asn>{11, 12}));
   EXPECT_TRUE(g.IsConnected());
 }
 
@@ -148,23 +339,25 @@ TEST(Tiers, ChainTiers) {
 }
 
 TEST(Tiers, SiblingInheritsTier) {
-  AsGraph g = ProviderChain(3);
-  g.AddLink(3, 77, Relation::kSibling);
-  TierInfo tiers = ClassifyTiers(g);
+  GraphBuilder b = ProviderChain(3).ToBuilder();
+  b.AddLink(3, 77, Relation::kSibling);
+  TierInfo tiers = ClassifyTiers(b.Freeze());
   EXPECT_EQ(tiers.TierOf(77), 1);
 }
 
 // --- serialization ---------------------------------------------------------------
 
 TEST(Serialization, RoundTrip) {
-  AsGraph g = FacebookAnomalyTopology();
-  g.AddLink(fb::kNtt, 555, Relation::kSibling);
+  GraphBuilder b = FacebookAnomalyTopology().ToBuilder();
+  b.AddLink(fb::kNtt, 555, Relation::kSibling);
+  AsGraph g = b.Freeze();
   std::ostringstream os;
   WriteAsRel(g, os);
   std::istringstream is(os.str());
-  AsGraph parsed;
-  std::string err = ReadAsRel(is, parsed);
+  GraphBuilder parsed_builder;
+  std::string err = ReadAsRel(is, parsed_builder);
   EXPECT_EQ(err, "");
+  AsGraph parsed = parsed_builder.Freeze();
   EXPECT_EQ(parsed.NumAses(), g.NumAses());
   EXPECT_EQ(parsed.NumLinks(), g.NumLinks());
   for (Asn a : g.Ases()) {
@@ -176,38 +369,38 @@ TEST(Serialization, RoundTrip) {
 }
 
 TEST(Serialization, RejectsMalformedLine) {
-  AsGraph g;
+  GraphBuilder g;
   std::istringstream is("1|2\n");
   EXPECT_NE(ReadAsRel(is, g), "");
 }
 
 TEST(Serialization, RejectsBadCode) {
-  AsGraph g;
+  GraphBuilder g;
   std::istringstream is("1|2|7\n");
   EXPECT_NE(ReadAsRel(is, g), "");
 }
 
 TEST(Serialization, RejectsSelfLink) {
-  AsGraph g;
+  GraphBuilder g;
   std::istringstream is("5|5|0\n");
   EXPECT_NE(ReadAsRel(is, g), "");
 }
 
 TEST(Serialization, RejectsConflict) {
-  AsGraph g;
+  GraphBuilder g;
   std::istringstream is("1|2|0\n1|2|-1\n");
   EXPECT_NE(ReadAsRel(is, g), "");
 }
 
 TEST(Serialization, SkipsCommentsAndBlanks) {
-  AsGraph g;
+  GraphBuilder g;
   std::istringstream is("# header\n\n1|2|0\n");
   EXPECT_EQ(ReadAsRel(is, g), "");
   EXPECT_EQ(g.NumLinks(), 1u);
 }
 
 TEST(Serialization, MissingFileErrors) {
-  AsGraph g;
+  GraphBuilder g;
   EXPECT_NE(ReadAsRelFile("/nonexistent/file.topo", g), "");
 }
 
@@ -229,6 +422,7 @@ TEST_P(GeneratorTest, StructuralInvariants) {
 
   EXPECT_EQ(g.NumAses(), params.TotalAses());
   EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.ProviderCustomerAcyclic());
 
   // Tier-1 clique: full peering, no providers.
   for (Asn a : topo.tier1) {
@@ -326,6 +520,230 @@ TEST(Generator, DegreeDistributionHeavyTailed) {
   std::size_t top = topo.graph.Degree(ranked.front());
   std::size_t median = topo.graph.Degree(ranked[ranked.size() / 2]);
   EXPECT_GT(top, 20 * std::max<std::size_t>(median, 1));
+}
+
+TEST(Generator, Internet2026PresetShape) {
+  const GeneratorParams p = Internet2026Params();
+  EXPECT_EQ(p.seed, 2026u);
+  EXPECT_GE(p.TotalAses(), 100000u);
+}
+
+// --- CSR equivalence vs pre-refactor goldens --------------------------------
+//
+// tests/golden/csr_equivalence.golden was captured by running the same
+// emission code below against the PRE-refactor node-object AsGraph (PR 6
+// HEAD): canonical topology dumps, degree rankings, and full-/delta-engine
+// converged states for the committed fixtures, three generated topologies,
+// and interception scenarios on each. The CSR graph must reproduce every
+// byte — topology queries, tier classification, both engines, and the
+// paper's headline fraction — proving the API redesign changed no result.
+
+std::string JoinSorted(std::vector<Asn> v) {
+  std::sort(v.begin(), v.end());
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+// Canonical per-AS dump: relation sets sorted by ASN, cone size, tier.
+std::string CanonicalTopology(const AsGraph& g) {
+  TierInfo tiers = ClassifyTiers(g);
+  std::vector<Asn> ases = ToVec(g.Ases());
+  std::sort(ases.begin(), ases.end());
+  std::string out;
+  out += "ases " + std::to_string(g.NumAses()) + "\n";
+  out += "links " + std::to_string(g.NumLinks()) + "\n";
+  out += "connected " + std::to_string(g.IsConnected() ? 1 : 0) + "\n";
+  out +=
+      "acyclic " + std::to_string(g.ProviderCustomerAcyclic() ? 1 : 0) + "\n";
+  for (Asn a : ases) {
+    out += "as " + std::to_string(a);
+    out += " c=" + JoinSorted(ToVec(g.Customers(a)));
+    out += " p=" + JoinSorted(ToVec(g.Peers(a)));
+    out += " pr=" + JoinSorted(ToVec(g.Providers(a)));
+    out += " s=" + JoinSorted(ToVec(g.Siblings(a)));
+    out += " cone=" + std::to_string(g.CustomerConeSize(a));
+    out += " tier=" + std::to_string(tiers.TierOf(a));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DegreeOrderString(const AsGraph& g) {
+  std::string out;
+  for (Asn a : g.AsesByDegreeDesc()) out += std::to_string(a) + ";";
+  return out;
+}
+
+std::uint32_t Crc(const std::string& s) {
+  return util::Crc32(s.data(), s.size());
+}
+
+// Per-AS converged state text from any result with BestAt/FirstChangeRound.
+template <typename Result>
+std::string StateText(const AsGraph& g, const Result& r) {
+  std::vector<Asn> ases = ToVec(g.Ases());
+  std::sort(ases.begin(), ases.end());
+  std::string out;
+  for (Asn a : ases) {
+    const auto& best = r.BestAt(a);
+    out += std::to_string(a) + ":" +
+           (best.has_value() ? best->path.ToString() : "-") + ":" +
+           std::to_string(r.FirstChangeRound(a)) + "\n";
+  }
+  return out;
+}
+
+struct GoldenScenario {
+  std::string name;
+  Asn victim;
+  Asn attacker;
+  int lambda;
+  bool violate;
+};
+
+void EmitTopology(std::string& out, const std::string& name, const AsGraph& g,
+                  bool full_text) {
+  const std::string canon = CanonicalTopology(g);
+  char line[128];
+  std::snprintf(line, sizeof(line), "topology %s crc=%u degcrc=%u\n",
+                name.c_str(), Crc(canon), Crc(DegreeOrderString(g)));
+  out += line;
+  if (full_text) {
+    out += "begin_canon " + name + "\n" + canon + "end_canon\n";
+  }
+}
+
+void EmitScenario(std::string& out, const std::string& topo_name,
+                  const AsGraph& g, const GoldenScenario& s) {
+  bgp::Announcement ann;
+  ann.origin = s.victim;
+  ann.prepends.SetDefault(s.victim, s.lambda);
+
+  bgp::PropagationSimulator sim(g);
+  auto base = std::make_shared<const bgp::PropagationResult>(sim.Run(ann));
+
+  attack::AsppInterceptor::Config cfg;
+  cfg.attacker = s.attacker;
+  cfg.victim = s.victim;
+  cfg.violate_valley_free = s.violate;
+  attack::AsppInterceptor atk(cfg);
+  bgp::PropagationResult after = sim.Resume(*base, &atk, {s.attacker});
+
+  attack::AsppInterceptor atk2(cfg);
+  bgp::DeltaPropagator delta(g);
+  bgp::DeltaResult dafter = delta.Propagate(base, &atk2, {s.attacker});
+
+  char frac[32];
+  std::snprintf(frac, sizeof(frac), "%.9f",
+                after.FractionTraversing(s.attacker));
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "scenario %s.%s base_rounds=%d base_reach=%zu base_crc=%u "
+                "atk_rounds=%d atk_reach=%zu atk_crc=%u delta_crc=%u frac=%s\n",
+                topo_name.c_str(), s.name.c_str(), base->Rounds(),
+                base->ReachableCount(), Crc(StateText(g, *base)),
+                after.Rounds(), after.ReachableCount(),
+                Crc(StateText(g, after)), Crc(StateText(g, dafter)), frac);
+  out += line;
+}
+
+// The committed golden body (comment lines stripped), split where the
+// generated-topology block starts.
+void LoadGolden(std::string& fixtures, std::string& generated) {
+  std::ifstream in(std::string(ASPPI_TESTS_DIR) +
+                   "/golden/csr_equivalence.golden");
+  ASSERT_TRUE(in.is_open()) << "missing tests/golden/csr_equivalence.golden";
+  std::string line;
+  bool in_generated = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    if (line.rfind("topology gen_", 0) == 0) in_generated = true;
+    (in_generated ? generated : fixtures) += line + "\n";
+  }
+}
+
+TEST(CsrEquivalence, FixtureTopologiesAndScenariosMatchGolden) {
+  std::string want_fixtures, want_generated;
+  LoadGolden(want_fixtures, want_generated);
+
+  std::string got;
+  {
+    AsGraph g = ProviderChain(8);
+    EmitTopology(got, "chain8", g, true);
+    EmitScenario(got, "chain8", g, {"a5", 1, 5, 3, false});
+  }
+  {
+    AsGraph g = PeerClique(6);
+    EmitTopology(got, "clique6", g, true);
+    EmitScenario(got, "clique6", g, {"a3", 1, 3, 2, false});
+  }
+  {
+    AsGraph g = ProviderStar(12);
+    EmitTopology(got, "star12", g, true);
+    EmitScenario(got, "star12", g, {"a5", 2, 5, 3, false});
+  }
+  {
+    AsGraph g = DualHomedStub();
+    EmitTopology(got, "dualhomed", g, true);
+    EmitScenario(got, "dualhomed", g, {"a21", 100, 21, 3, false});
+    EmitScenario(got, "dualhomed", g, {"v21", 100, 21, 3, true});
+  }
+  {
+    AsGraph g = FacebookAnomalyTopology();
+    EmitTopology(got, "facebook", g, true);
+    EmitScenario(got, "facebook", g,
+                 {"skt", fb::kFacebook, fb::kSkTelecom, 3, false});
+  }
+  EXPECT_EQ(got, want_fixtures);
+}
+
+TEST(CsrEquivalence, GeneratedTopologiesAndScenariosMatchGolden) {
+  std::string want_fixtures, want_generated;
+  LoadGolden(want_fixtures, want_generated);
+
+  std::string got;
+  {
+    GeneratorParams p;  // defaults, seed 42
+    GeneratedTopology gen = GenerateInternetTopology(p);
+    EmitTopology(got, "gen_default", gen.graph, false);
+    EmitScenario(got, "gen_default", gen.graph,
+                 {"s10xt5", gen.stubs[10], gen.tier3[5], 4, false});
+    EmitScenario(got, "gen_default", gen.graph,
+                 {"v_s10xt5", gen.stubs[10], gen.tier3[5], 4, true});
+  }
+  {
+    GeneratorParams p;
+    p.seed = 7;
+    p.num_tier1 = 6;
+    p.num_tier2 = 40;
+    p.num_tier3 = 150;
+    p.num_stubs = 600;
+    p.num_content = 8;
+    p.num_sibling_pairs = 5;
+    GeneratedTopology gen = GenerateInternetTopology(p);
+    EmitTopology(got, "gen_seed7", gen.graph, false);
+    EmitScenario(got, "gen_seed7", gen.graph,
+                 {"s33xt7", gen.stubs[33], gen.tier3[7], 4, false});
+  }
+  {
+    GeneratorParams p;
+    p.seed = 1337;
+    p.num_tier1 = 12;
+    p.num_tier2 = 300;
+    p.num_tier3 = 1500;
+    p.num_stubs = 8200;
+    p.num_content = 40;
+    p.num_sibling_pairs = 40;
+    GeneratedTopology gen = GenerateInternetTopology(p);
+    EmitTopology(got, "gen_10k", gen.graph, false);
+    EmitScenario(got, "gen_10k", gen.graph,
+                 {"s100xt17", gen.stubs[100], gen.tier2[17], 4, false});
+  }
+  EXPECT_EQ(got, want_generated);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 // batch tools load by mmap.
 //
 //   $ asppi_snapshot --topo=topology.topo --out=topology.snap
-//   $ asppi_snapshot --topo=topology.topo --out=topology.snap \
+//   $ asppi_snapshot --topo=topology.topo --out=topology.snap
 //       --baselines=3831,9002 --lambda=4 --policy=3831:4
 //   $ asppi_snapshot --info --topo=topology.snap
 //
