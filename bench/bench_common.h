@@ -29,14 +29,17 @@ struct SweepRow {
 // the λ points in parallel; rows come back in λ order either way.
 // `baseline_cache` (optional) memoizes the per-λ attack-free baselines —
 // exactly one uncached propagation per λ, shared with any other sweep using
-// the same cache.
+// the same cache. `filter` (optional, e.g. a defense::PolicySet from
+// Experiment::DefenseDeployment) gates every import during the attacked
+// re-convergence; baselines stay filterless (see attack/impact.h).
 std::vector<SweepRow> LambdaSweep(const topo::AsGraph& graph,
                                   topo::Asn victim, topo::Asn attacker,
                                   int max_lambda, bool violate_valley_free,
                                   util::ThreadPool* pool = nullptr,
                                   attack::BaselineCache* baseline_cache = nullptr,
                                   attack::EngineKind engine =
-                                      attack::EngineKind::kDelta);
+                                      attack::EngineKind::kDelta,
+                                  const bgp::ImportFilter* filter = nullptr);
 
 // Formats a λ-sweep as the paper's figures do (percent polluted per λ).
 util::Table SweepTable(const std::vector<SweepRow>& rows,

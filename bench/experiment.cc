@@ -60,6 +60,62 @@ Experiment& Experiment::WithThreadsFlag() {
   return *this;
 }
 
+Experiment& Experiment::WithDefenseFlags() {
+  if (!flags_.IsDefined("defense")) {
+    flags_.DefineString("defense", "none",
+                        "defense policies deployed ASes run: rov / pathval / "
+                        "detector / all, '+'-joined ('none' = undefended)");
+    flags_.DefineDouble("deploy-frac", 0.5,
+                        "fraction of ASes deploying --defense, in [0, 1]");
+    flags_.DefineString("deploy-strategy", "top-degree",
+                        "deployment placement: top-degree, random, or "
+                        "victim-cone");
+    flags_.DefineUint("deploy-seed", 1,
+                      "shuffle seed for --deploy-strategy=random");
+  }
+  return *this;
+}
+
+std::shared_ptr<const defense::PolicySet> Experiment::DefenseDeployment(
+    const topo::AsGraph& graph, topo::Asn victim, topo::Asn attacker) {
+  ASPPI_CHECK(flags_.IsDefined("defense"))
+      << "DefenseDeployment() requires WithDefenseFlags()";
+  const std::string& kinds_text = flags_.GetString("defense");
+  if (kinds_text == "none") return nullptr;
+  const std::optional<std::uint8_t> kinds =
+      defense::ParsePolicyKinds(kinds_text);
+  if (!kinds.has_value() || *kinds == defense::kNoPolicy) {
+    if (!kinds.has_value()) {
+      std::fprintf(stderr, "warning: unknown --defense '%s', running "
+                   "undefended\n", kinds_text.c_str());
+    }
+    return nullptr;
+  }
+  const double frac = flags_.GetDouble("deploy-frac");
+  if (frac <= 0.0) return nullptr;
+  const std::string& strategy_text = flags_.GetString("deploy-strategy");
+  const std::optional<defense::Strategy> strategy =
+      defense::ParseStrategy(strategy_text);
+  if (!strategy.has_value()) {
+    std::fprintf(stderr, "warning: unknown --deploy-strategy '%s', running "
+                 "undefended\n", strategy_text.c_str());
+    return nullptr;
+  }
+  if (*strategy == defense::Strategy::kVictimCone && !graph.HasAs(victim)) {
+    std::fprintf(stderr, "warning: --deploy-strategy=victim-cone needs a "
+                 "single victim; running undefended\n");
+    return nullptr;
+  }
+  const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+      graph, *strategy, victim, attacker, flags_.GetUint("deploy-seed"));
+  auto set = std::make_shared<defense::PolicySet>(
+      plan.AtFraction(std::min(frac, 1.0), *kinds));
+  Note("defense: %zu AS(es) deploy %s (%s, frac=%.2f)", set->DeployedCount(),
+       defense::PolicyKindsName(*kinds).c_str(),
+       defense::StrategyName(*strategy), std::min(frac, 1.0));
+  return set;
+}
+
 Experiment& Experiment::WithTopologyFlags() {
   WithThreadsFlag();
   if (!has_topology_flags_) {

@@ -34,6 +34,8 @@
 #include "attack/baseline_cache.h"
 #include "attack/impact.h"
 #include "data/snapshot.h"
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "topology/generator.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -58,6 +60,20 @@ class Experiment {
 
   // Registers only --threads. For tools that load a topology file.
   Experiment& WithThreadsFlag();
+
+  // Registers --defense (policy kinds, default "none"), --deploy-frac,
+  // --deploy-strategy, and --deploy-seed, so any sweep binary can re-run its
+  // figure under a partial defense deployment.
+  Experiment& WithDefenseFlags();
+
+  // Builds the deployment the defense flags describe over `graph`: the first
+  // ⌈frac·n⌉ ASes of the --deploy-strategy ordering (excluding `victim` and
+  // `attacker`; either may be 0), each running the --defense policies.
+  // Returns nullptr — no filtering — for --defense=none (the default) or
+  // --deploy-frac=0, and also (with a warning) when
+  // --deploy-strategy=victim-cone is asked for without a victim.
+  std::shared_ptr<const defense::PolicySet> DefenseDeployment(
+      const topo::AsGraph& graph, topo::Asn victim, topo::Asn attacker);
 
   // Parses argv (records the binary name for the run report). Returns false
   // after printing usage on --help or a flag error; main() should return 1.

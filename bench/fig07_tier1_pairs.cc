@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
       "Figure 7: polluted ASes, tier-1 attacker vs tier-1 victim",
       "80 instances, prepended ASN=3, ranked by pollution");
   e.WithTopologyFlags();
+  e.WithDefenseFlags();
   e.Flags().DefineUint("instances", 80, "number of hijack instances");
   e.Flags().DefineInt("lambda", 3, "victim prepend count");
   if (!e.ParseFlags(argc, argv)) return 1;
 
   const topo::GeneratedTopology& topology = e.GenerateTopology();
+  // Corpus-wide deployment (victim/attacker 0): one fixed plan filters every
+  // instance, like a real partial-adoption Internet would.
+  const auto deployment = e.DefenseDeployment(topology.graph, 0, 0);
   auto pairs = attack::SampleTier1Pairs(topology, e.Flags().GetUint("instances"),
                                         e.Flags().GetUint("seed") + 7);
   const int lambda = static_cast<int>(e.Flags().GetInt("lambda"));
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   options.pool = e.Pool();
   options.baseline_cache = e.Baseline();
   options.engine = e.Engine();
+  options.filter = deployment.get();
   options.export_stripped_to_peers = true;
   auto aggressive = attack::RunPairSweep(topology.graph, pairs, options);
   options.export_stripped_to_peers = false;

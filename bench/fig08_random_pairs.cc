@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
   bench::Experiment e("Figure 8: polluted ASes, random attacker/victim pairs",
                       "27 sampled instances (mostly tier-4/5), ranked");
   e.WithTopologyFlags();
+  e.WithDefenseFlags();
   e.Flags().DefineUint("instances", 27, "number of hijack instances");
   e.Flags().DefineInt("lambda", 3, "victim prepend count");
   if (!e.ParseFlags(argc, argv)) return 1;
 
   const topo::GeneratedTopology& topology = e.GenerateTopology();
+  // Corpus-wide deployment (victim/attacker 0): one fixed plan filters every
+  // instance, like a real partial-adoption Internet would.
+  const auto deployment = e.DefenseDeployment(topology.graph, 0, 0);
   topo::TierInfo tiers = topo::ClassifyTiers(topology.graph);
   auto pairs = attack::SampleRandomPairs(topology, e.Flags().GetUint("instances"),
                                          e.Flags().GetUint("seed") + 8);
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   options.lambda = static_cast<int>(e.Flags().GetInt("lambda"));
   options.pool = e.Pool();
   options.engine = e.Engine();
+  options.filter = deployment.get();
   auto results = attack::RunPairSweep(topology.graph, pairs, options);
 
   util::Table table({"rank", "attacker(tier)", "victim(tier)",

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
       "Figure 9: pollution vs prepended ASNs (tier-1 hijacks tier-1)",
       "Sprint hijacks AT&T: 30% at lambda=1, 80% at 2, >95% at 3-4, plateau");
   e.WithTopologyFlags();
+  e.WithDefenseFlags();
   e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
   if (!e.ParseFlags(argc, argv)) return 1;
 
@@ -21,11 +22,13 @@ int main(int argc, char** argv) {
   attack::SweepScenario scenario = attack::Tier1VsTier1(topology);
   e.Note("scenario: attacker AS%u hijacks victim AS%u", scenario.attacker,
          scenario.victim);
+  const auto deployment = e.DefenseDeployment(topology.graph, scenario.victim,
+                                              scenario.attacker);
   auto rows = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
                                  static_cast<int>(e.Flags().GetInt("max_lambda")),
                                  /*violate_valley_free=*/false, e.Pool(),
-                                 e.Baseline(), e.Engine());
+                                 e.Baseline(), e.Engine(), deployment.get());
   e.PrintTable(
       bench::SweepTable(rows, "pct_after_hijack", "pct_before_hijack"));
   e.Note(

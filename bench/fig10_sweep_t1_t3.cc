@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       "Figure 10: pollution vs prepended ASNs (tier-1 hijacks content AS)",
       "AT&T hijacks Facebook: 82% at lambda=2, >99% from 3 on");
   e.WithTopologyFlags();
+  e.WithDefenseFlags();
   e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
   if (!e.ParseFlags(argc, argv)) return 1;
 
@@ -22,11 +23,13 @@ int main(int argc, char** argv) {
   attack::SweepScenario scenario = attack::Tier1VsContent(topology);
   e.Note("scenario: attacker AS%u (tier-1) hijacks victim AS%u (content)",
          scenario.attacker, scenario.victim);
+  const auto deployment = e.DefenseDeployment(topology.graph, scenario.victim,
+                                              scenario.attacker);
   auto rows = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker,
                                  static_cast<int>(e.Flags().GetInt("max_lambda")),
                                  /*violate_valley_free=*/false, e.Pool(),
-                                 e.Baseline(), e.Engine());
+                                 e.Baseline(), e.Engine(), deployment.get());
   e.PrintTable(
       bench::SweepTable(rows, "pct_after_hijack", "pct_before_hijack"));
   e.Note("shape check (paper): saturates close to 100%% once lambda >= 3.");

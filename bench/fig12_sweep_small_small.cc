@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
       "AS30209 hijacks AS12734: tiny when valley-free, significant when "
       "violating policy");
   e.WithTopologyFlags();
+  e.WithDefenseFlags();
   e.Flags().DefineInt("max_lambda", 8, "largest prepend count to sweep");
   if (!e.ParseFlags(argc, argv)) return 1;
 
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   attack::SweepScenario scenario = attack::SmallVsSmall(topology);
   e.Note("scenario: attacker AS%u hijacks victim AS%u (both small transits)",
          scenario.attacker, scenario.victim);
+  const auto deployment = e.DefenseDeployment(topology.graph, scenario.victim,
+                                              scenario.attacker);
 
   // One shared baseline cache: the attack-free state per λ is independent of
   // the attacker's export model, so the violate sweep is all cache hits.
@@ -29,11 +32,11 @@ int main(int argc, char** argv) {
   auto obey = bench::LambdaSweep(topology.graph, scenario.victim,
                                  scenario.attacker, max_lambda,
                                  /*violate_valley_free=*/false, e.Pool(),
-                                 e.Baseline(), e.Engine());
+                                 e.Baseline(), e.Engine(), deployment.get());
   auto violate = bench::LambdaSweep(topology.graph, scenario.victim,
                                     scenario.attacker, max_lambda,
                                     /*violate_valley_free=*/true, e.Pool(),
-                                    e.Baseline(), e.Engine());
+                                    e.Baseline(), e.Engine(), deployment.get());
 
   util::Table table({"num_prepending_asns", "pct_follow_valley_free",
                      "pct_violate_routing_policy", "pct_before_hijack"});

@@ -23,7 +23,8 @@ AttackSimulator::AttackSimulator(const topo::AsGraph& graph,
 
 AttackOutcome AttackSimulator::RunWithTransform(
     const bgp::Announcement& announcement, Asn attacker,
-    bgp::RouteTransform& transform, int lambda) const {
+    bgp::RouteTransform& transform, int lambda,
+    const bgp::ImportFilter* filter) const {
   ASPPI_CHECK(graph_.HasAs(attacker)) << "attacker AS" << attacker;
   AttackOutcome outcome;
   outcome.victim = announcement.origin;
@@ -48,7 +49,7 @@ AttackOutcome AttackSimulator::RunWithTransform(
       traversal = std::make_shared<const bgp::TraversalIndex>(*outcome.before);
     }
     bgp::DeltaResult delta =
-        delta_engine_.Propagate(outcome.before, &transform, {attacker});
+        delta_engine_.Propagate(outcome.before, &transform, {attacker}, filter);
 
     // Incremental pollution accounting: only touched ASes can change
     // traversal membership, so adjust the baseline's indexed count over the
@@ -81,7 +82,7 @@ AttackOutcome AttackSimulator::RunWithTransform(
   }
 
   bgp::PropagationResult after =
-      engine_.Resume(*outcome.before, &transform, {attacker});
+      engine_.Resume(*outcome.before, &transform, {attacker}, filter);
 
   // One traversal scan per state; fractions and the pollution delta all
   // derive from these two sets (AsesTraversing is an O(n·pathlen) walk).
@@ -102,19 +103,20 @@ AttackOutcome AttackSimulator::RunWithTransform(
 
 AttackOutcome AttackSimulator::RunAsppInterception(
     Asn victim, Asn attacker, int lambda, bool violate_valley_free,
-    bool export_stripped_to_peers) const {
+    bool export_stripped_to_peers, const bgp::ImportFilter* filter) const {
   ASPPI_CHECK_GE(lambda, 1);
   bgp::Announcement announcement;
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   return RunAsppInterceptionWithPolicy(announcement, attacker,
                                        violate_valley_free,
-                                       export_stripped_to_peers);
+                                       export_stripped_to_peers, filter);
 }
 
 AttackOutcome AttackSimulator::RunAsppInterceptionWithPolicy(
     const bgp::Announcement& announcement, Asn attacker,
-    bool violate_valley_free, bool export_stripped_to_peers) const {
+    bool violate_valley_free, bool export_stripped_to_peers,
+    const bgp::ImportFilter* filter) const {
   AsppInterceptor::Config config;
   config.attacker = attacker;
   config.victim = announcement.origin;
@@ -122,25 +124,28 @@ AttackOutcome AttackSimulator::RunAsppInterceptionWithPolicy(
   config.export_stripped_to_peers = export_stripped_to_peers;
   AsppInterceptor interceptor(config);
   return RunWithTransform(announcement, attacker, interceptor,
-                          announcement.prepends.MaxPadsOf(announcement.origin));
+                          announcement.prepends.MaxPadsOf(announcement.origin),
+                          filter);
 }
 
-AttackOutcome AttackSimulator::RunOriginHijack(Asn victim, Asn attacker,
-                                               int lambda) const {
+AttackOutcome AttackSimulator::RunOriginHijack(
+    Asn victim, Asn attacker, int lambda,
+    const bgp::ImportFilter* filter) const {
   bgp::Announcement announcement;
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   OriginHijacker hijacker(attacker);
-  return RunWithTransform(announcement, attacker, hijacker, lambda);
+  return RunWithTransform(announcement, attacker, hijacker, lambda, filter);
 }
 
-AttackOutcome AttackSimulator::RunBallaniInterception(Asn victim, Asn attacker,
-                                                      int lambda) const {
+AttackOutcome AttackSimulator::RunBallaniInterception(
+    Asn victim, Asn attacker, int lambda,
+    const bgp::ImportFilter* filter) const {
   bgp::Announcement announcement;
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   BallaniInterceptor interceptor(attacker, victim);
-  return RunWithTransform(announcement, attacker, interceptor, lambda);
+  return RunWithTransform(announcement, attacker, interceptor, lambda, filter);
 }
 
 std::vector<PairImpact> RunPairSweep(
@@ -161,7 +166,7 @@ std::vector<PairImpact> RunPairSweep(
         const auto& [attacker, victim] = attacker_victim_pairs[i];
         AttackOutcome outcome = simulator.RunAsppInterception(
             victim, attacker, options.lambda, options.violate_valley_free,
-            options.export_stripped_to_peers);
+            options.export_stripped_to_peers, options.filter);
         results[i] = PairImpact{attacker, victim, outcome.fraction_before,
                                 outcome.fraction_after};
       });

@@ -62,10 +62,17 @@ class AttackSimulator {
                            EngineKind engine = EngineKind::kDelta);
 
   // The ASPP-based interception attack: victim announces with λ prepends
-  // (uniformly to all neighbors), attacker strips the padding.
+  // (uniformly to all neighbors), attacker strips the padding. `filter`
+  // (optional, non-owning — typically a defense::PolicySet) gates every
+  // import during the attacked re-convergence. The attack-free baseline is
+  // always computed filterless: none of the shipped policies ever rejects a
+  // legitimate route (origin matches, padding is exactly as configured), so
+  // the defended and undefended baselines coincide and stay shareable
+  // through one BaselineCache.
   AttackOutcome RunAsppInterception(Asn victim, Asn attacker, int lambda,
                                     bool violate_valley_free = false,
-                                    bool export_stripped_to_peers = true) const;
+                                    bool export_stripped_to_peers = true,
+                                    const bgp::ImportFilter* filter = nullptr) const;
 
   // Same, but with an arbitrary caller-supplied prepend policy for the
   // victim (per-neighbor λ) — used by the detection tests where legitimate
@@ -73,12 +80,15 @@ class AttackSimulator {
   AttackOutcome RunAsppInterceptionWithPolicy(
       const bgp::Announcement& announcement, Asn attacker,
       bool violate_valley_free = false,
-      bool export_stripped_to_peers = true) const;
+      bool export_stripped_to_peers = true,
+      const bgp::ImportFilter* filter = nullptr) const;
 
   // Baselines.
-  AttackOutcome RunOriginHijack(Asn victim, Asn attacker, int lambda) const;
-  AttackOutcome RunBallaniInterception(Asn victim, Asn attacker,
-                                       int lambda) const;
+  AttackOutcome RunOriginHijack(Asn victim, Asn attacker, int lambda,
+                                const bgp::ImportFilter* filter = nullptr) const;
+  AttackOutcome RunBallaniInterception(Asn victim, Asn attacker, int lambda,
+                                       const bgp::ImportFilter* filter =
+                                           nullptr) const;
 
   const bgp::PropagationSimulator& Engine() const { return engine_; }
   const topo::AsGraph& Graph() const { return graph_; }
@@ -88,7 +98,8 @@ class AttackSimulator {
  private:
   AttackOutcome RunWithTransform(const bgp::Announcement& announcement,
                                  Asn attacker, bgp::RouteTransform& transform,
-                                 int lambda) const;
+                                 int lambda,
+                                 const bgp::ImportFilter* filter) const;
 
   const topo::AsGraph& graph_;
   bgp::PropagationSimulator engine_;
@@ -118,6 +129,10 @@ struct PairSweepOptions {
   BaselineCache* baseline_cache = nullptr;
   // Convergence engine for the attacked states (see EngineKind).
   EngineKind engine = EngineKind::kDelta;
+  // Import filter active during the attacked re-convergence (non-owning;
+  // typically a defense::PolicySet). Baselines are computed filterless — see
+  // AttackSimulator::RunAsppInterception.
+  const bgp::ImportFilter* filter = nullptr;
 };
 
 // Runs the ASPP interception for every (attacker, victim) pair and returns

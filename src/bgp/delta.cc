@@ -237,7 +237,7 @@ DeltaPropagator::DeltaPropagator(const topo::AsGraph& graph)
 
 DeltaResult DeltaPropagator::Propagate(
     std::shared_ptr<const PropagationResult> base, RouteTransform* transform,
-    const std::vector<Asn>& dirty) const {
+    const std::vector<Asn>& dirty, const ImportFilter* filter) const {
   ASPPI_CHECK(base != nullptr && &base->Graph() == &graph_)
       << "baseline from a different graph";
   util::ScopedTimer converge_timer(Instr().converge_time);
@@ -304,7 +304,7 @@ DeltaResult DeltaPropagator::Propagate(
     peak_wavefront = std::max(peak_wavefront, work.export_list.size());
     for_each_rank_ordered(work.export_list, work.in_export,
                           [&](std::uint32_t u) {
-      ExportFromDelta(work, u, transform);
+      ExportFromDelta(work, u, transform, filter);
     });
     ++round;
     ASPPI_CHECK_LT(round, kMaxRounds) << "propagation did not converge";
@@ -355,7 +355,8 @@ DeltaResult DeltaPropagator::Propagate(
 }
 
 void DeltaPropagator::ExportFromDelta(Work& work, std::size_t u,
-                                      RouteTransform* transform) const {
+                                      RouteTransform* transform,
+                                      const ImportFilter* filter) const {
   const Announcement& announcement = work.base->GetAnnouncement();
   const Asn u_asn = graph_.AsnAt(u);
   const bool is_origin = (u_asn == announcement.origin);
@@ -385,6 +386,17 @@ void DeltaPropagator::ExportFromDelta(Work& work, std::size_t u,
         continue;
       }
       Route route = engine_detail::DeliverRoute(std::move(wire), u_asn, v_rel);
+      // Import policy (defense/), same kernel and same point as the full
+      // engine: a filtered route invalidates the slot like a looped one.
+      if (!engine_detail::AcceptDelivery(filter, v, v_asn, route,
+                                         announcement)) {
+        if (work.RibAt(v, back_slot).has_value()) {
+          work.SetRib(v, back_slot, std::nullopt);
+          work.MarkDirty(v);
+        }
+        if (work.SentAt(u, slot) != 1) work.SetSent(u, slot, 1);
+        continue;
+      }
       const std::optional<Route>& current = work.RibAt(v, back_slot);
       if (!current.has_value() || !(*current == route)) {
         work.SetRib(v, back_slot, std::move(route));

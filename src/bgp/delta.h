@@ -153,18 +153,21 @@ class DeltaPropagator {
   // wavefront from `dirty` (typically just the attacker) — the incremental
   // equivalent of PropagationSimulator::Resume, bit-identical by
   // construction. `base` must be converged state over the same graph; the
-  // result holds a reference to it (shared_ptr keeps it alive).
+  // result holds a reference to it (shared_ptr keeps it alive). `filter`
+  // gates imports through the shared engine_detail::AcceptDelivery kernel,
+  // exactly as in the full engine.
   DeltaResult Propagate(std::shared_ptr<const PropagationResult> base,
                         RouteTransform* transform,
-                        const std::vector<Asn>& dirty) const;
+                        const std::vector<Asn>& dirty,
+                        const ImportFilter* filter = nullptr) const;
 
   const topo::AsGraph& Graph() const { return graph_; }
 
  private:
   struct Work;
 
-  void ExportFromDelta(Work& work, std::size_t u,
-                       RouteTransform* transform) const;
+  void ExportFromDelta(Work& work, std::size_t u, RouteTransform* transform,
+                       const ImportFilter* filter) const;
   bool DecideDelta(Work& work, std::size_t u, RouteTransform* transform) const;
 
   static constexpr int kMaxRounds = 10000;

@@ -63,6 +63,13 @@ WireExport BuildExport(const Announcement& announcement, Asn u_asn,
   return out;
 }
 
+bool AcceptDelivery(const ImportFilter* filter, topo::AsId v, Asn v_asn,
+                    const Route& route, const Announcement& announcement) {
+  if (filter == nullptr || !filter->MightFilter(v)) return true;
+  return filter->Accept(v, v_asn, route, announcement.origin,
+                        announcement.prepends);
+}
+
 Route DeliverRoute(WireExport&& wire, Asn u_asn, Relation v_rel) {
   Route route;
   route.path = std::move(wire.path);
@@ -159,7 +166,8 @@ PropagationSimulator::PropagationSimulator(const topo::AsGraph& graph)
     : graph_(graph) {}
 
 PropagationResult PropagationSimulator::Run(const Announcement& announcement,
-                                            RouteTransform* transform) const {
+                                            RouteTransform* transform,
+                                            const ImportFilter* filter) const {
   ASPPI_CHECK(graph_.HasAs(announcement.origin))
       << "origin AS" << announcement.origin << " not in graph";
   PropagationResult state;
@@ -179,13 +187,14 @@ PropagationResult PropagationSimulator::Run(const Announcement& announcement,
   std::vector<std::uint8_t> need_export(n, 0);
   need_export[graph_.IndexOf(announcement.origin)] = 1;
   Instr().runs.Add();
-  RunLoop(state, transform, need_export);
+  RunLoop(state, transform, filter, need_export);
   return state;
 }
 
 PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
                                                RouteTransform* transform,
-                                               const std::vector<Asn>& dirty) const {
+                                               const std::vector<Asn>& dirty,
+                                               const ImportFilter* filter) const {
   ASPPI_CHECK(prior.graph_ == &graph_) << "state from a different graph";
   PropagationResult state = prior;
   state.rounds_ = 0;
@@ -200,12 +209,13 @@ PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
     Decide(state, idx, transform);
   }
   Instr().resumes.Add();
-  RunLoop(state, transform, need_export);
+  RunLoop(state, transform, filter, need_export);
   return state;
 }
 
 void PropagationSimulator::RunLoop(PropagationResult& state,
                                    RouteTransform* transform,
+                                   const ImportFilter* filter,
                                    std::vector<std::uint8_t>& need_export) const {
   util::ScopedTimer converge_timer(Instr().converge_time);
   const std::size_t n = graph_.NumAses();
@@ -238,7 +248,7 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
       if (!need_export[u]) continue;
       any_export = true;
       need_export[u] = 0;
-      ExportFrom(state, u, transform, dirty);
+      ExportFrom(state, u, transform, filter, dirty);
     }
     if (!any_export) break;
     ++round;
@@ -279,6 +289,7 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
 
 void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
                                       RouteTransform* transform,
+                                      const ImportFilter* filter,
                                       std::vector<std::uint8_t>& dirty) const {
   const Asn u_asn = graph_.AsnAt(u);
   const bool is_origin = (u_asn == state.announcement_.origin);
@@ -309,6 +320,17 @@ void PropagationSimulator::ExportFrom(PropagationResult& state, std::size_t u,
         continue;
       }
       Route route = engine_detail::DeliverRoute(std::move(wire), u_asn, v_rel);
+      // Import policy (defense/): a filtered route behaves like a looped one —
+      // it crossed the wire but never enters the receiver's Adj-RIB-In.
+      if (!engine_detail::AcceptDelivery(filter, v, v_asn, route,
+                                         state.announcement_)) {
+        if (slot_route.has_value()) {
+          slot_route.reset();
+          dirty[v] = 1;
+        }
+        state.sent_[u][slot] = 1;
+        continue;
+      }
       if (!slot_route.has_value() || !(*slot_route == route)) {
         slot_route = std::move(route);
         dirty[v] = 1;

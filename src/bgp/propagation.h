@@ -77,6 +77,17 @@ WireExport BuildExport(const Announcement& announcement, Asn u_asn,
 // receiver-side loop check, which the caller performs).
 Route DeliverRoute(WireExport&& wire, Asn u_asn, Relation v_rel);
 
+// Import-policy gate at the receiver (dense id `v`, ASN `v_asn`): does the
+// delivered `route` pass `filter`? Evaluated by BOTH engines at the same
+// point — after the receiver-side loop check, before the Adj-RIB-In write —
+// so defended runs stay bit-identical across engines. A rejected delivery
+// mirrors the loop-check branch: the wire crossed (sender keeps its
+// advertisement outstanding), the receiver's slot is invalidated. Null filter
+// accepts everything; MightFilter narrows the per-delivery cost to deployed
+// receivers.
+bool AcceptDelivery(const ImportFilter* filter, topo::AsId v, Asn v_asn,
+                    const Route& route, const Announcement& announcement);
+
 // The decision process over a contiguous Adj-RIB-In, including the
 // transform's OverrideBest hook (consulted only where MightOverride allows).
 std::optional<Route> ChooseBest(Asn u_asn,
@@ -163,26 +174,29 @@ class PropagationSimulator {
   explicit PropagationSimulator(const topo::AsGraph& graph);
 
   // Full propagation from scratch. `transform` (optional, non-owning) hooks
-  // every export.
+  // every export; `filter` (optional, non-owning) gates every import.
   PropagationResult Run(const Announcement& announcement,
-                        RouteTransform* transform = nullptr) const;
+                        RouteTransform* transform = nullptr,
+                        const ImportFilter* filter = nullptr) const;
 
   // Continues from `prior` (typically an attack-free converged state) with a
   // new transform in effect; only `dirty` ASes re-evaluate their exports
   // initially. Change rounds are counted from the resume point.
   PropagationResult Resume(const PropagationResult& prior,
                            RouteTransform* transform,
-                           const std::vector<Asn>& dirty) const;
+                           const std::vector<Asn>& dirty,
+                           const ImportFilter* filter = nullptr) const;
 
   const topo::AsGraph& Graph() const { return graph_; }
 
  private:
   void RunLoop(PropagationResult& state, RouteTransform* transform,
+               const ImportFilter* filter,
                std::vector<std::uint8_t>& need_export) const;
   // Exports u's best (or origin announcement) to all neighbors; marks
   // receivers whose slots changed in `dirty`.
   void ExportFrom(PropagationResult& state, std::size_t u,
-                  RouteTransform* transform,
+                  RouteTransform* transform, const ImportFilter* filter,
                   std::vector<std::uint8_t>& dirty) const;
   // Recomputes u's best from its Adj-RIB-In. Returns true if it changed.
   bool Decide(PropagationResult& state, std::size_t u,

@@ -13,6 +13,7 @@
 #include "bgp/as_path.h"
 #include "bgp/policy.h"
 #include "bgp/route.h"
+#include "topology/types.h"
 
 namespace asppi::bgp {
 
@@ -61,6 +62,39 @@ class IdentityTransform final : public RouteTransform {
     return ExportAction::kDefault;
   }
   bool MightOverride(Asn) const override { return false; }
+};
+
+// Import-time route acceptance hook — the defensive mirror of
+// RouteTransform. Where a RouteTransform models what a malicious *sender*
+// can do, an ImportFilter models what a defensive *receiver* can do: inspect
+// every route as it arrives in its Adj-RIB-In and refuse to install it. A
+// refused delivery behaves exactly like the receiver-side loop check — the
+// announcement crossed the wire (the sender's advertisement stays
+// outstanding) but the receiver's slot for that neighbor is invalidated.
+//
+// Both engines evaluate the filter inside the shared engine_detail delivery
+// kernel (engine_detail::AcceptDelivery), so full and delta runs honor
+// policies bit-identically by construction. defense::PolicySet (defense/) is
+// the production implementation.
+//
+// Threading: Accept is called concurrently from sweep threads; implementations
+// must be const-thread-safe (count through util::Metrics, never members).
+class ImportFilter {
+ public:
+  virtual ~ImportFilter() = default;
+
+  // Should the receiver (dense index `receiver`, ASN `receiver_asn`) install
+  // `route` — already in post-delivery Adj-RIB-In form — for the prefix
+  // announced by `origin` under prepend policy `prepends`? Called inside the
+  // propagation loops: implementations must not intern ASNs through the
+  // graph (debug builds assert via topo::detail::AsnLookupCount).
+  virtual bool Accept(topo::AsId receiver, Asn receiver_asn, const Route& route,
+                      Asn origin, const PrependPolicy& prepends) const = 0;
+
+  // Contract: must return true for every receiver where Accept may return
+  // false. The engines skip the Accept call entirely where this says no —
+  // with sparse deployments that is almost everywhere.
+  virtual bool MightFilter(topo::AsId /*receiver*/) const { return true; }
 };
 
 }  // namespace asppi::bgp

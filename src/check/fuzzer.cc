@@ -7,6 +7,8 @@
 #include "bgp/propagation.h"
 #include "bgp/routing_tree.h"
 #include "check/reference_engine.h"
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "detect/detector.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -110,33 +112,33 @@ bgp::RoutingTree::Via ViaOf(const std::optional<ReferenceRoute>& route) {
 void CompareEngineStates(const topo::AsGraph& graph,
                          const bgp::PropagationResult& full,
                          const bgp::PropagationResult& delta,
-                         Violations& out) {
+                         Violations& out, const char* tag = "engine") {
   if (full.Rounds() != delta.Rounds()) {
-    out.push_back(Format("diff-engine-rounds: full engine %d, delta %d",
+    out.push_back(Format("diff-%s-rounds: full engine %d, delta %d", tag,
                          full.Rounds(), delta.Rounds()));
   }
   for (std::size_t i = 0; i < graph.NumAses(); ++i) {
     const Asn asn = graph.AsnAt(i);
     if (!(full.BestRoutes()[i] == delta.BestRoutes()[i])) {
-      out.push_back(Format("diff-engine-best: AS%u full holds %s, delta %s",
+      out.push_back(Format("diff-%s-best: AS%u full holds %s, delta %s", tag,
                            static_cast<unsigned>(asn),
                            RenderRoute(full.BestRoutes()[i]).c_str(),
                            RenderRoute(delta.BestRoutes()[i]).c_str()));
     }
     if (full.FirstChangeRounds()[i] != delta.FirstChangeRounds()[i]) {
-      out.push_back(Format("diff-engine-round: AS%u changed at %d (full) vs "
+      out.push_back(Format("diff-%s-round: AS%u changed at %d (full) vs "
                            "%d (delta)",
-                           static_cast<unsigned>(asn),
+                           tag, static_cast<unsigned>(asn),
                            full.FirstChangeRounds()[i],
                            delta.FirstChangeRounds()[i]));
     }
     if (full.RibIn()[i] != delta.RibIn()[i]) {
-      out.push_back(Format("diff-engine-rib: AS%u Adj-RIB-In differs",
+      out.push_back(Format("diff-%s-rib: AS%u Adj-RIB-In differs", tag,
                            static_cast<unsigned>(asn)));
     }
     if (full.Sent()[i] != delta.Sent()[i]) {
-      out.push_back(Format("diff-engine-sent: AS%u advertisement flags differ",
-                           static_cast<unsigned>(asn)));
+      out.push_back(Format("diff-%s-sent: AS%u advertisement flags differ",
+                           tag, static_cast<unsigned>(asn)));
     }
   }
 }
@@ -342,6 +344,60 @@ Violations Fuzzer::RunScenario(const Scenario& scenario) const {
   Invariants::CheckNoHighConfidence(quiet, out);
   Invariants::CheckStreamBatchEquivalence(&graph, victim, previous, current,
                                           &announcement.prepends, out);
+
+  // Leg 5 — per-AS defense policies under a deployment plan. Strategy,
+  // fraction, and plan seed are pure functions of the scenario, so a saved
+  // repro replays the identical deployment.
+  {
+    util::Rng drng(util::DeriveSeed(scenario.topo_seed, 0xdefe));
+    const defense::Strategy strategy =
+        defense::kAllStrategies[drng.Below(3)];
+    static constexpr double kFractions[] = {0.25, 0.5, 0.75, 1.0};
+    const double fraction = kFractions[drng.Below(4)];
+    // Vary the mix: under kAllPolicies the ordered Accept chain lets pathval
+    // shadow the inline detector, so detector-only mixes must appear too.
+    static constexpr std::uint8_t kKindChoices[] = {
+        defense::kAllPolicies, defense::kRov, defense::kPathValidation,
+        defense::kInlineDetector,
+        static_cast<std::uint8_t>(defense::kRov | defense::kInlineDetector)};
+    const std::uint8_t kinds = kKindChoices[drng.Below(5)];
+    const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+        graph, strategy, victim, instance->attacker, drng());
+    const defense::PolicySet policy = plan.AtFraction(fraction, kinds);
+
+    // No legit filtering: the attack-free fixpoint with every policy active
+    // must be bit-identical to the filterless baseline — ROV, path
+    // validation, and the inline detector never reject a legitimate route,
+    // and the detector never raises a false accusation, under any plan.
+    const bgp::PropagationResult defended_baseline =
+        simulator.Run(announcement, nullptr, &policy);
+    CompareEngineStates(graph, baseline, defended_baseline, out,
+                        "defense-legit");
+
+    // Defended attack: delta vs full stay bit-identical with the filter
+    // active, and the converged state honours every deployed policy.
+    const attack::AttackOutcome defended =
+        attack_sim.RunAsppInterceptionWithPolicy(
+            announcement, instance->attacker, instance->violate_valley_free,
+            instance->export_stripped_to_peers, &policy);
+    const attack::AttackOutcome defended_full =
+        full_sim.RunAsppInterceptionWithPolicy(
+            announcement, instance->attacker, instance->violate_valley_free,
+            instance->export_stripped_to_peers, &policy);
+    CompareEngineStates(graph, defended_full.after.Full(),
+                        defended.after.Full(), out, "defense-engine");
+    if (defended.newly_polluted != defended_full.newly_polluted ||
+        defended.fraction_after != defended_full.fraction_after) {
+      out.push_back(Format(
+          "diff-defense-accounting: delta reports %zu polluted / %.6f after, "
+          "full %zu / %.6f",
+          defended.newly_polluted.size(), defended.fraction_after,
+          defended_full.newly_polluted.size(), defended_full.fraction_after));
+    }
+    Invariants::CheckDefendedState(graph, policy, victim, instance->attacker,
+                                   announcement.prepends,
+                                   defended.after.Full(), out);
+  }
 
   Truncate(out);
   return out;

@@ -7,6 +7,7 @@
 #include "data/measurement.h"
 #include "data/prefix.h"
 #include "detect/observation.h"
+#include "detect/rules.h"
 #include "stream/incremental.h"
 #include "util/strings.h"
 
@@ -325,6 +326,99 @@ void Invariants::CheckInterception(const topo::AsGraph& graph,
           "%.6f/%.6f (before/after)",
           outcome.fraction_before, outcome.fraction_after, want_before,
           want_after));
+    }
+  }
+}
+
+void Invariants::CheckDefendedState(const topo::AsGraph& graph,
+                                    const defense::PolicySet& policy,
+                                    Asn origin, Asn attacker,
+                                    const bgp::PrependPolicy& prepends,
+                                    const bgp::PropagationResult& state,
+                                    Violations& out) {
+  // §II-B run-length rule, re-stated: on a loop-free path every maximal run
+  // of AS X carries exactly PadsFor(X, successor) copies, the successor
+  // being the receiver-side hop adjacent to the run. Fewer copies prove
+  // someone removed padding.
+  const auto undercut = [&prepends](Asn receiver, const AsPath& path) {
+    const std::vector<Asn>& hops = path.Hops();
+    Asn successor = receiver;
+    std::size_t i = 0;
+    while (i < hops.size()) {
+      const Asn run_asn = hops[i];
+      std::size_t run = 0;
+      while (i < hops.size() && hops[i] == run_asn) {
+        ++run;
+        ++i;
+      }
+      if (static_cast<int>(run) < prepends.PadsFor(run_asn, successor)) {
+        return true;
+      }
+      successor = run_asn;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < graph.NumAses(); ++i) {
+    const Asn asn = graph.AsnAt(i);
+    const std::uint8_t tags = policy.TagsAt(static_cast<topo::AsId>(i));
+    const std::optional<bgp::Route>& best = state.BestRoutes()[i];
+
+    if (best.has_value() && asn != origin) {
+      if ((tags & defense::kRov) && best->path.OriginAs() != origin) {
+        out.push_back(Format(
+            "defense-rov: AS%u runs ROV yet selected [%s] originating at "
+            "AS%u",
+            static_cast<unsigned>(asn), best->path.ToString().c_str(),
+            static_cast<unsigned>(best->path.OriginAs())));
+      }
+      if ((tags & defense::kPathValidation) && undercut(asn, best->path)) {
+        out.push_back(Format(
+            "defense-pathval: AS%u validates paths yet selected the "
+            "undercut route [%s]",
+            static_cast<unsigned>(asn), best->path.ToString().c_str()));
+      }
+      if (tags & defense::kInlineDetector) {
+        const std::optional<detect::StrippedRoute> stripped =
+            detect::StripVictimPadding(best->path, origin);
+        if (stripped.has_value() &&
+            detect::VictimAwareAlarm(origin, asn, *stripped, prepends)
+                .has_value()) {
+          out.push_back(Format(
+              "defense-detector: AS%u runs the inline detector yet selected "
+              "the accusable route [%s]",
+              static_cast<unsigned>(asn), best->path.ToString().c_str()));
+        }
+      }
+    }
+
+    // Propagation side: whatever a defended neighbor exported into this
+    // AS's Adj-RIB-In was that neighbor's accepted best — so it obeys the
+    // neighbor's own policies too.
+    const std::span<const topo::Edge> neighbors =
+        graph.NeighborsAt(static_cast<topo::AsId>(i));
+    const std::vector<std::optional<bgp::Route>>& rib = state.RibIn()[i];
+    for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+      const topo::Edge& nb = neighbors[slot];
+      if (nb.asn == attacker) continue;  // rewritten exports, tag or not
+      const std::uint8_t nb_tags = policy.TagsAt(nb.id);
+      if (nb_tags == 0 || !rib[slot].has_value()) continue;
+      const AsPath& path = rib[slot]->path;
+      if ((nb_tags & defense::kRov) && path.OriginAs() != origin) {
+        out.push_back(Format(
+            "defense-rov-propagated: ROV AS%u exported [%s] originating at "
+            "AS%u to AS%u",
+            static_cast<unsigned>(nb.asn), path.ToString().c_str(),
+            static_cast<unsigned>(path.OriginAs()),
+            static_cast<unsigned>(asn)));
+      }
+      if ((nb_tags & defense::kPathValidation) && undercut(asn, path)) {
+        out.push_back(Format(
+            "defense-pathval-propagated: validating AS%u exported the "
+            "undercut route [%s] to AS%u",
+            static_cast<unsigned>(nb.asn), path.ToString().c_str(),
+            static_cast<unsigned>(asn)));
+      }
     }
   }
 }

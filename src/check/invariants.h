@@ -17,6 +17,7 @@
 #include "attack/impact.h"
 #include "bgp/propagation.h"
 #include "check/reference_engine.h"
+#include "defense/policy.h"
 #include "detect/detector.h"
 #include "topology/as_graph.h"
 
@@ -77,6 +78,28 @@ class Invariants {
   static void CheckInterception(const topo::AsGraph& graph,
                                 const attack::AttackOutcome& outcome,
                                 Violations& out);
+
+  // --- defense invariants --------------------------------------------------
+
+  // A (possibly attacked) converged state under an active defense::PolicySet,
+  // checked against the policies' paper-level definitions:
+  //  * rov: a kRov AS holds no route — best or Adj-RIB-In — whose path
+  //    originates anywhere but `origin`.
+  //  * pathval: a kPathValidation AS holds no route whose prepend runs
+  //    undercut `prepends` (the §II-B run-length rule, re-derived here), and
+  //    no AS holds an Adj-RIB-In entry learned from a kPathValidation
+  //    neighbor that undercuts it — a validating AS never selects a stripped
+  //    path and never propagates one. Entries learned from `attacker` are
+  //    exempt (its exports are rewritten regardless of any tag it carries).
+  //  * detector: a kInlineDetector AS holds no best route the victim-aware
+  //    Fig. 4 rule would accuse (detect/rules.h; the rule itself is verified
+  //    independently by the detector invariants above).
+  static void CheckDefendedState(const topo::AsGraph& graph,
+                                 const defense::PolicySet& policy, Asn origin,
+                                 Asn attacker,
+                                 const bgp::PrependPolicy& prepends,
+                                 const bgp::PropagationResult& state,
+                                 Violations& out);
 
   // --- detector invariants -----------------------------------------------
 

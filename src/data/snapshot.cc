@@ -38,6 +38,7 @@ enum SectionType : std::uint32_t {
   kPolicy = 3,
   kBaselines = 4,
   kCsrGraph = 5,  // v2: frozen CSR arrays, mapped zero-copy
+  kDefense = 6,   // optional: per-AsId defense-policy tag bytes
 };
 
 constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8;
@@ -50,6 +51,10 @@ constexpr std::size_t AlignUp8(std::size_t x) { return (x + 7) & ~std::size_t{7}
 // Relations are stored as their enum byte; anything above kSibling is
 // corruption the CRC missed (or a crafted file) and must not reach a cast.
 constexpr std::uint8_t kMaxRelationByte = 3;
+// Defense tags are a defense::PolicyKind bit mask; bits above kAllPolicies
+// (rov | pathval | detector = 7) only exist in corrupted or future files,
+// and future files bump the snapshot version.
+constexpr std::uint8_t kMaxDefenseTagByte = 7;
 
 // --- byte-packed little-endian encoding -----------------------------------
 
@@ -473,7 +478,8 @@ std::string WriteSnapshotFile(
     const bgp::PrependPolicy& policy,
     const std::vector<std::shared_ptr<const bgp::PropagationResult>>&
         baselines,
-    const std::string& creator) {
+    const std::string& creator,
+    const std::vector<std::uint8_t>& defense_tags) {
   ByteWriter info;
   info.Str(creator);
   info.U64(graph.NumAses());
@@ -492,26 +498,43 @@ std::string WriteSnapshotFile(
     WriteBaseline(baseline_section, graph, *baseline);
   }
 
+  ByteWriter defense_section;
+  if (!defense_tags.empty()) {
+    if (defense_tags.size() != graph.NumAses()) {
+      return "defense tags must cover every AS exactly once";
+    }
+    for (std::uint8_t tag : defense_tags) {
+      if (tag > kMaxDefenseTagByte) return "invalid defense tag byte";
+    }
+    defense_section.U64(defense_tags.size());
+    defense_section.Raw(defense_tags.data(), defense_tags.size());
+  }
+
   // kCsrGraph first: the payload begins right after the fixed-size table, so
   // the CSR section always lands on the 8-aligned file offset its arrays
-  // assume (later sections are byte-packed and indifferent to alignment).
-  static_assert((kHeaderSize + 4 * kSectionEntrySize) % 8 == 0);
+  // assume — each table entry is itself 8-aligned, so the property holds for
+  // any section count (later sections are byte-packed and indifferent to
+  // alignment).
+  static_assert(kHeaderSize % 8 == 0 && kSectionEntrySize % 8 == 0);
   const std::string csr = BuildCsrSection(graph);
-  const std::pair<std::uint32_t, const std::string*> sections[] = {
+  std::vector<std::pair<std::uint32_t, const std::string*>> sections = {
       {kCsrGraph, &csr},
       {kInfo, &info.Bytes()},
       {kPolicy, &policy_section.Bytes()},
       {kBaselines, &baseline_section.Bytes()},
   };
+  // Omitted when empty so undefended snapshots keep their historical bytes.
+  if (!defense_tags.empty()) {
+    sections.emplace_back(kDefense, &defense_section.Bytes());
+  }
 
   ByteWriter header;
   header.U8(kSnapshotMagic[0]);
   for (int i = 1; i < 8; ++i) header.U8(kSnapshotMagic[i]);
   header.U32(kSnapshotVersion);
-  header.U32(4);  // section count
+  header.U32(static_cast<std::uint32_t>(sections.size()));
 
-  std::uint64_t offset =
-      kHeaderSize + 4 * kSectionEntrySize;  // payload starts after the table
+  std::uint64_t offset = kHeaderSize + sections.size() * kSectionEntrySize;
   ByteWriter table;
   std::uint64_t total = offset;
   for (const auto& [type, bytes] : sections) {
@@ -662,6 +685,29 @@ std::string Snapshot::Load(const std::string& path, Snapshot& out) {
           loaded.baselines_.push_back(std::move(baseline));
         }
         if (!r.AtEnd()) return fail("baselines section: trailing bytes");
+        break;
+      }
+      case kDefense: {
+        if (!have_graph) return fail("defense section before the graph");
+        if (!loaded.defense_tags_.empty()) {
+          return fail("duplicate defense section");
+        }
+        std::uint64_t count;
+        if (!r.U64(&count)) return fail("defense section: truncated");
+        if (count != loaded.graph_->NumAses()) {
+          return fail("defense section: tag count disagrees with the graph");
+        }
+        if (entry.size != 8 + count) {
+          return fail("defense section: size disagrees with tag count");
+        }
+        const unsigned char* tags = file->Data() + entry.offset + 8;
+        loaded.defense_tags_.assign(tags, tags + count);
+        for (std::uint8_t tag : loaded.defense_tags_) {
+          if (tag > kMaxDefenseTagByte) {
+            return fail("defense section: invalid tag byte");
+          }
+          if (tag != 0) ++loaded.info_.num_defense_tagged;
+        }
         break;
       }
       default:

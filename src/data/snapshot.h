@@ -31,6 +31,13 @@
 //                  alive by the graph's keepalive for the snapshot's
 //                  lifetime. Written first so its file offset is the fixed,
 //                  8-aligned end of the section table.
+//   kDefense  (6): optional — one defense-policy tag byte per AS, dense in
+//                  AsId order (defense::PolicySet::RawTags). Stored as raw
+//                  bytes so the data layer stays independent of the defense
+//                  library; consumers rehydrate via the PolicySet tag
+//                  constructor. Omitted entirely for an empty deployment,
+//                  keeping undefended snapshots byte-identical to pre-kDefense
+//                  writers. Loaders that predate the section ignore it.
 //
 // Loading validates the magic, version, declared file size, section bounds,
 // and each section's CRC32 before touching its payload; a truncated file,
@@ -62,6 +69,9 @@ struct SnapshotInfo {
   std::uint64_t num_ases = 0;
   std::uint64_t num_links = 0;
   std::uint64_t num_baselines = 0;
+  // ASes with a non-empty defense tag (0 when the file has no kDefense
+  // section); counted from the payload at load, not trusted from the file.
+  std::uint64_t num_defense_tagged = 0;
   // True when the graph was rebuilt from a v1 kTopology section instead of
   // mapped zero-copy from a kCsrGraph section. Re-write such snapshots with a
   // current tool to drop the deprecated format.
@@ -70,14 +80,17 @@ struct SnapshotInfo {
 
 // Compiles `graph` + `policy` (+ optional checkpointed `baselines`, each of
 // which must have been produced over `graph`) into `path`. `creator`
-// identifies the producing tool in the info section. Returns "" on success,
-// else an error message.
+// identifies the producing tool in the info section. `defense_tags`, when
+// non-empty, must hold exactly graph.NumAses() per-AsId policy-tag bytes
+// (defense::PolicySet::RawTags) and becomes the kDefense section. Returns ""
+// on success, else an error message.
 std::string WriteSnapshotFile(
     const std::string& path, const topo::AsGraph& graph,
     const bgp::PrependPolicy& policy,
     const std::vector<std::shared_ptr<const bgp::PropagationResult>>&
         baselines,
-    const std::string& creator);
+    const std::string& creator,
+    const std::vector<std::uint8_t>& defense_tags = {});
 
 // A loaded snapshot: owns the graph, the policy, and the restored baselines.
 class Snapshot {
@@ -102,12 +115,16 @@ class Snapshot {
   Baselines() const {
     return baselines_;
   }
+  // Per-AsId defense-policy tag bytes; empty when the file carries no
+  // kDefense section, else exactly Graph().NumAses() entries.
+  const std::vector<std::uint8_t>& DefenseTags() const { return defense_tags_; }
 
  private:
   SnapshotInfo info_;
   std::unique_ptr<topo::AsGraph> graph_;
   bgp::PrependPolicy policy_;
   std::vector<std::shared_ptr<const bgp::PropagationResult>> baselines_;
+  std::vector<std::uint8_t> defense_tags_;
 };
 
 }  // namespace asppi::data

@@ -1,0 +1,120 @@
+#include "defense/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace asppi::defense {
+
+std::optional<Strategy> ParseStrategy(const std::string& text) {
+  if (text == "top-degree") return Strategy::kTopDegree;
+  if (text == "random") return Strategy::kRandom;
+  if (text == "victim-cone") return Strategy::kVictimCone;
+  return std::nullopt;
+}
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kTopDegree:
+      return "top-degree";
+    case Strategy::kRandom:
+      return "random";
+    case Strategy::kVictimCone:
+      return "victim-cone";
+  }
+  return "?";
+}
+
+namespace {
+
+// BFS hop distance from the victim, levels in ascending-ASN order within a
+// level (the frontier is rebuilt and sorted per level, so the ordering is a
+// pure function of the graph and the victim). Unreachable ASes go last, in
+// ascending ASN order, so fraction 1.0 always means "everyone".
+std::vector<Asn> VictimConeOrder(const topo::AsGraph& graph, Asn victim) {
+  const std::size_t n = graph.NumAses();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<Asn> order;
+  order.reserve(n);
+  std::vector<topo::AsId> frontier{graph.IndexOf(victim)};
+  seen[frontier[0]] = 1;
+  while (!frontier.empty()) {
+    std::vector<topo::AsId> next;
+    for (topo::AsId id : frontier) {
+      for (const topo::AsGraph::Neighbor& nb : graph.NeighborsAt(id)) {
+        if (seen[nb.id]) continue;
+        seen[nb.id] = 1;
+        next.push_back(nb.id);
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [&graph](topo::AsId a, topo::AsId b) {
+                return graph.AsnAt(a) < graph.AsnAt(b);
+              });
+    for (topo::AsId id : next) order.push_back(graph.AsnAt(id));
+    frontier = std::move(next);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) order.push_back(graph.AsnAt(static_cast<topo::AsId>(i)));
+  }
+  return order;
+}
+
+}  // namespace
+
+DeploymentPlan DeploymentPlan::Make(const topo::AsGraph& graph,
+                                    Strategy strategy, Asn victim,
+                                    Asn attacker, std::uint64_t seed) {
+  // Victim-agnostic strategies accept victim == 0 (corpus-wide plans, e.g.
+  // the snapshot tool's); victim-cone needs the BFS root to exist.
+  ASPPI_CHECK(strategy != Strategy::kVictimCone || graph.HasAs(victim))
+      << "victim AS" << victim << " not in graph";
+  DeploymentPlan plan;
+  plan.graph_ = &graph;
+  plan.strategy_ = strategy;
+
+  std::vector<Asn> candidates;
+  switch (strategy) {
+    case Strategy::kTopDegree:
+      candidates = graph.AsesByDegreeDesc();
+      break;
+    case Strategy::kRandom: {
+      const std::span<const Asn> ases = graph.Ases();
+      candidates.assign(ases.begin(), ases.end());
+      util::Rng rng(util::DeriveSeed(seed, 0xdef));
+      rng.Shuffle(candidates);
+      break;
+    }
+    case Strategy::kVictimCone:
+      candidates = VictimConeOrder(graph, victim);
+      break;
+  }
+
+  plan.order_.reserve(candidates.size());
+  for (Asn asn : candidates) {
+    if (asn == victim || asn == attacker) continue;
+    plan.order_.push_back(asn);
+  }
+  return plan;
+}
+
+std::size_t DeploymentPlan::CountAtFraction(double fraction) const {
+  if (fraction <= 0.0 || order_.empty()) return 0;
+  if (fraction >= 1.0) return order_.size();
+  const double want = std::ceil(fraction * static_cast<double>(order_.size()));
+  return std::min(order_.size(), static_cast<std::size_t>(want));
+}
+
+PolicySet DeploymentPlan::AtFraction(double fraction,
+                                     std::uint8_t kinds) const {
+  PolicySet set(*graph_);
+  const std::size_t count = CountAtFraction(fraction);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.Assign(order_[i], kinds);
+  }
+  return set;
+}
+
+}  // namespace asppi::defense

@@ -1,0 +1,64 @@
+// Deployment planning: which ASes adopt a defense policy, and in what order.
+//
+// "Ain't How You Deploy" (PAPERS.md) shows that partial-deployment efficacy
+// depends critically on placement. A DeploymentPlan fixes ONE deterministic
+// adoption ordering per (strategy, victim, attacker, seed); the deployment at
+// fraction f is the first ⌈f·n⌉ ASes of that ordering. Nested prefixes mean
+// a larger fraction strictly contains every smaller one — the property that
+// makes interception-vs-fraction curves monotone and comparable across
+// strategies (fig_defense_sweep's acceptance gate).
+//
+// The victim and the attacker are excluded from every plan: the victim is
+// the origin (its own prefix never passes through its import filter), and a
+// defended attacker would be a contradiction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "defense/policy.h"
+#include "topology/as_graph.h"
+
+namespace asppi::defense {
+
+enum class Strategy {
+  kTopDegree,   // highest-degree ASes first (the big transit providers)
+  kRandom,      // uniformly random order, seeded
+  kVictimCone,  // BFS distance from the victim, closest first
+};
+
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kTopDegree, Strategy::kRandom, Strategy::kVictimCone};
+
+// "top-degree" / "random" / "victim-cone"; nullopt on unknown names.
+std::optional<Strategy> ParseStrategy(const std::string& text);
+const char* StrategyName(Strategy strategy);
+
+class DeploymentPlan {
+ public:
+  // Builds the full adoption ordering for `strategy`. `seed` only matters
+  // for kRandom; `victim` and `attacker` may equal 0 for corpus-wide plans
+  // (0 is not a valid ASN and excludes nothing), except that victim-cone
+  // requires a real victim as its BFS root.
+  static DeploymentPlan Make(const topo::AsGraph& graph, Strategy strategy,
+                             Asn victim, Asn attacker, std::uint64_t seed);
+
+  Strategy GetStrategy() const { return strategy_; }
+  // The full adoption ordering (victim and attacker excluded).
+  const std::vector<Asn>& Order() const { return order_; }
+  // ⌈fraction · Order().size()⌉ clamped to [0, Order().size()].
+  std::size_t CountAtFraction(double fraction) const;
+
+  // The deployment at `fraction`: the first CountAtFraction(fraction) ASes
+  // of the ordering, each tagged with `kinds`.
+  PolicySet AtFraction(double fraction, std::uint8_t kinds) const;
+
+ private:
+  const topo::AsGraph* graph_ = nullptr;
+  Strategy strategy_ = Strategy::kTopDegree;
+  std::vector<Asn> order_;
+};
+
+}  // namespace asppi::defense

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "util/json.h"
+#include "util/strings.h"
 
 namespace asppi::serve {
 
@@ -70,6 +72,8 @@ const char* OpName(Op op) {
       return "detect";
     case Op::kRoute:
       return "route";
+    case Op::kDefense:
+      return "defense";
     case Op::kStats:
       return "stats";
     case Op::kHealth:
@@ -97,6 +101,8 @@ std::string ParseRequest(std::string_view line, Request* out) {
     request.op = Op::kDetect;
   } else if (name == "route") {
     request.op = Op::kRoute;
+  } else if (name == "defense") {
+    request.op = Op::kDefense;
   } else if (name == "stats") {
     request.op = Op::kStats;
   } else if (name == "health") {
@@ -105,7 +111,8 @@ std::string ParseRequest(std::string_view line, Request* out) {
     return "unknown op '" + name + "'";
   }
 
-  if (request.op == Op::kImpact || request.op == Op::kDetect) {
+  if (request.op == Op::kImpact || request.op == Op::kDetect ||
+      request.op == Op::kDefense) {
     if (!RequireAsn(object, "victim", &request.victim, &error)) return error;
     if (!RequireAsn(object, "attacker", &request.attacker, &error)) return error;
     if (request.victim == request.attacker) {
@@ -124,13 +131,61 @@ std::string ParseRequest(std::string_view line, Request* out) {
     if (!RequireAsn(object, "observer", &request.observer, &error)) return error;
   }
   if (request.op == Op::kImpact || request.op == Op::kDetect ||
-      request.op == Op::kRoute) {
+      request.op == Op::kRoute || request.op == Op::kDefense) {
     std::uint64_t value = 0;
     bool found = false;
     if (!ReadBoundedInt(object, "lambda", 1, 64, &value, &found, &error)) {
       return error;
     }
     if (found) request.lambda = static_cast<int>(value);
+  }
+  if (request.op == Op::kDefense) {
+    request.deploy_frac = 1.0;
+    request.deploy_kinds = defense::kAllPolicies;
+    request.deploy_seed = 1;
+    const Json* strategy = object.Find("strategy");
+    if (strategy != nullptr) {
+      if (strategy->GetType() != Json::Type::kString) {
+        return "field 'strategy' must be a string";
+      }
+      const std::optional<defense::Strategy> parsed_strategy =
+          defense::ParseStrategy(strategy->AsString());
+      if (!parsed_strategy.has_value()) {
+        return "unknown strategy '" + strategy->AsString() + "'";
+      }
+      request.deploy_strategy = *parsed_strategy;
+    }
+    const Json* frac = object.Find("frac");
+    if (frac != nullptr) {
+      if (frac->GetType() != Json::Type::kNumber) {
+        return "field 'frac' must be a number";
+      }
+      const double v = frac->AsDouble();
+      if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+        return "field 'frac' out of range [0, 1]";
+      }
+      request.deploy_frac = v;
+    }
+    const Json* policies = object.Find("policies");
+    if (policies != nullptr) {
+      if (policies->GetType() != Json::Type::kString) {
+        return "field 'policies' must be a string";
+      }
+      const std::optional<std::uint8_t> kinds =
+          defense::ParsePolicyKinds(policies->AsString());
+      if (!kinds.has_value()) {
+        return "unknown policies '" + policies->AsString() + "'";
+      }
+      request.deploy_kinds = *kinds;
+    }
+    std::uint64_t value = 0;
+    bool found = false;
+    if (!ReadBoundedInt(object, "seed", 1,
+                        std::numeric_limits<std::uint64_t>::max() - 2048, &value,
+                        &found, &error)) {
+      return error;
+    }
+    if (found) request.deploy_seed = value;
   }
   if (request.op == Op::kDetect) {
     std::uint64_t value = 0;
@@ -160,11 +215,22 @@ std::string CanonicalKey(const Request& request) {
   key += std::to_string(request.monitors);
   key += '|';
   key += request.violate_valley_free ? '1' : '0';
+  key += '|';
+  key += defense::StrategyName(request.deploy_strategy);
+  key += '|';
+  // %.17g round-trips every double, so two distinguishable fractions can
+  // never collapse onto one cache key.
+  key += util::Format("%.17g", request.deploy_frac);
+  key += '|';
+  key += std::to_string(request.deploy_kinds);
+  key += '|';
+  key += std::to_string(request.deploy_seed);
   return key;
 }
 
 bool IsCacheable(Op op) {
-  return op == Op::kImpact || op == Op::kDetect || op == Op::kRoute;
+  return op == Op::kImpact || op == Op::kDetect || op == Op::kRoute ||
+         op == Op::kDefense;
 }
 
 std::string ErrorResponse(const std::string& message) {

@@ -10,6 +10,17 @@
 //       optional: "lambda", "violate", "monitors" (top-degree vantage count)
 //   {"op":"route","origin":O,"observer":B}             converged best path
 //       optional: "lambda" (origin prepend count, default = server's)
+//   {"op":"defense","victim":V,"attacker":A}           defended what-if
+//       optional: "lambda", "violate",
+//                 "strategy" ("top-degree"|"random"|"victim-cone",
+//                             default top-degree),
+//                 "frac" (deployment fraction in [0,1], default 1.0),
+//                 "policies" ("rov"/"pathval"/"detector"/"all" or '+'-joined,
+//                             default "all"),
+//                 "seed" (deployment seed for the random strategy, default 1)
+//       Runs the interception twice — undefended, and with the requested
+//       deployment active as the engines' import filter — and reports both
+//       pollution fractions.
 //   {"op":"stats"}                                     cache/latency/counters
 //   {"op":"health"}                                    liveness + corpus size
 //
@@ -25,27 +36,35 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "topology/types.h"
 
 namespace asppi::serve {
 
 using topo::Asn;
 
-enum class Op { kImpact, kDetect, kRoute, kStats, kHealth };
+enum class Op { kImpact, kDetect, kRoute, kDefense, kStats, kHealth };
 
 const char* OpName(Op op);
 
 struct Request {
   Op op = Op::kHealth;
-  Asn victim = 0;    // impact/detect; the announcement origin for route
-  Asn attacker = 0;  // impact/detect
+  Asn victim = 0;    // impact/detect/defense; the announcement origin for route
+  Asn attacker = 0;  // impact/detect/defense
   Asn observer = 0;  // route
   int lambda = 0;    // 0 = use the service default
   std::size_t monitors = 0;  // 0 = use the service default
   bool violate_valley_free = false;
+  // defense only; zero elsewhere so CanonicalKey stays op-uniform.
+  defense::Strategy deploy_strategy = defense::Strategy::kTopDegree;
+  double deploy_frac = 0.0;
+  std::uint8_t deploy_kinds = 0;     // defense::PolicyKind mask
+  std::uint64_t deploy_seed = 0;
 };
 
 // Parses and validates one request line. Returns "" on success (filling

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "defense/deployment.h"
 #include "detect/monitors.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -92,6 +93,11 @@ int QueryService::EffectiveLambda(const Request& request) const {
   return request.lambda > 0 ? request.lambda : options_.default_lambda;
 }
 
+const defense::PolicySet* QueryService::ActiveDefense() const {
+  const defense::PolicySet* set = options_.active_defense.get();
+  return (set != nullptr && !set->Empty()) ? set : nullptr;
+}
+
 std::string QueryService::Handle(std::string_view line) {
   Instr().requests.Add();
   const auto start = std::chrono::steady_clock::now();
@@ -105,7 +111,14 @@ std::string QueryService::Handle(std::string_view line) {
     op_counts_[static_cast<int>(request.op)].fetch_add(
         1, std::memory_order_relaxed);
     if (IsCacheable(request.op)) {
-      const std::string key = CanonicalKey(request);
+      // Fold the active deployment's digest into the key: a defended and an
+      // undefended server (or the same server re-pointed at a new snapshot's
+      // deployment) compute different answers for identical request bytes,
+      // so the canonical request alone must never be the whole key.
+      std::string key = CanonicalKey(request);
+      if (const defense::PolicySet* active = ActiveDefense()) {
+        key += active->CacheKey();
+      }
       if (auto cached = cache_.Get(key)) {
         Instr().cache_hits.Add();
         response = *cached;
@@ -134,6 +147,8 @@ std::string QueryService::Execute(const Request& request) {
       return RunDetect(request);
     case Op::kRoute:
       return RunRoute(request);
+    case Op::kDefense:
+      return RunDefense(request);
     case Op::kStats:
       return RunStats();
     case Op::kHealth:
@@ -154,7 +169,8 @@ std::string QueryService::RunImpact(const Request& request) {
   const attack::AttackOutcome outcome =
       simulator_.RunAsppInterceptionWithPolicy(
           AnnouncementFor(request.victim, lambda), request.attacker,
-          request.violate_valley_free);
+          request.violate_valley_free,
+          /*export_stripped_to_peers=*/true, ActiveDefense());
   Json response = Json::Object();
   response["ok"] = Json(true);
   response["op"] = Json("impact");
@@ -187,8 +203,9 @@ std::string QueryService::RunDetect(const Request& request) {
   const bgp::Announcement announcement =
       AnnouncementFor(request.victim, lambda);
   const attack::AttackOutcome outcome =
-      simulator_.RunAsppInterceptionWithPolicy(announcement, request.attacker,
-                                               request.violate_valley_free);
+      simulator_.RunAsppInterceptionWithPolicy(
+          announcement, request.attacker, request.violate_valley_free,
+          /*export_stripped_to_peers=*/true, ActiveDefense());
   const std::vector<Asn> monitors =
       detect::TopDegreeMonitors(graph_, monitor_count);
   const auto previous = PathsAt(*outcome.before, monitors, request.attacker);
@@ -250,6 +267,55 @@ std::string QueryService::RunRoute(const Request& request) {
   return response.ToString(-1);
 }
 
+std::string QueryService::RunDefense(const Request& request) {
+  if (!graph_.HasAs(request.victim)) {
+    return ErrorResponse("unknown victim AS" + std::to_string(request.victim));
+  }
+  if (!graph_.HasAs(request.attacker)) {
+    return ErrorResponse("unknown attacker AS" +
+                         std::to_string(request.attacker));
+  }
+  const int lambda = EffectiveLambda(request);
+  const bgp::Announcement announcement =
+      AnnouncementFor(request.victim, lambda);
+  const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+      graph_, request.deploy_strategy, request.victim, request.attacker,
+      request.deploy_seed);
+  const defense::PolicySet deployment =
+      plan.AtFraction(request.deploy_frac, request.deploy_kinds);
+  // Both runs share the cached filterless baseline — the undefended leg is
+  // the same computation an "impact" query does, so it may already be warm.
+  const attack::AttackOutcome undefended =
+      simulator_.RunAsppInterceptionWithPolicy(announcement, request.attacker,
+                                               request.violate_valley_free);
+  const attack::AttackOutcome defended =
+      simulator_.RunAsppInterceptionWithPolicy(
+          announcement, request.attacker, request.violate_valley_free,
+          /*export_stripped_to_peers=*/true, &deployment);
+  Json response = Json::Object();
+  response["ok"] = Json(true);
+  response["op"] = Json("defense");
+  response["victim"] = Json(static_cast<std::uint64_t>(request.victim));
+  response["attacker"] = Json(static_cast<std::uint64_t>(request.attacker));
+  response["lambda"] = Json(lambda);
+  response["violate"] = Json(request.violate_valley_free);
+  response["strategy"] = Json(defense::StrategyName(request.deploy_strategy));
+  response["policies"] = Json(defense::PolicyKindsName(request.deploy_kinds));
+  response["frac"] = Json(request.deploy_frac);
+  response["deployed"] =
+      Json(static_cast<std::uint64_t>(deployment.DeployedCount()));
+  response["fraction_before"] = Json(undefended.fraction_before);
+  response["fraction_after_undefended"] = Json(undefended.fraction_after);
+  response["fraction_after_defended"] = Json(defended.fraction_after);
+  response["prevented"] =
+      Json(undefended.fraction_after - defended.fraction_after);
+  response["newly_polluted_undefended"] =
+      Json(static_cast<std::uint64_t>(undefended.newly_polluted.size()));
+  response["newly_polluted_defended"] =
+      Json(static_cast<std::uint64_t>(defended.newly_polluted.size()));
+  return response.ToString(-1);
+}
+
 std::string QueryService::RunStats() {
   const util::ShardedLruCache::Stats cache_stats = cache_.GetStats();
   const auto uptime = std::chrono::steady_clock::now() - start_;
@@ -259,7 +325,8 @@ std::string QueryService::RunStats() {
   response["uptime_ms"] = Json(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(uptime).count()));
   Json requests = Json::Object();
-  for (Op op : {Op::kImpact, Op::kDetect, Op::kRoute, Op::kStats, Op::kHealth}) {
+  for (Op op : {Op::kImpact, Op::kDetect, Op::kRoute, Op::kDefense, Op::kStats,
+                Op::kHealth}) {
     requests[OpName(op)] = Json(RequestCount(op));
   }
   response["requests"] = std::move(requests);
@@ -293,6 +360,10 @@ std::string QueryService::RunHealth() {
   response["links"] = Json(static_cast<std::uint64_t>(graph_.NumLinks()));
   response["baselines"] =
       Json(static_cast<std::uint64_t>(baseline_cache_.Size()));
+  const defense::PolicySet* active = ActiveDefense();
+  response["defense_deployed"] = Json(
+      static_cast<std::uint64_t>(active != nullptr ? active->DeployedCount()
+                                                   : 0));
   return response.ToString(-1);
 }
 

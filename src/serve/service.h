@@ -29,6 +29,7 @@
 #include "attack/impact.h"
 #include "bgp/policy.h"
 #include "bgp/propagation.h"
+#include "defense/policy.h"
 #include "detect/detector.h"
 #include "serve/protocol.h"
 #include "topology/as_graph.h"
@@ -49,6 +50,12 @@ struct ServiceOptions {
   // Convergence engine for impact/detect what-if queries (delta warm-starts
   // from the cached baseline and propagates only the attack wavefront).
   attack::EngineKind engine = attack::EngineKind::kDelta;
+  // Corpus-wide defense deployment (usually a snapshot's kDefense section).
+  // When set and non-empty it is the import filter for every impact/detect
+  // what-if, and its digest is folded into every result-cache key so defended
+  // and undefended answers can never alias in the ShardedLruCache. The
+  // "defense" op builds its own per-request deployment and ignores this.
+  std::shared_ptr<const defense::PolicySet> active_defense;
 };
 
 class QueryService {
@@ -86,10 +93,14 @@ class QueryService {
   bgp::Announcement AnnouncementFor(Asn origin, int lambda) const;
   int EffectiveLambda(const Request& request) const;
 
+  // The import filter what-if runs honor (null = undefended).
+  const defense::PolicySet* ActiveDefense() const;
+
   std::string Execute(const Request& request);
   std::string RunImpact(const Request& request);
   std::string RunDetect(const Request& request);
   std::string RunRoute(const Request& request);
+  std::string RunDefense(const Request& request);
   std::string RunStats();
   std::string RunHealth();
 
@@ -101,7 +112,7 @@ class QueryService {
   detect::AsppDetector detector_;
   util::ShardedLruCache cache_;
   util::LatencyHistogram latency_;
-  std::atomic<std::uint64_t> op_counts_[5] = {};
+  std::atomic<std::uint64_t> op_counts_[6] = {};
   std::atomic<std::size_t> warmed_baselines_{0};
   std::chrono::steady_clock::time_point start_;
 };

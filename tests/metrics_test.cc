@@ -12,12 +12,14 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "attack/baseline_cache.h"
 #include "attack/impact.h"
 #include "attack/scenarios.h"
+#include "defense/sweep.h"
 #include "detect/evaluation.h"
 #include "detect/monitors.h"
 #include "topology/generator.h"
@@ -149,7 +151,18 @@ TEST(Metrics, WorkloadCountersIdenticalAcrossThreadCounts) {
     attack::AttackSimulator simulator(gen.graph, &cache);
     auto rates = detect::EvaluateDetectionRates(simulator, pairs, monitors,
                                                 config, &pool);
-    return std::pair{rows.size(), rates.instances};
+    // Defended leg: the defense.* counters (policy evaluations, per-policy
+    // filter counts, sweep accounting) are inside the same bit-determinism
+    // guarantee as the engine counters.
+    defense::DefenseSweepOptions defense_options;
+    defense_options.fractions = {0.0, 0.5};
+    defense_options.num_pairs = 4;
+    defense_options.lambda = 3;
+    defense_options.seed = 5;
+    defense_options.pool = &pool;
+    defense_options.baseline_cache = &cache;
+    auto points = defense::RunDefenseSweep(gen.graph, defense_options);
+    return std::tuple{rows.size(), rates.instances, points.size()};
   };
 
   const auto before1 = metrics.TakeSnapshot();
@@ -172,6 +185,11 @@ TEST(Metrics, WorkloadCountersIdenticalAcrossThreadCounts) {
   EXPECT_GT(delta1.at("engine.delta.propagations"), 0u);
   EXPECT_GT(delta1.at("attack.baseline_cache.misses"), 0u);
   EXPECT_GT(delta1.at("detect.evaluations"), 0u);
+  // Defense counters ride the same guarantee (the whole-map equality above
+  // already pins them; these prove the defended leg actually filtered).
+  EXPECT_GT(delta1.at("defense.accept.evaluations"), 0u);
+  EXPECT_GT(delta1.at("defense.pathval.filtered"), 0u);
+  EXPECT_GT(delta1.at("defense.sweep.attacks"), 0u);
 }
 
 // The run report written by --json must survive a serialize → parse round

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "attack/impact.h"
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -152,10 +154,76 @@ TEST(Protocol, CanonicalKeyZeroesFieldsTheOpIgnores) {
   EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
 }
 
+TEST(Protocol, ParsesDefenseWithDefaults) {
+  Request request;
+  ASSERT_EQ(ParseRequest(R"({"op":"defense","victim":7,"attacker":9})",
+                         &request),
+            "");
+  EXPECT_EQ(request.op, Op::kDefense);
+  EXPECT_EQ(request.deploy_strategy, defense::Strategy::kTopDegree);
+  EXPECT_EQ(request.deploy_frac, 1.0);
+  EXPECT_EQ(request.deploy_kinds, defense::kAllPolicies);
+  EXPECT_EQ(request.deploy_seed, 1u);
+
+  ASSERT_EQ(ParseRequest(
+                R"({"op":"defense","victim":7,"attacker":9,)"
+                R"("strategy":"victim-cone","frac":0.25,)"
+                R"("policies":"rov+detector","seed":42})",
+                &request),
+            "");
+  EXPECT_EQ(request.deploy_strategy, defense::Strategy::kVictimCone);
+  EXPECT_EQ(request.deploy_frac, 0.25);
+  EXPECT_EQ(request.deploy_kinds,
+            static_cast<std::uint8_t>(defense::kRov | defense::kInlineDetector));
+  EXPECT_EQ(request.deploy_seed, 42u);
+
+  const char* kBad[] = {
+      R"({"op":"defense","victim":7,"attacker":9,"strategy":"magic"})",
+      R"({"op":"defense","victim":7,"attacker":9,"frac":1.5})",
+      R"({"op":"defense","victim":7,"attacker":9,"frac":-0.1})",
+      R"({"op":"defense","victim":7,"attacker":9,"policies":"rpki"})",
+      R"({"op":"defense","victim":7,"attacker":9,"frac":"half"})",
+  };
+  for (const char* line : kBad) {
+    EXPECT_NE(ParseRequest(line, &request), "") << "accepted: " << line;
+  }
+}
+
+TEST(Protocol, DefenseCanonicalKeySeparatesDeployments) {
+  // The cache-aliasing regression: two defense requests differing only in a
+  // deployment knob must never share a cache key.
+  auto parse = [](const std::string& line) {
+    Request request;
+    EXPECT_EQ(ParseRequest(line, &request), "") << line;
+    return request;
+  };
+  const Request base =
+      parse(R"({"op":"defense","victim":7,"attacker":9,"frac":0.25})");
+  EXPECT_EQ(CanonicalKey(base),
+            CanonicalKey(parse(
+                R"({"frac":0.250,"attacker":9,"victim":7,"op":"defense"})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(
+                R"({"op":"defense","victim":7,"attacker":9,"frac":0.75})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(R"({"op":"defense","victim":7,"attacker":9,)"
+                               R"("frac":0.25,"strategy":"random"})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(R"({"op":"defense","victim":7,"attacker":9,)"
+                               R"("frac":0.25,"policies":"rov"})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(R"({"op":"defense","victim":7,"attacker":9,)"
+                               R"("frac":0.25,"seed":2})")));
+  // And a defense request never aliases the plain impact of the same pair.
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(R"({"op":"impact","victim":7,"attacker":9})")));
+}
+
 TEST(Protocol, CacheabilityAndErrors) {
   EXPECT_TRUE(IsCacheable(Op::kImpact));
   EXPECT_TRUE(IsCacheable(Op::kDetect));
   EXPECT_TRUE(IsCacheable(Op::kRoute));
+  EXPECT_TRUE(IsCacheable(Op::kDefense));
   EXPECT_FALSE(IsCacheable(Op::kStats));
   EXPECT_FALSE(IsCacheable(Op::kHealth));
 
@@ -308,6 +376,117 @@ TEST_F(ServiceTest, WarmedBaselineSkipsPropagationButNotCorrectness) {
       R"({"op":"impact","victim":)" + std::to_string(victim) +
       R"(,"attacker":)" + std::to_string(attacker) + "}";
   EXPECT_EQ(warm.Handle(line), cold.Handle(line));
+}
+
+TEST_F(ServiceTest, DefenseOpMatchesDirectLibraryComputation) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn victim = gen_.stubs[2];
+  const topo::Asn attacker = gen_.tier2[0];
+
+  const std::string response = service.Handle(
+      R"({"op":"defense","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) +
+      R"(,"strategy":"victim-cone","frac":0.5})");
+  const util::Json json = MustParse(response);
+  ASSERT_TRUE(json.Find("ok")->AsBool()) << response;
+
+  const int lambda = service.Options().default_lambda;
+  const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+      gen_.graph, defense::Strategy::kVictimCone, victim, attacker, 1);
+  const defense::PolicySet policy =
+      plan.AtFraction(0.5, defense::kAllPolicies);
+  attack::AttackSimulator simulator(gen_.graph);
+  const auto undefended =
+      simulator.RunAsppInterception(victim, attacker, lambda);
+  const auto defended = simulator.RunAsppInterception(
+      victim, attacker, lambda, /*violate_valley_free=*/false,
+      /*export_stripped_to_peers=*/true, &policy);
+
+  // The undefended attack must actually bite here, or this test pins nothing.
+  ASSERT_GT(undefended.fraction_after, undefended.fraction_before);
+  EXPECT_EQ(json.Find("deployed")->AsDouble(),
+            static_cast<double>(policy.DeployedCount()));
+  EXPECT_EQ(json.Find("fraction_after_undefended")->AsDouble(),
+            undefended.fraction_after);
+  EXPECT_EQ(json.Find("fraction_after_defended")->AsDouble(),
+            defended.fraction_after);
+  EXPECT_EQ(json.Find("prevented")->AsDouble(),
+            undefended.fraction_after - defended.fraction_after);
+  EXPECT_EQ(json.Find("strategy")->AsString(), "victim-cone");
+  EXPECT_EQ(json.Find("policies")->AsString(), "rov+pathval+detector");
+  EXPECT_LT(defended.fraction_after, undefended.fraction_after);
+}
+
+TEST_F(ServiceTest, DefenseDeploymentPointsNeverAliasInTheCache) {
+  // Same pair, two fractions: both answers must come back distinct, and a
+  // repeat of each must return its own first-run bytes (cache hits, not
+  // cross-contamination).
+  QueryService service(gen_.graph, {});
+  const std::string head =
+      R"({"op":"defense","victim":)" + std::to_string(gen_.stubs[2]) +
+      R"(,"attacker":)" + std::to_string(gen_.tier2[0]) +
+      R"(,"strategy":"victim-cone","frac":)";
+  const std::string low = head + "0.25}";
+  const std::string high = head + "0.75}";
+
+  const std::string low_first = service.Handle(low);
+  const std::string high_first = service.Handle(high);
+  EXPECT_NE(low_first, high_first);
+  EXPECT_EQ(service.Handle(low), low_first);
+  EXPECT_EQ(service.Handle(high), high_first);
+  const auto stats = service.Cache().GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+
+  const util::Json low_json = MustParse(low_first);
+  const util::Json high_json = MustParse(high_first);
+  // Nested plans: the bigger deployment prevents at least as much.
+  EXPECT_GE(high_json.Find("prevented")->AsDouble(),
+            low_json.Find("prevented")->AsDouble());
+  EXPECT_GT(high_json.Find("deployed")->AsDouble(),
+            low_json.Find("deployed")->AsDouble());
+}
+
+TEST_F(ServiceTest, ActiveDefenseChangesWhatIfAnswersWithoutKeyAliasing) {
+  // A corpus-wide deployment (ServiceOptions.active_defense — the snapshot
+  // kDefense path) must change impact answers, and its digest in the cache
+  // key must keep defended bytes from ever masquerading as undefended ones.
+  const topo::Asn victim = gen_.stubs[2];
+  const topo::Asn attacker = gen_.tier2[0];
+  const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+      gen_.graph, defense::Strategy::kTopDegree, victim, attacker, 1);
+  auto deployment = std::make_shared<const defense::PolicySet>(
+      plan.AtFraction(1.0, defense::kAllPolicies));
+
+  ServiceOptions defended_options;
+  defended_options.active_defense = deployment;
+  QueryService defended(gen_.graph, {}, defended_options);
+  QueryService undefended(gen_.graph, {});
+
+  const std::string line =
+      R"({"op":"impact","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) + "}";
+  const std::string defended_first = defended.Handle(line);
+  const std::string undefended_first = undefended.Handle(line);
+  const util::Json defended_json = MustParse(defended_first);
+  const util::Json undefended_json = MustParse(undefended_first);
+  ASSERT_TRUE(defended_json.Find("ok")->AsBool());
+  ASSERT_TRUE(undefended_json.Find("ok")->AsBool());
+  // Full deployment of all policies stops the λ-stripping outright.
+  ASSERT_GT(undefended_json.Find("fraction_after")->AsDouble(),
+            undefended_json.Find("fraction_before")->AsDouble());
+  EXPECT_LT(defended_json.Find("fraction_after")->AsDouble(),
+            undefended_json.Find("fraction_after")->AsDouble());
+  // Repeats stay byte-stable through each service's own cache.
+  EXPECT_EQ(defended.Handle(line), defended_first);
+  EXPECT_EQ(undefended.Handle(line), undefended_first);
+
+  // health reports the active deployment size.
+  const util::Json health = MustParse(defended.Handle(R"({"op":"health"})"));
+  EXPECT_EQ(health.Find("defense_deployed")->AsDouble(),
+            static_cast<double>(deployment->DeployedCount()));
+  const util::Json bare = MustParse(undefended.Handle(R"({"op":"health"})"));
+  EXPECT_EQ(bare.Find("defense_deployed")->AsDouble(), 0.0);
 }
 
 TEST_F(ServiceTest, StatsAndHealthAreWellFormed) {

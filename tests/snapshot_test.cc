@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -184,6 +185,127 @@ TEST(Snapshot, WarmStartedAttackMatchesColdRun) {
       EXPECT_EQ(want->path.Hops(), got->path.Hops()) << "AS" << asn;
     }
   }
+  std::remove(path.c_str());
+}
+
+// --- kDefense section --------------------------------------------------------
+
+// Section-table entry for the first section of `type` (-1 if absent).
+// Header: magic[8] version@8 section_count@12 file_size@16; entries of 24
+// bytes each follow at offset 24 as { u32 type | u32 crc | u64 off | u64 size }.
+struct TableEntry {
+  std::size_t entry_offset = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+std::optional<TableEntry> FindSection(const std::string& bytes,
+                                      std::uint32_t type) {
+  std::uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) {
+    count |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[12 + i]))
+             << (8 * i);
+  }
+  for (std::uint32_t s = 0; s < count; ++s) {
+    const std::size_t at = 24 + s * 24;
+    std::uint32_t entry_type = 0;
+    for (int i = 0; i < 4; ++i) {
+      entry_type |= static_cast<std::uint32_t>(
+                        static_cast<unsigned char>(bytes[at + i]))
+                    << (8 * i);
+    }
+    if (entry_type != type) continue;
+    TableEntry entry;
+    entry.entry_offset = at;
+    for (int i = 0; i < 8; ++i) {
+      entry.offset |= static_cast<std::uint64_t>(
+                          static_cast<unsigned char>(bytes[at + 8 + i]))
+                      << (8 * i);
+      entry.size |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(bytes[at + 16 + i]))
+                    << (8 * i);
+    }
+    return entry;
+  }
+  return std::nullopt;
+}
+
+constexpr std::uint32_t kDefenseSectionType = 6;
+
+TEST(Snapshot, RoundTripsDefenseTags) {
+  const auto gen = SmallTopology(29);
+  // One tag byte per AsId; exercise every valid PolicyKind mask 0..7.
+  std::vector<std::uint8_t> tags(gen.graph.NumAses());
+  std::size_t deployed = 0;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    tags[i] = static_cast<std::uint8_t>(i % 8);
+    if (tags[i] != 0) ++deployed;
+  }
+
+  const std::string path = TempPath("defense.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t", tags), "");
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  EXPECT_EQ(snapshot.DefenseTags(), tags);
+  EXPECT_EQ(snapshot.Info().num_defense_tagged, deployed);
+  EXPECT_TRUE(FindSection(ReadFile(path), kDefenseSectionType).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EmptyDeploymentOmitsTheDefenseSection) {
+  // An undefended snapshot must carry NO kDefense section at all, so its
+  // bytes stay identical to what pre-kDefense writers produced and old
+  // loaders never see an unknown section.
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("nodefense.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t",
+                              std::vector<std::uint8_t>{}),
+            "");
+  EXPECT_FALSE(FindSection(ReadFile(path), kDefenseSectionType).has_value());
+  Snapshot snapshot;
+  ASSERT_EQ(Snapshot::Load(path, snapshot), "");
+  EXPECT_TRUE(snapshot.DefenseTags().empty());
+  EXPECT_EQ(snapshot.Info().num_defense_tagged, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WriterRejectsMalformedDefenseTags) {
+  const auto gen = SmallTopology();
+  const std::string path = TempPath("badtags.snap");
+  // Wrong cardinality: must cover every AS exactly once.
+  std::vector<std::uint8_t> short_tags(gen.graph.NumAses() - 1, 1);
+  EXPECT_NE(WriteSnapshotFile(path, gen.graph, {}, {}, "t", short_tags), "");
+  // A tag with bits above kAllPolicies is not a valid PolicyKind mask.
+  std::vector<std::uint8_t> bad_tags(gen.graph.NumAses(), 0);
+  bad_tags[3] = 8;
+  EXPECT_NE(WriteSnapshotFile(path, gen.graph, {}, {}, "t", bad_tags), "");
+}
+
+TEST(Snapshot, LoadRejectsCraftedDefenseTagBehindTheCrc) {
+  // Like the CSR structural check: an out-of-range tag byte whose section CRC
+  // has been re-stamped passes the checksum but must still be rejected before
+  // it can reach PolicySet rehydration.
+  const auto gen = SmallTopology();
+  std::vector<std::uint8_t> tags(gen.graph.NumAses(), 1);
+  const std::string path = TempPath("craftedtag.snap");
+  ASSERT_EQ(WriteSnapshotFile(path, gen.graph, {}, {}, "t", tags), "");
+  std::string bytes = ReadFile(path);
+
+  const auto entry = FindSection(bytes, kDefenseSectionType);
+  ASSERT_TRUE(entry.has_value());
+  // Payload is u64 count + tag bytes; poison the last tag and re-stamp.
+  bytes[entry->offset + entry->size - 1] = static_cast<char>(0xFF);
+  const std::uint32_t crc =
+      util::Crc32(bytes.data() + entry->offset, entry->size);
+  for (int i = 0; i < 4; ++i) {
+    bytes[entry->entry_offset + 4 + i] = static_cast<char>(crc >> (8 * i));
+  }
+  WriteFile(path, bytes);
+
+  Snapshot snapshot;
+  const std::string err = Snapshot::Load(path, snapshot);
+  EXPECT_NE(err.find("invalid tag byte"), std::string::npos) << err;
   std::remove(path.c_str());
 }
 

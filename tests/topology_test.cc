@@ -9,6 +9,7 @@
 #include "attack/interceptor.h"
 #include "bgp/delta.h"
 #include "bgp/propagation.h"
+#include "defense/policy.h"
 #include "topology/as_graph.h"
 #include "topology/builders.h"
 #include "topology/generator.h"
@@ -618,24 +619,26 @@ void EmitTopology(std::string& out, const std::string& name, const AsGraph& g,
 }
 
 void EmitScenario(std::string& out, const std::string& topo_name,
-                  const AsGraph& g, const GoldenScenario& s) {
+                  const AsGraph& g, const GoldenScenario& s,
+                  const bgp::ImportFilter* filter = nullptr) {
   bgp::Announcement ann;
   ann.origin = s.victim;
   ann.prepends.SetDefault(s.victim, s.lambda);
 
   bgp::PropagationSimulator sim(g);
-  auto base = std::make_shared<const bgp::PropagationResult>(sim.Run(ann));
+  auto base = std::make_shared<const bgp::PropagationResult>(
+      sim.Run(ann, nullptr, filter));
 
   attack::AsppInterceptor::Config cfg;
   cfg.attacker = s.attacker;
   cfg.victim = s.victim;
   cfg.violate_valley_free = s.violate;
   attack::AsppInterceptor atk(cfg);
-  bgp::PropagationResult after = sim.Resume(*base, &atk, {s.attacker});
+  bgp::PropagationResult after = sim.Resume(*base, &atk, {s.attacker}, filter);
 
   attack::AsppInterceptor atk2(cfg);
   bgp::DeltaPropagator delta(g);
-  bgp::DeltaResult dafter = delta.Propagate(base, &atk2, {s.attacker});
+  bgp::DeltaResult dafter = delta.Propagate(base, &atk2, {s.attacker}, filter);
 
   char frac[32];
   std::snprintf(frac, sizeof(frac), "%.9f",
@@ -697,6 +700,48 @@ TEST(CsrEquivalence, FixtureTopologiesAndScenariosMatchGolden) {
     EmitTopology(got, "facebook", g, true);
     EmitScenario(got, "facebook", g,
                  {"skt", fb::kFacebook, fb::kSkTelecom, 3, false});
+  }
+  EXPECT_EQ(got, want_fixtures);
+}
+
+// Zero-deployment equivalence: running every golden fixture scenario through
+// both engines with an EMPTY defense::PolicySet installed as the import
+// filter must reproduce the committed golden bytes exactly — an undeployed
+// defense layer is invisible at the bit level.
+TEST(CsrEquivalence, EmptyPolicySetKeepsFixtureScenariosOnGolden) {
+  std::string want_fixtures, want_generated;
+  LoadGolden(want_fixtures, want_generated);
+
+  std::string got;
+  const auto emit_defended = [&got](const std::string& name, const AsGraph& g,
+                                    const GoldenScenario& s) {
+    const defense::PolicySet empty(g);
+    EmitTopology(got, name, g, true);
+    EmitScenario(got, name, g, s, &empty);
+  };
+  {
+    AsGraph g = ProviderChain(8);
+    emit_defended("chain8", g, {"a5", 1, 5, 3, false});
+  }
+  {
+    AsGraph g = PeerClique(6);
+    emit_defended("clique6", g, {"a3", 1, 3, 2, false});
+  }
+  {
+    AsGraph g = ProviderStar(12);
+    emit_defended("star12", g, {"a5", 2, 5, 3, false});
+  }
+  {
+    AsGraph g = DualHomedStub();
+    const defense::PolicySet empty(g);
+    EmitTopology(got, "dualhomed", g, true);
+    EmitScenario(got, "dualhomed", g, {"a21", 100, 21, 3, false}, &empty);
+    EmitScenario(got, "dualhomed", g, {"v21", 100, 21, 3, true}, &empty);
+  }
+  {
+    AsGraph g = FacebookAnomalyTopology();
+    emit_defended("facebook", g,
+                  {"skt", fb::kFacebook, fb::kSkTelecom, 3, false});
   }
   EXPECT_EQ(got, want_fixtures);
 }

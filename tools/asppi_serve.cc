@@ -5,7 +5,9 @@
 //   $ asppi_serve --snapshot=topology.snap --port=4179 &
 //   $ printf '{"op":"impact","victim":3831,"attacker":7}\n' | nc localhost 4179
 //
-// Request types: impact, detect, route, stats, health (serve/protocol.h).
+// Request types: impact, detect, route, defense, stats, health
+// (serve/protocol.h). A snapshot carrying a kDefense section serves every
+// what-if with that deployment active as the engines' import filter.
 // --port=0 picks an ephemeral port; --port-file writes the bound port for
 // scripted clients (the CI smoke job). SIGINT/SIGTERM drain gracefully:
 // in-flight requests finish and flush before the process exits, then the
@@ -78,6 +80,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(e.Flags().GetUint("monitors"));
   service_options.cache_capacity =
       static_cast<std::size_t>(e.Flags().GetUint("cache"));
+  // A snapshot's kDefense section becomes the live deployment: every
+  // impact/detect what-if runs with it as the engines' import filter, and
+  // its digest segregates the result cache from undefended answers.
+  if (!snapshot.DefenseTags().empty()) {
+    service_options.active_defense = std::make_shared<defense::PolicySet>(
+        *graph, snapshot.DefenseTags());
+    e.Note("defense: %zu AS(es) deployed (digest %08x)",
+           service_options.active_defense->DeployedCount(),
+           service_options.active_defense->Digest());
+  }
   serve::QueryService service(*graph, snapshot.Policy(), service_options);
   const std::size_t warmed = service.WarmBaselines(snapshot.Baselines());
 

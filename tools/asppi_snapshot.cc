@@ -6,7 +6,12 @@
 //   $ asppi_snapshot --topo=topology.topo --out=topology.snap
 //   $ asppi_snapshot --topo=topology.topo --out=topology.snap
 //       --baselines=3831,9002 --lambda=4 --policy=3831:4
+//   $ asppi_snapshot --topo=topology.topo --out=defended.snap
+//       --defense=top-degree:0.3:rov+pathval
 //   $ asppi_snapshot --info --topo=topology.snap
+//
+// --defense embeds a per-AS defense deployment (kDefense section) that
+// asppi_serve activates as the import filter for every what-if query.
 //
 // --baselines precomputes the attack-free converged state for each listed
 // origin (announced with the snapshot policy overlaid by a uniform --lambda
@@ -21,6 +26,8 @@
 #include "bench/experiment.h"
 #include "bgp/propagation.h"
 #include "data/snapshot.h"
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -68,6 +75,64 @@ bool ParseBaselinesFlag(const std::string& text, std::vector<topo::Asn>* out) {
   return true;
 }
 
+// "--defense=" spec → dense per-AsId tag bytes. Two forms:
+//   ASN:KINDS[,ASN:KINDS...]      explicit per-AS assignment
+//   STRATEGY:FRAC[:KINDS]         plan-based corpus-wide deployment, where
+//                                 STRATEGY is top-degree or random
+//                                 (victim-cone needs a victim and is a
+//                                 per-attack notion, not a corpus property)
+// KINDS is rov / pathval / detector / all or a '+'-joined combination
+// (default all). `seed` feeds the random strategy's shuffle.
+bool ParseDefenseFlag(const std::string& text, const topo::AsGraph& graph,
+                      std::uint64_t seed, std::vector<std::uint8_t>* tags) {
+  if (text.empty()) return true;
+  auto bad = [&text](const char* why) {
+    std::fprintf(stderr, "error: --defense spec '%s': %s\n", text.c_str(), why);
+    return false;
+  };
+  const std::vector<std::string> head = util::Split(
+      util::Split(text, ',')[0], ':');
+  if (!head.empty() && defense::ParseStrategy(head[0]).has_value()) {
+    const defense::Strategy strategy = *defense::ParseStrategy(head[0]);
+    if (strategy == defense::Strategy::kVictimCone) {
+      return bad("victim-cone plans need a victim; use asppi_defense");
+    }
+    if (head.size() < 2 || head.size() > 3) {
+      return bad("expected STRATEGY:FRAC[:KINDS]");
+    }
+    const std::optional<double> frac = util::ParseDouble(head[1]);
+    if (!frac.has_value() || *frac < 0.0 || *frac > 1.0) {
+      return bad("FRAC must be in [0, 1]");
+    }
+    std::uint8_t kinds = defense::kAllPolicies;
+    if (head.size() == 3) {
+      const std::optional<std::uint8_t> parsed =
+          defense::ParsePolicyKinds(head[2]);
+      if (!parsed.has_value()) return bad("unknown KINDS");
+      kinds = *parsed;
+    }
+    const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+        graph, strategy, /*victim=*/0, /*attacker=*/0, seed);
+    *tags = plan.AtFraction(*frac, kinds).RawTags();
+    return true;
+  }
+  defense::PolicySet set(graph);
+  for (const std::string& item : util::Split(text, ',')) {
+    const std::vector<std::string> parts = util::Split(item, ':');
+    if (parts.size() != 2) return bad("expected ASN:KINDS entries");
+    const std::optional<std::uint32_t> asn = util::ParseAsn(parts[0]);
+    const std::optional<std::uint8_t> kinds =
+        defense::ParsePolicyKinds(parts[1]);
+    if (!asn.has_value() || !kinds.has_value()) {
+      return bad("expected ASN:KINDS entries");
+    }
+    if (!graph.HasAs(*asn)) return bad("AS not in topology");
+    set.Assign(static_cast<topo::Asn>(*asn), *kinds);
+  }
+  *tags = set.RawTags();
+  return true;
+}
+
 // Structural graph equality (same ASes in order, same relations), the
 // --verify cross-check between the text loader and the snapshot loader.
 bool SameGraph(const topo::AsGraph& a, const topo::AsGraph& b) {
@@ -99,6 +164,10 @@ int main(int argc, char** argv) {
   e.Flags().DefineString("policy", "",
                          "prepend policy defaults to embed, as "
                          "ASN:PADS[,ASN:PADS...]");
+  e.Flags().DefineString("defense", "",
+                         "defense deployment to embed: ASN:KINDS[,...] or "
+                         "STRATEGY:FRAC[:KINDS] (top-degree|random)");
+  e.Flags().DefineUint("seed", 1, "shuffle seed for --defense=random:...");
   e.Flags().DefineBool("info", false,
                        "print the info section of --topo (a snapshot) "
                        "and exit");
@@ -126,6 +195,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(info.num_links));
     std::printf("  baselines: %llu\n",
                 static_cast<unsigned long long>(info.num_baselines));
+    std::printf("  defended:  %llu\n",
+                static_cast<unsigned long long>(info.num_defense_tagged));
     return e.Finish();
   }
 
@@ -167,15 +238,27 @@ int main(int argc, char** argv) {
     e.Note("converged %zu baseline(s) at lambda=%d", baselines.size(), lambda);
   }
 
+  std::vector<std::uint8_t> defense_tags;
+  if (!ParseDefenseFlag(e.Flags().GetString("defense"), graph,
+                        e.Flags().GetUint("seed"), &defense_tags)) {
+    return 1;
+  }
+  std::size_t defended = 0;
+  for (std::uint8_t tag : defense_tags) defended += tag != 0 ? 1 : 0;
+  if (!defense_tags.empty()) {
+    e.Note("defense: %zu AS(es) tagged", defended);
+  }
+
   const std::string out = e.Flags().GetString("out");
-  std::string err =
-      data::WriteSnapshotFile(out, graph, policy, baselines, "asppi_snapshot");
+  std::string err = data::WriteSnapshotFile(out, graph, policy, baselines,
+                                            "asppi_snapshot", defense_tags);
   if (!err.empty()) {
     std::fprintf(stderr, "error writing snapshot: %s\n", err.c_str());
     return 1;
   }
-  std::printf("wrote %s (%zu ASes, %zu links, %zu baselines)\n", out.c_str(),
-              graph.NumAses(), graph.NumLinks(), baselines.size());
+  std::printf("wrote %s (%zu ASes, %zu links, %zu baselines, %zu defended)\n",
+              out.c_str(), graph.NumAses(), graph.NumLinks(), baselines.size(),
+              defended);
 
   if (e.Flags().GetBool("verify")) {
     data::Snapshot reloaded;
@@ -186,7 +269,8 @@ int main(int argc, char** argv) {
     }
     if (!SameGraph(graph, reloaded.Graph()) ||
         policy.KeyString() != reloaded.Policy().KeyString() ||
-        reloaded.Baselines().size() != baselines.size()) {
+        reloaded.Baselines().size() != baselines.size() ||
+        reloaded.DefenseTags() != defense_tags) {
       std::fprintf(stderr,
                    "verify failed: reloaded snapshot differs from the "
                    "text-loaded corpus\n");
@@ -195,12 +279,13 @@ int main(int argc, char** argv) {
     e.Note("verify: snapshot round-trips the text-loaded corpus");
   }
 
-  util::Table table({"ases", "links", "baselines", "lambda"});
+  util::Table table({"ases", "links", "baselines", "lambda", "defended"});
   table.Row()
       .Cell(static_cast<std::uint64_t>(graph.NumAses()))
       .Cell(static_cast<std::uint64_t>(graph.NumLinks()))
       .Cell(static_cast<std::uint64_t>(baselines.size()))
-      .Cell(lambda);
+      .Cell(lambda)
+      .Cell(static_cast<std::uint64_t>(defended));
   e.RecordTable(table);
   return e.Finish();
 }
