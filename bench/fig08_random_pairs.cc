@@ -4,9 +4,12 @@
 // Paper shape: mostly less effective than the tier-1 cases — edge attackers
 // see few of the victim's routes and have long paths to the rest of the
 // Internet.
+#include <cstdio>
+
 #include "attack/impact.h"
 #include "attack/scenarios.h"
 #include "bench/bench_common.h"
+#include "strategy/model.h"
 #include "topology/tiers.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -20,7 +23,17 @@ int main(int argc, char** argv) {
   e.WithDefenseFlags();
   e.Flags().DefineUint("instances", 27, "number of hijack instances");
   e.Flags().DefineInt("lambda", 3, "victim prepend count");
+  e.Flags().DefineString("attacker-model", "paper",
+                         "attacker model: paper, stealth (strip to λ-1), or "
+                         "search (beam-optimized program per pair)");
   if (!e.ParseFlags(argc, argv)) return 1;
+  const auto model =
+      strategy::ParseAttackerModel(e.Flags().GetString("attacker-model"));
+  if (!model) {
+    std::fprintf(stderr, "error: unknown --attacker-model '%s'\n",
+                 e.Flags().GetString("attacker-model").c_str());
+    return 1;
+  }
 
   const topo::GeneratedTopology& topology = e.GenerateTopology();
   // Corpus-wide deployment (victim/attacker 0): one fixed plan filters every
@@ -34,7 +47,8 @@ int main(int argc, char** argv) {
   options.pool = e.Pool();
   options.engine = e.Engine();
   options.filter = deployment.get();
-  auto results = attack::RunPairSweep(topology.graph, pairs, options);
+  auto results =
+      strategy::RunModelPairSweep(topology.graph, pairs, *model, options);
 
   util::Table table({"rank", "attacker(tier)", "victim(tier)",
                      "pct_after_hijack", "pct_before_hijack"});
@@ -55,5 +69,10 @@ int main(int argc, char** argv) {
          after_summary.Mean(), after_summary.max);
   e.Note("shape check (paper): random edge pairs are mostly less "
          "effective than tier-1 pairs (Fig. 7).");
+  if (*model != strategy::AttackerModel::kPaper) {
+    e.Note("attacker model: %s (paper-model rows are the figure's shape; "
+           "this run measures the variant).",
+           strategy::AttackerModelName(*model));
+  }
   return e.Finish();
 }

@@ -7,6 +7,25 @@
 
 namespace asppi::attack {
 
+namespace {
+
+// Pollution predicate generalized to attacker sets: a route counts when its
+// path traverses any colluder.
+bool TraversesAny(const std::optional<bgp::Route>& route,
+                  std::span<const Asn> colluders) {
+  if (!route.has_value()) return false;
+  for (Asn asn : colluders) {
+    if (route->path.Contains(asn)) return true;
+  }
+  return false;
+}
+
+bool IsColluder(Asn asn, std::span<const Asn> colluders) {
+  return std::binary_search(colluders.begin(), colluders.end(), asn);
+}
+
+}  // namespace
+
 AttackSimulator::AttackSimulator(const topo::AsGraph& graph,
                                  BaselineCache* baseline_cache,
                                  EngineKind engine)
@@ -22,13 +41,24 @@ AttackSimulator::AttackSimulator(const topo::AsGraph& graph,
 }
 
 AttackOutcome AttackSimulator::RunWithTransform(
-    const bgp::Announcement& announcement, Asn attacker,
+    const bgp::Announcement& announcement, std::span<const Asn> colluders,
     bgp::RouteTransform& transform, int lambda,
     const bgp::ImportFilter* filter) const {
-  ASPPI_CHECK(graph_.HasAs(attacker)) << "attacker AS" << attacker;
+  ASPPI_CHECK(!colluders.empty()) << "attack needs at least one attacker";
+  ASPPI_CHECK(std::is_sorted(colluders.begin(), colluders.end()));
+  for (std::size_t i = 0; i < colluders.size(); ++i) {
+    const Asn asn = colluders[i];
+    ASPPI_CHECK(graph_.HasAs(asn)) << "attacker AS" << asn;
+    ASPPI_CHECK_NE(asn, announcement.origin) << "origin cannot collude";
+    if (i > 0) {
+      ASPPI_CHECK_NE(asn, colluders[i - 1]) << "duplicate colluder";
+    }
+  }
+  const Asn attacker = colluders.front();
   AttackOutcome outcome;
   outcome.victim = announcement.origin;
   outcome.attacker = attacker;
+  outcome.colluders.assign(colluders.begin(), colluders.end());
   outcome.lambda = lambda;
 
   std::shared_ptr<const bgp::TraversalIndex> traversal;
@@ -42,30 +72,45 @@ AttackOutcome AttackSimulator::RunWithTransform(
   }
 
   const std::size_t n = graph_.NumAses();
-  const double denom = n > 2 ? static_cast<double>(n - 2) : 0.0;
+  // The paper's denominator excludes attacker and victim (n−2); a colluding
+  // set excludes every colluder the same way.
+  const std::size_t excluded = colluders.size() + 1;
+  const double denom = n > excluded ? static_cast<double>(n - excluded) : 0.0;
+  const std::vector<Asn> dirty(colluders.begin(), colluders.end());
 
   if (engine_kind_ == EngineKind::kDelta) {
     if (traversal == nullptr) {
       traversal = std::make_shared<const bgp::TraversalIndex>(*outcome.before);
     }
     bgp::DeltaResult delta =
-        delta_engine_.Propagate(outcome.before, &transform, {attacker}, filter);
+        delta_engine_.Propagate(outcome.before, &transform, dirty, filter);
+    outcome.converged = delta.Converged();
 
     // Incremental pollution accounting: only touched ASes can change
     // traversal membership, so adjust the baseline's indexed count over the
     // wavefront instead of re-scanning all n best paths. Touched indices are
     // ascending, matching the dense-scan order of AsesTraversing — so
     // newly_polluted comes out in the same order as the full engine's.
-    const std::size_t before_count = traversal->TraversingCount(attacker);
-    std::size_t after_count = before_count;
     const auto& base_best = outcome.before->BestRoutes();
+    std::size_t before_count;
+    if (colluders.size() == 1) {
+      before_count = traversal->TraversingCount(attacker);
+    } else {
+      // The traversal index is single-ASN; a colluding set takes one dense
+      // scan of the shared baseline (amortized across runs by the cache).
+      before_count = 0;
+      for (std::size_t index = 0; index < base_best.size(); ++index) {
+        const Asn asn = graph_.AsnAt(static_cast<std::uint32_t>(index));
+        if (asn == announcement.origin || IsColluder(asn, colluders)) continue;
+        if (TraversesAny(base_best[index], colluders)) ++before_count;
+      }
+    }
+    std::size_t after_count = before_count;
     for (std::uint32_t index : delta.TouchedIndices()) {
       const Asn asn = graph_.AsnAt(index);
-      if (asn == attacker || asn == announcement.origin) continue;
-      const std::optional<bgp::Route>& was = base_best[index];
-      const std::optional<bgp::Route>& now = delta.BestAtIndex(index);
-      const bool was_p = was.has_value() && was->path.Contains(attacker);
-      const bool now_p = now.has_value() && now->path.Contains(attacker);
+      if (asn == announcement.origin || IsColluder(asn, colluders)) continue;
+      const bool was_p = TraversesAny(base_best[index], colluders);
+      const bool now_p = TraversesAny(delta.BestAtIndex(index), colluders);
       if (now_p && !was_p) {
         ++after_count;
         outcome.newly_polluted.push_back(asn);
@@ -82,23 +127,64 @@ AttackOutcome AttackSimulator::RunWithTransform(
   }
 
   bgp::PropagationResult after =
-      engine_.Resume(*outcome.before, &transform, {attacker}, filter);
+      engine_.Resume(*outcome.before, &transform, dirty, filter);
+  outcome.converged = after.Converged();
 
-  // One traversal scan per state; fractions and the pollution delta all
-  // derive from these two sets (AsesTraversing is an O(n·pathlen) walk).
-  const std::vector<Asn> before_set = outcome.before->AsesTraversing(attacker);
-  const std::vector<Asn> after_set = after.AsesTraversing(attacker);
-  if (denom > 0.0) {
-    outcome.fraction_before = static_cast<double>(before_set.size()) / denom;
-    outcome.fraction_after = static_cast<double>(after_set.size()) / denom;
-  }
-
-  std::unordered_set<Asn> before_lookup(before_set.begin(), before_set.end());
-  for (Asn asn : after_set) {
-    if (!before_lookup.contains(asn)) outcome.newly_polluted.push_back(asn);
+  if (colluders.size() == 1) {
+    // One traversal scan per state; fractions and the pollution delta all
+    // derive from these two sets (AsesTraversing is an O(n·pathlen) walk).
+    const std::vector<Asn> before_set =
+        outcome.before->AsesTraversing(attacker);
+    const std::vector<Asn> after_set = after.AsesTraversing(attacker);
+    if (denom > 0.0) {
+      outcome.fraction_before = static_cast<double>(before_set.size()) / denom;
+      outcome.fraction_after = static_cast<double>(after_set.size()) / denom;
+    }
+    std::unordered_set<Asn> before_lookup(before_set.begin(),
+                                          before_set.end());
+    for (Asn asn : after_set) {
+      if (!before_lookup.contains(asn)) outcome.newly_polluted.push_back(asn);
+    }
+  } else {
+    // Colluding set: dense scan of both states with the any-colluder
+    // predicate, same index order as the delta engine's touched walk.
+    const auto& base_best = outcome.before->BestRoutes();
+    const auto& post_best = after.BestRoutes();
+    std::size_t before_count = 0;
+    std::size_t after_count = 0;
+    for (std::size_t index = 0; index < base_best.size(); ++index) {
+      const Asn asn = graph_.AsnAt(static_cast<std::uint32_t>(index));
+      if (asn == announcement.origin || IsColluder(asn, colluders)) continue;
+      const bool was_p = TraversesAny(base_best[index], colluders);
+      const bool now_p = TraversesAny(post_best[index], colluders);
+      if (was_p) ++before_count;
+      if (now_p) ++after_count;
+      if (now_p && !was_p) outcome.newly_polluted.push_back(asn);
+    }
+    if (denom > 0.0) {
+      outcome.fraction_before = static_cast<double>(before_count) / denom;
+      outcome.fraction_after = static_cast<double>(after_count) / denom;
+    }
   }
   outcome.after = std::move(after);
   return outcome;
+}
+
+int AttackSimulator::RecordedLambda(
+    const bgp::Announcement& announcement) const {
+  const std::span<const topo::Edge> edges =
+      graph_.NeighborsOf(announcement.origin);
+  std::vector<Asn> neighbors;
+  neighbors.reserve(edges.size());
+  for (const topo::Edge& edge : edges) neighbors.push_back(edge.asn);
+  return announcement.prepends.MaxPadsToward(announcement.origin, neighbors);
+}
+
+AttackOutcome AttackSimulator::RunTransform(
+    const bgp::Announcement& announcement, std::span<const Asn> colluders,
+    bgp::RouteTransform& transform, const bgp::ImportFilter* filter) const {
+  return RunWithTransform(announcement, colluders, transform,
+                          RecordedLambda(announcement), filter);
 }
 
 AttackOutcome AttackSimulator::RunAsppInterception(
@@ -123,9 +209,9 @@ AttackOutcome AttackSimulator::RunAsppInterceptionWithPolicy(
   config.violate_valley_free = violate_valley_free;
   config.export_stripped_to_peers = export_stripped_to_peers;
   AsppInterceptor interceptor(config);
-  return RunWithTransform(announcement, attacker, interceptor,
-                          announcement.prepends.MaxPadsOf(announcement.origin),
-                          filter);
+  const Asn colluders[] = {attacker};
+  return RunWithTransform(announcement, colluders, interceptor,
+                          RecordedLambda(announcement), filter);
 }
 
 AttackOutcome AttackSimulator::RunOriginHijack(
@@ -135,7 +221,8 @@ AttackOutcome AttackSimulator::RunOriginHijack(
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   OriginHijacker hijacker(attacker);
-  return RunWithTransform(announcement, attacker, hijacker, lambda, filter);
+  const Asn colluders[] = {attacker};
+  return RunWithTransform(announcement, colluders, hijacker, lambda, filter);
 }
 
 AttackOutcome AttackSimulator::RunBallaniInterception(
@@ -145,7 +232,9 @@ AttackOutcome AttackSimulator::RunBallaniInterception(
   announcement.origin = victim;
   announcement.prepends.SetDefault(victim, lambda);
   BallaniInterceptor interceptor(attacker, victim);
-  return RunWithTransform(announcement, attacker, interceptor, lambda, filter);
+  const Asn colluders[] = {attacker};
+  return RunWithTransform(announcement, colluders, interceptor, lambda,
+                          filter);
 }
 
 std::vector<PairImpact> RunPairSweep(

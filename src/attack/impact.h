@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "attack/baseline_cache.h"
@@ -28,9 +29,16 @@ enum class EngineKind { kFull, kDelta };
 struct AttackOutcome {
   Asn victim = 0;
   Asn attacker = 0;
+  // Every AS executing the attack (sorted ascending; attacker is the first).
+  // Size 1 for the classic single-attacker entry points; strategy::
+  // AttackerProgram runs with k colluders fill all k.
+  std::vector<Asn> colluders;
   // The victim's prepend count: the λ passed to the attack entry point, or,
-  // for per-neighbor policies, the largest padding announced to any neighbor
-  // (PrependPolicy::MaxPadsOf — the strongest padding an attacker can strip).
+  // for per-neighbor policies, the largest padding the victim announces to
+  // any of its actual neighbors (PrependPolicy::MaxPadsToward — the strongest
+  // padding an on-path attacker can strip). A per-neighbor policy that
+  // overrides every neighbor below its default reports the real neighbor
+  // maximum, not the dead-configuration default.
   int lambda = 1;
 
   // Converged, attack-free. Shared: when an AttackSimulator runs with a
@@ -42,12 +50,22 @@ struct AttackOutcome {
   // identical either way; call .Full() where the dense RIB is truly needed.
   bgp::RoutingView after;
 
-  // Fraction of ASes (excluding attacker and victim) whose best path
-  // traverses the attacker — the paper's "% of paths traversing attacker".
+  // False when the attacked re-convergence hit the engine round cap instead
+  // of a fixpoint — possible under adversarial strategy:: programs whose
+  // forced exports oscillate (the paper-model transforms always converge).
+  // `after` is then the deterministic cap snapshot, and the fractions /
+  // pollution set below are measured against it; treat them as "no stable
+  // interception", not as steady-state impact.
+  bool converged = true;
+
+  // Fraction of ASes (excluding the colluders and victim) whose best path
+  // traverses any colluder — the paper's "% of paths traversing attacker",
+  // generalized to attacker sets (single-colluder runs match the paper's
+  // denominator of n−2 exactly).
   double fraction_before = 0.0;
   double fraction_after = 0.0;
 
-  // ASes polluted by the attack: best path traverses the attacker after the
+  // ASes polluted by the attack: best path traverses a colluder after the
   // attack but did not before.
   std::vector<Asn> newly_polluted;
 };
@@ -83,6 +101,19 @@ class AttackSimulator {
       bool export_stripped_to_peers = true,
       const bgp::ImportFilter* filter = nullptr) const;
 
+  // Fully generalized entry point (the strategy:: subsystem's executor): run
+  // an arbitrary RouteTransform for a set of colluding attackers. Every
+  // colluder seeds the re-convergence wavefront, and pollution counts an AS
+  // when its best path traverses *any* colluder. `colluders` must be
+  // non-empty, sorted, and duplicate-free, and must not contain the origin.
+  // λ is recorded from the announcement via MaxPadsToward. Single-colluder
+  // calls are bit-identical to the classic entry points with the same
+  // transform.
+  AttackOutcome RunTransform(const bgp::Announcement& announcement,
+                             std::span<const Asn> colluders,
+                             bgp::RouteTransform& transform,
+                             const bgp::ImportFilter* filter = nullptr) const;
+
   // Baselines.
   AttackOutcome RunOriginHijack(Asn victim, Asn attacker, int lambda,
                                 const bgp::ImportFilter* filter = nullptr) const;
@@ -97,9 +128,13 @@ class AttackSimulator {
 
  private:
   AttackOutcome RunWithTransform(const bgp::Announcement& announcement,
-                                 Asn attacker, bgp::RouteTransform& transform,
-                                 int lambda,
+                                 std::span<const Asn> colluders,
+                                 bgp::RouteTransform& transform, int lambda,
                                  const bgp::ImportFilter* filter) const;
+
+  // λ the outcome reports for `announcement`: the strongest padding announced
+  // to any actual neighbor of the origin (see AttackOutcome::lambda).
+  int RecordedLambda(const bgp::Announcement& announcement) const;
 
   const topo::AsGraph& graph_;
   bgp::PropagationSimulator engine_;

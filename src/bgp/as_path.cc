@@ -74,6 +74,24 @@ int AsPath::CollapseRunsOf(Asn asn) {
   return removed;
 }
 
+int AsPath::TrimRunsOf(Asn asn, int keep) {
+  ASPPI_CHECK_GE(keep, 1);
+  std::vector<Asn> kept;
+  kept.reserve(hops_.size());
+  int removed = 0;
+  int run = 0;
+  for (Asn hop : hops_) {
+    run = (hop == asn) ? run + 1 : 0;
+    if (run > keep) {
+      ++removed;
+    } else {
+      kept.push_back(hop);
+    }
+  }
+  hops_ = std::move(kept);
+  return removed;
+}
+
 int AsPath::CollapseAllRuns() {
   std::vector<Asn> kept;
   kept.reserve(hops_.size());

@@ -55,6 +55,12 @@ class AsPath {
   // to a single occurrence. Returns the number of copies removed. This is
   // exactly the attacker's modification: [M * V…V] → [M * V] (paper §II-B).
   int CollapseRunsOf(Asn asn);
+  // Partial-strip generalization: trim every consecutive run of `asn` down to
+  // at most `keep` occurrences (keep >= 1; runs already <= keep are
+  // untouched). Returns copies removed. TrimRunsOf(asn, 1) is exactly
+  // CollapseRunsOf(asn); keep = λ−1 is the stealthy attacker that shaves one
+  // pad per run instead of all of them.
+  int TrimRunsOf(Asn asn, int keep);
   // Collapse *all* consecutive duplicate runs (of any ASN) to length 1.
   // Returns copies removed. Used to compute "the path without any ASPP".
   int CollapseAllRuns();

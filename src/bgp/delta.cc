@@ -147,9 +147,11 @@ PropagationResult DeltaResult::Materialize() const {
     }
     if (!row.sent.empty()) sent[i] = row.sent;
   }
-  return PropagationResult::Restore(Graph(), GetAnnouncement(), rounds_,
-                                    std::move(best), std::move(first_change),
-                                    std::move(rib_in), std::move(sent));
+  PropagationResult out = PropagationResult::Restore(
+      Graph(), GetAnnouncement(), rounds_, std::move(best),
+      std::move(first_change), std::move(rib_in), std::move(sent));
+  out.converged_ = converged_;
+  return out;
 }
 
 // --- DeltaPropagator --------------------------------------------------------
@@ -299,6 +301,7 @@ DeltaResult DeltaPropagator::Propagate(
 
   std::size_t peak_wavefront = 0;
   int round = 0;
+  bool converged = true;
   while (true) {
     if (work.export_list.empty()) break;
     peak_wavefront = std::max(peak_wavefront, work.export_list.size());
@@ -307,7 +310,13 @@ DeltaResult DeltaPropagator::Propagate(
       ExportFromDelta(work, u, transform, filter);
     });
     ++round;
-    ASPPI_CHECK_LT(round, kMaxRounds) << "propagation did not converge";
+    // Same cap and same stop point as the full engine's RunLoop: a
+    // persistently oscillating adversarial policy yields a flagged,
+    // deterministic round-cap snapshot instead of an abort.
+    if (round >= kMaxRounds) {
+      converged = false;
+      break;
+    }
 
     bool any_change = false;
     for_each_rank_ordered(work.dirty_list, work.in_dirty,
@@ -332,6 +341,7 @@ DeltaResult DeltaPropagator::Propagate(
   DeltaResult result;
   result.base_ = std::move(base);
   result.rounds_ = round;
+  result.converged_ = converged;
   result.touched_ = std::move(work.touched);
   std::sort(result.touched_.begin(), result.touched_.end());
   result.rows_.reserve(result.touched_.size());

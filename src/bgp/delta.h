@@ -107,6 +107,11 @@ class DeltaResult {
   const std::optional<Route>& BestAt(Asn asn) const;
   int FirstChangeRound(Asn asn) const;
   int Rounds() const { return rounds_; }
+  // False when the run hit the kMaxRounds cap before a fixpoint (persistent
+  // policy oscillation under an adversarial transform). Mirrors
+  // PropagationResult::Converged(): the cap snapshot is deterministic and
+  // bit-identical to the full engine's, but not a fixpoint.
+  bool Converged() const { return converged_; }
   const Announcement& GetAnnouncement() const {
     return base_->GetAnnouncement();
   }
@@ -138,6 +143,7 @@ class DeltaResult {
 
   std::shared_ptr<const PropagationResult> base_;
   int rounds_ = 0;
+  bool converged_ = true;
   std::vector<std::uint32_t> touched_;  // ascending dense indices
   std::vector<DeltaRow> rows_;          // parallel to touched_
 };

@@ -61,6 +61,16 @@ int PrependPolicy::MaxPadsOf(Asn exporter) const {
   return max_pads;
 }
 
+int PrependPolicy::MaxPadsToward(Asn exporter,
+                                 std::span<const Asn> neighbors) const {
+  if (neighbors.empty()) return MaxPadsOf(exporter);
+  int max_pads = 1;
+  for (Asn neighbor : neighbors) {
+    max_pads = std::max(max_pads, PadsFor(exporter, neighbor));
+  }
+  return max_pads;
+}
+
 std::string PrependPolicy::KeyString() const {
   std::string key;
   for (const auto& [exporter, pads] : defaults_) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -47,10 +48,18 @@ class PrependPolicy {
   int PadsFor(Asn exporter, Asn neighbor) const;
 
   // Largest pad count `exporter` announces to any neighbor under this policy
-  // (its default, or the biggest per-neighbor override). This is the λ an
-  // AttackOutcome reports for per-neighbor policies: the strongest padding
-  // an on-path attacker could strip.
+  // (its default, or the biggest per-neighbor override). Note this is a pure
+  // configuration maximum: when every actual neighbor carries an override,
+  // the default is dead configuration and this overstates what any receiver
+  // ever sees — use MaxPadsToward with the real neighbor set in that case.
   int MaxPadsOf(Asn exporter) const;
+
+  // Largest pad count `exporter` announces to any neighbor in `neighbors` —
+  // the λ an AttackOutcome reports: the strongest padding an on-path attacker
+  // can actually strip. Unlike MaxPadsOf, a default that no listed neighbor
+  // falls back to (every one overridden) does not inflate the answer. Empty
+  // `neighbors` degrades to MaxPadsOf.
+  int MaxPadsToward(Asn exporter, std::span<const Asn> neighbors) const;
 
   // Canonical text encoding of the whole policy (defaults and overrides in
   // sorted order) — the cache key component for baseline memoization. Two

@@ -198,6 +198,7 @@ PropagationResult PropagationSimulator::Resume(const PropagationResult& prior,
   ASPPI_CHECK(prior.graph_ == &graph_) << "state from a different graph";
   PropagationResult state = prior;
   state.rounds_ = 0;
+  state.converged_ = true;
   std::fill(state.first_change_round_.begin(), state.first_change_round_.end(),
             -1);
   std::vector<std::uint8_t> need_export(graph_.NumAses(), 0);
@@ -252,7 +253,14 @@ void PropagationSimulator::RunLoop(PropagationResult& state,
     }
     if (!any_export) break;
     ++round;
-    ASPPI_CHECK_LT(round, kMaxRounds) << "propagation did not converge";
+    // Adversarial transforms can force valley-violating exports whose
+    // preference cycles never settle (Griffin's dispute wheels). Stop at the
+    // cap and flag the state instead of aborting: the cap snapshot is still
+    // deterministic, and the delta engine stops at the identical point.
+    if (round >= kMaxRounds) {
+      state.converged_ = false;
+      break;
+    }
 
     // Decision phase: receivers of changed slots re-run the decision process.
     bool any_change = false;

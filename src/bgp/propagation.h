@@ -118,6 +118,13 @@ class PropagationResult {
   int FirstChangeRound(Asn asn) const;
   // Total rounds until convergence of the producing run.
   int Rounds() const { return rounds_; }
+  // False when the producing run hit the kMaxRounds cap before reaching a
+  // fixpoint: a persistently oscillating policy (possible once adversarial
+  // transforms force valley-violating exports — Griffin's dispute wheels).
+  // The state is then the deterministic round-cap snapshot, bit-identical
+  // between the full and delta engines, but NOT a routing fixpoint;
+  // fixpoint-only invariants must not be asserted against it.
+  bool Converged() const { return converged_; }
 
   const Announcement& GetAnnouncement() const { return announcement_; }
   const topo::AsGraph& Graph() const { return *graph_; }
@@ -154,10 +161,12 @@ class PropagationResult {
 
  private:
   friend class PropagationSimulator;
+  friend class DeltaResult;  // Materialize() stamps converged_
 
   const topo::AsGraph* graph_ = nullptr;
   Announcement announcement_;
   int rounds_ = 0;
+  bool converged_ = true;
   // All vectors indexed by the graph's dense AS index.
   std::vector<std::optional<Route>> best_;
   std::vector<int> first_change_round_;

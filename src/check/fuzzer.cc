@@ -10,6 +10,7 @@
 #include "defense/deployment.h"
 #include "defense/policy.h"
 #include "detect/detector.h"
+#include "strategy/program.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -190,6 +191,10 @@ Scenario Fuzzer::ScenarioFor(std::size_t iteration) const {
                         static_cast<unsigned long long>(rng.Below(64)));
   s.attacker_ref = Format("%s:%llu", kAttackerRoles[rng.Below(4)],
                           static_cast<unsigned long long>(rng.Below(64)));
+  s.strat_colluders = 1 + rng.Below(3);
+  s.strat_overrides = rng.Below(4);
+  s.strat_poison = rng.Chance(0.5);
+  s.strat_withhold = rng.Chance(0.6);
   return s;
 }
 
@@ -399,6 +404,69 @@ Violations Fuzzer::RunScenario(const Scenario& scenario) const {
                                    defended.after.Full(), out);
   }
 
+  // Leg 6 — strategic attacker programs: a seeded strategy::AttackerProgram
+  // draw (per-neighbor announce/withhold, partial strips, poisoning,
+  // collusion) runs through both engines, which must stay bit-identical —
+  // and the converged state must be explainable edge by edge by the program
+  // itself (withheld slots empty, strip bounds honoured, poison delivered,
+  // witness rule confined to the colluding set). The paper-shape invariants
+  // (CheckInterception) deliberately do NOT run here: a strip_to ≥ 2 program
+  // legitimately leaves more than one victim copy behind.
+  {
+    util::Rng srng(util::DeriveSeed(scenario.topo_seed, 0x57a7));
+    std::vector<Asn> colluders{instance->attacker};
+    const std::size_t want =
+        std::max<std::size_t>(1, scenario.strat_colluders);
+    for (int tries = 0;
+         colluders.size() < want && colluders.size() + 1 < graph.NumAses() &&
+         tries < 64;
+         ++tries) {
+      const Asn candidate =
+          graph.AsnAt(static_cast<std::uint32_t>(srng.Below(graph.NumAses())));
+      if (candidate == victim) continue;
+      if (std::find(colluders.begin(), colluders.end(), candidate) !=
+          colluders.end()) {
+        continue;
+      }
+      colluders.push_back(candidate);
+    }
+    strategy::DrawLimits limits;
+    limits.max_overrides = scenario.strat_overrides;
+    limits.allow_poison = scenario.strat_poison;
+    limits.allow_withhold = scenario.strat_withhold;
+    const strategy::AttackerProgram program = strategy::DrawProgram(
+        graph, victim, colluders, scenario.lambda, limits, srng);
+
+    strategy::ProgramTransform delta_transform(program);
+    const attack::AttackOutcome strat_delta = attack_sim.RunTransform(
+        announcement, program.Colluders(), delta_transform);
+    strategy::ProgramTransform full_transform(program);
+    const attack::AttackOutcome strat_full = full_sim.RunTransform(
+        announcement, program.Colluders(), full_transform);
+    CompareEngineStates(graph, strat_full.after.Full(),
+                        strat_delta.after.Full(), out, "strategy-engine");
+    if (strat_delta.newly_polluted != strat_full.newly_polluted ||
+        strat_delta.fraction_before != strat_full.fraction_before ||
+        strat_delta.fraction_after != strat_full.fraction_after) {
+      out.push_back(Format(
+          "diff-strategy-accounting: delta reports %zu polluted / %.6f "
+          "after, full %zu / %.6f",
+          strat_delta.newly_polluted.size(), strat_delta.fraction_after,
+          strat_full.newly_polluted.size(), strat_full.fraction_after));
+    }
+    if (strat_delta.converged != strat_full.converged) {
+      out.push_back(Format(
+          "diff-strategy-convergence: delta %s, full %s",
+          strat_delta.converged ? "converged" : "hit the round cap",
+          strat_full.converged ? "converged" : "hit the round cap"));
+    }
+    Invariants::CheckStrategicAttack(
+        graph, program, strat_full.after.Full(),
+        MonitorPaths(*strat_full.before, instance->monitors),
+        MonitorPaths(strat_full.after, instance->monitors),
+        strat_full.converged, out);
+  }
+
   Truncate(out);
   return out;
 }
@@ -475,6 +543,35 @@ Scenario Fuzzer::Shrink(const Scenario& scenario) const {
       if (still_fails(candidate)) {
         best = std::move(candidate);
         progress = true;
+      }
+    }
+
+    // Strategy-draw knobs: fewer colluders, fewer overrides, then the
+    // boldness bits — a minimized repro should name the simplest program
+    // that still diverges.
+    while (best.strat_colluders > 1) {
+      Scenario candidate = best;
+      candidate.strat_colluders = best.strat_colluders - 1;
+      if (!still_fails(candidate)) break;
+      best = std::move(candidate);
+      progress = true;
+    }
+    while (best.strat_overrides > 0) {
+      Scenario candidate = best;
+      candidate.strat_overrides = best.strat_overrides - 1;
+      if (!still_fails(candidate)) break;
+      best = std::move(candidate);
+      progress = true;
+    }
+    for (bool Scenario::*knob :
+         {&Scenario::strat_poison, &Scenario::strat_withhold}) {
+      if (best.*knob) {
+        Scenario candidate = best;
+        candidate.*knob = false;
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          progress = true;
+        }
       }
     }
   }

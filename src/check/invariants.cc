@@ -330,6 +330,145 @@ void Invariants::CheckInterception(const topo::AsGraph& graph,
   }
 }
 
+void Invariants::CheckStrategicAttack(
+    const topo::AsGraph& graph, const strategy::AttackerProgram& program,
+    const bgp::PropagationResult& attacked,
+    const std::vector<std::pair<Asn, AsPath>>& previous,
+    const std::vector<std::pair<Asn, AsPath>>& current, bool converged,
+    Violations& out) {
+  const Asn victim = program.Victim();
+
+  // Edge-by-edge delivery audit: whatever a colluder's neighbor holds in its
+  // Adj-RIB-In slot for that colluder must be explainable by the program's
+  // directive for the (colluder → neighbor) edge.
+  for (Asn colluder : program.Colluders()) {
+    for (const topo::Edge& nb : graph.NeighborsOf(colluder)) {
+      const strategy::Directive& directive =
+          program.DirectiveFor(colluder, nb.asn);
+      const std::optional<bgp::Route>& slot =
+          attacked.RibIn()[nb.id][nb.back_slot];
+      const bool receiver_poisoned =
+          std::find(directive.poison.begin(), directive.poison.end(),
+                    nb.asn) != directive.poison.end();
+      if (directive.send == strategy::Send::kWithhold) {
+        if (slot.has_value()) {
+          out.push_back(Format(
+              "strategy-withhold: AS%u withholds from AS%u yet the slot "
+              "holds %s",
+              static_cast<unsigned>(colluder), static_cast<unsigned>(nb.asn),
+              slot->path.ToString().c_str()));
+        }
+        continue;
+      }
+      if (!slot.has_value()) continue;
+      const AsPath& path = slot->path;
+      if (receiver_poisoned) {
+        out.push_back(Format(
+            "strategy-poison-self: AS%u poisons AS%u on their edge yet the "
+            "slot holds %s (loop check should have dropped it)",
+            static_cast<unsigned>(colluder), static_cast<unsigned>(nb.asn),
+            path.ToString().c_str()));
+        continue;
+      }
+      if (path.Empty() || path.First() != colluder) {
+        out.push_back(Format(
+            "strategy-sender: AS%u's slot from AS%u holds %s, which does not "
+            "open with the colluder",
+            static_cast<unsigned>(nb.asn), static_cast<unsigned>(colluder),
+            path.ToString().c_str()));
+        continue;
+      }
+      if (directive.strip_to >= 1 &&
+          path.MaxRunOf(victim) > directive.strip_to) {
+        out.push_back(Format(
+            "strategy-strip: AS%u -> AS%u carries a victim run of %d, "
+            "directive trims to %d (path %s)",
+            static_cast<unsigned>(colluder), static_cast<unsigned>(nb.asn),
+            path.MaxRunOf(victim), directive.strip_to,
+            path.ToString().c_str()));
+      }
+      for (Asn poison : directive.poison) {
+        if (!path.Contains(poison)) {
+          out.push_back(Format(
+              "strategy-poison: AS%u -> AS%u lacks poison AS%u (path %s)",
+              static_cast<unsigned>(colluder), static_cast<unsigned>(nb.asn),
+              static_cast<unsigned>(poison), path.ToString().c_str()));
+        }
+      }
+    }
+  }
+
+  // Accusation oracle, sound only for converged states under uniform
+  // per-colluder, poison-free programs: padding is then a deterministic
+  // function of the chain, so the witness rule can never pin a non-colluder.
+  // Poison splices an innocent ASN into the path — blame-shifting is what
+  // path stuffing is for — and a round-cap snapshot mixes stale unstripped
+  // paths with stripped ones, so either condition voids the soundness
+  // argument. Victim policy deliberately withheld — the victim-aware rule
+  // accuses the victim-adjacent branch head, which is innocent under any
+  // mid-path attacker.
+  if (converged && program.UniformStripPerColluder() && !program.UsesPoison()) {
+    // Soundness is claimed for honest vantage points only. The detector's
+    // suffix expansion infers a route for every AS on a monitor path, but a
+    // colluder strips the victim run it re-announces, so the observed suffix
+    // misrepresents the true route of the colluder itself and of every AS
+    // behind it on that path (they received the unstripped run). Rows in
+    // front of the first colluder are honest: their owners genuinely hold
+    // the stripped route. Build the stripped views with that taint filter —
+    // the production Scan cannot (it does not know the colluders), which is
+    // exactly why its framing alarms on tainted rows are out of scope here.
+    auto trusted_view = [&program, victim](
+        const std::vector<std::pair<Asn, bgp::AsPath>>& paths) {
+      detect::StrippedView view;
+      auto add = [&view, victim](Asn owner, const std::vector<Asn>& hops,
+                                 std::size_t from) {
+        if (view.count(owner)) return;  // first observation wins, as in Scan
+        auto stripped = detect::StripVictimPadding(
+            AsPath(std::vector<Asn>(hops.begin() + static_cast<long>(from),
+                                    hops.end())),
+            victim);
+        if (stripped) view.emplace(owner, std::move(*stripped));
+      };
+      for (const auto& [monitor, path] : paths) {
+        if (program.IsColluder(monitor)) continue;
+        const std::vector<Asn>& hops = path.Hops();
+        if (hops.empty()) continue;
+        add(monitor, hops, 0);
+        std::size_t i = 0;
+        while (i < hops.size()) {
+          const Asn as = hops[i];
+          std::size_t j = i;
+          while (j < hops.size() && hops[j] == as) ++j;
+          if (program.IsColluder(as)) break;  // this row and deeper: tainted
+          if (j < hops.size()) add(as, hops, j);
+          i = j;
+        }
+      }
+      return view;
+    };
+    const detect::StrippedView prev_view = trusted_view(previous);
+    const detect::StrippedView cur_view = trusted_view(current);
+    for (const auto& [observer, now] : cur_view) {
+      auto before = prev_view.find(observer);
+      if (before == prev_view.end()) continue;
+      if (now.lambda >= before->second.lambda) continue;
+      if (now.core.size() < 2) continue;
+      const std::optional<detect::Alarm> alarm =
+          detect::HighConfidenceAlarm(observer, now, cur_view);
+      if (!alarm || alarm->confidence != detect::Alarm::Confidence::kHigh) {
+        continue;
+      }
+      if (!program.IsColluder(alarm->suspect)) {
+        out.push_back(Format(
+            "strategy-accusation: witness rule accuses AS%u, outside the "
+            "colluding set (observer AS%u): %s",
+            static_cast<unsigned>(alarm->suspect),
+            static_cast<unsigned>(alarm->observer), alarm->detail.c_str()));
+      }
+    }
+  }
+}
+
 void Invariants::CheckDefendedState(const topo::AsGraph& graph,
                                     const defense::PolicySet& policy,
                                     Asn origin, Asn attacker,

@@ -19,6 +19,7 @@
 #include "check/reference_engine.h"
 #include "defense/policy.h"
 #include "detect/detector.h"
+#include "strategy/program.h"
 #include "topology/as_graph.h"
 
 namespace asppi::check {
@@ -78,6 +79,36 @@ class Invariants {
   static void CheckInterception(const topo::AsGraph& graph,
                                 const attack::AttackOutcome& outcome,
                                 Violations& out);
+
+  // A converged state under an arbitrary strategy::AttackerProgram, checked
+  // edge by edge against the program itself:
+  //  * a withheld (colluder → neighbor) edge delivered nothing — the
+  //    neighbor's Adj-RIB-In slot for the colluder is empty;
+  //  * an edge whose directive poisons the receiving neighbor itself is
+  //    likewise empty (the receiver-side loop check drops it);
+  //  * every non-empty slot opens with the colluder's own ASN, bounds each
+  //    victim run by the directive's strip_to (when stripping at all), and
+  //    carries every poison ASN of the directive.
+  // The per-slot audit holds for any reachable state — converged or the
+  // round-cap snapshot of an oscillating program — because each property is
+  // an invariant of the export that wrote the slot. When additionally
+  // `converged` holds and the program strips uniformly per colluder
+  // (AttackerProgram::UniformStripPerColluder) without poisoning, observed
+  // padding is a deterministic function of the announcement chain, so the
+  // detector's witness rule is provably sound against it: a fresh Scan over
+  // the monitor paths (victim policy withheld — the victim-aware rule names
+  // innocent branch heads by design) must place every high-confidence
+  // suspect inside the colluding set. Differential per-neighbor strips can
+  // frame the innocent first hop of a differently-stripped branch, poison
+  // frames the stuffed ASN, and a cap snapshot mixes stale unstripped paths
+  // with stripped ones — any of the three voids the soundness argument and
+  // skips the accusation oracle (documented in DESIGN.md §4k).
+  static void CheckStrategicAttack(
+      const topo::AsGraph& graph, const strategy::AttackerProgram& program,
+      const bgp::PropagationResult& attacked,
+      const std::vector<std::pair<Asn, bgp::AsPath>>& previous,
+      const std::vector<std::pair<Asn, bgp::AsPath>>& current, bool converged,
+      Violations& out);
 
   // --- defense invariants --------------------------------------------------
 

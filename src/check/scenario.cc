@@ -104,6 +104,10 @@ std::string Scenario::Serialize() const {
     os << "siblings=" << sibling_pairs << "\n";
     os << "monitors=" << num_monitors << "\n";
     os << "perneighbor=" << BoolStr(per_neighbor_pads) << "\n";
+    os << "strat_colluders=" << strat_colluders << "\n";
+    os << "strat_overrides=" << strat_overrides << "\n";
+    os << "strat_poison=" << BoolStr(strat_poison) << "\n";
+    os << "strat_withhold=" << BoolStr(strat_withhold) << "\n";
   } else {
     for (const Link& link : links) {
       os << "link=" << link.a << " " << link.b << " "
@@ -176,13 +180,24 @@ std::optional<Scenario> Scenario::Parse(std::string_view text,
         else if (key == "siblings") scenario.sibling_pairs = n;
         else scenario.num_monitors = n;
       }
-    } else if (key == "perneighbor" || key == "violate" || key == "to_peers") {
+    } else if (key == "perneighbor" || key == "violate" || key == "to_peers" ||
+               key == "strat_poison" || key == "strat_withhold") {
       const auto v = as_bool();
       ok = v.has_value();
       if (ok) {
         if (key == "perneighbor") scenario.per_neighbor_pads = *v;
         else if (key == "violate") scenario.violate_valley_free = *v;
+        else if (key == "strat_poison") scenario.strat_poison = *v;
+        else if (key == "strat_withhold") scenario.strat_withhold = *v;
         else scenario.export_stripped_to_peers = *v;
+      }
+    } else if (key == "strat_colluders" || key == "strat_overrides") {
+      const auto v = as_uint();
+      ok = v.has_value();
+      if (ok) {
+        const std::size_t n = static_cast<std::size_t>(*v);
+        if (key == "strat_colluders") scenario.strat_colluders = n;
+        else scenario.strat_overrides = n;
       }
     } else if (key == "lambda") {
       const auto v = util::ParseInt(value);

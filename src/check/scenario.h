@@ -49,6 +49,14 @@ struct Scenario {
   // Draw the victim's per-neighbor pads in [1, lambda] from the scenario seed
   // instead of announcing lambda uniformly (exercises per-branch λ paths).
   bool per_neighbor_pads = false;
+  // Leg-6 strategy draw (gen mode): size of the colluding attacker set (the
+  // attacker plus strat_colluders−1 extra ASes drawn from the scenario seed),
+  // per-colluder cap on per-neighbor directive overrides, and whether drawn
+  // programs may poison paths / withhold announcements.
+  std::size_t strat_colluders = 1;
+  std::size_t strat_overrides = 2;
+  bool strat_poison = true;
+  bool strat_withhold = true;
 
   // --- explicit mode -------------------------------------------------------
   struct Link {

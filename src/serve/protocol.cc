@@ -74,6 +74,8 @@ const char* OpName(Op op) {
       return "route";
     case Op::kDefense:
       return "defense";
+    case Op::kStrategy:
+      return "strategy";
     case Op::kStats:
       return "stats";
     case Op::kHealth:
@@ -103,6 +105,8 @@ std::string ParseRequest(std::string_view line, Request* out) {
     request.op = Op::kRoute;
   } else if (name == "defense") {
     request.op = Op::kDefense;
+  } else if (name == "strategy") {
+    request.op = Op::kStrategy;
   } else if (name == "stats") {
     request.op = Op::kStats;
   } else if (name == "health") {
@@ -112,18 +116,23 @@ std::string ParseRequest(std::string_view line, Request* out) {
   }
 
   if (request.op == Op::kImpact || request.op == Op::kDetect ||
-      request.op == Op::kDefense) {
+      request.op == Op::kDefense || request.op == Op::kStrategy) {
     if (!RequireAsn(object, "victim", &request.victim, &error)) return error;
     if (!RequireAsn(object, "attacker", &request.attacker, &error)) return error;
     if (request.victim == request.attacker) {
       return "victim and attacker must differ";
     }
-    const Json* violate = object.Find("violate");
-    if (violate != nullptr) {
-      if (violate->GetType() != Json::Type::kBool) {
-        return "field 'violate' must be a boolean";
+    // "violate" picks the fixed attacker's valley stance; the strategy op's
+    // search space already spans policy-violating exports, so the knob does
+    // not apply there (and must stay zero for CanonicalKey uniformity).
+    if (request.op != Op::kStrategy) {
+      const Json* violate = object.Find("violate");
+      if (violate != nullptr) {
+        if (violate->GetType() != Json::Type::kBool) {
+          return "field 'violate' must be a boolean";
+        }
+        request.violate_valley_free = violate->AsBool();
       }
-      request.violate_valley_free = violate->AsBool();
     }
   }
   if (request.op == Op::kRoute) {
@@ -131,13 +140,26 @@ std::string ParseRequest(std::string_view line, Request* out) {
     if (!RequireAsn(object, "observer", &request.observer, &error)) return error;
   }
   if (request.op == Op::kImpact || request.op == Op::kDetect ||
-      request.op == Op::kRoute || request.op == Op::kDefense) {
+      request.op == Op::kRoute || request.op == Op::kDefense ||
+      request.op == Op::kStrategy) {
     std::uint64_t value = 0;
     bool found = false;
     if (!ReadBoundedInt(object, "lambda", 1, 64, &value, &found, &error)) {
       return error;
     }
     if (found) request.lambda = static_cast<int>(value);
+  }
+  if (request.op == Op::kStrategy) {
+    std::uint64_t value = 0;
+    bool found = false;
+    if (!ReadBoundedInt(object, "beam", 1, 16, &value, &found, &error)) {
+      return error;
+    }
+    if (found) request.beam = static_cast<std::size_t>(value);
+    if (!ReadBoundedInt(object, "rounds", 1, 8, &value, &found, &error)) {
+      return error;
+    }
+    if (found) request.search_rounds = static_cast<std::size_t>(value);
   }
   if (request.op == Op::kDefense) {
     request.deploy_frac = 1.0;
@@ -225,12 +247,16 @@ std::string CanonicalKey(const Request& request) {
   key += std::to_string(request.deploy_kinds);
   key += '|';
   key += std::to_string(request.deploy_seed);
+  key += '|';
+  key += std::to_string(request.beam);
+  key += '|';
+  key += std::to_string(request.search_rounds);
   return key;
 }
 
 bool IsCacheable(Op op) {
   return op == Op::kImpact || op == Op::kDetect || op == Op::kRoute ||
-         op == Op::kDefense;
+         op == Op::kDefense || op == Op::kStrategy;
 }
 
 std::string ErrorResponse(const std::string& message) {

@@ -21,6 +21,14 @@
 //       Runs the interception twice — undefended, and with the requested
 //       deployment active as the engines' import filter — and reports both
 //       pollution fractions.
+//   {"op":"strategy","victim":V,"attacker":A}          worst-case attacker
+//       optional: "lambda", "beam" (beam width, [1, 16], default 4),
+//                 "rounds" (mutation rounds, [1, 8], default 2)
+//       Beam-searches the strategic AttackerProgram space (per-neighbor
+//       withhold/partial-strip/poison/forced-export) for the pair and
+//       reports the worst program found next to the paper model's
+//       pollution; best >= paper by construction (the paper model seeds
+//       the beam).
 //   {"op":"stats"}                                     cache/latency/counters
 //   {"op":"health"}                                    liveness + corpus size
 //
@@ -48,7 +56,7 @@ namespace asppi::serve {
 
 using topo::Asn;
 
-enum class Op { kImpact, kDetect, kRoute, kDefense, kStats, kHealth };
+enum class Op { kImpact, kDetect, kRoute, kDefense, kStrategy, kStats, kHealth };
 
 const char* OpName(Op op);
 
@@ -65,6 +73,9 @@ struct Request {
   double deploy_frac = 0.0;
   std::uint8_t deploy_kinds = 0;     // defense::PolicyKind mask
   std::uint64_t deploy_seed = 0;
+  // strategy only; zero elsewhere (0 = use the service defaults).
+  std::size_t beam = 0;
+  std::size_t search_rounds = 0;
 };
 
 // Parses and validates one request line. Returns "" on success (filling

@@ -5,6 +5,8 @@
 
 #include "defense/deployment.h"
 #include "detect/monitors.h"
+#include "strategy/program.h"
+#include "strategy/search.h"
 #include "util/json.h"
 #include "util/metrics.h"
 
@@ -149,6 +151,8 @@ std::string QueryService::Execute(const Request& request) {
       return RunRoute(request);
     case Op::kDefense:
       return RunDefense(request);
+    case Op::kStrategy:
+      return RunStrategy(request);
     case Op::kStats:
       return RunStats();
     case Op::kHealth:
@@ -316,6 +320,47 @@ std::string QueryService::RunDefense(const Request& request) {
   return response.ToString(-1);
 }
 
+std::string QueryService::RunStrategy(const Request& request) {
+  if (!graph_.HasAs(request.victim)) {
+    return ErrorResponse("unknown victim AS" + std::to_string(request.victim));
+  }
+  if (!graph_.HasAs(request.attacker)) {
+    return ErrorResponse("unknown attacker AS" +
+                         std::to_string(request.attacker));
+  }
+  const int lambda = EffectiveLambda(request);
+  strategy::SearchOptions options;
+  options.lambda = lambda;
+  options.beam_width = request.beam > 0 ? request.beam : 4;
+  options.rounds = request.search_rounds > 0 ? request.search_rounds : 2;
+  // Candidates score serially on the calling thread (Handle is already
+  // fanned out per connection); the shared baseline cache means repeated
+  // strategy queries against a warm victim skip the baseline re-convergence.
+  options.baseline_cache = &baseline_cache_;
+  options.engine = options_.engine;
+  options.filter = ActiveDefense();
+  const strategy::Search search(graph_, options);
+  const strategy::SearchResult result =
+      search.Run(request.victim, request.attacker);
+
+  Json response = Json::Object();
+  response["ok"] = Json(true);
+  response["op"] = Json("strategy");
+  response["victim"] = Json(static_cast<std::uint64_t>(request.victim));
+  response["attacker"] = Json(static_cast<std::uint64_t>(request.attacker));
+  response["lambda"] = Json(lambda);
+  response["beam"] = Json(static_cast<std::uint64_t>(options.beam_width));
+  response["rounds"] = Json(static_cast<std::uint64_t>(options.rounds));
+  response["fraction_before"] = Json(result.best.fraction_before);
+  response["fraction_after_paper"] = Json(result.paper_after);
+  response["fraction_after_best"] = Json(result.best.fraction_after);
+  response["gap"] = Json(result.gap);
+  response["programs_scored"] =
+      Json(static_cast<std::uint64_t>(result.programs_scored));
+  response["best_program"] = Json(result.best.program.KeyString());
+  return response.ToString(-1);
+}
+
 std::string QueryService::RunStats() {
   const util::ShardedLruCache::Stats cache_stats = cache_.GetStats();
   const auto uptime = std::chrono::steady_clock::now() - start_;
@@ -325,8 +370,8 @@ std::string QueryService::RunStats() {
   response["uptime_ms"] = Json(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(uptime).count()));
   Json requests = Json::Object();
-  for (Op op : {Op::kImpact, Op::kDetect, Op::kRoute, Op::kDefense, Op::kStats,
-                Op::kHealth}) {
+  for (Op op : {Op::kImpact, Op::kDetect, Op::kRoute, Op::kDefense,
+                Op::kStrategy, Op::kStats, Op::kHealth}) {
     requests[OpName(op)] = Json(RequestCount(op));
   }
   response["requests"] = std::move(requests);

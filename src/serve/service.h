@@ -101,6 +101,7 @@ class QueryService {
   std::string RunDetect(const Request& request);
   std::string RunRoute(const Request& request);
   std::string RunDefense(const Request& request);
+  std::string RunStrategy(const Request& request);
   std::string RunStats();
   std::string RunHealth();
 
@@ -112,7 +113,7 @@ class QueryService {
   detect::AsppDetector detector_;
   util::ShardedLruCache cache_;
   util::LatencyHistogram latency_;
-  std::atomic<std::uint64_t> op_counts_[6] = {};
+  std::atomic<std::uint64_t> op_counts_[7] = {};
   std::atomic<std::size_t> warmed_baselines_{0};
   std::chrono::steady_clock::time_point start_;
 };

@@ -116,6 +116,35 @@ TEST(AsPath, FromStringRejectsGarbage) {
   EXPECT_FALSE(AsPath::FromString("99999999999999").has_value());
 }
 
+TEST(AsPath, TrimRunsOfKeepsRequestedCopies) {
+  // Partial strip: λ=5 origin run trimmed to λ'=2 removes three copies.
+  AsPath p(std::vector<Asn>{9318, 32934, 32934, 32934, 32934, 32934});
+  EXPECT_EQ(p.TrimRunsOf(32934, 2), 3);
+  EXPECT_EQ(p.ToString(), "9318 32934 32934");
+}
+
+TEST(AsPath, TrimRunsOfKeepAtLeastRunIsNoop) {
+  AsPath p(std::vector<Asn>{9318, 32934, 32934, 32934});
+  EXPECT_EQ(p.TrimRunsOf(32934, 5), 0);
+  EXPECT_EQ(p.ToString(), "9318 32934 32934 32934");
+}
+
+TEST(AsPath, TrimRunsOfOneMatchesCollapse) {
+  const std::vector<Asn> hops{7018, 4134, 4134, 9318, 32934, 32934, 32934};
+  AsPath trimmed(hops);
+  AsPath collapsed(hops);
+  EXPECT_EQ(trimmed.TrimRunsOf(32934, 1), collapsed.CollapseRunsOf(32934));
+  EXPECT_EQ(trimmed, collapsed);
+}
+
+TEST(AsPath, TrimRunsOfTrimsEveryRun) {
+  // Mid-path runs of the target are trimmed too, not just the origin run —
+  // the strip directive must not leave intermediary padding behind.
+  AsPath p(std::vector<Asn>{4, 7, 7, 7, 2, 7, 7, 7});
+  EXPECT_EQ(p.TrimRunsOf(7, 2), 2);
+  EXPECT_EQ(p.ToString(), "4 7 7 2 7 7");
+}
+
 TEST(AsPath, FromStringEmptyIsEmptyPath) {
   auto parsed = AsPath::FromString("");
   ASSERT_TRUE(parsed.has_value());

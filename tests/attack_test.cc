@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "attack/scenarios.h"
 #include "topology/builders.h"
 #include "topology/generator.h"
@@ -328,6 +331,109 @@ TEST(AsppAttack, StripsIntermediaryPrepending) {
   const auto& at3 = after.BestAt(3);
   ASSERT_TRUE(at3.has_value());
   EXPECT_EQ(at3->path.MaxRunOf(2), 4);  // attacker's own RIB keeps the pads
+}
+
+// --- λ recording with per-neighbor policies ---------------------------------
+
+TEST(AttackOutcomeLambda, PerNeighborOverridesUseRealNeighborMax) {
+  // Victim 100's only neighbors are providers 11 and 12 (DualHomedStub).
+  // Once both carry overrides below the default, the default 6 is dead
+  // configuration: the recorded λ must be the strongest padding an on-path
+  // attacker can actually strip (4), not the configured maximum.
+  AsGraph g = topo::DualHomedStub();
+  AttackSimulator sim(g);
+  bgp::Announcement ann;
+  ann.origin = 100;
+  ann.prepends.SetDefault(100, 6);
+  ann.prepends.SetForNeighbor(100, 11, 3);
+  ann.prepends.SetForNeighbor(100, 12, 4);
+  AttackOutcome outcome = sim.RunAsppInterceptionWithPolicy(ann, 12);
+  EXPECT_EQ(outcome.lambda, 4);
+  EXPECT_EQ(ann.prepends.MaxPadsOf(100), 6);  // config max still overstates
+}
+
+TEST(AttackOutcomeLambda, LiveDefaultStillCounts) {
+  // Only neighbor 11 is overridden; 12 falls back to the default 6, so the
+  // default is genuinely announced and stays the recorded maximum.
+  AsGraph g = topo::DualHomedStub();
+  AttackSimulator sim(g);
+  bgp::Announcement ann;
+  ann.origin = 100;
+  ann.prepends.SetDefault(100, 6);
+  ann.prepends.SetForNeighbor(100, 11, 3);
+  AttackOutcome outcome = sim.RunAsppInterceptionWithPolicy(ann, 12);
+  EXPECT_EQ(outcome.lambda, 6);
+}
+
+// --- multi-colluder RunTransform --------------------------------------------
+
+namespace {
+
+// Minimal two-colluder interceptor: every listed colluder collapses the
+// victim's padding on export. Lives here rather than in attack:: because the
+// production multi-colluder path goes through strategy::ProgramTransform.
+class StripAtColluders final : public bgp::RouteTransform {
+ public:
+  StripAtColluders(std::vector<Asn> colluders, Asn victim)
+      : colluders_(std::move(colluders)), victim_(victim) {}
+  bgp::ExportAction OnExport(Asn exporter, Asn, Relation, Relation,
+                             bgp::AsPath& path) override {
+    if (std::binary_search(colluders_.begin(), colluders_.end(), exporter)) {
+      path.CollapseRunsOf(victim_);
+    }
+    return bgp::ExportAction::kDefault;
+  }
+  bool MightOverride(Asn) const override { return false; }
+
+ private:
+  std::vector<Asn> colluders_;
+  Asn victim_;
+};
+
+}  // namespace
+
+TEST(MultiColluderTransform, OutcomeRecordsColludersAndAnyColluderPollution) {
+  AsGraph g = topo::FacebookAnomalyTopology();
+  AttackSimulator sim(g);
+  bgp::Announcement ann;
+  ann.origin = topo::fb::kFacebook;
+  ann.prepends.SetDefault(topo::fb::kFacebook, 5);
+  const std::vector<Asn> colluders{topo::fb::kChinaTelecom,
+                                   topo::fb::kSkTelecom};
+  StripAtColluders transform(colluders, topo::fb::kFacebook);
+  AttackOutcome outcome = sim.RunTransform(ann, colluders, transform);
+  EXPECT_EQ(outcome.victim, topo::fb::kFacebook);
+  EXPECT_EQ(outcome.attacker, topo::fb::kChinaTelecom);  // first colluder
+  EXPECT_EQ(outcome.colluders, colluders);
+  EXPECT_EQ(outcome.lambda, 5);
+  EXPECT_TRUE(outcome.converged);
+  // The fraction counts ASes (outside the colluder set and the victim)
+  // whose best path traverses *any* colluder, over a denominator that
+  // excludes all colluders — recompute it by hand from the converged RIB.
+  std::size_t traversing = 0;
+  std::size_t counted = 0;
+  for (Asn asn : g.Ases()) {
+    if (asn == topo::fb::kFacebook ||
+        std::binary_search(colluders.begin(), colluders.end(), asn)) {
+      continue;
+    }
+    ++counted;
+    const auto& best = outcome.after.BestAt(asn);
+    if (best.has_value() && (best->path.Contains(topo::fb::kChinaTelecom) ||
+                             best->path.Contains(topo::fb::kSkTelecom))) {
+      ++traversing;
+    }
+  }
+  EXPECT_GT(outcome.fraction_after, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.fraction_after,
+                   static_cast<double>(traversing) /
+                       static_cast<double>(counted));
+  for (Asn polluted : outcome.newly_polluted) {
+    const auto& best = outcome.after.BestAt(polluted);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->path.Contains(topo::fb::kChinaTelecom) ||
+                best->path.Contains(topo::fb::kSkTelecom));
+  }
 }
 
 TEST(AsppAttack, StripTargetDefaultsToVictim) {

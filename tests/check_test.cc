@@ -304,6 +304,36 @@ TEST(Scenario, ExplicitModeSerializeParseRoundTrip) {
   EXPECT_EQ(parsed->monitor_list, (std::vector<Asn>{1, 3}));
 }
 
+TEST(Scenario, StrategyKnobsSerializeParseRoundTrip) {
+  Scenario s;
+  s.topo_seed = 12345;
+  s.strat_colluders = 3;
+  s.strat_overrides = 5;
+  s.strat_poison = false;
+  s.strat_withhold = false;
+
+  std::string error;
+  const auto parsed = Scenario::Parse(s.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Serialize(), s.Serialize());
+  EXPECT_EQ(parsed->strat_colluders, 3u);
+  EXPECT_EQ(parsed->strat_overrides, 5u);
+  EXPECT_FALSE(parsed->strat_poison);
+  EXPECT_FALSE(parsed->strat_withhold);
+}
+
+TEST(Scenario, StrategyKnobsDefaultWhenAbsent) {
+  // Pre-leg-6 corpus files carry no strat_ keys; they must parse to the
+  // defaults so committed regressions keep replaying byte-identically.
+  std::string error;
+  const auto parsed = Scenario::Parse("mode=gen\nseed=7\n", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->strat_colluders, 1u);
+  EXPECT_EQ(parsed->strat_overrides, 2u);
+  EXPECT_TRUE(parsed->strat_poison);
+  EXPECT_TRUE(parsed->strat_withhold);
+}
+
 TEST(Scenario, ParseRejectsUnknownKeysAndBadValues) {
   std::string error;
   EXPECT_FALSE(Scenario::Parse("bogus=1\n", &error).has_value());

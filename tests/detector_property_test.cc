@@ -5,11 +5,17 @@
 // runs — so detector properties are pinned once and enforced everywhere.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "attack/impact.h"
 #include "check/invariants.h"
+#include "defense/deployment.h"
+#include "defense/policy.h"
 #include "detect/detector.h"
 #include "detect/evaluation.h"
 #include "detect/monitors.h"
+#include "strategy/program.h"
+#include "topology/as_graph.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 
@@ -153,6 +159,138 @@ TEST_P(DetectorProperties, AttackAlarmsSurviveMonitorSubsets) {
           .detected;
   if (detected_small) {
     EXPECT_TRUE(detected_large);
+  }
+}
+
+TEST_P(DetectorProperties, WithholdingAttackerNeverFramesInnocents) {
+  // Strategic attackers that withhold on random edges (uniform strip, no
+  // poison): whenever the attacked state converges, every high-confidence
+  // accusation must land inside the colluding set — withdrawn routes make
+  // monitors reroute through innocent ASes, and none of those reroutes may
+  // read as padding removal by the innocent AS. Checked undefended and under
+  // a partial defense deployment (the filter changes which routes spread, not
+  // the soundness of the witness rule).
+  GeneratedTopology gen = MakeTopo(GetParam());
+  attack::AttackSimulator sim(gen.graph);
+  auto monitors = TopDegreeMonitors(gen.graph, 60);
+  util::Rng rng(util::DeriveSeed(GetParam(), 81));
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const Asn victim = gen.stubs[rng.Below(gen.stubs.size())];
+    const Asn attacker = gen.tier2[rng.Below(gen.tier2.size())];
+    if (victim == attacker) continue;
+    const int lambda = 3 + static_cast<int>(rng.Below(3));
+    strategy::DrawLimits limits;
+    limits.allow_poison = false;  // poison frames by design; excluded here
+    limits.allow_withhold = true;
+    const std::vector<Asn> colluders{attacker};
+    strategy::AttackerProgram program = strategy::DrawProgram(
+        gen.graph, victim, colluders, lambda, limits, rng);
+
+    bgp::Announcement ann;
+    ann.origin = victim;
+    ann.prepends.SetDefault(victim, lambda);
+    const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+        gen.graph, defense::Strategy::kTopDegree, victim, attacker,
+        GetParam());
+    const defense::PolicySet deployment =
+        plan.AtFraction(0.5, defense::kAllPolicies);
+
+    for (const defense::PolicySet* filter :
+         {static_cast<const defense::PolicySet*>(nullptr), &deployment}) {
+      strategy::ProgramTransform transform(program);
+      attack::AttackOutcome outcome = sim.RunTransform(
+          ann, program.Colluders(), transform, filter);
+      if (!outcome.converged) continue;  // cap snapshots void the oracle
+      // Baseline monitor paths come from the shared attack-free state.
+      MonitorPaths prev_paths = PathsOf(*outcome.before, monitors);
+      MonitorPaths cur_paths;
+      for (Asn m : monitors) {
+        const auto& best = outcome.after.BestAt(m);
+        if (best.has_value()) cur_paths.emplace_back(m, best->path);
+      }
+      check::Violations violations;
+      check::Invariants::CheckStrategicAttack(
+          gen.graph, program, outcome.after.Full(), prev_paths, cur_paths,
+          outcome.converged, violations);
+      EXPECT_TRUE(violations.empty())
+          << "victim AS" << victim << " attacker AS" << attacker
+          << (filter ? " (defended)" : " (undefended)");
+      for (const std::string& violation : violations) {
+        ADD_FAILURE() << violation;
+      }
+    }
+  }
+}
+
+TEST(DetectorEvasion, WithholdingTowardMonitorsHidesTheAttack) {
+  // The missed-detection face of withholding: an attacker that exports the
+  // stripped route only downhill, withholding on every edge that leads
+  // toward the vantage points, pollutes its customer cone while every
+  // monitor's path is unchanged — the detector sees nothing, defended or
+  // not. Hand-built so the outcome is exact:
+  //
+  //        3 ══ 2          (peers)
+  //        │    │ \
+  //        7    6  \       (AS6 under AS2; AS7 under AS3)
+  //        │    │   \
+  //        4    │    1     (victim, dual-homed under 2 and 3)
+  //         \   │
+  //          \  │
+  //            5           (dual-homed under 4 and 6)
+  topo::GraphBuilder b;
+  b.AddLink(2, 1, topo::Relation::kCustomer);
+  b.AddLink(3, 1, topo::Relation::kCustomer);
+  b.AddLink(2, 3, topo::Relation::kPeer);
+  b.AddLink(2, 6, topo::Relation::kCustomer);
+  b.AddLink(3, 7, topo::Relation::kCustomer);
+  b.AddLink(7, 4, topo::Relation::kCustomer);
+  b.AddLink(4, 5, topo::Relation::kCustomer);
+  b.AddLink(6, 5, topo::Relation::kCustomer);
+  const topo::AsGraph graph = b.Freeze();
+
+  // Victim AS1 pads ×3; AS5's honest best is the 5-hop route via AS6, not
+  // the 6-hop route via the attacker AS4.
+  bgp::Announcement ann;
+  ann.origin = 1;
+  ann.prepends.SetDefault(1, 3);
+  strategy::AttackerProgram program(/*victim=*/1, {4});
+  program.SetDefault(4, strategy::Directive{strategy::Send::kWithhold, 1, {}});
+  program.SetForNeighbor(
+      4, 5, strategy::Directive{strategy::Send::kAsCustomer, 1, {}});
+
+  attack::AttackSimulator sim(graph);
+  const std::vector<Asn> monitors{2, 3, 6, 7};
+  const defense::DeploymentPlan plan = defense::DeploymentPlan::Make(
+      graph, defense::Strategy::kTopDegree, 1, 4, /*seed=*/1);
+  const defense::PolicySet deployment =
+      plan.AtFraction(1.0, defense::kAllPolicies);
+
+  for (const defense::PolicySet* filter :
+       {static_cast<const defense::PolicySet*>(nullptr), &deployment}) {
+    strategy::ProgramTransform transform(program);
+    attack::AttackOutcome outcome =
+        sim.RunTransform(ann, program.Colluders(), transform, filter);
+    ASSERT_TRUE(outcome.converged);
+    if (filter == nullptr) {
+      // The stripped 4-hop route wins AS5 over: real interception happened.
+      EXPECT_EQ(outcome.newly_polluted, std::vector<Asn>{5});
+      ASSERT_TRUE(outcome.after.BestAt(5).has_value());
+      EXPECT_EQ(outcome.after.BestAt(5)->path.ToString(), "4 7 3 1");
+    }
+    // Yet every monitor's path is byte-identical to the baseline, so the
+    // detector has no signal at all — defended or not (a full deployment may
+    // additionally block the stripped import at AS5, but it cannot conjure
+    // a signal the monitors never receive).
+    MonitorPaths prev_paths = PathsOf(*outcome.before, monitors);
+    MonitorPaths cur_paths;
+    for (Asn m : monitors) {
+      const auto& best = outcome.after.BestAt(m);
+      if (best.has_value()) cur_paths.emplace_back(m, best->path);
+    }
+    EXPECT_EQ(prev_paths, cur_paths);
+    AsppDetector detector(&graph);
+    EXPECT_TRUE(detector.Scan(1, prev_paths, cur_paths).empty());
   }
 }
 

@@ -1,10 +1,42 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "bgp/policy.h"
 #include "bgp/route.h"
 
 namespace asppi::bgp {
 namespace {
+
+// --- MaxPadsToward ----------------------------------------------------------
+
+TEST(PrependPolicy, MaxPadsTowardIgnoresDeadDefault) {
+  // Every listed neighbor carries an override, so the default 6 is dead
+  // configuration: no receiver ever sees it, and the neighbor-aware maximum
+  // reports what an on-path attacker can actually strip.
+  PrependPolicy policy;
+  policy.SetDefault(100, 6);
+  policy.SetForNeighbor(100, 11, 3);
+  policy.SetForNeighbor(100, 12, 4);
+  const std::vector<Asn> neighbors{11, 12};
+  EXPECT_EQ(policy.MaxPadsToward(100, neighbors), 4);
+  EXPECT_EQ(policy.MaxPadsOf(100), 6);  // the config max keeps overstating
+}
+
+TEST(PrependPolicy, MaxPadsTowardCountsLiveDefault) {
+  PrependPolicy policy;
+  policy.SetDefault(100, 6);
+  policy.SetForNeighbor(100, 11, 3);
+  const std::vector<Asn> neighbors{11, 12};  // 12 falls back to the default
+  EXPECT_EQ(policy.MaxPadsToward(100, neighbors), 6);
+}
+
+TEST(PrependPolicy, MaxPadsTowardEmptyNeighborsFallsBackToConfigMax) {
+  PrependPolicy policy;
+  policy.SetDefault(100, 6);
+  policy.SetForNeighbor(100, 11, 8);
+  EXPECT_EQ(policy.MaxPadsToward(100, {}), 8);
+}
 
 // --- local preference ------------------------------------------------------
 

@@ -219,6 +219,58 @@ TEST(Protocol, DefenseCanonicalKeySeparatesDeployments) {
             CanonicalKey(parse(R"({"op":"impact","victim":7,"attacker":9})")));
 }
 
+TEST(Protocol, ParsesStrategyWithDefaults) {
+  Request request;
+  ASSERT_EQ(ParseRequest(R"({"op":"strategy","victim":7,"attacker":9})",
+                         &request),
+            "");
+  EXPECT_EQ(request.op, Op::kStrategy);
+  EXPECT_EQ(request.victim, 7u);
+  EXPECT_EQ(request.attacker, 9u);
+  EXPECT_EQ(request.beam, 0u);          // 0 = use the service default
+  EXPECT_EQ(request.search_rounds, 0u);
+  ASSERT_EQ(ParseRequest(R"({"op":"strategy","victim":7,"attacker":9,)"
+                         R"("lambda":4,"beam":8,"rounds":3})",
+                         &request),
+            "");
+  EXPECT_EQ(request.lambda, 4);
+  EXPECT_EQ(request.beam, 8u);
+  EXPECT_EQ(request.search_rounds, 3u);
+}
+
+TEST(Protocol, StrategyRejectsOutOfRangeSearchKnobs) {
+  Request request;
+  for (const char* line : {
+           R"({"op":"strategy","victim":7,"attacker":9,"beam":0})",
+           R"({"op":"strategy","victim":7,"attacker":9,"beam":17})",
+           R"({"op":"strategy","victim":7,"attacker":9,"rounds":0})",
+           R"({"op":"strategy","victim":7,"attacker":9,"rounds":9})",
+       }) {
+    EXPECT_NE(ParseRequest(line, &request), "") << "accepted: " << line;
+  }
+}
+
+TEST(Protocol, StrategyCanonicalKeySeparatesSearchKnobs) {
+  auto parse = [](const std::string& line) {
+    Request request;
+    EXPECT_EQ(ParseRequest(line, &request), "") << line;
+    return request;
+  };
+  const Request base =
+      parse(R"({"op":"strategy","victim":7,"attacker":9})");
+  EXPECT_EQ(CanonicalKey(base),
+            CanonicalKey(parse(
+                R"({ "attacker": 9, "op": "strategy", "victim": 7 })")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(
+                R"({"op":"strategy","victim":7,"attacker":9,"beam":8})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(
+                R"({"op":"strategy","victim":7,"attacker":9,"rounds":3})")));
+  EXPECT_NE(CanonicalKey(base),
+            CanonicalKey(parse(R"({"op":"impact","victim":7,"attacker":9})")));
+}
+
 TEST(Protocol, CacheabilityAndErrors) {
   EXPECT_TRUE(IsCacheable(Op::kImpact));
   EXPECT_TRUE(IsCacheable(Op::kDetect));
@@ -262,6 +314,38 @@ TEST_F(ServiceTest, ImpactMatchesDirectSimulation) {
             static_cast<double>(outcome.newly_polluted.size()));
   EXPECT_EQ(json.Find("lambda")->AsDouble(),
             static_cast<double>(service.Options().default_lambda));
+}
+
+TEST_F(ServiceTest, StrategyOpDominatesThePaperModel) {
+  QueryService service(gen_.graph, {});
+  const topo::Asn victim = gen_.stubs[2];
+  const topo::Asn attacker = gen_.tier2[0];
+  const std::string line =
+      R"({"op":"strategy","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) +
+      R"(,"beam":2,"rounds":1})";
+  const util::Json json = MustParse(service.Handle(line));
+  ASSERT_TRUE(json.Find("ok")->AsBool());
+  const double paper = json.Find("fraction_after_paper")->AsDouble();
+  const double best = json.Find("fraction_after_best")->AsDouble();
+  EXPECT_GE(best, paper);  // the dominance gate, served over the wire
+  EXPECT_DOUBLE_EQ(json.Find("gap")->AsDouble(), best - paper);
+  EXPECT_GT(json.Find("programs_scored")->AsDouble(), 0.0);
+  EXPECT_FALSE(json.Find("best_program")->AsString().empty());
+  EXPECT_EQ(json.Find("beam")->AsDouble(), 2.0);
+  EXPECT_EQ(json.Find("rounds")->AsDouble(), 1.0);
+
+  // The search's paper-model seed is the impact op's attacker: the scores
+  // must agree exactly, or the served gap would be measured against a
+  // different baseline than the one the impact endpoint reports.
+  const util::Json impact = MustParse(service.Handle(
+      R"({"op":"impact","victim":)" + std::to_string(victim) +
+      R"(,"attacker":)" + std::to_string(attacker) + "}"));
+  ASSERT_TRUE(impact.Find("ok")->AsBool());
+  EXPECT_EQ(impact.Find("fraction_after")->AsDouble(), paper);
+
+  const util::Json stats = MustParse(service.Handle(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.Find("requests")->Find("strategy")->AsDouble(), 1.0);
 }
 
 TEST_F(ServiceTest, RouteMatchesConvergedBaseline) {
