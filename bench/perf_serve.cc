@@ -10,9 +10,20 @@
 //   3. Overload shedding: a deliberately tiny admission bound under the same
 //      loadgen must produce `overloaded` responses (bounded queues shedding
 //      load) rather than unbounded buffering.
+//   4. Reactor vs threaded (the BENCH_serve_slo leg):
+//        a. byte equivalence — a fixed scripted request sequence must produce
+//           identical response bytes from the threaded server, the reactor
+//           with batching, and the reactor without (exit non-zero on any
+//           mismatch);
+//        b. connection ceiling — admitted-connection probe; the reactor must
+//           carry >= 4x the threaded server's default ceiling (exit non-zero
+//           if not: this gate is count-based, so sanitizer legs keep it);
+//        c. open-loop SLO curves — load::FindMaxSustainableRps per server
+//           flavor, recorded (not gated: sanitizers distort timing).
 //
 // --smoke shrinks everything for CI (seconds of work); its JSON run report
-// is the artifact the CI serve job uploads.
+// (--json=BENCH_serve_slo-<leg>.json in CI) is the artifact the serve job
+// uploads.
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -21,10 +32,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "bench/experiment.h"
 #include "data/snapshot.h"
+#include "load/loadgen.h"
+#include "serve/epoch.h"
+#include "serve/reactor.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "topology/serialization.h"
@@ -131,6 +146,84 @@ std::string ImpactRequest(topo::Asn victim, topo::Asn attacker) {
 std::string RouteRequest(topo::Asn origin, topo::Asn observer) {
   return "{\"op\":\"route\",\"origin\":" + std::to_string(origin) +
          ",\"observer\":" + std::to_string(observer) + "}";
+}
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Pipelines the whole script down one connection, half-closes, reads the full
+// response stream — the transcript both servers must agree on byte-for-byte.
+std::string FetchTranscript(int port, const std::string& script) {
+  const int fd = ConnectTo(port);
+  if (fd < 0) return "<connect failed>";
+  std::size_t sent = 0;
+  while (sent < script.size()) {
+    const ssize_t n =
+        ::send(fd, script.data() + sent, script.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "<send failed>";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string transcript;
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    transcript.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return transcript;
+}
+
+// Opens connections one at a time (held open), issuing a health query on
+// each; returns how many were admitted (answered ok). Over-ceiling accepts
+// answer `overloaded` (threaded) or close silently (reactor) — either way
+// they don't count.
+std::size_t ProbeConnectionCeiling(int port, std::size_t attempts) {
+  std::vector<int> held;
+  held.reserve(attempts);
+  std::size_t admitted = 0;
+  const std::string health = "{\"op\":\"health\"}\n";
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const int fd = ConnectTo(port);
+    if (fd < 0) continue;
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    bool ok = ::send(fd, health.data(), health.size(), MSG_NOSIGNAL) ==
+              static_cast<ssize_t>(health.size());
+    std::string line;
+    char c;
+    while (ok && line.find('\n') == std::string::npos) {
+      const ssize_t n = ::recv(fd, &c, 1, 0);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      line.push_back(c);
+    }
+    if (ok && line.find("\"ok\":true") != std::string::npos) {
+      ++admitted;
+      held.push_back(fd);  // stays open so the ceiling fills up
+    } else {
+      ::close(fd);
+    }
+  }
+  for (const int fd : held) ::close(fd);
+  return admitted;
 }
 
 }  // namespace
@@ -348,8 +441,134 @@ int main(int argc, char** argv) {
   }
 
   e.PrintTable(table);
+
+  // ---- Phase 4: reactor vs threaded (byte equivalence, connection ceiling,
+  // open-loop SLO curves). ---------------------------------------------------
+  int exit_code = 0;
+  struct Flavor {
+    const char* name;
+    bool reactor;
+    bool batch;
+  };
+  const Flavor kFlavors[] = {{"threaded", false, false},
+                             {"reactor-batch", true, true},
+                             {"reactor-nobatch", true, false}};
+
+  // 4a. Byte equivalence on a fixed scripted sequence. The script excludes
+  // `stats` (uptime varies) — everything else must match byte-for-byte.
+  load::WorkloadOptions script_options;
+  script_options.seed = 42;
+  script_options.as_count = static_cast<std::uint32_t>(graph.NumAses());
+  script_options.mix = "impact:50,route:25,detect:15,defense:5,health:5";
+  const std::string script = load::Workload(script_options)
+                                 .Script(e.Flags().GetBool("smoke") ? 160 : 400);
+
+  std::vector<std::string> transcripts;
+  util::Table slo_table({"mode", "admitted_conns", "max_sustainable_rps",
+                         "p50_us", "p99_us", "p999_us"});
+  const std::size_t ceiling_attempts = 280;  // > 4x the threaded default (64)
+  load::LoadGenOptions lg;
+  lg.connections = 8;
+  lg.duration_ms = e.Flags().GetBool("smoke") ? 500 : 1500;
+  lg.workload.as_count = static_cast<std::uint32_t>(graph.NumAses());
+  load::SloTarget slo;
+  slo.p99_ms = 50.0;
+  const double start_rps = 100.0;
+  const double max_rps = e.Flags().GetBool("smoke") ? 1600.0 : 12800.0;
+  const int refine = e.Flags().GetBool("smoke") ? 1 : 3;
+
+  std::size_t threaded_admitted = 0;
+  for (const Flavor& flavor : kFlavors) {
+    // Every flavor serves from an identical cold start — same snapshot, fresh
+    // service and caches — so the transcripts (health reports baseline
+    // counts) and the SLO curves are comparable.
+    serve::ServiceOptions phase4_options;
+    phase4_options.cache_capacity = 4096;
+    serve::QueryService phase4_service(snapshot.Graph(), snapshot.Policy(),
+                                       phase4_options);
+    phase4_service.WarmBaselines(snapshot.Baselines());
+    serve::EpochManager epochs;
+    epochs.Install(serve::MakeUnownedEpoch(&phase4_service));
+
+    std::unique_ptr<serve::Server> threaded;
+    std::unique_ptr<serve::ReactorServer> reactor;
+    int port = 0;
+    if (flavor.reactor) {
+      serve::ReactorOptions options;
+      options.batch = flavor.batch;
+      reactor = std::make_unique<serve::ReactorServer>(&epochs, e.Pool(),
+                                                       options);
+      err = reactor->Start();
+      port = reactor ? reactor->Port() : 0;
+    } else {
+      threaded = std::make_unique<serve::Server>(&epochs, e.Pool(),
+                                                 serve::ServerOptions{});
+      err = threaded->Start();
+      port = threaded ? threaded->Port() : 0;
+    }
+    if (!err.empty()) {
+      std::fprintf(stderr, "error starting %s server: %s\n", flavor.name,
+                   err.c_str());
+      return 1;
+    }
+
+    transcripts.push_back(FetchTranscript(port, script));
+
+    const std::size_t admitted = ProbeConnectionCeiling(port, ceiling_attempts);
+    if (!flavor.reactor) threaded_admitted = admitted;
+
+    lg.port = static_cast<std::uint16_t>(port);
+    const load::SweepResult sweep =
+        load::FindMaxSustainableRps(lg, slo, start_rps, max_rps, refine);
+    const load::SweepPoint* best = nullptr;
+    for (const load::SweepPoint& point : sweep.points) {
+      if (point.meets_slo &&
+          (best == nullptr || point.rate_rps > best->rate_rps)) {
+        best = &point;
+      }
+    }
+    slo_table.Row()
+        .Cell(flavor.name)
+        .Cell(static_cast<std::uint64_t>(admitted))
+        .Cell(sweep.max_sustainable_rps, 0)
+        .Cell(best != nullptr ? best->report.p50_us : 0)
+        .Cell(best != nullptr ? best->report.p99_us : 0)
+        .Cell(best != nullptr ? best->report.p999_us : 0);
+
+    if (flavor.reactor) {
+      reactor->Stop();
+    } else {
+      threaded->Stop();
+    }
+
+    if (flavor.reactor && threaded_admitted > 0 &&
+        admitted < 4 * threaded_admitted) {
+      e.Note("** connection-ceiling gate FAILED: %s admitted %zu < 4x "
+             "threaded (%zu)",
+             flavor.name, admitted, threaded_admitted);
+      exit_code = 1;
+    }
+  }
+  e.PrintTable(slo_table);
+
+  for (std::size_t i = 1; i < transcripts.size(); ++i) {
+    if (transcripts[i] != transcripts[0]) {
+      e.Note("** byte-equivalence gate FAILED: %s transcript differs from "
+             "%s (%zu vs %zu bytes)",
+             kFlavors[i].name, kFlavors[0].name, transcripts[i].size(),
+             transcripts[0].size());
+      exit_code = 1;
+    }
+  }
+  if (exit_code == 0) {
+    e.Note("byte equivalence: %zu scripted requests identical across "
+           "threaded / reactor-batch / reactor-nobatch (%zu response bytes)",
+           static_cast<std::size_t>(e.Flags().GetBool("smoke") ? 160 : 400),
+           transcripts[0].size());
+  }
+
   std::remove(topo_path.c_str());
   std::remove(snap_path.c_str());
   std::remove(bare_snap_path.c_str());
-  return e.Finish();
+  return e.Finish(exit_code);
 }

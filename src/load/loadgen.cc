@@ -1,0 +1,317 @@
+#include "load/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/fd.h"
+#include "net/frames.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace asppi::load {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadMetrics {
+  util::Counter sent{"load.gen.sent"};
+  util::Counter answered{"load.gen.answered"};
+  util::Counter overloaded{"load.gen.overloaded"};
+  util::Counter errors{"load.gen.errors"};
+};
+
+LoadMetrics& Instr() {
+  static LoadMetrics* m = new LoadMetrics();
+  return *m;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+net::ScopedFd ConnectLoopback(std::uint16_t port) {
+  net::ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return net::ScopedFd();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int rc = static_cast<int>(net::RetryOnEintr([&] {
+    return ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  }));
+  if (rc < 0) return net::ScopedFd();
+  net::SetTcpNoDelay(fd.get());
+  return fd;
+}
+
+// One generator connection: the sender pushes scheduled timestamps, the
+// reader pops them as responses arrive (per-connection FIFO order holds on
+// both server implementations).
+struct GenConn {
+  net::ScopedFd fd;
+  std::mutex mu;
+  std::deque<std::uint64_t> scheduled_ns;
+  std::uint64_t sent = 0;
+  std::uint64_t answered = 0;
+};
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = net::RetryOnEintr([&] {
+      return ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    });
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string LoadReport::ToString() const {
+  return util::Format(
+      "rate=%.0frps achieved=%.0frps sent=%llu ok=%llu overloaded=%llu "
+      "errors=%llu unanswered=%llu p50=%lluus p99=%lluus p999=%lluus",
+      target_rps, achieved_rps, static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(overloaded),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(unanswered),
+      static_cast<unsigned long long>(p50_us),
+      static_cast<unsigned long long>(p99_us),
+      static_cast<unsigned long long>(p999_us));
+}
+
+LoadReport RunLoad(const LoadGenOptions& options) {
+  LoadReport report;
+  report.target_rps = options.rate_rps;
+
+  const int conn_count = options.connections > 0 ? options.connections : 1;
+  std::vector<std::unique_ptr<GenConn>> conns;
+  for (int i = 0; i < conn_count; ++i) {
+    auto conn = std::make_unique<GenConn>();
+    conn->fd = ConnectLoopback(options.port);
+    if (!conn->fd.valid()) {
+      ++report.connect_failures;
+      continue;
+    }
+    conns.push_back(std::move(conn));
+  }
+  if (conns.empty()) return report;
+
+  util::LatencyHistogram latency;
+  std::atomic<std::uint64_t> max_ns{0};
+  std::atomic<std::uint64_t> ok{0}, overloaded{0}, errors{0};
+  std::atomic<bool> sender_done{false};
+
+  // Reader per connection: split response lines, pop the scheduled send
+  // instant, classify by body. Readers exit on EOF (server closed) or once
+  // the sender is done and every sent request on this conn is answered.
+  std::vector<std::thread> readers;
+  readers.reserve(conns.size());
+  for (auto& conn_ptr : conns) {
+    GenConn* conn = conn_ptr.get();
+    readers.push_back(std::thread([&, conn] {
+      net::LineSplitter splitter(1 << 20);
+      std::vector<std::string> lines;
+      char buf[16 * 1024];
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (sender_done.load(std::memory_order_acquire) &&
+              conn->answered >= conn->sent) {
+            return;
+          }
+        }
+        const ssize_t n = net::RetryOnEintr(
+            [&] { return ::recv(conn->fd.get(), buf, sizeof(buf), 0); });
+        if (n <= 0) return;  // EOF/reset (or drain shutdown closed the fd)
+        lines.clear();
+        splitter.Feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                      &lines);
+        const std::uint64_t now = NowNs();
+        for (const std::string& line : lines) {
+          std::uint64_t scheduled = 0;
+          {
+            std::lock_guard<std::mutex> lock(conn->mu);
+            if (conn->scheduled_ns.empty()) continue;  // unsolicited line
+            scheduled = conn->scheduled_ns.front();
+            conn->scheduled_ns.pop_front();
+            ++conn->answered;
+          }
+          const std::uint64_t ns = now > scheduled ? now - scheduled : 0;
+          latency.RecordNs(ns);
+          std::uint64_t prev = max_ns.load(std::memory_order_relaxed);
+          while (ns > prev &&
+                 !max_ns.compare_exchange_weak(prev, ns,
+                                               std::memory_order_relaxed)) {
+          }
+          Instr().answered.Add();
+          if (line.find("\"ok\":true") != std::string::npos) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (line.find("overloaded") != std::string::npos) {
+            overloaded.fetch_add(1, std::memory_order_relaxed);
+            Instr().overloaded.Add();
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            Instr().errors.Add();
+          }
+        }
+      }
+    }));
+  }
+
+  // Open-loop sender: the schedule is drawn up front from the Poisson
+  // process; lateness (slow server → blocking send) shifts actual sends but
+  // never the timestamps latency is measured against.
+  const Workload workload(options.workload);
+  util::Rng gap_rng(util::DeriveSeed(options.workload.seed, 0x10adu));
+  const auto start = Clock::now();
+  const auto window_end =
+      start + std::chrono::milliseconds(options.duration_ms);
+  double next_send_s = 0.0;
+  std::uint64_t sent = 0;
+  std::size_t round_robin = 0;
+  for (;;) {
+    const auto scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(next_send_s));
+    if (scheduled >= window_end) break;
+    std::this_thread::sleep_until(scheduled);
+
+    GenConn* conn = conns[round_robin++ % conns.size()].get();
+    const std::string line = workload.Line(sent) + "\n";
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->scheduled_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              scheduled.time_since_epoch())
+              .count()));
+      ++conn->sent;
+    }
+    if (!SendAll(conn->fd.get(), line)) {
+      // Connection died mid-run; its queued timestamps become unanswered.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      --conn->sent;
+      conn->scheduled_ns.pop_back();
+      ++sent;  // count the attempt so achieved_rps reflects reality
+      Instr().sent.Add();
+      continue;
+    }
+    ++sent;
+    Instr().sent.Add();
+    // Exponential inter-arrival gap: a Poisson stream at rate_rps.
+    next_send_s += -std::log(1.0 - gap_rng.Uniform()) / options.rate_rps;
+  }
+  sender_done.store(true, std::memory_order_release);
+
+  // Drain: give in-flight responses a bounded window, then cut the sockets
+  // out from under any still-blocked reader.
+  const auto drain_deadline =
+      Clock::now() + std::chrono::milliseconds(options.drain_timeout_ms);
+  for (;;) {
+    bool all_answered = true;
+    for (auto& conn : conns) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->answered < conn->sent) {
+        all_answered = false;
+        break;
+      }
+    }
+    if (all_answered || Clock::now() >= drain_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& conn : conns) ::shutdown(conn->fd.get(), SHUT_RDWR);
+  for (auto& reader : readers) reader.join();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.sent = sent;
+  report.ok = ok.load();
+  report.overloaded = overloaded.load();
+  report.errors = errors.load();
+  report.answered = report.ok + report.overloaded + report.errors;
+  report.unanswered = report.sent - report.answered;
+  report.duration_s = elapsed_s;
+  report.achieved_rps = elapsed_s > 0 ? static_cast<double>(sent) / elapsed_s
+                                      : 0.0;
+  report.p50_us = static_cast<std::uint64_t>(latency.QuantileNs(0.50) / 1000.0);
+  report.p99_us = static_cast<std::uint64_t>(latency.QuantileNs(0.99) / 1000.0);
+  report.p999_us =
+      static_cast<std::uint64_t>(latency.QuantileNs(0.999) / 1000.0);
+  report.max_us = max_ns.load() / 1000;
+  return report;
+}
+
+SweepResult FindMaxSustainableRps(const LoadGenOptions& base,
+                                  const SloTarget& slo, double start_rps,
+                                  double max_rps, int refine_steps) {
+  SweepResult result;
+  const auto meets = [&](const LoadReport& r) {
+    return r.connect_failures == 0 && r.unanswered == 0 && r.errors == 0 &&
+           r.overloaded == 0 &&
+           static_cast<double>(r.p99_us) / 1000.0 <= slo.p99_ms;
+  };
+  const auto probe = [&](double rate) {
+    LoadGenOptions options = base;
+    options.rate_rps = rate;
+    SweepPoint point;
+    point.rate_rps = rate;
+    point.report = RunLoad(options);
+    point.meets_slo = meets(point.report);
+    result.points.push_back(point);
+    return point.meets_slo;
+  };
+
+  // Geometric climb until the SLO breaks (or the cap holds).
+  double good = 0.0;
+  double bad = 0.0;
+  for (double rate = start_rps; rate <= max_rps; rate *= 2.0) {
+    if (probe(rate)) {
+      good = rate;
+    } else {
+      bad = rate;
+      break;
+    }
+  }
+  if (good == 0.0) {
+    result.max_sustainable_rps = 0.0;
+    return result;
+  }
+  if (bad == 0.0) {
+    // Never broke within the cap; the cap is the answer.
+    result.max_sustainable_rps = good;
+    return result;
+  }
+  // Bisect the [good, bad] bracket.
+  for (int i = 0; i < refine_steps; ++i) {
+    const double mid = (good + bad) / 2.0;
+    if (probe(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  result.max_sustainable_rps = good;
+  return result;
+}
+
+}  // namespace asppi::load

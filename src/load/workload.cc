@@ -1,0 +1,121 @@
+#include "load/workload.h"
+
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace asppi::load {
+
+namespace {
+
+struct WorkloadMetrics {
+  util::Counter lines{"load.workload.lines"};
+};
+
+WorkloadMetrics& Instr() {
+  static WorkloadMetrics* m = new WorkloadMetrics();
+  return *m;
+}
+
+bool KnownOp(const std::string& op) {
+  return op == "impact" || op == "detect" || op == "route" ||
+         op == "defense" || op == "strategy" || op == "stats" ||
+         op == "health";
+}
+
+}  // namespace
+
+bool Workload::ParseMix(const std::string& text, std::vector<MixEntry>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    MixEntry entry;
+    entry.op = part.substr(0, colon);
+    if (!KnownOp(entry.op)) return false;
+    const std::string weight = part.substr(colon + 1);
+    if (weight.empty()) return false;
+    for (char c : weight) {
+      if (c < '0' || c > '9') return false;
+    }
+    entry.weight = std::stoi(weight);
+    if (entry.weight <= 0) return false;
+    out->push_back(std::move(entry));
+  }
+  return !out->empty();
+}
+
+Workload::Workload(const WorkloadOptions& options) : options_(options) {
+  ASPPI_CHECK(Workload::ParseMix(options.mix, &mix_))
+      << "bad op mix: " << options.mix;
+  ASPPI_CHECK_GE(options_.as_count, 2u) << "need at least 2 ASes";
+  for (const MixEntry& entry : mix_) total_weight_ += entry.weight;
+}
+
+std::string Workload::Line(std::uint64_t i) const {
+  // Per-line generator: determinism in (seed, i) alone is what makes
+  // parallel generation bit-identical to serial.
+  util::Rng rng(util::DeriveSeed(options_.seed, i));
+
+  std::uint64_t draw = rng.Below(static_cast<std::uint64_t>(total_weight_));
+  const MixEntry* pick = &mix_.front();
+  for (const MixEntry& entry : mix_) {
+    if (draw < static_cast<std::uint64_t>(entry.weight)) {
+      pick = &entry;
+      break;
+    }
+    draw -= static_cast<std::uint64_t>(entry.weight);
+  }
+
+  Instr().lines.Add();
+  if (pick->op == "stats" || pick->op == "health") {
+    return std::string("{\"op\":\"") + pick->op + "\"}";
+  }
+
+  // Hot-set redirection keeps a cache-hittable head on the distribution.
+  // ASNs are 1-based: generated topologies number their ASes 1..as_count.
+  std::uint32_t first = static_cast<std::uint32_t>(
+      1 + (rng.Chance(options_.hot_fraction) && options_.hot_set > 0
+               ? rng.Below(options_.hot_set)
+               : rng.Below(options_.as_count)));
+  std::uint32_t second =
+      static_cast<std::uint32_t>(1 + rng.Below(options_.as_count - 1));
+  if (second >= first) ++second;  // distinct pair, still uniform
+
+  std::string line = "{\"op\":\"";
+  line += pick->op;
+  line += "\",";
+  if (pick->op == "route") {
+    line += "\"origin\":" + std::to_string(first) +
+            ",\"observer\":" + std::to_string(second);
+  } else {
+    line += "\"victim\":" + std::to_string(first) +
+            ",\"attacker\":" + std::to_string(second);
+  }
+  if (pick->op == "strategy") {
+    // Bound the beam so a load stream never turns one line into a
+    // minutes-long search.
+    line += ",\"beam\":2,\"rounds\":1";
+  }
+  if (pick->op == "defense") {
+    line += ",\"frac\":0.5";
+  }
+  line += "}";
+  return line;
+}
+
+std::string Workload::Script(std::uint64_t n) const {
+  std::string script;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    script += Line(i);
+    script += '\n';
+  }
+  return script;
+}
+
+}  // namespace asppi::load

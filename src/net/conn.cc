@@ -1,0 +1,223 @@
+#include "net/conn.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace asppi::net {
+
+namespace {
+
+struct ConnMetrics {
+  util::Counter opened{"net.conn.opened"};
+  util::Counter closed{"net.conn.closed"};
+  util::Counter backlog_shed{"net.conn.backlog_shed"};
+  util::Counter read_paused{"net.conn.read_paused"};
+  util::Counter bytes_in{"net.conn.bytes_in"};
+  util::Counter bytes_out{"net.conn.bytes_out"};
+};
+
+ConnMetrics& Instr() {
+  static ConnMetrics* m = new ConnMetrics();
+  return *m;
+}
+
+}  // namespace
+
+Conn::Conn(ScopedFd fd, EventLoop* loop, const ConnOptions& options,
+           std::uint64_t id)
+    : fd_(std::move(fd)),
+      loop_(loop),
+      options_(options),
+      id_(id),
+      splitter_(options.max_line_bytes) {}
+
+Conn::~Conn() = default;
+
+void Conn::Start(BatchCallback on_batch, CloseCallback on_close) {
+  on_batch_ = std::move(on_batch);
+  on_close_ = std::move(on_close);
+  Instr().opened.Add();
+  auto self = shared_from_this();
+  loop_->Watch(
+      fd_.get(),
+      [self](bool readable, bool writable, bool error) {
+        self->HandleEvent(readable, writable, error);
+      },
+      want_read_, want_write_);
+}
+
+void Conn::Reply(std::vector<std::string> responses) {
+  auto self = shared_from_this();
+  loop_->Post([self, responses = std::move(responses)]() mutable {
+    if (self->closed_) return;
+    self->busy_ = false;
+    for (std::string& response : responses) {
+      if (response.empty() || response.back() != '\n') response.push_back('\n');
+      self->out_.append(response);
+    }
+    if (self->out_.size() - self->out_offset_ >
+        self->options_.max_write_backlog) {
+      // Peer is not reading; responses are piling up. Shed rather than let
+      // one slow reader hold megabytes hostage.
+      Instr().backlog_shed.Add();
+      if (self->options_.backlog_shed_counter != nullptr) {
+        self->options_.backlog_shed_counter->fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      self->TearDown();
+      return;
+    }
+    self->FlushWrites();
+    if (self->closed_) return;
+    self->MaybeDispatch();
+    if (self->closed_) return;
+    if (self->closing_ || self->eof_) {
+      if (self->Idle()) {
+        self->TearDown();
+        return;
+      }
+    }
+    self->UpdateInterest();
+  });
+}
+
+void Conn::CloseWhenIdle() {
+  auto self = shared_from_this();
+  loop_->Post([self] {
+    if (self->closed_) return;
+    self->closing_ = true;
+    if (self->Idle()) {
+      self->TearDown();
+    } else {
+      self->UpdateInterest();
+    }
+  });
+}
+
+void Conn::CloseNow() {
+  auto self = shared_from_this();
+  loop_->Post([self] { self->TearDown(); });
+}
+
+void Conn::HandleEvent(bool readable, bool writable, bool error) {
+  if (closed_) return;
+  if (error) {
+    // RST or HUP with error — nothing sensible left to write.
+    TearDown();
+    return;
+  }
+  if (writable) {
+    FlushWrites();
+    if (closed_) return;
+  }
+  if (readable && want_read_) {
+    HandleReadable();
+    if (closed_) return;
+  }
+  MaybeDispatch();
+  if (closed_) return;
+  if ((closing_ || eof_) && Idle()) {
+    TearDown();
+    return;
+  }
+  UpdateInterest();
+}
+
+void Conn::HandleReadable() {
+  char buf[16 * 1024];
+  std::vector<std::string> lines;
+  for (;;) {
+    const ssize_t n = RetryOnEintr(
+        [&] { return ::recv(fd_.get(), buf, sizeof(buf), 0); });
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      TearDown();
+      return;
+    }
+    if (n == 0) {
+      eof_ = true;
+      break;
+    }
+    Instr().bytes_in.Add(static_cast<std::uint64_t>(n));
+    const std::size_t rejected = splitter_.Feed(
+        std::string_view(buf, static_cast<std::size_t>(n)), &lines);
+    for (std::size_t i = 0; i < rejected; ++i) {
+      if (options_.oversize_response.empty()) continue;
+      out_.append(options_.oversize_response);
+      out_.push_back('\n');
+    }
+    // Backpressure: stop pulling once enough lines are parked. Level
+    // triggering re-delivers the readable state when we resume.
+    if (pending_.size() + lines.size() >= options_.max_pending_lines) break;
+  }
+  for (std::string& line : lines) pending_.push_back(std::move(line));
+  if (!out_.empty()) FlushWrites();
+}
+
+void Conn::MaybeDispatch() {
+  if (busy_ || pending_.empty() || closed_) return;
+  std::vector<std::string> batch;
+  batch.reserve(pending_.size());
+  while (!pending_.empty()) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  busy_ = true;
+  on_batch_(shared_from_this(), std::move(batch));
+}
+
+void Conn::FlushWrites() {
+  while (out_offset_ < out_.size()) {
+    const ssize_t n = RetryOnEintr([&] {
+      return ::send(fd_.get(), out_.data() + out_offset_,
+                    out_.size() - out_offset_, MSG_NOSIGNAL);
+    });
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      TearDown();
+      return;
+    }
+    Instr().bytes_out.Add(static_cast<std::uint64_t>(n));
+    out_offset_ += static_cast<std::size_t>(n);
+  }
+  if (out_offset_ == out_.size()) {
+    out_.clear();
+    out_offset_ = 0;
+  } else if (out_offset_ > options_.max_line_bytes) {
+    // Compact occasionally so a long-lived conn doesn't grow a dead prefix.
+    out_.erase(0, out_offset_);
+    out_offset_ = 0;
+  }
+}
+
+void Conn::UpdateInterest() {
+  const bool want_read =
+      !eof_ && !closing_ && pending_.size() < options_.max_pending_lines;
+  const bool want_write = out_offset_ < out_.size();
+  if (want_read == want_read_ && want_write == want_write_) return;
+  if (want_read_ && !want_read && !eof_ && !closing_) {
+    Instr().read_paused.Add();
+  }
+  want_read_ = want_read;
+  want_write_ = want_write;
+  loop_->SetWants(fd_.get(), want_read_, want_write_);
+}
+
+void Conn::TearDown() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->Unwatch(fd_.get());
+  fd_.Reset();
+  pending_.clear();
+  out_.clear();
+  out_offset_ = 0;
+  Instr().closed.Add();
+  if (on_close_) on_close_(id_);
+  on_close_ = nullptr;
+  on_batch_ = nullptr;
+}
+
+}  // namespace asppi::net

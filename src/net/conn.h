@@ -1,0 +1,119 @@
+// net::Conn — one non-blocking NDJSON connection on one event-loop shard.
+//
+// Lifecycle and threading:
+//
+//   * every field is owned by the shard's loop thread; the only cross-thread
+//     entry points are Reply() and Close(), which Post() onto the loop. That
+//     single-writer discipline is what lets a Conn carry kilobytes of
+//     buffered state with zero locks;
+//   * reads are level-triggered and batch-drained: each readiness event pulls
+//     bytes until EAGAIN, splits complete lines, and hands them to the batch
+//     callback — at most ONE batch in flight per connection, so responses
+//     come back in request order without any sequencing protocol;
+//   * lines arriving while a batch is in flight queue in `pending_`; when the
+//     queue passes `max_pending_lines` the conn drops read interest, letting
+//     TCP flow control push back on the client instead of buffering
+//     unboundedly;
+//   * writes buffer in `out_` and flush opportunistically; a peer that stops
+//     reading while responses accumulate past `max_write_backlog` is shed
+//     (closed + counted) — a slow reader must not pin server memory;
+//   * oversized request lines never buffer: the LineSplitter skips them and
+//     the conn answers each with the configured `oversize_response`;
+//   * EOF from the peer stops reads but drains in-flight work and buffered
+//     responses before closing, so "send requests, shutdown(WR), read all
+//     responses" clients see every answer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/fd.h"
+#include "net/frames.h"
+
+namespace asppi::net {
+
+class Conn;
+
+// Invoked on the loop thread with >= 1 complete request lines. The handler
+// must eventually call conn->Reply() with exactly one response per line (in
+// order); until then no further batch is dispatched on this connection.
+using BatchCallback =
+    std::function<void(const std::shared_ptr<Conn>&, std::vector<std::string>)>;
+
+// Invoked once on the loop thread when the connection is torn down.
+using CloseCallback = std::function<void(std::uint64_t conn_id)>;
+
+struct ConnOptions {
+  std::size_t max_line_bytes = 64 * 1024;
+  // Response bytes buffered for a slow reader before the conn is shed.
+  std::size_t max_write_backlog = 4 * 1024 * 1024;
+  // Parsed-but-undispatched lines before read interest is dropped.
+  std::size_t max_pending_lines = 256;
+  // Sent verbatim (newline appended) for each oversized line; "" = silent.
+  std::string oversize_response;
+  // Optional owner-side counter bumped once per backlog shed (the serving
+  // layer surfaces it through the stats op).
+  std::atomic<std::uint64_t>* backlog_shed_counter = nullptr;
+};
+
+class Conn : public std::enable_shared_from_this<Conn> {
+ public:
+  Conn(ScopedFd fd, EventLoop* loop, const ConnOptions& options,
+       std::uint64_t id);
+  ~Conn();
+
+  // Loop thread: registers with the loop and starts reading.
+  void Start(BatchCallback on_batch, CloseCallback on_close);
+
+  // Any thread: completes the in-flight batch with one response per request
+  // line. Missing trailing newlines are added. Safe after close (no-op).
+  void Reply(std::vector<std::string> responses);
+
+  // Any thread: close as soon as buffered responses are flushed and no batch
+  // is in flight (the drain path Stop() uses).
+  void CloseWhenIdle();
+  // Any thread: close now, dropping buffered data.
+  void CloseNow();
+
+  std::uint64_t id() const { return id_; }
+  int fd() const { return fd_.get(); }
+
+ private:
+  void HandleEvent(bool readable, bool writable, bool error);
+  void HandleReadable();
+  void MaybeDispatch();
+  void FlushWrites();
+  void UpdateInterest();
+  void TearDown();
+  bool Idle() const { return !busy_ && pending_.empty() && out_.empty(); }
+
+  ScopedFd fd_;
+  EventLoop* loop_;
+  ConnOptions options_;
+  std::uint64_t id_;
+
+  LineSplitter splitter_;
+  std::deque<std::string> pending_;
+  bool busy_ = false;      // a batch is out with the handler
+  bool eof_ = false;       // peer half-closed; drain then close
+  bool closing_ = false;   // CloseWhenIdle requested
+  bool closed_ = false;    // torn down; every entry point no-ops
+
+  std::string out_;        // unflushed response bytes
+  std::size_t out_offset_ = 0;
+
+  bool want_read_ = true;
+  bool want_write_ = false;
+
+  BatchCallback on_batch_;
+  CloseCallback on_close_;
+};
+
+}  // namespace asppi::net

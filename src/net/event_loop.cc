@@ -1,0 +1,147 @@
+#include "net/event_loop.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace asppi::net {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct LoopMetrics {
+  util::Counter wakeups{"net.loop.wakeups"};
+  util::Counter dispatches{"net.loop.dispatches"};
+  util::Counter posts{"net.loop.posts"};
+  util::Counter timers{"net.loop.timers_fired"};
+};
+
+LoopMetrics& Instr() {
+  static LoopMetrics* m = new LoopMetrics();
+  return *m;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(PollerBackend backend) : poller_(backend) {
+  std::string err = OpenWakeupPair(&wakeup_);
+  ASPPI_CHECK(err.empty()) << "wakeup pipe: " << err;
+  err = poller_.Add(wakeup_.read_fd.get(), /*want_read=*/true,
+                    /*want_write=*/false);
+  ASPPI_CHECK(err.empty()) << "wakeup pipe registration: " << err;
+  // Constructed-on thread is a placeholder; Run() re-adopts its caller.
+  loop_thread_ = std::this_thread::get_id();
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = poller_.Wait(NextTimeoutMs(), &events_);
+    ASPPI_CHECK(n >= 0) << "poller wait: " << std::strerror(errno);
+    Instr().wakeups.Add();
+    for (const PollerEvent& event : events_) {
+      if (event.fd == wakeup_.read_fd.get()) {
+        DrainWakeup(wakeup_.read_fd.get());
+        continue;
+      }
+      // Fresh lookup per event: a callback earlier in this round may have
+      // Unwatch()ed this fd. Copy the callback so an Unwatch from inside it
+      // (connection closing itself) cannot free the std::function mid-call.
+      const auto it = watches_.find(event.fd);
+      if (it == watches_.end()) continue;
+      FdCallback cb = it->second;
+      Instr().dispatches.Add();
+      cb(event.readable, event.writable, event.error);
+    }
+    FireDueTimers();
+    DrainPosted();
+  }
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  SignalWakeup(wakeup_.WriteEnd());
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Instr().posts.Add();
+  SignalWakeup(wakeup_.WriteEnd());
+}
+
+void EventLoop::RunAfter(int delay_ms, std::function<void()> fn) {
+  if (delay_ms < 0) delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.push(TimerEntry{
+        NowNs() + static_cast<std::uint64_t>(delay_ms) * 1'000'000ull,
+        timer_seq_++, std::move(fn)});
+  }
+  // Wake so the loop recomputes its poll timeout against the new deadline.
+  SignalWakeup(wakeup_.WriteEnd());
+}
+
+void EventLoop::Watch(int fd, FdCallback cb, bool want_read, bool want_write) {
+  const std::string err = poller_.Add(fd, want_read, want_write);
+  ASPPI_CHECK(err.empty()) << "watch fd " << fd << ": " << err;
+  watches_[fd] = std::move(cb);
+}
+
+void EventLoop::SetWants(int fd, bool want_read, bool want_write) {
+  poller_.Set(fd, want_read, want_write);
+}
+
+void EventLoop::Unwatch(int fd) {
+  poller_.Remove(fd);
+  watches_.erase(fd);
+}
+
+int EventLoop::NextTimeoutMs() const {
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  if (timers_.empty()) return -1;
+  const std::uint64_t now = NowNs();
+  const std::uint64_t deadline = timers_.top().deadline_ns;
+  if (deadline <= now) return 0;
+  // Round up so a timer never fires early off a truncated timeout.
+  return static_cast<int>((deadline - now + 999'999ull) / 1'000'000ull);
+}
+
+void EventLoop::FireDueTimers() {
+  const std::uint64_t now = NowNs();
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(timer_mu_);
+      if (timers_.empty() || timers_.top().deadline_ns > now) return;
+      fn = std::move(const_cast<TimerEntry&>(timers_.top()).fn);
+      timers_.pop();
+    }
+    Instr().timers.Add();
+    fn();
+  }
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+}  // namespace asppi::net

@@ -1,0 +1,104 @@
+// net::EventLoop — one thread, one Poller, three inputs:
+//
+//   * fd readiness: Watch(fd, cb) registers a level-triggered callback;
+//     SetWants flips read/write interest (the reactor's flow control);
+//   * cross-thread work: Post(fn) enqueues `fn` and wakes the loop through
+//     its eventfd/self-pipe, so any thread (a ThreadPool worker finishing a
+//     query batch, the signal-observing main thread) can hand work to the
+//     loop thread without touching loop-owned state;
+//   * timers: RunAfter(delay_ms, fn) arms a min-heap entry; the earliest
+//     deadline bounds the poll timeout (a timer-fd with extra steps, minus
+//     the extra fd — identical wakeup semantics on both backends).
+//
+// Threading contract: Watch/SetWants/Unwatch are loop-thread-only; Post,
+// RunAfter, and Stop are safe from any thread. Everything a callback touches
+// is therefore single-threaded, which is what keeps Conn lock-free.
+//
+// Stop() wakes the loop and Run() returns after the current dispatch round.
+// Posts arriving after Run() returned are retained until destruction but
+// never executed (the reactor drains connections before stopping its loops,
+// so in practice nothing user-visible lands there).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.h"
+
+namespace asppi::net {
+
+class EventLoop {
+ public:
+  // Invoked with the fd's readiness; `error` means HUP/ERR was raised.
+  using FdCallback = std::function<void(bool readable, bool writable, bool error)>;
+
+  explicit EventLoop(PollerBackend backend = PollerBackend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Runs until Stop(). Adopts the calling thread as the loop thread.
+  void Run();
+  // Any thread; idempotent.
+  void Stop();
+
+  // Any thread: runs `fn` on the loop thread, FIFO with other posts. If
+  // called from the loop thread it still queues (never reentrant).
+  void Post(std::function<void()> fn);
+
+  // Any thread: runs `fn` on the loop thread no earlier than `delay_ms`.
+  void RunAfter(int delay_ms, std::function<void()> fn);
+
+  // Loop thread only (callers Post() in from outside).
+  void Watch(int fd, FdCallback cb, bool want_read, bool want_write);
+  void SetWants(int fd, bool want_read, bool want_write);
+  void Unwatch(int fd);
+
+  bool IsLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+  PollerBackend backend() const { return poller_.backend(); }
+  std::size_t WatchedCount() const { return poller_.WatchedCount(); }
+
+ private:
+  struct TimerEntry {
+    std::uint64_t deadline_ns;
+    std::uint64_t seq;  // FIFO tie-break for equal deadlines
+    std::function<void()> fn;
+    bool operator>(const TimerEntry& other) const {
+      return deadline_ns != other.deadline_ns
+                 ? deadline_ns > other.deadline_ns
+                 : seq > other.seq;
+    }
+  };
+
+  int NextTimeoutMs() const;
+  void FireDueTimers();
+  void DrainPosted();
+
+  Poller poller_;
+  WakeupPair wakeup_;
+  std::atomic<bool> stopping_{false};
+  std::thread::id loop_thread_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  mutable std::mutex timer_mu_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                      std::greater<TimerEntry>>
+      timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::unordered_map<int, FdCallback> watches_;
+  std::vector<PollerEvent> events_;  // reused across rounds
+};
+
+}  // namespace asppi::net

@@ -1,0 +1,62 @@
+#include "net/fd.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
+namespace asppi::net {
+
+bool SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = RetryOnEintr([&] { return ::fcntl(fd, F_GETFL, 0); });
+  if (flags < 0) return false;
+  const int wanted =
+      non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted == flags) return true;
+  return RetryOnEintr([&] { return ::fcntl(fd, F_SETFL, wanted); }) >= 0;
+}
+
+void SetTcpNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string OpenWakeupPair(WakeupPair* out) {
+#if defined(__linux__)
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd < 0) return std::string("eventfd: ") + std::strerror(errno);
+  out->read_fd.Reset(efd);
+  out->write_fd.Reset();
+  return "";
+#else
+  int fds[2];
+  if (::pipe(fds) < 0) return std::string("pipe: ") + std::strerror(errno);
+  out->read_fd.Reset(fds[0]);
+  out->write_fd.Reset(fds[1]);
+  SetNonBlocking(fds[0]);
+  SetNonBlocking(fds[1]);
+  return "";
+#endif
+}
+
+void SignalWakeup(int write_end) {
+  const std::uint64_t token = 1;
+  // EAGAIN means the counter/pipe is already pending — the peer will wake.
+  (void)RetryOnEintr(
+      [&] { return ::write(write_end, &token, sizeof(token)); });
+}
+
+void DrainWakeup(int read_end) {
+  std::uint64_t buf[16];
+  while (RetryOnEintr([&] { return ::read(read_end, buf, sizeof(buf)); }) > 0) {
+  }
+}
+
+}  // namespace asppi::net

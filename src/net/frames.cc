@@ -1,0 +1,70 @@
+#include "net/frames.h"
+
+#include "util/metrics.h"
+
+namespace asppi::net {
+
+namespace {
+
+struct FrameMetrics {
+  util::Counter lines{"net.frames.lines"};
+  util::Counter oversized{"net.frames.oversized"};
+};
+
+FrameMetrics& Instr() {
+  static FrameMetrics* m = new FrameMetrics();
+  return *m;
+}
+
+}  // namespace
+
+std::size_t LineSplitter::Feed(std::string_view data,
+                               std::vector<std::string>* lines) {
+  std::size_t rejected = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (skipping_) {
+      // Mid-oversized-line: discard up to and including the next terminator.
+      if (nl == std::string_view::npos) return rejected;
+      skipping_ = false;
+      pos = nl + 1;
+      continue;
+    }
+    if (nl == std::string_view::npos) {
+      // Torn frame: buffer the tail, unless it already blows the line cap.
+      const std::size_t tail = data.size() - pos;
+      if (buffer_.size() + tail > max_line_bytes_) {
+        buffer_.clear();
+        skipping_ = true;
+        ++oversized_;
+        ++rejected;
+        Instr().oversized.Add();
+        return rejected;
+      }
+      buffer_.append(data.data() + pos, tail);
+      return rejected;
+    }
+    const std::size_t frame = nl - pos;
+    if (buffer_.size() + frame > max_line_bytes_) {
+      buffer_.clear();
+      ++oversized_;
+      ++rejected;
+      Instr().oversized.Add();
+      pos = nl + 1;
+      continue;
+    }
+    std::string line = std::move(buffer_);
+    buffer_.clear();
+    line.append(data.data() + pos, frame);
+    pos = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // keep-alive blank line
+    ++lines_emitted_;
+    Instr().lines.Add();
+    lines->push_back(std::move(line));
+  }
+  return rejected;
+}
+
+}  // namespace asppi::net

@@ -1,0 +1,85 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cstring>
+
+#include "util/metrics.h"
+
+namespace asppi::net {
+
+namespace {
+
+struct ListenerMetrics {
+  util::Counter accepted{"net.listener.accepted"};
+  util::Counter aborted{"net.listener.aborted"};
+};
+
+ListenerMetrics& Instr() {
+  static ListenerMetrics* m = new ListenerMetrics();
+  return *m;
+}
+
+}  // namespace
+
+std::string Listener::Open(std::uint16_t port, int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::string("socket: ") + std::strerror(errno);
+
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return std::string("bind: ") + std::strerror(errno);
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return std::string("listen: ") + std::strerror(errno);
+  }
+  if (!SetNonBlocking(fd.get())) {
+    return std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return std::string("getsockname: ") + std::strerror(errno);
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return "";
+}
+
+int Listener::AcceptReady(const std::function<void(ScopedFd)>& on_accept) {
+  if (!fd_.valid()) return -1;
+  int accepted = 0;
+  for (;;) {
+    const int raw = static_cast<int>(
+        RetryOnEintr([this] { return ::accept(fd_.get(), nullptr, nullptr); }));
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return accepted;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        // Peer gave up mid-handshake or we are out of fds; neither kills the
+        // listener. EMFILE self-heals once a connection closes — level
+        // triggering re-delivers the pending accept.
+        Instr().aborted.Add();
+        return accepted;
+      }
+      return -1;
+    }
+    ScopedFd conn(raw);
+    SetNonBlocking(conn.get());
+    SetTcpNoDelay(conn.get());
+    Instr().accepted.Add();
+    ++accepted;
+    on_accept(std::move(conn));
+  }
+}
+
+}  // namespace asppi::net

@@ -1,0 +1,44 @@
+// net::Listener — a non-blocking accepting socket bound to 127.0.0.1.
+//
+// The listener itself does no event-loop wiring: the owning net::Server
+// watches its fd on the accept loop and calls AcceptReady() when it fires,
+// which drains every pending connection (level-triggered accept can batch).
+// Accepted fds come back non-blocking with TCP_NODELAY already applied.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/fd.h"
+
+namespace asppi::net {
+
+class Listener {
+ public:
+  Listener() = default;
+
+  // Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns "" on
+  // success; on failure the listener stays closed and the error describes
+  // the failing syscall.
+  std::string Open(std::uint16_t port, int backlog = 128);
+
+  // Accepts every connection currently queued, invoking `on_accept` with an
+  // owned, non-blocking fd per connection. Stops on EAGAIN. Returns the
+  // number accepted; transient per-connection failures (ECONNABORTED) are
+  // skipped, a dead listener fd reports -1.
+  int AcceptReady(const std::function<void(ScopedFd)>& on_accept);
+
+  void Close() { fd_.Reset(); }
+
+  int fd() const { return fd_.get(); }
+  bool valid() const { return fd_.valid(); }
+  // The bound port (resolved after Open, useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  ScopedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace asppi::net

@@ -1,0 +1,104 @@
+// Snapshot epochs: hot-reload without dropping a query.
+//
+// An Epoch is one immutable serving generation — a loaded corpus (usually a
+// data::Snapshot) plus the QueryService built over it, stamped with a
+// monotonically increasing id. The EpochManager holds the current epoch
+// behind a shared_ptr; swapping in a new one is a pointer assignment under a
+// short mutex, and every in-flight request PINS the epoch it started on (the
+// threaded server pins per request, the reactor per batch). The old
+// generation — snapshot mmap, graph, caches — stays alive exactly until the
+// last pinned query drops its reference, so a SIGHUP mid-burst loses
+// nothing: queries racing the swap are answered by whichever epoch they
+// pinned, never by a half-torn one.
+//
+// Two triggers feed Reload():
+//   * SIGHUP — asppi_serve's signal loop observes the flag and calls it;
+//   * the "reload" admin op — both servers intercept it via HandleAdminLine
+//     before service dispatch, so the wire behavior is byte-identical
+//     between the threaded server and the reactor.
+// Reloads are serialized; concurrent triggers coalesce into distinct
+// sequential generations rather than racing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "data/snapshot.h"
+#include "serve/service.h"
+
+namespace asppi::serve {
+
+struct Epoch {
+  std::uint64_t id = 0;
+  // Owns the corpus the service references (null for unowned/test epochs).
+  std::shared_ptr<const data::Snapshot> snapshot;
+  std::shared_ptr<QueryService> service;
+};
+
+// Loads `path` (binary snapshot) and builds the serving stack over it:
+// active defense from the snapshot's kDefense tags, warmed baselines, the
+// works. Returns "" on success. `base` supplies the non-corpus options
+// (engine, lambda, cache budget); its active_defense is replaced by the
+// snapshot's own deployment.
+std::string MakeSnapshotEpoch(const std::string& path, std::uint64_t id,
+                              const ServiceOptions& base,
+                              std::shared_ptr<Epoch>* out);
+
+// Wraps an externally-owned service (tests, the legacy Server ctor) as epoch
+// `id` without taking ownership — the caller keeps the service alive.
+std::shared_ptr<Epoch> MakeUnownedEpoch(QueryService* service,
+                                        std::uint64_t id = 0);
+
+class EpochManager {
+ public:
+  // Builds the next generation. Receives the id the new epoch must carry;
+  // fills `out` and returns "" on success. Runs under the reload lock.
+  using Reloader =
+      std::function<std::string(std::uint64_t next_id,
+                                std::shared_ptr<Epoch>* out)>;
+
+  // The current generation; callers keep the returned shared_ptr for the
+  // whole query (or batch) — that reference IS the pin.
+  std::shared_ptr<Epoch> Current() const;
+
+  // Publishes `epoch` as current and applies the registered stats provider
+  // to its service.
+  void Install(std::shared_ptr<Epoch> epoch);
+
+  // Registers how new generations are built (unset = reload unavailable).
+  void SetReloader(Reloader reloader);
+
+  // The serving front end's live-counter hook, surfaced through the stats
+  // op; applied to the current and every future epoch's service.
+  void SetStatsProvider(std::function<ServerStats()> provider);
+
+  // Builds generation current+1 via the reloader and installs it. Returns ""
+  // on success; on failure the current epoch keeps serving. Serialized.
+  std::string Reload();
+
+  std::uint64_t CurrentId() const;
+  std::uint64_t ReloadCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<Epoch> current_;
+  std::function<ServerStats()> stats_provider_;
+
+  std::mutex reload_mu_;  // serializes Reload(); never held with mu_
+  Reloader reloader_;
+  std::atomic<std::uint64_t> reloads_{0};
+};
+
+// Intercepts the "reload" admin op. Returns true (with `*response` set, no
+// trailing newline) when `line` parses as a reload request; false for every
+// other line — including malformed ones, whose error bytes must come from
+// the ordinary per-server path so the two servers stay byte-identical.
+bool HandleAdminLine(EpochManager* epochs, std::string_view line,
+                     std::string* response);
+
+}  // namespace asppi::serve

@@ -80,6 +80,8 @@ const char* OpName(Op op) {
       return "stats";
     case Op::kHealth:
       return "health";
+    case Op::kReload:
+      return "reload";
   }
   return "unknown";
 }
@@ -111,6 +113,8 @@ std::string ParseRequest(std::string_view line, Request* out) {
     request.op = Op::kStats;
   } else if (name == "health") {
     request.op = Op::kHealth;
+  } else if (name == "reload") {
+    request.op = Op::kReload;
   } else {
     return "unknown op '" + name + "'";
   }

@@ -31,6 +31,11 @@
 //       the beam).
 //   {"op":"stats"}                                     cache/latency/counters
 //   {"op":"health"}                                    liveness + corpus size
+//   {"op":"reload"}                                    swap in a new epoch
+//       Admin op: both servers intercept it before service dispatch
+//       (serve/epoch.h) and answer with the new epoch id, or an error when
+//       no snapshot source is configured. In-flight queries keep the epoch
+//       they started on.
 //
 // Responses always contain "ok" (bool); failures add "error" with a message
 // (parse failures include the line/column from util::Json::Parse). The server
@@ -56,7 +61,19 @@ namespace asppi::serve {
 
 using topo::Asn;
 
-enum class Op { kImpact, kDetect, kRoute, kDefense, kStrategy, kStats, kHealth };
+enum class Op {
+  kImpact,
+  kDetect,
+  kRoute,
+  kDefense,
+  kStrategy,
+  kStats,
+  kHealth,
+  kReload,
+};
+
+// One past the last Op value (sizes per-op counter arrays).
+inline constexpr int kOpCount = static_cast<int>(Op::kReload) + 1;
 
 const char* OpName(Op op);
 

@@ -1,0 +1,97 @@
+// ReactorServer: QueryService behind the net:: epoll reactor.
+//
+// Where the threaded Server spends a thread per connection, this front end
+// runs N event-loop shards (net::Server) and scales to connection counts
+// far beyond the thread count — perf_serve's ceiling probe gates it at >= 4x
+// the threaded server's max_connections. Each readiness event drains a
+// connection's complete request lines as ONE batch:
+//
+//   loop thread: admission (one inflight slot per batch — a batch is one
+//                pool worker's worth of serialized work, and each connection
+//                carries at most one, so batch slots measure cross-connection
+//                demand exactly like the threaded server's per-request gate;
+//                over the bound the whole batch is answered "overloaded") →
+//                pin the current Epoch → submit to the shared ThreadPool;
+//   pool thread: deadline check (stale batches shed wholesale), reload
+//                interception (HandleAdminLine — identical bytes to the
+//                threaded server), then QueryService::HandleBatch (batched
+//                mode: intra-batch dedup memo) or per-line Handle (unbatched
+//                — the perf_serve ablation), then conn->Reply(responses);
+//   loop thread: Reply appends, flushes, dispatches the next batch.
+//
+// Per-connection ordering holds because net::Conn keeps at most one batch in
+// flight; responses are request-ordered with no sequence numbers. Epochs are
+// pinned per batch: a SIGHUP swap mid-batch means this batch answers from
+// the old generation and the next batch picks up the new one — no query is
+// ever dropped or torn across generations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/server.h"
+#include "serve/epoch.h"
+#include "serve/service.h"
+#include "util/thread_pool.h"
+
+namespace asppi::serve {
+
+struct ReactorOptions {
+  int port = 0;  // 0 = ephemeral
+  int shards = 2;
+  net::PollerBackend backend = net::PollerBackend::kAuto;
+  std::size_t max_connections = 1024;
+  // Queued-or-executing BATCHES (<= one per connection) before shedding.
+  std::size_t max_inflight = 128;
+  int deadline_ms = 10000;
+  int slow_query_ms = 1000;
+  bool log_slow_queries = true;
+  // false = per-line QueryService::Handle even when lines arrive together
+  // (the batching ablation perf_serve measures). Wire bytes are identical
+  // either way; only the amortization differs.
+  bool batch = true;
+  std::size_t max_line_bytes = 64 * 1024;
+  std::size_t max_write_backlog = 4 * 1024 * 1024;
+};
+
+class ReactorServer {
+ public:
+  // `epochs` (holding at least one installed epoch by Start) and `pool`
+  // must outlive the server.
+  ReactorServer(EpochManager* epochs, util::ThreadPool* pool,
+                const ReactorOptions& options = ReactorOptions());
+  ~ReactorServer();
+
+  ReactorServer(const ReactorServer&) = delete;
+  ReactorServer& operator=(const ReactorServer&) = delete;
+
+  std::string Start();
+  // Graceful drain (in-flight batches finish and flush); idempotent.
+  void Stop();
+
+  int Port() const;
+  net::PollerBackend Backend() const;
+  ServerStats Stats() const;
+
+ private:
+  void HandleBatch(const std::shared_ptr<net::Conn>& conn,
+                   std::vector<std::string> lines);
+
+  EpochManager* epochs_;
+  util::ThreadPool* pool_;
+  ReactorOptions options_;
+  std::unique_ptr<net::Server> net_server_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> overload_rejects_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> slow_queries_{0};
+  std::atomic<std::uint64_t> backlog_sheds_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace asppi::serve

@@ -45,42 +45,61 @@ std::string OverloadedResponse() {
 
 Server::Server(QueryService* service, util::ThreadPool* pool,
                const ServerOptions& options)
-    : service_(service), pool_(pool), options_(options) {}
+    : owned_epochs_(std::make_unique<EpochManager>()),
+      pool_(pool),
+      options_(options) {
+  owned_epochs_->Install(MakeUnownedEpoch(service));
+  epochs_ = owned_epochs_.get();
+}
+
+Server::Server(EpochManager* epochs, util::ThreadPool* pool,
+               const ServerOptions& options)
+    : epochs_(epochs), pool_(pool), options_(options) {}
 
 Server::~Server() { Stop(); }
 
 std::string Server::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  listen_fd_.Reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listen_fd_.valid()) {
     return std::string("socket: ") + std::strerror(errno);
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
     std::string error = std::string("bind: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    listen_fd_.Reset();
     return error;
   }
   // A short kernel backlog is part of the bounded-queue story: beyond it,
   // connection attempts fail fast at the client instead of queueing here.
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_.get(), 16) < 0) {
     std::string error = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    listen_fd_.Reset();
     return error;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
+  if (::getsockname(listen_fd_.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+  epochs_->SetStatsProvider([this] {
+    ServerStats stats;
+    stats.kind = "threaded";
+    stats.epoch = epochs_->CurrentId();
+    stats.connections = active_connections_.load(std::memory_order_relaxed);
+    stats.accepted = accepted_.load(std::memory_order_relaxed);
+    stats.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
+    stats.deadline_exceeded =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    stats.slow_queries = slow_queries_.load(std::memory_order_relaxed);
+    return stats;
+  });
   running_.store(true, std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
@@ -91,10 +110,7 @@ void Server::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
   if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listen_fd_.Reset();
   // Connection threads observe stopping_ at their next poll tick, finish the
   // request they are blocked on (the pool keeps running), flush, and exit.
   ReapFinished(/*all=*/true);
@@ -138,11 +154,13 @@ void Server::ReapFinished(bool all) {
 
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMs);
+    pollfd pfd{listen_fd_.get(), POLLIN, 0};
+    const int ready = static_cast<int>(
+        net::RetryOnEintr([&] { return ::poll(&pfd, 1, kPollMs); }));
     ReapFinished(/*all=*/false);
     if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = static_cast<int>(net::RetryOnEintr(
+        [&] { return ::accept(listen_fd_.get(), nullptr, nullptr); }));
     if (fd < 0) continue;
     accepted_.fetch_add(1, std::memory_order_relaxed);
     Instr().accepted.Add();
@@ -162,7 +180,10 @@ void Server::AcceptLoop() {
   }
 }
 
-void Server::ConnectionLoop(std::uint64_t id, int fd) {
+void Server::ConnectionLoop(std::uint64_t id, int raw_fd) {
+  // Owned here: every exit path (EOF, error, stop) closes exactly once.
+  net::ScopedFd conn_fd(raw_fd);
+  const int fd = conn_fd.get();
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   std::string buffer;
@@ -170,10 +191,12 @@ void Server::ConnectionLoop(std::uint64_t id, int fd) {
   bool open = true;
   while (open && !stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMs);
+    const int ready = static_cast<int>(
+        net::RetryOnEintr([&] { return ::poll(&pfd, 1, kPollMs); }));
     if (ready < 0) break;
     if (ready == 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = net::RetryOnEintr(
+        [&] { return ::recv(fd, chunk, sizeof(chunk), 0); });
     if (n <= 0) break;  // peer closed (0) or error (<0)
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
@@ -188,13 +211,22 @@ void Server::ConnectionLoop(std::uint64_t id, int fd) {
     }
     buffer.erase(0, start);
   }
-  ::close(fd);
+  conn_fd.Reset();
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(conn_mu_);
   finished_.push_back(id);
 }
 
 void Server::HandleLine(int fd, const std::string& line) {
+  // Admin ops swap serving state and must not race the pool queue — handle
+  // them inline before admission. Shared with the reactor so both servers
+  // answer reloads with identical bytes.
+  std::string admin_response;
+  if (HandleAdminLine(epochs_, line, &admin_response)) {
+    admin_response.push_back('\n');
+    SendAll(fd, admin_response);
+    return;
+  }
   // Bounded admission: one slot per queued-or-executing request, across all
   // connections. Beyond the bound we shed load with an explicit error
   // instead of queueing without limit.
@@ -212,7 +244,11 @@ void Server::HandleLine(int fd, const std::string& line) {
   // the shared state must own its own lifetime.
   auto promise = std::make_shared<std::promise<std::string>>();
   std::future<std::string> future = promise->get_future();
-  pool_->Submit([this, line, promise, enqueued] {
+  // Pin the epoch NOW, not at dequeue: a request admitted before a reload is
+  // answered by the generation it raced in on, and the pinned shared_ptr
+  // keeps that generation's corpus mapped until the response is built.
+  const std::shared_ptr<Epoch> epoch = epochs_->Current();
+  pool_->Submit([this, line, promise, enqueued, epoch] {
     // Deadline checked at dequeue: work that went stale waiting in the queue
     // is answered with an error instead of burning a worker on it.
     const auto waited = std::chrono::steady_clock::now() - enqueued;
@@ -223,7 +259,7 @@ void Server::HandleLine(int fd, const std::string& line) {
       promise->set_value(ErrorResponse("deadline exceeded"));
       return;
     }
-    promise->set_value(service_->Handle(line));
+    promise->set_value(epoch->service->Handle(line));
   });
   std::string response = future.get();
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -245,12 +281,10 @@ void Server::HandleLine(int fd, const std::string& line) {
 bool Server::SendAll(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
+    const ssize_t n = net::RetryOnEintr([&] {
+      return ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    });
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;

@@ -29,17 +29,30 @@
 // finish and its response flush, then join all threads. Safe to call from a
 // signal-triggered path (the tool's SIGTERM handler just sets a flag the
 // main thread observes; Stop itself runs on the main thread).
+//
+// Every request pins the current Epoch (serve/epoch.h) for its whole
+// lifetime, and the "reload" admin op is intercepted before service
+// dispatch, so this server hot-reloads snapshots exactly like the reactor
+// does. The legacy (QueryService*, ThreadPool*) constructor wraps the
+// service in an internal single-epoch manager — existing call sites keep
+// working, they just can't reload.
+//
+// All sockets are ScopedFd-owned and every accept/poll/recv/send retries
+// EINTR (net/fd.h): a SIGHUP delivered mid-syscall during a reload must
+// never tear a connection or leak a descriptor.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include <mutex>
-
+#include "net/fd.h"
+#include "serve/epoch.h"
 #include "serve/service.h"
 #include "util/thread_pool.h"
 
@@ -57,8 +70,13 @@ struct ServerOptions {
 
 class Server {
  public:
-  // `service` and `pool` must outlive the server.
+  // `service` and `pool` must outlive the server. Wraps the service in an
+  // internal one-epoch manager (no reload source).
   Server(QueryService* service, util::ThreadPool* pool,
+         const ServerOptions& options = ServerOptions());
+  // Epoch-aware form: serves whatever `epochs` currently holds and follows
+  // installs/reloads. `epochs` and `pool` must outlive the server.
+  Server(EpochManager* epochs, util::ThreadPool* pool,
          const ServerOptions& options = ServerOptions());
   ~Server();
 
@@ -92,11 +110,12 @@ class Server {
   void ReapFinished(bool all);
   static bool SendAll(int fd, const std::string& data);
 
-  QueryService* service_;
+  EpochManager* epochs_;
+  std::unique_ptr<EpochManager> owned_epochs_;  // legacy-ctor backing store
   util::ThreadPool* pool_;
   ServerOptions options_;
 
-  int listen_fd_ = -1;
+  net::ScopedFd listen_fd_;
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -22,6 +22,9 @@ struct ServiceMetrics {
   util::Counter cache_hits{"serve.cache.hits"};
   util::Counter cache_misses{"serve.cache.misses"};
   util::Counter cache_evictions{"serve.cache.evictions"};
+  util::Counter batches{"serve.batch.count"};
+  util::Counter batch_lines{"serve.batch.lines"};
+  util::Counter batch_dedup{"serve.batch.dedup_hits"};
   util::Timer execute{"serve.execute"};
 };
 
@@ -101,6 +104,33 @@ const defense::PolicySet* QueryService::ActiveDefense() const {
 }
 
 std::string QueryService::Handle(std::string_view line) {
+  return HandleLine(line, /*memo=*/nullptr);
+}
+
+std::vector<std::string> QueryService::HandleBatch(
+    const std::vector<std::string>& lines) {
+  Instr().batches.Add();
+  Instr().batch_lines.Add(lines.size());
+  // The memo lives for one batch only: repeated cacheable requests inside
+  // the batch collapse onto one execution even when the result cache is
+  // disabled (cache_capacity = 0) or the entry was just evicted.
+  std::unordered_map<std::string, std::string> memo;
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  for (const std::string& line : lines) {
+    responses.push_back(HandleLine(line, &memo));
+  }
+  return responses;
+}
+
+void QueryService::SetServerStatsFn(std::function<ServerStats()> fn) {
+  std::lock_guard<std::mutex> lock(stats_fn_mu_);
+  server_stats_fn_ = std::move(fn);
+}
+
+std::string QueryService::HandleLine(
+    std::string_view line,
+    std::unordered_map<std::string, std::string>* memo) {
   Instr().requests.Add();
   const auto start = std::chrono::steady_clock::now();
   Request request;
@@ -121,14 +151,26 @@ std::string QueryService::Handle(std::string_view line) {
       if (const defense::PolicySet* active = ActiveDefense()) {
         key += active->CacheKey();
       }
-      if (auto cached = cache_.Get(key)) {
-        Instr().cache_hits.Add();
-        response = *cached;
-      } else {
-        Instr().cache_misses.Add();
-        response = Execute(request);
-        const std::size_t evicted = cache_.Put(key, response);
-        if (evicted != 0) Instr().cache_evictions.Add(evicted);
+      bool memo_hit = false;
+      if (memo != nullptr) {
+        const auto it = memo->find(key);
+        if (it != memo->end()) {
+          Instr().batch_dedup.Add();
+          response = it->second;
+          memo_hit = true;
+        }
+      }
+      if (!memo_hit) {
+        if (auto cached = cache_.Get(key)) {
+          Instr().cache_hits.Add();
+          response = *cached;
+        } else {
+          Instr().cache_misses.Add();
+          response = Execute(request);
+          const std::size_t evicted = cache_.Put(key, response);
+          if (evicted != 0) Instr().cache_evictions.Add(evicted);
+        }
+        if (memo != nullptr) memo->emplace(std::move(key), response);
       }
     } else {
       response = Execute(request);
@@ -157,6 +199,11 @@ std::string QueryService::Execute(const Request& request) {
       return RunStats();
     case Op::kHealth:
       return RunHealth();
+    case Op::kReload:
+      // Epoch swapping is a transport concern; both servers intercept this
+      // op before dispatch (serve/epoch.h). Reaching the service means there
+      // is no server — direct embedding or tests.
+      return ErrorResponse("reload requires a server");
   }
   return ErrorResponse("unhandled op");
 }
@@ -371,7 +418,7 @@ std::string QueryService::RunStats() {
       std::chrono::duration_cast<std::chrono::milliseconds>(uptime).count()));
   Json requests = Json::Object();
   for (Op op : {Op::kImpact, Op::kDetect, Op::kRoute, Op::kDefense,
-                Op::kStrategy, Op::kStats, Op::kHealth}) {
+                Op::kStrategy, Op::kStats, Op::kHealth, Op::kReload}) {
     requests[OpName(op)] = Json(RequestCount(op));
   }
   response["requests"] = std::move(requests);
@@ -392,7 +439,28 @@ std::string QueryService::RunStats() {
   latency["p50_us"] = Json(latency_.QuantileNs(0.50) / 1e3);
   latency["p90_us"] = Json(latency_.QuantileNs(0.90) / 1e3);
   latency["p99_us"] = Json(latency_.QuantileNs(0.99) / 1e3);
+  latency["p999_us"] = Json(latency_.QuantileNs(0.999) / 1e3);
   response["latency"] = std::move(latency);
+  std::function<ServerStats()> stats_fn;
+  {
+    std::lock_guard<std::mutex> lock(stats_fn_mu_);
+    stats_fn = server_stats_fn_;
+  }
+  if (stats_fn) {
+    const ServerStats live = stats_fn();
+    response["epoch"] = Json(live.epoch);
+    Json server = Json::Object();
+    server["kind"] = Json(live.kind);
+    server["connections"] = Json(live.connections);
+    server["accepted"] = Json(live.accepted);
+    server["overload_rejects"] = Json(live.overload_rejects);
+    server["deadline_exceeded"] = Json(live.deadline_exceeded);
+    server["backlog_sheds"] = Json(live.backlog_sheds);
+    server["slow_queries"] = Json(live.slow_queries);
+    server["batches"] = Json(live.batches);
+    server["batched_requests"] = Json(live.batched_requests);
+    response["server"] = std::move(server);
+  }
   return response.ToString(-1);
 }
 

@@ -20,9 +20,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "attack/baseline_cache.h"
@@ -58,6 +61,22 @@ struct ServiceOptions {
   std::shared_ptr<const defense::PolicySet> active_defense;
 };
 
+// Live transport-layer counters the serving front end exposes through the
+// "stats" op. Both servers fill the shared fields; batch fields stay zero on
+// the threaded server (it has no batch path).
+struct ServerStats {
+  const char* kind = "";  // "threaded" | "reactor"
+  std::uint64_t epoch = 0;
+  std::uint64_t connections = 0;  // currently open
+  std::uint64_t accepted = 0;
+  std::uint64_t overload_rejects = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t backlog_sheds = 0;
+  std::uint64_t slow_queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+};
+
 class QueryService {
  public:
   // `graph` must outlive the service. `policy` is the corpus-wide prepend
@@ -79,6 +98,19 @@ class QueryService {
   // one JSON object (no trailing newline). Thread-safe.
   std::string Handle(std::string_view line);
 
+  // Batch entry point (the reactor's readiness-sized drains land here): one
+  // response per line, in order, each byte-identical to what Handle() would
+  // have produced. The batch amortization is an intra-batch memo on the full
+  // cache key — a burst of identical what-ifs (the common pipelined-client
+  // shape) executes once and answers N times, without N round trips through
+  // the sharded cache. Thread-safe.
+  std::vector<std::string> HandleBatch(
+      const std::vector<std::string>& lines);
+
+  // Installs the transport's live-counter hook; "stats" responses then carry
+  // an "epoch" field and a "server" object. Thread-safe.
+  void SetServerStatsFn(std::function<ServerStats()> fn);
+
   const topo::AsGraph& Graph() const { return graph_; }
   const bgp::PrependPolicy& Policy() const { return policy_; }
   const ServiceOptions& Options() const { return options_; }
@@ -95,6 +127,12 @@ class QueryService {
 
   // The import filter what-if runs honor (null = undefended).
   const defense::PolicySet* ActiveDefense() const;
+
+  // Shared core of Handle/HandleBatch. `memo` (optional) maps full cache
+  // keys to responses already computed earlier in the same batch.
+  std::string HandleLine(
+      std::string_view line,
+      std::unordered_map<std::string, std::string>* memo);
 
   std::string Execute(const Request& request);
   std::string RunImpact(const Request& request);
@@ -113,9 +151,12 @@ class QueryService {
   detect::AsppDetector detector_;
   util::ShardedLruCache cache_;
   util::LatencyHistogram latency_;
-  std::atomic<std::uint64_t> op_counts_[7] = {};
+  std::atomic<std::uint64_t> op_counts_[kOpCount] = {};
   std::atomic<std::size_t> warmed_baselines_{0};
   std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex stats_fn_mu_;
+  std::function<ServerStats()> server_stats_fn_;
 };
 
 }  // namespace asppi::serve

@@ -1,0 +1,243 @@
+// The load subsystem: Workload determinism (line i is a pure function of
+// (seed, i) — parallel generation is bit-identical to serial), 1-based ASN
+// draws (generated topologies number their ASes 1..N; AS 0 in a load stream
+// was a real bug), mix parsing/validation, and the open-loop LoadGen driven
+// against a net::Server echo stub — healthy runs, overload classification,
+// and the max-sustainable-rps sweep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "load/loadgen.h"
+#include "load/workload.h"
+#include "net/conn.h"
+#include "net/server.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace asppi::load {
+namespace {
+
+// --- Workload ----------------------------------------------------------------
+
+TEST(Workload, ParseMixAcceptsWellFormedStrings) {
+  std::vector<MixEntry> mix;
+  ASSERT_TRUE(Workload::ParseMix("impact:60,route:25,detect:10,stats:4,health:1",
+                                 &mix));
+  ASSERT_EQ(mix.size(), 5u);
+  EXPECT_EQ(mix[0].op, "impact");
+  EXPECT_EQ(mix[0].weight, 60);
+  EXPECT_EQ(mix[4].op, "health");
+  EXPECT_EQ(mix[4].weight, 1);
+
+  ASSERT_TRUE(Workload::ParseMix("health:1", &mix));
+  ASSERT_EQ(mix.size(), 1u);
+}
+
+TEST(Workload, ParseMixRejectsMalformedStrings) {
+  const char* kBad[] = {
+      "",               // empty
+      "impact",         // no weight
+      "impact:",        // empty weight
+      ":5",             // no op
+      "impact:0",       // zero weight
+      "impact:-3",      // negative weight
+      "impact:five",    // non-numeric weight
+      "frobnicate:2",   // unknown op
+      "impact:1,,route:2",  // empty entry
+  };
+  std::vector<MixEntry> mix;
+  for (const char* text : kBad) {
+    EXPECT_FALSE(Workload::ParseMix(text, &mix)) << "accepted: " << text;
+  }
+}
+
+TEST(Workload, LinesArePureInSeedAndIndex) {
+  WorkloadOptions options;
+  options.seed = 77;
+  options.as_count = 64;
+  const Workload a(options);
+  const Workload b(options);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Line(i), b.Line(i)) << "line " << i;
+  }
+  options.seed = 78;
+  const Workload c(options);
+  int diffs = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    if (a.Line(i) != c.Line(i)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0) << "seed must actually steer the stream";
+}
+
+// The property the metrics determinism guarantee leans on: generating the
+// script in parallel at any thread count yields the same bytes as a serial
+// loop, because Line(i) never reads shared mutable state.
+TEST(Workload, ParallelGenerationIsBitIdenticalToSerial) {
+  WorkloadOptions options;
+  options.seed = 42;
+  options.as_count = 128;
+  const Workload workload(options);
+  const std::uint64_t n = 512;
+
+  std::vector<std::string> serial(n);
+  for (std::uint64_t i = 0; i < n; ++i) serial[i] = workload.Line(i);
+
+  util::ThreadPool pool(8);
+  std::vector<std::string> parallel(n);
+  pool.ParallelFor(n, [&](std::size_t i) { parallel[i] = workload.Line(i); });
+
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(workload.Script(4),
+            serial[0] + "\n" + serial[1] + "\n" + serial[2] + "\n" +
+                serial[3] + "\n");
+}
+
+// Generated topologies number their ASes 1..N, so every ASN a workload draws
+// must land in [1, as_count] and pair ops must name two distinct ASes. (A
+// 0-based draw here once produced "unknown AS0" errors under load.)
+TEST(Workload, DrawsOneBasedDistinctAsnPairs) {
+  WorkloadOptions options;
+  options.seed = 9;
+  options.as_count = 8;  // small space makes an off-by-one land often
+  options.mix = "impact:3,route:3,detect:2,defense:1";
+  const Workload workload(options);
+
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const std::string line = workload.Line(i);
+    auto parsed = util::Json::Parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    std::vector<std::uint64_t> asns;
+    for (const char* field : {"victim", "attacker", "origin", "observer"}) {
+      if (const util::Json* value = parsed->Find(field)) {
+        asns.push_back(static_cast<std::uint64_t>(value->AsDouble()));
+      }
+    }
+    ASSERT_EQ(asns.size(), 2u) << line;
+    for (const std::uint64_t asn : asns) {
+      EXPECT_GE(asn, 1u) << line;
+      EXPECT_LE(asn, options.as_count) << line;
+    }
+    EXPECT_NE(asns[0], asns[1]) << line;
+  }
+}
+
+TEST(Workload, MixControlsWhichOpsAppear) {
+  WorkloadOptions options;
+  options.seed = 3;
+  options.mix = "route:2,health:1";
+  const Workload workload(options);
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    auto parsed = util::Json::Parse(workload.Line(i));
+    ASSERT_TRUE(parsed.has_value());
+    seen.insert(parsed->Find("op")->AsString());
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"route", "health"}));
+}
+
+// --- LoadGen -----------------------------------------------------------------
+
+// A canned-response server: answers every request line with `response`.
+class StubServer {
+ public:
+  explicit StubServer(std::string response) {
+    net::NetServerOptions options;
+    options.shards = 2;
+    server_ = std::make_unique<net::Server>(
+        [response = std::move(response)](
+            const std::shared_ptr<net::Conn>& conn,
+            std::vector<std::string> lines) {
+          std::vector<std::string> responses(lines.size(), response);
+          conn->Reply(std::move(responses));
+        },
+        options);
+    EXPECT_EQ(server_->Start(), "");
+  }
+  ~StubServer() { server_->Stop(); }
+  std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<net::Server> server_;
+};
+
+LoadGenOptions SmallRun(std::uint16_t port) {
+  LoadGenOptions options;
+  options.port = port;
+  options.connections = 4;
+  options.rate_rps = 400.0;
+  options.duration_ms = 500;
+  options.drain_timeout_ms = 5000;
+  options.workload.seed = 11;
+  options.workload.as_count = 32;
+  return options;
+}
+
+TEST(LoadGen, HealthyRunAgainstAnOkServer) {
+  StubServer stub(R"({"ok":true})");
+  const LoadReport report = RunLoad(SmallRun(stub.port()));
+  EXPECT_TRUE(report.Healthy()) << report.ToString();
+  EXPECT_GT(report.sent, 0u);
+  EXPECT_EQ(report.answered, report.sent);
+  EXPECT_EQ(report.ok, report.sent);
+  EXPECT_EQ(report.unanswered, 0u);
+  EXPECT_GT(report.achieved_rps, 0.0);
+  // Open loop: the achieved rate tracks the target, not the server.
+  EXPECT_NEAR(report.achieved_rps, 400.0, 200.0);
+  EXPECT_GE(report.p99_us, report.p50_us);
+  EXPECT_GE(report.p999_us, report.p99_us);
+  // max_us is tracked exactly; the quantiles come from a bucketed histogram
+  // whose upper bounds can overshoot the true max, so only sanity-check it.
+  EXPECT_GT(report.max_us, 0u);
+}
+
+TEST(LoadGen, ClassifiesOverloadedResponses) {
+  StubServer stub(R"({"ok":false,"error":"overloaded"})");
+  const LoadReport report = RunLoad(SmallRun(stub.port()));
+  EXPECT_FALSE(report.Healthy());
+  EXPECT_GT(report.sent, 0u);
+  EXPECT_EQ(report.overloaded, report.answered);
+  EXPECT_EQ(report.errors, 0u);
+}
+
+TEST(LoadGen, ClassifiesErrorResponses) {
+  StubServer stub(R"({"ok":false,"error":"unknown AS0"})");
+  const LoadReport report = RunLoad(SmallRun(stub.port()));
+  EXPECT_FALSE(report.Healthy());
+  EXPECT_EQ(report.errors, report.answered);
+  EXPECT_EQ(report.overloaded, 0u);
+}
+
+TEST(LoadGen, ReportsConnectFailuresWithoutHanging) {
+  LoadGenOptions options = SmallRun(1);  // nothing listens on port 1
+  options.duration_ms = 100;
+  const LoadReport report = RunLoad(options);
+  EXPECT_FALSE(report.Healthy());
+  EXPECT_GT(report.connect_failures, 0);
+}
+
+TEST(LoadGen, SweepFindsASustainableRateOnAFastServer) {
+  StubServer stub(R"({"ok":true})");
+  LoadGenOptions base = SmallRun(stub.port());
+  base.duration_ms = 250;
+  SloTarget slo;
+  slo.p99_ms = 200.0;  // generous: the stub answers instantly
+  const SweepResult result =
+      FindMaxSustainableRps(base, slo, /*start_rps=*/50.0,
+                            /*max_rps=*/200.0, /*refine_steps=*/1);
+  ASSERT_FALSE(result.points.empty());
+  // Every swept point carries its own report, and the fast stub sustains at
+  // least the starting rate.
+  EXPECT_GE(result.max_sustainable_rps, 50.0);
+  for (const SweepPoint& point : result.points) {
+    EXPECT_GT(point.report.sent, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace asppi::load

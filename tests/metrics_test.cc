@@ -22,6 +22,8 @@
 #include "defense/sweep.h"
 #include "detect/evaluation.h"
 #include "detect/monitors.h"
+#include "load/workload.h"
+#include "net/frames.h"
 #include "topology/generator.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -190,6 +192,59 @@ TEST(Metrics, WorkloadCountersIdenticalAcrossThreadCounts) {
   EXPECT_GT(delta1.at("defense.accept.evaluations"), 0u);
   EXPECT_GT(delta1.at("defense.pathval.filtered"), 0u);
   EXPECT_GT(delta1.at("defense.sweep.attacks"), 0u);
+}
+
+// The serving-stack counters ride the same guarantee: workload generation
+// (load.workload.*) and NDJSON framing (net.frames.*) are pure functions of
+// their inputs, so the metrics they emit are bit-identical whether the
+// script is generated serially or by an 8-thread ParallelFor, and however
+// the byte stream is torn before the splitter sees it.
+TEST(Metrics, NetAndLoadCountersIdenticalAcrossThreadCounts) {
+  util::Metrics& metrics = util::Metrics::Global();
+  load::WorkloadOptions options;
+  options.seed = 314;
+  options.as_count = 96;
+  const load::Workload workload(options);
+  const std::uint64_t n = 400;
+
+  auto run_workload = [&](std::size_t threads) {
+    util::ThreadPool pool(threads);
+    std::vector<std::string> lines(n);
+    pool.ParallelFor(n, [&](std::size_t i) { lines[i] = workload.Line(i); });
+    std::string stream;
+    for (const std::string& line : lines) stream += line + "\n";
+    stream += std::string(512, 'x') + "\n";  // one oversized line
+    // Feed the stream torn at a thread-count-dependent boundary: framing
+    // counters must not care how the bytes arrived.
+    net::LineSplitter splitter(/*max_line_bytes=*/256);
+    std::vector<std::string> split;
+    const std::size_t cut = stream.size() / (threads + 1);
+    splitter.Feed(std::string_view(stream).substr(0, cut), &split);
+    splitter.Feed(std::string_view(stream).substr(cut), &split);
+    return split.size();
+  };
+
+  auto serving_only = [](CounterMap delta) {
+    std::erase_if(delta, [](const auto& entry) {
+      return !entry.first.starts_with("net.") &&
+             !entry.first.starts_with("load.");
+    });
+    return delta;
+  };
+
+  const auto before1 = metrics.TakeSnapshot();
+  const std::size_t split1 = run_workload(1);
+  const auto after1 = metrics.TakeSnapshot();
+  const std::size_t split8 = run_workload(8);
+  const auto after8 = metrics.TakeSnapshot();
+
+  EXPECT_EQ(split1, split8);
+  const auto delta1 = serving_only(CounterDelta(before1, after1));
+  const auto delta8 = serving_only(CounterDelta(after1, after8));
+  EXPECT_EQ(delta1, delta8);
+  EXPECT_EQ(delta1.at("load.workload.lines"), n);
+  EXPECT_EQ(delta1.at("net.frames.lines"), split1);
+  EXPECT_EQ(delta1.at("net.frames.oversized"), 1u);
 }
 
 // The run report written by --json must survive a serialize → parse round

@@ -1,0 +1,537 @@
+// The net:: reactor primitives: LineSplitter framing (byte-boundary
+// independence, oversized-line rejection and resync, bounded buffering),
+// Poller readiness over BOTH backends (epoll where available, poll
+// everywhere), EventLoop cross-thread posts/timers/fd watches, and the
+// sharded net::Server end to end — echo batches, pipelined ordering,
+// half-close drain, connection-cap rejection, oversize responses, and the
+// slow-reader backlog shed. Every poller-dependent suite is parameterized
+// over the supported backends so the poll(2) fallback stays behaviorally
+// identical to epoll.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "net/fd.h"
+#include "net/frames.h"
+#include "net/poller.h"
+#include "net/server.h"
+
+namespace asppi::net {
+namespace {
+
+// --- LineSplitter ------------------------------------------------------------
+
+std::vector<std::string> SplitAll(LineSplitter* splitter,
+                                  std::string_view data) {
+  std::vector<std::string> lines;
+  splitter->Feed(data, &lines);
+  return lines;
+}
+
+TEST(LineSplitter, EmitsLinesStripsCrAndSwallowsBlanks) {
+  LineSplitter splitter;
+  const auto lines = SplitAll(&splitter, "alpha\nbeta\r\n\n\r\ngamma delta\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");  // '\r' stripped
+  EXPECT_EQ(lines[2], "gamma delta");
+  EXPECT_EQ(splitter.LinesEmitted(), 3u);
+  EXPECT_EQ(splitter.Oversized(), 0u);
+  EXPECT_EQ(splitter.Buffered(), 0u);
+}
+
+TEST(LineSplitter, RetainsPartialFrameAcrossFeeds) {
+  LineSplitter splitter;
+  std::vector<std::string> lines;
+  splitter.Feed("abc", &lines);
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(splitter.Buffered(), 3u);
+  splitter.Feed("def\n", &lines);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "abcdef");
+  EXPECT_EQ(splitter.Buffered(), 0u);
+}
+
+// The core framing contract: splitting is independent of how the byte stream
+// is torn. Every split point of the stream — including one-byte-at-a-time —
+// must yield exactly the lines of a single whole-stream feed.
+TEST(LineSplitter, ByteBoundaryIndependent) {
+  const std::string stream = "alpha\nbeta\r\n\ngamma delta\n{\"op\":1}\ntail";
+  LineSplitter whole;
+  const std::vector<std::string> expected = SplitAll(&whole, stream);
+  ASSERT_EQ(expected.size(), 4u);
+  const std::size_t expected_buffered = whole.Buffered();  // "tail"
+
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    LineSplitter torn;
+    std::vector<std::string> lines;
+    torn.Feed(std::string_view(stream).substr(0, split), &lines);
+    torn.Feed(std::string_view(stream).substr(split), &lines);
+    EXPECT_EQ(lines, expected) << "split at byte " << split;
+    EXPECT_EQ(torn.Buffered(), expected_buffered) << "split at byte " << split;
+  }
+
+  LineSplitter dribble;
+  std::vector<std::string> lines;
+  for (char c : stream) dribble.Feed(std::string_view(&c, 1), &lines);
+  EXPECT_EQ(lines, expected);
+  EXPECT_EQ(dribble.Buffered(), expected_buffered);
+}
+
+TEST(LineSplitter, RejectsOversizedLineAndResyncs) {
+  LineSplitter splitter(/*max_line_bytes=*/8);
+  std::vector<std::string> lines;
+  const std::size_t rejected =
+      splitter.Feed("short\n" + std::string(100, 'x') + "\nafter\n", &lines);
+  EXPECT_EQ(rejected, 1u);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "short");
+  EXPECT_EQ(lines[1], "after");  // resynced at the newline
+  EXPECT_EQ(splitter.Oversized(), 1u);
+}
+
+TEST(LineSplitter, OversizedLineTornAcrossFeedsCountsOnce) {
+  LineSplitter splitter(/*max_line_bytes=*/8);
+  std::vector<std::string> lines;
+  std::size_t rejected = 0;
+  // 30 bytes of one oversized line, dribbled in — the rejection must be
+  // reported exactly once, and buffered memory must stay bounded.
+  for (int i = 0; i < 30; ++i) {
+    rejected += splitter.Feed("y", &lines);
+    EXPECT_LE(splitter.Buffered(), splitter.MaxLineBytes());
+  }
+  rejected += splitter.Feed("\nok\n", &lines);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(splitter.Oversized(), 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+}
+
+// --- Poller (both backends) --------------------------------------------------
+
+std::vector<PollerBackend> SupportedBackends() {
+  Poller probe(PollerBackend::kAuto);
+  if (probe.backend() == PollerBackend::kEpoll) {
+    return {PollerBackend::kEpoll, PollerBackend::kPoll};
+  }
+  return {PollerBackend::kPoll};
+}
+
+struct Pipe {
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_end = ScopedFd(fds[0]);
+    write_end = ScopedFd(fds[1]);
+  }
+  ScopedFd read_end;
+  ScopedFd write_end;
+};
+
+class PollerTest : public ::testing::TestWithParam<PollerBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerTest,
+                         ::testing::ValuesIn(SupportedBackends()),
+                         [](const auto& info) {
+                           return std::string(PollerBackendName(info.param));
+                         });
+
+TEST_P(PollerTest, ReportsReadableLevelTriggered) {
+  Poller poller(GetParam());
+  ASSERT_EQ(poller.backend(), GetParam());
+  Pipe pipe;
+  ASSERT_EQ(poller.Add(pipe.read_end.get(), /*want_read=*/true,
+                       /*want_write=*/false),
+            "");
+  EXPECT_EQ(poller.WatchedCount(), 1u);
+
+  std::vector<PollerEvent> events;
+  EXPECT_EQ(poller.Wait(0, &events), 0);  // nothing to read yet
+
+  ASSERT_EQ(::write(pipe.write_end.get(), "x", 1), 1);
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  EXPECT_EQ(events[0].fd, pipe.read_end.get());
+  EXPECT_TRUE(events[0].readable);
+
+  // Level-triggered: the unread byte keeps the fd ready on the next wait.
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  EXPECT_TRUE(events[0].readable);
+
+  // Dropping read interest silences it (the reactor's flow control).
+  poller.Set(pipe.read_end.get(), false, false);
+  EXPECT_EQ(poller.Wait(0, &events), 0);
+
+  poller.Remove(pipe.read_end.get());
+  EXPECT_EQ(poller.WatchedCount(), 0u);
+}
+
+TEST_P(PollerTest, ReportsWritableImmediately) {
+  Poller poller(GetParam());
+  Pipe pipe;
+  ASSERT_EQ(poller.Add(pipe.write_end.get(), false, true), "");
+  std::vector<PollerEvent> events;
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  EXPECT_EQ(events[0].fd, pipe.write_end.get());
+  EXPECT_TRUE(events[0].writable);
+}
+
+TEST_P(PollerTest, PeerCloseRaisesAnEvent) {
+  Poller poller(GetParam());
+  Pipe pipe;
+  ASSERT_EQ(poller.Add(pipe.read_end.get(), true, false), "");
+  pipe.write_end.Reset();  // writer gone → HUP on the read end
+  std::vector<PollerEvent> events;
+  ASSERT_EQ(poller.Wait(1000, &events), 1);
+  EXPECT_TRUE(events[0].readable || events[0].error);
+}
+
+// --- EventLoop (both backends) -----------------------------------------------
+
+// Runs an EventLoop on a dedicated thread for the scope of a test.
+class LoopRunner {
+ public:
+  explicit LoopRunner(PollerBackend backend) : loop_(backend) {
+    thread_ = std::thread([this] { loop_.Run(); });
+  }
+  ~LoopRunner() {
+    loop_.Stop();
+    thread_.join();
+  }
+  EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop loop_;
+  std::thread thread_;
+};
+
+class EventLoopTest : public ::testing::TestWithParam<PollerBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::ValuesIn(SupportedBackends()),
+                         [](const auto& info) {
+                           return std::string(PollerBackendName(info.param));
+                         });
+
+TEST_P(EventLoopTest, PostedWorkRunsOnTheLoopThread) {
+  LoopRunner runner(GetParam());
+  std::promise<bool> on_loop;
+  runner.loop().Post(
+      [&] { on_loop.set_value(runner.loop().IsLoopThread()); });
+  auto future = on_loop.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get());
+  EXPECT_FALSE(runner.loop().IsLoopThread());
+}
+
+TEST_P(EventLoopTest, PostsRunInFifoOrder) {
+  LoopRunner runner(GetParam());
+  std::vector<int> order;
+  std::promise<void> done;
+  for (int i = 0; i < 8; ++i) {
+    runner.loop().Post([&order, i] { order.push_back(i); });
+  }
+  runner.loop().Post([&done] { done.set_value(); });
+  ASSERT_EQ(done.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_P(EventLoopTest, TimersFireInDeadlineOrder) {
+  LoopRunner runner(GetParam());
+  std::vector<int> order;
+  std::promise<void> done;
+  runner.loop().RunAfter(60, [&] {
+    order.push_back(2);
+    done.set_value();
+  });
+  runner.loop().RunAfter(10, [&] { order.push_back(1); });
+  ASSERT_EQ(done.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_P(EventLoopTest, WatchDeliversFdReadiness) {
+  LoopRunner runner(GetParam());
+  Pipe pipe;
+  std::promise<std::string> delivered;
+  const int read_fd = pipe.read_end.get();
+  runner.loop().Post([&, read_fd] {
+    runner.loop().Watch(
+        read_fd,
+        [&, read_fd](bool readable, bool /*writable*/, bool /*error*/) {
+          if (!readable) return;
+          char buf[16];
+          const ssize_t n = ::read(read_fd, buf, sizeof(buf));
+          runner.loop().Unwatch(read_fd);
+          delivered.set_value(
+              n > 0 ? std::string(buf, static_cast<std::size_t>(n)) : "");
+        },
+        /*want_read=*/true, /*want_write=*/false);
+  });
+  ASSERT_EQ(::write(pipe.write_end.get(), "ping", 4), 4);
+  auto future = delivered.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), "ping");
+}
+
+// --- net::Server -------------------------------------------------------------
+
+// Minimal blocking client with explicit half-close, for drain-shaped tests.
+class RawClient {
+ public:
+  explicit RawClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connected() const { return connected_; }
+
+  bool SendAll(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  // Blocks until one full line arrives ("" on EOF/error).
+  std::string ReadLine() {
+    while (true) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Reads to EOF and returns everything (including buffered bytes).
+  std::string ReadAll() {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    return std::move(buffer_);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+NetServerOptions EchoOptions(PollerBackend backend) {
+  NetServerOptions options;
+  options.backend = backend;
+  options.shards = 2;
+  return options;
+}
+
+BatchCallback EchoCallback() {
+  return [](const std::shared_ptr<Conn>& conn, std::vector<std::string> lines) {
+    std::vector<std::string> responses;
+    responses.reserve(lines.size());
+    for (const std::string& line : lines) responses.push_back("echo:" + line);
+    conn->Reply(std::move(responses));
+  };
+}
+
+class NetServerTest : public ::testing::TestWithParam<PollerBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetServerTest,
+                         ::testing::ValuesIn(SupportedBackends()),
+                         [](const auto& info) {
+                           return std::string(PollerBackendName(info.param));
+                         });
+
+TEST_P(NetServerTest, EchoesPipelinedLinesInOrder) {
+  Server server(EchoCallback(), EchoOptions(GetParam()));
+  ASSERT_EQ(server.Start(), "");
+  ASSERT_GT(server.port(), 0);
+  EXPECT_EQ(server.backend(), GetParam());
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.Connected());
+  std::string script;
+  for (int i = 0; i < 50; ++i) script += "line" + std::to_string(i) + "\n";
+  ASSERT_TRUE(client.SendAll(script));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(client.ReadLine(), "echo:line" + std::to_string(i));
+  }
+  server.Stop();
+}
+
+TEST_P(NetServerTest, HalfCloseDrainsEveryResponse) {
+  Server server(EchoCallback(), EchoOptions(GetParam()));
+  ASSERT_EQ(server.Start(), "");
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.Connected());
+  std::string script, expected;
+  for (int i = 0; i < 20; ++i) {
+    script += "q" + std::to_string(i) + "\n";
+    expected += "echo:q" + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(client.SendAll(script));
+  client.ShutdownWrite();
+  EXPECT_EQ(client.ReadAll(), expected);
+  server.Stop();
+}
+
+TEST_P(NetServerTest, RejectsConnectionsBeyondTheCap) {
+  NetServerOptions options = EchoOptions(GetParam());
+  options.max_connections = 1;
+  Server server(EchoCallback(), options);
+  ASSERT_EQ(server.Start(), "");
+
+  RawClient first(server.port());
+  ASSERT_TRUE(first.Connected());
+  ASSERT_TRUE(first.SendAll("hello\n"));
+  ASSERT_EQ(first.ReadLine(), "echo:hello");  // placement confirmed
+
+  // Over the cap the transport closes at accept time without a response
+  // (the protocol-aware overloaded line is the serving layer's job).
+  RawClient second(server.port());
+  ASSERT_TRUE(second.Connected());
+  second.SendAll("nope\n");
+  EXPECT_EQ(second.ReadLine(), "");
+  // The reject is counted once the accept loop processes it.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.Rejected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.Rejected(), 1u);
+  server.Stop();
+}
+
+TEST_P(NetServerTest, AnswersOversizedLinesWithTheConfiguredResponse) {
+  NetServerOptions options = EchoOptions(GetParam());
+  options.conn.max_line_bytes = 16;
+  options.conn.oversize_response = "ERR:too-long";
+  Server server(EchoCallback(), options);
+  ASSERT_EQ(server.Start(), "");
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.Connected());
+  ASSERT_TRUE(client.SendAll(std::string(100, 'z') + "\nhi\n"));
+  client.ShutdownWrite();
+  EXPECT_EQ(client.ReadLine(), "ERR:too-long");
+  EXPECT_EQ(client.ReadLine(), "echo:hi");
+  server.Stop();
+}
+
+TEST_P(NetServerTest, ShedsSlowReadersPastTheWriteBacklog) {
+  std::atomic<std::uint64_t> sheds{0};
+  NetServerOptions options = EchoOptions(GetParam());
+  options.conn.max_write_backlog = 64 * 1024;
+  options.conn.backlog_shed_counter = &sheds;
+  // Each request line fans out to a 64 KiB response; a client that never
+  // reads must be shed instead of pinning megabytes of server memory.
+  Server server(
+      [](const std::shared_ptr<Conn>& conn, std::vector<std::string> lines) {
+        std::vector<std::string> responses(lines.size(),
+                                           std::string(64 * 1024, 'x'));
+        conn->Reply(std::move(responses));
+      },
+      options);
+  ASSERT_EQ(server.Start(), "");
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.Connected());
+  std::string script;
+  for (int i = 0; i < 400; ++i) script += "gimme\n";
+  client.SendAll(script);  // may fail once the server sheds us — fine
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sheds.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sheds.load(), 1u);
+  server.Stop();
+}
+
+TEST_P(NetServerTest, ConcurrentClientsEachGetTheirOwnStream) {
+  Server server(EchoCallback(), EchoOptions(GetParam()));
+  ASSERT_EQ(server.Start(), "");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      RawClient client(server.port());
+      if (!client.Connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 25; ++i) {
+        const std::string tag = std::to_string(c) + ":" + std::to_string(i);
+        if (!client.SendAll(tag + "\n") ||
+            client.ReadLine() != "echo:" + tag) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.Accepted(), 8u);
+  server.Stop();
+  EXPECT_EQ(server.OpenConnections(), 0u);
+}
+
+TEST_P(NetServerTest, StopIsIdempotentAndClosesTheListener) {
+  Server server(EchoCallback(), EchoOptions(GetParam()));
+  ASSERT_EQ(server.Start(), "");
+  const int port = server.port();
+  server.Stop();
+  server.Stop();  // second call is a no-op
+  RawClient late(port);
+  // Either the connect fails outright or the socket reads EOF immediately.
+  if (late.Connected()) {
+    late.SendAll("anyone\n");
+    EXPECT_EQ(late.ReadLine(), "");
+  }
+}
+
+}  // namespace
+}  // namespace asppi::net

@@ -5,18 +5,31 @@
 //   $ asppi_serve --snapshot=topology.snap --port=4179 &
 //   $ printf '{"op":"impact","victim":3831,"attacker":7}\n' | nc localhost 4179
 //
-// Request types: impact, detect, route, defense, stats, health
-// (serve/protocol.h). A snapshot carrying a kDefense section serves every
-// what-if with that deployment active as the engines' import filter.
-// --port=0 picks an ephemeral port; --port-file writes the bound port for
-// scripted clients (the CI smoke job). SIGINT/SIGTERM drain gracefully:
-// in-flight requests finish and flush before the process exits, then the
-// run report (--json) carries the serve.* metrics.
+// Request types: impact, detect, route, defense, strategy, stats, health,
+// reload (serve/protocol.h). A snapshot carrying a kDefense section serves
+// every what-if with that deployment active as the engines' import filter.
+//
+// Two servers share the protocol byte-for-byte:
+//   --server=reactor  (default) N epoll/poll event-loop shards (src/net/),
+//                     connections far beyond the thread count, requests
+//                     drained per readiness event and executed as batches;
+//   --server=threaded the thread-per-connection front end — the baseline
+//                     perf_serve compares the reactor against.
+//
+// Hot reload: SIGHUP (or a {"op":"reload"} line) rebuilds the serving stack
+// from the snapshot path and atomically swaps it in as a new epoch;
+// in-flight queries finish on the generation they started on. --port=0
+// picks an ephemeral port; --port-file writes the bound port for scripted
+// clients (the CI smoke job). SIGINT/SIGTERM drain gracefully: in-flight
+// requests finish and flush before the process exits, then the run report
+// (--json) carries the serve.*/net.* metrics.
 #include <csignal>
 #include <cstdio>
 #include <thread>
 
 #include "bench/experiment.h"
+#include "serve/epoch.h"
+#include "serve/reactor.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "util/metrics.h"
@@ -26,8 +39,10 @@ using namespace asppi;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleHup(int) { g_reload = 1; }
 
 }  // namespace
 
@@ -40,6 +55,15 @@ int main(int argc, char** argv) {
   e.Flags().DefineString("snapshot", "",
                          "binary snapshot (asppi_snapshot output) to serve "
                          "(overrides --topo)");
+  e.Flags().DefineString("server", "reactor",
+                         "front end: 'reactor' (event-loop shards) or "
+                         "'threaded' (thread per connection)");
+  e.Flags().DefineUint("shards", 2, "reactor event-loop shard count");
+  e.Flags().DefineString("backend", "auto",
+                         "reactor readiness backend: auto|epoll|poll");
+  e.Flags().DefineBool("batch", true,
+                       "reactor: execute readiness batches through "
+                       "HandleBatch (false = per-line, the ablation)");
   e.Flags().DefineUint("port", 0, "TCP port (0 = pick an ephemeral port)");
   e.Flags().DefineString("port-file", "",
                          "write the bound port number to this file once "
@@ -48,7 +72,9 @@ int main(int argc, char** argv) {
   e.Flags().DefineUint("monitors", 30, "default top-degree vantage count");
   e.Flags().DefineUint("cache", 4096,
                        "result-cache entry budget (0 disables caching)");
-  e.Flags().DefineUint("max-conns", 64, "concurrent connection bound");
+  e.Flags().DefineUint("max-conns", 0,
+                       "concurrent connection bound (0 = server default: "
+                       "64 threaded, 1024 reactor)");
   e.Flags().DefineUint("max-inflight", 128,
                        "queued-or-executing request bound (beyond it, "
                        "requests get an 'overloaded' response)");
@@ -67,11 +93,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need --snapshot (or --topo)\n");
     return 1;
   }
-  topo::AsGraph loaded_graph;
-  data::Snapshot snapshot;
-  const topo::AsGraph* graph =
-      e.LoadTopologyOrSnapshot(path, &loaded_graph, &snapshot);
-  if (graph == nullptr) return 1;
+  const std::string& server_kind = e.Flags().GetString("server");
+  if (server_kind != "reactor" && server_kind != "threaded") {
+    std::fprintf(stderr, "--server must be 'reactor' or 'threaded'\n");
+    return 1;
+  }
+  net::PollerBackend backend = net::PollerBackend::kAuto;
+  if (!net::ParsePollerBackend(e.Flags().GetString("backend"), &backend)) {
+    std::fprintf(stderr, "--backend must be auto|epoll|poll\n");
+    return 1;
+  }
 
   serve::ServiceOptions service_options;
   service_options.engine = e.Engine();
@@ -80,32 +111,90 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(e.Flags().GetUint("monitors"));
   service_options.cache_capacity =
       static_cast<std::size_t>(e.Flags().GetUint("cache"));
-  // A snapshot's kDefense section becomes the live deployment: every
-  // impact/detect what-if runs with it as the engines' import filter, and
-  // its digest segregates the result cache from undefended answers.
-  if (!snapshot.DefenseTags().empty()) {
-    service_options.active_defense = std::make_shared<defense::PolicySet>(
-        *graph, snapshot.DefenseTags());
-    e.Note("defense: %zu AS(es) deployed (digest %08x)",
-           service_options.active_defense->DeployedCount(),
-           service_options.active_defense->Digest());
-  }
-  serve::QueryService service(*graph, snapshot.Policy(), service_options);
-  const std::size_t warmed = service.WarmBaselines(snapshot.Baselines());
 
-  serve::ServerOptions server_options;
-  server_options.port = static_cast<int>(e.Flags().GetUint("port"));
-  server_options.max_connections =
+  serve::EpochManager epochs;
+  // Text topologies load through the harness (no snapshot to re-read), so
+  // only snapshot-backed serving gets a reload source.
+  topo::AsGraph loaded_graph;
+  data::Snapshot legacy_snapshot;
+  std::unique_ptr<serve::QueryService> text_service;
+  if (data::Snapshot::SniffFile(path)) {
+    std::shared_ptr<serve::Epoch> first;
+    const std::string err =
+        serve::MakeSnapshotEpoch(path, /*id=*/1, service_options, &first);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    if (first->snapshot->DefenseTags().size() > 0) {
+      e.Note("defense: %llu AS(es) tagged in snapshot",
+             static_cast<unsigned long long>(
+                 first->snapshot->Info().num_defense_tagged));
+    }
+    epochs.Install(first);
+    epochs.SetReloader([path, service_options](
+                           std::uint64_t next_id,
+                           std::shared_ptr<serve::Epoch>* out) {
+      return serve::MakeSnapshotEpoch(path, next_id, service_options, out);
+    });
+  } else {
+    const topo::AsGraph* graph =
+        e.LoadTopologyOrSnapshot(path, &loaded_graph, &legacy_snapshot);
+    if (graph == nullptr) return 1;
+    text_service = std::make_unique<serve::QueryService>(
+        *graph, legacy_snapshot.Policy(), service_options);
+    epochs.Install(serve::MakeUnownedEpoch(text_service.get(), /*id=*/1));
+  }
+  {
+    const auto epoch = epochs.Current();
+    e.Note("epoch 1: %zu ASes, %zu links", epoch->service->Graph().NumAses(),
+           epoch->service->Graph().NumLinks());
+  }
+
+  const std::size_t max_conns =
       static_cast<std::size_t>(e.Flags().GetUint("max-conns"));
-  server_options.max_inflight =
-      static_cast<std::size_t>(e.Flags().GetUint("max-inflight"));
-  server_options.deadline_ms = static_cast<int>(e.Flags().GetInt("deadline-ms"));
-  server_options.slow_query_ms = static_cast<int>(e.Flags().GetInt("slow-ms"));
-  serve::Server server(&service, e.Pool(), server_options);
-  std::string err = server.Start();
-  if (!err.empty()) {
-    std::fprintf(stderr, "error starting server: %s\n", err.c_str());
-    return 1;
+  std::unique_ptr<serve::Server> threaded;
+  std::unique_ptr<serve::ReactorServer> reactor;
+  int port = 0;
+  if (server_kind == "threaded") {
+    serve::ServerOptions options;
+    options.port = static_cast<int>(e.Flags().GetUint("port"));
+    if (max_conns != 0) options.max_connections = max_conns;
+    options.max_inflight =
+        static_cast<std::size_t>(e.Flags().GetUint("max-inflight"));
+    options.deadline_ms = static_cast<int>(e.Flags().GetInt("deadline-ms"));
+    options.slow_query_ms = static_cast<int>(e.Flags().GetInt("slow-ms"));
+    threaded = std::make_unique<serve::Server>(&epochs, e.Pool(), options);
+    const std::string err = threaded->Start();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error starting server: %s\n", err.c_str());
+      return 1;
+    }
+    port = threaded->Port();
+  } else {
+    serve::ReactorOptions options;
+    options.port = static_cast<int>(e.Flags().GetUint("port"));
+    options.shards = static_cast<int>(e.Flags().GetUint("shards"));
+    options.backend = backend;
+    options.batch = e.Flags().GetBool("batch");
+    if (max_conns != 0) options.max_connections = max_conns;
+    options.max_inflight =
+        static_cast<std::size_t>(e.Flags().GetUint("max-inflight"));
+    options.deadline_ms = static_cast<int>(e.Flags().GetInt("deadline-ms"));
+    options.slow_query_ms = static_cast<int>(e.Flags().GetInt("slow-ms"));
+    reactor = std::make_unique<serve::ReactorServer>(&epochs, e.Pool(),
+                                                     options);
+    const std::string err = reactor->Start();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error starting server: %s\n", err.c_str());
+      return 1;
+    }
+    port = reactor->Port();
+    e.Note("reactor: %u shard(s), %s backend, batch=%d",
+           static_cast<unsigned>(e.Flags().GetUint("shards")),
+           net::PollerBackendName(reactor->Backend()),
+           options.batch ? 1 : 0);
   }
 
   const std::string& port_file = e.Flags().GetString("port-file");
@@ -113,23 +202,38 @@ int main(int argc, char** argv) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "error writing %s\n", port_file.c_str());
-      server.Stop();
+      if (threaded) threaded->Stop();
+      if (reactor) reactor->Stop();
       return 1;
     }
-    std::fprintf(f, "%d\n", server.Port());
+    std::fprintf(f, "%d\n", port);
     std::fclose(f);
   }
 
-  e.Note("serving %zu ASes, %zu links on port %d (%zu warmed baselines)",
-         graph->NumAses(), graph->NumLinks(), server.Port(), warmed);
+  e.Note("serving on port %d (%s server)", port, server_kind.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGHUP, HandleHup);
   const int duration_s = static_cast<int>(e.Flags().GetInt("duration"));
   const auto started = std::chrono::steady_clock::now();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_reload != 0) {
+      // The handler only flips a flag; the actual swap runs here on the
+      // main thread, outside async-signal context.
+      g_reload = 0;
+      const std::string err = epochs.Reload();
+      if (err.empty()) {
+        e.Note("reload: now serving epoch %llu",
+               static_cast<unsigned long long>(epochs.CurrentId()));
+      } else {
+        std::fprintf(stderr, "[asppi_serve] reload failed: %s\n",
+                     err.c_str());
+      }
+      std::fflush(stdout);
+    }
     if (duration_s > 0 &&
         std::chrono::steady_clock::now() - started >=
             std::chrono::seconds(duration_s)) {
@@ -138,20 +242,37 @@ int main(int argc, char** argv) {
   }
 
   // Graceful drain: stop accepting, let in-flight requests finish and flush.
-  server.Stop();
-  const serve::Server::Counters counters = server.GetCounters();
-  const util::ShardedLruCache::Stats cache = service.Cache().GetStats();
+  serve::ServerStats stats;
+  if (threaded) {
+    threaded->Stop();
+    const serve::Server::Counters counters = threaded->GetCounters();
+    stats.accepted = counters.accepted;
+    stats.overload_rejects = counters.overload_rejects;
+    stats.deadline_exceeded = counters.deadline_exceeded;
+    stats.slow_queries = counters.slow_queries;
+  } else {
+    reactor->Stop();
+    stats = reactor->Stats();
+  }
   e.Note("drained: %llu connection(s), %llu overload reject(s), "
-         "%llu deadline(s), %llu slow quer(ies)",
-         static_cast<unsigned long long>(counters.accepted),
-         static_cast<unsigned long long>(counters.overload_rejects),
-         static_cast<unsigned long long>(counters.deadline_exceeded),
-         static_cast<unsigned long long>(counters.slow_queries));
-  e.Note("cache: %llu hit(s), %llu miss(es), %llu eviction(s)",
-         static_cast<unsigned long long>(cache.hits),
-         static_cast<unsigned long long>(cache.misses),
-         static_cast<unsigned long long>(cache.evictions));
-  util::Metrics::Global().SetGauge("serve.port",
-                                   static_cast<double>(server.Port()));
+         "%llu deadline(s), %llu slow, %llu batch(es)",
+         static_cast<unsigned long long>(stats.accepted),
+         static_cast<unsigned long long>(stats.overload_rejects),
+         static_cast<unsigned long long>(stats.deadline_exceeded),
+         static_cast<unsigned long long>(stats.slow_queries),
+         static_cast<unsigned long long>(stats.batches));
+  {
+    const auto epoch = epochs.Current();
+    const util::ShardedLruCache::Stats cache =
+        epoch->service->Cache().GetStats();
+    e.Note("epoch %llu cache: %llu hit(s), %llu miss(es), %llu eviction(s); "
+           "%llu reload(s)",
+           static_cast<unsigned long long>(epochs.CurrentId()),
+           static_cast<unsigned long long>(cache.hits),
+           static_cast<unsigned long long>(cache.misses),
+           static_cast<unsigned long long>(cache.evictions),
+           static_cast<unsigned long long>(epochs.ReloadCount()));
+  }
+  util::Metrics::Global().SetGauge("serve.port", static_cast<double>(port));
   return e.Finish();
 }
