@@ -208,10 +208,19 @@ LoadReport RunLoad(const LoadGenOptions& options) {
       ++conn->sent;
     }
     if (!SendAll(conn->fd.get(), line)) {
-      // Connection died mid-run; its queued timestamps become unanswered.
+      // Connection died mid-run: roll back the queued timestamp so it is not
+      // matched against a response that will never come. The reader may have
+      // raced us and popped it already (an unsolicited line pairs with the
+      // front entry — ours, if it was the only one queued); it pushes last
+      // and pops happen at the front, so if the deque is non-empty the back
+      // entry is still ours. If it is empty the reader consumed and counted
+      // the entry; rolling back then would pop_back an empty deque (UB) and
+      // skew sent below answered.
       std::lock_guard<std::mutex> lock(conn->mu);
-      --conn->sent;
-      conn->scheduled_ns.pop_back();
+      if (!conn->scheduled_ns.empty()) {
+        --conn->sent;
+        conn->scheduled_ns.pop_back();
+      }
       ++sent;  // count the attempt so achieved_rps reflects reality
       Instr().sent.Add();
       continue;

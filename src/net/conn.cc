@@ -41,12 +41,18 @@ void Conn::Start(BatchCallback on_batch, CloseCallback on_close) {
   on_close_ = std::move(on_close);
   Instr().opened.Add();
   auto self = shared_from_this();
-  loop_->Watch(
+  const std::string err = loop_->Watch(
       fd_.get(),
       [self](bool readable, bool writable, bool error) {
         self->HandleEvent(readable, writable, error);
       },
       want_read_, want_write_);
+  if (!err.empty()) {
+    // Registration failed (e.g. transient epoll_ctl ENOMEM): this connection
+    // never becomes readable, so close it — TearDown's Unwatch is a no-op on
+    // the unregistered fd and on_close_ keeps the server's open count right.
+    TearDown();
+  }
 }
 
 void Conn::Reply(std::vector<std::string> responses) {
@@ -58,10 +64,15 @@ void Conn::Reply(std::vector<std::string> responses) {
       if (response.empty() || response.back() != '\n') response.push_back('\n');
       self->out_.append(response);
     }
+    self->FlushWrites();
+    if (self->closed_) return;
     if (self->out_.size() - self->out_offset_ >
         self->options_.max_write_backlog) {
-      // Peer is not reading; responses are piling up. Shed rather than let
-      // one slow reader hold megabytes hostage.
+      // Judged AFTER flushing: a big batch bound for a prompt reader drains
+      // into the socket right here and never trips the cap. What is left is
+      // bytes the kernel would not take — the peer is not reading and
+      // responses are piling up, so shed rather than let one slow reader
+      // hold megabytes hostage.
       Instr().backlog_shed.Add();
       if (self->options_.backlog_shed_counter != nullptr) {
         self->options_.backlog_shed_counter->fetch_add(
@@ -70,8 +81,6 @@ void Conn::Reply(std::vector<std::string> responses) {
       self->TearDown();
       return;
     }
-    self->FlushWrites();
-    if (self->closed_) return;
     self->MaybeDispatch();
     if (self->closed_) return;
     if (self->closing_ || self->eof_) {

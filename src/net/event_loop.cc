@@ -95,10 +95,12 @@ void EventLoop::RunAfter(int delay_ms, std::function<void()> fn) {
   SignalWakeup(wakeup_.WriteEnd());
 }
 
-void EventLoop::Watch(int fd, FdCallback cb, bool want_read, bool want_write) {
-  const std::string err = poller_.Add(fd, want_read, want_write);
-  ASPPI_CHECK(err.empty()) << "watch fd " << fd << ": " << err;
+std::string EventLoop::Watch(int fd, FdCallback cb, bool want_read,
+                             bool want_write) {
+  std::string err = poller_.Add(fd, want_read, want_write);
+  if (!err.empty()) return err;
   watches_[fd] = std::move(cb);
+  return "";
 }
 
 void EventLoop::SetWants(int fd, bool want_read, bool want_write) {

@@ -56,8 +56,11 @@ class EventLoop {
   // Any thread: runs `fn` on the loop thread no earlier than `delay_ms`.
   void RunAfter(int delay_ms, std::function<void()> fn);
 
-  // Loop thread only (callers Post() in from outside).
-  void Watch(int fd, FdCallback cb, bool want_read, bool want_write);
+  // Loop thread only (callers Post() in from outside). Watch returns "" on
+  // success; a non-empty error (transient epoll_ctl ENOMEM/ENOSPC, duplicate
+  // fd) means the fd was NOT registered and the caller should close it —
+  // one failed registration must not take the process down.
+  std::string Watch(int fd, FdCallback cb, bool want_read, bool want_write);
   void SetWants(int fd, bool want_read, bool want_write);
   void Unwatch(int fd);
 

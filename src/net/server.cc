@@ -53,12 +53,15 @@ std::string Server::Start() {
   // The accept watch lands on shard 0's loop thread via Post so Watch() is
   // called under the loop-thread-only contract.
   shards_[0]->loop->Post([this] {
-    shards_[0]->loop->Watch(
+    const std::string err = shards_[0]->loop->Watch(
         listener_.fd(),
         [this](bool readable, bool /*writable*/, bool error) {
           if (readable && !error) HandleAccept();
         },
         /*want_read=*/true, /*want_write=*/false);
+    // Unlike a per-connection Watch (where failure closes one conn), losing
+    // the accept watch means the server can never serve — fatal.
+    ASPPI_CHECK(err.empty()) << "accept watch: " << err;
   });
   started_.store(true);
   return "";

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "util/metrics.h"
@@ -73,6 +74,16 @@ void ReactorServer::Stop() {
   // net::Server::Stop drains: in-flight batches Reply through still-running
   // loops, buffered responses flush, then the shards join.
   net_server_->Stop();
+  // The loops are joined, so no new batches can be submitted — but batches
+  // already in the ThreadPool still hold shared_ptr<Conn>s whose raw loop_
+  // pointers reach into net_server_'s EventLoops (a force-closed straggler's
+  // batch can outlive its connection). Wait for them here, while the loops
+  // are stopped but still allocated: a late Reply posts onto a stopped loop
+  // (retained, never run — safe), and once inflight_ hits zero nothing ever
+  // touches net state again, so ~ReactorServer may free net_server_.
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 int ReactorServer::Port() const {
@@ -174,8 +185,6 @@ void ReactorServer::HandleBatch(const std::shared_ptr<net::Conn>& conn,
         }
       }
     }
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
-
     const auto elapsed = std::chrono::steady_clock::now() - enqueued;
     const auto elapsed_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
@@ -188,6 +197,9 @@ void ReactorServer::HandleBatch(const std::shared_ptr<net::Conn>& conn,
       }
     }
     conn->Reply(std::move(responses));
+    // Released only after Reply: Stop() waits on this counter to know no
+    // pool task still references a Conn (and through it an EventLoop).
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
   });
 }
 

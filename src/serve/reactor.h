@@ -68,7 +68,10 @@ class ReactorServer {
   ReactorServer& operator=(const ReactorServer&) = delete;
 
   std::string Start();
-  // Graceful drain (in-flight batches finish and flush); idempotent.
+  // Graceful drain; idempotent. Blocks until in-flight batches have flushed
+  // AND every pool task has released its connection, so the ThreadPool holds
+  // no reference into the reactor once Stop returns (whatever order the
+  // caller destroys them in).
   void Stop();
 
   int Port() const;
